@@ -1,0 +1,92 @@
+// Reproduces Fig. 2: "A Canonical Graph Processing Flow" — runs the full
+// batch path (dedup -> persistent graph -> NORA boil -> selection ->
+// extraction -> analytic -> write-back) with per-stage timings, then the
+// streaming path (in-line dedup ingest + threshold triggers + real-time
+// queries), which is the combined batch+streaming benchmark the paper's
+// §VI calls for.
+#include <cstdio>
+
+#include "core/prng.hpp"
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "pipeline/flow.hpp"
+
+using namespace ga;
+using namespace ga::pipeline;
+
+int main() {
+  std::printf("=== Fig. 2 reproduction: canonical graph processing flow ===\n\n");
+  CorpusOptions copts;
+  copts.num_people = 20000;
+  copts.num_addresses = 8000;
+  copts.num_rings = 60;
+  copts.ring_size = 4;
+  copts.seed = 42;
+  const Corpus corpus = generate_corpus(copts);
+  std::printf("corpus: %zu raw records, %u true people, %u addresses, %zu rings\n\n",
+              corpus.records.size(), corpus.num_people, corpus.num_addresses,
+              corpus.rings.size());
+
+  CanonicalFlow flow;
+  const auto r = flow.run_batch(corpus);
+
+  std::printf("--- batch path (per-stage) ---\n");
+  double total = 0.0;
+  for (const auto& t : r.timings) {
+    std::printf("  %-18s %8.1f ms  %s\n", t.stage.c_str(), t.seconds * 1e3,
+                t.detail.c_str());
+    total += t.seconds;
+  }
+  std::printf("  %-18s %8.1f ms\n\n", "TOTAL", total * 1e3);
+  std::printf("dedup quality: precision=%.3f recall=%.3f\n",
+              r.dedup_quality.precision, r.dedup_quality.recall);
+  std::printf("NORA: %zu relationships, planted-ring recall=%.3f\n",
+              r.num_relationships, r.ring_recall);
+  std::printf("selection -> %zu seeds; extraction -> %u vertices; analytic=%.4f\n\n",
+              r.seeds.size(), r.extracted_vertices, r.analytic_scalar);
+
+  // --- streaming path: new records arriving in real time ---
+  std::printf("--- streaming path ---\n");
+  core::Xoshiro256 rng(99);
+  core::PercentileSketch ingest_us, query_us;
+  std::size_t triggers = 0;
+  const std::size_t kIngest = 2000;
+  core::WallTimer t;
+  for (std::size_t i = 0; i < kIngest; ++i) {
+    RawRecord rec;
+    rec.record_id = 1000000 + i;
+    rec.first_name = "Str";
+    rec.last_name = "Newcomer" + std::to_string(rng.next_below(500));
+    rec.ssn = std::to_string(100000000 + rng.next_below(900000000));
+    rec.birth_year = 1950 + static_cast<std::uint32_t>(rng.next_below(50));
+    rec.address_id = static_cast<std::uint32_t>(
+        rng.next_below(corpus.num_addresses));
+    rec.ts = static_cast<std::int64_t>(1000000 + i);
+    t.restart();
+    triggers += flow.ingest_streaming(rec) ? 1 : 0;
+    ingest_us.add(t.micros());
+  }
+  std::printf("ingested %zu streaming records: %zu threshold triggers\n",
+              kIngest, triggers);
+  std::printf("ingest latency us: p50=%.1f p95=%.1f p99=%.1f\n",
+              ingest_us.percentile(0.5), ingest_us.percentile(0.95),
+              ingest_us.percentile(0.99));
+
+  const std::size_t kQueries = 2000;
+  std::size_t total_rels = 0;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto person = static_cast<vid_t>(rng.next_below(flow.store().num_people()));
+    t.restart();
+    total_rels += flow.query(person).size();
+    query_us.add(t.micros());
+  }
+  std::printf("%zu real-time NORA queries: %.2f relationships/query\n",
+              kQueries, static_cast<double>(total_rels) / kQueries);
+  std::printf("query latency us: p50=%.1f p95=%.1f p99=%.1f\n",
+              query_us.percentile(0.5), query_us.percentile(0.95),
+              query_us.percentile(0.99));
+  std::printf(
+      "\n(The streaming query path answers per-applicant relationship\n"
+      "questions directly, removing the weekly precompute — §III.)\n");
+  return 0;
+}

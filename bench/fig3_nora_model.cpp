@@ -1,0 +1,46 @@
+// Reproduces Fig. 3: "Performance Modeling of NORA Problem" — per-step
+// per-resource usage bars for the conventional configurations, with the
+// bounding resource marked, plus the §IV headline ratios.
+#include <cstdio>
+
+#include "archmodel/configs.hpp"
+#include "archmodel/nora_model.hpp"
+
+using namespace ga::archmodel;
+
+int main() {
+  std::printf("=== Fig. 3 reproduction: NORA performance model ===\n");
+  std::printf("Problem: 40 TB raw public records -> 6 TB persistent DB\n\n");
+
+  const auto steps = nora_steps();
+  const auto base = evaluate(baseline_2012(), steps);
+
+  for (const auto& cfg : fig3_configs()) {
+    const auto r = evaluate(cfg, steps);
+    std::printf("%s", format_result(r).c_str());
+    std::printf("  speedup vs baseline: %.2fx   perf/rack vs baseline: %.2fx\n\n",
+                speedup(r, base),
+                speedup(r, base) * base.racks / r.racks);
+  }
+
+  std::printf("--- Paper's §IV headline ratios (paper -> measured) ---\n");
+  const auto ratio = [&](const MachineConfig& m) {
+    return speedup(evaluate(m, steps), base);
+  };
+  std::printf("CPU-only upgrade:      +45%%   -> +%.0f%%\n",
+              (ratio(upgrade_cpu_only()) - 1.0) * 100.0);
+  std::printf("All-but-CPU:           >3x    -> %.2fx\n",
+              ratio(upgrade_all_but_cpu()));
+  std::printf("All upgrades:          8x     -> %.2fx\n", ratio(upgrade_all()));
+  std::printf("Lightweight (2 racks): ~equal -> %.2fx\n", ratio(lightweight()));
+  std::printf("Two-level (3 racks):   ~equal -> %.2fx\n",
+              ratio(two_level_memory()));
+  const auto s3 = evaluate(stack3d(), steps);
+  double best_step = 0.0;
+  for (std::size_t i = 0; i < s3.steps.size(); ++i) {
+    best_step = std::max(best_step, base.steps[i].seconds / s3.steps[i].seconds);
+  }
+  std::printf("3D stacks (1 rack):    up to 200x -> total %.1fx, best step %.0fx\n",
+              ratio(stack3d()), best_step);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Fig. 6: "Size-Performance Comparison for the NORA problem" —
+// racks vs relative performance for the conventional upgrades and the
+// three Emu migrating-thread generations.
+#include <cstdio>
+
+#include "archmodel/configs.hpp"
+#include "archmodel/nora_model.hpp"
+
+using namespace ga::archmodel;
+
+int main() {
+  std::printf("=== Fig. 6 reproduction: size vs performance (NORA) ===\n\n");
+  const auto steps = nora_steps();
+  const auto base = evaluate(baseline_2012(), steps);
+  const auto all = evaluate(upgrade_all(), steps);
+
+  std::printf("%-20s %6s %10s %12s %12s %10s\n", "config", "racks", "kW",
+              "speedup", "perf/rack", "vs All");
+  for (const auto& cfg : fig6_configs()) {
+    const auto r = evaluate(cfg, steps);
+    std::printf("%-20s %6.1f %10.1f %11.2fx %11.2fx %9.2fx\n",
+                cfg.name.c_str(), cfg.racks, r.total_watts / 1000.0,
+                speedup(r, base), speedup(r, base) * base.racks / r.racks,
+                speedup(r, all));
+  }
+
+  const auto e3 = evaluate(emu3(), steps);
+  std::printf("\n--- Paper's Fig. 6 headline (paper -> measured) ---\n");
+  std::printf("Emu3 in 1/10th hardware, 'up to 60X the best upgraded cluster':\n");
+  std::printf("  per-rack-normalized vs Upgrade-All: %.1fx\n",
+              speedup(e3, all) * all.racks / e3.racks);
+  double best_step = 0.0;
+  for (std::size_t i = 0; i < e3.steps.size(); ++i) {
+    best_step = std::max(best_step, all.steps[i].seconds / e3.steps[i].seconds);
+  }
+  std::printf("  best single step vs Upgrade-All:   %.1fx\n", best_step);
+  std::printf("  total vs 2012 baseline:             %.1fx\n", speedup(e3, base));
+  return 0;
+}

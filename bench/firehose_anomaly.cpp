@@ -1,0 +1,66 @@
+// Firehose-analog streaming anomaly benchmark (E9): throughput and
+// detection quality of the three Fig. 1 anomaly kernels on biased packet
+// streams, swept over stream size and key-domain size.
+#include <cstdio>
+
+#include "core/timer.hpp"
+#include "streaming/anomaly.hpp"
+
+using namespace ga;
+using namespace ga::streaming;
+
+int main() {
+  std::printf("=== Firehose-analog anomaly kernels (E9) ===\n\n");
+  std::printf("%-12s %-10s %-12s %10s %10s %10s %9s\n", "kernel", "keys",
+              "packets", "Mpkts/s", "precision", "recall", "events");
+
+  for (const std::uint64_t num_keys : {1ULL << 12, 1ULL << 16}) {
+    PacketStreamOptions opts;
+    opts.num_keys = num_keys;
+    opts.count = 1000000;
+    opts.anomalous_key_fraction = 0.01;
+    opts.bias = 0.9;
+    opts.base = 0.05;
+    opts.seed = 7;
+    const auto stream = generate_packet_stream(opts);
+
+    {
+      FixedKeyAnomaly det(num_keys);
+      core::WallTimer t;
+      for (const auto& p : stream.packets) det.ingest(p);
+      const double secs = t.seconds();
+      const auto q = score_detection(det.events(), stream.truth);
+      std::printf("%-12s %-10llu %-12zu %10.2f %10.3f %10.3f %9zu\n",
+                  "fixed-key", static_cast<unsigned long long>(num_keys),
+                  stream.packets.size(), stream.packets.size() / secs / 1e6,
+                  q.precision, q.recall, det.events().size());
+    }
+    {
+      UnboundedKeyAnomaly det(num_keys / 4);
+      core::WallTimer t;
+      for (const auto& p : stream.packets) det.ingest(p);
+      const double secs = t.seconds();
+      const auto q = score_detection(det.events(), stream.truth);
+      std::printf("%-12s %-10llu %-12zu %10.2f %10.3f %10.3f %9zu (evictions %llu)\n",
+                  "unbounded", static_cast<unsigned long long>(num_keys),
+                  stream.packets.size(), stream.packets.size() / secs / 1e6,
+                  q.precision, q.recall, det.events().size(),
+                  static_cast<unsigned long long>(det.evictions()));
+    }
+    {
+      TwoLevelKeyAnomaly det(64);
+      core::WallTimer t;
+      for (const auto& p : stream.packets) det.ingest(p);
+      const double secs = t.seconds();
+      const auto q = score_detection(det.events(), stream.truth);
+      std::printf("%-12s %-10llu %-12zu %10.2f %10.3f %10.3f %9zu\n",
+                  "two-level", static_cast<unsigned long long>(num_keys),
+                  stream.packets.size(), stream.packets.size() / secs / 1e6,
+                  q.precision, q.recall, det.events().size());
+    }
+  }
+  std::printf(
+      "\nShape: exact per-key state detects best; the bounded-memory form\n"
+      "trades recall for memory (its misses are evicted tail keys).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Jaccard kernel benchmark (E10, after [21] "Jaccard coefficients as a
+// potential graph benchmark"): the three output forms across graph
+// families — per-edge batch, top-k pruned, and per-vertex query — showing
+// how output class drives cost (the paper's O(|V|^k) discussion).
+#include <cstdio>
+
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "graph/generators.hpp"
+#include "kernels/jaccard.hpp"
+
+using namespace ga;
+using namespace ga::kernels;
+
+namespace {
+
+void run_family(const char* name, const graph::CSRGraph& g) {
+  std::printf("%-24s n=%-8u m=%-9llu\n", name, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  core::WallTimer t;
+
+  t.restart();
+  const auto edges = jaccard_all_edges(g);
+  double max_edge_j = 0.0;
+  for (const auto& p : edges) max_edge_j = std::max(max_edge_j, p.coefficient);
+  std::printf("  %-22s %9.1f ms  (%zu pairs, max J=%.3f)\n",
+              "all-edges batch", t.millis(), edges.size(), max_edge_j);
+
+  t.restart();
+  const auto top = jaccard_topk(g, 10);
+  std::printf("  %-22s %9.1f ms  (top J=%.3f)\n", "top-k over 2-hop pairs",
+              t.millis(), top.empty() ? 0.0 : top[0].coefficient);
+
+  t.restart();
+  std::size_t matches = 0;
+  const std::size_t kQueries = 256;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto q = static_cast<vid_t>((i * 2654435761u) % g.num_vertices());
+    matches += jaccard_query(g, q, 0.1).size();
+  }
+  std::printf("  %-22s %9.1f ms  (%zu queries, %.1f matches/query)\n\n",
+              "query form (J>=0.1)", t.millis(), kQueries,
+              static_cast<double>(matches) / kQueries);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Jaccard kernel forms across graph families (E10) ===\n\n");
+  run_family("RMAT scale 13",
+             graph::make_rmat({.scale = 13, .edge_factor = 8, .seed = 1}));
+  run_family("Erdos-Renyi d=16", graph::make_erdos_renyi(8192, 65536, 2));
+  run_family("Watts-Strogatz k=8",
+             graph::make_watts_strogatz(8192, 8, 0.1, 3));
+  run_family("Barabasi-Albert a=4",
+             graph::make_barabasi_albert(8192, 4, 4));
+  std::printf(
+      "Shape: all-pairs output grows with Sum(d^2) (power-law graphs pay\n"
+      "most); the query form is microseconds — the basis of the paper's\n"
+      "real-time NORA argument.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// google-benchmark microbenchmarks over the batch kernels and sparse
+// linear algebra (E11): per-kernel cost curves on RMAT inputs.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/clustering.hpp"
+#include "kernels/community.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/jaccard.hpp"
+#include "kernels/kcore.hpp"
+#include "kernels/mis.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/sssp.hpp"
+#include "kernels/triangles.hpp"
+#include "spla/spgemm.hpp"
+#include "streaming/update_stream.hpp"
+
+using namespace ga;
+
+namespace {
+
+const graph::CSRGraph& rmat(unsigned scale) {
+  static std::map<unsigned, graph::CSRGraph> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    it = cache.emplace(scale, graph::make_rmat({.scale = scale,
+                                                .edge_factor = 8,
+                                                .seed = 1})).first;
+  }
+  return it->second;
+}
+
+void BM_BfsDirectionOptimizing(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::bfs(g, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_BfsDirectionOptimizing)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_BfsTopDown(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::bfs(g, 0, kernels::BfsMode::kTopDown));
+  }
+}
+BENCHMARK(BM_BfsTopDown)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_DeltaStepping(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::delta_stepping(g, 0));
+  }
+}
+BENCHMARK(BM_DeltaStepping)->Arg(12)->Arg(14);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::wcc_union_find(g));
+  }
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_PageRank(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::pagerank(g));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(12)->Arg(14);
+
+void BM_TriangleCountForward(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::triangle_count_forward(g));
+  }
+}
+BENCHMARK(BM_TriangleCountForward)->Arg(12)->Arg(14);
+
+void BM_LocalClustering(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::local_clustering(g));
+  }
+}
+BENCHMARK(BM_LocalClustering)->Arg(12)->Arg(14);
+
+void BM_JaccardQuery(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  vid_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::jaccard_query(g, q, 0.1));
+    q = (q + 97) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_JaccardQuery)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_CoreNumbers(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::core_numbers(g));
+  }
+}
+BENCHMARK(BM_CoreNumbers)->Arg(12)->Arg(14);
+
+void BM_MisLuby(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::mis_luby(g, 1));
+  }
+}
+BENCHMARK(BM_MisLuby)->Arg(12)->Arg(14);
+
+void BM_CommunityLabelProp(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::community_label_propagation(g, 8));
+  }
+}
+BENCHMARK(BM_CommunityLabelProp)->Arg(12);
+
+void BM_Spgemm(benchmark::State& state) {
+  const auto& g = rmat(static_cast<unsigned>(state.range(0)));
+  const auto A = spla::CsrMatrix::adjacency(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spla::multiply(A, A));
+  }
+}
+BENCHMARK(BM_Spgemm)->Arg(10)->Arg(12);
+
+void BM_StreamingInserts(benchmark::State& state) {
+  const vid_t n = 1 << 16;
+  streaming::StreamOptions opts;
+  opts.count = 100000;
+  opts.delete_fraction = 0.1;
+  const auto stream = streaming::generate_stream(n, opts);
+  for (auto _ : state) {
+    graph::DynamicGraph g(n);
+    for (const auto& u : stream) {
+      if (u.kind == streaming::UpdateKind::kEdgeInsert) {
+        g.insert_edge(u.u, u.v, u.value, u.ts);
+      } else if (u.kind == streaming::UpdateKind::kEdgeDelete) {
+        g.delete_edge(u.u, u.v);
+      }
+    }
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_StreamingInserts);
+
+}  // namespace
+
+BENCHMARK_MAIN();

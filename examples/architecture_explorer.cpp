@@ -1,0 +1,59 @@
+// Architecture explorer: use the §IV performance model interactively-ish —
+// sweep a custom machine's resources over the NORA workload and print
+// where the bounding resource moves, then compare your design against the
+// paper's configurations. Demonstrates the archmodel public API.
+#include <cstdio>
+
+#include "archmodel/configs.hpp"
+#include "archmodel/nora_model.hpp"
+
+using namespace ga::archmodel;
+
+int main() {
+  const auto steps = nora_steps();
+  const auto base = evaluate(baseline_2012(), steps);
+  std::printf("reference: %s total %.0f s\n\n", base.machine.c_str(),
+              base.total_seconds);
+
+  // A hypothetical design: one rack of fat nodes; sweep its memory
+  // bandwidth and watch the bottleneck migrate.
+  std::printf("sweep: 1 rack x 32 nodes, 50 Gop/s/node, vary memory BW\n");
+  std::printf("%10s %12s %10s %28s\n", "mem GB/s", "total s", "speedup",
+              "steps bound by C/M/D/N");
+  for (double mem : {50.0, 100.0, 200.0, 400.0, 800.0, 1600.0}) {
+    MachineConfig m;
+    m.name = "custom";
+    m.racks = 1;
+    m.nodes_per_rack = 32;
+    m.giga_ops = 50;
+    m.latency_tolerance = 0.3;
+    m.mem_bw_gbs = mem;
+    m.disk_bw_gbs = 8;
+    m.net_bw_gbs = 25;
+    m.irregular_penalty = 8;
+    const auto r = evaluate(m, steps);
+    std::printf("%10.0f %12.1f %9.2fx %16d/%d/%d/%d\n", mem, r.total_seconds,
+                speedup(r, base), r.bound_counts[0], r.bound_counts[1],
+                r.bound_counts[2], r.bound_counts[3]);
+  }
+
+  std::printf("\nper-step detail at 200 GB/s:\n");
+  MachineConfig m;
+  m.name = "custom-200";
+  m.racks = 1;
+  m.nodes_per_rack = 32;
+  m.giga_ops = 50;
+  m.latency_tolerance = 0.3;
+  m.mem_bw_gbs = 200;
+  m.disk_bw_gbs = 8;
+  m.net_bw_gbs = 25;
+  std::printf("%s\n", format_result(evaluate(m, steps)).c_str());
+
+  std::printf("the paper's configurations for comparison:\n");
+  for (const auto& cfg : fig6_configs()) {
+    const auto r = evaluate(cfg, steps);
+    std::printf("  %-20s %6.1f racks %10.1f s %8.2fx\n", cfg.name.c_str(),
+                cfg.racks, r.total_seconds, speedup(r, base));
+  }
+  return 0;
+}

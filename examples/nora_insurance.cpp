@@ -1,0 +1,85 @@
+// The paper's §III motivating application end-to-end: an insurance NORA
+// (Non-Obvious Relationship Analysis) service. Builds the persistent
+// person-address graph from messy public records, runs the weekly batch
+// "boil", then serves real-time applicant queries and streaming record
+// ingest — demonstrating the paper's argument that streaming removes the
+// need for much of the precomputation.
+#include <cstdio>
+
+#include "core/timer.hpp"
+#include "pipeline/flow.hpp"
+
+using namespace ga;
+using namespace ga::pipeline;
+
+int main() {
+  // Synthetic stand-in for the 40+ TB public-records corpus (DESIGN.md
+  // substitution table): controlled duplicates, typos, and planted fraud
+  // rings that share addresses.
+  CorpusOptions copts;
+  copts.num_people = 10000;
+  copts.num_addresses = 4000;
+  copts.duplicate_rate = 0.5;
+  copts.typo_rate = 0.3;
+  copts.num_rings = 40;
+  copts.ring_size = 5;
+  copts.seed = 2026;
+  const Corpus corpus = generate_corpus(copts);
+  std::printf("ingesting %zu raw records about %u people...\n",
+              corpus.records.size(), copts.num_people);
+
+  CanonicalFlow flow;
+  BatchFlowOptions opts;
+  opts.analytic = "pagerank";
+  const auto batch = flow.run_batch(corpus, opts);
+
+  std::printf("\nweekly batch boil complete:\n");
+  for (const auto& t : batch.timings) {
+    std::printf("  %-18s %7.1f ms  %s\n", t.stage.c_str(), t.seconds * 1e3,
+                t.detail.c_str());
+  }
+  std::printf("dedup: precision %.3f / recall %.3f -> %zu entities\n",
+              batch.dedup_quality.precision, batch.dedup_quality.recall,
+              batch.num_entities);
+  std::printf("NORA found %zu relationships; planted-ring recall %.2f\n",
+              batch.num_relationships, batch.ring_recall);
+
+  // An applicant requests a quote: the insurer pulls their relationships
+  // in real time (the paper: "compute in real-time whatever relationships
+  // are relevant").
+  const vid_t applicant = batch.seeds.front();
+  core::WallTimer t;
+  const auto rels = flow.query(applicant);
+  std::printf("\napplicant (person vertex %u) quote check took %.1f us:\n",
+              applicant, t.micros());
+  for (std::size_t i = 0; i < rels.size() && i < 5; ++i) {
+    const auto& r = rels[i];
+    std::printf("  related to person %u: %u shared addresses%s (score %.1f)\n",
+                r.a == applicant ? r.b : r.a, r.shared_addresses,
+                r.same_surname ? " + same surname" : "", r.score);
+  }
+  if (rels.empty()) std::printf("  no non-obvious relationships — clean.\n");
+
+  // A new record arrives naming the applicant at a new address shared with
+  // someone else: the threshold test fires and the stored relationship
+  // properties update without a re-boil.
+  const auto& surnames = flow.store().properties().strings("last_name");
+  RawRecord rec;
+  rec.record_id = 999999;
+  rec.first_name = "Quote";
+  rec.last_name = surnames[applicant];
+  rec.birth_year = 1970;
+  rec.ssn = "";
+  // Move them into the first seed's known address to force a co-residency.
+  const auto addrs = flow.store().addresses_of(applicant);
+  rec.address_id = static_cast<std::uint32_t>(addrs.front() -
+                                              flow.store().num_people());
+  rec.ts = 5000000;
+  const bool fired = flow.ingest_streaming(rec);
+  std::printf("\nstreaming record ingested: threshold trigger %s\n",
+              fired ? "FIRED (relationship property updated in place)"
+                    : "absorbed (no new relationship)");
+  std::printf("total streaming triggers so far: %llu\n",
+              static_cast<unsigned long long>(flow.streaming_triggers()));
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "archmodel/configs.hpp"
+
+namespace ga::archmodel {
+
+// Baseline per [23]: 10 racks x 40 dual-socket 6-core 2.4 GHz blades,
+// ~0.16 GB/s local disk, ~0.1 GB/s network injection. Sustained IPC on
+// record-handling/graph code is well under 1; 0.25/core gives 7.2 Gop/s
+// per node.
+MachineConfig baseline_2012() {
+  MachineConfig m;
+  m.name = "Baseline-2012";
+  m.racks = 10;
+  m.nodes_per_rack = 40;
+  m.giga_ops = 12 * 2.4 * 0.5;  // 14.4 sustained on regular code
+  m.latency_tolerance = 0.08;
+  m.mem_bw_gbs = 40.0;
+  m.disk_bw_gbs = 0.16;
+  m.net_bw_gbs = 0.1;
+  m.watts_per_node = 400.0;
+  m.irregular_penalty = 16.0;  // 64B lines vs 4B graph words
+  return m;
+}
+
+// "More cores (24) at a higher clock rate (3 GHz)": a platform upgrade —
+// the new socket also brings a DDR generation (~2x peak memory BW), but
+// not the dedicated 3X-memory option below.
+MachineConfig upgrade_cpu_only() {
+  MachineConfig m = baseline_2012();
+  m.name = "Upgrade-CPU";
+  m.giga_ops = 24 * 3.0 * 0.5;  // 36 — 2.5x the baseline
+  m.latency_tolerance = 0.10;   // deeper miss queues
+  m.mem_bw_gbs = 80.0;
+  m.watts_per_node = 450.0;
+  return m;
+}
+
+MachineConfig upgrade_memory_only() {
+  MachineConfig m = baseline_2012();
+  m.name = "Upgrade-Memory";
+  m.mem_bw_gbs = 120.0;  // 3X
+  return m;
+}
+
+MachineConfig upgrade_disk_only() {
+  MachineConfig m = baseline_2012();
+  m.name = "Upgrade-Disk";
+  m.disk_bw_gbs = 6.4;  // SSD/RAMdisk: 40x
+  return m;
+}
+
+MachineConfig upgrade_network_only() {
+  MachineConfig m = baseline_2012();
+  m.name = "Upgrade-Network";
+  m.net_bw_gbs = 24.0;  // InfiniBand
+  return m;
+}
+
+MachineConfig upgrade_all_but_cpu() {
+  MachineConfig m = baseline_2012();
+  m.name = "Upgrade-AllButCPU";
+  m.mem_bw_gbs = 120.0;
+  m.disk_bw_gbs = 6.4;
+  m.net_bw_gbs = 24.0;
+  m.watts_per_node = 500.0;
+  return m;
+}
+
+MachineConfig upgrade_all() {
+  MachineConfig m = upgrade_all_but_cpu();
+  m.name = "Upgrade-All";
+  m.giga_ops = 24 * 3.0 * 0.5;
+  m.latency_tolerance = 0.10;
+  // The 3X-memory option stacks on the new platform's 2x DDR generation.
+  m.mem_bw_gbs = 240.0;
+  m.watts_per_node = 550.0;
+  return m;
+}
+
+// HPE Moonshot-style: 2 racks of dense low-power cartridges. Per node:
+// 8 small cores at 1.5 GHz with lower IPC, modest memory, local flash,
+// and a decent fabric NIC. Lower compute makes compute the bound on
+// several steps (the paper: 4 of the 9).
+MachineConfig lightweight(double racks) {
+  MachineConfig m;
+  m.name = "Lightweight-ARM";
+  m.racks = racks;
+  m.nodes_per_rack = 360;
+  m.giga_ops = 8 * 1.5 * 0.40;  // 4.8
+  m.latency_tolerance = 0.10;
+  m.mem_bw_gbs = 12.0;
+  m.disk_bw_gbs = 1.0;
+  m.net_bw_gbs = 2.5;
+  m.watts_per_node = 35.0;
+  m.irregular_penalty = 16.0;
+  return m;
+}
+
+// X-Caliber / Knights-Landing-like: two-level memory with close-in 3D
+// stacks: large regular AND irregular bandwidth (finer-grain access cuts
+// the line-waste penalty), NVMe storage, fat links.
+MachineConfig two_level_memory(double racks) {
+  MachineConfig m;
+  m.name = "TwoLevel-XCaliber";
+  m.racks = racks;
+  m.nodes_per_rack = 16;         // fat two-level-memory nodes
+  m.giga_ops = 32 * 2.0 * 0.5;  // 32
+  m.latency_tolerance = 0.25;  // 4-way SMT rides out part of the stalls
+  m.mem_bw_gbs = 400.0;          // stacked close memory
+  m.disk_bw_gbs = 12.0;          // NVM tier
+  m.net_bw_gbs = 24.0;
+  m.watts_per_node = 500.0;
+  m.irregular_penalty = 6.0;     // sub-line sector access to the stack
+  return m;
+}
+
+// "Sea of stacks": processing moved to the base of every 3D memory stack;
+// DRAM + NVM in-stack (no separate disk), NIC-less stack-to-stack fabric.
+// One rack holds hundreds of stacks; accesses are word-granular.
+MachineConfig stack3d(double racks) {
+  MachineConfig m;
+  m.name = "3DStack-Sea";
+  m.racks = racks;
+  m.nodes_per_rack = 512;        // stacks per rack
+  m.giga_ops = 64 * 1.0 * 0.50;  // 32 — many simple near-memory cores
+  m.latency_tolerance = 1.0;   // barrel-style threading at the stack base
+  m.mem_bw_gbs = 320.0;          // per-stack internal bandwidth
+  m.disk_bw_gbs = 24.0;          // in-stack NVM at near-memory speed
+  m.net_bw_gbs = 32.0;           // stack fabric
+  m.watts_per_node = 40.0;
+  m.irregular_penalty = 1.0;     // word-granular near-memory access
+  return m;
+}
+
+// Emu1: the current migrating-thread design extended to rack size (FPGA
+// nodelets: low clock). Gossamer cores never stall on remote data (threads
+// migrate), so effective memory bandwidth is word-granular, and network
+// demand is halved (one-way thread ships vs request+reply).
+MachineConfig emu1(double racks) {
+  MachineConfig m;
+  m.name = "Emu1-rack";
+  m.racks = racks;
+  m.nodes_per_rack = 64;         // 8-nodelet nodes
+  m.giga_ops = 8 * 4 * 0.175;    // nodelets x GCs x FPGA-clock ops: 5.6
+  m.latency_tolerance = 1.0;     // 64 threads per GC: never latency-bound
+  m.mem_bw_gbs = 80.0;           // per-node aggregate nodelet channels
+  m.disk_bw_gbs = 2.0;
+  m.net_bw_gbs = 6.0;
+  m.watts_per_node = 60.0;
+  m.irregular_penalty = 1.0;     // all references are local after migration
+  m.net_demand_factor = 0.5;     // one-way migration traffic
+  return m;
+}
+
+// Emu2: ASIC in place of the FPGA (~8x clock).
+MachineConfig emu2(double racks) {
+  MachineConfig m = emu1(racks);
+  m.name = "Emu2-ASIC";
+  m.giga_ops = 8 * 4 * 1.4;      // 44.8
+  m.mem_bw_gbs = 160.0;
+  m.net_bw_gbs = 12.0;
+  m.watts_per_node = 80.0;
+  return m;
+}
+
+// Emu3: the Emu architecture as the base logic die of a 3D memory stack —
+// stack3d densities with migrating-thread semantics.
+MachineConfig emu3(double racks) {
+  MachineConfig m;
+  m.name = "Emu3-3DStack";
+  m.racks = racks;
+  m.nodes_per_rack = 512;
+  m.giga_ops = 160 * 1.0 * 0.50; // 80 — dozens of nodelets per stack
+  m.latency_tolerance = 1.0;
+  m.mem_bw_gbs = 640.0;          // stacked vault bandwidth, 2 gens out
+  m.disk_bw_gbs = 24.0;
+  m.net_bw_gbs = 32.0;
+  m.watts_per_node = 40.0;
+  m.irregular_penalty = 1.0;
+  m.net_demand_factor = 0.5;
+  return m;
+}
+
+std::vector<MachineConfig> fig3_configs() {
+  return {baseline_2012(),      upgrade_cpu_only(),  upgrade_memory_only(),
+          upgrade_disk_only(),  upgrade_network_only(), upgrade_all_but_cpu(),
+          upgrade_all(),        lightweight(),       two_level_memory(),
+          stack3d()};
+}
+
+std::vector<MachineConfig> fig6_configs() {
+  auto v = fig3_configs();
+  v.push_back(emu1());
+  v.push_back(emu2());
+  v.push_back(emu3());
+  return v;
+}
+
+}  // namespace ga::archmodel

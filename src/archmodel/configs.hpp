@@ -1,0 +1,33 @@
+// The machine configurations of §IV and §V.B (Figs. 3 & 6): the 2012
+// baseline, its single-component and combined upgrades, the lightweight
+// (Moonshot/ARM) system, the X-Caliber two-level-memory system, the
+// 3D-stack "sea of memory stacks", and the three Emu migrating-thread
+// generations (Emu1 FPGA rack, Emu2 ASIC, Emu3 3D stack).
+#pragma once
+
+#include <vector>
+
+#include "archmodel/machine.hpp"
+
+namespace ga::archmodel {
+
+MachineConfig baseline_2012();          // 10 racks of 2012 Xeon blades
+MachineConfig upgrade_cpu_only();       // new microprocessor platform only
+MachineConfig upgrade_memory_only();    // 3X memory bandwidth
+MachineConfig upgrade_disk_only();      // SSD/RAMdisk storage
+MachineConfig upgrade_network_only();   // InfiniBand up to 24 GB/s
+MachineConfig upgrade_all_but_cpu();
+MachineConfig upgrade_all();
+MachineConfig lightweight(double racks = 2.0);   // ARM/Moonshot style
+MachineConfig two_level_memory(double racks = 3.0);  // X-Caliber style
+MachineConfig stack3d(double racks = 1.0);       // sea of 3D memory stacks
+MachineConfig emu1(double racks = 1.0);          // current design at rack scale
+MachineConfig emu2(double racks = 1.0);          // ASIC implementation
+MachineConfig emu3(double racks = 1.0);          // 3D-stack implementation
+
+/// The Fig. 3 set (conventional + near-term) in presentation order.
+std::vector<MachineConfig> fig3_configs();
+/// The Fig. 6 set (adds the Emu generations).
+std::vector<MachineConfig> fig6_configs();
+
+}  // namespace ga::archmodel

@@ -1,0 +1,45 @@
+#include "archmodel/machine.hpp"
+
+#include "core/common.hpp"
+
+namespace ga::archmodel {
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kCompute: return "compute";
+    case Resource::kMemory: return "memory";
+    case Resource::kDisk: return "disk";
+    case Resource::kNetwork: return "network";
+  }
+  return "?";
+}
+
+double MachineConfig::capacity(Resource r) const {
+  const double n = num_nodes();
+  switch (r) {
+    case Resource::kCompute: return n * giga_ops;
+    case Resource::kMemory: return n * mem_bw_gbs;
+    case Resource::kDisk: return n * disk_bw_gbs;
+    case Resource::kNetwork: return n * net_bw_gbs;
+  }
+  GA_ASSERT(false);
+  return 0.0;
+}
+
+double MachineConfig::effective_compute_capacity(double irregularity) const {
+  GA_CHECK(irregularity >= 0.0 && irregularity <= 1.0,
+           "irregularity must be in [0,1]");
+  return num_nodes() * giga_ops *
+         ((1.0 - irregularity) + irregularity * latency_tolerance);
+}
+
+double MachineConfig::effective_mem_capacity(double irregularity) const {
+  GA_CHECK(irregularity >= 0.0 && irregularity <= 1.0,
+           "irregularity must be in [0,1]");
+  // Blend: regular fraction at peak, irregular fraction at peak/penalty.
+  const double eff_per_node =
+      mem_bw_gbs * ((1.0 - irregularity) + irregularity / irregular_penalty);
+  return num_nodes() * eff_per_node;
+}
+
+}  // namespace ga::archmodel

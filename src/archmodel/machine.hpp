@@ -1,0 +1,65 @@
+// Parameterized machine model for the NORA performance study (§IV,
+// Figs. 3 & 6). A configuration is racks × nodes × per-node capability in
+// the four resources the paper models: instruction processing rate, memory
+// bandwidth, disk bandwidth, and network injection bandwidth.
+//
+// Irregular-access handling is the model's key architectural
+// differentiator: conventional cache-line machines waste most of a line on
+// random single-word accesses, so their EFFECTIVE memory bandwidth on an
+// irregular step is peak/irregular_penalty. Near-memory architectures
+// (3D stacks, migrating threads) access at word granularity and keep their
+// peak (penalty ~1). Migrating-thread machines additionally halve network
+// demand (one-way thread ship vs request+reply; §V.B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/common.hpp"
+
+namespace ga::archmodel {
+
+enum class Resource : std::uint8_t { kCompute = 0, kMemory, kDisk, kNetwork };
+inline constexpr std::array<Resource, 4> kAllResources = {
+    Resource::kCompute, Resource::kMemory, Resource::kDisk, Resource::kNetwork};
+const char* resource_name(Resource r);
+
+struct MachineConfig {
+  std::string name;
+  double racks = 1.0;
+  double nodes_per_rack = 40.0;
+
+  // Per-node capabilities.
+  double giga_ops = 10.0;      // sustained Gop/s (cores * GHz * IPC)
+  double mem_bw_gbs = 40.0;    // peak GB/s
+  double disk_bw_gbs = 0.16;   // GB/s
+  double net_bw_gbs = 0.1;     // injection GB/s
+  double watts_per_node = 400.0;
+
+  /// Cache-line waste factor on fully irregular access (≈ line bytes /
+  /// useful bytes). 8 for 64B-line machines touching 8B words; ~1 for
+  /// word-granular near-memory designs.
+  double irregular_penalty = 8.0;
+  /// Network demand multiplier: 1.0 conventional (request+reply), 0.5 for
+  /// migrating threads (one-way state ship).
+  double net_demand_factor = 1.0;
+  /// Fraction of peak instruction rate retained on fully irregular
+  /// (dependent random access) code. Conventional cores stall to a few
+  /// percent of peak on pointer chasing; heavily multithreaded near-memory
+  /// designs (Emu Gossamer cores, stack-base cores) stay near 1.0.
+  double latency_tolerance = 0.10;
+
+  /// Effective compute capacity for a step with given irregularity.
+  double effective_compute_capacity(double irregularity) const;
+
+  double num_nodes() const { return racks * nodes_per_rack; }
+  double total_watts() const { return num_nodes() * watts_per_node; }
+
+  /// Aggregate capacity for a resource in Gunits/s.
+  double capacity(Resource r) const;
+  /// Effective memory capacity for a step with given irregularity in [0,1].
+  double effective_mem_capacity(double irregularity) const;
+};
+
+}  // namespace ga::archmodel

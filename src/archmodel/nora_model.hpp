@@ -1,0 +1,63 @@
+// The 9-step NORA application demand model (§IV, [23]): each step demands
+// work from the four resources as a function of problem size; on a given
+// machine the step's execution time is set by its BOUNDING resource
+// (tallest bar in Fig. 3) and total time is the sum over steps.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "archmodel/machine.hpp"
+
+namespace ga::archmodel {
+
+struct NoraProblem {
+  double raw_tb = 40.0;        // undeduped public-records input (paper: 40+ TB)
+  double deduped_tb = 6.0;     // persistent database (paper: 4-7+ TB)
+  double ops_per_byte = 2.0;   // base compute intensity of record handling
+};
+
+/// One pipeline step's total demand (absolute units: Gops / GB).
+struct StepDemand {
+  std::string name;
+  double ops_gop = 0.0;       // instructions (Gop)
+  double mem_gb = 0.0;        // memory traffic (GB, at word granularity)
+  double mem_irregularity = 0.0;  // fraction of memory traffic that is random
+  double disk_gb = 0.0;       // disk traffic (GB)
+  double net_gb = 0.0;        // network traffic (GB)
+};
+
+/// The canonical 9 steps: ingest, parse/clean, block/shuffle, dedup-join,
+/// build-graph, NORA relationship pass, aggregate, rank/sort, publish.
+std::vector<StepDemand> nora_steps(const NoraProblem& p = {});
+
+struct StepResult {
+  std::string name;
+  /// Time each resource alone would need (seconds) — the four bars of
+  /// Fig. 3 for this step.
+  std::array<double, 4> resource_seconds{};
+  Resource bounding = Resource::kCompute;
+  double seconds = 0.0;  // max of the four
+};
+
+struct ModelResult {
+  std::string machine;
+  std::vector<StepResult> steps;
+  double total_seconds = 0.0;
+  double total_watts = 0.0;
+  double racks = 0.0;
+  /// Count of steps bound by each resource.
+  std::array<int, 4> bound_counts{};
+};
+
+ModelResult evaluate(const MachineConfig& m,
+                     const std::vector<StepDemand>& steps);
+
+/// Speedup of `m` over `baseline` on the same steps.
+double speedup(const ModelResult& m, const ModelResult& baseline);
+
+/// Render a Fig. 3-style per-step table (resource seconds + bounding).
+std::string format_result(const ModelResult& r);
+
+}  // namespace ga::archmodel

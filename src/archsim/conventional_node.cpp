@@ -1,0 +1,59 @@
+#include "archsim/conventional_node.hpp"
+
+#include <algorithm>
+
+#include "core/common.hpp"
+
+namespace ga::archsim {
+
+ConventionalNodeConfig ConventionalNodeConfig::xt4() { return {}; }
+
+ConventionalNodeConfig ConventionalNodeConfig::xk7() {
+  ConventionalNodeConfig c;
+  c.name = "xk7-node";
+  c.clock_ghz = 2.2;
+  c.superscalar = 4;          // Interlagos module, wider core
+  c.miss_penalty_cycles = 160.0;
+  c.cache_bytes = 2.0 * 1024 * 1024;
+  c.mlp_overlap = 0.60;
+  c.watts_per_node = 300.0;   // includes the (idle, for SpGEMM) GPU share
+  return c;
+}
+
+ConvReport simulate_conventional_spgemm(const ConventionalNodeConfig& cfg,
+                                        const spla::CsrMatrix& A,
+                                        const spla::CsrMatrix& B,
+                                        const spla::SpgemmStats& stats) {
+  GA_CHECK(A.cols() == B.rows(), "simulate_conventional_spgemm: shape mismatch");
+  // Per multiply: a load of the B element, a load/store on the scattered
+  // accumulator, plus loop/index arithmetic (~6 ops).
+  const double accesses_per_mul = 2.0;
+  const double work_ops_per_mul = 6.0;
+  const double total_accesses =
+      static_cast<double>(stats.multiplies) * accesses_per_mul +
+      static_cast<double>(stats.rows_touched) * 4.0;  // row-pointer derefs
+  // Miss rate scales with how badly B + the accumulator spill the cache
+  // (12 bytes per stored nonzero: 4-byte index + 8-byte value).
+  const double footprint = static_cast<double>(B.nnz()) * 12.0;
+  const double miss_rate =
+      cfg.max_miss_rate * std::min(1.0, footprint / cfg.cache_bytes);
+  const double misses = total_accesses * miss_rate;
+  const double stall_cycles =
+      misses * cfg.miss_penalty_cycles * (1.0 - cfg.mlp_overlap);
+  const double work_cycles =
+      static_cast<double>(stats.multiplies) * work_ops_per_mul /
+      cfg.superscalar;
+  const double cycles = work_cycles + stall_cycles;
+  ConvReport r;
+  r.machine = cfg.name;
+  r.cache_misses = static_cast<std::uint64_t>(misses);
+  r.seconds = cycles / (cfg.clock_ghz * 1e9);
+  r.watts = cfg.watts_per_node;
+  if (r.seconds > 0.0) {
+    r.gflops = static_cast<double>(stats.multiplies) / r.seconds / 1e9;
+    r.gflops_per_watt = r.gflops / r.watts;
+  }
+  return r;
+}
+
+}  // namespace ga::archsim

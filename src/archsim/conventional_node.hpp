@@ -1,0 +1,53 @@
+// Cache-hierarchy node model (Cray XT4-class and XK7-class) for the same
+// SpGEMM instances the sparse accelerator runs (§V.A comparison). On very
+// sparse operands the inner Gustavson loop is dominated by random accesses
+// into B's rows and the scattered accumulator: most loads miss, and each
+// miss drags a full cache line for one useful word.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spla/spgemm.hpp"
+
+namespace ga::archsim {
+
+struct ConventionalNodeConfig {
+  std::string name = "xt4-node";
+  double clock_ghz = 2.3;        // Opteron-class
+  unsigned superscalar = 2;      // sustained ops/cycle on streaming code
+  double miss_penalty_cycles = 180.0;  // DRAM round trip
+  double line_bytes = 64.0;
+  double word_bytes = 8.0;
+  /// Peak miss probability once the working set spills the cache
+  /// (very sparse matrices have no reuse to save them).
+  double max_miss_rate = 0.6;
+  /// Last-level cache capacity; the achieved miss rate scales with the
+  /// matrix footprint relative to this.
+  double cache_bytes = 1.0 * 1024 * 1024;
+  /// Overlap factor: fraction of miss latency hidden by the OoO window.
+  double mlp_overlap = 0.55;
+  double watts_per_node = 250.0;
+
+  static ConventionalNodeConfig xt4();   // the paper's node comparison
+  static ConventionalNodeConfig xk7();   // Titan-class rack comparison
+};
+
+struct SimReport;  // from sparse_accel.hpp
+
+/// Simulate C = A*B on a conventional node (same stats object).
+struct ConvReport {
+  std::string machine;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double watts = 0.0;
+  double gflops_per_watt = 0.0;
+  std::uint64_t cache_misses = 0;
+};
+
+ConvReport simulate_conventional_spgemm(const ConventionalNodeConfig& cfg,
+                                        const spla::CsrMatrix& A,
+                                        const spla::CsrMatrix& B,
+                                        const spla::SpgemmStats& stats);
+
+}  // namespace ga::archsim

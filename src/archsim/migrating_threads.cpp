@@ -1,0 +1,154 @@
+#include "archsim/migrating_threads.hpp"
+
+#include <algorithm>
+
+namespace ga::archsim {
+
+MigratingThreadConfig MigratingThreadConfig::chick() { return {}; }
+
+MigratingThreadConfig MigratingThreadConfig::rack_asic() {
+  MigratingThreadConfig c;
+  c.name = "emu-rack-asic";
+  c.nodes = 64;
+  c.clock_ghz = 1.4;
+  c.migration_cycles = 350.0;  // same ~250 ns wire time at the faster clock
+  c.watts = 64 * 80.0;
+  return c;
+}
+
+namespace {
+
+/// Average link traversals for a message in a small system (fixed small
+/// hop count keeps the model simple; both machines use the same value so
+/// it cancels in the comparison except for the request+reply doubling).
+constexpr double kAvgHops = 2.0;
+
+}  // namespace
+
+MtReport run_migrating(const MigratingThreadConfig& cfg,
+                       const std::vector<Trace>& threads,
+                       std::uint64_t words) {
+  GA_CHECK(words > 0, "run_migrating: empty address space");
+  const unsigned n_nodelets = cfg.total_nodelets();
+  const std::uint64_t words_per_nodelet = ceil_div(words, n_nodelets);
+
+  // Busy cycles accumulated at each nodelet, network cycles on links.
+  std::vector<double> nodelet_cycles(n_nodelets, 0.0);
+  double total_latency_cycles = 0.0;
+  std::uint64_t touches = 0;
+  MtReport r;
+  r.machine = cfg.name;
+
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    // Threads start at the nodelet owning their first touch.
+    unsigned here = threads[t].empty()
+                        ? static_cast<unsigned>(t % n_nodelets)
+                        : static_cast<unsigned>((threads[t][0].addr % words) /
+                                                words_per_nodelet);
+    for (const Touch& touch : threads[t]) {
+      const auto owner =
+          static_cast<unsigned>((touch.addr % words) / words_per_nodelet);
+      double lat = 0.0;
+      if (owner != here && touch.fire_and_forget) {
+        // Launch a single-function remote thread: tiny one-way packet,
+        // issuing thread stays put; the work lands at the owner.
+        ++r.migrations_or_remote_ops;
+        r.network_byte_hops += static_cast<std::uint64_t>(
+            cfg.spawn_packet_bytes * kAvgHops);
+        nodelet_cycles[here] += cfg.spawn_issue_cycles;
+        nodelet_cycles[owner] +=
+            cfg.local_access_cycles * touch.words + touch.ops;
+        total_latency_cycles += cfg.spawn_issue_cycles;  // fire and forget
+        r.local_accesses += touch.words;
+        ++touches;
+        continue;
+      }
+      if (owner != here) {
+        // Migrate: one one-way ship of the thread state.
+        ++r.migrations_or_remote_ops;
+        r.network_byte_hops += static_cast<std::uint64_t>(
+            cfg.thread_state_bytes * kAvgHops);
+        lat += cfg.migration_cycles;
+        here = owner;
+      }
+      r.local_accesses += touch.words;
+      const double work =
+          cfg.local_access_cycles * touch.words + touch.ops;
+      lat += work;
+      nodelet_cycles[here] += work;
+      total_latency_cycles += lat;
+      ++touches;
+    }
+  }
+  // Concurrency model: nodelet work overlaps across the GC thread pool;
+  // migrations pipeline behind it. Makespan = max nodelet occupancy plus
+  // the migration cycles that cannot hide behind fewer-than-needed threads
+  // (with 64 threads/GC they effectively all hide; charge a 2% residue).
+  const double makespan_cycles =
+      *std::max_element(nodelet_cycles.begin(), nodelet_cycles.end()) +
+      0.02 * static_cast<double>(r.migrations_or_remote_ops) *
+          cfg.migration_cycles / n_nodelets;
+  r.seconds = makespan_cycles / (cfg.clock_ghz * 1e9);
+  if (touches > 0) {
+    r.avg_op_latency_us =
+        total_latency_cycles / touches / (cfg.clock_ghz * 1e9) * 1e6;
+  }
+  if (r.seconds > 0.0) {
+    r.throughput_mops = static_cast<double>(touches) / r.seconds / 1e6;
+  }
+  return r;
+}
+
+MtReport run_conventional(const ConventionalClusterConfig& cfg,
+                          const std::vector<Trace>& threads,
+                          std::uint64_t words) {
+  GA_CHECK(words > 0, "run_conventional: empty address space");
+  const std::uint64_t words_per_node = ceil_div(words, cfg.nodes);
+  std::vector<double> node_cycles(cfg.nodes, 0.0);
+  double total_latency_cycles = 0.0;
+  std::uint64_t touches = 0;
+  MtReport r;
+  r.machine = cfg.name;
+
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    // A conventional thread is pinned to a home node.
+    const auto home = static_cast<unsigned>(t % cfg.nodes);
+    for (const Touch& touch : threads[t]) {
+      const auto owner =
+          static_cast<unsigned>((touch.addr % words) / words_per_node);
+      double lat = touch.ops;
+      if (owner != home) {
+        // One request+reply round trip per dependent word (they serialize:
+        // the next access depends on the previous reply).
+        r.migrations_or_remote_ops += touch.words;
+        r.network_byte_hops += static_cast<std::uint64_t>(
+            (cfg.request_bytes + cfg.reply_bytes) * kAvgHops * touch.words);
+        lat += cfg.remote_latency_cycles * touch.words;
+        // The round trips occupy the issuing core except what the
+        // async-runtime concurrency hides.
+        node_cycles[home] += touch.ops + cfg.remote_latency_cycles *
+                                             touch.words /
+                                             static_cast<double>(cfg.concurrency);
+      } else {
+        r.local_accesses += touch.words;
+        lat += cfg.local_access_cycles * touch.words;
+        node_cycles[home] += touch.ops + cfg.local_access_cycles * touch.words;
+      }
+      total_latency_cycles += lat;
+      ++touches;
+    }
+  }
+  const double makespan_cycles =
+      *std::max_element(node_cycles.begin(), node_cycles.end());
+  r.seconds = makespan_cycles / (cfg.clock_ghz * 1e9);
+  if (touches > 0) {
+    r.avg_op_latency_us =
+        total_latency_cycles / touches / (cfg.clock_ghz * 1e9) * 1e6;
+  }
+  if (r.seconds > 0.0) {
+    r.throughput_mops = static_cast<double>(touches) / r.seconds / 1e6;
+  }
+  return r;
+}
+
+}  // namespace ga::archsim

@@ -1,0 +1,102 @@
+// Behavioral simulator of the Fig. 5 migrating-thread (Emu) architecture
+// [16], and of a conventional remote-memory cluster executing the SAME
+// memory-access traces. The modeled contrast is the paper's §V.B claim:
+// pointer-chasing with migrating threads consumes "half or less the
+// bandwidth and latency" of remote reads, because a migration is ONE
+// one-way network traversal carrying the thread state, while a remote
+// read is a request AND a reply.
+//
+// The machine: nodes × nodelets, each nodelet owning a memory channel and
+// a set of heavily multithreaded Gossamer Cores. Data is block-distributed
+// across nodelets. A thread executes instructions at its current nodelet;
+// touching an address owned elsewhere suspends and ships it. Concurrency
+// is modeled by accumulating busy cycles per nodelet (threads hide each
+// other's latency); makespan = max nodelet occupancy + network serialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::archsim {
+
+/// A thread's behavior is a trace of object touches. A touch names the
+/// object's address, how many DEPENDENT words must be accessed there
+/// (e.g. read a pointer, then atomically update a field = 2), and the
+/// instructions executed afterwards. A conventional thread pays one
+/// request+reply round trip per dependent word when the object is remote;
+/// a migrating thread ships once and does every access locally.
+struct Touch {
+  std::uint64_t addr = 0;   // word address in the global shared space
+  std::uint32_t words = 1;  // dependent word accesses at this object
+  std::uint32_t ops = 1;    // instructions executed after the access
+  /// Fire-and-forget: the result is not needed (e.g. a random table
+  /// update). The migrating-thread machine services these with a tiny
+  /// single-function remote thread ("instructions may be invoked that
+  /// launch tiny single-function threads", §V.B) — one small one-way
+  /// packet, and the issuing thread does NOT move. The conventional
+  /// machine can likewise use a one-way remote write (no reply), but
+  /// still pays full message headers per word.
+  bool fire_and_forget = false;
+};
+using Trace = std::vector<Touch>;
+
+struct MigratingThreadConfig {
+  std::string name = "emu-chick";
+  unsigned nodes = 8;
+  unsigned nodelets_per_node = 8;
+  unsigned gcs_per_nodelet = 4;
+  unsigned threads_per_gc = 64;
+  double clock_ghz = 0.175;          // FPGA Gossamer clock
+  double local_access_cycles = 6.0;  // nodelet-local DRAM via channel
+  double migration_cycles = 90.0;    // suspend+package+ship+resume (one way)
+  std::uint32_t thread_state_bytes = 96;  // registers + PC + header
+  /// Payload of a spawned single-function remote thread (opcode+addr+operand).
+  std::uint32_t spawn_packet_bytes = 32;
+  double spawn_issue_cycles = 2.0;   // one instruction + launch overhead
+  double watts = 250.0;
+
+  unsigned total_nodelets() const { return nodes * nodelets_per_node; }
+  static MigratingThreadConfig chick();       // 8-node deskside (current)
+  static MigratingThreadConfig rack_asic();   // Emu2-class
+};
+
+struct ConventionalClusterConfig {
+  std::string name = "mpi-cluster";
+  unsigned nodes = 8;
+  double clock_ghz = 2.4;
+  double local_access_cycles = 4.0;
+  double remote_latency_cycles = 2400.0;  // ~1 us request+reply round trip
+  std::uint32_t request_bytes = 40;   // header + address
+  std::uint32_t reply_bytes = 72;     // header + data word(s)
+  /// Outstanding remote ops per node (software pipelining / async runtime).
+  unsigned concurrency = 16;
+  double watts = 8 * 350.0;
+};
+
+struct MtReport {
+  std::string machine;
+  double seconds = 0.0;
+  std::uint64_t local_accesses = 0;
+  std::uint64_t migrations_or_remote_ops = 0;
+  /// Total bytes × link-traversals injected into the network (the §V.B
+  /// bandwidth comparison: one-way state ship vs request+reply).
+  std::uint64_t network_byte_hops = 0;
+  double avg_op_latency_us = 0.0;   // mean completion latency per touch
+  double throughput_mops = 0.0;     // touches per second / 1e6
+};
+
+/// Run traces on the migrating-thread machine. Addresses are interpreted
+/// modulo the nodelet-distributed space of `words` words.
+MtReport run_migrating(const MigratingThreadConfig& cfg,
+                       const std::vector<Trace>& threads,
+                       std::uint64_t words);
+
+/// Run the SAME traces on a conventional cluster with remote reads.
+MtReport run_conventional(const ConventionalClusterConfig& cfg,
+                          const std::vector<Trace>& threads,
+                          std::uint64_t words);
+
+}  // namespace ga::archsim

@@ -1,0 +1,53 @@
+// Behavioral model of the Fig. 4 sparse linear-algebra accelerator
+// ([27],[28]): address generators stream pairs of sparse vectors out of a
+// memory built for irregular access, a hardware merge sorter aligns
+// matching indices, and a MAC ALU retires one useful multiply-accumulate
+// per lane per cycle. CSR/CSC are hardwired, so there is no pointer
+// chasing and no cache-line waste: cycles are proportional to the useful
+// nonzero work, not to the random-access pattern.
+//
+// The simulator is event-count based: it is driven by the exact SpGEMM
+// instance (via ga::spla::SpgemmStats) that the conventional-node model
+// also runs, so the comparison isolates the architectural effect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spla/spgemm.hpp"
+
+namespace ga::archsim {
+
+struct SparseAccelConfig {
+  std::string name = "accel-fpga";
+  unsigned nodes = 8;            // prototype: 8 FPGA nodes
+  double clock_ghz = 0.2;        // FPGA fabric clock
+  unsigned mac_lanes = 8;        // parallel sorter/MAC pipelines per node
+  /// Pipeline overhead cycles to launch one (A-row, B-row) vector pair
+  /// through the address generator / sorter.
+  double row_setup_cycles = 4.0;
+  /// Cycles per output nonzero to write back through the sparse formatter.
+  double writeback_cycles = 0.25;
+  double watts_per_node = 25.0;
+
+  static SparseAccelConfig fpga_prototype() { return {}; }
+  static SparseAccelConfig asic();  // projected ASIC (§V.A: another ~10x)
+};
+
+struct SimReport {
+  std::string machine;
+  double seconds = 0.0;
+  double gflops = 0.0;           // useful multiplies / second / 1e9
+  double watts = 0.0;
+  double gflops_per_watt = 0.0;
+  std::uint64_t useful_ops = 0;
+};
+
+/// Simulate C = A*B on the accelerator. `stats` must come from running the
+/// same instance through ga::spla::spgemm.
+SimReport simulate_accel_spgemm(const SparseAccelConfig& cfg,
+                                const spla::CsrMatrix& A,
+                                const spla::CsrMatrix& B,
+                                const spla::SpgemmStats& stats);
+
+}  // namespace ga::archsim

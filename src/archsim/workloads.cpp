@@ -1,0 +1,92 @@
+#include "archsim/workloads.hpp"
+
+#include <algorithm>
+
+#include "core/hash.hpp"
+#include "core/prng.hpp"
+#include "kernels/bfs.hpp"
+
+namespace ga::archsim {
+
+std::vector<Trace> pointer_chase_traces(unsigned num_threads,
+                                        unsigned chain_len,
+                                        std::uint64_t words,
+                                        std::uint64_t seed) {
+  GA_CHECK(words > 1, "pointer_chase: table too small");
+  core::Xoshiro256 rng(seed);
+  std::vector<Trace> traces(num_threads);
+  for (auto& tr : traces) {
+    tr.reserve(chain_len);
+    std::uint64_t cur = rng.next_below(words);
+    for (unsigned i = 0; i < chain_len; ++i) {
+      // Next pointer is a hash of the current cell (dependent chain).
+      // Each hop reads the next-pointer then atomically updates a field:
+      // two dependent words at the object.
+      tr.push_back({cur, 2, 2});
+      cur = core::mix64(cur ^ seed) % words;
+    }
+  }
+  return traces;
+}
+
+std::vector<Trace> random_update_traces(unsigned num_threads,
+                                        unsigned updates_per_thread,
+                                        std::uint64_t words,
+                                        std::uint64_t seed,
+                                        bool fire_and_forget) {
+  core::Xoshiro256 rng(seed);
+  std::vector<Trace> traces(num_threads);
+  for (auto& tr : traces) {
+    tr.reserve(updates_per_thread);
+    for (unsigned i = 0; i < updates_per_thread; ++i) {
+      tr.push_back({rng.next_below(words), 1, 1, fire_and_forget});
+    }
+  }
+  return traces;
+}
+
+std::vector<Trace> bfs_traces(const graph::CSRGraph& g, vid_t source,
+                              unsigned num_threads) {
+  GA_CHECK(num_threads > 0, "bfs_traces: need >= 1 thread");
+  const auto result = kernels::bfs(g, source, kernels::BfsMode::kTopDown);
+  // Reconstruct the visit order by level, then deal edges round-robin.
+  std::vector<vid_t> order;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (result.dist[v] != kInfDist) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    return result.dist[a] != result.dist[b] ? result.dist[a] < result.dist[b]
+                                            : a < b;
+  });
+  std::vector<Trace> traces(num_threads);
+  std::size_t t = 0;
+  for (vid_t u : order) {
+    traces[t % num_threads].push_back({u, 1, 1});
+    for (vid_t v : g.out_neighbors(u)) {
+      traces[t % num_threads].push_back({v, 1, 2});  // check + label
+    }
+    ++t;
+  }
+  return traces;
+}
+
+std::vector<Trace> jaccard_query_traces(const graph::CSRGraph& g,
+                                        const std::vector<vid_t>& queries) {
+  std::vector<Trace> traces;
+  traces.reserve(queries.size());
+  for (vid_t q : queries) {
+    GA_CHECK(q < g.num_vertices(), "jaccard query out of range");
+    Trace tr;
+    tr.push_back({q, 1, 2});
+    for (vid_t w : g.out_neighbors(q)) {
+      tr.push_back({w, 1, 2});  // fetch neighbor list header
+      for (vid_t v : g.out_neighbors(w)) {
+        tr.push_back({v, 1, 3});  // accumulate shared-count (hash update)
+      }
+    }
+    traces.push_back(std::move(tr));
+  }
+  return traces;
+}
+
+}  // namespace ga::archsim

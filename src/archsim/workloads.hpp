@@ -1,0 +1,46 @@
+// Trace generators driving the migrating-thread vs conventional-cluster
+// comparison (§V.B): pointer chasing with atomic updates, GUPS-style
+// random table updates, BFS edge streaming, and the streaming-Jaccard
+// query service whose "10s of microseconds" response time the paper
+// projects. Addresses are graph vertex ids (one word per vertex stands in
+// for the vertex's adjacency header — the thing a traversal must touch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "archsim/migrating_threads.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace ga::archsim {
+
+/// Dependent random chains: each thread follows `chain_len` pointers
+/// through a `words`-word table ("pointer-chasing with atomic updates").
+std::vector<Trace> pointer_chase_traces(unsigned num_threads,
+                                        unsigned chain_len,
+                                        std::uint64_t words,
+                                        std::uint64_t seed = 1);
+
+/// Independent random updates into a large table (GUPS-like; the paper's
+/// "random updates into a very large table" single-function threads).
+/// `fire_and_forget=true` marks the touches so the migrating machine uses
+/// spawned single-function remote threads instead of migrating.
+std::vector<Trace> random_update_traces(unsigned num_threads,
+                                        unsigned updates_per_thread,
+                                        std::uint64_t words,
+                                        std::uint64_t seed = 1,
+                                        bool fire_and_forget = false);
+
+/// Edge-following traces from a BFS over g: one thread per frontier chunk,
+/// touching each discovered neighbor.
+std::vector<Trace> bfs_traces(const graph::CSRGraph& g, vid_t source,
+                              unsigned num_threads);
+
+/// Streaming Jaccard query service: one trace per query vertex — touch the
+/// query vertex, each neighbor, and each 2-hop neighbor, with the merge
+/// ops accounted. Returns one Trace per query so per-query latency can be
+/// reported.
+std::vector<Trace> jaccard_query_traces(const graph::CSRGraph& g,
+                                        const std::vector<vid_t>& queries);
+
+}  // namespace ga::archsim

@@ -1,0 +1,60 @@
+// Fixed-size bitmap with optional atomic set, used for BFS frontiers and
+// visited sets. Word-level layout so direction-optimizing BFS can scan
+// 64 vertices per load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::core {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::uint64_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::uint64_t size() const { return size_; }
+
+  void reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  bool get(std::uint64_t i) const {
+    GA_ASSERT(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::uint64_t i) {
+    GA_ASSERT(i < size_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  /// Atomically set bit i; returns true if this call flipped it 0->1.
+  /// Safe for concurrent writers (BFS frontier insertion).
+  bool set_atomic(std::uint64_t i) {
+    GA_ASSERT(i < size_);
+    auto* w = reinterpret_cast<std::atomic<std::uint64_t>*>(&words_[i >> 6]);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t old = w->fetch_or(mask, std::memory_order_relaxed);
+    return (old & mask) == 0;
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  void swap(Bitmap& other) {
+    std::swap(size_, other.size_);
+    words_.swap(other.words_);
+  }
+
+ private:
+  std::uint64_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ga::core

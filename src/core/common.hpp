@@ -1,0 +1,58 @@
+// Common scalar types, error macros, and small utilities shared by every
+// ga_* library. Kept intentionally tiny: this header is included everywhere.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ga {
+
+/// Vertex identifier. 32 bits covers graphs to 4B vertices, which is far
+/// beyond what this single-node reproduction materializes; edge counts use
+/// 64 bits so CSR offsets never overflow.
+using vid_t = std::uint32_t;
+/// Edge identifier / CSR offset.
+using eid_t = std::uint64_t;
+
+/// Sentinel "no vertex" value.
+inline constexpr vid_t kInvalidVid = std::numeric_limits<vid_t>::max();
+/// Sentinel "unreachable" distance for integer-distance kernels.
+inline constexpr std::uint32_t kInfDist = std::numeric_limits<std::uint32_t>::max();
+
+/// Thrown on API misuse (bad arguments, inconsistent inputs). Internal
+/// invariant violations use GA_ASSERT and abort instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Validate a user-facing precondition; throws ga::Error on failure.
+#define GA_CHECK(cond, msg)                                        \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      throw ::ga::Error(std::string("GA_CHECK failed: ") + (msg)); \
+    }                                                              \
+  } while (0)
+
+/// Internal invariant; aborts (never throws) so it is usable in noexcept
+/// hot paths. Compiled in all build types: the cost is negligible next to
+/// the memory traffic of the kernels it guards.
+#define GA_ASSERT(cond)                                                       \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "GA_ASSERT failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace ga

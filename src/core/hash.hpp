@@ -1,0 +1,42 @@
+// Hashing helpers used by dedup blocking keys, anomaly-kernel key tables,
+// and the edge-dedup hash sets.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ga::core {
+
+/// 64-bit finalizer (Murmur3 fmix64): good avalanche for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Order-dependent combine (Boost-style, 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a over a byte string: stable across runs (unlike std::hash).
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Canonical undirected-edge key: order-independent pair hash input.
+constexpr std::uint64_t edge_key(std::uint32_t u, std::uint32_t v) {
+  const std::uint64_t lo = u < v ? u : v;
+  const std::uint64_t hi = u < v ? v : u;
+  return (hi << 32) | lo;
+}
+
+}  // namespace ga::core

@@ -1,0 +1,62 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/common.hpp"
+
+namespace ga::core {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileSketch::percentile(double q) const {
+  GA_CHECK(!values_.empty(), "percentile of empty sketch");
+  GA_CHECK(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const auto n = values_.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;  // nearest-rank, 0-indexed
+  if (rank >= n) rank = n - 1;
+  return values_[rank];
+}
+
+void Log2Histogram::add(std::uint64_t v) {
+  std::size_t bucket = 0;
+  if (v > 0) bucket = static_cast<std::size_t>(64 - __builtin_clzll(v));
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
+    const std::uint64_t hi = b == 0 ? 0 : (1ULL << b) - 1;
+    os << "[" << lo << "," << hi << "]: " << buckets_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ga::core

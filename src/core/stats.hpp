@@ -1,0 +1,56 @@
+// Streaming summary statistics and fixed-bucket histograms.
+// Used by degree-distribution reporting, anomaly detection baselines,
+// and the bench harnesses' latency summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ga::core {
+
+/// Welford single-pass mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile estimator over a retained sample (exact if all values kept).
+class PercentileSketch {
+ public:
+  void add(double x) { values_.push_back(x); }
+  /// q in [0,1]; nearest-rank on the sorted sample.
+  double percentile(double q) const;
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// log2-bucketed histogram of nonnegative integer values (degree dists).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t v);
+  /// One "bucket_lo..bucket_hi: count" line per occupied bucket.
+  std::string to_string() const;
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace ga::core

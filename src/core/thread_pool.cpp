@@ -1,0 +1,100 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ga::core {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The caller is worker 0, so spawn one fewer thread.
+  workers_.reserve(num_threads - 1);
+  for (unsigned i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::drain(Region& r) {
+  const std::uint64_t grain = r.grain;
+  for (;;) {
+    const std::uint64_t b = r.cursor.fetch_add(grain, std::memory_order_relaxed);
+    if (b >= r.end) break;
+    const std::uint64_t e = std::min(b + grain, r.end);
+    (*r.body)(b, e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      region = active_;
+    }
+    if (region == nullptr) continue;
+    drain(*region);
+    if (region->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out wakes the caller.
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<std::uint64_t>(1, grain);
+  const std::uint64_t n = end - begin;
+  // Serial fast path: tiny ranges or no extra workers.
+  if (workers_.empty() || n <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  // One region at a time: concurrent top-level callers queue here.
+  std::lock_guard<std::mutex> region_lock(region_mu_);
+
+  // Shift the range so the cursor starts at `begin`.
+  Region region;
+  region.cursor.store(begin, std::memory_order_relaxed);
+  region.end = end;
+  region.grain = grain;
+  region.body = &body;
+  region.remaining.store(static_cast<unsigned>(workers_.size()),
+                         std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_ = &region;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  drain(region);  // caller participates
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return region.remaining.load(std::memory_order_acquire) == 0;
+  });
+  active_ = nullptr;
+}
+
+}  // namespace ga::core

@@ -1,0 +1,97 @@
+// Minimal work-sharing thread pool with blocked parallel_for/parallel_reduce.
+// The design follows the OpenMP "parallel for, static-ish chunking" idiom but
+// stays pure std::thread so the library has no runtime dependency beyond
+// pthreads. On a 1-core host everything degrades to the serial path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::core {
+
+/// Fixed-size pool of worker threads executing blocked index ranges.
+/// Threads are created once and parked on a condition variable between
+/// parallel regions; a region hands out [begin,end) chunks via an atomic
+/// cursor (dynamic self-scheduling, which tolerates the irregular per-vertex
+/// costs typical of power-law graphs far better than static chunking).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(chunk_begin, chunk_end) across [begin, end) in chunks of
+  /// roughly `grain` indices. The calling thread participates. Blocking:
+  /// returns when every index has been processed. Safe to call from
+  /// multiple threads concurrently (regions are serialized); do NOT call
+  /// from inside a parallel_for body on the same pool.
+  void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                    const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  /// Process-wide default pool (lazily constructed, sized to hardware).
+  static ThreadPool& global();
+
+ private:
+  struct Region {
+    std::atomic<std::uint64_t> cursor{0};
+    std::uint64_t end = 0;
+    std::uint64_t grain = 1;
+    const std::function<void(std::uint64_t, std::uint64_t)>* body = nullptr;
+    std::atomic<unsigned> remaining{0};  // workers still draining chunks
+  };
+
+  void worker_loop();
+  void drain(Region& r);
+
+  std::vector<std::thread> workers_;
+  std::mutex region_mu_;  // serializes whole parallel_for regions
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Region* active_ = nullptr;   // guarded by mu_ for pointer hand-off
+  std::uint64_t epoch_ = 0;    // bumped per region so workers see new work
+  bool stop_ = false;
+};
+
+/// Convenience: parallel_for over the global pool with per-index body.
+template <typename Fn>
+void parallel_for_each(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                       Fn&& fn) {
+  std::function<void(std::uint64_t, std::uint64_t)> body =
+      [&fn](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) fn(i);
+      };
+  ThreadPool::global().parallel_for(begin, end, grain, body);
+}
+
+/// Parallel reduction: applies `map(i)` to each index and combines with
+/// `combine`, starting from `init` per worker-chunk then across chunks.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                  T init, Map&& map, Combine&& combine) {
+  std::mutex mu;
+  T total = init;
+  std::function<void(std::uint64_t, std::uint64_t)> body =
+      [&](std::uint64_t b, std::uint64_t e) {
+        T local = init;
+        for (std::uint64_t i = b; i < e; ++i) local = combine(local, map(i));
+        std::lock_guard<std::mutex> lk(mu);
+        total = combine(total, local);
+      };
+  ThreadPool::global().parallel_for(begin, end, grain, body);
+  return total;
+}
+
+}  // namespace ga::core

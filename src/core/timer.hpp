@@ -1,0 +1,23 @@
+// Wall-clock timer for the bench harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace ga::core {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ga::core

@@ -1,0 +1,65 @@
+// Bounded top-k tracker: keeps the k largest (score, item) pairs seen.
+// Used by selection criteria ("top k vertices by property"), streaming
+// top-k centrality tracking, and Jaccard top-k outputs — the paper's
+// O(|V|^k) output class is always truncated to "some top k values".
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::core {
+
+template <typename Item, typename Score = double>
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) { GA_CHECK(k > 0, "TopK requires k > 0"); }
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Current admission threshold: smallest retained score (or lowest
+  /// possible if not yet full).
+  Score threshold() const {
+    if (heap_.size() < k_) return std::numeric_limits<Score>::lowest();
+    return heap_.front().first;
+  }
+
+  /// Offers an item; returns true if it was admitted to the top-k.
+  bool offer(Score score, Item item) {
+    if (heap_.size() < k_) {
+      heap_.emplace_back(score, std::move(item));
+      std::push_heap(heap_.begin(), heap_.end(), MinCmp{});
+      return true;
+    }
+    if (score <= heap_.front().first) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), MinCmp{});
+    heap_.back() = {score, std::move(item)};
+    std::push_heap(heap_.begin(), heap_.end(), MinCmp{});
+    return true;
+  }
+
+  /// Extracts contents sorted by descending score (ties: stable by heap
+  /// order, i.e. unspecified — callers needing total order sort items too).
+  std::vector<std::pair<Score, Item>> sorted_desc() const {
+    auto out = heap_;
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+    return out;
+  }
+
+ private:
+  struct MinCmp {
+    bool operator()(const std::pair<Score, Item>& a,
+                    const std::pair<Score, Item>& b) const {
+      return a.first > b.first;  // min-heap on score
+    }
+  };
+  std::size_t k_;
+  std::vector<std::pair<Score, Item>> heap_;
+};
+
+}  // namespace ga::core

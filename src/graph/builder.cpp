@@ -1,0 +1,69 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace ga::graph {
+
+CSRGraph build_csr(std::vector<Edge> edges, vid_t num_vertices,
+                   const BuildOptions& opts) {
+  vid_t n = num_vertices;
+  if (n == 0) {
+    for (const Edge& e : edges) n = std::max({n, e.u + 1, e.v + 1});
+  } else {
+    for (const Edge& e : edges) {
+      GA_CHECK(e.u < n && e.v < n, "edge endpoint out of range");
+    }
+  }
+
+  if (opts.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  }
+
+  if (!opts.directed) {
+    // Symmetrize: store the reverse arc for every edge.
+    const std::size_t m = edges.size();
+    edges.reserve(m * 2);
+    for (std::size_t i = 0; i < m; ++i) {
+      Edge r = edges[i];
+      std::swap(r.u, r.v);
+      edges.push_back(r);
+    }
+  }
+
+  // Sort by (source, target); stable so the first-seen weight of a
+  // duplicate arc wins after unique().
+  std::stable_sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  if (opts.dedup_parallel_edges) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.u + 1];
+  for (vid_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<vid_t> targets(edges.size());
+  std::vector<float> weights;
+  if (opts.keep_weights) weights.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    targets[i] = edges[i].v;
+    if (opts.keep_weights) weights[i] = edges[i].w;
+  }
+  return CSRGraph(std::move(offsets), std::move(targets), std::move(weights),
+                  opts.directed);
+}
+
+CSRGraph build_undirected(std::vector<Edge> edges, vid_t num_vertices) {
+  BuildOptions opts;
+  opts.directed = false;
+  return build_csr(std::move(edges), num_vertices, opts);
+}
+
+CSRGraph build_directed(std::vector<Edge> edges, vid_t num_vertices) {
+  BuildOptions opts;
+  opts.directed = true;
+  return build_csr(std::move(edges), num_vertices, opts);
+}
+
+}  // namespace ga::graph

@@ -1,0 +1,101 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+namespace ga::graph {
+
+CSRGraph::CSRGraph(std::vector<eid_t> offsets, std::vector<vid_t> targets,
+                   std::vector<float> weights, bool directed)
+    : directed_(directed),
+      offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)) {
+  GA_CHECK(!offsets_.empty(), "CSR offsets must have n+1 entries");
+  GA_CHECK(offsets_.back() == targets_.size(),
+           "CSR offsets/targets size mismatch");
+  GA_CHECK(weights_.empty() || weights_.size() == targets_.size(),
+           "CSR weights must be empty or parallel to targets");
+  n_ = static_cast<vid_t>(offsets_.size() - 1);
+}
+
+bool CSRGraph::has_edge(vid_t u, vid_t v) const {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+float CSRGraph::edge_weight(vid_t u, vid_t v) const {
+  const auto nbrs = out_neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  GA_CHECK(it != nbrs.end() && *it == v, "edge_weight: arc not present");
+  if (!weighted()) return 1.0f;
+  return weights_[offsets_[u] + static_cast<eid_t>(it - nbrs.begin())];
+}
+
+void CSRGraph::ensure_transpose() {
+  if (has_transpose()) return;
+  in_offsets_.assign(n_ + 1, 0);
+  for (vid_t t : targets_) ++in_offsets_[t + 1];
+  for (vid_t i = 0; i < n_; ++i) in_offsets_[i + 1] += in_offsets_[i];
+  in_targets_.resize(targets_.size());
+  std::vector<eid_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (vid_t u = 0; u < n_; ++u) {
+    for (vid_t v : out_neighbors(u)) in_targets_[cursor[v]++] = u;
+  }
+  // Sort each in-adjacency list for binary-search parity with out-lists.
+  for (vid_t v = 0; v < n_; ++v) {
+    std::sort(in_targets_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v]),
+              in_targets_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v + 1]));
+  }
+}
+
+eid_t CSRGraph::in_degree(vid_t u) const {
+  GA_ASSERT(u < n_);
+  if (!directed_) return out_degree(u);
+  GA_CHECK(!in_offsets_.empty(), "call ensure_transpose() first");
+  return in_offsets_[u + 1] - in_offsets_[u];
+}
+
+std::span<const vid_t> CSRGraph::in_neighbors(vid_t u) const {
+  GA_ASSERT(u < n_);
+  if (!directed_) return out_neighbors(u);
+  GA_CHECK(!in_offsets_.empty(), "call ensure_transpose() first");
+  return {in_targets_.data() + in_offsets_[u],
+          static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u])};
+}
+
+CSRGraph CSRGraph::transposed() const {
+  std::vector<eid_t> off(n_ + 1, 0);
+  for (vid_t t : targets_) ++off[t + 1];
+  for (vid_t i = 0; i < n_; ++i) off[i + 1] += off[i];
+  std::vector<vid_t> tgt(targets_.size());
+  std::vector<float> wts(weights_.empty() ? 0 : targets_.size());
+  std::vector<eid_t> cursor(off.begin(), off.end() - 1);
+  for (vid_t u = 0; u < n_; ++u) {
+    const auto nbrs = out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const eid_t slot = cursor[nbrs[i]]++;
+      tgt[slot] = u;
+      if (!wts.empty()) wts[slot] = weights_[offsets_[u] + i];
+    }
+  }
+  // Per-vertex sort (weights must follow their targets).
+  for (vid_t v = 0; v < n_; ++v) {
+    const auto b = static_cast<std::ptrdiff_t>(off[v]);
+    const auto e = static_cast<std::ptrdiff_t>(off[v + 1]);
+    if (wts.empty()) {
+      std::sort(tgt.begin() + b, tgt.begin() + e);
+    } else {
+      std::vector<std::pair<vid_t, float>> tmp;
+      tmp.reserve(static_cast<std::size_t>(e - b));
+      for (auto i = b; i < e; ++i) tmp.emplace_back(tgt[i], wts[i]);
+      std::sort(tmp.begin(), tmp.end());
+      for (auto i = b; i < e; ++i) {
+        tgt[i] = tmp[static_cast<std::size_t>(i - b)].first;
+        wts[i] = tmp[static_cast<std::size_t>(i - b)].second;
+      }
+    }
+  }
+  return CSRGraph(std::move(off), std::move(tgt), std::move(wts), directed_);
+}
+
+}  // namespace ga::graph

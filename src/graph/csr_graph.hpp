@@ -1,0 +1,86 @@
+// Immutable Compressed-Sparse-Row graph: the batch-analytics substrate.
+// Out-adjacency is always present; in-adjacency is built on demand for
+// pull-style kernels (PageRank pull, bottom-up BFS on directed graphs).
+// Adjacency lists are sorted by target id, which enables O(log d) edge
+// lookup and merge-based triangle/Jaccard kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::graph {
+
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. offsets.size() == n+1,
+  /// targets.size() == offsets[n]. weights may be empty (unweighted) or
+  /// parallel to targets. `directed` records whether the edge set is
+  /// symmetric (undirected graphs are stored with both arcs present).
+  CSRGraph(std::vector<eid_t> offsets, std::vector<vid_t> targets,
+           std::vector<float> weights, bool directed);
+
+  vid_t num_vertices() const { return n_; }
+  /// Number of stored arcs (for an undirected graph this is 2x the number
+  /// of logical edges).
+  eid_t num_arcs() const { return static_cast<eid_t>(targets_.size()); }
+  /// Logical edge count: arcs for directed, arcs/2 for undirected.
+  eid_t num_edges() const { return directed_ ? num_arcs() : num_arcs() / 2; }
+  bool directed() const { return directed_; }
+  bool weighted() const { return !weights_.empty(); }
+
+  eid_t out_degree(vid_t u) const {
+    GA_ASSERT(u < n_);
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  std::span<const vid_t> out_neighbors(vid_t u) const {
+    GA_ASSERT(u < n_);
+    return {targets_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  std::span<const float> out_weights(vid_t u) const {
+    GA_ASSERT(u < n_ && weighted());
+    return {weights_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// O(log d) membership test on the sorted adjacency of u.
+  bool has_edge(vid_t u, vid_t v) const;
+
+  /// Weight of arc (u,v); kInfDist-like behaviour is the caller's concern —
+  /// requires the arc to exist.
+  float edge_weight(vid_t u, vid_t v) const;
+
+  const std::vector<eid_t>& offsets() const { return offsets_; }
+  const std::vector<vid_t>& targets() const { return targets_; }
+  const std::vector<float>& weights() const { return weights_; }
+
+  /// In-adjacency accessors. For undirected graphs these alias the
+  /// out-adjacency; for directed graphs the transpose is built lazily by
+  /// build_transpose() (kernels that need it call ensure_transpose()).
+  void ensure_transpose();
+  bool has_transpose() const { return !directed_ || !in_offsets_.empty(); }
+  eid_t in_degree(vid_t u) const;
+  std::span<const vid_t> in_neighbors(vid_t u) const;
+
+  /// Returns the transposed graph as a standalone CSRGraph (directed only).
+  CSRGraph transposed() const;
+
+ private:
+  vid_t n_ = 0;
+  bool directed_ = false;
+  std::vector<eid_t> offsets_;
+  std::vector<vid_t> targets_;
+  std::vector<float> weights_;
+  // Lazily built transpose (directed graphs only).
+  std::vector<eid_t> in_offsets_;
+  std::vector<vid_t> in_targets_;
+};
+
+}  // namespace ga::graph

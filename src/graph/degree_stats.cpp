@@ -1,0 +1,55 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/stats.hpp"
+
+namespace ga::graph {
+
+DegreeStats compute_degree_stats(const CSRGraph& g) {
+  DegreeStats out;
+  core::RunningStats rs;
+  core::Log2Histogram hist;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const eid_t d = g.out_degree(u);
+    rs.add(static_cast<double>(d));
+    hist.add(d);
+    if (d == 0) ++out.isolated_vertices;
+    if (d > out.max_degree) {
+      out.max_degree = d;
+      out.argmax = u;
+    }
+  }
+  out.mean_degree = rs.mean();
+  out.stddev_degree = rs.stddev();
+  out.log2_histogram = hist.to_string();
+  return out;
+}
+
+std::vector<double> degree_property(const CSRGraph& g) {
+  std::vector<double> deg(g.num_vertices());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    deg[u] = static_cast<double>(g.out_degree(u));
+  }
+  return deg;
+}
+
+double degree_gini(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return 0.0;
+  std::vector<eid_t> deg(n);
+  for (vid_t u = 0; u < n; ++u) deg[u] = g.out_degree(u);
+  std::sort(deg.begin(), deg.end());
+  // G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n), i 1-based over sorted x.
+  long double weighted = 0.0L, total = 0.0L;
+  for (vid_t i = 0; i < n; ++i) {
+    weighted += static_cast<long double>(i + 1) * deg[i];
+    total += deg[i];
+  }
+  if (total == 0.0L) return 0.0;
+  const long double nn = n;
+  return static_cast<double>(2.0L * weighted / (nn * total) - (nn + 1.0L) / nn);
+}
+
+}  // namespace ga::graph

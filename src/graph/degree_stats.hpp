@@ -1,0 +1,31 @@
+// Degree-distribution reporting: the vertex out-degree property the paper
+// uses as its first example of a vertex property (§I), plus distribution
+// summaries used when characterizing generated inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::graph {
+
+struct DegreeStats {
+  eid_t max_degree = 0;
+  vid_t argmax = kInvalidVid;
+  double mean_degree = 0.0;
+  double stddev_degree = 0.0;
+  vid_t isolated_vertices = 0;
+  std::string log2_histogram;  // occupied log2 buckets
+};
+
+DegreeStats compute_degree_stats(const CSRGraph& g);
+
+/// Per-vertex out-degree as a dense property column.
+std::vector<double> degree_property(const CSRGraph& g);
+
+/// Gini coefficient of the degree distribution — a skew scalar that
+/// separates RMAT (high) from Erdős–Rényi (low) inputs.
+double degree_gini(const CSRGraph& g);
+
+}  // namespace ga::graph

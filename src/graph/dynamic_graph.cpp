@@ -1,0 +1,177 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <algorithm>
+
+namespace ga::graph {
+
+DynamicGraph::DynamicGraph(vid_t num_vertices, bool directed)
+    : directed_(directed),
+      heads_(num_vertices, kNoBlock),
+      degrees_(num_vertices, 0) {}
+
+void DynamicGraph::add_vertices(vid_t count) {
+  heads_.resize(heads_.size() + count, kNoBlock);
+  degrees_.resize(degrees_.size() + count, 0);
+}
+
+DynamicGraph::Slot* DynamicGraph::find_slot(vid_t u, vid_t v) {
+  GA_ASSERT(u < heads_.size());
+  for (std::uint32_t b = heads_[u]; b != kNoBlock; b = blocks_[b].next) {
+    for (Slot& s : blocks_[b].slots) {
+      if (s.nbr == v) return &s;
+    }
+  }
+  return nullptr;
+}
+
+const DynamicGraph::Slot* DynamicGraph::find_slot(vid_t u, vid_t v) const {
+  return const_cast<DynamicGraph*>(this)->find_slot(u, v);
+}
+
+void DynamicGraph::emplace(vid_t u, vid_t v, float w, std::int64_t ts) {
+  // Reuse a hole in the existing chain if any.
+  for (std::uint32_t b = heads_[u]; b != kNoBlock; b = blocks_[b].next) {
+    for (Slot& s : blocks_[b].slots) {
+      if (s.nbr == kInvalidVid) {
+        s = {v, w, ts};
+        ++degrees_[u];
+        return;
+      }
+    }
+  }
+  // Allocate a block (recycled if possible) and prepend it to the chain.
+  std::uint32_t nb;
+  if (!free_blocks_.empty()) {
+    nb = free_blocks_.back();
+    free_blocks_.pop_back();
+    blocks_[nb] = Block{};
+  } else {
+    nb = static_cast<std::uint32_t>(blocks_.size());
+    blocks_.emplace_back();
+  }
+  blocks_[nb].next = heads_[u];
+  heads_[u] = nb;
+  blocks_[nb].slots[0] = {v, w, ts};
+  ++degrees_[u];
+}
+
+DynamicGraph::InsertResult DynamicGraph::insert_edge(vid_t u, vid_t v, float w,
+                                                     std::int64_t ts) {
+  GA_CHECK(u < heads_.size() && v < heads_.size(),
+           "insert_edge: vertex out of range");
+  GA_CHECK(u != v, "insert_edge: self loops unsupported");
+  if (Slot* s = find_slot(u, v)) {
+    s->w = w;
+    s->ts = ts;
+    if (!directed_) {
+      Slot* r = find_slot(v, u);
+      GA_ASSERT(r != nullptr);
+      r->w = w;
+      r->ts = ts;
+    }
+    return InsertResult::kUpdated;
+  }
+  emplace(u, v, w, ts);
+  if (!directed_) emplace(v, u, w, ts);
+  ++num_edges_;
+  return InsertResult::kInserted;
+}
+
+bool DynamicGraph::erase_arc(vid_t u, vid_t v) {
+  std::uint32_t prev = kNoBlock;
+  for (std::uint32_t b = heads_[u]; b != kNoBlock; prev = b, b = blocks_[b].next) {
+    Block& blk = blocks_[b];
+    bool hit = false;
+    bool any_live = false;
+    for (Slot& s : blk.slots) {
+      if (s.nbr == v) {
+        s.nbr = kInvalidVid;
+        hit = true;
+      } else if (s.nbr != kInvalidVid) {
+        any_live = true;
+      }
+    }
+    if (hit) {
+      --degrees_[u];
+      if (!any_live) {
+        // Unlink and recycle the now-empty block.
+        if (prev == kNoBlock) {
+          heads_[u] = blk.next;
+        } else {
+          blocks_[prev].next = blk.next;
+        }
+        free_blocks_.push_back(b);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
+  GA_CHECK(u < heads_.size() && v < heads_.size(),
+           "delete_edge: vertex out of range");
+  if (!erase_arc(u, v)) return false;
+  if (!directed_) {
+    const bool r = erase_arc(v, u);
+    GA_ASSERT(r);
+  }
+  --num_edges_;
+  return true;
+}
+
+bool DynamicGraph::has_edge(vid_t u, vid_t v) const {
+  GA_CHECK(u < heads_.size() && v < heads_.size(),
+           "has_edge: vertex out of range");
+  return find_slot(u, v) != nullptr;
+}
+
+float DynamicGraph::edge_weight_or(vid_t u, vid_t v, float fallback) const {
+  const Slot* s = find_slot(u, v);
+  return s != nullptr ? s->w : fallback;
+}
+
+void DynamicGraph::for_each_neighbor(
+    vid_t u,
+    const std::function<void(vid_t, float, std::int64_t)>& fn) const {
+  GA_CHECK(u < heads_.size(), "for_each_neighbor: vertex out of range");
+  for (std::uint32_t b = heads_[u]; b != kNoBlock; b = blocks_[b].next) {
+    for (const Slot& s : blocks_[b].slots) {
+      if (s.nbr != kInvalidVid) fn(s.nbr, s.w, s.ts);
+    }
+  }
+}
+
+std::vector<vid_t> DynamicGraph::neighbors_sorted(vid_t u) const {
+  std::vector<vid_t> out;
+  out.reserve(degrees_[u]);
+  for_each_neighbor(u, [&](vid_t v, float, std::int64_t) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CSRGraph DynamicGraph::snapshot(bool keep_weights) const {
+  const vid_t n = num_vertices();
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t u = 0; u < n; ++u) offsets[u + 1] = offsets[u] + degrees_[u];
+  std::vector<vid_t> targets(offsets[n]);
+  std::vector<float> weights(keep_weights ? offsets[n] : 0);
+  for (vid_t u = 0; u < n; ++u) {
+    eid_t cur = offsets[u];
+    std::vector<std::pair<vid_t, float>> nbrs;
+    nbrs.reserve(degrees_[u]);
+    for_each_neighbor(u, [&](vid_t v, float w, std::int64_t) {
+      nbrs.emplace_back(v, w);
+    });
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const auto& [v, w] : nbrs) {
+      targets[cur] = v;
+      if (keep_weights) weights[cur] = w;
+      ++cur;
+    }
+  }
+  return CSRGraph(std::move(offsets), std::move(targets), std::move(weights),
+                  directed_);
+}
+
+}  // namespace ga::graph

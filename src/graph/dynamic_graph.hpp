@@ -1,0 +1,86 @@
+// STINGER-style dynamic graph: per-vertex chains of fixed-size edge blocks
+// so inserts touch at most one cache line of metadata and deletions leave
+// holes that later inserts reuse. This is the streaming substrate of the
+// paper's Fig. 2 left-hand path (incremental edge/vertex updates with
+// timestamps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge.hpp"
+
+namespace ga::graph {
+
+class DynamicGraph {
+ public:
+  /// Result of an insert: whether a new edge was created (vs an existing
+  /// edge's weight/timestamp refreshed).
+  enum class InsertResult { kInserted, kUpdated };
+
+  /// `directed=false` maintains both arcs on insert/delete.
+  explicit DynamicGraph(vid_t num_vertices, bool directed = false);
+
+  vid_t num_vertices() const { return static_cast<vid_t>(heads_.size()); }
+  eid_t num_edges() const { return num_edges_; }  // logical (undirected: pairs)
+  bool directed() const { return directed_; }
+
+  /// Grows the vertex set (streaming vertex additions). New vertices have
+  /// empty adjacency.
+  void add_vertices(vid_t count);
+
+  InsertResult insert_edge(vid_t u, vid_t v, float w = 1.0f,
+                           std::int64_t ts = 0);
+  /// Returns true if the edge existed and was removed.
+  bool delete_edge(vid_t u, vid_t v);
+
+  bool has_edge(vid_t u, vid_t v) const;
+  /// Weight of (u,v), or the fallback if absent.
+  float edge_weight_or(vid_t u, vid_t v, float fallback) const;
+  eid_t degree(vid_t u) const { return degrees_[u]; }
+
+  /// Visit each live neighbor of u: fn(v, weight, timestamp).
+  void for_each_neighbor(
+      vid_t u,
+      const std::function<void(vid_t, float, std::int64_t)>& fn) const;
+
+  /// Collect the (sorted) live neighbor ids of u.
+  std::vector<vid_t> neighbors_sorted(vid_t u) const;
+
+  /// Materialize an immutable CSR snapshot (for handing a consistent view
+  /// to batch kernels, per Fig. 2's extract-then-analyze flow).
+  CSRGraph snapshot(bool keep_weights = false) const;
+
+ private:
+  static constexpr int kBlockSlots = 14;  // ~1 cache line pair of metadata
+  static constexpr std::uint32_t kNoBlock = 0xffffffffu;
+
+  struct Slot {
+    vid_t nbr = kInvalidVid;  // kInvalidVid marks an empty/deleted slot
+    float w = 0.0f;
+    std::int64_t ts = 0;
+  };
+  struct Block {
+    Slot slots[kBlockSlots];
+    std::uint32_t next = kNoBlock;
+  };
+
+  Slot* find_slot(vid_t u, vid_t v);
+  const Slot* find_slot(vid_t u, vid_t v) const;
+  // Inserts into the first free slot of u's chain, allocating a block if
+  // needed. Does not check for duplicates.
+  void emplace(vid_t u, vid_t v, float w, std::int64_t ts);
+  bool erase_arc(vid_t u, vid_t v);
+
+  bool directed_;
+  eid_t num_edges_ = 0;
+  std::vector<std::uint32_t> heads_;   // per-vertex first block (kNoBlock = none)
+  std::vector<eid_t> degrees_;         // live out-degree per vertex
+  std::vector<Block> blocks_;          // block arena
+  std::vector<std::uint32_t> free_blocks_;
+};
+
+}  // namespace ga::graph

@@ -1,0 +1,23 @@
+// The single edge record type shared by builders, generators, I/O, and the
+// streaming layer. Real-application edges carry weights and timestamps
+// (paper §II: "edges may have time-stamps in addition to properties").
+#pragma once
+
+#include <cstdint>
+
+#include "core/common.hpp"
+
+namespace ga::graph {
+
+struct Edge {
+  vid_t u = 0;
+  vid_t v = 0;
+  float w = 1.0f;          // weight / property payload
+  std::int64_t ts = 0;     // timestamp (streaming order)
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+}  // namespace ga::graph

@@ -1,0 +1,85 @@
+#include "graph/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/common.hpp"
+
+namespace ga::graph {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'A', 'E', 'D', 'G', 'E', '0', '1'};
+}
+
+void write_edge_list_text(std::ostream& os, const std::vector<Edge>& edges,
+                          bool with_weights) {
+  os << "# ga edge list: " << edges.size() << " edges\n";
+  for (const Edge& e : edges) {
+    os << e.u << ' ' << e.v;
+    if (with_weights) os << ' ' << e.w;
+    os << '\n';
+  }
+}
+
+std::vector<Edge> read_edge_list_text(std::istream& is) {
+  std::vector<Edge> edges;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    Edge e;
+    if (!(ls >> e.u >> e.v)) {
+      throw Error("malformed edge list line: " + line);
+    }
+    ls >> e.w;  // optional
+    e.ts = static_cast<std::int64_t>(edges.size());
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+void write_edge_list_binary(std::ostream& os, const std::vector<Edge>& edges) {
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint64_t m = edges.size();
+  os.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  os.write(reinterpret_cast<const char*>(edges.data()),
+           static_cast<std::streamsize>(m * sizeof(Edge)));
+}
+
+std::vector<Edge> read_edge_list_binary(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  GA_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+           "bad binary edge list magic");
+  std::uint64_t m = 0;
+  is.read(reinterpret_cast<char*>(&m), sizeof(m));
+  GA_CHECK(is.good(), "truncated binary edge list header");
+  std::vector<Edge> edges(m);
+  is.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  GA_CHECK(is.good() || (is.eof() && is.gcount() ==
+                                         static_cast<std::streamsize>(m * sizeof(Edge))),
+           "truncated binary edge list body");
+  return edges;
+}
+
+void save_edge_list(const std::string& path, const std::vector<Edge>& edges,
+                    bool binary) {
+  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+  GA_CHECK(os.good(), "cannot open for write: " + path);
+  if (binary) {
+    write_edge_list_binary(os, edges);
+  } else {
+    write_edge_list_text(os, edges, /*with_weights=*/true);
+  }
+  GA_CHECK(os.good(), "write failed: " + path);
+}
+
+std::vector<Edge> load_edge_list(const std::string& path, bool binary) {
+  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
+  GA_CHECK(is.good(), "cannot open for read: " + path);
+  return binary ? read_edge_list_binary(is) : read_edge_list_text(is);
+}
+
+}  // namespace ga::graph

@@ -1,0 +1,25 @@
+// Edge-list I/O: whitespace text ("u v [w]" per line, '#' comments) and a
+// compact binary format for round-tripping generated inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace ga::graph {
+
+void write_edge_list_text(std::ostream& os, const std::vector<Edge>& edges,
+                          bool with_weights = false);
+std::vector<Edge> read_edge_list_text(std::istream& is);
+
+void write_edge_list_binary(std::ostream& os, const std::vector<Edge>& edges);
+std::vector<Edge> read_edge_list_binary(std::istream& is);
+
+/// File-path conveniences (throw ga::Error on I/O failure).
+void save_edge_list(const std::string& path, const std::vector<Edge>& edges,
+                    bool binary = false);
+std::vector<Edge> load_edge_list(const std::string& path, bool binary = false);
+
+}  // namespace ga::graph

@@ -1,0 +1,230 @@
+#include "graph/property_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace ga::graph {
+
+void PropertyTable::resize_rows(std::size_t rows) {
+  GA_CHECK(rows >= rows_, "resize_rows cannot shrink");
+  rows_ = rows;
+  for (auto& [name, col] : columns_) {
+    std::visit([rows](auto& c) { c.resize(rows); }, col);
+  }
+}
+
+std::vector<std::string> PropertyTable::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, col] : columns_) names.push_back(name);
+  return names;
+}
+
+PropertyTable::Column& PropertyTable::column(const std::string& name) {
+  const auto it = index_.find(name);
+  GA_CHECK(it != index_.end(), "no such property column: " + name);
+  return columns_[it->second].second;
+}
+
+const PropertyTable::Column& PropertyTable::column(const std::string& name) const {
+  const auto it = index_.find(name);
+  GA_CHECK(it != index_.end(), "no such property column: " + name);
+  return columns_[it->second].second;
+}
+
+template <typename C>
+C& PropertyTable::typed(const std::string& name) {
+  Column& col = column(name);
+  C* p = std::get_if<C>(&col);
+  GA_CHECK(p != nullptr, "property column type mismatch: " + name);
+  return *p;
+}
+
+template <typename C>
+const C& PropertyTable::typed(const std::string& name) const {
+  const Column& col = column(name);
+  const C* p = std::get_if<C>(&col);
+  GA_CHECK(p != nullptr, "property column type mismatch: " + name);
+  return *p;
+}
+
+PropertyTable::DoubleCol& PropertyTable::add_double_column(const std::string& name) {
+  GA_CHECK(!has_column(name), "duplicate property column: " + name);
+  index_[name] = columns_.size();
+  columns_.emplace_back(name, DoubleCol(rows_, 0.0));
+  return std::get<DoubleCol>(columns_.back().second);
+}
+
+PropertyTable::IntCol& PropertyTable::add_int_column(const std::string& name) {
+  GA_CHECK(!has_column(name), "duplicate property column: " + name);
+  index_[name] = columns_.size();
+  columns_.emplace_back(name, IntCol(rows_, 0));
+  return std::get<IntCol>(columns_.back().second);
+}
+
+PropertyTable::StringCol& PropertyTable::add_string_column(const std::string& name) {
+  GA_CHECK(!has_column(name), "duplicate property column: " + name);
+  index_[name] = columns_.size();
+  columns_.emplace_back(name, StringCol(rows_));
+  return std::get<StringCol>(columns_.back().second);
+}
+
+PropertyTable::DoubleCol& PropertyTable::doubles(const std::string& name) {
+  return typed<DoubleCol>(name);
+}
+const PropertyTable::DoubleCol& PropertyTable::doubles(const std::string& name) const {
+  return typed<DoubleCol>(name);
+}
+PropertyTable::IntCol& PropertyTable::ints(const std::string& name) {
+  return typed<IntCol>(name);
+}
+const PropertyTable::IntCol& PropertyTable::ints(const std::string& name) const {
+  return typed<IntCol>(name);
+}
+PropertyTable::StringCol& PropertyTable::strings(const std::string& name) {
+  return typed<StringCol>(name);
+}
+const PropertyTable::StringCol& PropertyTable::strings(const std::string& name) const {
+  return typed<StringCol>(name);
+}
+
+PropertyTable PropertyTable::project(const std::vector<std::uint32_t>& rows,
+                                     const std::vector<std::string>& keep) const {
+  PropertyTable out(rows.size());
+  for (const std::string& name : keep) {
+    const Column& src = column(name);
+    std::visit(
+        [&](const auto& c) {
+          using C = std::decay_t<decltype(c)>;
+          C dst(rows.size());
+          for (std::size_t i = 0; i < rows.size(); ++i) {
+            GA_CHECK(rows[i] < rows_, "project: row out of range");
+            dst[i] = c[rows[i]];
+          }
+          out.index_[name] = out.columns_.size();
+          out.columns_.emplace_back(name, std::move(dst));
+        },
+        src);
+  }
+  return out;
+}
+
+void PropertyTable::write_back(const PropertyTable& src,
+                               const std::vector<std::uint32_t>& rows) {
+  GA_CHECK(src.num_rows() == rows.size(), "write_back: row map size mismatch");
+  for (const auto& [name, col] : src.columns_) {
+    if (!has_column(name)) {
+      // Create a same-typed empty column in this table.
+      std::visit(
+          [&, nm = name](const auto& c) {
+            using C = std::decay_t<decltype(c)>;
+            index_[nm] = columns_.size();
+            columns_.emplace_back(nm, C(rows_));
+          },
+          col);
+    }
+    Column& dst = column(name);
+    GA_CHECK(dst.index() == col.index(), "write_back: column type mismatch: " + name);
+    std::visit(
+        [&](auto& d) {
+          using C = std::decay_t<decltype(d)>;
+          const C& s = std::get<C>(col);
+          for (std::size_t i = 0; i < rows.size(); ++i) {
+            GA_CHECK(rows[i] < rows_, "write_back: row out of range");
+            d[rows[i]] = s[i];
+          }
+        },
+        dst);
+  }
+}
+
+namespace {
+
+constexpr char kTableMagic[8] = {'G', 'A', 'P', 'R', 'O', 'P', '0', '1'};
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  GA_CHECK(is.good(), "property table: truncated stream");
+  return v;
+}
+void put_str(std::ostream& os, const std::string& s) {
+  put_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string get_str(std::istream& is) {
+  std::string s(get_u64(is), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(s.size()));
+  GA_CHECK(is.good() || s.empty(), "property table: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void PropertyTable::serialize(std::ostream& os) const {
+  os.write(kTableMagic, sizeof(kTableMagic));
+  put_u64(os, rows_);
+  put_u64(os, columns_.size());
+  for (const auto& [name, col] : columns_) {
+    put_str(os, name);
+    put_u64(os, col.index());  // 0=double 1=int 2=string
+    std::visit(
+        [&](const auto& c) {
+          using C = std::decay_t<decltype(c)>;
+          put_u64(os, c.size());
+          if constexpr (std::is_same_v<C, StringCol>) {
+            for (const auto& s : c) put_str(os, s);
+          } else {
+            os.write(reinterpret_cast<const char*>(c.data()),
+                     static_cast<std::streamsize>(c.size() *
+                                                  sizeof(typename C::value_type)));
+          }
+        },
+        col);
+  }
+}
+
+PropertyTable PropertyTable::deserialize(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  GA_CHECK(is.good() && std::memcmp(magic, kTableMagic, sizeof(kTableMagic)) == 0,
+           "property table: bad magic");
+  PropertyTable out(get_u64(is));
+  const std::uint64_t ncols = get_u64(is);
+  for (std::uint64_t i = 0; i < ncols; ++i) {
+    const std::string name = get_str(is);
+    const std::uint64_t type = get_u64(is);
+    const std::uint64_t size = get_u64(is);
+    GA_CHECK(size == out.rows_, "property table: column/row mismatch");
+    switch (type) {
+      case 0: {
+        auto& c = out.add_double_column(name);
+        is.read(reinterpret_cast<char*>(c.data()),
+                static_cast<std::streamsize>(size * sizeof(double)));
+        break;
+      }
+      case 1: {
+        auto& c = out.add_int_column(name);
+        is.read(reinterpret_cast<char*>(c.data()),
+                static_cast<std::streamsize>(size * sizeof(std::int64_t)));
+        break;
+      }
+      case 2: {
+        auto& c = out.add_string_column(name);
+        for (auto& s : c) s = get_str(is);
+        break;
+      }
+      default:
+        throw Error("property table: unknown column type");
+    }
+    GA_CHECK(!is.fail(), "property table: truncated column");
+  }
+  return out;
+}
+
+}  // namespace ga::graph

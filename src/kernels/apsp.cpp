@@ -1,0 +1,73 @@
+#include "kernels/apsp.hpp"
+
+#include <algorithm>
+
+#include "core/thread_pool.hpp"
+#include "kernels/sssp.hpp"
+
+namespace ga::kernels {
+
+ApspResult apsp_dijkstra(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  ApspResult r;
+  r.n = n;
+  r.dist.assign(static_cast<std::size_t>(n) * n, kInfWeight);
+  // Sources are independent: parallelize across them.
+  core::parallel_for_each(0, n, 1, [&](std::uint64_t s) {
+    const SsspResult sr = dijkstra(g, static_cast<vid_t>(s));
+    std::copy(sr.dist.begin(), sr.dist.end(),
+              r.dist.begin() + static_cast<std::ptrdiff_t>(s * n));
+  });
+  return r;
+}
+
+ApspResult apsp_floyd_warshall(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  GA_CHECK(n <= 4096, "floyd_warshall: n too large for dense APSP");
+  ApspResult r;
+  r.n = n;
+  r.dist.assign(static_cast<std::size_t>(n) * n, kInfWeight);
+  for (vid_t u = 0; u < n; ++u) {
+    r.dist[static_cast<std::size_t>(u) * n + u] = 0.0f;
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const float w = g.weighted() ? g.out_weights(u)[i] : 1.0f;
+      auto& cell = r.dist[static_cast<std::size_t>(u) * n + nbrs[i]];
+      cell = std::min(cell, w);
+    }
+  }
+  for (vid_t k = 0; k < n; ++k) {
+    const float* dk = &r.dist[static_cast<std::size_t>(k) * n];
+    for (vid_t i = 0; i < n; ++i) {
+      float* di = &r.dist[static_cast<std::size_t>(i) * n];
+      const float dik = di[k];
+      if (dik == kInfWeight) continue;
+      for (vid_t j = 0; j < n; ++j) {
+        const float cand = dik + dk[j];
+        if (cand < di[j]) di[j] = cand;
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<float> eccentricities(const ApspResult& r) {
+  std::vector<float> ecc(r.n, 0.0f);
+  for (vid_t u = 0; u < r.n; ++u) {
+    float m = 0.0f;
+    for (vid_t v = 0; v < r.n; ++v) {
+      const float d = r.at(u, v);
+      if (d != kInfWeight) m = std::max(m, d);
+    }
+    ecc[u] = m;
+  }
+  return ecc;
+}
+
+float exact_diameter(const ApspResult& r) {
+  float m = 0.0f;
+  for (float e : eccentricities(r)) m = std::max(m, e);
+  return m;
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,34 @@
+// All-Pairs Shortest Path (Fig. 1 row "APSP", output class O(|V|) list per
+// source → O(|V|^2) total, so callers usually take eccentricities or a
+// top-k). Two engines: repeated Dijkstra (sparse-friendly) and
+// Floyd–Warshall (dense reference for small n, also the test oracle).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct ApspResult {
+  vid_t n = 0;
+  /// Row-major n*n distance matrix (infinity = unreachable).
+  std::vector<float> dist;
+  float at(vid_t u, vid_t v) const { return dist[static_cast<std::size_t>(u) * n + v]; }
+};
+
+/// Repeated Dijkstra from every source. O(n (m log n)).
+ApspResult apsp_dijkstra(const CSRGraph& g);
+
+/// Floyd–Warshall. O(n^3); intended for n <~ 2048.
+ApspResult apsp_floyd_warshall(const CSRGraph& g);
+
+/// Per-vertex eccentricity (max finite distance) from an APSP result.
+std::vector<float> eccentricities(const ApspResult& r);
+
+/// Exact diameter (max finite eccentricity).
+float exact_diameter(const ApspResult& r);
+
+}  // namespace ga::kernels

@@ -1,0 +1,117 @@
+#include "kernels/betweenness.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/prng.hpp"
+#include "core/thread_pool.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+/// Brandes accumulation from one source into `bc`.
+void brandes_from(const CSRGraph& g, vid_t s, std::vector<double>& bc,
+                  std::vector<std::uint32_t>& dist,
+                  std::vector<double>& sigma, std::vector<double>& delta,
+                  std::vector<vid_t>& order) {
+  const vid_t n = g.num_vertices();
+  std::fill(dist.begin(), dist.end(), kInfDist);
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(delta.begin(), delta.end(), 0.0);
+  order.clear();
+
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  // BFS recording visitation order and path counts.
+  std::vector<vid_t> frontier{s};
+  std::uint32_t level = 1;
+  while (!frontier.empty()) {
+    order.insert(order.end(), frontier.begin(), frontier.end());
+    std::vector<vid_t> next;
+    for (vid_t u : frontier) {
+      for (vid_t v : g.out_neighbors(u)) {
+        if (dist[v] == kInfDist) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+        if (dist[v] == level) sigma[v] += sigma[u];
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+  (void)n;
+  // Dependency back-propagation in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const vid_t u = *it;
+    for (vid_t v : g.out_neighbors(u)) {
+      if (dist[v] == dist[u] + 1) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+    if (u != s) bc[u] += delta[u];
+  }
+}
+
+}  // namespace
+
+std::vector<double> betweenness_exact(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<vid_t> order;
+  order.reserve(n);
+  for (vid_t s = 0; s < n; ++s) {
+    brandes_from(g, s, bc, dist, sigma, delta, order);
+  }
+  return bc;
+}
+
+std::vector<double> betweenness_exact_parallel(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  std::mutex merge_mu;
+  std::function<void(std::uint64_t, std::uint64_t)> body =
+      [&](std::uint64_t b, std::uint64_t e) {
+        std::vector<double> local(n, 0.0);
+        std::vector<std::uint32_t> dist(n);
+        std::vector<double> sigma(n), delta(n);
+        std::vector<vid_t> order;
+        order.reserve(n);
+        for (std::uint64_t s = b; s < e; ++s) {
+          brandes_from(g, static_cast<vid_t>(s), local, dist, sigma, delta,
+                       order);
+        }
+        std::lock_guard<std::mutex> lk(merge_mu);
+        for (vid_t v = 0; v < n; ++v) bc[v] += local[v];
+      };
+  core::ThreadPool::global().parallel_for(0, n, 16, body);
+  return bc;
+}
+
+std::vector<double> betweenness_sampled(const CSRGraph& g, vid_t num_pivots,
+                                        std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  GA_CHECK(num_pivots > 0, "betweenness_sampled: need >= 1 pivot");
+  if (num_pivots >= n) return betweenness_exact(g);
+  std::vector<double> bc(n, 0.0);
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<vid_t> order;
+  core::Xoshiro256 rng(seed);
+  // Sample pivots without replacement via partial Fisher–Yates.
+  std::vector<vid_t> ids(n);
+  for (vid_t i = 0; i < n; ++i) ids[i] = i;
+  for (vid_t i = 0; i < num_pivots; ++i) {
+    const auto j = i + rng.next_below(n - i);
+    std::swap(ids[i], ids[j]);
+    brandes_from(g, ids[i], bc, dist, sigma, delta, order);
+  }
+  const double scale = static_cast<double>(n) / num_pivots;
+  for (double& x : bc) x *= scale;
+  return bc;
+}
+
+}  // namespace ga::kernels

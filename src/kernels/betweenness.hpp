@@ -1,0 +1,30 @@
+// Betweenness Centrality (Fig. 1 row "BC") via Brandes' algorithm:
+// per-source BFS + dependency back-propagation. Exact over all sources, or
+// sampled over k pivots (the HPC Graph Analysis / Graph500-style
+// approximation for large graphs).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+/// Exact BC on unweighted graphs. Scores are unnormalized pair-dependency
+/// sums; for undirected graphs each pair is counted twice (divide by 2 to
+/// match textbook values).
+std::vector<double> betweenness_exact(const CSRGraph& g);
+
+/// Sampled BC from `num_pivots` sources chosen deterministically from
+/// `seed`; scores scaled by n/num_pivots to estimate the exact values.
+std::vector<double> betweenness_sampled(const CSRGraph& g, vid_t num_pivots,
+                                        std::uint64_t seed = 1);
+
+/// Parallel exact BC: pivots are independent Brandes passes, accumulated
+/// into per-chunk partial score vectors and merged. Deterministic (sum
+/// order fixed by chunk merge order within a tolerance).
+std::vector<double> betweenness_exact_parallel(const CSRGraph& g);
+
+}  // namespace ga::kernels

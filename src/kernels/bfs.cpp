@@ -1,0 +1,260 @@
+#include "kernels/bfs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "core/bitmap.hpp"
+#include "core/thread_pool.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+BfsResult make_result(vid_t n) {
+  BfsResult r;
+  r.dist.assign(n, kInfDist);
+  r.parent.assign(n, kInvalidVid);
+  return r;
+}
+
+/// One top-down step: expand `frontier`, writing `next`.
+void top_down_step(const CSRGraph& g, const std::vector<vid_t>& frontier,
+                   std::vector<vid_t>& next, BfsResult& r,
+                   std::uint32_t level) {
+  for (vid_t u : frontier) {
+    for (vid_t v : g.out_neighbors(u)) {
+      ++r.edges_traversed;
+      if (r.dist[v] == kInfDist) {
+        r.dist[v] = level;
+        r.parent[v] = u;
+        next.push_back(v);
+      }
+    }
+  }
+}
+
+/// One bottom-up step: every unvisited vertex scans its in-neighbors for a
+/// frontier member. `in_frontier` is a bitmap of the current frontier.
+void bottom_up_step(const CSRGraph& g, core::Bitmap& in_frontier,
+                    core::Bitmap& next_frontier, BfsResult& r,
+                    std::uint32_t level, std::uint64_t& next_count) {
+  next_count = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.dist[v] != kInfDist) continue;
+    for (vid_t u : g.in_neighbors(v)) {
+      ++r.edges_traversed;
+      if (in_frontier.get(u)) {
+        r.dist[v] = level;
+        r.parent[v] = u;
+        next_frontier.set(v);
+        ++next_count;
+        break;
+      }
+    }
+  }
+  in_frontier.swap(next_frontier);
+  next_frontier.reset();
+}
+
+}  // namespace
+
+BfsResult bfs(const CSRGraph& g, vid_t source, BfsMode mode) {
+  GA_CHECK(source < g.num_vertices(), "bfs: source out of range");
+  const vid_t n = g.num_vertices();
+  BfsResult r = make_result(n);
+  r.dist[source] = 0;
+  r.parent[source] = source;
+  r.reached = 1;
+
+  if (mode == BfsMode::kBottomUp || mode == BfsMode::kDirectionOptimizing) {
+    // Bottom-up needs in-neighbors on directed graphs.
+    const_cast<CSRGraph&>(g).ensure_transpose();
+  }
+
+  std::vector<vid_t> frontier{source}, next;
+  core::Bitmap fbm(n), nbm(n);
+  bool using_bitmap = false;
+  std::uint64_t frontier_edges = g.out_degree(source);
+  std::uint64_t frontier_count = 1;
+  // Beamer heuristics: switch down when the frontier's out-edges exceed
+  // (total arcs)/alpha; switch back up when the frontier shrinks below
+  // n/beta vertices.
+  constexpr std::uint64_t kAlpha = 14, kBeta = 24;
+
+  std::uint32_t level = 1;
+  while (frontier_count > 0) {
+    const bool want_bottom_up =
+        mode == BfsMode::kBottomUp ||
+        (mode == BfsMode::kDirectionOptimizing &&
+         frontier_edges * kAlpha > g.num_arcs() &&
+         frontier_count > n / kBeta);
+
+    if (want_bottom_up) {
+      if (!using_bitmap) {
+        fbm.reset();
+        for (vid_t u : frontier) fbm.set(u);
+        using_bitmap = true;
+      }
+      std::uint64_t next_count = 0;
+      bottom_up_step(g, fbm, nbm, r, level, next_count);
+      frontier_count = next_count;
+      r.reached += next_count;
+      frontier_edges = 0;  // unknown in bitmap form; forces re-evaluation
+    } else {
+      if (using_bitmap) {
+        // Rebuild the queue from the bitmap to go back top-down.
+        frontier.clear();
+        for (vid_t v = 0; v < n; ++v) {
+          if (fbm.get(v)) frontier.push_back(v);
+        }
+        using_bitmap = false;
+      }
+      next.clear();
+      top_down_step(g, frontier, next, r, level);
+      frontier.swap(next);
+      frontier_count = frontier.size();
+      r.reached += frontier_count;
+      frontier_edges = 0;
+      for (vid_t u : frontier) frontier_edges += g.out_degree(u);
+    }
+    ++level;
+  }
+  return r;
+}
+
+BfsResult bfs_parallel(const CSRGraph& g, vid_t source) {
+  GA_CHECK(source < g.num_vertices(), "bfs_parallel: source out of range");
+  const vid_t n = g.num_vertices();
+  BfsResult r = make_result(n);
+  std::vector<std::atomic<vid_t>> parent(n);
+  for (vid_t v = 0; v < n; ++v) {
+    parent[v].store(kInvalidVid, std::memory_order_relaxed);
+  }
+  parent[source].store(source, std::memory_order_relaxed);
+  r.dist[source] = 0;
+
+  std::vector<vid_t> frontier{source};
+  std::atomic<std::uint64_t> traversed{0};
+  std::uint32_t level = 1;
+  while (!frontier.empty()) {
+    // Per-chunk local buffers spliced under a mutex at chunk end.
+    std::mutex splice_mu;
+    std::vector<vid_t> next;
+    std::function<void(std::uint64_t, std::uint64_t)> body =
+        [&](std::uint64_t b, std::uint64_t e) {
+          std::vector<vid_t> local;
+          std::uint64_t edges = 0;
+          for (std::uint64_t i = b; i < e; ++i) {
+            const vid_t u = frontier[i];
+            for (vid_t v : g.out_neighbors(u)) {
+              ++edges;
+              vid_t expected = kInvalidVid;
+              if (parent[v].compare_exchange_strong(
+                      expected, u, std::memory_order_relaxed)) {
+                local.push_back(v);
+              }
+            }
+          }
+          traversed.fetch_add(edges, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lk(splice_mu);
+          next.insert(next.end(), local.begin(), local.end());
+        };
+    core::ThreadPool::global().parallel_for(0, frontier.size(), 64, body);
+    for (vid_t v : next) r.dist[v] = level;
+    frontier.swap(next);
+    ++level;
+  }
+  r.edges_traversed = traversed.load();
+  r.reached = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    r.parent[v] = parent[v].load(std::memory_order_relaxed);
+    if (r.parent[v] != kInvalidVid) ++r.reached;
+  }
+  return r;
+}
+
+std::uint32_t approx_diameter(const CSRGraph& g, vid_t start) {
+  GA_CHECK(g.num_vertices() > 0, "approx_diameter: empty graph");
+  GA_CHECK(start < g.num_vertices(), "approx_diameter: start out of range");
+  auto far = [&](vid_t s) -> std::pair<vid_t, std::uint32_t> {
+    const BfsResult r = bfs(g, s, BfsMode::kTopDown);
+    vid_t best = s;
+    std::uint32_t bestd = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (r.dist[v] != kInfDist && r.dist[v] > bestd) {
+        bestd = r.dist[v];
+        best = v;
+      }
+    }
+    return {best, bestd};
+  };
+  const auto [far1, d1] = far(start);
+  const auto [far2, d2] = far(far1);
+  (void)far2;
+  return std::max(d1, d2);
+}
+
+std::vector<vid_t> khop_neighborhood(const CSRGraph& g,
+                                     const std::vector<vid_t>& seeds,
+                                     std::uint32_t depth) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::uint32_t> dist(n, kInfDist);
+  std::vector<vid_t> frontier, next, out;
+  for (vid_t s : seeds) {
+    GA_CHECK(s < n, "khop: seed out of range");
+    if (dist[s] == kInfDist) {
+      dist[s] = 0;
+      frontier.push_back(s);
+      out.push_back(s);
+    }
+  }
+  for (std::uint32_t level = 1; level <= depth && !frontier.empty(); ++level) {
+    next.clear();
+    for (vid_t u : frontier) {
+      for (vid_t v : g.out_neighbors(u)) {
+        if (dist[v] == kInfDist) {
+          dist[v] = level;
+          next.push_back(v);
+          out.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool validate_bfs_tree(const CSRGraph& g, vid_t source, const BfsResult& r) {
+  const vid_t n = g.num_vertices();
+  if (r.dist.size() != n || r.parent.size() != n) return false;
+  if (r.dist[source] != 0 || r.parent[source] != source) return false;
+  std::uint64_t reached = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const bool has_dist = r.dist[v] != kInfDist;
+    const bool has_parent = r.parent[v] != kInvalidVid;
+    if (has_dist != has_parent) return false;
+    if (!has_dist) continue;
+    ++reached;
+    if (v != source) {
+      const vid_t p = r.parent[v];
+      if (p >= n || r.dist[p] == kInfDist) return false;
+      if (r.dist[v] != r.dist[p] + 1) return false;
+      if (!g.has_edge(p, v)) return false;
+    }
+    // Every edge spans at most one BFS level.
+    for (vid_t w : g.out_neighbors(v)) {
+      if (r.dist[w] == kInfDist) {
+        // An unreached neighbor of a reached vertex is a contradiction on
+        // undirected graphs.
+        if (!g.directed()) return false;
+      } else if (r.dist[w] + 1 < r.dist[v]) {
+        return false;
+      }
+    }
+  }
+  return reached == r.reached;
+}
+
+}  // namespace ga::kernels

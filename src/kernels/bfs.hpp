@@ -1,0 +1,47 @@
+// Breadth-First Search — the Graph500 kernel (paper Fig. 1 row "BFS").
+// Three engines: top-down (classic frontier push), bottom-up (unvisited
+// vertices pull from the frontier; wins on the fat middle frontiers of
+// power-law graphs), and direction-optimizing (Beamer-style switching),
+// which is the Graph500-winning formulation and one of the paper's §IV
+// "published results" subjects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct BfsResult {
+  std::vector<std::uint32_t> dist;   // hop count; kInfDist if unreached
+  std::vector<vid_t> parent;         // BFS tree parent; kInvalidVid if none
+  std::uint64_t reached = 0;         // vertices reached (incl. source)
+  std::uint64_t edges_traversed = 0; // arcs inspected (TEPS accounting)
+};
+
+enum class BfsMode { kTopDown, kBottomUp, kDirectionOptimizing };
+
+BfsResult bfs(const CSRGraph& g, vid_t source,
+              BfsMode mode = BfsMode::kDirectionOptimizing);
+
+/// Parallel frontier-based top-down BFS (atomic parent claims).
+BfsResult bfs_parallel(const CSRGraph& g, vid_t source);
+
+/// Eccentricity lower bound by a double BFS sweep (approximate diameter).
+std::uint32_t approx_diameter(const CSRGraph& g, vid_t start = 0);
+
+/// Vertices within `depth` hops of any seed (the Fig. 2 "subgraph
+/// extraction" primitive; returned sorted ascending).
+std::vector<vid_t> khop_neighborhood(const CSRGraph& g,
+                                     const std::vector<vid_t>& seeds,
+                                     std::uint32_t depth);
+
+/// Graph500-style result validation: the parent tree is rooted at source,
+/// tree edges exist in g, levels differ by exactly one along tree edges,
+/// and every graph edge spans at most one level. Returns true iff valid.
+bool validate_bfs_tree(const CSRGraph& g, vid_t source, const BfsResult& r);
+
+}  // namespace ga::kernels

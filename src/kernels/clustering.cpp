@@ -1,0 +1,52 @@
+#include "kernels/clustering.hpp"
+
+#include "core/thread_pool.hpp"
+#include "kernels/triangles.hpp"
+
+namespace ga::kernels {
+
+std::vector<double> local_clustering(const CSRGraph& g) {
+  GA_CHECK(!g.directed(), "clustering expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  std::vector<double> cc(n, 0.0);
+  core::parallel_for_each(0, n, 64, [&](std::uint64_t vi) {
+    const auto v = static_cast<vid_t>(vi);
+    const auto nv = g.out_neighbors(v);
+    const auto d = static_cast<std::uint64_t>(nv.size());
+    if (d < 2) return;
+    std::uint64_t links = 0;  // edges among neighbors, each counted once
+    for (vid_t u : nv) {
+      // Count neighbors of u that are also neighbors of v and > u: each
+      // neighbor-neighbor edge {x,y} (x<y) is found exactly once, at u==x.
+      const auto nu = g.out_neighbors(u);
+      auto iu = std::upper_bound(nu.begin(), nu.end(), u);
+      links += intersect_count({&*iu, static_cast<std::size_t>(nu.end() - iu)}, nv);
+    }
+    // Each neighbor-neighbor edge (x,y) with x<y was found once when u==x.
+    cc[v] = 2.0 * static_cast<double>(links) /
+            (static_cast<double>(d) * static_cast<double>(d - 1));
+  });
+  return cc;
+}
+
+double average_clustering(const CSRGraph& g) {
+  const auto cc = local_clustering(g);
+  if (cc.empty()) return 0.0;
+  double sum = 0.0;
+  for (double c : cc) sum += c;
+  return sum / static_cast<double>(cc.size());
+}
+
+double global_clustering(const CSRGraph& g) {
+  GA_CHECK(!g.directed(), "clustering expects undirected graphs");
+  const std::uint64_t tris = triangle_count_node_iterator(g);
+  std::uint64_t wedges = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.out_degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges == 0 ? 0.0
+                     : 3.0 * static_cast<double>(tris) / static_cast<double>(wedges);
+}
+
+}  // namespace ga::kernels

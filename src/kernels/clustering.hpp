@@ -1,0 +1,23 @@
+// Clustering coefficients (Fig. 1 row "CCO"): local per-vertex coefficient
+// (triangles through v / wedges at v), the graph-average coefficient, and
+// the global (transitivity) coefficient 3*triangles/wedges.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+/// Per-vertex local clustering coefficient in [0,1] (0 for degree < 2).
+std::vector<double> local_clustering(const CSRGraph& g);
+
+/// Mean of the local coefficients (Watts–Strogatz average).
+double average_clustering(const CSRGraph& g);
+
+/// Transitivity: 3 * triangles / wedges.
+double global_clustering(const CSRGraph& g);
+
+}  // namespace ga::kernels

@@ -1,0 +1,262 @@
+#include "kernels/community.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/prng.hpp"
+#include "kernels/contraction.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+/// Relabel communities to dense 0..k-1 ids and fill counts.
+void densify(CommunityResult& r) {
+  std::unordered_map<vid_t, vid_t> remap;
+  vid_t next = 0;
+  for (auto& c : r.community) {
+    auto [it, inserted] = remap.try_emplace(c, next);
+    if (inserted) ++next;
+    c = it->second;
+  }
+  r.num_communities = next;
+}
+
+}  // namespace
+
+double modularity(const CSRGraph& g, const std::vector<vid_t>& community) {
+  GA_CHECK(!g.directed(), "modularity expects undirected graphs");
+  GA_CHECK(community.size() == g.num_vertices(), "partition size mismatch");
+  const double two_m = static_cast<double>(g.num_arcs());
+  if (two_m == 0.0) return 0.0;
+  // Q = (1/2m) * sum_{uv in same community} (A_uv - d_u d_v / 2m)
+  //   = sum_c [ m_c/m - (D_c/2m)^2 ]  with m_c intra-edges, D_c total degree.
+  std::unordered_map<vid_t, double> intra, deg;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    deg[community[u]] += static_cast<double>(g.out_degree(u));
+    for (vid_t v : g.out_neighbors(u)) {
+      if (community[u] == community[v]) intra[community[u]] += 1.0;  // arcs
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, d] : deg) {
+    const double mc = intra.count(c) ? intra.at(c) : 0.0;  // 2*m_c in arcs
+    q += mc / two_m - (d / two_m) * (d / two_m);
+  }
+  return q;
+}
+
+CommunityResult community_label_propagation(const CSRGraph& g,
+                                            unsigned max_rounds,
+                                            std::uint64_t seed) {
+  GA_CHECK(!g.directed(), "label propagation expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  CommunityResult r;
+  r.community.resize(n);
+  for (vid_t v = 0; v < n; ++v) r.community[v] = v;
+
+  core::Xoshiro256 rng(seed);
+  std::vector<vid_t> order(n);
+  for (vid_t i = 0; i < n; ++i) order[i] = i;
+  std::unordered_map<vid_t, std::size_t> freq;
+
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    std::shuffle(order.begin(), order.end(), rng);
+    bool changed = false;
+    for (vid_t u : order) {
+      const auto nbrs = g.out_neighbors(u);
+      if (nbrs.empty()) continue;
+      freq.clear();
+      for (vid_t v : nbrs) ++freq[r.community[v]];
+      // Most frequent neighbor label; ties broken toward the smallest label
+      // for determinism.
+      vid_t best = r.community[u];
+      std::size_t best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count || (count == best_count && label < best)) {
+          best = label;
+          best_count = count;
+        }
+      }
+      if (best != r.community[u]) {
+        r.community[u] = best;
+        changed = true;
+      }
+    }
+    r.iterations = round + 1;
+    if (!changed) break;
+  }
+  densify(r);
+  r.modularity = modularity(g, r.community);
+  return r;
+}
+
+namespace {
+
+/// Weighted Louvain phase 1 over a graph with optional per-vertex
+/// self-mass (intra-community weight accumulated by earlier levels).
+/// Returns the local-optimum partition of this level's vertices.
+std::vector<vid_t> weighted_phase1(const CSRGraph& g,
+                                   const std::vector<double>& self_weight,
+                                   double two_m, unsigned max_rounds) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> community(n);
+  for (vid_t v = 0; v < n; ++v) community[v] = v;
+  if (two_m <= 0.0) return community;
+
+  // Weighted degree including self mass (counted twice, as a loop).
+  std::vector<double> wdeg(n, 0.0);
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.weighted()) {
+      for (float w : g.out_weights(v)) wdeg[v] += w;
+    } else {
+      wdeg[v] = static_cast<double>(g.out_degree(v));
+    }
+    wdeg[v] += 2.0 * self_weight[v];
+  }
+  std::vector<double> ctot = wdeg;  // community total degree
+
+  std::unordered_map<vid_t, double> links;
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    bool moved = false;
+    for (vid_t u = 0; u < n; ++u) {
+      if (wdeg[u] == 0.0) continue;
+      links.clear();
+      const auto nbrs = g.out_neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const double w = g.weighted() ? g.out_weights(u)[i] : 1.0;
+        links[community[nbrs[i]]] += w;
+      }
+      const vid_t cu = community[u];
+      ctot[cu] -= wdeg[u];
+      const double base_links = links.count(cu) ? links.at(cu) : 0.0;
+      double best_gain = base_links - ctot[cu] * wdeg[u] / two_m;
+      vid_t best = cu;
+      for (const auto& [c, l] : links) {
+        if (c == cu) continue;
+        const double gain = l - ctot[c] * wdeg[u] / two_m;
+        if (gain > best_gain + 1e-12) {
+          best = c;
+          best_gain = gain;
+        }
+      }
+      ctot[best] += wdeg[u];
+      if (best != cu) {
+        community[u] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return community;
+}
+
+}  // namespace
+
+CommunityResult community_louvain(const CSRGraph& g, unsigned max_levels,
+                                  unsigned max_rounds) {
+  GA_CHECK(!g.directed(), "louvain expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  CommunityResult r;
+  r.community.resize(n);
+  for (vid_t v = 0; v < n; ++v) r.community[v] = v;
+  if (g.num_arcs() == 0) {
+    densify(r);
+    return r;
+  }
+  // Total edge mass is invariant across levels: arcs + 2*self at level 0.
+  const double two_m = static_cast<double>(
+      g.weighted() ? [&] {
+        double s = 0.0;
+        for (float w : g.weights()) s += w;
+        return s;
+      }() : static_cast<double>(g.num_arcs()));
+
+  CSRGraph level = g;  // copy; subsequent levels are contracted graphs
+  std::vector<double> self(level.num_vertices(), 0.0);
+  // map[v] = current community (in level-graph vertex ids) of input v.
+  std::vector<vid_t> map(n);
+  for (vid_t v = 0; v < n; ++v) map[v] = v;
+
+  for (unsigned lev = 0; lev < max_levels; ++lev) {
+    const auto part = weighted_phase1(level, self, two_m, max_rounds);
+    // Count distinct communities; stop when no coarsening happened.
+    const ContractionResult con = contract(level, part);
+    if (con.num_groups == level.num_vertices()) break;
+    // Fold the partition into the input-level mapping: input vertex v sits
+    // at level vertex map[v], which lands in super-vertex group_of[map[v]].
+    for (vid_t v = 0; v < n; ++v) map[v] = con.group_of[map[v]];
+    level = con.contracted;
+    // New self mass: old self masses aggregated per group + intra edges.
+    std::vector<double> new_self(con.num_groups, 0.0);
+    for (vid_t v = 0; v < self.size(); ++v) {
+      new_self[con.group_of[v]] += self[v];
+    }
+    for (vid_t gId = 0; gId < con.num_groups; ++gId) {
+      new_self[gId] += con.self_weight[gId];
+    }
+    self = std::move(new_self);
+    if (level.num_vertices() <= 1) break;
+  }
+  r.community = map;
+  densify(r);
+  r.modularity = modularity(g, r.community);
+  r.iterations = 0;
+  return r;
+}
+
+CommunityResult community_louvain_phase1(const CSRGraph& g,
+                                         unsigned max_rounds) {
+  GA_CHECK(!g.directed(), "louvain expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  CommunityResult r;
+  r.community.resize(n);
+  for (vid_t v = 0; v < n; ++v) r.community[v] = v;
+  const double two_m = static_cast<double>(g.num_arcs());
+  if (two_m == 0.0) {
+    densify(r);
+    return r;
+  }
+
+  // Community total degree.
+  std::vector<double> ctot(n, 0.0);
+  for (vid_t v = 0; v < n; ++v) ctot[v] = static_cast<double>(g.out_degree(v));
+
+  std::unordered_map<vid_t, double> links;  // arcs from u into community c
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    bool moved = false;
+    for (vid_t u = 0; u < n; ++u) {
+      const double du = static_cast<double>(g.out_degree(u));
+      if (du == 0.0) continue;
+      links.clear();
+      for (vid_t v : g.out_neighbors(u)) links[r.community[v]] += 1.0;
+      const vid_t cu = r.community[u];
+      // Remove u from its community for the gain comparison.
+      ctot[cu] -= du;
+      const double base_links = links.count(cu) ? links.at(cu) : 0.0;
+      const double base_gain = base_links - ctot[cu] * du / two_m;
+      vid_t best = cu;
+      double best_gain = base_gain;
+      for (const auto& [c, l] : links) {
+        if (c == cu) continue;
+        const double gain = l - ctot[c] * du / two_m;
+        if (gain > best_gain + 1e-12) {
+          best = c;
+          best_gain = gain;
+        }
+      }
+      ctot[best] += du;
+      if (best != cu) {
+        r.community[u] = best;
+        moved = true;
+      }
+    }
+    r.iterations = round + 1;
+    if (!moved) break;
+  }
+  densify(r);
+  r.modularity = modularity(g, r.community);
+  return r;
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,41 @@
+// Community Detection (Fig. 1 row "CD"): asynchronous label propagation
+// (fast, used in streaming triggers) and a single-level Louvain-style
+// modularity optimizer with greedy vertex moves (quality reference).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct CommunityResult {
+  std::vector<vid_t> community;  // community id per vertex (densely labeled)
+  vid_t num_communities = 0;
+  double modularity = 0.0;
+  unsigned iterations = 0;
+};
+
+/// Newman modularity of a given partition.
+double modularity(const CSRGraph& g, const std::vector<vid_t>& community);
+
+/// Asynchronous label propagation; deterministic given the seed (vertex
+/// visit order is shuffled per round).
+CommunityResult community_label_propagation(const CSRGraph& g,
+                                            unsigned max_rounds = 32,
+                                            std::uint64_t seed = 1);
+
+/// Greedy modularity vertex-move pass (Louvain phase 1), iterated to a
+/// local optimum.
+CommunityResult community_louvain_phase1(const CSRGraph& g,
+                                         unsigned max_rounds = 32);
+
+/// Full multilevel Louvain: phase-1 moves, contract communities into a
+/// weighted super-graph (tracking intra-community self-mass), repeat until
+/// modularity stops improving; labels are mapped back to the input graph.
+CommunityResult community_louvain(const CSRGraph& g, unsigned max_levels = 10,
+                                  unsigned max_rounds = 32);
+
+}  // namespace ga::kernels

@@ -1,0 +1,125 @@
+#include "kernels/connected_components.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "kernels/bfs.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+ComponentsResult finalize(std::vector<vid_t> label) {
+  canonicalize_labels(label);
+  ComponentsResult r;
+  r.label = std::move(label);
+  std::unordered_map<vid_t, vid_t> sizes;
+  for (vid_t l : r.label) ++sizes[l];
+  r.num_components = static_cast<vid_t>(sizes.size());
+  for (const auto& [l, s] : sizes) r.largest_size = std::max(r.largest_size, s);
+  return r;
+}
+
+}  // namespace
+
+void canonicalize_labels(std::vector<vid_t>& label) {
+  // Map each raw label to the minimum vertex id bearing it.
+  std::unordered_map<vid_t, vid_t> min_of;
+  for (vid_t v = 0; v < label.size(); ++v) {
+    auto [it, inserted] = min_of.try_emplace(label[v], v);
+    if (!inserted) it->second = std::min(it->second, v);
+  }
+  for (auto& l : label) l = min_of[l];
+}
+
+ComponentsResult wcc_label_propagation(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> label(n);
+  for (vid_t v = 0; v < n; ++v) label[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Hook: adopt the smaller neighbor label.
+    for (vid_t u = 0; u < n; ++u) {
+      for (vid_t v : g.out_neighbors(u)) {
+        if (label[v] < label[u]) {
+          label[u] = label[v];
+          changed = true;
+        } else if (label[u] < label[v]) {
+          label[v] = label[u];
+          changed = true;
+        }
+      }
+    }
+    // Compress: pointer jumping until labels are fixpoints.
+    for (vid_t v = 0; v < n; ++v) {
+      while (label[label[v]] != label[v]) label[v] = label[label[v]];
+    }
+  }
+  return finalize(std::move(label));
+}
+
+ComponentsResult wcc_bfs(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> label(n, kInvalidVid);
+  std::vector<vid_t> stack;
+  for (vid_t s = 0; s < n; ++s) {
+    if (label[s] != kInvalidVid) continue;
+    label[s] = s;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vid_t u = stack.back();
+      stack.pop_back();
+      for (vid_t v : g.out_neighbors(u)) {
+        if (label[v] == kInvalidVid) {
+          label[v] = s;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return finalize(std::move(label));
+}
+
+UnionFind::UnionFind(vid_t n) { reset(n); }
+
+void UnionFind::reset(vid_t n) {
+  parent_.resize(n);
+  size_.assign(n, 1);
+  for (vid_t i = 0; i < n; ++i) parent_[i] = i;
+  sets_ = n;
+}
+
+vid_t UnionFind::find(vid_t x) {
+  GA_ASSERT(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(vid_t a, vid_t b) {
+  vid_t ra = find(a), rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --sets_;
+  return true;
+}
+
+ComponentsResult wcc_union_find(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  UnionFind uf(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.out_neighbors(u)) {
+      if (u < v) uf.unite(u, v);
+    }
+  }
+  std::vector<vid_t> label(n);
+  for (vid_t v = 0; v < n; ++v) label[v] = uf.find(v);
+  return finalize(std::move(label));
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,53 @@
+// Weakly Connected Components (Fig. 1 row "CCW"). Three engines:
+// label propagation (Shiloach–Vishkin-style hooking + pointer jumping,
+// the parallel-friendly form), BFS sweep (simple oracle), and a
+// union-find API that the streaming layer reuses for incremental
+// connectivity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct ComponentsResult {
+  std::vector<vid_t> label;       // component id per vertex (min vertex id)
+  vid_t num_components = 0;
+  vid_t largest_size = 0;
+};
+
+/// Shiloach–Vishkin style hook + compress label propagation.
+ComponentsResult wcc_label_propagation(const CSRGraph& g);
+
+/// BFS from every unvisited vertex (test oracle).
+ComponentsResult wcc_bfs(const CSRGraph& g);
+
+/// Union-find with path halving + union by size; reused by streaming.
+class UnionFind {
+ public:
+  explicit UnionFind(vid_t n);
+  vid_t find(vid_t x);
+  /// Returns true if the union merged two distinct sets.
+  bool unite(vid_t a, vid_t b);
+  bool connected(vid_t a, vid_t b) { return find(a) == find(b); }
+  vid_t num_sets() const { return sets_; }
+  vid_t size_of(vid_t x) { return size_[find(x)]; }
+  void reset(vid_t n);
+
+ private:
+  std::vector<vid_t> parent_;
+  std::vector<vid_t> size_;
+  vid_t sets_ = 0;
+};
+
+ComponentsResult wcc_union_find(const CSRGraph& g);
+
+/// Canonicalize labels to the minimum vertex id of each component so all
+/// three engines produce byte-identical results.
+void canonicalize_labels(std::vector<vid_t>& label);
+
+}  // namespace ga::kernels

@@ -1,0 +1,57 @@
+#include "kernels/contraction.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace ga::kernels {
+
+ContractionResult contract(const CSRGraph& g, const std::vector<vid_t>& group) {
+  GA_CHECK(group.size() == g.num_vertices(), "contract: group size mismatch");
+  ContractionResult r;
+
+  // Densify group ids by first appearance.
+  std::unordered_map<vid_t, vid_t> remap;
+  r.group_of.resize(group.size());
+  for (std::size_t v = 0; v < group.size(); ++v) {
+    auto [it, inserted] = remap.try_emplace(group[v], r.num_groups);
+    if (inserted) ++r.num_groups;
+    r.group_of[v] = it->second;
+  }
+  r.group_size.assign(r.num_groups, 0);
+  for (vid_t sg : r.group_of) ++r.group_size[sg];
+  r.self_weight.assign(r.num_groups, 0.0);
+
+  // Accumulate super-edge weights (each undirected edge seen once, u<v).
+  std::map<std::pair<vid_t, vid_t>, float> super_edges;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t v = nbrs[i];
+      if (!g.directed() && v < u) continue;  // one direction only
+      const float w = g.weighted() ? g.out_weights(u)[i] : 1.0f;
+      const vid_t a = r.group_of[u], b = r.group_of[v];
+      if (a == b) {
+        r.self_weight[a] += w;
+      } else {
+        super_edges[{std::min(a, b), std::max(a, b)}] += w;
+      }
+    }
+  }
+
+  std::vector<graph::Edge> edges;
+  edges.reserve(super_edges.size());
+  for (const auto& [key, w] : super_edges) {
+    edges.push_back(graph::Edge{key.first, key.second, w, 0});
+  }
+  graph::BuildOptions opts;
+  opts.directed = g.directed();
+  opts.keep_weights = true;
+  opts.dedup_parallel_edges = false;  // already aggregated
+  r.contracted = graph::build_csr(std::move(edges), r.num_groups, opts);
+  return r;
+}
+
+}  // namespace ga::kernels

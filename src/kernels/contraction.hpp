@@ -1,0 +1,27 @@
+// Graph Contraction (Fig. 1 row "GC"): collapse each vertex group (a
+// community, component, or partition part) into a super-vertex, producing
+// the "higher level view" the paper describes. Edge multiplicities become
+// super-edge weights; intra-group edges become self-mass (dropped from the
+// CSR but reported).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct ContractionResult {
+  CSRGraph contracted;                 // weighted super-graph
+  std::vector<vid_t> group_of;         // input vertex -> super vertex
+  std::vector<vid_t> group_size;       // super vertex -> member count
+  std::vector<double> self_weight;     // super vertex -> intra-group arc weight
+  vid_t num_groups = 0;
+};
+
+/// `group` maps each vertex to an arbitrary group id (need not be dense).
+ContractionResult contract(const CSRGraph& g, const std::vector<vid_t>& group);
+
+}  // namespace ga::kernels

@@ -1,0 +1,93 @@
+// Geo & Temporal Correlation (Fig. 1 row, from the Kepler & Gilbert
+// benchmark set): events carry coordinates and timestamps; the kernel
+// finds pairs/clusters of events that are close in BOTH space and time.
+// Batch form: enumerate correlated pairs / connected correlation clusters.
+// Streaming form: ingest events one at a time and emit an O(1) event
+// whenever a neighborhood's density crosses a threshold (the Fig. 1
+// "Output O(1) Events" class).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::kernels {
+
+struct GeoEvent {
+  double x = 0.0;
+  double y = 0.0;
+  std::int64_t t = 0;
+  std::uint64_t id = 0;
+};
+
+struct CorrelationParams {
+  double radius = 1.0;        // spatial threshold (Euclidean)
+  std::int64_t window = 10;   // temporal threshold |t1-t2| <= window
+};
+
+/// All correlated pairs (i < j by index). O(n) expected with spatial
+/// hashing, O(n^2) worst case on degenerate data.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> correlated_pairs(
+    const std::vector<GeoEvent>& events, const CorrelationParams& p);
+
+/// Correlation clusters: connected components of the correlated-pair
+/// graph. Returns cluster id per event (dense, by first appearance).
+struct CorrelationClusters {
+  std::vector<std::uint32_t> cluster;
+  std::uint32_t num_clusters = 0;
+  std::uint32_t largest = 0;
+};
+CorrelationClusters correlation_clusters(const std::vector<GeoEvent>& events,
+                                         const CorrelationParams& p);
+
+/// Streaming detector: emits an alert when an arriving event has at least
+/// `density_threshold` correlated predecessors still inside the time
+/// window (hotspot forming). Old events age out of the index.
+class StreamingGeoCorrelator {
+ public:
+  StreamingGeoCorrelator(const CorrelationParams& p,
+                         std::size_t density_threshold);
+
+  struct HotspotAlert {
+    GeoEvent trigger;
+    std::size_t neighbors = 0;
+  };
+
+  /// Ingest one event (timestamps must be non-decreasing). Returns true if
+  /// it triggered a hotspot alert.
+  bool ingest(const GeoEvent& e);
+
+  const std::vector<HotspotAlert>& alerts() const { return alerts_; }
+  std::size_t live_events() const { return live_; }
+
+ private:
+  struct Cell {
+    std::vector<GeoEvent> events;
+  };
+  std::int64_t cell_of(double x, double y) const;
+  void expire(std::int64_t now);
+
+  CorrelationParams p_;
+  std::size_t threshold_;
+  std::int64_t last_ts_ = std::numeric_limits<std::int64_t>::min();
+  std::size_t live_ = 0;
+  std::unordered_map<std::int64_t, Cell> grid_;
+  std::vector<HotspotAlert> alerts_;
+};
+
+/// Deterministic synthetic event stream: background noise over a square
+/// arena plus planted spatio-temporal bursts.
+struct GeoStreamOptions {
+  std::size_t count = 10000;
+  double arena = 100.0;          // events in [0,arena)^2
+  std::size_t num_bursts = 5;    // planted hotspots
+  std::size_t burst_size = 30;   // events per burst
+  double burst_radius = 0.5;
+  std::int64_t burst_span = 5;   // burst duration in time units
+  std::uint64_t seed = 1;
+};
+std::vector<GeoEvent> generate_geo_stream(const GeoStreamOptions& opts);
+
+}  // namespace ga::kernels

@@ -1,0 +1,92 @@
+#include "kernels/jaccard.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "kernels/triangles.hpp"
+
+namespace ga::kernels {
+
+double jaccard_coefficient(const CSRGraph& g, vid_t u, vid_t v) {
+  GA_CHECK(u < g.num_vertices() && v < g.num_vertices(),
+           "jaccard: vertex out of range");
+  const auto nu = g.out_neighbors(u);
+  const auto nv = g.out_neighbors(v);
+  const std::size_t inter = intersect_count(nu, nv);
+  const std::size_t uni = nu.size() + nv.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<JaccardPair> jaccard_all_edges(const CSRGraph& g) {
+  GA_CHECK(!g.directed(), "jaccard expects undirected graphs");
+  std::vector<JaccardPair> out;
+  out.reserve(g.num_edges());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (vid_t v : g.out_neighbors(u)) {
+      if (v <= u) continue;
+      out.push_back({u, v, jaccard_coefficient(g, u, v)});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Visit each 2-hop candidate pair (u, v) with u < v and a shared neighbor,
+/// computing the intersection size along the way. Calls fn(u, v, inter).
+/// Deduplicates candidates per source vertex with a scratch map.
+template <typename Fn>
+void for_each_two_hop_pair(const CSRGraph& g, vid_t u, Fn&& fn) {
+  // Count shared neighbors of u with every 2-hop vertex v > u in one sweep:
+  // for each neighbor w of u, each neighbor v of w gains one shared count.
+  std::unordered_map<vid_t, std::size_t> shared;
+  for (vid_t w : g.out_neighbors(u)) {
+    for (vid_t v : g.out_neighbors(w)) {
+      if (v == u) continue;
+      ++shared[v];
+    }
+  }
+  for (const auto& [v, inter] : shared) fn(v, inter);
+}
+
+}  // namespace
+
+std::vector<JaccardPair> jaccard_topk(const CSRGraph& g, std::size_t k) {
+  GA_CHECK(!g.directed(), "jaccard expects undirected graphs");
+  core::TopK<std::pair<vid_t, vid_t>, double> top(k);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const double du = static_cast<double>(g.out_degree(u));
+    for_each_two_hop_pair(g, u, [&](vid_t v, std::size_t inter) {
+      if (v <= u) return;  // each unordered pair once
+      const double uni =
+          du + static_cast<double>(g.out_degree(v)) - static_cast<double>(inter);
+      const double j = uni == 0.0 ? 0.0 : static_cast<double>(inter) / uni;
+      top.offer(j, {u, v});
+    });
+  }
+  std::vector<JaccardPair> out;
+  for (const auto& [score, pair] : top.sorted_desc()) {
+    out.push_back({pair.first, pair.second, score});
+  }
+  return out;
+}
+
+std::vector<JaccardPair> jaccard_query(const CSRGraph& g, vid_t u,
+                                       double threshold) {
+  GA_CHECK(u < g.num_vertices(), "jaccard_query: vertex out of range");
+  std::vector<JaccardPair> out;
+  const double du = static_cast<double>(g.out_degree(u));
+  for_each_two_hop_pair(g, u, [&](vid_t v, std::size_t inter) {
+    const double uni =
+        du + static_cast<double>(g.out_degree(v)) - static_cast<double>(inter);
+    const double j = uni == 0.0 ? 0.0 : static_cast<double>(inter) / uni;
+    if (j >= threshold && j > 0.0) out.push_back({u, v, j});
+  });
+  std::sort(out.begin(), out.end(), [](const JaccardPair& a, const JaccardPair& b) {
+    return a.coefficient != b.coefficient ? a.coefficient > b.coefficient
+                                          : a.v < b.v;
+  });
+  return out;
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,42 @@
+// Jaccard similarity coefficients (Fig. 1 row "Jaccard") — the paper's
+// flagship "growing" kernel ([21]) and the core of the NORA application.
+// J(u,v) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|.
+//
+// Three forms, matching the paper's discussion:
+//  * all-pairs over edges (batch; near-quadratic storage if over all pairs,
+//    so the standard restriction is to adjacent pairs),
+//  * top-k per graph (batch; the O(|V|^k) output class truncated to top-k),
+//  * single-vertex query (the second streaming form: for a queried vertex,
+//    return all vertices with nonzero — or above-threshold — coefficient).
+#pragma once
+
+#include <vector>
+
+#include "core/topk.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct JaccardPair {
+  vid_t u = 0, v = 0;
+  double coefficient = 0.0;
+};
+
+/// Coefficient for one pair (0 if both neighborhoods empty).
+double jaccard_coefficient(const CSRGraph& g, vid_t u, vid_t v);
+
+/// J(u,v) for every edge (u<v). Output parallel to the edge enumeration.
+std::vector<JaccardPair> jaccard_all_edges(const CSRGraph& g);
+
+/// Top-k most similar pairs among 2-hop pairs (pairs sharing >= 1 neighbor,
+/// the only pairs with nonzero coefficient).
+std::vector<JaccardPair> jaccard_topk(const CSRGraph& g, std::size_t k);
+
+/// Query form: all vertices v != u with J(u,v) >= threshold, sorted by
+/// descending coefficient. Only 2-hop candidates are examined.
+std::vector<JaccardPair> jaccard_query(const CSRGraph& g, vid_t u,
+                                       double threshold = 0.0);
+
+}  // namespace ga::kernels

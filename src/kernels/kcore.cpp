@@ -1,0 +1,67 @@
+#include "kernels/kcore.hpp"
+
+#include <algorithm>
+
+namespace ga::kernels {
+
+std::vector<std::uint32_t> core_numbers(const CSRGraph& g) {
+  GA_CHECK(!g.directed(), "k-core expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::uint32_t max_deg = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.out_degree(v));
+    max_deg = std::max(max_deg, degree[v]);
+  }
+  // Bucket sort vertices by degree (Batagelj–Zaveršnik).
+  std::vector<vid_t> bin(max_deg + 2, 0), pos(n), vert(n);
+  for (vid_t v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (std::uint32_t d = 1; d <= max_deg + 1; ++d) bin[d] += bin[d - 1];
+  for (vid_t v = 0; v < n; ++v) {
+    pos[v] = bin[degree[v]]++;
+    vert[pos[v]] = v;
+  }
+  // Restore bin starts.
+  for (std::uint32_t d = max_deg + 1; d >= 1; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  for (vid_t i = 0; i < n; ++i) {
+    const vid_t v = vert[i];
+    core[v] = degree[v];
+    for (vid_t u : g.out_neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Move u one bucket down: swap with the first vertex of its bucket.
+        const vid_t du = degree[u];
+        const vid_t pu = pos[u];
+        const vid_t pw = bin[du];
+        const vid_t w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<vid_t> kcore_members(const CSRGraph& g, std::uint32_t k) {
+  const auto core = core_numbers(g);
+  std::vector<vid_t> out;
+  for (vid_t v = 0; v < core.size(); ++v) {
+    if (core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+std::uint32_t degeneracy(const CSRGraph& g) {
+  const auto core = core_numbers(g);
+  std::uint32_t m = 0;
+  for (std::uint32_t c : core) m = std::max(m, c);
+  return m;
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,23 @@
+// k-core decomposition: peel vertices of degree < k repeatedly. The core
+// number is a cheap "importance" property used by the pipeline's selection
+// stage and by anomaly triage (densely embedded vertices).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+/// Core number per vertex (Batagelj–Zaveršnik bucket peeling, O(m)).
+std::vector<std::uint32_t> core_numbers(const CSRGraph& g);
+
+/// Vertices in the k-core (sorted).
+std::vector<vid_t> kcore_members(const CSRGraph& g, std::uint32_t k);
+
+/// Degeneracy = max core number.
+std::uint32_t degeneracy(const CSRGraph& g);
+
+}  // namespace ga::kernels

@@ -1,0 +1,107 @@
+#include "kernels/ktruss.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/hash.hpp"
+#include "kernels/triangles.hpp"
+
+namespace ga::kernels {
+
+TrussResult truss_decomposition(const CSRGraph& g) {
+  GA_CHECK(!g.directed(), "truss expects undirected graphs");
+  TrussResult r;
+  // Collect edges (u<v) and per-edge support = #triangles containing it.
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (vid_t v : g.out_neighbors(u)) {
+      if (u < v) {
+        index[core::edge_key(u, v)] = static_cast<std::uint32_t>(r.edges.size());
+        r.edges.emplace_back(u, v);
+      }
+    }
+  }
+  std::vector<std::uint32_t> support(r.edges.size(), 0);
+  triangle_list(g, [&](const Triangle& t) {
+    ++support[index[core::edge_key(t.a, t.b)]];
+    ++support[index[core::edge_key(t.b, t.c)]];
+    ++support[index[core::edge_key(t.a, t.c)]];
+  });
+
+  // Peeling: repeatedly remove the edge with the lowest support; its
+  // removal decrements the support of edges sharing its triangles.
+  // Live adjacency sets for triangle re-discovery during peeling.
+  std::vector<std::vector<vid_t>> adj(g.num_vertices());
+  for (const auto& [u, v] : r.edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  for (auto& a : adj) std::sort(a.begin(), a.end());
+
+  const auto remove_from = [&](vid_t u, vid_t v) {
+    auto& a = adj[u];
+    a.erase(std::lower_bound(a.begin(), a.end(), v));
+  };
+
+  // Bucket queue on support.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> buckets;
+  for (std::uint32_t e = 0; e < r.edges.size(); ++e) {
+    buckets[support[e]].push_back(e);
+  }
+  std::vector<bool> removed(r.edges.size(), false);
+  r.truss.assign(r.edges.size(), 2);
+  std::uint32_t current = 2;
+
+  while (!buckets.empty()) {
+    auto it = buckets.begin();
+    if (it->second.empty()) {
+      buckets.erase(it);
+      continue;
+    }
+    const std::uint32_t e = it->second.back();
+    it->second.pop_back();
+    if (removed[e] || support[e] != it->first) continue;  // stale entry
+    // Truss number of e: its support + 2 at removal time, monotonic.
+    current = std::max(current, support[e] + 2);
+    r.truss[e] = current;
+    r.max_truss = std::max(r.max_truss, current);
+    removed[e] = true;
+
+    const auto [u, v] = r.edges[e];
+    // Each common live neighbor w forms a triangle whose other two edges
+    // lose one support.
+    std::vector<vid_t> common;
+    std::set_intersection(adj[u].begin(), adj[u].end(), adj[v].begin(),
+                          adj[v].end(), std::back_inserter(common));
+    remove_from(u, v);
+    remove_from(v, u);
+    for (vid_t w : common) {
+      for (const auto& [a, b] : {std::pair{u, w}, std::pair{v, w}}) {
+        const std::uint32_t oe = index[core::edge_key(a, b)];
+        if (removed[oe] || support[oe] == 0) continue;
+        --support[oe];
+        buckets[support[oe]].push_back(oe);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<vid_t> ktruss_members(const CSRGraph& g, std::uint32_t k) {
+  const auto r = truss_decomposition(g);
+  std::vector<bool> in(g.num_vertices(), false);
+  for (std::size_t e = 0; e < r.edges.size(); ++e) {
+    if (r.truss[e] >= k) {
+      in[r.edges[e].first] = true;
+      in[r.edges[e].second] = true;
+    }
+  }
+  std::vector<vid_t> out;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (in[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ga::kernels

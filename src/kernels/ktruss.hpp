@@ -1,0 +1,32 @@
+// k-truss decomposition — the Graph Challenge companion of triangle
+// counting: the k-truss is the maximal subgraph where every edge is
+// supported by at least k-2 triangles. Truss numbers generalize the
+// paper's triangle kernels into a density hierarchy used for community
+// cores and anomaly triage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+/// Truss number per undirected edge (u<v), as a map aligned with the
+/// edge enumeration order of jaccard_all_edges / edge iteration (u<v,
+/// ascending). An edge in the k-truss but not the (k+1)-truss has truss
+/// number k; edges in no triangle have truss number 2.
+struct TrussResult {
+  std::vector<std::pair<vid_t, vid_t>> edges;  // u<v, sorted
+  std::vector<std::uint32_t> truss;            // parallel to edges
+  std::uint32_t max_truss = 2;
+};
+
+TrussResult truss_decomposition(const CSRGraph& g);
+
+/// Vertices of the k-truss subgraph (sorted).
+std::vector<vid_t> ktruss_members(const CSRGraph& g, std::uint32_t k);
+
+}  // namespace ga::kernels

@@ -1,0 +1,101 @@
+#include "kernels/mis.hpp"
+
+#include <algorithm>
+
+#include "core/hash.hpp"
+#include "core/prng.hpp"
+
+namespace ga::kernels {
+
+std::vector<vid_t> mis_luby(const CSRGraph& g, std::uint64_t seed) {
+  GA_CHECK(!g.directed(), "MIS expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  enum class State : std::uint8_t { kUndecided, kIn, kOut };
+  std::vector<State> state(n, State::kUndecided);
+  std::vector<vid_t> result;
+
+  std::uint64_t round = 0;
+  vid_t undecided = n;
+  while (undecided > 0) {
+    // Stable per-round priority: hash(seed, round, v). A vertex joins if it
+    // beats every undecided neighbor (ties by id).
+    const auto priority = [&](vid_t v) {
+      return core::hash_combine(core::hash_combine(seed, round), v);
+    };
+    std::vector<vid_t> joined;
+    for (vid_t v = 0; v < n; ++v) {
+      if (state[v] != State::kUndecided) continue;
+      const std::uint64_t pv = priority(v);
+      bool is_max = true;
+      for (vid_t u : g.out_neighbors(v)) {
+        if (state[u] != State::kUndecided) continue;
+        const std::uint64_t pu = priority(u);
+        if (pu > pv || (pu == pv && u > v)) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) joined.push_back(v);
+    }
+    for (vid_t v : joined) {
+      if (state[v] != State::kUndecided) continue;  // knocked out this round
+      state[v] = State::kIn;
+      result.push_back(v);
+      --undecided;
+      for (vid_t u : g.out_neighbors(v)) {
+        if (state[u] == State::kUndecided) {
+          state[u] = State::kOut;
+          --undecided;
+        }
+      }
+    }
+    ++round;
+    GA_ASSERT(round < 10'000);  // Luby terminates in O(log n) w.h.p.
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<vid_t> mis_greedy(const CSRGraph& g) {
+  GA_CHECK(!g.directed(), "MIS expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  std::vector<bool> blocked(n, false);
+  std::vector<vid_t> result;
+  for (vid_t v = 0; v < n; ++v) {
+    if (blocked[v]) continue;
+    result.push_back(v);
+    for (vid_t u : g.out_neighbors(v)) blocked[u] = true;
+  }
+  return result;
+}
+
+bool is_maximal_independent_set(const CSRGraph& g,
+                                const std::vector<vid_t>& set) {
+  const vid_t n = g.num_vertices();
+  std::vector<bool> in(n, false);
+  for (vid_t v : set) {
+    if (v >= n || in[v]) return false;
+    in[v] = true;
+  }
+  // Independence: no edge inside the set.
+  for (vid_t v : set) {
+    for (vid_t u : g.out_neighbors(v)) {
+      if (in[u]) return false;
+    }
+  }
+  // Maximality: every outside vertex has a neighbor inside.
+  for (vid_t v = 0; v < n; ++v) {
+    if (in[v]) continue;
+    bool covered = false;
+    for (vid_t u : g.out_neighbors(v)) {
+      if (in[u]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace ga::kernels

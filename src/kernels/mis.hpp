@@ -1,0 +1,23 @@
+// Maximal Independent Set (Fig. 1 row "MIS"): Luby's randomized parallel
+// algorithm plus a greedy sequential reference.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+/// Luby's algorithm: each round, vertices draw priorities; local maxima
+/// join the set and knock out their neighbors. Deterministic in seed.
+std::vector<vid_t> mis_luby(const CSRGraph& g, std::uint64_t seed = 1);
+
+/// Greedy by ascending vertex id (reference / baseline).
+std::vector<vid_t> mis_greedy(const CSRGraph& g);
+
+/// Validation: true iff `set` is independent and maximal in g.
+bool is_maximal_independent_set(const CSRGraph& g, const std::vector<vid_t>& set);
+
+}  // namespace ga::kernels

@@ -1,0 +1,41 @@
+// PageRank (Fig. 1 row "PR"), the canonical "compute a vertex property"
+// centrality kernel. Pull-style power iteration (deterministic, no atomics)
+// with dangling-mass redistribution and L1 convergence test.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-8;   // L1 delta between iterations
+  unsigned max_iters = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;  // sums to ~1
+  unsigned iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts = {});
+
+/// Top-k vertices by rank (descending) — the "search for largest" pattern.
+std::vector<std::pair<double, vid_t>> pagerank_topk(const PageRankResult& r,
+                                                    std::size_t k);
+
+/// Personalized PageRank: the restart mass returns to `seeds` (uniformly)
+/// instead of to all vertices — the "explore the region around some number
+/// of vertices" pattern behind recommendation and link-prediction uses the
+/// paper's introduction motivates.
+PageRankResult personalized_pagerank(const CSRGraph& g,
+                                     const std::vector<vid_t>& seeds,
+                                     const PageRankOptions& opts = {});
+
+}  // namespace ga::kernels

@@ -1,0 +1,143 @@
+#include "kernels/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/prng.hpp"
+
+namespace ga::kernels {
+
+eid_t edge_cut(const CSRGraph& g, const std::vector<std::uint32_t>& part) {
+  GA_CHECK(part.size() == g.num_vertices(), "partition size mismatch");
+  eid_t cut = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (vid_t v : g.out_neighbors(u)) {
+      if (u < v && part[u] != part[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+namespace {
+
+double compute_imbalance(const std::vector<std::uint32_t>& part,
+                         std::uint32_t k, vid_t n) {
+  std::vector<vid_t> sizes(k, 0);
+  for (std::uint32_t p : part) ++sizes[p];
+  const double ideal = static_cast<double>(n) / k;
+  double worst = 0.0;
+  for (vid_t s : sizes) {
+    worst = std::max(worst, static_cast<double>(s) / ideal);
+  }
+  return worst - 1.0;
+}
+
+}  // namespace
+
+PartitionResult partition_bfs_grow(const CSRGraph& g, std::uint32_t k,
+                                   std::uint64_t seed) {
+  GA_CHECK(k >= 1, "partition: k >= 1");
+  const vid_t n = g.num_vertices();
+  GA_CHECK(k <= n, "partition: k exceeds vertex count");
+  PartitionResult r;
+  r.k = k;
+  r.part.assign(n, k);  // k = unassigned
+  const vid_t capacity = static_cast<vid_t>(ceil_div(n, k));
+
+  core::Xoshiro256 rng(seed);
+  std::vector<std::deque<vid_t>> frontiers(k);
+  std::vector<vid_t> sizes(k, 0);
+  // Distinct random seeds.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    vid_t s;
+    do {
+      s = rng.next_vid(n);
+    } while (r.part[s] != k);
+    r.part[s] = p;
+    ++sizes[p];
+    frontiers[p].push_back(s);
+  }
+  // Round-robin frontier growth under capacity.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t p = 0; p < k; ++p) {
+      if (sizes[p] >= capacity) continue;
+      while (!frontiers[p].empty() && sizes[p] < capacity) {
+        const vid_t u = frontiers[p].front();
+        frontiers[p].pop_front();
+        bool grabbed = false;
+        for (vid_t v : g.out_neighbors(u)) {
+          if (r.part[v] == k) {
+            r.part[v] = p;
+            ++sizes[p];
+            frontiers[p].push_back(v);
+            progress = true;
+            grabbed = true;
+            if (sizes[p] >= capacity) break;
+          }
+        }
+        if (grabbed) break;  // round-robin fairness: one grab per turn
+      }
+    }
+  }
+  // Disconnected leftovers: assign to the smallest part.
+  for (vid_t v = 0; v < n; ++v) {
+    if (r.part[v] == k) {
+      const auto p = static_cast<std::uint32_t>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+      r.part[v] = p;
+      ++sizes[p];
+    }
+  }
+  r.cut_edges = edge_cut(g, r.part);
+  r.imbalance = compute_imbalance(r.part, k, n);
+  return r;
+}
+
+PartitionResult refine_partition(const CSRGraph& g, PartitionResult init,
+                                 double balance_factor, unsigned max_passes) {
+  const vid_t n = g.num_vertices();
+  const std::uint32_t k = init.k;
+  std::vector<vid_t> sizes(k, 0);
+  for (std::uint32_t p : init.part) ++sizes[p];
+  const auto max_size = static_cast<vid_t>(
+      balance_factor * static_cast<double>(n) / k + 1.0);
+
+  std::vector<eid_t> links(k);
+  for (unsigned pass = 0; pass < max_passes; ++pass) {
+    bool moved = false;
+    for (vid_t u = 0; u < n; ++u) {
+      std::fill(links.begin(), links.end(), 0);
+      for (vid_t v : g.out_neighbors(u)) ++links[init.part[v]];
+      const std::uint32_t cur = init.part[u];
+      std::uint32_t best = cur;
+      // Gain = links to target - links to current part.
+      eid_t best_links = links[cur];
+      for (std::uint32_t p = 0; p < k; ++p) {
+        if (p == cur || sizes[p] + 1 > max_size) continue;
+        if (links[p] > best_links) {
+          best = p;
+          best_links = links[p];
+        }
+      }
+      if (best != cur && sizes[cur] > 1) {
+        init.part[u] = best;
+        --sizes[cur];
+        ++sizes[best];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  init.cut_edges = edge_cut(g, init.part);
+  init.imbalance = compute_imbalance(init.part, k, n);
+  return init;
+}
+
+PartitionResult partition(const CSRGraph& g, std::uint32_t k,
+                          std::uint64_t seed) {
+  return refine_partition(g, partition_bfs_grow(g, k, seed));
+}
+
+}  // namespace ga::kernels

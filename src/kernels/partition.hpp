@@ -1,0 +1,39 @@
+// Graph Partitioning (Fig. 1 row "GP"): split the vertex set into k
+// balanced parts minimizing cut edges. BFS-grow seeding plus a
+// Kernighan–Lin-style boundary refinement pass — the classic multilevel
+// building blocks without the multilevel coarsening (graphs here fit RAM).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct PartitionResult {
+  std::vector<std::uint32_t> part;  // part id per vertex, 0..k-1
+  std::uint32_t k = 0;
+  eid_t cut_edges = 0;              // undirected edges crossing parts
+  double imbalance = 0.0;           // max part size / ideal size - 1
+};
+
+/// Number of undirected edges crossing parts under `part`.
+eid_t edge_cut(const CSRGraph& g, const std::vector<std::uint32_t>& part);
+
+/// BFS-grow: k seeds spread by frontier growth with capacity limits.
+PartitionResult partition_bfs_grow(const CSRGraph& g, std::uint32_t k,
+                                   std::uint64_t seed = 1);
+
+/// Greedy boundary refinement: move vertices to the neighboring part with
+/// max gain while respecting a balance factor. Improves an existing split.
+PartitionResult refine_partition(const CSRGraph& g, PartitionResult init,
+                                 double balance_factor = 1.05,
+                                 unsigned max_passes = 8);
+
+/// Convenience: BFS-grow then refine.
+PartitionResult partition(const CSRGraph& g, std::uint32_t k,
+                          std::uint64_t seed = 1);
+
+}  // namespace ga::kernels

@@ -1,0 +1,149 @@
+#include "kernels/scc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ga::kernels {
+
+namespace {
+
+void fill_sizes(SccResult& r) {
+  std::unordered_map<vid_t, vid_t> sizes;
+  for (vid_t c : r.component) ++sizes[c];
+  for (const auto& [c, s] : sizes) r.largest_size = std::max(r.largest_size, s);
+}
+
+}  // namespace
+
+SccResult scc_tarjan(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  SccResult r;
+  r.component.assign(n, kInvalidVid);
+
+  constexpr vid_t kUnvisited = kInvalidVid;
+  std::vector<vid_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<vid_t> stack;          // Tarjan's SCC stack
+  vid_t next_index = 0;
+
+  // Explicit DFS frame: vertex + position within its adjacency list.
+  struct Frame {
+    vid_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (vid_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto nbrs = g.out_neighbors(f.v);
+      if (f.child < nbrs.size()) {
+        const vid_t w = nbrs[f.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        // Post-order: pop, propagate lowlink, emit SCC at roots.
+        const vid_t v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          for (;;) {
+            const vid_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            r.component[w] = r.num_components;
+            if (w == v) break;
+          }
+          ++r.num_components;
+        }
+      }
+    }
+  }
+  fill_sizes(r);
+  return r;
+}
+
+SccResult scc_kosaraju(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  SccResult r;
+  r.component.assign(n, kInvalidVid);
+  const CSRGraph gt = g.transposed();
+
+  // Pass 1: iterative DFS finish order on g.
+  std::vector<vid_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  struct Frame {
+    vid_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+  for (vid_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto nbrs = g.out_neighbors(f.v);
+      if (f.child < nbrs.size()) {
+        const vid_t w = nbrs[f.child++];
+        if (!visited[w]) {
+          visited[w] = true;
+          dfs.push_back({w, 0});
+        }
+      } else {
+        order.push_back(f.v);
+        dfs.pop_back();
+      }
+    }
+  }
+
+  // Pass 2: DFS on transpose in reverse finish order.
+  std::vector<vid_t> stack;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (r.component[*it] != kInvalidVid) continue;
+    stack.push_back(*it);
+    r.component[*it] = r.num_components;
+    while (!stack.empty()) {
+      const vid_t u = stack.back();
+      stack.pop_back();
+      for (vid_t v : gt.out_neighbors(u)) {
+        if (r.component[v] == kInvalidVid) {
+          r.component[v] = r.num_components;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++r.num_components;
+  }
+  fill_sizes(r);
+  return r;
+}
+
+std::vector<vid_t> normalize_partition(const std::vector<vid_t>& comp) {
+  std::vector<vid_t> out(comp.size());
+  std::unordered_map<vid_t, vid_t> remap;
+  vid_t next = 0;
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    auto [it, inserted] = remap.try_emplace(comp[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,27 @@
+// Strongly Connected Components (Fig. 1 row "CCS") for directed graphs.
+// Tarjan (single pass, iterative to survive deep graphs) and Kosaraju
+// (two-pass, used as the cross-check oracle).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct SccResult {
+  std::vector<vid_t> component;  // SCC id per vertex (0..num_components-1)
+  vid_t num_components = 0;
+  vid_t largest_size = 0;
+};
+
+SccResult scc_tarjan(const CSRGraph& g);
+SccResult scc_kosaraju(const CSRGraph& g);
+
+/// Normalize both results to compare: same partition iff equal after
+/// relabeling by first occurrence.
+std::vector<vid_t> normalize_partition(const std::vector<vid_t>& comp);
+
+}  // namespace ga::kernels

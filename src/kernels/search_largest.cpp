@@ -1,0 +1,49 @@
+#include "kernels/search_largest.hpp"
+
+#include <mutex>
+
+#include "core/thread_pool.hpp"
+#include "core/topk.hpp"
+
+namespace ga::kernels {
+
+std::vector<ScoredVertex> search_largest(const std::vector<double>& property,
+                                         std::size_t k) {
+  // Parallel partial top-k per chunk, merged under a lock.
+  core::TopK<vid_t, double> merged(k);
+  std::mutex mu;
+  std::function<void(std::uint64_t, std::uint64_t)> body =
+      [&](std::uint64_t b, std::uint64_t e) {
+        core::TopK<vid_t, double> local(k);
+        for (std::uint64_t i = b; i < e; ++i) {
+          local.offer(property[i], static_cast<vid_t>(i));
+        }
+        std::lock_guard<std::mutex> lk(mu);
+        for (const auto& [score, v] : local.sorted_desc()) {
+          merged.offer(score, v);
+        }
+      };
+  core::ThreadPool::global().parallel_for(0, property.size(), 4096, body);
+  std::vector<ScoredVertex> out;
+  for (const auto& [score, v] : merged.sorted_desc()) out.push_back({score, v});
+  return out;
+}
+
+std::vector<vid_t> search_where(vid_t num_vertices,
+                                const std::function<bool(vid_t)>& pred) {
+  std::vector<vid_t> out;
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    if (pred(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<ScoredVertex> largest_degree(const CSRGraph& g, std::size_t k) {
+  std::vector<double> deg(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    deg[v] = static_cast<double>(g.out_degree(v));
+  }
+  return search_largest(deg, k);
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,31 @@
+// "Search for Largest" (Fig. 1 row) — scan a vertex property for the top-k
+// extreme values, the seed-selection primitive of the canonical flow
+// (Fig. 2 "selection criteria"). Also provides predicate scans.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct ScoredVertex {
+  double score = 0.0;
+  vid_t v = 0;
+};
+
+/// Top-k vertices by `property` (descending score). Parallel scan.
+std::vector<ScoredVertex> search_largest(const std::vector<double>& property,
+                                         std::size_t k);
+
+/// All vertices satisfying `pred` (sorted ascending).
+std::vector<vid_t> search_where(vid_t num_vertices,
+                                const std::function<bool(vid_t)>& pred);
+
+/// Top-k by out-degree, the paper's canonical example property.
+std::vector<ScoredVertex> largest_degree(const CSRGraph& g, std::size_t k);
+
+}  // namespace ga::kernels

@@ -1,0 +1,149 @@
+#include "kernels/sssp.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ga::kernels {
+
+namespace {
+
+SsspResult make_result(vid_t n) {
+  SsspResult r;
+  r.dist.assign(n, kInfWeight);
+  r.parent.assign(n, kInvalidVid);
+  return r;
+}
+
+float weight_of(const CSRGraph& g, vid_t u, std::size_t i) {
+  return g.weighted() ? g.out_weights(u)[i] : 1.0f;
+}
+
+}  // namespace
+
+SsspResult dijkstra(const CSRGraph& g, vid_t source) {
+  GA_CHECK(source < g.num_vertices(), "dijkstra: source out of range");
+  SsspResult r = make_result(g.num_vertices());
+  r.dist[source] = 0.0f;
+  r.parent[source] = source;
+  using Entry = std::pair<float, vid_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  pq.emplace(0.0f, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[u]) continue;  // stale entry
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t v = nbrs[i];
+      const float w = weight_of(g, u, i);
+      GA_ASSERT(w >= 0.0f);
+      ++r.relaxations;
+      if (d + w < r.dist[v]) {
+        r.dist[v] = d + w;
+        r.parent[v] = u;
+        pq.emplace(r.dist[v], v);
+      }
+    }
+  }
+  return r;
+}
+
+SsspResult delta_stepping(const CSRGraph& g, vid_t source, float delta) {
+  GA_CHECK(source < g.num_vertices(), "delta_stepping: source out of range");
+  if (delta <= 0.0f) {
+    // Heuristic: mean edge weight (1.0 for unweighted graphs).
+    if (g.weighted() && g.num_arcs() > 0) {
+      double total = 0.0;
+      for (float w : g.weights()) total += w;
+      delta = static_cast<float>(total / static_cast<double>(g.num_arcs()));
+      if (delta <= 0.0f) delta = 1.0f;
+    } else {
+      delta = 1.0f;
+    }
+  }
+  SsspResult r = make_result(g.num_vertices());
+  r.dist[source] = 0.0f;
+  r.parent[source] = source;
+
+  std::vector<std::vector<vid_t>> buckets(1);
+  buckets[0].push_back(source);
+  const auto bucket_of = [&](float d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+  const auto push = [&](vid_t v, float d) {
+    const std::size_t b = bucket_of(d);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+
+  std::vector<vid_t> current;
+  for (std::size_t bi = 0; bi < buckets.size(); ++bi) {
+    // Phase loop: repeatedly settle light edges inside this bucket.
+    std::vector<vid_t> deferred;  // vertices to relax heavy edges from
+    while (!buckets[bi].empty()) {
+      current.swap(buckets[bi]);
+      buckets[bi].clear();
+      for (vid_t u : current) {
+        if (bucket_of(r.dist[u]) != bi) continue;  // moved on
+        deferred.push_back(u);
+        const auto nbrs = g.out_neighbors(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const float w = weight_of(g, u, i);
+          if (w > delta) continue;  // heavy: deferred below
+          const vid_t v = nbrs[i];
+          ++r.relaxations;
+          if (r.dist[u] + w < r.dist[v]) {
+            r.dist[v] = r.dist[u] + w;
+            r.parent[v] = u;
+            push(v, r.dist[v]);
+          }
+        }
+      }
+    }
+    // Heavy-edge relaxation once the bucket is settled.
+    for (vid_t u : deferred) {
+      const auto nbrs = g.out_neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const float w = weight_of(g, u, i);
+        if (w <= delta) continue;
+        const vid_t v = nbrs[i];
+        ++r.relaxations;
+        if (r.dist[u] + w < r.dist[v]) {
+          r.dist[v] = r.dist[u] + w;
+          r.parent[v] = u;
+          push(v, r.dist[v]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+SsspResult bellman_ford(const CSRGraph& g, vid_t source) {
+  GA_CHECK(source < g.num_vertices(), "bellman_ford: source out of range");
+  const vid_t n = g.num_vertices();
+  SsspResult r = make_result(n);
+  r.dist[source] = 0.0f;
+  r.parent[source] = source;
+  bool changed = true;
+  for (vid_t round = 0; round < n && changed; ++round) {
+    changed = false;
+    for (vid_t u = 0; u < n; ++u) {
+      if (r.dist[u] == kInfWeight) continue;
+      const auto nbrs = g.out_neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid_t v = nbrs[i];
+        const float w = weight_of(g, u, i);
+        ++r.relaxations;
+        if (r.dist[u] + w < r.dist[v]) {
+          r.dist[v] = r.dist[u] + w;
+          r.parent[v] = u;
+          changed = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,33 @@
+// Single-Source Shortest Path (Fig. 1 row "SSSP") over float edge weights.
+// Dijkstra (binary heap) for exact reference, delta-stepping (the scalable
+// bucket formulation used by Graph Challenge / GAP), and Bellman-Ford
+// (handles the full generality, used as the property-test oracle).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+inline constexpr float kInfWeight = std::numeric_limits<float>::infinity();
+
+struct SsspResult {
+  std::vector<float> dist;    // kInfWeight if unreached
+  std::vector<vid_t> parent;  // kInvalidVid if none
+  std::uint64_t relaxations = 0;
+};
+
+/// Exact Dijkstra; requires nonnegative weights (unweighted graphs use 1).
+SsspResult dijkstra(const CSRGraph& g, vid_t source);
+
+/// Delta-stepping with bucket width `delta` (<=0 picks mean-weight
+/// heuristic). Nonnegative weights.
+SsspResult delta_stepping(const CSRGraph& g, vid_t source, float delta = 0.0f);
+
+/// Bellman-Ford; tolerates any nonnegative weights, O(nm) worst case.
+SsspResult bellman_ford(const CSRGraph& g, vid_t source);
+
+}  // namespace ga::kernels

@@ -1,0 +1,139 @@
+#include "kernels/subgraph_iso.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+struct Matcher {
+  const CSRGraph& data;
+  const CSRGraph& pattern;
+  const std::function<void(const Embedding&)>* emit;
+  const SubgraphIsoOptions& opts;
+  std::vector<vid_t> order;       // pattern vertices in match order
+  std::vector<vid_t> mapping;     // pattern -> data (kInvalidVid = unmapped)
+  std::vector<bool> used;         // data vertex already mapped
+  std::uint64_t found = 0;
+
+  bool feasible(vid_t pv, vid_t dv) const {
+    if (data.out_degree(dv) < pattern.out_degree(pv)) return false;
+    // Every already-mapped pattern neighbor must be a data neighbor; for
+    // induced matching, non-neighbors must be non-neighbors.
+    for (vid_t q = 0; q < pattern.num_vertices(); ++q) {
+      const vid_t dq = mapping[q];
+      if (dq == kInvalidVid || q == pv) continue;
+      const bool p_adj = pattern.has_edge(pv, q);
+      const bool d_adj = data.has_edge(dv, dq);
+      if (p_adj && !d_adj) return false;
+      if (opts.induced && !p_adj && d_adj) return false;
+    }
+    return true;
+  }
+
+  bool backtrack(std::size_t depth) {
+    if (depth == order.size()) {
+      ++found;
+      if (emit != nullptr && *emit) (*emit)(mapping);
+      return opts.limit != 0 && found >= opts.limit;  // true = stop
+    }
+    const vid_t pv = order[depth];
+    // Candidates: data-neighbors of an already-mapped pattern-neighbor
+    // (order guarantees one exists past depth 0), else all vertices.
+    vid_t anchor = kInvalidVid;
+    for (vid_t q : pattern.out_neighbors(pv)) {
+      if (mapping[q] != kInvalidVid) {
+        anchor = mapping[q];
+        break;
+      }
+    }
+    if (anchor != kInvalidVid) {
+      for (vid_t dv : data.out_neighbors(anchor)) {
+        if (used[dv] || !feasible(pv, dv)) continue;
+        mapping[pv] = dv;
+        used[dv] = true;
+        const bool stop = backtrack(depth + 1);
+        used[dv] = false;
+        mapping[pv] = kInvalidVid;
+        if (stop) return true;
+      }
+    } else {
+      for (vid_t dv = 0; dv < data.num_vertices(); ++dv) {
+        if (used[dv] || !feasible(pv, dv)) continue;
+        mapping[pv] = dv;
+        used[dv] = true;
+        const bool stop = backtrack(depth + 1);
+        used[dv] = false;
+        mapping[pv] = kInvalidVid;
+        if (stop) return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Connectivity-first ordering: start at the max-degree pattern vertex,
+/// then repeatedly add the unvisited vertex with most visited neighbors
+/// (ties: higher degree).
+std::vector<vid_t> match_order(const CSRGraph& pattern) {
+  const vid_t k = pattern.num_vertices();
+  std::vector<vid_t> order;
+  std::vector<bool> picked(k, false);
+  vid_t first = 0;
+  for (vid_t v = 1; v < k; ++v) {
+    if (pattern.out_degree(v) > pattern.out_degree(first)) first = v;
+  }
+  order.push_back(first);
+  picked[first] = true;
+  while (order.size() < k) {
+    vid_t best = kInvalidVid;
+    std::size_t best_conn = 0;
+    for (vid_t v = 0; v < k; ++v) {
+      if (picked[v]) continue;
+      std::size_t conn = 0;
+      for (vid_t u : pattern.out_neighbors(v)) {
+        if (picked[u]) ++conn;
+      }
+      if (best == kInvalidVid || conn > best_conn ||
+          (conn == best_conn &&
+           pattern.out_degree(v) > pattern.out_degree(best))) {
+        best = v;
+        best_conn = conn;
+      }
+    }
+    order.push_back(best);
+    picked[best] = true;
+  }
+  return order;
+}
+
+}  // namespace
+
+std::uint64_t subgraph_isomorphisms(
+    const CSRGraph& data, const CSRGraph& pattern,
+    const std::function<void(const Embedding&)>& emit,
+    const SubgraphIsoOptions& opts) {
+  GA_CHECK(pattern.num_vertices() > 0, "empty pattern");
+  GA_CHECK(pattern.num_vertices() <= 16, "pattern too large for VF2-lite");
+  Matcher m{data, pattern, &emit, opts, match_order(pattern),
+            std::vector<vid_t>(pattern.num_vertices(), kInvalidVid),
+            std::vector<bool>(data.num_vertices(), false), 0};
+  m.backtrack(0);
+  return m.found;
+}
+
+std::uint64_t count_cycles(const CSRGraph& data, vid_t k) {
+  GA_CHECK(k >= 3, "cycles need k >= 3");
+  std::vector<graph::Edge> edges;
+  for (vid_t i = 0; i < k; ++i) {
+    edges.push_back(graph::Edge{i, (i + 1) % k});
+  }
+  const CSRGraph cycle = graph::build_undirected(std::move(edges), k);
+  // |Aut(C_k)| = 2k (dihedral group): each cycle is found 2k times.
+  return subgraph_isomorphisms(data, cycle) / (2ULL * k);
+}
+
+}  // namespace ga::kernels

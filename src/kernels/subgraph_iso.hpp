@@ -1,0 +1,39 @@
+// General Subgraph Isomorphism (Fig. 1 row "SI"): find embeddings of a
+// small pattern graph in a data graph. VF2-style backtracking with
+// degree-based candidate pruning and connectivity-ordered pattern
+// traversal. Intended for patterns of <= ~8 vertices (triangles, paths,
+// squares, stars — the shapes streaming benchmarks watch for).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+/// An embedding maps pattern vertex i -> mapping[i] in the data graph.
+using Embedding = std::vector<vid_t>;
+
+struct SubgraphIsoOptions {
+  /// Stop after this many embeddings (0 = unbounded).
+  std::uint64_t limit = 0;
+  /// If true, count only injective embeddings up to pattern automorphism
+  /// is NOT attempted — callers divide by |Aut(pattern)| themselves.
+  bool induced = false;  // induced = non-edges of the pattern must be absent
+};
+
+/// Enumerate embeddings of `pattern` (undirected, connected) in `data`.
+/// Returns the number found; `emit` may be null.
+std::uint64_t subgraph_isomorphisms(
+    const CSRGraph& data, const CSRGraph& pattern,
+    const std::function<void(const Embedding&)>& emit = nullptr,
+    const SubgraphIsoOptions& opts = {});
+
+/// Convenience: count embeddings of a k-cycle (k>=3) in `data`.
+std::uint64_t count_cycles(const CSRGraph& data, vid_t k);
+
+}  // namespace ga::kernels

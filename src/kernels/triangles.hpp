@@ -1,0 +1,39 @@
+// Triangle counting and listing (Fig. 1 rows "GTC" and "TL") — the
+// best-known subgraph-isomorphism kernels. Engines: node-iterator
+// (merge-intersection over sorted adjacency) and forward/edge-iterator
+// over a degree-ordered orientation, which bounds work by arboricity and
+// is the Graph Challenge standard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+using graph::CSRGraph;
+
+struct Triangle {
+  vid_t a, b, c;  // a < b < c
+};
+
+/// Global triangle count, node-iterator algorithm. Undirected graphs only.
+std::uint64_t triangle_count_node_iterator(const CSRGraph& g);
+
+/// Global triangle count, degree-ordered forward algorithm (faster on
+/// power-law graphs).
+std::uint64_t triangle_count_forward(const CSRGraph& g);
+
+/// Per-vertex triangle counts (each triangle adds 1 to all three corners).
+std::vector<std::uint64_t> triangle_counts_per_vertex(const CSRGraph& g);
+
+/// Enumerate every triangle once (a<b<c) through the callback.
+void triangle_list(const CSRGraph& g,
+                   const std::function<void(const Triangle&)>& emit);
+
+/// Size of sorted-range intersection (shared helper for Jaccard/clustering).
+std::size_t intersect_count(std::span<const vid_t> a, std::span<const vid_t> b);
+
+}  // namespace ga::kernels

@@ -1,0 +1,70 @@
+#include "kernels/weighted_jaccard.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ga::kernels {
+
+namespace {
+
+double weight_at(const CSRGraph& g, vid_t u, std::size_t i) {
+  return g.weighted() ? g.out_weights(u)[i] : 1.0;
+}
+
+/// min-sum and max-sum over the merged weighted neighborhoods.
+double ruzicka(const CSRGraph& g, vid_t u, vid_t v) {
+  const auto nu = g.out_neighbors(u);
+  const auto nv = g.out_neighbors(v);
+  double min_sum = 0.0, max_sum = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() || j < nv.size()) {
+    if (j >= nv.size() || (i < nu.size() && nu[i] < nv[j])) {
+      max_sum += weight_at(g, u, i);
+      ++i;
+    } else if (i >= nu.size() || nv[j] < nu[i]) {
+      max_sum += weight_at(g, v, j);
+      ++j;
+    } else {
+      const double a = weight_at(g, u, i);
+      const double b = weight_at(g, v, j);
+      min_sum += std::min(a, b);
+      max_sum += std::max(a, b);
+      ++i;
+      ++j;
+    }
+  }
+  return max_sum == 0.0 ? 0.0 : min_sum / max_sum;
+}
+
+}  // namespace
+
+double weighted_jaccard_coefficient(const CSRGraph& g, vid_t u, vid_t v) {
+  GA_CHECK(u < g.num_vertices() && v < g.num_vertices(),
+           "weighted_jaccard: vertex out of range");
+  return ruzicka(g, u, v);
+}
+
+std::vector<JaccardPair> weighted_jaccard_query(const CSRGraph& g, vid_t u,
+                                                double threshold) {
+  GA_CHECK(u < g.num_vertices(), "weighted_jaccard_query: out of range");
+  // Candidates: 2-hop neighbors (anything else has coefficient 0).
+  std::unordered_set<vid_t> candidates;
+  for (vid_t w : g.out_neighbors(u)) {
+    for (vid_t v : g.out_neighbors(w)) {
+      if (v != u) candidates.insert(v);
+    }
+  }
+  std::vector<JaccardPair> out;
+  for (vid_t v : candidates) {
+    const double j = ruzicka(g, u, v);
+    if (j > 0.0 && j >= threshold) out.push_back({u, v, j});
+  }
+  std::sort(out.begin(), out.end(), [](const JaccardPair& a, const JaccardPair& b) {
+    return a.coefficient != b.coefficient ? a.coefficient > b.coefficient
+                                          : a.v < b.v;
+  });
+  return out;
+}
+
+}  // namespace ga::kernels

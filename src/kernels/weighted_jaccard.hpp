@@ -1,0 +1,24 @@
+// Weighted Jaccard (Ruzicka) similarity — the weighted extension the
+// paper's Jaccard benchmark work [21] points toward, and what NORA
+// actually needs (edge weight = number of shared sightings):
+//   J_w(u,v) = sum_w min(A(u,w), A(v,w)) / sum_w max(A(u,w), A(v,w)).
+// Reduces to plain Jaccard on 0/1 weights.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "kernels/jaccard.hpp"
+
+namespace ga::kernels {
+
+/// Ruzicka coefficient for a pair over weighted adjacency (unweighted
+/// graphs use weight 1 per arc).
+double weighted_jaccard_coefficient(const CSRGraph& g, vid_t u, vid_t v);
+
+/// Query form: all vertices with weighted coefficient >= threshold (> 0),
+/// sorted descending.
+std::vector<JaccardPair> weighted_jaccard_query(const CSRGraph& g, vid_t u,
+                                                double threshold = 0.0);
+
+}  // namespace ga::kernels

@@ -1,0 +1,104 @@
+#include "pipeline/analytics.hpp"
+
+#include <algorithm>
+
+#include "kernels/clustering.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/kcore.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/triangles.hpp"
+
+namespace ga::pipeline {
+
+namespace {
+
+/// Writes `values` into (creating if needed) column `name` of the subgraph.
+void put_column(ExtractedSubgraph& sub, const std::string& name,
+                const std::vector<double>& values) {
+  auto& props = sub.properties();
+  if (!props.has_column(name)) props.add_double_column(name);
+  auto& col = props.doubles(name);
+  GA_CHECK(col.size() == values.size(), "analytic column size mismatch");
+  std::copy(values.begin(), values.end(), col.begin());
+}
+
+}  // namespace
+
+void AnalyticRegistry::register_analytic(const std::string& name, Analytic fn) {
+  GA_CHECK(static_cast<bool>(fn), "register_analytic: empty analytic");
+  fns_[name] = std::move(fn);
+}
+
+std::vector<std::string> AnalyticRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : fns_) out.push_back(name);
+  return out;
+}
+
+AnalyticOutput AnalyticRegistry::run(const std::string& name,
+                                     ExtractedSubgraph& sub) const {
+  const auto it = fns_.find(name);
+  GA_CHECK(it != fns_.end(), "unknown analytic: " + name);
+  return it->second(sub);
+}
+
+AnalyticRegistry AnalyticRegistry::with_builtins() {
+  AnalyticRegistry r;
+  r.register_analytic("degree", [](ExtractedSubgraph& sub) {
+    std::vector<double> deg(sub.num_vertices());
+    double total = 0.0;
+    for (vid_t v = 0; v < sub.num_vertices(); ++v) {
+      deg[v] = static_cast<double>(sub.graph().out_degree(v));
+      total += deg[v];
+    }
+    put_column(sub, "an_degree", deg);
+    return AnalyticOutput{sub.num_vertices() ? total / sub.num_vertices() : 0.0,
+                          "an_degree"};
+  });
+  r.register_analytic("pagerank", [](ExtractedSubgraph& sub) {
+    const auto pr = kernels::pagerank(sub.graph());
+    put_column(sub, "an_pagerank", pr.rank);
+    const double mx =
+        pr.rank.empty() ? 0.0 : *std::max_element(pr.rank.begin(), pr.rank.end());
+    return AnalyticOutput{mx, "an_pagerank"};
+  });
+  r.register_analytic("clustering", [](ExtractedSubgraph& sub) {
+    const auto cc = kernels::local_clustering(sub.graph());
+    put_column(sub, "an_clustering", cc);
+    double mean = 0.0;
+    for (double c : cc) mean += c;
+    if (!cc.empty()) mean /= static_cast<double>(cc.size());
+    return AnalyticOutput{mean, "an_clustering"};
+  });
+  r.register_analytic("triangles", [](ExtractedSubgraph& sub) {
+    const auto per = kernels::triangle_counts_per_vertex(sub.graph());
+    std::vector<double> dper(per.begin(), per.end());
+    put_column(sub, "an_triangles", dper);
+    return AnalyticOutput{
+        static_cast<double>(kernels::triangle_count_node_iterator(sub.graph())),
+        "an_triangles"};
+  });
+  r.register_analytic("component_size", [](ExtractedSubgraph& sub) {
+    const auto comp = kernels::wcc_union_find(sub.graph());
+    std::vector<vid_t> size_of(sub.num_vertices(), 0);
+    for (vid_t v = 0; v < sub.num_vertices(); ++v) ++size_of[comp.label[v]];
+    std::vector<double> out(sub.num_vertices());
+    for (vid_t v = 0; v < sub.num_vertices(); ++v) {
+      out[v] = static_cast<double>(size_of[comp.label[v]]);
+    }
+    put_column(sub, "an_component_size", out);
+    return AnalyticOutput{static_cast<double>(comp.num_components),
+                          "an_component_size"};
+  });
+  r.register_analytic("core_number", [](ExtractedSubgraph& sub) {
+    const auto core = kernels::core_numbers(sub.graph());
+    std::vector<double> out(core.begin(), core.end());
+    put_column(sub, "an_core_number", out);
+    double mx = 0.0;
+    for (double c : out) mx = std::max(mx, c);
+    return AnalyticOutput{mx, "an_core_number"};
+  });
+  return r;
+}
+
+}  // namespace ga::pipeline

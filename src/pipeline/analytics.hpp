@@ -1,0 +1,41 @@
+// Analytic registry (Fig. 2 "batch analytics"): named analytics run over
+// an extracted subgraph. Each produces a per-vertex double column (written
+// into the subgraph's property table, eligible for write-back) and a
+// scalar summary. This models the paper's accretion loop: analysts define
+// one-time analytics whose outputs become permanent vertex properties.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipeline/extraction.hpp"
+
+namespace ga::pipeline {
+
+struct AnalyticOutput {
+  double scalar = 0.0;          // graph-level summary (Fig. 1 "global value")
+  std::string column_written;   // property column created (empty if none)
+};
+
+using Analytic = std::function<AnalyticOutput(ExtractedSubgraph&)>;
+
+class AnalyticRegistry {
+ public:
+  /// Registers the built-in analytics: "degree", "pagerank",
+  /// "clustering", "triangles", "component_size", "core_number".
+  static AnalyticRegistry with_builtins();
+
+  void register_analytic(const std::string& name, Analytic fn);
+  bool has(const std::string& name) const { return fns_.count(name) != 0; }
+  std::vector<std::string> names() const;
+
+  /// Runs a named analytic (throws if unknown).
+  AnalyticOutput run(const std::string& name, ExtractedSubgraph& sub) const;
+
+ private:
+  std::map<std::string, Analytic> fns_;
+};
+
+}  // namespace ga::pipeline

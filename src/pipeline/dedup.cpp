@@ -1,0 +1,181 @@
+#include "pipeline/dedup.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ga::pipeline {
+
+namespace {
+
+std::string block_key(const RawRecord& r) {
+  return blocking_code(r.last_name) + ":" + std::to_string(r.birth_year);
+}
+
+bool records_match(const RawRecord& a, const RawRecord& b,
+                   const DedupOptions& opts) {
+  // Exact SSN match dominates.
+  if (!a.ssn.empty() && a.ssn == b.ssn) return true;
+  if (a.birth_year != b.birth_year) return false;
+  const double sim = 0.5 * name_similarity(a.first_name, b.first_name) +
+                     0.5 * name_similarity(a.last_name, b.last_name);
+  return sim >= opts.name_match_threshold;
+}
+
+Entity make_entity(std::uint64_t id, const RawRecord& rec) {
+  Entity e;
+  e.entity_id = id;
+  e.first_name = rec.first_name;
+  e.last_name = rec.last_name;
+  e.ssn = rec.ssn;
+  e.birth_year = rec.birth_year;
+  e.credit_score = rec.credit_score;
+  e.addresses = {rec.address_id};
+  e.record_ids = {rec.record_id};
+  e.true_person = rec.true_person;
+  return e;
+}
+
+void absorb(Entity& e, const RawRecord& rec) {
+  if (e.ssn.empty()) e.ssn = rec.ssn;
+  e.record_ids.push_back(rec.record_id);
+  const auto it =
+      std::lower_bound(e.addresses.begin(), e.addresses.end(), rec.address_id);
+  if (it == e.addresses.end() || *it != rec.address_id) {
+    e.addresses.insert(it, rec.address_id);
+  }
+}
+
+}  // namespace
+
+DedupResult dedup_batch(const std::vector<RawRecord>& records,
+                        const DedupOptions& opts) {
+  DedupResult out;
+  const std::size_t n = records.size();
+  // Block, then compare all pairs within each block, merging via
+  // union-find over record indices.
+  std::unordered_map<std::string, std::vector<std::uint32_t>> blocks;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    blocks[block_key(records[i])].push_back(i);
+  }
+  // Also a direct SSN index: identical SSNs match across blocks (typos in
+  // the surname change the blocking code).
+  std::unordered_map<std::string, std::vector<std::uint32_t>> ssn_groups;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!records[i].ssn.empty()) ssn_groups[records[i].ssn].push_back(i);
+  }
+
+  kernels::UnionFind uf(static_cast<vid_t>(n));
+  for (const auto& [key, members] : blocks) {
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        ++out.candidate_pairs;
+        if (records_match(records[members[a]], records[members[b]], opts)) {
+          if (uf.unite(members[a], members[b])) ++out.merges;
+        }
+      }
+    }
+  }
+  for (const auto& [ssn, members] : ssn_groups) {
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      ++out.candidate_pairs;
+      if (uf.unite(members[0], members[i])) ++out.merges;
+    }
+  }
+
+  // Materialize entities in first-record order.
+  out.entity_of_record.assign(n, 0);
+  std::unordered_map<vid_t, std::uint64_t> entity_of_root;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const vid_t root = uf.find(i);
+    auto [it, inserted] =
+        entity_of_root.try_emplace(root, out.entities.size());
+    if (inserted) {
+      out.entities.push_back(make_entity(it->second, records[i]));
+    } else {
+      absorb(out.entities[it->second], records[i]);
+    }
+    out.entity_of_record[i] = it->second;
+  }
+  return out;
+}
+
+DedupQuality score_dedup(const std::vector<RawRecord>& records,
+                         const std::vector<std::uint64_t>& entity_of_record) {
+  GA_CHECK(records.size() == entity_of_record.size(),
+           "score_dedup: size mismatch");
+  // Pairwise measure over same-entity pairs, computed group-wise.
+  // precision = |pairs grouped together AND truly same| / |pairs grouped|
+  // recall    = ... / |pairs truly same|
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_entity,
+      by_truth;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    by_entity[entity_of_record[i]].push_back(i);
+    by_truth[records[i].true_person].push_back(i);
+  }
+  auto pairs = [](std::size_t k) {
+    return static_cast<double>(k) * static_cast<double>(k - 1) / 2.0;
+  };
+  double grouped = 0.0, truly = 0.0, correct = 0.0;
+  for (const auto& [e, members] : by_entity) grouped += pairs(members.size());
+  for (const auto& [t, members] : by_truth) truly += pairs(members.size());
+  // Correct pairs: within each entity, count pairs agreeing on truth.
+  for (const auto& [e, members] : by_entity) {
+    std::unordered_map<std::uint64_t, std::size_t> counts;
+    for (std::size_t i : members) ++counts[records[i].true_person];
+    for (const auto& [t, k] : counts) correct += pairs(k);
+  }
+  DedupQuality q;
+  if (grouped > 0.0) q.precision = correct / grouped;
+  if (truly > 0.0) q.recall = correct / truly;
+  return q;
+}
+
+InlineDeduper::InlineDeduper(const DedupOptions& opts) : opts_(opts) {}
+
+void InlineDeduper::preload(const std::vector<Entity>& entities) {
+  GA_CHECK(entities_.empty(), "preload before any ingest");
+  entities_ = entities;
+  for (std::uint64_t eid = 0; eid < entities_.size(); ++eid) {
+    Entity& e = entities_[eid];
+    e.entity_id = eid;
+    blocks_[blocking_code(e.last_name) + ":" + std::to_string(e.birth_year)]
+        .push_back(eid);
+    if (!e.ssn.empty()) ssn_index_.try_emplace(e.ssn, eid);
+  }
+}
+
+bool InlineDeduper::matches(const Entity& e, const RawRecord& rec) const {
+  if (!e.ssn.empty() && e.ssn == rec.ssn) return true;
+  if (e.birth_year != rec.birth_year) return false;
+  const double sim = 0.5 * name_similarity(e.first_name, rec.first_name) +
+                     0.5 * name_similarity(e.last_name, rec.last_name);
+  return sim >= opts_.name_match_threshold;
+}
+
+std::uint64_t InlineDeduper::ingest(const RawRecord& rec) {
+  // SSN fast path.
+  if (!rec.ssn.empty()) {
+    const auto it = ssn_index_.find(rec.ssn);
+    if (it != ssn_index_.end()) {
+      absorb(entities_[it->second], rec);
+      return it->second;
+    }
+  }
+  const std::string key = block_key(rec);
+  auto& block = blocks_[key];
+  for (std::uint64_t eid : block) {
+    ++comparisons_;
+    if (matches(entities_[eid], rec)) {
+      absorb(entities_[eid], rec);
+      if (!rec.ssn.empty()) ssn_index_.try_emplace(rec.ssn, eid);
+      return eid;
+    }
+  }
+  const std::uint64_t eid = entities_.size();
+  entities_.push_back(make_entity(eid, rec));
+  block.push_back(eid);
+  if (!rec.ssn.empty()) ssn_index_.try_emplace(rec.ssn, eid);
+  return eid;
+}
+
+}  // namespace ga::pipeline

@@ -1,0 +1,80 @@
+// Deduplication — Fig. 2's entry stage in both its forms:
+//  * post-process (batch) dedup: blocking on a phonetic surname code +
+//    birth year, pairwise match inside blocks (exact SSN, or name
+//    similarity), union-find merge into entities ([15], [17]);
+//  * in-line (streaming) dedup: the same blocking index maintained
+//    incrementally, each arriving record resolved against it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernels/connected_components.hpp"
+#include "pipeline/record.hpp"
+
+namespace ga::pipeline {
+
+struct Entity {
+  std::uint64_t entity_id = 0;
+  std::string first_name;   // representative (first-seen) values
+  std::string last_name;
+  std::string ssn;
+  std::uint32_t birth_year = 0;
+  double credit_score = 0.0;
+  std::vector<std::uint32_t> addresses;      // distinct, sorted
+  std::vector<std::uint64_t> record_ids;
+  std::uint64_t true_person = 0;             // majority ground truth
+};
+
+struct DedupOptions {
+  double name_match_threshold = 0.8;  // min combined name similarity
+};
+
+struct DedupResult {
+  std::vector<Entity> entities;
+  std::vector<std::uint64_t> entity_of_record;  // record index -> entity id
+  std::uint64_t candidate_pairs = 0;   // pairs compared (work metric)
+  std::uint64_t merges = 0;
+};
+
+/// Batch dedup over a full corpus.
+DedupResult dedup_batch(const std::vector<RawRecord>& records,
+                        const DedupOptions& opts = {});
+
+/// Quality vs ground truth: pairwise precision/recall over records.
+struct DedupQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+DedupQuality score_dedup(const std::vector<RawRecord>& records,
+                         const std::vector<std::uint64_t>& entity_of_record);
+
+/// In-line (streaming) dedup: resolves records one at a time.
+class InlineDeduper {
+ public:
+  explicit InlineDeduper(const DedupOptions& opts = {});
+
+  /// Pre-load existing entities (e.g. the batch-dedup output) so streaming
+  /// records resolve against them instead of spawning duplicates.
+  void preload(const std::vector<Entity>& entities);
+
+  /// Resolve a record to an existing or fresh entity id; updates state.
+  std::uint64_t ingest(const RawRecord& rec);
+
+  const std::vector<Entity>& entities() const { return entities_; }
+  std::uint64_t comparisons() const { return comparisons_; }
+
+ private:
+  bool matches(const Entity& e, const RawRecord& rec) const;
+
+  DedupOptions opts_;
+  std::vector<Entity> entities_;
+  // Blocking index: code -> entity ids in the block.
+  std::unordered_map<std::string, std::vector<std::uint64_t>> blocks_;
+  std::unordered_map<std::string, std::uint64_t> ssn_index_;
+  std::uint64_t comparisons_ = 0;
+};
+
+}  // namespace ga::pipeline

@@ -1,0 +1,53 @@
+// Subgraph extraction (Fig. 2 center): from seed vertices, copy a
+// depth-bounded neighborhood out of the persistent store into a compact
+// CSR ("a smaller, but faster access rate, memory"), projecting only a
+// subset of property columns. Results can be written back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/property_table.hpp"
+#include "pipeline/graph_store.hpp"
+
+namespace ga::pipeline {
+
+struct ExtractionOptions {
+  std::uint32_t depth = 2;
+  /// Property columns to project into the extracted subgraph.
+  std::vector<std::string> projected_properties;
+};
+
+class ExtractedSubgraph {
+ public:
+  ExtractedSubgraph(graph::CSRGraph g, std::vector<vid_t> members,
+                    graph::PropertyTable props);
+
+  const graph::CSRGraph& graph() const { return g_; }
+  graph::PropertyTable& properties() { return props_; }
+  const graph::PropertyTable& properties() const { return props_; }
+
+  vid_t num_vertices() const { return g_.num_vertices(); }
+  /// Store vertex id of local vertex i.
+  vid_t global_id(vid_t local) const { return members_[local]; }
+  /// Local id of a store vertex (kInvalidVid if not a member).
+  vid_t local_id(vid_t global) const;
+  const std::vector<vid_t>& members() const { return members_; }
+
+  /// Push this subgraph's property columns back into the store table —
+  /// Fig. 2's "updates to properties in the larger graph".
+  void write_back(GraphStore& store) const;
+
+ private:
+  graph::CSRGraph g_;
+  std::vector<vid_t> members_;  // sorted store ids, index = local id
+  graph::PropertyTable props_;
+};
+
+/// Extract the union of seed neighborhoods from the store.
+ExtractedSubgraph extract(const GraphStore& store,
+                          const std::vector<vid_t>& seeds,
+                          const ExtractionOptions& opts = {});
+
+}  // namespace ga::pipeline

@@ -1,0 +1,80 @@
+// CanonicalFlow: end-to-end orchestration of Fig. 2 with per-stage timing.
+// Batch path: raw records → batch dedup → persistent GraphStore →
+// NORA boil (precompute + write-back) → selection criteria → subgraph
+// extraction (+property projection) → batch analytics → property
+// write-back.
+// Streaming path: a record/query stream → in-line dedup → incremental
+// store updates → threshold test → (on trigger) extraction + analytic →
+// alerts; queries answered in real time by nora_query.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/analytics.hpp"
+#include "pipeline/dedup.hpp"
+#include "pipeline/extraction.hpp"
+#include "pipeline/nora.hpp"
+#include "pipeline/record.hpp"
+#include "pipeline/selection.hpp"
+
+namespace ga::pipeline {
+
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+  std::string detail;
+};
+
+struct BatchFlowResult {
+  std::vector<StageTiming> timings;
+  DedupQuality dedup_quality;
+  std::size_t num_entities = 0;
+  std::size_t num_relationships = 0;
+  double ring_recall = 0.0;
+  std::vector<vid_t> seeds;
+  vid_t extracted_vertices = 0;
+  double analytic_scalar = 0.0;
+};
+
+struct BatchFlowOptions {
+  DedupOptions dedup;
+  NoraOptions nora;
+  SelectionCriteria selection;     // topk_property defaults below if empty
+  ExtractionOptions extraction;
+  std::string analytic = "pagerank";
+};
+
+class CanonicalFlow {
+ public:
+  /// Runs the full batch path over a corpus; the store persists in the
+  /// object for subsequent streaming or queries.
+  BatchFlowResult run_batch(const Corpus& corpus,
+                            const BatchFlowOptions& opts = {});
+
+  /// Streaming path: ingest one new raw record (in-line dedup; may add a
+  /// person or a residency). Returns true if the update triggered a NORA
+  /// threshold crossing (new relationship appears for the touched person).
+  bool ingest_streaming(const RawRecord& rec);
+
+  /// Streaming query: real-time NORA relationships for a person vertex.
+  std::vector<Relationship> query(vid_t person) const;
+
+  GraphStore& store();
+  const std::vector<StageTiming>& streaming_timings() const {
+    return stream_timings_;
+  }
+  std::uint64_t streaming_triggers() const { return stream_triggers_; }
+
+ private:
+  std::unique_ptr<GraphStore> store_;
+  std::unique_ptr<InlineDeduper> inline_dedup_;
+  std::vector<std::uint64_t> entity_vertex_;  // inline entity id -> vertex
+  NoraOptions nora_opts_;
+  std::vector<StageTiming> stream_timings_;
+  std::uint64_t stream_triggers_ = 0;
+};
+
+}  // namespace ga::pipeline

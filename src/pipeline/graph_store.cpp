@@ -1,0 +1,157 @@
+#include "pipeline/graph_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace ga::pipeline {
+
+GraphStore::GraphStore(const std::vector<Entity>& entities,
+                       std::uint32_t num_addresses)
+    : g_(static_cast<vid_t>(entities.size()) + num_addresses,
+         /*directed=*/false),
+      props_(entities.size() + num_addresses),
+      num_people_(static_cast<vid_t>(entities.size())),
+      num_addresses_(num_addresses) {
+  auto& cls = props_.add_int_column("class");
+  auto& credit = props_.add_double_column("credit_score");
+  auto& birth = props_.add_int_column("birth_year");
+  auto& surname = props_.add_string_column("last_name");
+  for (vid_t v = 0; v < num_people_; ++v) {
+    cls[v] = static_cast<std::int64_t>(VertexClass::kPerson);
+    credit[v] = entities[v].credit_score;
+    birth[v] = entities[v].birth_year;
+    surname[v] = entities[v].last_name;
+  }
+  for (vid_t a = 0; a < num_addresses_; ++a) {
+    cls[num_people_ + a] = static_cast<std::int64_t>(VertexClass::kAddress);
+  }
+  for (const Entity& e : entities) {
+    const auto pv = person_vertex(e.entity_id);
+    for (std::uint32_t addr : e.addresses) {
+      GA_CHECK(addr < num_addresses_, "entity address out of range");
+      add_residency(pv, addr, 0);
+    }
+  }
+}
+
+vid_t GraphStore::add_person(const Entity& e, std::int64_t ts) {
+  // New person vertices append at the end of the person range is not
+  // possible in a fixed layout; instead they append at the end of the
+  // whole vertex space and the class column records them as persons.
+  const vid_t v = g_.num_vertices();
+  g_.add_vertices(1);
+  props_.resize_rows(props_.num_rows() + 1);
+  props_.ints("class")[v] = static_cast<std::int64_t>(VertexClass::kPerson);
+  props_.doubles("credit_score")[v] = e.credit_score;
+  props_.ints("birth_year")[v] = e.birth_year;
+  props_.strings("last_name")[v] = e.last_name;
+  for (std::uint32_t addr : e.addresses) {
+    add_residency(v, addr, ts);
+  }
+  return v;
+}
+
+void GraphStore::add_residency(vid_t person, std::uint32_t address_id,
+                               std::int64_t ts) {
+  GA_CHECK(vertex_class(person) == VertexClass::kPerson,
+           "add_residency: not a person vertex");
+  const vid_t av = address_vertex(address_id);
+  const float prev = g_.edge_weight_or(person, av, 0.0f);
+  // Weight counts sightings of this person at this address.
+  g_.insert_edge(person, av, prev + 1.0f, ts);
+}
+
+GraphStore::GraphStore(vid_t num_people, vid_t num_addresses,
+                       graph::PropertyTable props)
+    : g_(static_cast<vid_t>(props.num_rows()), /*directed=*/false),
+      props_(std::move(props)),
+      num_people_(num_people),
+      num_addresses_(num_addresses) {}
+
+namespace {
+constexpr char kStoreMagic[8] = {'G', 'A', 'S', 'T', 'O', 'R', '0', '1'};
+}
+
+void GraphStore::save(std::ostream& os) const {
+  os.write(kStoreMagic, sizeof(kStoreMagic));
+  const std::uint64_t header[2] = {num_people_, num_addresses_};
+  os.write(reinterpret_cast<const char*>(header), sizeof(header));
+  props_.serialize(os);
+  // Edges: (u, v, w, ts) once per undirected pair.
+  std::vector<std::uint64_t> us, vs;
+  std::vector<float> ws;
+  std::vector<std::int64_t> tss;
+  for (vid_t u = 0; u < g_.num_vertices(); ++u) {
+    g_.for_each_neighbor(u, [&](vid_t v, float w, std::int64_t ts) {
+      if (u < v) {
+        us.push_back(u);
+        vs.push_back(v);
+        ws.push_back(w);
+        tss.push_back(ts);
+      }
+    });
+  }
+  const std::uint64_t m = us.size();
+  os.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    os.write(reinterpret_cast<const char*>(&us[i]), sizeof(us[i]));
+    os.write(reinterpret_cast<const char*>(&vs[i]), sizeof(vs[i]));
+    os.write(reinterpret_cast<const char*>(&ws[i]), sizeof(ws[i]));
+    os.write(reinterpret_cast<const char*>(&tss[i]), sizeof(tss[i]));
+  }
+  GA_CHECK(os.good(), "graph store: write failed");
+}
+
+GraphStore GraphStore::load(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  GA_CHECK(is.good() && std::memcmp(magic, kStoreMagic, sizeof(kStoreMagic)) == 0,
+           "graph store: bad magic");
+  std::uint64_t header[2];
+  is.read(reinterpret_cast<char*>(header), sizeof(header));
+  GA_CHECK(is.good(), "graph store: truncated header");
+  graph::PropertyTable props = graph::PropertyTable::deserialize(is);
+  GraphStore store(static_cast<vid_t>(header[0]), static_cast<vid_t>(header[1]),
+                   std::move(props));
+  std::uint64_t m = 0;
+  is.read(reinterpret_cast<char*>(&m), sizeof(m));
+  GA_CHECK(is.good(), "graph store: truncated edge count");
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0;
+    float w = 0.0f;
+    std::int64_t ts = 0;
+    is.read(reinterpret_cast<char*>(&u), sizeof(u));
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    is.read(reinterpret_cast<char*>(&w), sizeof(w));
+    is.read(reinterpret_cast<char*>(&ts), sizeof(ts));
+    GA_CHECK(!is.fail(), "graph store: truncated edges");
+    store.g_.insert_edge(static_cast<vid_t>(u), static_cast<vid_t>(v), w, ts);
+  }
+  return store;
+}
+
+void GraphStore::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  GA_CHECK(os.good(), "graph store: cannot open " + path);
+  save(os);
+}
+
+GraphStore GraphStore::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GA_CHECK(is.good(), "graph store: cannot open " + path);
+  return load(is);
+}
+
+std::vector<vid_t> GraphStore::addresses_of(vid_t person) const {
+  std::vector<vid_t> out;
+  g_.for_each_neighbor(person, [&](vid_t v, float, std::int64_t) {
+    if (v >= num_people_ && v < num_people_ + num_addresses_) out.push_back(v);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ga::pipeline

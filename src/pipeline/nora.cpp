@@ -1,0 +1,135 @@
+#include "pipeline/nora.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/hash.hpp"
+
+namespace ga::pipeline {
+
+namespace {
+
+Relationship score_pair(const GraphStore& store, vid_t a, vid_t b,
+                        std::uint32_t shared, const NoraOptions& opts) {
+  Relationship rel;
+  rel.a = std::min(a, b);
+  rel.b = std::max(a, b);
+  rel.shared_addresses = shared;
+  const auto& surnames = store.properties().strings("last_name");
+  rel.same_surname =
+      !surnames[rel.a].empty() && surnames[rel.a] == surnames[rel.b];
+  rel.score = static_cast<double>(shared) +
+              (rel.same_surname ? opts.surname_bonus : 0.0);
+  return rel;
+}
+
+bool qualifies(const Relationship& rel, const NoraOptions& opts) {
+  if (rel.shared_addresses >= opts.min_shared_addresses) return true;
+  return opts.surname_relaxes_threshold && rel.same_surname &&
+         rel.shared_addresses >= 1;
+}
+
+}  // namespace
+
+std::vector<Relationship> nora_query(const GraphStore& store, vid_t person,
+                                     const NoraOptions& opts) {
+  GA_CHECK(store.vertex_class(person) == VertexClass::kPerson,
+           "nora_query: not a person vertex");
+  // Count 2-hop co-residents: person -> addresses -> other persons.
+  std::unordered_map<vid_t, std::uint32_t> shared;
+  for (vid_t addr : store.addresses_of(person)) {
+    store.graph().for_each_neighbor(addr, [&](vid_t other, float, std::int64_t) {
+      if (other != person &&
+          store.vertex_class(other) == VertexClass::kPerson) {
+        ++shared[other];
+      }
+    });
+  }
+  std::vector<Relationship> out;
+  for (const auto& [other, count] : shared) {
+    Relationship rel = score_pair(store, person, other, count, opts);
+    if (qualifies(rel, opts)) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end(), [](const Relationship& x, const Relationship& y) {
+    return x.score != y.score ? x.score > y.score
+                              : std::make_pair(x.a, x.b) < std::make_pair(y.a, y.b);
+  });
+  return out;
+}
+
+NoraBoilResult nora_boil(GraphStore& store, const NoraOptions& opts) {
+  NoraBoilResult out;
+  out.relationship_count.assign(store.num_vertices(), 0.0);
+  // Enumerate pairs address-by-address, accumulating shared counts per
+  // unordered pair; equivalent to a Jaccard-numerator sweep over the
+  // bipartite person-address graph.
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_shared;
+  for (vid_t v = 0; v < store.num_vertices(); ++v) {
+    if (store.vertex_class(v) != VertexClass::kAddress) continue;
+    std::vector<vid_t> residents;
+    store.graph().for_each_neighbor(v, [&](vid_t p, float, std::int64_t) {
+      if (store.vertex_class(p) == VertexClass::kPerson) residents.push_back(p);
+    });
+    std::sort(residents.begin(), residents.end());
+    for (std::size_t i = 0; i < residents.size(); ++i) {
+      for (std::size_t j = i + 1; j < residents.size(); ++j) {
+        ++pair_shared[core::edge_key(residents[i], residents[j])];
+      }
+    }
+  }
+  out.candidate_pairs = pair_shared.size();
+  for (const auto& [key, count] : pair_shared) {
+    const auto a = static_cast<vid_t>(key & 0xffffffffu);
+    const auto b = static_cast<vid_t>(key >> 32);
+    Relationship rel = score_pair(store, a, b, count, opts);
+    if (qualifies(rel, opts)) {
+      out.relationship_count[rel.a] += 1.0;
+      out.relationship_count[rel.b] += 1.0;
+      out.relationships.push_back(rel);
+    }
+  }
+  std::sort(out.relationships.begin(), out.relationships.end(),
+            [](const Relationship& x, const Relationship& y) {
+              return std::make_pair(x.a, x.b) < std::make_pair(y.a, y.b);
+            });
+  // Write-back: the precomputed answer becomes a persistent property.
+  auto& props = store.properties();
+  if (!props.has_column("nora_relationships")) {
+    props.add_double_column("nora_relationships");
+  }
+  props.doubles("nora_relationships") = out.relationship_count;
+  return out;
+}
+
+double nora_ring_recall(
+    const std::vector<Relationship>& found,
+    const std::vector<std::vector<std::uint64_t>>& rings,
+    const std::vector<vid_t>& vertex_of_true_person) {
+  if (rings.empty()) return 1.0;
+  std::unordered_set<std::uint64_t> found_pairs;
+  for (const Relationship& rel : found) {
+    found_pairs.insert(core::edge_key(rel.a, rel.b));
+  }
+  const auto vertex_of = [&](std::uint64_t true_id) -> vid_t {
+    if (vertex_of_true_person.empty()) return static_cast<vid_t>(true_id);
+    GA_CHECK(true_id < vertex_of_true_person.size(),
+             "ring person outside mapping");
+    return vertex_of_true_person[true_id];
+  };
+  std::uint64_t total = 0, hit = 0;
+  for (const auto& ring : rings) {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      for (std::size_t j = i + 1; j < ring.size(); ++j) {
+        const vid_t a = vertex_of(ring[i]);
+        const vid_t b = vertex_of(ring[j]);
+        if (a == kInvalidVid || b == kInvalidVid || a == b) continue;
+        ++total;
+        if (found_pairs.count(core::edge_key(a, b)) != 0) ++hit;
+      }
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+}  // namespace ga::pipeline

@@ -1,0 +1,57 @@
+// NORA — Non-Obvious Relationship Analysis (§III, [23]): "who has shared
+// an address with what other individuals 2 or more times, especially if
+// they have shared a common last name". Close kin of the Jaccard kernel:
+// candidate pairs are 2-hop neighbors through address vertices, scored by
+// shared-address multiplicity with a surname bonus.
+//
+// Batch form = the weekly "boil": precompute relationships for every
+// person. Streaming form = per-applicant real-time query (the paper's
+// argument for why streaming removes the need for much of the
+// precomputation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/graph_store.hpp"
+
+namespace ga::pipeline {
+
+struct NoraOptions {
+  std::uint32_t min_shared_addresses = 2;  // threshold for a relationship
+  double surname_bonus = 1.0;              // score bonus for shared surname
+  /// A pair with exactly 1 shared address still counts if surnames match
+  /// (the "especially if" clause softened into an alternate criterion).
+  bool surname_relaxes_threshold = true;
+};
+
+struct Relationship {
+  vid_t a = 0, b = 0;             // person vertices, a < b
+  std::uint32_t shared_addresses = 0;
+  bool same_surname = false;
+  double score = 0.0;
+};
+
+/// Real-time query: relationships of one person (sorted by score desc).
+std::vector<Relationship> nora_query(const GraphStore& store, vid_t person,
+                                     const NoraOptions& opts = {});
+
+struct NoraBoilResult {
+  std::vector<Relationship> relationships;   // all qualifying pairs
+  std::vector<double> relationship_count;    // per-vertex property column
+  std::uint64_t candidate_pairs = 0;         // pairs scored (work metric)
+};
+
+/// The weekly batch precompute over every person. Writes the
+/// "nora_relationships" property column into the store.
+NoraBoilResult nora_boil(GraphStore& store, const NoraOptions& opts = {});
+
+/// Recall of planted rings: fraction of within-ring pairs recovered.
+/// `vertex_of_true_person` maps a ground-truth person id to its (deduped)
+/// person vertex; pass an empty vector when entity ids == true ids.
+double nora_ring_recall(
+    const std::vector<Relationship>& found,
+    const std::vector<std::vector<std::uint64_t>>& rings,
+    const std::vector<vid_t>& vertex_of_true_person = {});
+
+}  // namespace ga::pipeline

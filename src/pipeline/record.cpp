@@ -1,0 +1,177 @@
+#include "pipeline/record.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/prng.hpp"
+
+namespace ga::pipeline {
+
+namespace {
+
+constexpr std::array<const char*, 20> kSyllables = {
+    "an", "bel", "cor", "dan", "el",  "fen", "gar", "hol", "il",  "jor",
+    "kal", "lin", "mor", "nel", "or", "pet", "quin", "ros", "sam", "tor"};
+
+std::string make_name(core::Xoshiro256& rng, unsigned syllables) {
+  std::string s;
+  for (unsigned i = 0; i < syllables; ++i) {
+    s += kSyllables[rng.next_below(kSyllables.size())];
+  }
+  s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  return s;
+}
+
+std::string make_ssn(core::Xoshiro256& rng) {
+  std::string s(9, '0');
+  for (char& c : s) c = static_cast<char>('0' + rng.next_below(10));
+  return s;
+}
+
+/// Corrupt a name with one random edit (substitute/delete/insert).
+std::string corrupt(core::Xoshiro256& rng, std::string s) {
+  if (s.empty()) return s;
+  const auto pos = rng.next_below(s.size());
+  switch (rng.next_below(3)) {
+    case 0:
+      s[pos] = static_cast<char>('a' + rng.next_below(26));
+      break;
+    case 1:
+      s.erase(pos, 1);
+      break;
+    default:
+      s.insert(pos, 1, static_cast<char>('a' + rng.next_below(26)));
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+Corpus generate_corpus(const CorpusOptions& opts) {
+  GA_CHECK(opts.num_people > 0 && opts.num_addresses > 0, "empty corpus");
+  GA_CHECK(opts.num_rings * opts.ring_size <= opts.num_people,
+           "rings exceed population");
+  core::Xoshiro256 rng(opts.seed);
+  Corpus corpus;
+  corpus.num_people = opts.num_people;
+  corpus.num_addresses = opts.num_addresses;
+
+  struct Person {
+    std::string first, last, ssn;
+    std::uint32_t birth_year;
+    std::vector<std::uint32_t> addresses;  // address history
+    double credit;
+  };
+  std::vector<Person> people(opts.num_people);
+  for (auto& p : people) {
+    p.first = make_name(rng, 2);
+    p.last = make_name(rng, 2 + rng.next_below(2));
+    p.ssn = make_ssn(rng);
+    p.birth_year = 1940 + static_cast<std::uint32_t>(rng.next_below(65));
+    const auto naddr = 1 + rng.next_below(3);
+    for (std::uint64_t i = 0; i < naddr; ++i) {
+      p.addresses.push_back(
+          static_cast<std::uint32_t>(rng.next_below(opts.num_addresses)));
+    }
+    p.credit = 350.0 + rng.next_double() * 500.0;
+  }
+
+  // Plant rings: consecutive people share `ring_shared_addresses` distinct
+  // addresses (appended to each history) and optionally a surname.
+  std::uint32_t next = 0;
+  for (std::uint32_t r = 0; r < opts.num_rings; ++r) {
+    std::vector<std::uint64_t> ring;
+    std::vector<std::uint32_t> shared;
+    for (std::uint32_t a = 0; a < opts.ring_shared_addresses; ++a) {
+      shared.push_back(
+          static_cast<std::uint32_t>(rng.next_below(opts.num_addresses)));
+    }
+    const std::string surname = make_name(rng, 3);
+    for (std::uint32_t i = 0; i < opts.ring_size; ++i) {
+      Person& p = people[next];
+      for (std::uint32_t a : shared) p.addresses.push_back(a);
+      if (opts.ring_shares_surname) p.last = surname;
+      ring.push_back(next);
+      ++next;
+    }
+    corpus.rings.push_back(std::move(ring));
+  }
+
+  // Emit one record per (person, address) plus duplicates with corruption.
+  std::uint64_t rid = 0;
+  for (std::uint64_t pid = 0; pid < people.size(); ++pid) {
+    const Person& p = people[pid];
+    for (std::uint32_t addr : p.addresses) {
+      RawRecord rec;
+      rec.record_id = rid++;
+      rec.first_name = p.first;
+      rec.last_name = p.last;
+      rec.ssn = rng.next_bool(opts.missing_ssn_rate) ? std::string{} : p.ssn;
+      rec.birth_year = p.birth_year;
+      rec.address_id = addr;
+      rec.credit_score = p.credit;
+      rec.true_person = pid;
+      corpus.records.push_back(rec);
+      // Duplicate (same sighting, possibly corrupted) with some rate.
+      if (rng.next_bool(opts.duplicate_rate)) {
+        RawRecord dup = rec;
+        dup.record_id = rid++;
+        if (rng.next_bool(opts.typo_rate)) {
+          dup.first_name = corrupt(rng, dup.first_name);
+        }
+        if (rng.next_bool(opts.typo_rate)) {
+          dup.last_name = corrupt(rng, dup.last_name);
+        }
+        if (rng.next_bool(opts.missing_ssn_rate)) dup.ssn.clear();
+        corpus.records.push_back(dup);
+      }
+    }
+  }
+  // Arrival order: shuffled, then stamped.
+  std::shuffle(corpus.records.begin(), corpus.records.end(), rng);
+  for (std::size_t i = 0; i < corpus.records.size(); ++i) {
+    corpus.records[i].ts = static_cast<std::int64_t>(i);
+  }
+  return corpus;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double name_similarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::size_t d = edit_distance(a, b);
+  const std::size_t len = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(len);
+}
+
+std::string blocking_code(const std::string& name) {
+  if (name.empty()) return "?";
+  std::string code(1, static_cast<char>(std::tolower(name[0])));
+  for (std::size_t i = 1; i < name.size() && code.size() < 4; ++i) {
+    const char c = static_cast<char>(std::tolower(name[i]));
+    switch (c) {
+      case 'a': case 'e': case 'i': case 'o': case 'u': case 'y':
+      case 'h': case 'w':
+        break;  // skipped, Soundex-style
+      default:
+        if (code.back() != c) code.push_back(c);
+    }
+  }
+  return code;
+}
+
+}  // namespace ga::pipeline

@@ -1,0 +1,65 @@
+// Synthetic people/address record corpus standing in for the paper's
+// LexisNexis public-records data (§III, [23]): the NORA application's
+// input. The generator controls exactly the phenomena NORA exploits —
+// duplicate records with typos (dedup workload), shared addresses
+// (relationship edges), and planted "rings" of identities that share
+// addresses 2+ times, often with common surnames (the paper's example
+// query). See DESIGN.md substitution table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::pipeline {
+
+struct RawRecord {
+  std::uint64_t record_id = 0;
+  std::string first_name;
+  std::string last_name;
+  std::string ssn;              // may be empty (missing value)
+  std::uint32_t birth_year = 0;
+  std::uint32_t address_id = 0; // current address at this observation
+  double credit_score = 0.0;
+  std::uint64_t true_person = 0;  // ground truth entity (for evaluation)
+  std::int64_t ts = 0;
+};
+
+struct CorpusOptions {
+  std::uint32_t num_people = 2000;
+  std::uint32_t num_addresses = 800;
+  double duplicate_rate = 0.5;   // extra (possibly corrupted) records/person
+  double typo_rate = 0.3;        // P(duplicate has a name typo)
+  double missing_ssn_rate = 0.1;
+  std::uint32_t num_rings = 10;      // planted fraud rings
+  std::uint32_t ring_size = 4;       // people per ring
+  std::uint32_t ring_shared_addresses = 2;  // addresses each ring shares
+  bool ring_shares_surname = true;
+  std::uint64_t seed = 1;
+};
+
+struct Corpus {
+  std::vector<RawRecord> records;
+  /// Ground truth: people in planted rings (true_person ids).
+  std::vector<std::vector<std::uint64_t>> rings;
+  std::uint32_t num_people = 0;
+  std::uint32_t num_addresses = 0;
+};
+
+/// Deterministic corpus generation. Records are shuffled (arrival order is
+/// not grouped by person), as real bulk loads are.
+Corpus generate_corpus(const CorpusOptions& opts);
+
+/// Edit distance (Levenshtein) — dedup's similarity primitive.
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// Normalized name similarity in [0,1]: 1 - dist/max_len.
+double name_similarity(const std::string& a, const std::string& b);
+
+/// Phonetic-ish blocking code: first letter + consonant skeleton (a tiny
+/// Soundex stand-in, stable and dependency-free).
+std::string blocking_code(const std::string& name);
+
+}  // namespace ga::pipeline

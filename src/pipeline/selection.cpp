@@ -1,0 +1,35 @@
+#include "pipeline/selection.hpp"
+
+#include <algorithm>
+
+#include "core/topk.hpp"
+
+namespace ga::pipeline {
+
+std::vector<vid_t> select_seeds(const GraphStore& store,
+                                const SelectionCriteria& criteria) {
+  if (!criteria.explicit_seeds.empty()) {
+    auto seeds = criteria.explicit_seeds;
+    for (vid_t s : seeds) {
+      GA_CHECK(s < store.num_vertices(), "seed out of range");
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    return seeds;
+  }
+  GA_CHECK(!criteria.topk_property.empty(),
+           "selection needs explicit seeds or a top-k property");
+  const auto& col = store.properties().doubles(criteria.topk_property);
+  core::TopK<vid_t, double> top(criteria.k);
+  for (vid_t v = 0; v < store.num_vertices(); ++v) {
+    if (store.vertex_class(v) != criteria.vertex_class) continue;
+    if (criteria.predicate && !criteria.predicate(v)) continue;
+    top.offer(col[v], v);
+  }
+  std::vector<vid_t> seeds;
+  for (const auto& [score, v] : top.sorted_desc()) seeds.push_back(v);
+  std::sort(seeds.begin(), seeds.end());
+  return seeds;
+}
+
+}  // namespace ga::pipeline

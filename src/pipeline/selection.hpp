@@ -1,0 +1,31 @@
+// Selection criteria (Fig. 2, right side): identify SEED vertices for
+// subgraph extraction — "as simple as specifying some particular vertex,
+// or more involved such as scanning for the 'top k' vertices with the
+// highest values of some properties".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipeline/graph_store.hpp"
+
+namespace ga::pipeline {
+
+struct SelectionCriteria {
+  /// Explicit seed vertices (used as-is if non-empty).
+  std::vector<vid_t> explicit_seeds;
+  /// Otherwise: top-k by this double property column...
+  std::string topk_property;
+  std::size_t k = 10;
+  /// ...restricted to this vertex class.
+  VertexClass vertex_class = VertexClass::kPerson;
+  /// Optional extra predicate on the vertex id.
+  std::function<bool(vid_t)> predicate;
+};
+
+/// Evaluate the criteria against the store; returns sorted seed ids.
+std::vector<vid_t> select_seeds(const GraphStore& store,
+                                const SelectionCriteria& criteria);
+
+}  // namespace ga::pipeline

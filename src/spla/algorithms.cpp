@@ -1,0 +1,140 @@
+#include "spla/algorithms.hpp"
+
+#include <cmath>
+
+#include "spla/ewise.hpp"
+#include "spla/spgemm.hpp"
+#include "spla/spmv.hpp"
+
+namespace ga::spla {
+
+std::vector<std::uint32_t> bfs_levels_la(const graph::CSRGraph& g,
+                                         vid_t source) {
+  GA_CHECK(source < g.num_vertices(), "bfs_levels_la: source out of range");
+  const vid_t n = g.num_vertices();
+  // Push direction: new_frontier = A * f, i.e. row i gets a 1 if some
+  // in-neighbor (column) of i is in f. A = adjacency (row=target).
+  // spmspv wants A^T rows = out-neighbor lists, which is exactly the
+  // graph's out-CSR; build At directly from out-adjacency.
+  std::vector<Triple> triples;
+  triples.reserve(g.num_arcs());
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.out_neighbors(u)) triples.push_back({u, v, 1.0});
+  }
+  const CsrMatrix At = CsrMatrix::from_triples(n, n, std::move(triples));
+
+  std::vector<std::uint32_t> level(n, kInfDist);
+  std::vector<double> visited(n, 0.0);  // mask complement
+  level[source] = 0;
+  visited[source] = 1.0;
+  SparseVector frontier(n);
+  frontier.push_back(source, 1.0);
+  std::uint32_t depth = 1;
+  while (frontier.nnz() > 0) {
+    frontier = spmspv<OrAnd>(At, frontier, &visited);
+    for (vid_t v : frontier.indices()) {
+      level[v] = depth;
+      visited[v] = 1.0;
+    }
+    ++depth;
+  }
+  return level;
+}
+
+std::vector<double> pagerank_la(const graph::CSRGraph& g, double damping,
+                                double tol, unsigned max_iters) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return {};
+  // M = A * D^-1 (column-normalized): M(i,j) = 1/outdeg(j) if arc j->i.
+  std::vector<Triple> triples;
+  triples.reserve(g.num_arcs());
+  for (vid_t u = 0; u < n; ++u) {
+    const double inv = 1.0 / static_cast<double>(g.out_degree(u));
+    for (vid_t v : g.out_neighbors(u)) triples.push_back({v, u, inv});
+  }
+  const CsrMatrix M = CsrMatrix::from_triples(n, n, std::move(triples));
+
+  std::vector<double> rank(n, 1.0 / n);
+  for (unsigned iter = 0; iter < max_iters; ++iter) {
+    double dangling = 0.0;
+    for (vid_t u = 0; u < n; ++u) {
+      if (g.out_degree(u) == 0) dangling += rank[u];
+    }
+    std::vector<double> next = spmv<PlusTimes>(M, rank);
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    double delta = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      next[v] = base + damping * next[v];
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < tol) break;
+  }
+  return rank;
+}
+
+std::uint64_t triangle_count_la(const graph::CSRGraph& g) {
+  GA_CHECK(!g.directed(), "triangle_count_la expects undirected graphs");
+  const CsrMatrix A = CsrMatrix::adjacency(g);
+  const CsrMatrix L = lower_triangle(A);
+  // C = (L * L) .* L counts, for each edge (i,j) with j<i, the wedges
+  // through any k<j — i.e. each triangle exactly once.
+  const CsrMatrix LL = multiply(L, L);
+  const CsrMatrix C = ewise_multiply(LL, L);
+  return static_cast<std::uint64_t>(reduce_sum(C) + 0.5);
+}
+
+std::vector<double> sssp_la(const graph::CSRGraph& g, vid_t source) {
+  GA_CHECK(source < g.num_vertices(), "sssp_la: source out of range");
+  const vid_t n = g.num_vertices();
+  // Tropical adjacency: M(i,j) = 1 (hop cost) if arc j->i, plus the
+  // implicit diagonal handled by folding min with the previous distances.
+  std::vector<Triple> triples;
+  triples.reserve(g.num_arcs());
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.out_neighbors(u)) triples.push_back({v, u, 1.0});
+  }
+  const CsrMatrix M = CsrMatrix::from_triples(n, n, std::move(triples));
+  std::vector<double> dist(n, MinPlus::zero());
+  dist[source] = 0.0;
+  for (vid_t iter = 0; iter < n; ++iter) {
+    std::vector<double> next = spmv<MinPlus>(M, dist);
+    bool changed = false;
+    for (vid_t v = 0; v < n; ++v) {
+      next[v] = std::min(next[v], dist[v]);
+      if (next[v] != dist[v]) changed = true;
+    }
+    dist.swap(next);
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<vid_t> wcc_la(const graph::CSRGraph& g) {
+  GA_CHECK(!g.directed(), "wcc_la expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  std::vector<Triple> triples;
+  triples.reserve(g.num_arcs());
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.out_neighbors(u)) triples.push_back({v, u, 1.0});
+  }
+  const CsrMatrix A = CsrMatrix::from_triples(n, n, std::move(triples));
+  std::vector<double> label(n);
+  for (vid_t v = 0; v < n; ++v) label[v] = v;
+  for (vid_t iter = 0; iter < n; ++iter) {
+    // next = min(label, A min.2nd label): adopt the smallest neighbor label.
+    std::vector<double> next = spmv<MinSecond>(A, label);
+    bool changed = false;
+    for (vid_t v = 0; v < n; ++v) {
+      next[v] = std::min(next[v], label[v]);
+      if (next[v] != label[v]) changed = true;
+    }
+    label.swap(next);
+    if (!changed) break;
+  }
+  std::vector<vid_t> out(n);
+  for (vid_t v = 0; v < n; ++v) out[v] = static_cast<vid_t>(label[v]);
+  return out;
+}
+
+}  // namespace ga::spla

@@ -1,0 +1,39 @@
+// Graph kernels in the language of linear algebra (Kepner & Gilbert [19]),
+// the execution model of the paper's §V.A accelerator. These mirror the
+// direct kernels in src/kernels and are cross-checked against them in the
+// tests and in the ablation bench (DESIGN.md E12: the paper's closing
+// observation that the two emerging architectures embody "almost opposite"
+// execution models).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "spla/csr_matrix.hpp"
+
+namespace ga::spla {
+
+/// BFS levels via masked OrAnd SpMSpV iteration: f <- A f .!visited.
+/// Returns hop distance per vertex (kInfDist if unreached).
+std::vector<std::uint32_t> bfs_levels_la(const graph::CSRGraph& g, vid_t source);
+
+/// PageRank via PlusTimes SpMV power iteration on the column-normalized
+/// adjacency.
+std::vector<double> pagerank_la(const graph::CSRGraph& g, double damping = 0.85,
+                                double tol = 1e-8, unsigned max_iters = 100);
+
+/// Global triangle count via L .* (L * L) on the strict lower triangle
+/// (Graph Challenge LA formulation).
+std::uint64_t triangle_count_la(const graph::CSRGraph& g);
+
+/// Single-source hop distances via MinPlus SpMV iteration (Bellman-Ford in
+/// the tropical semiring); weights of 1 per arc.
+std::vector<double> sssp_la(const graph::CSRGraph& g, vid_t source);
+
+/// Connected components via min.second label propagation SpMV iterated to
+/// a fixpoint. Labels are canonical minimum-vertex ids (matches
+/// kernels::wcc_* output exactly). Undirected graphs only.
+std::vector<vid_t> wcc_la(const graph::CSRGraph& g);
+
+}  // namespace ga::spla

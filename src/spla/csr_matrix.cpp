@@ -1,0 +1,112 @@
+#include "spla/csr_matrix.hpp"
+
+#include <algorithm>
+
+namespace ga::spla {
+
+CsrMatrix::CsrMatrix(vid_t rows, vid_t cols, std::vector<eid_t> row_ptr,
+                     std::vector<vid_t> col_idx, std::vector<double> vals)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      vals_(std::move(vals)) {
+  GA_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+           "CsrMatrix: row_ptr size mismatch");
+  GA_CHECK(row_ptr_.back() == col_idx_.size(), "CsrMatrix: nnz mismatch");
+  GA_CHECK(col_idx_.size() == vals_.size(), "CsrMatrix: vals mismatch");
+}
+
+CsrMatrix CsrMatrix::from_triples(vid_t rows, vid_t cols,
+                                  std::vector<Triple> triples) {
+  for (const Triple& t : triples) {
+    GA_CHECK(t.row < rows && t.col < cols, "triple out of range");
+  }
+  std::sort(triples.begin(), triples.end(), [](const Triple& a, const Triple& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  // Sum duplicates in place.
+  std::vector<Triple> merged;
+  merged.reserve(triples.size());
+  for (const Triple& t : triples) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().val += t.val;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (const Triple& t : merged) ++row_ptr[t.row + 1];
+  for (vid_t r = 0; r < rows; ++r) row_ptr[r + 1] += row_ptr[r];
+  std::vector<vid_t> col_idx(merged.size());
+  std::vector<double> vals(merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    col_idx[i] = merged[i].col;
+    vals[i] = merged[i].val;
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
+CsrMatrix CsrMatrix::adjacency(const graph::CSRGraph& g) {
+  // A(i,j)=1 iff edge j->i: row i of A lists the in-neighbors of i, so we
+  // build from arcs transposed. For undirected graphs the matrix is
+  // symmetric and this equals the out-adjacency.
+  std::vector<Triple> triples;
+  triples.reserve(g.num_arcs());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (vid_t v : g.out_neighbors(u)) {
+      triples.push_back({v, u, 1.0});
+    }
+  }
+  return from_triples(g.num_vertices(), g.num_vertices(), std::move(triples));
+}
+
+CsrMatrix CsrMatrix::identity(vid_t n) {
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<vid_t> col_idx(n);
+  std::vector<double> vals(n, 1.0);
+  for (vid_t i = 0; i < n; ++i) {
+    row_ptr[i] = i;
+    col_idx[i] = i;
+  }
+  row_ptr[n] = n;
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
+double CsrMatrix::at(vid_t r, vid_t c) const {
+  GA_CHECK(r < rows_ && c < cols_, "CsrMatrix::at out of range");
+  const auto cols = row_cols(r);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+  if (it == cols.end() || *it != c) return 0.0;
+  return vals_[row_ptr_[r] + static_cast<eid_t>(it - cols.begin())];
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (vid_t c : col_idx_) ++row_ptr[c + 1];
+  for (vid_t c = 0; c < cols_; ++c) row_ptr[c + 1] += row_ptr[c];
+  std::vector<vid_t> col_idx(col_idx_.size());
+  std::vector<double> vals(vals_.size());
+  std::vector<eid_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (vid_t r = 0; r < rows_; ++r) {
+    for (eid_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const eid_t slot = cursor[col_idx_[i]]++;
+      col_idx[slot] = r;
+      vals[slot] = vals_[i];
+    }
+  }
+  // Row-major scan of a CSR matrix emits columns in ascending row order,
+  // so each transposed row is already sorted.
+  return CsrMatrix(cols_, rows_, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
+bool CsrMatrix::structurally_equal(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_;
+}
+
+}  // namespace ga::spla

@@ -1,0 +1,70 @@
+// Sparse matrix in CSR (and transposable to CSC) form — the storage format
+// the paper's sparse accelerator (Fig. 4) hardwires. Column indices are
+// sorted within each row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/common.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace ga::spla {
+
+struct Triple {
+  vid_t row = 0, col = 0;
+  double val = 1.0;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(vid_t rows, vid_t cols, std::vector<eid_t> row_ptr,
+            std::vector<vid_t> col_idx, std::vector<double> vals);
+
+  /// Build from (possibly unsorted, duplicate-bearing) triples; duplicates
+  /// are summed.
+  static CsrMatrix from_triples(vid_t rows, vid_t cols,
+                                std::vector<Triple> triples);
+
+  /// Boolean adjacency matrix of a graph: A(i,j) = 1 iff arc j->i exists
+  /// (the paper's footnote-3 convention: column = source, row = target).
+  static CsrMatrix adjacency(const graph::CSRGraph& g);
+
+  /// n x n identity.
+  static CsrMatrix identity(vid_t n);
+
+  vid_t rows() const { return rows_; }
+  vid_t cols() const { return cols_; }
+  eid_t nnz() const { return static_cast<eid_t>(col_idx_.size()); }
+
+  std::span<const vid_t> row_cols(vid_t r) const {
+    GA_ASSERT(r < rows_);
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+  std::span<const double> row_vals(vid_t r) const {
+    GA_ASSERT(r < rows_);
+    return {vals_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  const std::vector<eid_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<vid_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& vals() const { return vals_; }
+
+  double at(vid_t r, vid_t c) const;  // 0.0 if absent
+
+  CsrMatrix transposed() const;  // CSC view materialized as CSR of A^T
+
+  bool structurally_equal(const CsrMatrix& other) const;
+
+ private:
+  vid_t rows_ = 0, cols_ = 0;
+  std::vector<eid_t> row_ptr_{0};
+  std::vector<vid_t> col_idx_;
+  std::vector<double> vals_;
+};
+
+}  // namespace ga::spla

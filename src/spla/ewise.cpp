@@ -1,0 +1,115 @@
+#include "spla/ewise.hpp"
+
+#include <algorithm>
+
+namespace ga::spla {
+
+namespace {
+
+template <typename RowFn>
+CsrMatrix build_rows(vid_t rows, vid_t cols, RowFn&& fn) {
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<vid_t> col_idx;
+  std::vector<double> vals;
+  for (vid_t r = 0; r < rows; ++r) {
+    fn(r, col_idx, vals);
+    row_ptr[r + 1] = static_cast<eid_t>(col_idx.size());
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
+}  // namespace
+
+CsrMatrix ewise_multiply(const CsrMatrix& A, const CsrMatrix& B) {
+  GA_CHECK(A.rows() == B.rows() && A.cols() == B.cols(),
+           "ewise_multiply: shape mismatch");
+  return build_rows(A.rows(), A.cols(),
+                    [&](vid_t r, std::vector<vid_t>& ci, std::vector<double>& vv) {
+                      const auto ac = A.row_cols(r);
+                      const auto av = A.row_vals(r);
+                      const auto bc = B.row_cols(r);
+                      const auto bv = B.row_vals(r);
+                      std::size_t i = 0, j = 0;
+                      while (i < ac.size() && j < bc.size()) {
+                        if (ac[i] < bc[j]) {
+                          ++i;
+                        } else if (bc[j] < ac[i]) {
+                          ++j;
+                        } else {
+                          ci.push_back(ac[i]);
+                          vv.push_back(av[i] * bv[j]);
+                          ++i;
+                          ++j;
+                        }
+                      }
+                    });
+}
+
+CsrMatrix ewise_add(const CsrMatrix& A, const CsrMatrix& B) {
+  GA_CHECK(A.rows() == B.rows() && A.cols() == B.cols(),
+           "ewise_add: shape mismatch");
+  return build_rows(A.rows(), A.cols(),
+                    [&](vid_t r, std::vector<vid_t>& ci, std::vector<double>& vv) {
+                      const auto ac = A.row_cols(r);
+                      const auto av = A.row_vals(r);
+                      const auto bc = B.row_cols(r);
+                      const auto bv = B.row_vals(r);
+                      std::size_t i = 0, j = 0;
+                      while (i < ac.size() || j < bc.size()) {
+                        if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+                          ci.push_back(ac[i]);
+                          vv.push_back(av[i]);
+                          ++i;
+                        } else if (i >= ac.size() || bc[j] < ac[i]) {
+                          ci.push_back(bc[j]);
+                          vv.push_back(bv[j]);
+                          ++j;
+                        } else {
+                          ci.push_back(ac[i]);
+                          vv.push_back(av[i] + bv[j]);
+                          ++i;
+                          ++j;
+                        }
+                      }
+                    });
+}
+
+double reduce_sum(const CsrMatrix& A) {
+  double total = 0.0;
+  for (double v : A.vals()) total += v;
+  return total;
+}
+
+std::vector<double> reduce_rows(const CsrMatrix& A) {
+  std::vector<double> out(A.rows(), 0.0);
+  for (vid_t r = 0; r < A.rows(); ++r) {
+    for (double v : A.row_vals(r)) out[r] += v;
+  }
+  return out;
+}
+
+CsrMatrix select(const CsrMatrix& A,
+                 const std::function<bool(vid_t, vid_t, double)>& pred) {
+  return build_rows(A.rows(), A.cols(),
+                    [&](vid_t r, std::vector<vid_t>& ci, std::vector<double>& vv) {
+                      const auto cols = A.row_cols(r);
+                      const auto vals = A.row_vals(r);
+                      for (std::size_t i = 0; i < cols.size(); ++i) {
+                        if (pred(r, cols[i], vals[i])) {
+                          ci.push_back(cols[i]);
+                          vv.push_back(vals[i]);
+                        }
+                      }
+                    });
+}
+
+CsrMatrix lower_triangle(const CsrMatrix& A) {
+  return select(A, [](vid_t r, vid_t c, double) { return c < r; });
+}
+
+CsrMatrix upper_triangle(const CsrMatrix& A) {
+  return select(A, [](vid_t r, vid_t c, double) { return c > r; });
+}
+
+}  // namespace ga::spla

@@ -1,0 +1,33 @@
+// Element-wise sparse matrix operations: Hadamard (intersection) product,
+// addition (union), scalar reduction, and masked variants. The Hadamard
+// product against the adjacency mask is the heart of the linear-algebra
+// triangle count (A^2 .* A).
+#pragma once
+
+#include <functional>
+
+#include "spla/csr_matrix.hpp"
+
+namespace ga::spla {
+
+/// C(i,j) = A(i,j) * B(i,j) where both are present (structural intersect).
+CsrMatrix ewise_multiply(const CsrMatrix& A, const CsrMatrix& B);
+
+/// C(i,j) = A(i,j) + B(i,j) over the structural union.
+CsrMatrix ewise_add(const CsrMatrix& A, const CsrMatrix& B);
+
+/// Sum of every stored value.
+double reduce_sum(const CsrMatrix& A);
+
+/// Per-row sum of stored values (dense output).
+std::vector<double> reduce_rows(const CsrMatrix& A);
+
+/// Drop entries where pred(row, col, val) is false.
+CsrMatrix select(const CsrMatrix& A,
+                 const std::function<bool(vid_t, vid_t, double)>& pred);
+
+/// Strict lower/upper triangle (tril/triu with k=-1/+1 in GraphBLAS terms).
+CsrMatrix lower_triangle(const CsrMatrix& A);
+CsrMatrix upper_triangle(const CsrMatrix& A);
+
+}  // namespace ga::spla

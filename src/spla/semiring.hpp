@@ -1,0 +1,53 @@
+// Semirings for the GraphBLAS-lite layer (paper §V.A: "graph operations
+// after translation into sparse matrix operations", per Kepner & Gilbert).
+// Each semiring supplies (add, zero) forming a commutative monoid and a
+// multiply; kernels pick the semiring that makes their recurrence a SpMV:
+//   PlusTimes  — classic numeric (PageRank, counting walks)
+//   MinPlus    — tropical (shortest paths / Bellman-Ford as iterated SpMV)
+//   OrAnd      — boolean (reachability / BFS frontiers)
+//   PlusSecond — accumulate the right operand (triangle counting masks)
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace ga::spla {
+
+struct PlusTimes {
+  using value_type = double;
+  static constexpr double zero() { return 0.0; }
+  static constexpr double add(double a, double b) { return a + b; }
+  static constexpr double mul(double a, double b) { return a * b; }
+};
+
+struct MinPlus {
+  using value_type = double;
+  static constexpr double zero() { return std::numeric_limits<double>::infinity(); }
+  static constexpr double add(double a, double b) { return a < b ? a : b; }
+  static constexpr double mul(double a, double b) { return a + b; }
+};
+
+struct OrAnd {
+  using value_type = double;  // 0/1 encoded
+  static constexpr double zero() { return 0.0; }
+  static constexpr double add(double a, double b) { return (a != 0.0 || b != 0.0) ? 1.0 : 0.0; }
+  static constexpr double mul(double a, double b) { return (a != 0.0 && b != 0.0) ? 1.0 : 0.0; }
+};
+
+struct PlusSecond {
+  using value_type = double;
+  static constexpr double zero() { return 0.0; }
+  static constexpr double add(double a, double b) { return a + b; }
+  static constexpr double mul(double /*a*/, double b) { return b; }
+};
+
+/// min.second: propagate the smallest incoming label (connected
+/// components / hook steps in the language of linear algebra).
+struct MinSecond {
+  using value_type = double;
+  static constexpr double zero() { return std::numeric_limits<double>::infinity(); }
+  static constexpr double add(double a, double b) { return a < b ? a : b; }
+  static constexpr double mul(double /*a*/, double b) { return b; }
+};
+
+}  // namespace ga::spla

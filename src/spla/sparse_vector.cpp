@@ -1,0 +1,47 @@
+#include "spla/sparse_vector.hpp"
+
+#include <algorithm>
+
+namespace ga::spla {
+
+SparseVector::SparseVector(vid_t dim, std::vector<vid_t> idx,
+                           std::vector<double> val)
+    : dim_(dim), idx_(std::move(idx)), val_(std::move(val)) {
+  GA_CHECK(idx_.size() == val_.size(), "SparseVector: size mismatch");
+  for (std::size_t i = 0; i < idx_.size(); ++i) {
+    GA_CHECK(idx_[i] < dim_, "SparseVector: index out of range");
+    GA_CHECK(i == 0 || idx_[i - 1] < idx_[i],
+             "SparseVector: indices must be strictly ascending");
+  }
+}
+
+SparseVector SparseVector::from_dense(const std::vector<double>& dense,
+                                      double zero) {
+  SparseVector out(static_cast<vid_t>(dense.size()));
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != zero) out.push_back(static_cast<vid_t>(i), dense[i]);
+  }
+  return out;
+}
+
+void SparseVector::push_back(vid_t i, double v) {
+  GA_CHECK(i < dim_, "SparseVector: index out of range");
+  GA_CHECK(idx_.empty() || idx_.back() < i,
+           "SparseVector: push_back out of order");
+  idx_.push_back(i);
+  val_.push_back(v);
+}
+
+double SparseVector::at(vid_t i) const {
+  const auto it = std::lower_bound(idx_.begin(), idx_.end(), i);
+  if (it == idx_.end() || *it != i) return 0.0;
+  return val_[static_cast<std::size_t>(it - idx_.begin())];
+}
+
+std::vector<double> SparseVector::to_dense() const {
+  std::vector<double> dense(dim_, 0.0);
+  for (std::size_t i = 0; i < idx_.size(); ++i) dense[idx_[i]] = val_[i];
+  return dense;
+}
+
+}  // namespace ga::spla

@@ -1,0 +1,64 @@
+// Sparse vector (sorted index/value pairs) — the frontier representation
+// for SpMSpV-style kernels, matching the accelerator's "pairs of sparse
+// vectors" datapath in Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::spla {
+
+class SparseVector {
+ public:
+  SparseVector() = default;
+  explicit SparseVector(vid_t dim) : dim_(dim) {}
+
+  /// From parallel index/value arrays (indices must be strictly ascending).
+  SparseVector(vid_t dim, std::vector<vid_t> idx, std::vector<double> val);
+
+  static SparseVector from_dense(const std::vector<double>& dense,
+                                 double zero = 0.0);
+
+  vid_t dim() const { return dim_; }
+  std::size_t nnz() const { return idx_.size(); }
+  const std::vector<vid_t>& indices() const { return idx_; }
+  const std::vector<double>& values() const { return val_; }
+
+  /// Append an entry with index greater than all current indices.
+  void push_back(vid_t i, double v);
+
+  double at(vid_t i) const;  // 0.0 if absent
+  std::vector<double> to_dense() const;
+
+ private:
+  vid_t dim_ = 0;
+  std::vector<vid_t> idx_;
+  std::vector<double> val_;
+};
+
+/// Merge-style dot product of two sparse vectors under a semiring — the
+/// exact operation the Fig. 4 sorter/ALU pipeline streams.
+template <typename SR>
+typename SR::value_type dot(const SparseVector& a, const SparseVector& b) {
+  GA_ASSERT(a.dim() == b.dim());
+  auto acc = SR::zero();
+  std::size_t i = 0, j = 0;
+  const auto& ai = a.indices();
+  const auto& bi = b.indices();
+  while (i < ai.size() && j < bi.size()) {
+    if (ai[i] < bi[j]) {
+      ++i;
+    } else if (bi[j] < ai[i]) {
+      ++j;
+    } else {
+      acc = SR::add(acc, SR::mul(a.values()[i], b.values()[j]));
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+}  // namespace ga::spla

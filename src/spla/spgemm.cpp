@@ -1,0 +1,89 @@
+#include "spla/spgemm.hpp"
+
+#include <algorithm>
+
+namespace ga::spla {
+
+template <typename SR>
+CsrMatrix spgemm(const CsrMatrix& A, const CsrMatrix& B, SpgemmStats* stats) {
+  GA_CHECK(A.cols() == B.rows(), "spgemm: dimension mismatch");
+  const vid_t m = A.rows();
+  const vid_t n = B.cols();
+
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<vid_t> col_idx;
+  std::vector<double> vals;
+
+  // Gustavson: per output row, scatter-accumulate into a dense SPA.
+  std::vector<double> spa(n, SR::zero());
+  std::vector<bool> occupied(n, false);
+  std::vector<vid_t> nz;
+  std::uint64_t multiplies = 0, rows_touched = 0;
+
+  for (vid_t i = 0; i < m; ++i) {
+    nz.clear();
+    const auto a_cols = A.row_cols(i);
+    const auto a_vals = A.row_vals(i);
+    for (std::size_t ak = 0; ak < a_cols.size(); ++ak) {
+      const vid_t k = a_cols[ak];
+      const double av = a_vals[ak];
+      const auto b_cols = B.row_cols(k);
+      const auto b_vals = B.row_vals(k);
+      ++rows_touched;
+      for (std::size_t bj = 0; bj < b_cols.size(); ++bj) {
+        const vid_t j = b_cols[bj];
+        ++multiplies;
+        const double prod = SR::mul(av, b_vals[bj]);
+        if (!occupied[j]) {
+          occupied[j] = true;
+          spa[j] = prod;
+          nz.push_back(j);
+        } else {
+          spa[j] = SR::add(spa[j], prod);
+        }
+      }
+    }
+    std::sort(nz.begin(), nz.end());
+    for (vid_t j : nz) {
+      if (spa[j] != SR::zero()) {
+        col_idx.push_back(j);
+        vals.push_back(spa[j]);
+      }
+      spa[j] = SR::zero();
+      occupied[j] = false;
+    }
+    row_ptr[i + 1] = static_cast<eid_t>(col_idx.size());
+  }
+  if (stats != nullptr) {
+    stats->multiplies = multiplies;
+    stats->rows_touched = rows_touched;
+    stats->output_nnz = col_idx.size();
+  }
+  return CsrMatrix(m, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
+template CsrMatrix spgemm<PlusTimes>(const CsrMatrix&, const CsrMatrix&,
+                                     SpgemmStats*);
+template CsrMatrix spgemm<MinPlus>(const CsrMatrix&, const CsrMatrix&,
+                                   SpgemmStats*);
+template CsrMatrix spgemm<OrAnd>(const CsrMatrix&, const CsrMatrix&,
+                                 SpgemmStats*);
+
+CsrMatrix multiply(const CsrMatrix& A, const CsrMatrix& B,
+                   SpgemmStats* stats) {
+  return spgemm<PlusTimes>(A, B, stats);
+}
+
+std::uint64_t spgemm_flops(const CsrMatrix& A, const CsrMatrix& B) {
+  GA_CHECK(A.cols() == B.rows(), "spgemm_flops: dimension mismatch");
+  std::uint64_t flops = 0;
+  for (vid_t i = 0; i < A.rows(); ++i) {
+    for (vid_t k : A.row_cols(i)) {
+      flops += B.row_cols(k).size();
+    }
+  }
+  return flops;
+}
+
+}  // namespace ga::spla

@@ -1,0 +1,34 @@
+// Sparse general matrix-matrix multiply (Gustavson row-wise algorithm)
+// over a semiring, with an operation-count report. The op counts feed the
+// archsim conventional-vs-accelerator comparison (§V.A): the accelerator's
+// advantage comes from streaming exactly these multiply/merge events
+// instead of issuing cache-line-granularity random loads.
+#pragma once
+
+#include <cstdint>
+
+#include "spla/csr_matrix.hpp"
+#include "spla/semiring.hpp"
+
+namespace ga::spla {
+
+struct SpgemmStats {
+  std::uint64_t multiplies = 0;   // scalar semiring multiplies performed
+  std::uint64_t output_nnz = 0;   // nonzeros in C
+  std::uint64_t rows_touched = 0; // rows of B gathered
+};
+
+/// C = A ⊕.⊗ B. `stats` (optional) receives the work accounting.
+template <typename SR>
+CsrMatrix spgemm(const CsrMatrix& A, const CsrMatrix& B,
+                 SpgemmStats* stats = nullptr);
+
+/// Convenience: numeric (plus-times) product.
+CsrMatrix multiply(const CsrMatrix& A, const CsrMatrix& B,
+                   SpgemmStats* stats = nullptr);
+
+/// Flop count of A*B without forming C (for sizing simulations):
+/// sum over a(i,k) of nnz(B row k).
+std::uint64_t spgemm_flops(const CsrMatrix& A, const CsrMatrix& B);
+
+}  // namespace ga::spla

@@ -1,0 +1,20 @@
+#include "spla/spmv.hpp"
+
+namespace ga::spla {
+
+// Explicit instantiations for the semirings the library ships, keeping the
+// template bodies out of every client TU that only needs these.
+template std::vector<double> spmv<PlusTimes>(const CsrMatrix&,
+                                             const std::vector<double>&);
+template std::vector<double> spmv<MinPlus>(const CsrMatrix&,
+                                           const std::vector<double>&);
+template std::vector<double> spmv<OrAnd>(const CsrMatrix&,
+                                         const std::vector<double>&);
+template SparseVector spmspv<PlusTimes>(const CsrMatrix&, const SparseVector&,
+                                        const std::vector<double>*);
+template SparseVector spmspv<OrAnd>(const CsrMatrix&, const SparseVector&,
+                                    const std::vector<double>*);
+template SparseVector spmspv<MinPlus>(const CsrMatrix&, const SparseVector&,
+                                      const std::vector<double>*);
+
+}  // namespace ga::spla

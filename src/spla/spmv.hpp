@@ -1,0 +1,70 @@
+// Sparse matrix-vector products over semirings: dense-output SpMV and
+// sparse-frontier SpMSpV (optionally masked), the two workhorse forms the
+// paper's accelerator streams (Fig. 4 "address generation of multiple
+// sparse vectors").
+#pragma once
+
+#include <vector>
+
+#include "spla/csr_matrix.hpp"
+#include "spla/semiring.hpp"
+#include "spla/sparse_vector.hpp"
+
+namespace ga::spla {
+
+/// y = A ⊕.⊗ x (dense x, dense y). Row-parallel.
+template <typename SR>
+std::vector<double> spmv(const CsrMatrix& A, const std::vector<double>& x) {
+  GA_CHECK(x.size() == A.cols(), "spmv: dimension mismatch");
+  std::vector<double> y(A.rows(), SR::zero());
+  for (vid_t r = 0; r < A.rows(); ++r) {
+    auto acc = SR::zero();
+    const auto cols = A.row_cols(r);
+    const auto vals = A.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      acc = SR::add(acc, SR::mul(vals[i], x[cols[i]]));
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+/// y = A ⊕.⊗ x with sparse x: column-driven push along A^T rows. `At` must
+/// be the transpose of the conceptual A (i.e. At.row r lists where column r
+/// of A has entries... supplied explicitly so callers amortize the
+/// transpose). Entries in `mask_complement` (if non-null, dense 0/1) are
+/// suppressed when nonzero — the GraphBLAS "!mask" used by BFS to skip
+/// visited vertices.
+template <typename SR>
+SparseVector spmspv(const CsrMatrix& At, const SparseVector& x,
+                    const std::vector<double>* mask_complement = nullptr) {
+  GA_CHECK(x.dim() == At.rows(), "spmspv: dimension mismatch");
+  const vid_t out_dim = At.cols();
+  // Gustavson-style sparse accumulator.
+  std::vector<double> acc(out_dim, SR::zero());
+  std::vector<bool> touched(out_dim, false);
+  std::vector<vid_t> nz;
+  for (std::size_t k = 0; k < x.nnz(); ++k) {
+    const vid_t c = x.indices()[k];
+    const double xv = x.values()[k];
+    const auto cols = At.row_cols(c);
+    const auto vals = At.row_vals(c);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const vid_t r = cols[i];
+      if (mask_complement != nullptr && (*mask_complement)[r] != 0.0) continue;
+      acc[r] = SR::add(acc[r], SR::mul(vals[i], xv));
+      if (!touched[r]) {
+        touched[r] = true;
+        nz.push_back(r);
+      }
+    }
+  }
+  std::sort(nz.begin(), nz.end());
+  SparseVector y(out_dim);
+  for (vid_t r : nz) {
+    if (acc[r] != SR::zero()) y.push_back(r, acc[r]);
+  }
+  return y;
+}
+
+}  // namespace ga::spla

@@ -1,0 +1,150 @@
+#include "streaming/anomaly.hpp"
+
+#include "core/hash.hpp"
+#include "core/prng.hpp"
+
+namespace ga::streaming {
+
+GeneratedStream generate_packet_stream(const PacketStreamOptions& opts) {
+  GA_CHECK(opts.num_keys > 0, "packet stream: num_keys > 0");
+  core::Xoshiro256 rng(opts.seed);
+  GeneratedStream out;
+  out.packets.reserve(opts.count);
+  // Anomalous keys: deterministic hash-based selection.
+  const auto is_anomalous = [&](std::uint64_t key) {
+    const double u =
+        static_cast<double>(core::mix64(key ^ opts.seed) >> 11) * 0x1.0p-53;
+    return u < opts.anomalous_key_fraction;
+  };
+  for (std::size_t i = 0; i < opts.count; ++i) {
+    Packet p;
+    // Power-law key pick: bit-folded geometric bias toward low keys.
+    std::uint64_t k = rng.next_below(opts.num_keys);
+    while (k > 0 && rng.next_bool(0.5)) k /= 2;
+    p.key = k;
+    const bool anomalous = is_anomalous(p.key);
+    if (anomalous) out.truth.insert(p.key);
+    p.biased = rng.next_bool(anomalous ? opts.bias : opts.base);
+    p.subkey = rng.next_below(anomalous ? 4096 : 8);
+    out.packets.push_back(p);
+  }
+  return out;
+}
+
+FixedKeyAnomaly::FixedKeyAnomaly(std::uint64_t num_keys,
+                                 std::uint32_t observation_window,
+                                 double flag_threshold)
+    : state_(num_keys), window_(observation_window), threshold_(flag_threshold) {
+  GA_CHECK(observation_window > 0, "anomaly window > 0");
+}
+
+void FixedKeyAnomaly::ingest(const Packet& p) {
+  GA_CHECK(p.key < state_.size(), "fixed-key anomaly: key out of range");
+  ++samples_;
+  KeyState& s = state_[p.key];
+  if (s.flagged) return;
+  ++s.seen;
+  if (p.biased) ++s.biased;
+  if (s.seen >= window_) {
+    const double frac = static_cast<double>(s.biased) / s.seen;
+    if (frac >= threshold_) {
+      s.flagged = true;
+      events_.push_back({p.key, samples_, frac});
+    } else {
+      // Sliding restart: decay by halving so persistent drift still fires.
+      s.seen /= 2;
+      s.biased /= 2;
+    }
+  }
+}
+
+UnboundedKeyAnomaly::UnboundedKeyAnomaly(std::size_t capacity,
+                                         std::uint32_t observation_window,
+                                         double flag_threshold)
+    : capacity_(capacity), window_(observation_window),
+      threshold_(flag_threshold) {
+  GA_CHECK(capacity > 0, "unbounded-key anomaly: capacity > 0");
+}
+
+void UnboundedKeyAnomaly::ingest(const Packet& p) {
+  ++samples_;
+  auto it = state_.find(p.key);
+  if (it == state_.end()) {
+    if (state_.size() >= capacity_) {
+      // Evict least-recently-used key (state loss = approximation).
+      const std::uint64_t victim = lru_.back();
+      lru_.pop_back();
+      state_.erase(victim);
+      ++evictions_;
+    }
+    lru_.push_front(p.key);
+    it = state_.emplace(p.key, KeyState{}).first;
+    it->second.lru_pos = lru_.begin();
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  KeyState& s = it->second;
+  if (s.flagged) return;
+  ++s.seen;
+  if (p.biased) ++s.biased;
+  if (s.seen >= window_) {
+    const double frac = static_cast<double>(s.biased) / s.seen;
+    if (frac >= threshold_) {
+      s.flagged = true;
+      events_.push_back({p.key, samples_, frac});
+    } else {
+      s.seen /= 2;
+      s.biased /= 2;
+    }
+  }
+}
+
+TwoLevelKeyAnomaly::TwoLevelKeyAnomaly(std::size_t distinct_subkey_threshold)
+    : threshold_(distinct_subkey_threshold) {
+  GA_CHECK(threshold_ > 0, "two-level anomaly: threshold > 0");
+}
+
+void TwoLevelKeyAnomaly::ingest(const Packet& p) {
+  ++samples_;
+  if (flagged_.count(p.key) != 0) return;
+  auto& subs = subkeys_[p.key];
+  subs.insert(p.subkey);
+  if (subs.size() >= threshold_) {
+    flagged_.insert(p.key);
+    events_.push_back(
+        {p.key, samples_, static_cast<double>(subs.size())});
+    subkeys_.erase(p.key);  // second level state released once fired
+  }
+}
+
+std::size_t TwoLevelKeyAnomaly::distinct_subkeys(std::uint64_t key) const {
+  if (flagged_.count(key) != 0) return threshold_;
+  const auto it = subkeys_.find(key);
+  return it == subkeys_.end() ? 0 : it->second.size();
+}
+
+DetectionQuality score_detection(
+    const std::vector<AnomalyEvent>& events,
+    const std::unordered_set<std::uint64_t>& truth) {
+  DetectionQuality q;
+  std::unordered_set<std::uint64_t> flagged;
+  for (const auto& e : events) flagged.insert(e.key);
+  for (std::uint64_t k : flagged) {
+    if (truth.count(k) != 0) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  if (!flagged.empty()) {
+    q.precision = static_cast<double>(q.true_positives) /
+                  static_cast<double>(flagged.size());
+  }
+  if (!truth.empty()) {
+    q.recall = static_cast<double>(q.true_positives) /
+               static_cast<double>(truth.size());
+  }
+  return q;
+}
+
+}  // namespace ga::streaming

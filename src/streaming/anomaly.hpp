@@ -1,0 +1,138 @@
+// Firehose-style streaming anomaly kernels — the three "Anomaly" rows of
+// Fig. 1, modeled on Sandia's Firehose benchmark [1] (biased-key packet
+// streams):
+//
+//  * FixedKeyAnomaly ("anomaly1/power-law"): bounded key space, exact
+//    per-key state; after N observations of a key, flag it anomalous if
+//    the fraction of "biased" samples exceeds a threshold. Output class:
+//    per-key (vertex-property-like) events.
+//  * UnboundedKeyAnomaly ("anomaly2/active-set"): unbounded key domain
+//    under a fixed memory budget with LRU eviction — detection is
+//    approximate; evictions lose state (measured as potential misses).
+//  * TwoLevelKeyAnomaly ("anomaly3/two-level"): keys carry subkeys; a key
+//    fires when its distinct-subkey count crosses a threshold (an
+//    O(1)-event, global-value output).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::streaming {
+
+struct AnomalyEvent {
+  std::uint64_t key = 0;
+  std::uint64_t at_sample = 0;  // stream position when flagged
+  double biased_fraction = 0.0;
+};
+
+struct Packet {
+  std::uint64_t key = 0;
+  bool biased = false;          // "anomalous" value bit
+  std::uint64_t subkey = 0;     // two-level kernels only
+};
+
+/// Deterministic Firehose-like packet stream: keys ~ power-law; a chosen
+/// subset of keys emits biased values with probability `bias`, the rest
+/// with probability `base`.
+struct PacketStreamOptions {
+  std::uint64_t num_keys = 1 << 16;
+  std::size_t count = 100000;
+  double anomalous_key_fraction = 0.01;
+  double bias = 0.9;   // P(biased sample | anomalous key)
+  double base = 0.05;  // P(biased sample | normal key)
+  std::uint64_t seed = 1;
+};
+
+struct GeneratedStream {
+  std::vector<Packet> packets;
+  std::unordered_set<std::uint64_t> truth;  // truly anomalous keys
+};
+
+GeneratedStream generate_packet_stream(const PacketStreamOptions& opts);
+
+class FixedKeyAnomaly {
+ public:
+  FixedKeyAnomaly(std::uint64_t num_keys, std::uint32_t observation_window = 24,
+                  double flag_threshold = 0.5);
+
+  /// Feed one packet; appends to events() when a key is flagged.
+  void ingest(const Packet& p);
+
+  const std::vector<AnomalyEvent>& events() const { return events_; }
+  std::uint64_t samples_seen() const { return samples_; }
+
+ private:
+  struct KeyState {
+    std::uint32_t seen = 0;
+    std::uint32_t biased = 0;
+    bool flagged = false;
+  };
+  std::vector<KeyState> state_;
+  std::uint32_t window_;
+  double threshold_;
+  std::uint64_t samples_ = 0;
+  std::vector<AnomalyEvent> events_;
+};
+
+class UnboundedKeyAnomaly {
+ public:
+  UnboundedKeyAnomaly(std::size_t capacity, std::uint32_t observation_window = 24,
+                      double flag_threshold = 0.5);
+
+  void ingest(const Packet& p);
+
+  const std::vector<AnomalyEvent>& events() const { return events_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct KeyState {
+    std::uint32_t seen = 0;
+    std::uint32_t biased = 0;
+    bool flagged = false;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  std::size_t capacity_;
+  std::uint32_t window_;
+  double threshold_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, KeyState> state_;
+  std::vector<AnomalyEvent> events_;
+};
+
+class TwoLevelKeyAnomaly {
+ public:
+  explicit TwoLevelKeyAnomaly(std::size_t distinct_subkey_threshold = 16);
+
+  void ingest(const Packet& p);
+
+  const std::vector<AnomalyEvent>& events() const { return events_; }
+  /// Distinct subkeys observed for `key` so far.
+  std::size_t distinct_subkeys(std::uint64_t key) const;
+
+ private:
+  std::size_t threshold_;
+  std::uint64_t samples_ = 0;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> subkeys_;
+  std::unordered_set<std::uint64_t> flagged_;
+  std::vector<AnomalyEvent> events_;
+};
+
+/// Precision/recall of flagged keys vs ground truth.
+struct DetectionQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+};
+
+DetectionQuality score_detection(const std::vector<AnomalyEvent>& events,
+                                 const std::unordered_set<std::uint64_t>& truth);
+
+}  // namespace ga::streaming

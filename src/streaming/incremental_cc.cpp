@@ -1,0 +1,54 @@
+#include "streaming/incremental_cc.hpp"
+
+namespace ga::streaming {
+
+IncrementalCC::IncrementalCC(const graph::DynamicGraph& g)
+    : g_(g), uf_(g.num_vertices()) {
+  // Absorb any pre-existing edges.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    g.for_each_neighbor(u, [&](vid_t v, float, std::int64_t) {
+      if (u < v || g.directed()) uf_.unite(u, v);
+    });
+  }
+}
+
+bool IncrementalCC::on_insert(vid_t u, vid_t v) {
+  if (dirty_) {
+    // A rebuild is pending anyway; the snapshot will include this edge.
+    return false;
+  }
+  return uf_.unite(u, v);
+}
+
+void IncrementalCC::on_delete(vid_t /*u*/, vid_t /*v*/) { dirty_ = true; }
+
+void IncrementalCC::on_add_vertices(vid_t /*new_total*/) { dirty_ = true; }
+
+void IncrementalCC::rebuild_if_dirty() {
+  if (!dirty_) return;
+  uf_.reset(g_.num_vertices());
+  for (vid_t u = 0; u < g_.num_vertices(); ++u) {
+    g_.for_each_neighbor(u, [&](vid_t v, float, std::int64_t) {
+      if (u < v || g_.directed()) uf_.unite(u, v);
+    });
+  }
+  dirty_ = false;
+  ++rebuilds_;
+}
+
+vid_t IncrementalCC::num_components() {
+  rebuild_if_dirty();
+  return uf_.num_sets();
+}
+
+bool IncrementalCC::connected(vid_t u, vid_t v) {
+  rebuild_if_dirty();
+  return uf_.connected(u, v);
+}
+
+vid_t IncrementalCC::component_size(vid_t v) {
+  rebuild_if_dirty();
+  return uf_.size_of(v);
+}
+
+}  // namespace ga::streaming

@@ -1,0 +1,44 @@
+// Incremental connected components (streaming form of Fig. 1 row "CCW").
+// Inserts are O(α(n)) via union-find; deletions (rare in the paper's
+// streams) invalidate the forest, so the tracker marks itself dirty and
+// rebuilds from the backing DynamicGraph on the next query — the standard
+// "deletions are expensive, amortize them" policy for streaming
+// connectivity.
+#pragma once
+
+#include "graph/dynamic_graph.hpp"
+#include "kernels/connected_components.hpp"
+
+namespace ga::streaming {
+
+class IncrementalCC {
+ public:
+  explicit IncrementalCC(const graph::DynamicGraph& g);
+
+  /// Notify an applied edge insert. Returns true if two components merged.
+  bool on_insert(vid_t u, vid_t v);
+
+  /// Notify an applied edge delete (marks dirty; rebuild deferred).
+  void on_delete(vid_t u, vid_t v);
+
+  /// Notify that vertices were added to the backing graph.
+  void on_add_vertices(vid_t new_total);
+
+  vid_t num_components();
+  bool connected(vid_t u, vid_t v);
+  /// Size of the component containing v.
+  vid_t component_size(vid_t v);
+
+  bool dirty() const { return dirty_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void rebuild_if_dirty();
+
+  const graph::DynamicGraph& g_;
+  kernels::UnionFind uf_;
+  bool dirty_ = false;
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace ga::streaming

@@ -1,0 +1,76 @@
+#include "streaming/incremental_kcore.hpp"
+
+#include <deque>
+
+namespace ga::streaming {
+
+IncrementalKCore::IncrementalKCore(const graph::DynamicGraph& g,
+                                   std::uint32_t k)
+    : g_(g), k_(k) {
+  GA_CHECK(k >= 1, "k-core tracker: k >= 1");
+}
+
+void IncrementalKCore::recompute_if_dirty() {
+  if (!dirty_) return;
+  const vid_t n = g_.num_vertices();
+  // Peel: repeatedly drop vertices with fewer than k live neighbors.
+  std::vector<std::uint32_t> deg(n, 0);
+  member_.assign(n, true);
+  std::deque<vid_t> queue;
+  for (vid_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(g_.degree(v));
+    if (deg[v] < k_) {
+      member_[v] = false;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const vid_t v = queue.front();
+    queue.pop_front();
+    g_.for_each_neighbor(v, [&](vid_t u, float, std::int64_t) {
+      if (member_[u] && --deg[u] < k_) {
+        member_[u] = false;
+        queue.push_back(u);
+      }
+    });
+  }
+  size_ = 0;
+  for (vid_t v = 0; v < n; ++v) size_ += member_[v] ? 1 : 0;
+  dirty_ = false;
+  ++recomputes_;
+}
+
+bool IncrementalKCore::on_insert(vid_t u, vid_t v) {
+  if (dirty_) return true;
+  // An insert can only add members, and only if an endpoint just reached
+  // degree k (its neighbors' effective degrees may cascade).
+  if (g_.degree(u) >= k_ && !member_[u]) {
+    dirty_ = true;
+  } else if (g_.degree(v) >= k_ && !member_[v]) {
+    dirty_ = true;
+  }
+  return dirty_;
+}
+
+bool IncrementalKCore::on_delete(vid_t u, vid_t v) {
+  if (dirty_) return true;
+  // A delete can only remove members, and only if it touched the core.
+  if ((u < member_.size() && member_[u]) ||
+      (v < member_.size() && member_[v])) {
+    dirty_ = true;
+  }
+  return dirty_;
+}
+
+bool IncrementalKCore::is_member(vid_t v) {
+  GA_CHECK(v < g_.num_vertices(), "k-core tracker: vertex out of range");
+  recompute_if_dirty();
+  return member_[v];
+}
+
+vid_t IncrementalKCore::core_size() {
+  recompute_if_dirty();
+  return size_;
+}
+
+}  // namespace ga::streaming

@@ -1,0 +1,42 @@
+// Incremental k-core membership tracking: a streaming "compute vertex
+// property" kernel (Fig. 1 output class) with O(1) threshold events when
+// vertices enter or leave the k-core. Inserts can only grow the core and
+// deletes only shrink it, so the tracker keeps cheap degree bounds hot and
+// recomputes lazily (the IncrementalCC amortization policy) only when a
+// query arrives after the bounds say membership may have changed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace ga::streaming {
+
+class IncrementalKCore {
+ public:
+  IncrementalKCore(const graph::DynamicGraph& g, std::uint32_t k);
+
+  /// Notify AFTER the insert/delete has been applied to the graph.
+  /// Returns true if the k-core membership of some vertex MAY have
+  /// changed (conservative: exact status available from is_member()).
+  bool on_insert(vid_t u, vid_t v);
+  bool on_delete(vid_t u, vid_t v);
+
+  std::uint32_t k() const { return k_; }
+  bool is_member(vid_t v);
+  vid_t core_size();
+  std::uint64_t recomputes() const { return recomputes_; }
+
+ private:
+  void recompute_if_dirty();
+
+  const graph::DynamicGraph& g_;
+  std::uint32_t k_;
+  bool dirty_ = true;
+  std::uint64_t recomputes_ = 0;
+  std::vector<bool> member_;
+  vid_t size_ = 0;
+};
+
+}  // namespace ga::streaming

@@ -1,0 +1,64 @@
+#include "streaming/incremental_pagerank.hpp"
+
+#include <cmath>
+
+namespace ga::streaming {
+
+IncrementalPageRank::IncrementalPageRank(const graph::DynamicGraph& g,
+                                         double damping, double tolerance)
+    : g_(g), damping_(damping), tolerance_(tolerance) {
+  rank_.assign(g.num_vertices(), g.num_vertices() ? 1.0 / g.num_vertices() : 0.0);
+  refresh();
+}
+
+unsigned IncrementalPageRank::refresh() {
+  const vid_t n = g_.num_vertices();
+  if (n == 0) return 0;
+  if (rank_.size() != n) {
+    // New vertices start at the uniform share; renormalize below.
+    rank_.resize(n, 1.0 / n);
+  }
+  // Renormalize the warm start (mass drifts when edges/vertices change).
+  double mass = 0.0;
+  for (double r : rank_) mass += r;
+  if (mass > 0.0) {
+    for (double& r : rank_) r /= mass;
+  }
+
+  std::vector<double> contrib(n, 0.0), next(n, 0.0);
+  unsigned iters = 0;
+  for (; iters < 100; ++iters) {
+    double dangling = 0.0;
+    for (vid_t u = 0; u < n; ++u) {
+      const eid_t d = g_.degree(u);
+      if (d == 0) {
+        dangling += rank_[u];
+        contrib[u] = 0.0;
+      } else {
+        contrib[u] = rank_[u] / static_cast<double>(d);
+      }
+    }
+    const double base = (1.0 - damping_) / n + damping_ * dangling / n;
+    std::fill(next.begin(), next.end(), base);
+    // Push along arcs: undirected DynamicGraph stores both directions, so
+    // iterating out-neighbors covers the symmetric contribution.
+    for (vid_t u = 0; u < n; ++u) {
+      if (contrib[u] == 0.0) continue;
+      const double c = damping_ * contrib[u];
+      g_.for_each_neighbor(u, [&](vid_t v, float, std::int64_t) {
+        next[v] += c;
+      });
+    }
+    double delta = 0.0;
+    for (vid_t v = 0; v < n; ++v) delta += std::abs(next[v] - rank_[v]);
+    rank_.swap(next);
+    if (delta < tolerance_) {
+      ++iters;
+      break;
+    }
+  }
+  last_iters_ = iters;
+  return iters;
+}
+
+}  // namespace ga::streaming

@@ -1,0 +1,49 @@
+#include "streaming/incremental_triangles.hpp"
+
+#include <algorithm>
+
+#include "kernels/triangles.hpp"
+
+namespace ga::streaming {
+
+IncrementalTriangles::IncrementalTriangles(const graph::DynamicGraph& g)
+    : g_(g), local_(g.num_vertices(), 0) {
+  // Batch initialization from a snapshot.
+  const graph::CSRGraph snap = g.snapshot();
+  const auto counts = kernels::triangle_counts_per_vertex(snap);
+  for (vid_t v = 0; v < counts.size(); ++v) local_[v] = counts[v];
+  global_ = kernels::triangle_count_node_iterator(snap);
+}
+
+std::vector<vid_t> IncrementalTriangles::common_neighbors(vid_t u,
+                                                          vid_t v) const {
+  const auto nu = g_.neighbors_sorted(u);
+  const auto nv = g_.neighbors_sorted(v);
+  std::vector<vid_t> common;
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(common));
+  return common;
+}
+
+std::uint64_t IncrementalTriangles::on_insert(vid_t u, vid_t v) {
+  if (g_.has_edge(u, v)) return 0;  // weight refresh, no structural change
+  if (local_.size() < g_.num_vertices()) local_.resize(g_.num_vertices(), 0);
+  const auto common = common_neighbors(u, v);
+  for (vid_t w : common) ++local_[w];
+  local_[u] += common.size();
+  local_[v] += common.size();
+  global_ += common.size();
+  return common.size();
+}
+
+std::uint64_t IncrementalTriangles::on_delete(vid_t u, vid_t v) {
+  if (!g_.has_edge(u, v)) return 0;
+  const auto common = common_neighbors(u, v);
+  for (vid_t w : common) --local_[w];
+  local_[u] -= common.size();
+  local_[v] -= common.size();
+  global_ -= common.size();
+  return common.size();
+}
+
+}  // namespace ga::streaming

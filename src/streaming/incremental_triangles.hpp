@@ -1,0 +1,40 @@
+// Incremental triangle counting (streaming GTC, Fig. 1): on insert/delete
+// of edge (u,v) the global count changes by exactly |N(u) ∩ N(v)|, and
+// each common neighbor's local count changes by 1 — the paper's "change in
+// either/both the associated vertices' triangle count or the overall
+// number of triangles".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace ga::streaming {
+
+class IncrementalTriangles {
+ public:
+  /// Initializes counts from the current graph contents.
+  explicit IncrementalTriangles(const graph::DynamicGraph& g);
+
+  /// Call BEFORE applying the insert to the graph. Returns the triangle
+  /// delta (new triangles closed by (u,v)).
+  std::uint64_t on_insert(vid_t u, vid_t v);
+
+  /// Call BEFORE applying the delete. Returns the (positive) count removed.
+  std::uint64_t on_delete(vid_t u, vid_t v);
+
+  std::uint64_t global_count() const { return global_; }
+  std::uint64_t local_count(vid_t v) const { return local_[v]; }
+  const std::vector<std::uint64_t>& local_counts() const { return local_; }
+
+ private:
+  /// Common neighbors of u and v in the current graph.
+  std::vector<vid_t> common_neighbors(vid_t u, vid_t v) const;
+
+  const graph::DynamicGraph& g_;
+  std::uint64_t global_ = 0;
+  std::vector<std::uint64_t> local_;
+};
+
+}  // namespace ga::streaming

@@ -1,0 +1,44 @@
+#include "streaming/streaming_jaccard.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ga::streaming {
+
+std::vector<JaccardMatch> StreamingJaccard::query(vid_t u,
+                                                  double min_coeff) const {
+  GA_CHECK(u < g_.num_vertices(), "jaccard query: vertex out of range");
+  const auto nu = g_.neighbors_sorted(u);
+  // Count shared neighbors with every 2-hop vertex in one sweep.
+  std::unordered_map<vid_t, std::size_t> shared;
+  for (vid_t w : nu) {
+    g_.for_each_neighbor(w, [&](vid_t v, float, std::int64_t) {
+      if (v != u) ++shared[v];
+    });
+  }
+  std::vector<JaccardMatch> out;
+  const double du = static_cast<double>(nu.size());
+  for (const auto& [v, inter] : shared) {
+    const double uni =
+        du + static_cast<double>(g_.degree(v)) - static_cast<double>(inter);
+    const double j = uni == 0.0 ? 0.0 : static_cast<double>(inter) / uni;
+    if (j > 0.0 && j >= min_coeff) out.push_back({v, j});
+  }
+  std::sort(out.begin(), out.end(), [](const JaccardMatch& a, const JaccardMatch& b) {
+    return a.coefficient != b.coefficient ? a.coefficient > b.coefficient
+                                          : a.other < b.other;
+  });
+  return out;
+}
+
+JaccardMatch StreamingJaccard::max_partner(vid_t u) const {
+  const auto matches = query(u, 0.0);
+  return matches.empty() ? JaccardMatch{kInvalidVid, 0.0} : matches.front();
+}
+
+bool StreamingJaccard::on_insert_crosses_threshold(vid_t u, vid_t v) const {
+  return max_partner(u).coefficient >= threshold_ ||
+         max_partner(v).coefficient >= threshold_;
+}
+
+}  // namespace ga::streaming

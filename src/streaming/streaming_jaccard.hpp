@@ -1,0 +1,47 @@
+// Streaming Jaccard coefficients — both forms the paper distinguishes:
+//
+//  Form 1 (update-triggered): "on addition of an edge, what does the graph
+//  modification do to the maximum Jaccard coefficient the two vertices may
+//  have with any other"; report a threshold crossing as an event.
+//
+//  Form 2 (query stream): "a sequence of vertices, where for each provided
+//  vertex the kernel should return what other vertices have a non-zero
+//  Jaccard coefficient (perhaps greater than some threshold)" — the
+//  NORA-style real-time relationship query (§III, §V.B).
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace ga::streaming {
+
+struct JaccardMatch {
+  vid_t other = 0;
+  double coefficient = 0.0;
+};
+
+class StreamingJaccard {
+ public:
+  explicit StreamingJaccard(const graph::DynamicGraph& g, double threshold = 0.5)
+      : g_(g), threshold_(threshold) {}
+
+  /// Form 2: all vertices with J(u, v) >= min_coeff (> 0), sorted by
+  /// descending coefficient. Examines only 2-hop candidates.
+  std::vector<JaccardMatch> query(vid_t u, double min_coeff = 0.0) const;
+
+  /// Max-coefficient partner of u (coefficient 0 if none).
+  JaccardMatch max_partner(vid_t u) const;
+
+  /// Form 1: evaluate an applied edge insert (u,v). Returns true if either
+  /// endpoint's maximum coefficient now crosses the trigger threshold.
+  bool on_insert_crosses_threshold(vid_t u, vid_t v) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  const graph::DynamicGraph& g_;
+  double threshold_;
+};
+
+}  // namespace ga::streaming

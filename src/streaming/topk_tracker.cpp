@@ -1,0 +1,65 @@
+#include "streaming/topk_tracker.hpp"
+
+#include <algorithm>
+
+namespace ga::streaming {
+
+TopKTracker::TopKTracker(vid_t num_vertices, std::size_t k)
+    : k_(k), score_(num_vertices, 0.0) {
+  GA_CHECK(k > 0, "TopKTracker: k > 0");
+  // Seed: all vertices at score 0; the first k ids form the initial top-k.
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    if (top_.size() < k_) {
+      top_.insert({0.0, v});
+    } else {
+      rest_.insert({0.0, v});
+    }
+  }
+}
+
+bool TopKTracker::update(vid_t v, double score) {
+  GA_CHECK(v < score_.size(), "TopKTracker: vertex out of range");
+  const std::pair<double, vid_t> old_key{score_[v], v};
+  const std::pair<double, vid_t> new_key{score, v};
+  const bool was_top = top_.erase(old_key) > 0;
+  if (!was_top) rest_.erase(old_key);
+  score_[v] = score;
+
+  bool membership_changed = false;
+  if (was_top) {
+    // Still beats the best of the rest?
+    if (!rest_.empty() && new_key < *rest_.rbegin()) {
+      // Demote v, promote the best outsider.
+      auto best = std::prev(rest_.end());
+      top_.insert(*best);
+      rest_.erase(best);
+      rest_.insert(new_key);
+      membership_changed = true;
+    } else {
+      top_.insert(new_key);
+    }
+  } else {
+    // Does v displace the weakest top member?
+    if (!top_.empty() && new_key > *top_.begin()) {
+      auto weakest = top_.begin();
+      rest_.insert(*weakest);
+      top_.erase(weakest);
+      top_.insert(new_key);
+      membership_changed = true;
+    } else if (top_.size() < k_) {
+      top_.insert(new_key);
+      membership_changed = true;
+    } else {
+      rest_.insert(new_key);
+    }
+  }
+  if (membership_changed) ++changes_;
+  return membership_changed;
+}
+
+std::vector<std::pair<double, vid_t>> TopKTracker::topk() const {
+  std::vector<std::pair<double, vid_t>> out(top_.rbegin(), top_.rend());
+  return out;
+}
+
+}  // namespace ga::streaming

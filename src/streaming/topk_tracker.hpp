@@ -1,0 +1,43 @@
+// Streaming top-k tracker over a mutable per-vertex score (degree,
+// triangle count, rank …). Answers the paper's streaming-centrality
+// question: "does that [update] cause a change in the 'top n' vertices in
+// terms of the metric" — an O(1)-events output class in Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::streaming {
+
+class TopKTracker {
+ public:
+  TopKTracker(vid_t num_vertices, std::size_t k);
+
+  /// Update v's score. Returns true iff the top-k MEMBERSHIP changed
+  /// (entries entering/leaving, not mere reordering).
+  bool update(vid_t v, double score);
+
+  double score(vid_t v) const { return score_[v]; }
+  std::size_t k() const { return k_; }
+
+  /// Current top-k as (score, vertex), descending.
+  std::vector<std::pair<double, vid_t>> topk() const;
+
+  /// Number of membership changes observed so far.
+  std::uint64_t membership_changes() const { return changes_; }
+
+ private:
+  bool in_top(vid_t v) const { return top_.count({score_[v], v}) != 0; }
+
+  std::size_t k_;
+  std::vector<double> score_;
+  // Ordered set of (score, vertex): top_ holds exactly the current top-k.
+  std::set<std::pair<double, vid_t>> top_;
+  std::set<std::pair<double, vid_t>> rest_;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace ga::streaming

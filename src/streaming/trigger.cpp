@@ -1,0 +1,129 @@
+#include "streaming/trigger.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "kernels/bfs.hpp"
+
+namespace ga::streaming {
+
+namespace {
+
+/// Extract the depth-bounded neighborhood of `seed` from a snapshot as a
+/// standalone CSR with remapped vertex ids. Returns the subgraph and the
+/// seed's local id.
+std::pair<graph::CSRGraph, vid_t> extract_neighborhood(
+    const graph::DynamicGraph& g, vid_t seed, std::uint32_t depth) {
+  const graph::CSRGraph snap = g.snapshot();
+  const std::vector<vid_t> members =
+      kernels::khop_neighborhood(snap, {seed}, depth);
+  // Remap to local ids (members is sorted).
+  std::vector<graph::Edge> edges;
+  const auto local_of = [&](vid_t v) -> vid_t {
+    const auto it = std::lower_bound(members.begin(), members.end(), v);
+    return (it != members.end() && *it == v)
+               ? static_cast<vid_t>(it - members.begin())
+               : kInvalidVid;
+  };
+  for (vid_t lu = 0; lu < members.size(); ++lu) {
+    for (vid_t v : snap.out_neighbors(members[lu])) {
+      const vid_t lv = local_of(v);
+      if (lv != kInvalidVid && lu < lv) {
+        edges.push_back(graph::Edge{lu, lv});
+      }
+    }
+  }
+  auto sub = graph::build_undirected(std::move(edges),
+                                     static_cast<vid_t>(members.size()));
+  return {std::move(sub), local_of(seed)};
+}
+
+double default_analytic(const graph::CSRGraph& sub, vid_t /*seed_local*/) {
+  return sub.num_vertices() == 0
+             ? 0.0
+             : static_cast<double>(sub.num_arcs()) / sub.num_vertices();
+}
+
+}  // namespace
+
+StreamProcessor::StreamProcessor(graph::DynamicGraph& g, TriggerPolicy policy,
+                                 std::size_t topk)
+    : g_(g), policy_(policy), cc_(g), tris_(g),
+      topk_(g.num_vertices(), topk), analytic_(default_analytic) {
+  // Seed the degree tracker from current state.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    topk_.update(v, static_cast<double>(g.degree(v)));
+  }
+}
+
+void StreamProcessor::set_analytic(SubgraphAnalytic analytic) {
+  GA_CHECK(static_cast<bool>(analytic), "set_analytic: empty analytic");
+  analytic_ = std::move(analytic);
+}
+
+void StreamProcessor::fire(vid_t seed, const std::string& reason,
+                           double metric, std::int64_t ts) {
+  ++stats_.triggers;
+  auto [sub, seed_local] =
+      extract_neighborhood(g_, seed, policy_.extraction_depth);
+  Alert a;
+  a.ts = ts;
+  a.seed = seed;
+  a.reason = reason;
+  a.metric = metric;
+  a.subgraph_vertices = sub.num_vertices();
+  a.analytic_result = analytic_(sub, seed_local);
+  alerts_.push_back(std::move(a));
+}
+
+void StreamProcessor::apply(const Update& u) {
+  switch (u.kind) {
+    case UpdateKind::kEdgeInsert: {
+      ++stats_.inserts;
+      const std::uint64_t delta = tris_.on_insert(u.u, u.v);
+      g_.insert_edge(u.u, u.v, u.value, u.ts);
+      const bool merged = cc_.on_insert(u.u, u.v);
+      bool topk_changed = false;
+      topk_changed |= topk_.update(u.u, static_cast<double>(g_.degree(u.u)));
+      topk_changed |= topk_.update(u.v, static_cast<double>(g_.degree(u.v)));
+
+      if (policy_.triangle_delta_threshold > 0 &&
+          delta >= policy_.triangle_delta_threshold) {
+        fire(u.u, "triangle-densification", static_cast<double>(delta), u.ts);
+      }
+      if (merged && policy_.component_size_threshold > 0 &&
+          cc_.component_size(u.u) >= policy_.component_size_threshold) {
+        fire(u.u, "component-merge",
+             static_cast<double>(cc_.component_size(u.u)), u.ts);
+      }
+      if (policy_.fire_on_topk_change && topk_changed) {
+        fire(u.u, "topk-degree-change", static_cast<double>(g_.degree(u.u)),
+             u.ts);
+      }
+      break;
+    }
+    case UpdateKind::kEdgeDelete: {
+      ++stats_.deletes;
+      tris_.on_delete(u.u, u.v);
+      if (g_.delete_edge(u.u, u.v)) {
+        cc_.on_delete(u.u, u.v);
+        topk_.update(u.u, static_cast<double>(g_.degree(u.u)));
+        topk_.update(u.v, static_cast<double>(g_.degree(u.v)));
+      }
+      break;
+    }
+    case UpdateKind::kPropertyUpdate:
+      ++stats_.property_updates;
+      // Property stores live in the pipeline layer; counted here.
+      break;
+    case UpdateKind::kVertexQuery:
+      ++stats_.queries;
+      break;
+  }
+}
+
+void StreamProcessor::apply_all(const std::vector<Update>& stream) {
+  for (const Update& u : stream) apply(u);
+}
+
+}  // namespace ga::streaming

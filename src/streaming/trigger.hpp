@@ -1,0 +1,91 @@
+// The Fig. 2 streaming→batch coupling: a StreamProcessor applies updates
+// to a dynamic graph, keeps incremental metrics hot, and when a local
+// metric change crosses a trigger threshold, uses the modified vertices as
+// SEEDS into a subgraph extraction and runs a batch analytic over the
+// extracted subgraph — producing alerts and/or property write-backs
+// exactly as the paper's canonical flow describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "streaming/incremental_cc.hpp"
+#include "streaming/incremental_triangles.hpp"
+#include "streaming/topk_tracker.hpp"
+#include "streaming/update_stream.hpp"
+
+namespace ga::streaming {
+
+struct Alert {
+  std::int64_t ts = 0;
+  vid_t seed = 0;
+  std::string reason;
+  double metric = 0.0;
+  vid_t subgraph_vertices = 0;   // size of the extracted neighborhood
+  double analytic_result = 0.0;  // batch analytic output on the subgraph
+};
+
+struct TriggerPolicy {
+  /// Fire when one edge insert closes at least this many new triangles
+  /// (sudden local densification).
+  std::uint64_t triangle_delta_threshold = 8;
+  /// Fire when a component merge creates a component at least this large.
+  vid_t component_size_threshold = 0;  // 0 = disabled
+  /// Fire when the degree top-k membership changes.
+  bool fire_on_topk_change = false;
+  /// Depth of the seed neighborhood extracted on fire.
+  std::uint32_t extraction_depth = 2;
+};
+
+/// Batch analytic run on each extracted subgraph: receives the subgraph
+/// and the seed's local id within it, returns a scalar result.
+using SubgraphAnalytic =
+    std::function<double(const graph::CSRGraph&, vid_t seed_local)>;
+
+struct StreamStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t property_updates = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t triggers = 0;
+};
+
+class StreamProcessor {
+ public:
+  StreamProcessor(graph::DynamicGraph& g, TriggerPolicy policy,
+                  std::size_t topk = 10);
+
+  /// Set the batch analytic run on trigger (default: average degree).
+  void set_analytic(SubgraphAnalytic analytic);
+
+  /// Apply one update; may append to alerts().
+  void apply(const Update& u);
+
+  /// Apply a whole stream.
+  void apply_all(const std::vector<Update>& stream);
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  const StreamStats& stats() const { return stats_; }
+  IncrementalTriangles& triangles() { return tris_; }
+  IncrementalCC& components() { return cc_; }
+  TopKTracker& degree_topk() { return topk_; }
+
+ private:
+  void fire(vid_t seed, const std::string& reason, double metric,
+            std::int64_t ts);
+
+  graph::DynamicGraph& g_;
+  TriggerPolicy policy_;
+  IncrementalCC cc_;
+  IncrementalTriangles tris_;
+  TopKTracker topk_;
+  SubgraphAnalytic analytic_;
+  std::vector<Alert> alerts_;
+  StreamStats stats_;
+};
+
+}  // namespace ga::streaming

@@ -1,0 +1,98 @@
+#include "streaming/update_stream.hpp"
+
+#include <unordered_set>
+
+#include "core/hash.hpp"
+#include "core/prng.hpp"
+
+namespace ga::streaming {
+
+namespace {
+
+/// Power-law-biased vertex pick: repeatedly halve the id range with an
+/// RMAT-style skewed coin, producing hub-heavy selections.
+vid_t skewed_vertex(core::Xoshiro256& rng, vid_t n) {
+  vid_t lo = 0, hi = n;
+  while (hi - lo > 1) {
+    const vid_t mid = lo + (hi - lo) / 2;
+    if (rng.next_bool(0.6)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+std::vector<Update> generate_stream(vid_t num_vertices,
+                                    const StreamOptions& opts) {
+  GA_CHECK(num_vertices >= 2, "generate_stream: need >= 2 vertices");
+  GA_CHECK(opts.delete_fraction + opts.property_fraction + opts.query_fraction
+               <= 1.0,
+           "generate_stream: fractions exceed 1");
+  core::Xoshiro256 rng(opts.seed);
+  std::vector<Update> stream;
+  stream.reserve(opts.count);
+  std::vector<std::pair<vid_t, vid_t>> inserted;  // live-edge delete candidates
+  std::unordered_set<std::uint64_t> live;         // dedup: re-inserts are updates
+  std::int64_t ts = 0;
+  for (std::size_t i = 0; i < opts.count; ++i) {
+    ts += 1 + static_cast<std::int64_t>(rng.next_exponential(3.0));
+    const double roll = rng.next_double();
+    Update u;
+    u.ts = ts;
+    if (roll < opts.delete_fraction && !inserted.empty()) {
+      const auto k = rng.next_below(inserted.size());
+      u.kind = UpdateKind::kEdgeDelete;
+      u.u = inserted[k].first;
+      u.v = inserted[k].second;
+      inserted[k] = inserted.back();
+      inserted.pop_back();
+      live.erase(core::edge_key(u.u, u.v));
+    } else if (roll < opts.delete_fraction + opts.property_fraction) {
+      u.kind = UpdateKind::kPropertyUpdate;
+      u.u = skewed_vertex(rng, num_vertices);
+      u.value = static_cast<float>(rng.next_double());
+    } else if (roll < opts.delete_fraction + opts.property_fraction +
+                          opts.query_fraction) {
+      u.kind = UpdateKind::kVertexQuery;
+      u.u = skewed_vertex(rng, num_vertices);
+    } else {
+      u.kind = UpdateKind::kEdgeInsert;
+      do {
+        u.u = skewed_vertex(rng, num_vertices);
+        u.v = skewed_vertex(rng, num_vertices);
+      } while (u.u == u.v);
+      u.value = static_cast<float>(rng.next_double());
+      // Only first insertions become delete candidates; re-inserting a
+      // live edge is a weight/timestamp update, not a new edge.
+      if (live.insert(core::edge_key(u.u, u.v)).second) {
+        inserted.emplace_back(u.u, u.v);
+      }
+    }
+    stream.push_back(u);
+  }
+  return stream;
+}
+
+std::vector<Update> generate_query_stream(vid_t num_vertices,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  core::Xoshiro256 rng(seed);
+  std::vector<Update> stream;
+  stream.reserve(count);
+  std::int64_t ts = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ts += 1 + static_cast<std::int64_t>(rng.next_exponential(2.0));
+    Update u;
+    u.kind = UpdateKind::kVertexQuery;
+    u.u = skewed_vertex(rng, num_vertices);
+    u.ts = ts;
+    stream.push_back(u);
+  }
+  return stream;
+}
+
+}  // namespace ga::streaming

@@ -1,0 +1,52 @@
+// Update streams: the paper's two streaming forms (§II) are
+//  (1) incremental targeted graph updates — edge/vertex inserts, deletes,
+//      property updates — and
+//  (2) a stream of independent local queries naming a vertex to search for
+//      and an operation on its properties.
+// This header defines the update record and deterministic synthetic stream
+// generators for both forms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace ga::streaming {
+
+enum class UpdateKind : std::uint8_t {
+  kEdgeInsert,
+  kEdgeDelete,
+  kPropertyUpdate,  // set property `value` on vertex u
+  kVertexQuery,     // query form: look up vertex u
+};
+
+struct Update {
+  UpdateKind kind = UpdateKind::kEdgeInsert;
+  vid_t u = 0;
+  vid_t v = 0;        // unused for property updates / queries
+  float value = 1.0f; // edge weight or property value
+  std::int64_t ts = 0;
+};
+
+struct StreamOptions {
+  std::size_t count = 10000;   // number of updates to generate
+  double delete_fraction = 0.1;  // fraction of edge ops that are deletes
+  double property_fraction = 0.0;
+  double query_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Mixed update stream over an RMAT-like key distribution so inserts hit
+/// hubs with power-law bias (matching the locality profile of Graph500
+/// streams). Deletes replay earlier inserts from this same stream.
+std::vector<Update> generate_stream(vid_t num_vertices,
+                                    const StreamOptions& opts);
+
+/// Query-only stream (the paper's second streaming form): vertices chosen
+/// with power-law bias.
+std::vector<Update> generate_query_stream(vid_t num_vertices,
+                                          std::size_t count,
+                                          std::uint64_t seed);
+
+}  // namespace ga::streaming

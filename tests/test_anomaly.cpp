@@ -1,0 +1,147 @@
+// Firehose-style anomaly kernel tests: detection quality on planted
+// streams, LRU eviction behavior, two-level subkey thresholds.
+#include <gtest/gtest.h>
+
+#include "streaming/anomaly.hpp"
+
+namespace ga::streaming {
+namespace {
+
+TEST(PacketStream, DeterministicAndPlantsTruth) {
+  PacketStreamOptions opts;
+  opts.count = 20000;
+  opts.seed = 3;
+  const auto a = generate_packet_stream(opts);
+  const auto b = generate_packet_stream(opts);
+  ASSERT_EQ(a.packets.size(), 20000u);
+  EXPECT_EQ(a.truth, b.truth);
+  EXPECT_FALSE(a.truth.empty());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.packets[i].key, b.packets[i].key);
+    EXPECT_EQ(a.packets[i].biased, b.packets[i].biased);
+  }
+}
+
+TEST(FixedKeyAnomaly, DetectsPlantedKeysAccurately) {
+  PacketStreamOptions opts;
+  opts.num_keys = 1 << 12;
+  opts.count = 200000;
+  opts.anomalous_key_fraction = 0.02;
+  opts.bias = 0.95;
+  opts.base = 0.02;
+  const auto stream = generate_packet_stream(opts);
+  FixedKeyAnomaly det(opts.num_keys);
+  for (const auto& p : stream.packets) det.ingest(p);
+  const auto q = score_detection(det.events(), stream.truth);
+  EXPECT_GT(q.precision, 0.9);
+  EXPECT_GT(q.recall, 0.5);  // tail keys may never reach the window
+  EXPECT_GT(q.true_positives, 0u);
+}
+
+TEST(FixedKeyAnomaly, CleanStreamFiresRarely) {
+  PacketStreamOptions opts;
+  opts.count = 100000;
+  opts.anomalous_key_fraction = 0.0;
+  opts.base = 0.02;
+  const auto stream = generate_packet_stream(opts);
+  FixedKeyAnomaly det(opts.num_keys);
+  for (const auto& p : stream.packets) det.ingest(p);
+  EXPECT_LT(det.events().size(), 5u);
+}
+
+TEST(FixedKeyAnomaly, FlagsOnceKeyReachesWindowWithBias) {
+  FixedKeyAnomaly det(16, /*observation_window=*/4, /*flag_threshold=*/0.75);
+  for (int i = 0; i < 4; ++i) det.ingest({7, true, 0});
+  ASSERT_EQ(det.events().size(), 1u);
+  EXPECT_EQ(det.events()[0].key, 7u);
+  EXPECT_DOUBLE_EQ(det.events()[0].biased_fraction, 1.0);
+  // Already flagged: no duplicate events.
+  det.ingest({7, true, 0});
+  EXPECT_EQ(det.events().size(), 1u);
+}
+
+TEST(FixedKeyAnomaly, RejectsOutOfRangeKey) {
+  FixedKeyAnomaly det(8);
+  EXPECT_THROW(det.ingest({9, false, 0}), ga::Error);
+}
+
+TEST(UnboundedKeyAnomaly, EvictsUnderMemoryPressure) {
+  UnboundedKeyAnomaly det(/*capacity=*/64, 8, 0.5);
+  for (std::uint64_t k = 0; k < 1000; ++k) det.ingest({k, false, 0});
+  EXPECT_GT(det.evictions(), 900u);
+}
+
+TEST(UnboundedKeyAnomaly, HotKeysSurviveLru) {
+  UnboundedKeyAnomaly det(/*capacity=*/8, /*window=*/16, 0.9);
+  // Interleave one hot biased key with cold noise keys.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    det.ingest({42, true, 0});
+    det.ingest({1000 + i, false, 0});
+  }
+  ASSERT_EQ(det.events().size(), 1u);
+  EXPECT_EQ(det.events()[0].key, 42u);
+}
+
+TEST(UnboundedKeyAnomaly, DetectionApproximatesFixedKey) {
+  // Smaller key domain so keys repeat enough to cross the observation
+  // window even under LRU churn.
+  PacketStreamOptions opts;
+  opts.num_keys = 256;
+  opts.count = 100000;
+  opts.anomalous_key_fraction = 0.05;
+  opts.bias = 0.95;
+  opts.base = 0.02;
+  const auto stream = generate_packet_stream(opts);
+  UnboundedKeyAnomaly det(224);  // 87% of the key space: tail churns
+  FixedKeyAnomaly exact(opts.num_keys);
+  for (const auto& p : stream.packets) {
+    det.ingest(p);
+    exact.ingest(p);
+  }
+  const auto q = score_detection(det.events(), stream.truth);
+  const auto qx = score_detection(exact.events(), stream.truth);
+  EXPECT_GE(q.true_positives, 1u);
+  EXPECT_GT(q.precision, 0.8);
+  // Eviction loses some state by design, but the approximation should
+  // recover at least half of what exact per-key state recovers.
+  EXPECT_GE(q.recall, 0.5 * qx.recall);
+}
+
+TEST(TwoLevelKeyAnomaly, FiresOnDistinctSubkeyCount) {
+  TwoLevelKeyAnomaly det(4);
+  det.ingest({5, false, 1});
+  det.ingest({5, false, 1});  // duplicate subkey: no progress
+  EXPECT_EQ(det.distinct_subkeys(5), 1u);
+  det.ingest({5, false, 2});
+  det.ingest({5, false, 3});
+  EXPECT_TRUE(det.events().empty());
+  det.ingest({5, false, 4});
+  ASSERT_EQ(det.events().size(), 1u);
+  EXPECT_EQ(det.events()[0].key, 5u);
+  // After firing, state is released and key stays flagged.
+  det.ingest({5, false, 9});
+  EXPECT_EQ(det.events().size(), 1u);
+}
+
+TEST(TwoLevelKeyAnomaly, SeparatesFanoutKeysFromNormal) {
+  PacketStreamOptions opts;
+  opts.num_keys = 256;  // small domain: keys repeat enough to fan out
+  opts.count = 150000;
+  opts.anomalous_key_fraction = 0.05;
+  const auto stream = generate_packet_stream(opts);
+  // Planted keys draw subkeys from 4096 values, normal from 8: a distinct
+  // count threshold of 32 separates them.
+  TwoLevelKeyAnomaly det(32);
+  for (const auto& p : stream.packets) det.ingest(p);
+  const auto q = score_detection(det.events(), stream.truth);
+  EXPECT_GT(q.precision, 0.95);
+}
+
+TEST(ScoreDetection, HandlesEmptyInputs) {
+  const auto q = score_detection({}, {});
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace ga::streaming

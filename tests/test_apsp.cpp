@@ -1,0 +1,73 @@
+// APSP tests: Floyd–Warshall vs repeated Dijkstra, eccentricity/diameter.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/apsp.hpp"
+#include "kernels/sssp.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(Apsp, EnginesAgreeOnRandomWeighted) {
+  auto edges = graph::erdos_renyi_edges(60, 240, 1);
+  graph::randomize_weights(edges, 0.5f, 4.0f, 2);
+  graph::BuildOptions opts;
+  opts.directed = false;
+  opts.keep_weights = true;
+  const auto g = graph::build_csr(std::move(edges), 60, opts);
+  const auto a = apsp_dijkstra(g);
+  const auto b = apsp_floyd_warshall(g);
+  ASSERT_EQ(a.n, b.n);
+  for (vid_t u = 0; u < a.n; ++u) {
+    for (vid_t v = 0; v < a.n; ++v) {
+      EXPECT_NEAR(a.at(u, v), b.at(u, v), 1e-3) << u << "->" << v;
+    }
+  }
+}
+
+TEST(Apsp, DiagonalIsZero) {
+  const auto g = graph::make_erdos_renyi(40, 120, 3);
+  const auto r = apsp_dijkstra(g);
+  for (vid_t v = 0; v < 40; ++v) EXPECT_FLOAT_EQ(r.at(v, v), 0.0f);
+}
+
+TEST(Apsp, PathGraphDistancesAndDiameter) {
+  const auto g = graph::make_path(8);
+  const auto r = apsp_floyd_warshall(g);
+  EXPECT_FLOAT_EQ(r.at(0, 7), 7.0f);
+  EXPECT_FLOAT_EQ(r.at(3, 5), 2.0f);
+  EXPECT_FLOAT_EQ(exact_diameter(r), 7.0f);
+  const auto ecc = eccentricities(r);
+  EXPECT_FLOAT_EQ(ecc[0], 7.0f);
+  EXPECT_FLOAT_EQ(ecc[3], 4.0f);  // max(3, 4)
+}
+
+TEST(Apsp, DisconnectedPairsStayInfinite) {
+  const auto g = graph::build_undirected({{0, 1}, {2, 3}}, 4);
+  const auto r = apsp_floyd_warshall(g);
+  EXPECT_EQ(r.at(0, 2), kInfWeight);
+  // Eccentricity ignores unreachable pairs.
+  const auto ecc = eccentricities(r);
+  EXPECT_FLOAT_EQ(ecc[0], 1.0f);
+}
+
+TEST(Apsp, SymmetricForUndirected) {
+  const auto g = graph::make_erdos_renyi(30, 90, 5);
+  const auto r = apsp_dijkstra(g);
+  for (vid_t u = 0; u < 30; ++u) {
+    for (vid_t v = u + 1; v < 30; ++v) {
+      EXPECT_FLOAT_EQ(r.at(u, v), r.at(v, u));
+    }
+  }
+}
+
+TEST(Apsp, MatchesSingleSourceRow) {
+  const auto g = graph::make_grid(5, 5);
+  const auto full = apsp_dijkstra(g);
+  const auto one = dijkstra(g, 12);
+  for (vid_t v = 0; v < 25; ++v) EXPECT_FLOAT_EQ(full.at(12, v), one.dist[v]);
+}
+
+}  // namespace
+}  // namespace ga::kernels

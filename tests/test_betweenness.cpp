@@ -1,0 +1,86 @@
+// Betweenness centrality tests: textbook values on structured graphs,
+// sampled estimator accuracy.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/betweenness.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(Betweenness, PathGraphInteriorValues) {
+  // Path 0-1-2-3-4: unnormalized pair dependencies (each ordered pair).
+  // Vertex 2 lies on paths (0,3),(0,4),(1,3),(1,4),(3,0)... = 2*4 = 8... for
+  // undirected double counting: pairs through 2: {0,1}x{3,4} = 4 pairs, each
+  // counted in both directions -> 8.
+  const auto g = graph::make_path(5);
+  const auto bc = betweenness_exact(g);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 6.0);  // {0}x{2,3,4} both directions
+  EXPECT_DOUBLE_EQ(bc[2], 8.0);
+  EXPECT_DOUBLE_EQ(bc[3], 6.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  const auto g = graph::make_star(6);  // center 0, leaves 1..5
+  const auto bc = betweenness_exact(g);
+  // Pairs of leaves: C(5,2)=10, both directions -> 20.
+  EXPECT_DOUBLE_EQ(bc[0], 20.0);
+  for (vid_t v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, CompleteGraphAllZero) {
+  const auto g = graph::make_complete(6);
+  for (double x : betweenness_exact(g)) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Betweenness, SplitShortestPathsShareDependency) {
+  // Square 0-1-2-3-0: two equal paths between opposite corners.
+  const auto g = graph::build_undirected({{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 4);
+  const auto bc = betweenness_exact(g);
+  // Each vertex carries half of the one opposite pair, both directions: 1.0.
+  for (vid_t v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(bc[v], 1.0);
+}
+
+TEST(Betweenness, SampledApproximatesExact) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 6, .seed = 5});
+  const auto exact = betweenness_exact(g);
+  const auto approx = betweenness_sampled(g, g.num_vertices() / 4, 7);
+  // Rank correlation proxy: the top exact vertex should rank highly.
+  vid_t top_exact = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (exact[v] > exact[top_exact]) top_exact = v;
+  }
+  vid_t better = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (approx[v] > approx[top_exact]) ++better;
+  }
+  EXPECT_LT(better, g.num_vertices() / 20);
+}
+
+TEST(Betweenness, SampledWithAllPivotsIsExact) {
+  const auto g = graph::make_path(7);
+  const auto exact = betweenness_exact(g);
+  const auto full = betweenness_sampled(g, 7, 1);
+  for (vid_t v = 0; v < 7; ++v) EXPECT_NEAR(full[v], exact[v], 1e-9);
+}
+
+TEST(Betweenness, ParallelMatchesSerialExact) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 6, .seed = 9});
+  const auto serial = betweenness_exact(g);
+  const auto parallel = betweenness_exact_parallel(g);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(serial[v], parallel[v], 1e-6 * (1.0 + serial[v]));
+  }
+}
+
+TEST(Betweenness, SampledRejectsZeroPivots) {
+  const auto g = graph::make_path(4);
+  EXPECT_THROW(betweenness_sampled(g, 0), ga::Error);
+}
+
+}  // namespace
+}  // namespace ga::kernels

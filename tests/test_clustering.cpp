@@ -1,0 +1,70 @@
+// Clustering-coefficient tests against closed forms.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/clustering.hpp"
+#include "kernels/triangles.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const auto g = graph::make_complete(7);
+  for (double c : local_clustering(g)) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering(g), 1.0);
+}
+
+TEST(Clustering, TriangleFreeIsZero) {
+  for (const auto& g : {graph::make_star(10), graph::make_grid(6, 6)}) {
+    EXPECT_DOUBLE_EQ(average_clustering(g), 0.0);
+    EXPECT_DOUBLE_EQ(global_clustering(g), 0.0);
+  }
+}
+
+TEST(Clustering, TriangleWithTailHandValues) {
+  // 0-1-2 triangle, 2-3 tail.
+  const auto g = graph::build_undirected({{0, 1}, {1, 2}, {2, 0}, {2, 3}}, 4);
+  const auto cc = local_clustering(g);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0);          // both neighbors connected
+  EXPECT_DOUBLE_EQ(cc[1], 1.0);
+  EXPECT_DOUBLE_EQ(cc[2], 1.0 / 3.0);    // 1 of 3 neighbor pairs linked
+  EXPECT_DOUBLE_EQ(cc[3], 0.0);          // degree 1
+  EXPECT_DOUBLE_EQ(average_clustering(g), (1.0 + 1.0 + 1.0 / 3.0) / 4.0);
+}
+
+TEST(Clustering, TransitivityFormulaHolds) {
+  const auto g = graph::make_erdos_renyi(150, 1200, 5);
+  const std::uint64_t tris = triangle_count_node_iterator(g);
+  std::uint64_t wedges = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.out_degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  EXPECT_NEAR(global_clustering(g), 3.0 * tris / static_cast<double>(wedges),
+              1e-12);
+}
+
+TEST(Clustering, WattsStrogatzLatticeValue) {
+  // Ring lattice k=4, beta=0: C = 3(k-2)/(4(k-1)) = 0.5.
+  const auto g = graph::make_watts_strogatz(60, 4, 0.0, 1);
+  EXPECT_NEAR(average_clustering(g), 0.5, 1e-9);
+}
+
+TEST(Clustering, RewiringLowersClustering) {
+  const auto lattice = graph::make_watts_strogatz(300, 6, 0.0, 2);
+  const auto rewired = graph::make_watts_strogatz(300, 6, 0.8, 2);
+  EXPECT_GT(average_clustering(lattice), average_clustering(rewired) + 0.1);
+}
+
+TEST(Clustering, ValuesInUnitInterval) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 8, .seed = 3});
+  for (double c : local_clustering(g)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ga::kernels

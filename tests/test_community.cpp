@@ -1,0 +1,102 @@
+// Community detection tests: planted two-clique structure, modularity
+// sanity, determinism.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/community.hpp"
+
+namespace ga::kernels {
+namespace {
+
+/// Two K5 cliques joined by a single bridge edge.
+graph::CSRGraph two_cliques() {
+  std::vector<graph::Edge> edges;
+  for (vid_t i = 0; i < 5; ++i) {
+    for (vid_t j = i + 1; j < 5; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({i + 5, j + 5});
+    }
+  }
+  edges.push_back({4, 5});
+  return graph::build_undirected(edges, 10);
+}
+
+TEST(Community, LabelPropagationFindsPlantedCliques) {
+  const auto r = community_label_propagation(two_cliques());
+  EXPECT_EQ(r.num_communities, 2u);
+  for (vid_t v = 1; v < 5; ++v) EXPECT_EQ(r.community[v], r.community[0]);
+  for (vid_t v = 6; v < 10; ++v) EXPECT_EQ(r.community[v], r.community[5]);
+  EXPECT_NE(r.community[0], r.community[5]);
+  EXPECT_GT(r.modularity, 0.3);
+}
+
+TEST(Community, LouvainFindsPlantedCliques) {
+  const auto r = community_louvain_phase1(two_cliques());
+  EXPECT_EQ(r.num_communities, 2u);
+  EXPECT_GT(r.modularity, 0.3);
+}
+
+TEST(Community, ModularityOfSingletonPartitionIsNegative) {
+  const auto g = two_cliques();
+  std::vector<vid_t> singletons(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) singletons[v] = v;
+  EXPECT_LT(modularity(g, singletons), 0.0);
+}
+
+TEST(Community, ModularityOfAllInOneIsZero) {
+  const auto g = two_cliques();
+  std::vector<vid_t> one(g.num_vertices(), 0);
+  EXPECT_NEAR(modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(Community, ModularityRejectsWrongSize) {
+  const auto g = two_cliques();
+  EXPECT_THROW(modularity(g, std::vector<vid_t>(3, 0)), ga::Error);
+}
+
+TEST(Community, DeterministicForSeed) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 6, .seed = 9});
+  const auto a = community_label_propagation(g, 32, 5);
+  const auto b = community_label_propagation(g, 32, 5);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.modularity, b.modularity);
+}
+
+TEST(Community, LouvainImprovesOverSingletons) {
+  const auto g = graph::make_watts_strogatz(200, 8, 0.05, 3);
+  const auto r = community_louvain_phase1(g);
+  EXPECT_GT(r.modularity, 0.2);  // small-world graphs have strong communities
+  EXPECT_LT(r.num_communities, 200u);
+  EXPECT_GE(r.num_communities, 2u);
+}
+
+TEST(Community, MultilevelLouvainFindsPlantedCliques) {
+  const auto r = community_louvain(two_cliques());
+  EXPECT_EQ(r.num_communities, 2u);
+  EXPECT_GT(r.modularity, 0.3);
+}
+
+TEST(Community, MultilevelBeatsOrMatchesSingleLevel) {
+  const auto g = graph::make_watts_strogatz(300, 8, 0.05, 7);
+  const auto one = community_louvain_phase1(g);
+  const auto multi = community_louvain(g);
+  EXPECT_GE(multi.modularity, one.modularity - 1e-9);
+  EXPECT_LE(multi.num_communities, one.num_communities);
+}
+
+TEST(Community, MultilevelHandlesEdgeCases) {
+  // Empty edge set: every vertex its own community.
+  graph::CSRGraph empty(std::vector<eid_t>(5, 0), {}, {}, false);
+  EXPECT_EQ(community_louvain(empty).num_communities, 4u);
+  // Complete graph: one community.
+  EXPECT_EQ(community_louvain(graph::make_complete(8)).num_communities, 1u);
+}
+
+TEST(Community, DenselyLabeledOutput) {
+  const auto r = community_louvain_phase1(two_cliques());
+  for (vid_t c : r.community) EXPECT_LT(c, r.num_communities);
+}
+
+}  // namespace
+}  // namespace ga::kernels

@@ -1,0 +1,75 @@
+// Graph contraction tests: super-vertex structure, weight aggregation.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/community.hpp"
+#include "kernels/contraction.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(Contraction, TwoGroupsWithBridges) {
+  // Group A = {0,1}, group B = {2,3}; intra edges 0-1, 2-3; bridges
+  // 0-2 and 1-3.
+  const auto g = graph::build_undirected({{0, 1}, {2, 3}, {0, 2}, {1, 3}}, 4);
+  const auto r = contract(g, {7, 7, 9, 9});  // non-dense ids allowed
+  EXPECT_EQ(r.num_groups, 2u);
+  EXPECT_EQ(r.contracted.num_vertices(), 2u);
+  EXPECT_EQ(r.contracted.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(r.contracted.edge_weight(0, 1), 2.0f);  // two bridges
+  EXPECT_DOUBLE_EQ(r.self_weight[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.self_weight[1], 1.0);
+  EXPECT_EQ(r.group_size[0], 2u);
+  EXPECT_EQ(r.group_of[3], r.group_of[2]);
+}
+
+TEST(Contraction, SingletonGroupsReproduceGraph) {
+  const auto g = graph::make_grid(4, 4);
+  std::vector<vid_t> ident(16);
+  for (vid_t v = 0; v < 16; ++v) ident[v] = v;
+  const auto r = contract(g, ident);
+  EXPECT_EQ(r.num_groups, 16u);
+  EXPECT_EQ(r.contracted.num_edges(), g.num_edges());
+}
+
+TEST(Contraction, AllInOneGroupCollapsesEverything) {
+  const auto g = graph::make_complete(6);
+  const auto r = contract(g, std::vector<vid_t>(6, 0));
+  EXPECT_EQ(r.num_groups, 1u);
+  EXPECT_EQ(r.contracted.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(r.self_weight[0], 15.0);  // all 15 edges internal
+}
+
+TEST(Contraction, PreservesTotalEdgeWeight) {
+  const auto g = graph::make_erdos_renyi(100, 500, 1);
+  const auto comm = community_label_propagation(g);
+  const auto r = contract(g, comm.community);
+  double total = 0.0;
+  for (vid_t v = 0; v < r.contracted.num_vertices(); ++v) {
+    if (r.contracted.weighted()) {
+      for (float w : r.contracted.out_weights(v)) total += w;
+    }
+  }
+  total /= 2.0;  // both arcs counted
+  double self = 0.0;
+  for (double s : r.self_weight) self += s;
+  EXPECT_NEAR(total + self, 500.0, 1e-6);
+}
+
+TEST(Contraction, RejectsWrongSizeMapping) {
+  const auto g = graph::make_path(4);
+  EXPECT_THROW(contract(g, {0, 1}), ga::Error);
+}
+
+TEST(Contraction, CommunityContractionShrinksGraph) {
+  // Contract by detected communities: the paper's "higher level views".
+  const auto g = graph::make_watts_strogatz(200, 8, 0.05, 2);
+  const auto comm = community_louvain_phase1(g);
+  const auto r = contract(g, comm.community);
+  EXPECT_EQ(r.num_groups, comm.num_communities);
+  EXPECT_LT(r.contracted.num_vertices(), g.num_vertices());
+}
+
+}  // namespace
+}  // namespace ga::kernels

@@ -1,0 +1,254 @@
+// Unit tests for ga::core — PRNG, bitmap, top-k, thread pool, stats, hash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/bitmap.hpp"
+#include "core/hash.hpp"
+#include "core/prng.hpp"
+#include "core/stats.hpp"
+#include "core/thread_pool.hpp"
+#include "core/topk.hpp"
+
+namespace ga::core {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 10;
+  std::array<int, kBuckets> counts{};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Prng, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(3.0);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.05);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  SplitMix64 sm2(0);
+  EXPECT_EQ(a, sm2.next());
+}
+
+TEST(Bitmap, SetGetCount) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.count(), 0u);
+  bm.set(0);
+  bm.set(64);
+  bm.set(129);
+  EXPECT_TRUE(bm.get(0));
+  EXPECT_TRUE(bm.get(64));
+  EXPECT_TRUE(bm.get(129));
+  EXPECT_FALSE(bm.get(1));
+  EXPECT_EQ(bm.count(), 3u);
+  bm.reset();
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(Bitmap, AtomicSetReportsFirstSetter) {
+  Bitmap bm(64);
+  EXPECT_TRUE(bm.set_atomic(5));
+  EXPECT_FALSE(bm.set_atomic(5));
+  EXPECT_TRUE(bm.get(5));
+}
+
+TEST(Bitmap, SwapExchangesContents) {
+  Bitmap a(10), b(10);
+  a.set(1);
+  b.set(2);
+  a.swap(b);
+  EXPECT_TRUE(a.get(2));
+  EXPECT_TRUE(b.get(1));
+  EXPECT_FALSE(a.get(1));
+}
+
+TEST(TopK, KeepsLargestK) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.offer(i, i);
+  const auto out = top.sorted_desc();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 9);
+  EXPECT_EQ(out[1].second, 8);
+  EXPECT_EQ(out[2].second, 7);
+}
+
+TEST(TopK, ThresholdTracksWeakestMember) {
+  TopK<int> top(2);
+  EXPECT_EQ(top.threshold(), std::numeric_limits<double>::lowest());
+  top.offer(1.0, 1);
+  top.offer(5.0, 5);
+  EXPECT_DOUBLE_EQ(top.threshold(), 1.0);
+  EXPECT_FALSE(top.offer(0.5, 0));  // below threshold
+  EXPECT_TRUE(top.offer(2.0, 2));
+  EXPECT_DOUBLE_EQ(top.threshold(), 2.0);
+}
+
+TEST(TopK, RejectsZeroK) {
+  EXPECT_THROW(TopK<int>(0), ga::Error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_each(0, hits.size(), 7, [&](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  int hits = 0;
+  parallel_for_each(5, 5, 1, [&](std::uint64_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(ThreadPool, ReduceMatchesSerialSum) {
+  const std::uint64_t n = 100000;
+  const auto total = parallel_reduce<std::uint64_t>(
+      0, n, 1024, 0, [](std::uint64_t i) { return i; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersAreSerializedSafely) {
+  // Two OS threads issuing parallel_for on the global pool at once: every
+  // index of both ranges must still be covered exactly once.
+  std::vector<std::atomic<int>> a(5000), b(5000);
+  std::thread t1([&] {
+    parallel_for_each(0, a.size(), 13, [&](std::uint64_t i) {
+      a[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  std::thread t2([&] {
+    parallel_for_each(0, b.size(), 17, [&](std::uint64_t i) {
+      b[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  t1.join();
+  t2.join();
+  for (const auto& x : a) ASSERT_EQ(x.load(), 1);
+  for (const auto& x : b) ASSERT_EQ(x.load(), 1);
+}
+
+TEST(ThreadPool, NestedUseFromWorkerBodyIsSafeSerially) {
+  // Inner calls fall back to the serial path when issued from a worker
+  // context with a small range.
+  std::atomic<int> total{0};
+  parallel_for_each(0, 4, 1, [&](std::uint64_t) {
+    for (int i = 0; i < 10; ++i) total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats rs;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (double x : xs) rs.add(x);
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_DOUBLE_EQ(rs.mean(), mean);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(PercentileSketch, NearestRank) {
+  PercentileSketch ps;
+  for (int i = 1; i <= 100; ++i) ps.add(i);
+  EXPECT_DOUBLE_EQ(ps.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(ps.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(ps.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(ps.percentile(0.0), 1.0);
+}
+
+TEST(PercentileSketch, ThrowsOnEmptyOrBadQuantile) {
+  PercentileSketch ps;
+  EXPECT_THROW(ps.percentile(0.5), ga::Error);
+  ps.add(1.0);
+  EXPECT_THROW(ps.percentile(1.5), ga::Error);
+}
+
+TEST(Log2Histogram, BucketsByMagnitude) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1000);
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 1u);   // value 0
+  EXPECT_EQ(b[1], 1u);   // value 1
+  EXPECT_EQ(b[2], 2u);   // values 2..3
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(Hash, EdgeKeyIsSymmetric) {
+  EXPECT_EQ(edge_key(3, 9), edge_key(9, 3));
+  EXPECT_NE(edge_key(3, 9), edge_key(3, 10));
+}
+
+TEST(Hash, Fnv1aStableAndDiscriminating) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(Hash, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total_flips += __builtin_popcountll(mix64(123456789ULL) ^
+                                        mix64(123456789ULL ^ (1ULL << bit)));
+  }
+  EXPECT_GT(total_flips / 64, 20);
+  EXPECT_LT(total_flips / 64, 44);
+}
+
+}  // namespace
+}  // namespace ga::core

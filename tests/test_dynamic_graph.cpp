@@ -1,0 +1,132 @@
+// Tests for the STINGER-style DynamicGraph.
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "graph/builder.hpp"
+#include "graph/dynamic_graph.hpp"
+
+namespace ga::graph {
+namespace {
+
+TEST(DynamicGraph, InsertAndQuery) {
+  DynamicGraph g(4);
+  EXPECT_EQ(g.insert_edge(0, 1), DynamicGraph::InsertResult::kInserted);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(DynamicGraph, ReinsertUpdatesWeightAndTimestamp) {
+  DynamicGraph g(3);
+  g.insert_edge(0, 1, 1.0f, 10);
+  EXPECT_EQ(g.insert_edge(0, 1, 5.0f, 20), DynamicGraph::InsertResult::kUpdated);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(g.edge_weight_or(0, 1, 0.0f), 5.0f);
+  EXPECT_FLOAT_EQ(g.edge_weight_or(1, 0, 0.0f), 5.0f);  // both directions
+}
+
+TEST(DynamicGraph, DeleteRemovesBothDirections) {
+  DynamicGraph g(3);
+  g.insert_edge(0, 1);
+  EXPECT_TRUE(g.delete_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.delete_edge(0, 1));  // already gone
+}
+
+TEST(DynamicGraph, DirectedModeKeepsOneArc) {
+  DynamicGraph g(3, /*directed=*/true);
+  g.insert_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(DynamicGraph, BlockRecyclingSurvivesChurn) {
+  DynamicGraph g(2);
+  // Insert/delete repeatedly: block arena must not grow unboundedly wrong.
+  for (int round = 0; round < 100; ++round) {
+    g.insert_edge(0, 1);
+    EXPECT_TRUE(g.delete_edge(0, 1));
+  }
+  EXPECT_EQ(g.num_edges(), 0u);
+  g.insert_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(DynamicGraph, ManyNeighborsSpanMultipleBlocks) {
+  DynamicGraph g(100);
+  for (vid_t v = 1; v < 100; ++v) g.insert_edge(0, v);
+  EXPECT_EQ(g.degree(0), 99u);
+  const auto nbrs = g.neighbors_sorted(0);
+  ASSERT_EQ(nbrs.size(), 99u);
+  for (vid_t i = 0; i < 99; ++i) EXPECT_EQ(nbrs[i], i + 1);
+}
+
+TEST(DynamicGraph, DeleteFromMiddleOfChain) {
+  DynamicGraph g(50);
+  for (vid_t v = 1; v < 50; ++v) g.insert_edge(0, v);
+  EXPECT_TRUE(g.delete_edge(0, 25));
+  EXPECT_FALSE(g.has_edge(0, 25));
+  EXPECT_EQ(g.degree(0), 48u);
+  // Hole is reused by the next insert.
+  g.insert_edge(0, 25);
+  EXPECT_EQ(g.degree(0), 49u);
+}
+
+TEST(DynamicGraph, AddVerticesGrowsSpace) {
+  DynamicGraph g(2);
+  g.add_vertices(3);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  g.insert_edge(4, 0);
+  EXPECT_TRUE(g.has_edge(4, 0));
+}
+
+TEST(DynamicGraph, RejectsSelfLoopsAndBadIds) {
+  DynamicGraph g(3);
+  EXPECT_THROW(g.insert_edge(1, 1), ga::Error);
+  EXPECT_THROW(g.insert_edge(0, 3), ga::Error);
+  EXPECT_THROW(g.delete_edge(0, 3), ga::Error);
+}
+
+TEST(DynamicGraph, SnapshotMatchesBuilderResult) {
+  core::Xoshiro256 rng(5);
+  DynamicGraph dyn(64);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 300; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_below(64));
+    const auto v = static_cast<vid_t>(rng.next_below(64));
+    if (u == v) continue;
+    dyn.insert_edge(u, v);
+    edges.push_back({u, v});
+  }
+  const CSRGraph snap = dyn.snapshot();
+  const CSRGraph ref = build_undirected(edges, 64);
+  ASSERT_EQ(snap.num_arcs(), ref.num_arcs());
+  for (vid_t v = 0; v < 64; ++v) {
+    const auto a = snap.out_neighbors(v);
+    const auto b = ref.out_neighbors(v);
+    ASSERT_EQ(std::vector<vid_t>(a.begin(), a.end()),
+              std::vector<vid_t>(b.begin(), b.end()));
+  }
+}
+
+TEST(DynamicGraph, SnapshotKeepsWeights) {
+  DynamicGraph g(3);
+  g.insert_edge(0, 1, 7.0f);
+  const CSRGraph snap = g.snapshot(/*keep_weights=*/true);
+  EXPECT_FLOAT_EQ(snap.edge_weight(0, 1), 7.0f);
+}
+
+TEST(DynamicGraph, TimestampsVisibleToVisitor) {
+  DynamicGraph g(3);
+  g.insert_edge(0, 1, 1.0f, 42);
+  std::int64_t seen = -1;
+  g.for_each_neighbor(0, [&](vid_t, float, std::int64_t ts) { seen = ts; });
+  EXPECT_EQ(seen, 42);
+}
+
+}  // namespace
+}  // namespace ga::graph

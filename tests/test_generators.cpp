@@ -1,0 +1,139 @@
+// Generator tests, including TEST_P sweeps over families for shared
+// invariants (bounds, determinism, cleanliness after building).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+
+namespace ga::graph {
+namespace {
+
+struct Family {
+  const char* name;
+  std::function<std::vector<Edge>(std::uint64_t seed)> make;
+};
+
+class GeneratorFamily : public ::testing::TestWithParam<Family> {};
+
+TEST_P(GeneratorFamily, EndpointsInRangeAndDeterministic) {
+  const auto& fam = GetParam();
+  const auto a = fam.make(7);
+  const auto b = fam.make(7);
+  const auto c = fam.make(8);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_same_as_c = a.size() == c.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    if (all_same_as_c && (a[i].u != c[i].u || a[i].v != c[i].v)) {
+      all_same_as_c = false;
+    }
+  }
+  // Randomized families must differ across seeds (regular ones may not).
+  if (std::string(fam.name) != "grid") EXPECT_FALSE(all_same_as_c);
+}
+
+TEST_P(GeneratorFamily, BuildsCleanCsr) {
+  const auto edges = GetParam().make(3);
+  const auto g = build_undirected(edges);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (vid_t v : nbrs) {
+      EXPECT_NE(v, u);  // no self loops survive the builder
+      EXPECT_TRUE(g.has_edge(v, u));  // symmetric
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorFamily,
+    ::testing::Values(
+        Family{"rmat", [](std::uint64_t s) {
+                 return rmat_edges({.scale = 8, .edge_factor = 8, .seed = s});
+               }},
+        Family{"erdos_renyi", [](std::uint64_t s) {
+                 return erdos_renyi_edges(256, 1024, s);
+               }},
+        Family{"barabasi_albert", [](std::uint64_t s) {
+                 return barabasi_albert_edges(256, 3, s);
+               }},
+        Family{"watts_strogatz", [](std::uint64_t s) {
+                 return watts_strogatz_edges(256, 6, 0.1, s);
+               }},
+        Family{"grid", [](std::uint64_t) { return grid_edges(12, 11); }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Rmat, ProducesRequestedEdgeCount) {
+  const auto edges = rmat_edges({.scale = 6, .edge_factor = 4, .seed = 1});
+  EXPECT_EQ(edges.size(), 4u * 64u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 64u);
+    EXPECT_LT(e.v, 64u);
+  }
+}
+
+TEST(Rmat, IsSkewed) {
+  const auto g = make_rmat({.scale = 10, .edge_factor = 8, .seed = 2});
+  const auto s = compute_degree_stats(g);
+  // Power-law-ish: the max degree should far exceed the mean.
+  EXPECT_GT(static_cast<double>(s.max_degree), 8.0 * s.mean_degree);
+}
+
+TEST(ErdosRenyi, ExactEdgeCountNoDuplicates) {
+  const auto g = make_erdos_renyi(100, 500, 1);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(ErdosRenyi, RejectsImpossibleEdgeCount) {
+  EXPECT_THROW(erdos_renyi_edges(4, 100, 1), ga::Error);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsAttachCount) {
+  const auto g = make_barabasi_albert(200, 3, 1);
+  // Every non-seed vertex attaches to exactly 3 targets; degrees >= 3.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.out_degree(v), 3u);
+  }
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  const auto g = make_watts_strogatz(50, 4, 0.0, 1);
+  for (vid_t v = 0; v < 50; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 49));
+}
+
+TEST(Grid, CornerEdgeAndInteriorDegrees) {
+  const auto g = make_grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.out_degree(0), 2u);   // corner
+  EXPECT_EQ(g.out_degree(1), 3u);   // edge
+  EXPECT_EQ(g.out_degree(5), 4u);   // interior
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // rows*(cols-1)+cols*(rows-1)
+}
+
+TEST(SimpleTopologies, PathStarComplete) {
+  EXPECT_EQ(make_path(5).num_edges(), 4u);
+  EXPECT_EQ(make_star(5).out_degree(0), 4u);
+  EXPECT_EQ(make_complete(5).num_edges(), 10u);
+}
+
+TEST(RandomizeWeights, InRangeAndDeterministic) {
+  auto e1 = path_edges(100);
+  auto e2 = path_edges(100);
+  randomize_weights(e1, 0.5f, 2.0f, 9);
+  randomize_weights(e2, 0.5f, 2.0f, 9);
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_GE(e1[i].w, 0.5f);
+    EXPECT_LT(e1[i].w, 2.0f);
+    EXPECT_FLOAT_EQ(e1[i].w, e2[i].w);
+  }
+}
+
+}  // namespace
+}  // namespace ga::graph

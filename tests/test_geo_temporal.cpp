@@ -1,0 +1,120 @@
+// Geo & Temporal Correlation kernel tests (the last Fig. 1 row).
+#include <gtest/gtest.h>
+
+#include "kernels/geo_temporal.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(GeoCorrelation, PairRequiresBothSpaceAndTime) {
+  const std::vector<GeoEvent> events = {
+      {0.0, 0.0, 0, 0},
+      {0.5, 0.0, 5, 1},    // close in space and time -> pair with 0
+      {0.5, 0.0, 100, 2},  // close in space, far in time
+      {50.0, 0.0, 1, 3},   // close in time, far in space
+  };
+  const auto pairs = correlated_pairs(events, {.radius = 1.0, .window = 10});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+}
+
+TEST(GeoCorrelation, PairsAcrossCellBoundaries) {
+  // Points straddling a hash-cell edge must still pair.
+  const std::vector<GeoEvent> events = {{0.99, 0.0, 0, 0}, {1.01, 0.0, 0, 1}};
+  const auto pairs = correlated_pairs(events, {.radius = 1.0, .window = 1});
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(GeoCorrelation, MatchesBruteForceOnRandomData) {
+  const auto events = generate_geo_stream({.count = 300,
+                                           .arena = 20.0,
+                                           .num_bursts = 2,
+                                           .burst_size = 10,
+                                           .seed = 5});
+  const CorrelationParams p{.radius = 1.5, .window = 8};
+  const auto fast = correlated_pairs(events, p);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> brute;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < events.size(); ++j) {
+      const double dx = events[i].x - events[j].x;
+      const double dy = events[i].y - events[j].y;
+      if (dx * dx + dy * dy <= p.radius * p.radius &&
+          std::llabs(events[i].t - events[j].t) <= p.window) {
+        brute.emplace_back(i, j);
+      }
+    }
+  }
+  std::sort(brute.begin(), brute.end());
+  EXPECT_EQ(fast, brute);
+}
+
+TEST(GeoCorrelation, ClustersGroupBursts) {
+  GeoStreamOptions opts;
+  opts.count = 200;  // sparse background over a big arena
+  opts.arena = 1000.0;
+  opts.num_bursts = 3;
+  opts.burst_size = 20;
+  opts.burst_radius = 0.5;
+  opts.burst_span = 3;
+  opts.seed = 9;
+  const auto events = generate_geo_stream(opts);
+  const auto clusters =
+      correlation_clusters(events, {.radius = 1.0, .window = 5});
+  // Each burst forms a cluster of ~burst_size; background is singletons.
+  EXPECT_GE(clusters.largest, 15u);
+  EXPECT_GT(clusters.num_clusters, 150u);
+}
+
+TEST(GeoCorrelation, StreamingDetectorFiresOnBursts) {
+  GeoStreamOptions opts;
+  opts.count = 2000;
+  opts.arena = 500.0;
+  opts.num_bursts = 4;
+  opts.burst_size = 25;
+  opts.seed = 3;
+  const auto events = generate_geo_stream(opts);
+  StreamingGeoCorrelator det({.radius = 1.0, .window = 5},
+                             /*density_threshold=*/8);
+  for (const auto& e : events) det.ingest(e);
+  EXPECT_GE(det.alerts().size(), 4u);  // at least one alert per burst
+  for (const auto& a : det.alerts()) EXPECT_GE(a.neighbors, 8u);
+}
+
+TEST(GeoCorrelation, StreamingDetectorQuietOnNoise) {
+  GeoStreamOptions opts;
+  opts.count = 3000;
+  opts.arena = 1000.0;
+  opts.num_bursts = 0;
+  opts.seed = 4;
+  const auto events = generate_geo_stream(opts);
+  StreamingGeoCorrelator det({.radius = 1.0, .window = 5}, 4);
+  for (const auto& e : events) det.ingest(e);
+  EXPECT_TRUE(det.alerts().empty());
+}
+
+TEST(GeoCorrelation, ExpiryBoundsLiveSet) {
+  StreamingGeoCorrelator det({.radius = 1.0, .window = 10}, 100);
+  for (std::int64_t t = 0; t < 1000; ++t) {
+    det.ingest({0.0, 0.0, t, static_cast<std::uint64_t>(t)});
+  }
+  EXPECT_LE(det.live_events(), 12u);  // only the last window survives
+}
+
+TEST(GeoCorrelation, RejectsOutOfOrderTimestamps) {
+  StreamingGeoCorrelator det({.radius = 1.0, .window = 5}, 2);
+  det.ingest({0, 0, 100, 0});
+  EXPECT_THROW(det.ingest({0, 0, 50, 1}), ga::Error);
+}
+
+TEST(GeoCorrelation, StreamGeneratorDeterministicAndOrdered) {
+  const auto a = generate_geo_stream({.count = 500, .seed = 6});
+  const auto b = generate_geo_stream({.count = 500, .seed = 6});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].t, a[i].t);
+    EXPECT_EQ(a[i].x, b[i].x);
+  }
+}
+
+}  // namespace
+}  // namespace ga::kernels

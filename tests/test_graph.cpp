@@ -1,0 +1,123 @@
+// Tests for CSRGraph and the edge-list builder.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+
+namespace ga::graph {
+namespace {
+
+TEST(Builder, SymmetrizesUndirectedGraphs) {
+  const auto g = build_undirected({{0, 1}, {1, 2}}, 3);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Builder, DirectedKeepsArcDirection) {
+  const auto g = build_directed({{0, 1}}, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, RemovesSelfLoopsAndDuplicates) {
+  const auto g = build_undirected({{0, 0}, {0, 1}, {0, 1}, {1, 0}}, 2);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+}
+
+TEST(Builder, InfersVertexCountFromEdges) {
+  const auto g = build_undirected({{0, 7}});
+  EXPECT_EQ(g.num_vertices(), 8u);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(build_undirected({{0, 5}}, 3), ga::Error);
+}
+
+TEST(Builder, KeepsWeightsWhenAsked) {
+  BuildOptions opts;
+  opts.directed = true;
+  opts.keep_weights = true;
+  const auto g = build_csr({{0, 1, 2.5f, 0}}, 2, opts);
+  EXPECT_TRUE(g.weighted());
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 1), 2.5f);
+}
+
+TEST(Builder, FirstWeightWinsOnDuplicateArcs) {
+  BuildOptions opts;
+  opts.directed = true;
+  opts.keep_weights = true;
+  const auto g = build_csr({{0, 1, 2.0f, 0}, {0, 1, 9.0f, 1}}, 2, opts);
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 1), 2.0f);
+}
+
+TEST(Csr, AdjacencyIsSorted) {
+  const auto g = build_undirected({{3, 0}, {3, 2}, {3, 1}}, 4);
+  const auto nbrs = g.out_neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Csr, TransposeOfDirectedGraph) {
+  auto g = build_directed({{0, 1}, {0, 2}, {2, 1}}, 3);
+  const auto gt = g.transposed();
+  EXPECT_TRUE(gt.has_edge(1, 0));
+  EXPECT_TRUE(gt.has_edge(2, 0));
+  EXPECT_TRUE(gt.has_edge(1, 2));
+  EXPECT_EQ(gt.num_arcs(), g.num_arcs());
+}
+
+TEST(Csr, InNeighborsAfterEnsureTranspose) {
+  auto g = build_directed({{0, 2}, {1, 2}}, 3);
+  g.ensure_transpose();
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  const auto in = g.in_neighbors(2);
+  EXPECT_EQ(std::vector<vid_t>(in.begin(), in.end()),
+            (std::vector<vid_t>{0, 1}));
+}
+
+TEST(Csr, UndirectedInNeighborsAliasOut) {
+  auto g = build_undirected({{0, 1}}, 2);
+  EXPECT_EQ(g.in_degree(0), g.out_degree(0));
+}
+
+TEST(Csr, EdgeWeightThrowsForMissingArc) {
+  const auto g = build_undirected({{0, 1}}, 3);
+  EXPECT_THROW(g.edge_weight(0, 2), ga::Error);
+}
+
+TEST(DegreeStats, ComputesBasics) {
+  const auto g = make_star(5);  // hub 0 with 4 spokes
+  const auto s = compute_degree_stats(g);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.argmax, 0u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 8.0 / 5.0);
+}
+
+TEST(DegreeStats, DegreePropertyMatchesGraph) {
+  const auto g = make_path(4);
+  const auto deg = degree_property(g);
+  EXPECT_DOUBLE_EQ(deg[0], 1.0);
+  EXPECT_DOUBLE_EQ(deg[1], 2.0);
+}
+
+TEST(DegreeStats, GiniSeparatesSkewFromUniform) {
+  const auto skewed = make_rmat({.scale = 10, .edge_factor = 8, .seed = 3});
+  const auto uniform = make_erdos_renyi(1024, 8 * 1024, 3);
+  EXPECT_GT(degree_gini(skewed), degree_gini(uniform) + 0.1);
+}
+
+TEST(DegreeStats, GiniZeroForRegularGraph) {
+  const auto g = make_complete(6);
+  EXPECT_NEAR(degree_gini(g), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ga::graph

@@ -1,0 +1,76 @@
+// Edge-list I/O round-trip tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ga::graph {
+namespace {
+
+TEST(Io, TextRoundTrip) {
+  const auto edges = erdos_renyi_edges(50, 100, 1);
+  std::stringstream ss;
+  write_edge_list_text(ss, edges, /*with_weights=*/true);
+  const auto back = read_edge_list_text(ss);
+  ASSERT_EQ(back.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(back[i].u, edges[i].u);
+    EXPECT_EQ(back[i].v, edges[i].v);
+    EXPECT_FLOAT_EQ(back[i].w, edges[i].w);
+  }
+}
+
+TEST(Io, TextSkipsCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\n% another\n1 2\n3 4 0.5\n");
+  const auto edges = read_edge_list_text(ss);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].u, 1u);
+  EXPECT_EQ(edges[1].v, 4u);
+  EXPECT_FLOAT_EQ(edges[1].w, 0.5f);
+}
+
+TEST(Io, TextRejectsMalformedLines) {
+  std::stringstream ss("1\n");
+  EXPECT_THROW(read_edge_list_text(ss), ga::Error);
+}
+
+TEST(Io, BinaryRoundTripPreservesEverything) {
+  auto edges = erdos_renyi_edges(30, 60, 2);
+  randomize_weights(edges, 0.0f, 1.0f, 3);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_edge_list_binary(ss, edges);
+  const auto back = read_edge_list_binary(ss);
+  ASSERT_EQ(back.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(back[i].u, edges[i].u);
+    EXPECT_EQ(back[i].v, edges[i].v);
+    EXPECT_FLOAT_EQ(back[i].w, edges[i].w);
+    EXPECT_EQ(back[i].ts, edges[i].ts);
+  }
+}
+
+TEST(Io, BinaryRejectsBadMagic) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss << "NOTMAGIC garbage";
+  EXPECT_THROW(read_edge_list_binary(ss), ga::Error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const auto edges = erdos_renyi_edges(20, 40, 4);
+  const std::string path = ::testing::TempDir() + "/ga_io_test.edges";
+  save_edge_list(path, edges);
+  const auto back = load_edge_list(path);
+  EXPECT_EQ(back.size(), edges.size());
+  const std::string bpath = ::testing::TempDir() + "/ga_io_test.bin";
+  save_edge_list(bpath, edges, /*binary=*/true);
+  EXPECT_EQ(load_edge_list(bpath, true).size(), edges.size());
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/nope.edges"), ga::Error);
+}
+
+}  // namespace
+}  // namespace ga::graph

@@ -1,0 +1,104 @@
+// Jaccard kernel tests — all three forms of the paper's flagship kernel.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/jaccard.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(Jaccard, HandComputedPair) {
+  // N(0)={1,2,3}, N(4)={2,3,5}: inter 2, union 4 -> 0.5.
+  const auto g = graph::build_undirected(
+      {{0, 1}, {0, 2}, {0, 3}, {4, 2}, {4, 3}, {4, 5}}, 6);
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 4), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 4, 0), 0.5);
+}
+
+TEST(Jaccard, CompleteGraphAdjacentPairs) {
+  // In K_n, N(u) and N(v) for an edge share n-2 vertices of a union of n
+  // (u and v are each in the other's neighborhood): J=(n-2)/n.
+  const auto g = graph::make_complete(8);
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 1), 6.0 / 8.0);
+}
+
+TEST(Jaccard, DisjointNeighborhoodsAreZero) {
+  const auto g = graph::build_undirected({{0, 1}, {2, 3}}, 4);
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 2), 0.0);
+}
+
+TEST(Jaccard, AllEdgesCoversEachEdgeOnce) {
+  const auto g = graph::make_erdos_renyi(100, 400, 1);
+  const auto pairs = jaccard_all_edges(g);
+  EXPECT_EQ(pairs.size(), g.num_edges());
+  for (const auto& p : pairs) {
+    EXPECT_LT(p.u, p.v);
+    EXPECT_TRUE(g.has_edge(p.u, p.v));
+    EXPECT_NEAR(p.coefficient, jaccard_coefficient(g, p.u, p.v), 1e-12);
+  }
+}
+
+TEST(Jaccard, TopkMatchesExhaustiveSearch) {
+  const auto g = graph::make_erdos_renyi(80, 320, 2);
+  const auto top = jaccard_topk(g, 5);
+  ASSERT_EQ(top.size(), 5u);
+  // Exhaustive max over all pairs.
+  double best = 0.0;
+  for (vid_t u = 0; u < 80; ++u) {
+    for (vid_t v = u + 1; v < 80; ++v) {
+      best = std::max(best, jaccard_coefficient(g, u, v));
+    }
+  }
+  EXPECT_NEAR(top[0].coefficient, best, 1e-12);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].coefficient, top[i].coefficient);
+  }
+}
+
+TEST(Jaccard, QueryReturnsAllNonzeroPartnersSorted) {
+  const auto g = graph::make_erdos_renyi(60, 240, 3);
+  const vid_t q = 7;
+  const auto matches = jaccard_query(g, q, 0.0);
+  // Cross-check against brute force.
+  std::size_t nonzero = 0;
+  for (vid_t v = 0; v < 60; ++v) {
+    if (v != q && jaccard_coefficient(g, q, v) > 0.0) ++nonzero;
+  }
+  EXPECT_EQ(matches.size(), nonzero);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].coefficient, matches[i].coefficient);
+  }
+  for (const auto& m : matches) {
+    EXPECT_NEAR(m.coefficient, jaccard_coefficient(g, q, m.v), 1e-12);
+  }
+}
+
+TEST(Jaccard, QueryThresholdFilters) {
+  const auto g = graph::make_erdos_renyi(60, 240, 4);
+  const auto all = jaccard_query(g, 3, 0.0);
+  const auto some = jaccard_query(g, 3, 0.2);
+  EXPECT_LE(some.size(), all.size());
+  for (const auto& m : some) EXPECT_GE(m.coefficient, 0.2);
+}
+
+TEST(Jaccard, TwinVerticesHaveCoefficientOne) {
+  // 0 and 1 both connect to exactly {2,3,4}.
+  const auto g = graph::build_undirected(
+      {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}}, 5);
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 1), 1.0);
+  const auto top = jaccard_topk(g, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].u, 0u);
+  EXPECT_EQ(top[0].v, 1u);
+  EXPECT_DOUBLE_EQ(top[0].coefficient, 1.0);
+}
+
+TEST(Jaccard, OutOfRangeThrows) {
+  const auto g = graph::make_path(3);
+  EXPECT_THROW(jaccard_coefficient(g, 0, 9), ga::Error);
+  EXPECT_THROW(jaccard_query(g, 9), ga::Error);
+}
+
+}  // namespace
+}  // namespace ga::kernels

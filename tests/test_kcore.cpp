@@ -1,0 +1,70 @@
+// k-core decomposition tests.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/kcore.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(Kcore, CompleteGraphCoreNumbers) {
+  const auto g = graph::make_complete(6);
+  for (auto c : core_numbers(g)) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(degeneracy(g), 5u);
+}
+
+TEST(Kcore, PathGraphIsOneCore) {
+  const auto g = graph::make_path(10);
+  for (auto c : core_numbers(g)) EXPECT_EQ(c, 1u);
+}
+
+TEST(Kcore, StarIsOneCore) {
+  const auto g = graph::make_star(10);
+  for (auto c : core_numbers(g)) EXPECT_EQ(c, 1u);
+}
+
+TEST(Kcore, CliqueWithPendantChain) {
+  // K4 on {0,1,2,3} plus chain 3-4-5.
+  const auto g = graph::build_undirected(
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}}, 6);
+  const auto core = core_numbers(g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+  EXPECT_EQ(degeneracy(g), 3u);
+  EXPECT_EQ(kcore_members(g, 3), (std::vector<vid_t>{0, 1, 2, 3}));
+  EXPECT_EQ(kcore_members(g, 1).size(), 6u);
+}
+
+TEST(Kcore, CoreNumberAtMostDegree) {
+  const auto g = graph::make_rmat({.scale = 9, .edge_factor = 8, .seed = 1});
+  const auto core = core_numbers(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(core[v], g.out_degree(v));
+  }
+}
+
+TEST(Kcore, KcoreInducedSubgraphHasMinDegreeK) {
+  const auto g = graph::make_erdos_renyi(300, 1800, 2);
+  const std::uint32_t k = 4;
+  const auto members = kcore_members(g, k);
+  std::vector<bool> in(g.num_vertices(), false);
+  for (vid_t v : members) in[v] = true;
+  for (vid_t v : members) {
+    std::uint32_t deg_in_core = 0;
+    for (vid_t u : g.out_neighbors(v)) {
+      if (in[u]) ++deg_in_core;
+    }
+    EXPECT_GE(deg_in_core, k);
+  }
+}
+
+TEST(Kcore, GridIsTwoCore) {
+  const auto g = graph::make_grid(5, 5);
+  EXPECT_EQ(degeneracy(g), 2u);
+}
+
+}  // namespace
+}  // namespace ga::kernels

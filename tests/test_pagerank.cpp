@@ -1,0 +1,152 @@
+// PageRank tests: normalization, symmetry, hub dominance, convergence,
+// dangling-mass handling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/pagerank.hpp"
+
+namespace ga::kernels {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRank, SumsToOne) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 8, .seed = 1});
+  const auto r = pagerank(g);
+  EXPECT_NEAR(sum(r.rank), 1.0, 1e-6);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(PageRank, UniformOnVertexTransitiveGraphs) {
+  for (const auto& g : {graph::make_complete(8),
+                        graph::make_watts_strogatz(20, 4, 0.0, 1)}) {
+    const auto r = pagerank(g);
+    for (double x : r.rank) EXPECT_NEAR(x, 1.0 / g.num_vertices(), 1e-9);
+  }
+}
+
+TEST(PageRank, StarHubDominates) {
+  const auto g = graph::make_star(20);
+  const auto r = pagerank(g);
+  for (vid_t v = 1; v < 20; ++v) EXPECT_GT(r.rank[0], r.rank[v]);
+  const auto top = pagerank_topk(r, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].second, 0u);
+}
+
+TEST(PageRank, DanglingVerticesConserveMass) {
+  // Directed: 0->1, 1 is dangling.
+  const auto g = graph::build_directed({{0, 1}}, 2);
+  const auto r = pagerank(g);
+  EXPECT_NEAR(sum(r.rank), 1.0, 1e-6);
+  EXPECT_GT(r.rank[1], r.rank[0]);  // 1 receives from 0 plus dangling share
+}
+
+TEST(PageRank, ConvergesFasterWithLooserTolerance) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 8, .seed = 2});
+  PageRankOptions loose;
+  loose.tolerance = 1e-3;
+  PageRankOptions tight;
+  tight.tolerance = 1e-10;
+  const auto a = pagerank(g, loose);
+  const auto b = pagerank(g, tight);
+  EXPECT_LT(a.iterations, b.iterations);
+}
+
+TEST(PageRank, RespectsIterationCap) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 8, .seed = 3});
+  PageRankOptions opts;
+  opts.max_iters = 2;
+  opts.tolerance = 0.0;
+  const auto r = pagerank(g, opts);
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(PageRank, DampingChangesSpread) {
+  const auto g = graph::make_star(30);
+  PageRankOptions lo;
+  lo.damping = 0.5;
+  PageRankOptions hi;
+  hi.damping = 0.95;
+  const auto a = pagerank(g, lo);
+  const auto b = pagerank(g, hi);
+  // Higher damping concentrates more mass on the hub.
+  EXPECT_GT(b.rank[0], a.rank[0]);
+}
+
+TEST(PageRank, TopkSortedDescending) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 8, .seed = 4});
+  const auto r = pagerank(g);
+  const auto top = pagerank_topk(r, 10);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].first, top[i].first);
+  }
+}
+
+TEST(PageRank, SingleVertexKeepsAllMass) {
+  graph::CSRGraph g(std::vector<eid_t>{0, 0}, {}, {}, false);
+  const auto r = pagerank(g);
+  ASSERT_EQ(r.rank.size(), 1u);
+  EXPECT_NEAR(r.rank[0], 1.0, 1e-9);
+}
+
+TEST(PageRank, EmptyGraphIsEmptyResult) {
+  graph::CSRGraph g(std::vector<eid_t>{0}, {}, {}, false);
+  EXPECT_TRUE(pagerank(g).rank.empty());
+}
+
+TEST(PersonalizedPageRank, MassConcentratesNearSeeds) {
+  // Two cliques joined by one bridge: seeding in clique A must rank every
+  // A vertex above every B vertex.
+  std::vector<graph::Edge> edges;
+  for (vid_t i = 0; i < 5; ++i) {
+    for (vid_t j = i + 1; j < 5; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({i + 5, j + 5});
+    }
+  }
+  edges.push_back({4, 5});
+  const auto g = graph::build_undirected(edges, 10);
+  const auto r = personalized_pagerank(g, {0, 1});
+  EXPECT_NEAR(sum(r.rank), 1.0, 1e-6);
+  for (vid_t a = 0; a < 5; ++a) {
+    for (vid_t b = 5; b < 10; ++b) {
+      EXPECT_GT(r.rank[a], r.rank[b]) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(PersonalizedPageRank, AllSeedsReducesToUniformTeleport) {
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 8, .seed = 6});
+  std::vector<vid_t> all(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  const auto ppr = personalized_pagerank(g, all);
+  const auto pr = pagerank(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(ppr.rank[v], pr.rank[v], 1e-6);
+  }
+}
+
+TEST(PersonalizedPageRank, UnreachableVerticesGetNoMass) {
+  const auto g = graph::build_undirected({{0, 1}, {2, 3}}, 4);
+  const auto r = personalized_pagerank(g, {0});
+  EXPECT_GT(r.rank[0], 0.0);
+  EXPECT_GT(r.rank[1], 0.0);
+  EXPECT_NEAR(r.rank[2], 0.0, 1e-12);
+  EXPECT_NEAR(r.rank[3], 0.0, 1e-12);
+}
+
+TEST(PersonalizedPageRank, RejectsBadSeeds) {
+  const auto g = graph::make_path(3);
+  EXPECT_THROW(personalized_pagerank(g, {}), ga::Error);
+  EXPECT_THROW(personalized_pagerank(g, {9}), ga::Error);
+}
+
+}  // namespace
+}  // namespace ga::kernels

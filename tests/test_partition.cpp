@@ -1,0 +1,73 @@
+// Graph partitioning tests: coverage, balance, refinement improvement.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "kernels/partition.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(Partition, AssignsEveryVertexToAPart) {
+  const auto g = graph::make_grid(10, 10);
+  const auto r = partition(g, 4);
+  EXPECT_EQ(r.k, 4u);
+  ASSERT_EQ(r.part.size(), 100u);
+  std::vector<int> sizes(4, 0);
+  for (auto p : r.part) {
+    ASSERT_LT(p, 4u);
+    ++sizes[p];
+  }
+  for (int s : sizes) EXPECT_GT(s, 0);
+}
+
+TEST(Partition, BalanceWithinFactor) {
+  const auto g = graph::make_erdos_renyi(400, 2000, 1);
+  const auto r = partition(g, 8);
+  EXPECT_LT(r.imbalance, 0.25);
+}
+
+TEST(Partition, RefinementDoesNotWorsenCut) {
+  const auto g = graph::make_rmat({.scale = 9, .edge_factor = 6, .seed = 2});
+  const auto init = partition_bfs_grow(g, 4, 3);
+  const auto refined = refine_partition(g, init);
+  EXPECT_LE(refined.cut_edges, init.cut_edges);
+}
+
+TEST(Partition, GridBisectionCutIsSmall) {
+  // A 16x16 grid split in 2 should cut near one grid line (~16 edges),
+  // certainly far below a random split (~ half of 480 edges).
+  const auto g = graph::make_grid(16, 16);
+  const auto r = partition(g, 2);
+  EXPECT_LT(r.cut_edges, 60u);
+}
+
+TEST(Partition, EdgeCutMatchesManualCount) {
+  const auto g = graph::make_path(4);  // edges 0-1,1-2,2-3
+  EXPECT_EQ(edge_cut(g, {0, 0, 1, 1}), 1u);
+  EXPECT_EQ(edge_cut(g, {0, 1, 0, 1}), 3u);
+  EXPECT_EQ(edge_cut(g, {0, 0, 0, 0}), 0u);
+}
+
+TEST(Partition, KEqualsOneIsWholeGraph) {
+  const auto g = graph::make_erdos_renyi(50, 200, 4);
+  const auto r = partition(g, 1);
+  EXPECT_EQ(r.cut_edges, 0u);
+  for (auto p : r.part) EXPECT_EQ(p, 0u);
+}
+
+TEST(Partition, RejectsBadK) {
+  const auto g = graph::make_path(3);
+  EXPECT_THROW(partition(g, 0), ga::Error);
+  EXPECT_THROW(partition(g, 10), ga::Error);
+}
+
+TEST(Partition, DeterministicPerSeed) {
+  const auto g = graph::make_erdos_renyi(200, 1000, 6);
+  const auto a = partition(g, 4, 42);
+  const auto b = partition(g, 4, 42);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+}  // namespace
+}  // namespace ga::kernels

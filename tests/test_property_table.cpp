@@ -1,0 +1,110 @@
+// Tests for the columnar PropertyTable (projection and write-back are the
+// Fig. 2 copy/update primitives).
+#include <gtest/gtest.h>
+
+#include "graph/property_table.hpp"
+
+namespace ga::graph {
+namespace {
+
+TEST(PropertyTable, AddAndAccessTypedColumns) {
+  PropertyTable t(3);
+  t.add_double_column("score");
+  t.add_int_column("year");
+  t.add_string_column("name");
+  t.doubles("score")[1] = 2.5;
+  t.ints("year")[2] = 1999;
+  t.strings("name")[0] = "ann";
+  EXPECT_DOUBLE_EQ(t.doubles("score")[1], 2.5);
+  EXPECT_EQ(t.ints("year")[2], 1999);
+  EXPECT_EQ(t.strings("name")[0], "ann");
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_TRUE(t.has_column("score"));
+  EXPECT_FALSE(t.has_column("missing"));
+}
+
+TEST(PropertyTable, RejectsDuplicateAndMissingColumns) {
+  PropertyTable t(2);
+  t.add_double_column("x");
+  EXPECT_THROW(t.add_double_column("x"), ga::Error);
+  EXPECT_THROW(t.doubles("nope"), ga::Error);
+}
+
+TEST(PropertyTable, RejectsTypeMismatch) {
+  PropertyTable t(2);
+  t.add_double_column("x");
+  EXPECT_THROW(t.ints("x"), ga::Error);
+  EXPECT_THROW(t.strings("x"), ga::Error);
+}
+
+TEST(PropertyTable, ResizeExtendsAllColumns) {
+  PropertyTable t(2);
+  t.add_double_column("x")[1] = 5.0;
+  t.resize_rows(4);
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.doubles("x").size(), 4u);
+  EXPECT_DOUBLE_EQ(t.doubles("x")[1], 5.0);
+  EXPECT_DOUBLE_EQ(t.doubles("x")[3], 0.0);
+  EXPECT_THROW(t.resize_rows(1), ga::Error);  // no shrinking
+}
+
+TEST(PropertyTable, ProjectSelectsRowsAndColumns) {
+  PropertyTable t(4);
+  auto& x = t.add_double_column("x");
+  t.add_int_column("y");
+  x = {10, 11, 12, 13};
+  const auto p = t.project({3, 1}, {"x"});
+  EXPECT_EQ(p.num_rows(), 2u);
+  EXPECT_EQ(p.num_columns(), 1u);
+  EXPECT_DOUBLE_EQ(p.doubles("x")[0], 13.0);
+  EXPECT_DOUBLE_EQ(p.doubles("x")[1], 11.0);
+  EXPECT_FALSE(p.has_column("y"));
+}
+
+TEST(PropertyTable, ProjectValidatesRows) {
+  PropertyTable t(2);
+  t.add_double_column("x");
+  EXPECT_THROW(t.project({5}, {"x"}), ga::Error);
+}
+
+TEST(PropertyTable, WriteBackUpdatesMappedRows) {
+  PropertyTable big(5);
+  big.add_double_column("x");
+  PropertyTable small(2);
+  small.add_double_column("x");
+  small.doubles("x") = {7.0, 9.0};
+  big.write_back(small, {4, 0});
+  EXPECT_DOUBLE_EQ(big.doubles("x")[4], 7.0);
+  EXPECT_DOUBLE_EQ(big.doubles("x")[0], 9.0);
+  EXPECT_DOUBLE_EQ(big.doubles("x")[1], 0.0);
+}
+
+TEST(PropertyTable, WriteBackCreatesNewColumns) {
+  PropertyTable big(3);
+  PropertyTable small(1);
+  small.add_double_column("fresh");
+  small.doubles("fresh")[0] = 1.5;
+  big.write_back(small, {2});
+  ASSERT_TRUE(big.has_column("fresh"));
+  EXPECT_DOUBLE_EQ(big.doubles("fresh")[2], 1.5);
+}
+
+TEST(PropertyTable, WriteBackRejectsMismatchedMap) {
+  PropertyTable big(3);
+  PropertyTable small(2);
+  small.add_double_column("x");
+  EXPECT_THROW(big.write_back(small, {0}), ga::Error);
+}
+
+TEST(PropertyTable, ColumnNamesListed) {
+  PropertyTable t(1);
+  t.add_double_column("a");
+  t.add_int_column("b");
+  const auto names = t.column_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace ga::graph

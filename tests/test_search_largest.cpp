@@ -1,0 +1,57 @@
+// "Search for largest" kernel tests (the selection-criteria primitive).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/prng.hpp"
+#include "graph/generators.hpp"
+#include "kernels/search_largest.hpp"
+
+namespace ga::kernels {
+namespace {
+
+TEST(SearchLargest, MatchesFullSort) {
+  core::Xoshiro256 rng(1);
+  std::vector<double> prop(5000);
+  for (double& x : prop) x = rng.next_double();
+  const auto top = search_largest(prop, 10);
+  ASSERT_EQ(top.size(), 10u);
+  auto sorted = prop;
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(top[i].score, sorted[i]);
+    EXPECT_DOUBLE_EQ(prop[top[i].v], top[i].score);
+  }
+}
+
+TEST(SearchLargest, KLargerThanInputReturnsAll) {
+  const std::vector<double> prop = {3.0, 1.0, 2.0};
+  const auto top = search_largest(prop, 10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].v, 0u);
+  EXPECT_EQ(top[2].v, 1u);
+}
+
+TEST(SearchWhere, PredicateScan) {
+  const auto evens = search_where(10, [](vid_t v) { return v % 2 == 0; });
+  EXPECT_EQ(evens, (std::vector<vid_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(LargestDegree, FindsHub) {
+  const auto g = graph::make_star(50);
+  const auto top = largest_degree(g, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].v, 0u);
+  EXPECT_DOUBLE_EQ(top[0].score, 49.0);
+}
+
+TEST(LargestDegree, DescendingOrder) {
+  const auto g = graph::make_rmat({.scale = 9, .edge_factor = 8, .seed = 2});
+  const auto top = largest_degree(g, 20);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace ga::kernels

@@ -1,0 +1,242 @@
+// GraphBLAS-lite tests: matrix construction, semiring SpMV/SpMSpV, SpGEMM
+// vs a dense reference, element-wise ops, and the LA-vs-direct kernel
+// cross-checks (the paper's two "opposite" execution models must agree).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prng.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/triangles.hpp"
+#include "spla/algorithms.hpp"
+#include "spla/ewise.hpp"
+#include "spla/spgemm.hpp"
+#include "spla/spmv.hpp"
+
+namespace ga::spla {
+namespace {
+
+TEST(CsrMatrix, FromTriplesSumsDuplicates) {
+  const auto m = CsrMatrix::from_triples(2, 2, {{0, 1, 2.0}, {0, 1, 3.0},
+                                                {1, 0, 1.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(CsrMatrix, RejectsOutOfRangeTriples) {
+  EXPECT_THROW(CsrMatrix::from_triples(2, 2, {{0, 5, 1.0}}), ga::Error);
+}
+
+TEST(CsrMatrix, TransposeRoundTrip) {
+  const auto m = CsrMatrix::from_triples(
+      3, 4, {{0, 1, 1.0}, {0, 3, 2.0}, {2, 0, 3.0}, {1, 2, 4.0}});
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 4u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(3, 0), 2.0);
+  EXPECT_TRUE(t.transposed().structurally_equal(m));
+}
+
+TEST(CsrMatrix, AdjacencyFollowsPaperConvention) {
+  // A(i,j) = 1 iff edge j->i.
+  const auto g = graph::build_directed({{0, 1}}, 2);
+  const auto a = CsrMatrix::adjacency(g);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+}
+
+TEST(CsrMatrix, IdentityActsAsNeutral) {
+  const auto g = graph::make_erdos_renyi(20, 60, 1);
+  const auto a = CsrMatrix::adjacency(g);
+  const auto i = CsrMatrix::identity(20);
+  EXPECT_TRUE(multiply(a, i).structurally_equal(a));
+  EXPECT_TRUE(multiply(i, a).structurally_equal(a));
+}
+
+TEST(SparseVector, DenseRoundTripAndAccess) {
+  const std::vector<double> dense = {0, 1.5, 0, 0, 2.5};
+  const auto sv = SparseVector::from_dense(dense);
+  EXPECT_EQ(sv.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(sv.at(1), 1.5);
+  EXPECT_DOUBLE_EQ(sv.at(0), 0.0);
+  EXPECT_EQ(sv.to_dense(), dense);
+}
+
+TEST(SparseVector, RejectsOutOfOrderPush) {
+  SparseVector v(10);
+  v.push_back(3, 1.0);
+  EXPECT_THROW(v.push_back(2, 1.0), ga::Error);
+  EXPECT_THROW(v.push_back(10, 1.0), ga::Error);
+}
+
+TEST(Dot, SemiringVariants) {
+  SparseVector a(6), b(6);
+  a.push_back(1, 2.0);
+  a.push_back(3, 4.0);
+  b.push_back(1, 3.0);
+  b.push_back(4, 9.0);
+  EXPECT_DOUBLE_EQ(dot<PlusTimes>(a, b), 6.0);
+  EXPECT_DOUBLE_EQ(dot<OrAnd>(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(dot<MinPlus>(a, b), 5.0);
+}
+
+TEST(Spmv, PlusTimesMatchesDense) {
+  const auto m = CsrMatrix::from_triples(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  const auto y = spmv<PlusTimes>(m, {1.0, 2.0, 3.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Spmspv, MaskSuppressesVisited) {
+  // Path 0-1-2 as out-adjacency (At rows are out-neighbors).
+  const auto g = graph::make_path(3);
+  std::vector<Triple> tr;
+  for (vid_t u = 0; u < 3; ++u) {
+    for (vid_t v : g.out_neighbors(u)) tr.push_back({u, v, 1.0});
+  }
+  const auto At = CsrMatrix::from_triples(3, 3, tr);
+  SparseVector f(3);
+  f.push_back(1, 1.0);
+  std::vector<double> visited = {1.0, 1.0, 0.0};
+  const auto next = spmspv<OrAnd>(At, f, &visited);
+  ASSERT_EQ(next.nnz(), 1u);
+  EXPECT_EQ(next.indices()[0], 2u);
+}
+
+TEST(Spgemm, MatchesDenseReference) {
+  // Random small matrices, dense cross-check.
+  const vid_t n = 20;
+  std::vector<Triple> ta, tb;
+  core::Xoshiro256 rng(3);
+  for (int i = 0; i < 60; ++i) {
+    ta.push_back({rng.next_vid(n), rng.next_vid(n), rng.next_double()});
+    tb.push_back({rng.next_vid(n), rng.next_vid(n), rng.next_double()});
+  }
+  const auto A = CsrMatrix::from_triples(n, n, ta);
+  const auto B = CsrMatrix::from_triples(n, n, tb);
+  SpgemmStats stats;
+  const auto C = multiply(A, B, &stats);
+  for (vid_t i = 0; i < n; ++i) {
+    for (vid_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (vid_t k = 0; k < n; ++k) ref += A.at(i, k) * B.at(k, j);
+      EXPECT_NEAR(C.at(i, j), ref, 1e-9);
+    }
+  }
+  EXPECT_EQ(stats.multiplies, spgemm_flops(A, B));
+  EXPECT_EQ(stats.output_nnz, C.nnz());
+}
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  const auto A = CsrMatrix::identity(3);
+  const auto B = CsrMatrix::identity(4);
+  EXPECT_THROW(multiply(A, B), ga::Error);
+}
+
+TEST(Ewise, MultiplyIsIntersection) {
+  const auto A = CsrMatrix::from_triples(2, 2, {{0, 0, 2.0}, {0, 1, 3.0}});
+  const auto B = CsrMatrix::from_triples(2, 2, {{0, 1, 4.0}, {1, 1, 5.0}});
+  const auto C = ewise_multiply(A, B);
+  EXPECT_EQ(C.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 12.0);
+}
+
+TEST(Ewise, AddIsUnion) {
+  const auto A = CsrMatrix::from_triples(2, 2, {{0, 0, 2.0}, {0, 1, 3.0}});
+  const auto B = CsrMatrix::from_triples(2, 2, {{0, 1, 4.0}, {1, 1, 5.0}});
+  const auto C = ewise_add(A, B);
+  EXPECT_EQ(C.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(reduce_sum(C), 14.0);
+}
+
+TEST(Ewise, TriangleSelectors) {
+  const auto A = CsrMatrix::from_triples(
+      3, 3, {{0, 1, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}, {1, 2, 1.0}});
+  const auto L = lower_triangle(A);
+  const auto U = upper_triangle(A);
+  EXPECT_EQ(L.nnz() + U.nnz(), A.nnz());
+  EXPECT_DOUBLE_EQ(L.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(L.at(0, 1), 0.0);
+}
+
+TEST(Ewise, ReduceRows) {
+  const auto A = CsrMatrix::from_triples(2, 3, {{0, 0, 1.0}, {0, 2, 2.0},
+                                                {1, 1, 5.0}});
+  const auto rows = reduce_rows(A);
+  EXPECT_DOUBLE_EQ(rows[0], 3.0);
+  EXPECT_DOUBLE_EQ(rows[1], 5.0);
+}
+
+// ---- LA formulations vs direct kernels (the paper's two models agree) ----
+
+TEST(LaVsDirect, BfsLevels) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 8, .seed = 1});
+  const auto la = bfs_levels_la(g, 0);
+  const auto direct = kernels::bfs(g, 0);
+  EXPECT_EQ(la, direct.dist);
+}
+
+TEST(LaVsDirect, TriangleCount) {
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    const auto g = graph::make_erdos_renyi(150, 1200, seed);
+    EXPECT_EQ(triangle_count_la(g),
+              kernels::triangle_count_node_iterator(g));
+  }
+}
+
+TEST(LaVsDirect, PageRank) {
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 8, .seed = 2});
+  const auto la = pagerank_la(g);
+  const auto direct = kernels::pagerank(g);
+  ASSERT_EQ(la.size(), direct.rank.size());
+  for (std::size_t v = 0; v < la.size(); ++v) {
+    EXPECT_NEAR(la[v], direct.rank[v], 1e-6);
+  }
+}
+
+TEST(LaVsDirect, ConnectedComponents) {
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    const auto g = graph::make_erdos_renyi(600, 500, seed);  // fragmented
+    const auto la = wcc_la(g);
+    const auto direct = kernels::wcc_union_find(g);
+    EXPECT_EQ(la, direct.label);
+  }
+  // Structured inputs too.
+  EXPECT_EQ(wcc_la(graph::make_grid(9, 9)),
+            kernels::wcc_union_find(graph::make_grid(9, 9)).label);
+}
+
+TEST(Semiring, MinSecondPropagatesSmallestLabel) {
+  SparseVector a(4), b(4);
+  a.push_back(0, 1.0);
+  a.push_back(2, 1.0);
+  b.push_back(0, 7.0);
+  b.push_back(2, 3.0);
+  EXPECT_DOUBLE_EQ(dot<MinSecond>(a, b), 3.0);
+}
+
+TEST(LaVsDirect, SsspHopDistances) {
+  const auto g = graph::make_grid(8, 8);
+  const auto la = sssp_la(g, 0);
+  const auto direct = kernels::bfs(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (direct.dist[v] == kInfDist) {
+      EXPECT_TRUE(std::isinf(la[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(la[v], direct.dist[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ga::spla

@@ -1,0 +1,104 @@
+// Subgraph isomorphism tests, cross-checked against the triangle kernels
+// and closed-form cycle counts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/subgraph_iso.hpp"
+#include "kernels/triangles.hpp"
+
+namespace ga::kernels {
+namespace {
+
+graph::CSRGraph pattern_path(vid_t k) {
+  return graph::build_undirected(graph::path_edges(k), k);
+}
+
+TEST(SubgraphIso, TriangleEmbeddingsMatchTriangleCount) {
+  const auto g = graph::make_erdos_renyi(60, 300, 1);
+  const auto tri = graph::build_undirected({{0, 1}, {1, 2}, {2, 0}}, 3);
+  // |Aut(K3)| = 6: each triangle found 6 times.
+  EXPECT_EQ(subgraph_isomorphisms(g, tri),
+            6 * triangle_count_node_iterator(g));
+}
+
+TEST(SubgraphIso, CycleCountsOnGrid) {
+  // 3x3 grid: four unit squares, no triangles.
+  const auto g = graph::make_grid(3, 3);
+  EXPECT_EQ(count_cycles(g, 3), 0u);
+  EXPECT_EQ(count_cycles(g, 4), 4u);
+}
+
+TEST(SubgraphIso, CycleCountsOnComplete) {
+  // K4: C(4,3)=4 triangles; 3 distinct 4-cycles.
+  const auto g = graph::make_complete(4);
+  EXPECT_EQ(count_cycles(g, 3), 4u);
+  EXPECT_EQ(count_cycles(g, 4), 3u);
+}
+
+TEST(SubgraphIso, PathPatternInPathGraph) {
+  // Embeddings of P3 (2 edges) in a path of 5 vertices: 3 positions x 2
+  // orientations = 6.
+  const auto g = graph::make_path(5);
+  EXPECT_EQ(subgraph_isomorphisms(g, pattern_path(3)), 6u);
+}
+
+TEST(SubgraphIso, StarPatternCountsOrderedNeighborTuples) {
+  // Star S3 (center + 3 leaves) in K5: 5 centers x 4*3*2 leaf orders = 120.
+  const auto g = graph::make_complete(5);
+  const auto s3 = graph::build_undirected({{0, 1}, {0, 2}, {0, 3}}, 4);
+  EXPECT_EQ(subgraph_isomorphisms(g, s3), 120u);
+}
+
+TEST(SubgraphIso, InducedVsNonInduced) {
+  // P3 in a triangle: non-induced finds 6 (every vertex as middle, 2
+  // orientations); induced finds 0 (the endpoints are always adjacent).
+  const auto g = graph::make_complete(3);
+  EXPECT_EQ(subgraph_isomorphisms(g, pattern_path(3)), 6u);
+  SubgraphIsoOptions opts;
+  opts.induced = true;
+  EXPECT_EQ(subgraph_isomorphisms(g, pattern_path(3), nullptr, opts), 0u);
+}
+
+TEST(SubgraphIso, LimitStopsEarly) {
+  const auto g = graph::make_complete(8);
+  SubgraphIsoOptions opts;
+  opts.limit = 10;
+  EXPECT_EQ(subgraph_isomorphisms(g, pattern_path(3), nullptr, opts), 10u);
+}
+
+TEST(SubgraphIso, EmitReceivesValidEmbeddings) {
+  const auto g = graph::make_grid(3, 3);
+  const auto square = graph::build_undirected(
+      {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 4);
+  std::uint64_t cnt = 0;
+  subgraph_isomorphisms(g, square, [&](const Embedding& emb) {
+    ++cnt;
+    ASSERT_EQ(emb.size(), 4u);
+    // Pattern edges must map to data edges.
+    EXPECT_TRUE(g.has_edge(emb[0], emb[1]));
+    EXPECT_TRUE(g.has_edge(emb[1], emb[2]));
+    EXPECT_TRUE(g.has_edge(emb[2], emb[3]));
+    EXPECT_TRUE(g.has_edge(emb[3], emb[0]));
+    // Injective.
+    std::set<vid_t> uniq(emb.begin(), emb.end());
+    EXPECT_EQ(uniq.size(), 4u);
+  });
+  EXPECT_EQ(cnt, 4u * 8u);  // 4 squares x |Aut(C4)|=8
+}
+
+TEST(SubgraphIso, RejectsOversizedPattern) {
+  const auto g = graph::make_complete(4);
+  const auto big = graph::make_path(20);
+  EXPECT_THROW(subgraph_isomorphisms(g, big), ga::Error);
+}
+
+TEST(SubgraphIso, NoMatchForPatternLargerThanData) {
+  const auto g = graph::make_path(3);
+  EXPECT_EQ(subgraph_isomorphisms(g, pattern_path(5)), 0u);
+}
+
+}  // namespace
+}  // namespace ga::kernels

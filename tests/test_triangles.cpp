@@ -1,0 +1,87 @@
+// Triangle counting/listing tests: closed forms, engine agreement, and a
+// randomized property sweep.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/triangles.hpp"
+
+namespace ga::kernels {
+namespace {
+
+std::uint64_t choose3(std::uint64_t n) { return n * (n - 1) * (n - 2) / 6; }
+
+TEST(Triangles, CompleteGraphClosedForm) {
+  for (vid_t n : {3u, 4u, 5u, 8u, 12u}) {
+    const auto g = graph::make_complete(n);
+    EXPECT_EQ(triangle_count_node_iterator(g), choose3(n)) << n;
+    EXPECT_EQ(triangle_count_forward(g), choose3(n)) << n;
+  }
+}
+
+TEST(Triangles, TriangleFreeGraphs) {
+  EXPECT_EQ(triangle_count_node_iterator(graph::make_grid(10, 10)), 0u);
+  EXPECT_EQ(triangle_count_node_iterator(graph::make_star(20)), 0u);
+  EXPECT_EQ(triangle_count_node_iterator(graph::make_path(20)), 0u);
+}
+
+TEST(Triangles, SingleTriangleWithTail) {
+  const auto g = graph::build_undirected({{0, 1}, {1, 2}, {2, 0}, {2, 3}}, 4);
+  EXPECT_EQ(triangle_count_node_iterator(g), 1u);
+  const auto per = triangle_counts_per_vertex(g);
+  EXPECT_EQ(per[0], 1u);
+  EXPECT_EQ(per[1], 1u);
+  EXPECT_EQ(per[2], 1u);
+  EXPECT_EQ(per[3], 0u);
+}
+
+class TriangleEnginesAgree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangleEnginesAgree, NodeForwardListMatch) {
+  const auto g =
+      graph::make_rmat({.scale = 8, .edge_factor = 6, .seed = GetParam()});
+  const auto a = triangle_count_node_iterator(g);
+  const auto b = triangle_count_forward(g);
+  std::uint64_t listed = 0;
+  std::set<std::tuple<vid_t, vid_t, vid_t>> seen;
+  triangle_list(g, [&](const Triangle& t) {
+    ++listed;
+    EXPECT_LT(t.a, t.b);
+    EXPECT_LT(t.b, t.c);
+    EXPECT_TRUE(g.has_edge(t.a, t.b));
+    EXPECT_TRUE(g.has_edge(t.b, t.c));
+    EXPECT_TRUE(g.has_edge(t.a, t.c));
+    EXPECT_TRUE(seen.insert({t.a, t.b, t.c}).second) << "duplicate triangle";
+  });
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, listed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleEnginesAgree,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Triangles, PerVertexSumsToThreeTimesGlobal) {
+  const auto g = graph::make_erdos_renyi(200, 2000, 7);
+  const auto per = triangle_counts_per_vertex(g);
+  std::uint64_t total = 0;
+  for (auto c : per) total += c;
+  EXPECT_EQ(total, 3 * triangle_count_node_iterator(g));
+}
+
+TEST(IntersectCount, MergeSemantics) {
+  const std::vector<vid_t> a = {1, 3, 5, 7};
+  const std::vector<vid_t> b = {2, 3, 4, 7, 9};
+  EXPECT_EQ(intersect_count(a, b), 2u);
+  EXPECT_EQ(intersect_count(a, a), 4u);
+  EXPECT_EQ(intersect_count(a, {}), 0u);
+}
+
+TEST(Triangles, RejectsDirectedGraphs) {
+  const auto g = graph::build_directed({{0, 1}, {1, 2}, {2, 0}}, 3);
+  EXPECT_THROW(triangle_count_node_iterator(g), ga::Error);
+}
+
+}  // namespace
+}  // namespace ga::kernels

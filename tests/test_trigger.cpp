@@ -1,0 +1,125 @@
+// StreamProcessor / trigger-framework tests: the Fig. 2 streaming→batch
+// coupling fires extraction + analytic on threshold crossings.
+#include <gtest/gtest.h>
+
+#include "graph/dynamic_graph.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/triangles.hpp"
+#include "streaming/trigger.hpp"
+
+namespace ga::streaming {
+namespace {
+
+Update ins(vid_t u, vid_t v, std::int64_t ts = 0) {
+  return {UpdateKind::kEdgeInsert, u, v, 1.0f, ts};
+}
+Update del(vid_t u, vid_t v) { return {UpdateKind::kEdgeDelete, u, v, 0, 0}; }
+
+TEST(Trigger, TriangleDensificationFires) {
+  graph::DynamicGraph g(16);
+  TriggerPolicy policy;
+  policy.triangle_delta_threshold = 3;
+  StreamProcessor proc(g, policy);
+  // Build two fans around 0 and 1 so the closing edge creates 4 triangles.
+  for (vid_t v = 2; v <= 5; ++v) {
+    proc.apply(ins(0, v));
+    proc.apply(ins(1, v));
+  }
+  EXPECT_TRUE(proc.alerts().empty());
+  proc.apply(ins(0, 1, 99));
+  ASSERT_EQ(proc.alerts().size(), 1u);
+  const Alert& a = proc.alerts()[0];
+  EXPECT_EQ(a.reason, "triangle-densification");
+  EXPECT_EQ(a.seed, 0u);
+  EXPECT_DOUBLE_EQ(a.metric, 4.0);
+  EXPECT_EQ(a.ts, 99);
+  EXPECT_GT(a.subgraph_vertices, 0u);
+  EXPECT_GT(a.analytic_result, 0.0);
+  EXPECT_EQ(proc.stats().triggers, 1u);
+}
+
+TEST(Trigger, ComponentMergeThresholdFires) {
+  graph::DynamicGraph g(20);
+  TriggerPolicy policy;
+  policy.triangle_delta_threshold = 0;  // disabled
+  policy.component_size_threshold = 10;
+  StreamProcessor proc(g, policy);
+  // Two chains of 5, then connect them: component of size 10.
+  for (vid_t v = 0; v < 4; ++v) proc.apply(ins(v, v + 1));
+  for (vid_t v = 10; v < 14; ++v) proc.apply(ins(v, v + 1));
+  EXPECT_TRUE(proc.alerts().empty());
+  proc.apply(ins(4, 10));
+  ASSERT_EQ(proc.alerts().size(), 1u);
+  EXPECT_EQ(proc.alerts()[0].reason, "component-merge");
+  EXPECT_DOUBLE_EQ(proc.alerts()[0].metric, 10.0);
+}
+
+TEST(Trigger, TopkChangeFires) {
+  graph::DynamicGraph g(32);
+  TriggerPolicy policy;
+  policy.triangle_delta_threshold = 0;
+  policy.fire_on_topk_change = true;
+  StreamProcessor proc(g, policy, /*topk=*/2);
+  proc.apply(ins(0, 1));
+  // Degree changes displace zero-degree members of the initial top-2.
+  EXPECT_GE(proc.alerts().size(), 1u);
+  EXPECT_EQ(proc.alerts()[0].reason, "topk-degree-change");
+}
+
+TEST(Trigger, CustomAnalyticReceivesSubgraph) {
+  graph::DynamicGraph g(8);
+  TriggerPolicy policy;
+  policy.triangle_delta_threshold = 1;
+  policy.extraction_depth = 1;
+  StreamProcessor proc(g, policy);
+  proc.set_analytic([](const graph::CSRGraph& sub, vid_t seed_local) {
+    EXPECT_LT(seed_local, sub.num_vertices());
+    return static_cast<double>(sub.num_vertices()) * 100.0;
+  });
+  proc.apply(ins(0, 2));
+  proc.apply(ins(1, 2));
+  proc.apply(ins(0, 1));  // closes one triangle
+  ASSERT_EQ(proc.alerts().size(), 1u);
+  EXPECT_DOUBLE_EQ(proc.alerts()[0].analytic_result, 300.0);  // {0,1,2}
+}
+
+TEST(Trigger, StatsCountEveryKind) {
+  graph::DynamicGraph g(8);
+  StreamProcessor proc(g, TriggerPolicy{});
+  proc.apply(ins(0, 1));
+  proc.apply(del(0, 1));
+  proc.apply({UpdateKind::kPropertyUpdate, 3, 0, 0.5f, 0});
+  proc.apply({UpdateKind::kVertexQuery, 3, 0, 0, 0});
+  EXPECT_EQ(proc.stats().inserts, 1u);
+  EXPECT_EQ(proc.stats().deletes, 1u);
+  EXPECT_EQ(proc.stats().property_updates, 1u);
+  EXPECT_EQ(proc.stats().queries, 1u);
+}
+
+TEST(Trigger, IncrementalStateStaysConsistentThroughStream) {
+  graph::DynamicGraph g(64);
+  TriggerPolicy policy;
+  policy.triangle_delta_threshold = 1000000;  // effectively never fire
+  StreamProcessor proc(g, policy);
+  StreamOptions opts;
+  opts.count = 500;
+  opts.delete_fraction = 0.2;
+  opts.seed = 4;
+  proc.apply_all(generate_stream(64, opts));
+  const auto snap = g.snapshot();
+  EXPECT_EQ(proc.triangles().global_count(),
+            kernels::triangle_count_node_iterator(snap));
+  EXPECT_EQ(proc.components().num_components(),
+            kernels::wcc_union_find(snap).num_components);
+}
+
+TEST(Trigger, DeleteOfMissingEdgeIsSafe) {
+  graph::DynamicGraph g(4);
+  StreamProcessor proc(g, TriggerPolicy{});
+  proc.apply(del(0, 1));  // nothing there
+  EXPECT_EQ(proc.stats().deletes, 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace ga::streaming

@@ -1,0 +1,77 @@
+// Weighted (Ruzicka) Jaccard tests.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/weighted_jaccard.hpp"
+
+namespace ga::kernels {
+namespace {
+
+graph::CSRGraph weighted(std::vector<graph::Edge> edges, vid_t n) {
+  graph::BuildOptions opts;
+  opts.directed = false;
+  opts.keep_weights = true;
+  return graph::build_csr(std::move(edges), n, opts);
+}
+
+TEST(WeightedJaccard, ReducesToPlainOnUnitWeights) {
+  const auto g = graph::make_erdos_renyi(60, 240, 1);
+  for (vid_t u = 0; u < 60; u += 7) {
+    for (vid_t v = u + 1; v < 60; v += 11) {
+      EXPECT_NEAR(weighted_jaccard_coefficient(g, u, v),
+                  jaccard_coefficient(g, u, v), 1e-12);
+    }
+  }
+}
+
+TEST(WeightedJaccard, HandComputed) {
+  // N(0) = {2:w2, 3:w1}; N(1) = {2:w1, 4:w1}
+  // min-sum over union {2,3,4}: min(2,1)=1; max-sum: max(2,1)+1+1 = 4.
+  const auto g = weighted({{0, 2, 2.0f}, {0, 3, 1.0f},
+                           {1, 2, 1.0f}, {1, 4, 1.0f}}, 5);
+  EXPECT_DOUBLE_EQ(weighted_jaccard_coefficient(g, 0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(weighted_jaccard_coefficient(g, 1, 0), 0.25);
+}
+
+TEST(WeightedJaccard, IdenticalWeightedNeighborhoodsScoreOne) {
+  const auto g = weighted({{0, 2, 3.0f}, {0, 3, 1.5f},
+                           {1, 2, 3.0f}, {1, 3, 1.5f}}, 4);
+  EXPECT_DOUBLE_EQ(weighted_jaccard_coefficient(g, 0, 1), 1.0);
+}
+
+TEST(WeightedJaccard, WeightScalingChangesScore) {
+  // Heavier shared sightings raise the coefficient (the NORA use case).
+  const auto weak = weighted({{0, 2, 1.0f}, {1, 2, 1.0f},
+                              {0, 3, 5.0f}, {1, 4, 5.0f}}, 5);
+  const auto strong = weighted({{0, 2, 5.0f}, {1, 2, 5.0f},
+                                {0, 3, 1.0f}, {1, 4, 1.0f}}, 5);
+  EXPECT_GT(weighted_jaccard_coefficient(strong, 0, 1),
+            weighted_jaccard_coefficient(weak, 0, 1));
+}
+
+TEST(WeightedJaccard, QuerySortedAndThresholded) {
+  const auto g = graph::make_erdos_renyi(80, 400, 2);
+  const auto all = weighted_jaccard_query(g, 5, 0.0);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].coefficient, all[i].coefficient);
+  }
+  const auto some = weighted_jaccard_query(g, 5, 0.25);
+  for (const auto& m : some) EXPECT_GE(m.coefficient, 0.25);
+  EXPECT_LE(some.size(), all.size());
+  // Unit weights: must agree with the plain query form.
+  const auto plain = jaccard_query(g, 5, 0.0);
+  ASSERT_EQ(all.size(), plain.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_NEAR(all[i].coefficient, plain[i].coefficient, 1e-12);
+  }
+}
+
+TEST(WeightedJaccard, OutOfRangeThrows) {
+  const auto g = graph::make_path(3);
+  EXPECT_THROW(weighted_jaccard_coefficient(g, 0, 5), ga::Error);
+  EXPECT_THROW(weighted_jaccard_query(g, 5), ga::Error);
+}
+
+}  // namespace
+}  // namespace ga::kernels

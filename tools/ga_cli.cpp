@@ -1,0 +1,210 @@
+// ga_cli — command-line front end over the library: generate graphs,
+// inspect them, and run the everyday kernels on edge-list files.
+//
+//   ga_cli generate <rmat|er|ba|ws|grid> [--scale N] [--n N] [--m M]
+//          [--seed S] [--out FILE]
+//   ga_cli stats FILE
+//   ga_cli bfs FILE SOURCE
+//   ga_cli pagerank FILE [--top K]
+//   ga_cli components FILE
+//   ga_cli triangles FILE
+//   ga_cli jaccard FILE VERTEX [--threshold X]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/timer.hpp"
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/jaccard.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/triangles.hpp"
+
+using namespace ga;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::unordered_map<std::string, std::string> flags;
+
+  std::uint64_t get(const std::string& key, std::uint64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoull(it->second);
+  }
+  double getf(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::string gets(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      const std::string key = argv[i] + 2;
+      GA_CHECK(i + 1 < argc, "missing value for --" + key);
+      a.flags[key] = argv[++i];
+    } else {
+      a.positional.emplace_back(argv[i]);
+    }
+  }
+  return a;
+}
+
+graph::CSRGraph load(const std::string& path) {
+  return graph::build_undirected(graph::load_edge_list(path));
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ga_cli <command> ...\n"
+               "  generate <rmat|er|ba|ws|grid> [--scale N] [--n N] [--m M]"
+               " [--seed S] [--out FILE]\n"
+               "  stats FILE\n"
+               "  bfs FILE SOURCE\n"
+               "  pagerank FILE [--top K]\n"
+               "  components FILE\n"
+               "  triangles FILE\n"
+               "  jaccard FILE VERTEX [--threshold X]\n");
+  return 2;
+}
+
+int cmd_generate(const Args& a) {
+  GA_CHECK(a.positional.size() >= 2, "generate: missing family");
+  const std::string& family = a.positional[1];
+  const auto seed = a.get("seed", 1);
+  std::vector<graph::Edge> edges;
+  if (family == "rmat") {
+    edges = graph::rmat_edges({.scale = static_cast<unsigned>(a.get("scale", 12)),
+                               .edge_factor = static_cast<unsigned>(a.get("ef", 16)),
+                               .seed = seed});
+  } else if (family == "er") {
+    const auto n = a.get("n", 4096);
+    edges = graph::erdos_renyi_edges(static_cast<vid_t>(n),
+                                     a.get("m", n * 8), seed);
+  } else if (family == "ba") {
+    edges = graph::barabasi_albert_edges(static_cast<vid_t>(a.get("n", 4096)),
+                                         static_cast<unsigned>(a.get("attach", 4)),
+                                         seed);
+  } else if (family == "ws") {
+    edges = graph::watts_strogatz_edges(static_cast<vid_t>(a.get("n", 4096)),
+                                        static_cast<unsigned>(a.get("k", 8)),
+                                        a.getf("beta", 0.1), seed);
+  } else if (family == "grid") {
+    edges = graph::grid_edges(static_cast<vid_t>(a.get("rows", 64)),
+                              static_cast<vid_t>(a.get("cols", 64)));
+  } else {
+    throw Error("unknown family: " + family);
+  }
+  const std::string out = a.gets("out", "graph.edges");
+  graph::save_edge_list(out, edges);
+  std::printf("wrote %zu edges to %s\n", edges.size(), out.c_str());
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  GA_CHECK(a.positional.size() >= 2, "stats: missing file");
+  const auto g = load(a.positional[1]);
+  const auto s = graph::compute_degree_stats(g);
+  std::printf("vertices:    %u\n", g.num_vertices());
+  std::printf("edges:       %llu\n",
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("max degree:  %llu (vertex %u)\n",
+              static_cast<unsigned long long>(s.max_degree), s.argmax);
+  std::printf("mean degree: %.2f (stddev %.2f)\n", s.mean_degree,
+              s.stddev_degree);
+  std::printf("isolated:    %u\n", s.isolated_vertices);
+  std::printf("degree gini: %.3f\n", graph::degree_gini(g));
+  std::printf("approx diameter: %u\n", kernels::approx_diameter(g));
+  std::printf("degree histogram (log2 buckets):\n%s", s.log2_histogram.c_str());
+  return 0;
+}
+
+int cmd_bfs(const Args& a) {
+  GA_CHECK(a.positional.size() >= 3, "bfs: need FILE SOURCE");
+  const auto g = load(a.positional[1]);
+  const auto source = static_cast<vid_t>(std::stoul(a.positional[2]));
+  core::WallTimer t;
+  const auto r = kernels::bfs(g, source);
+  std::printf("reached %llu vertices in %.2f ms; tree valid: %s\n",
+              static_cast<unsigned long long>(r.reached), t.millis(),
+              kernels::validate_bfs_tree(g, source, r) ? "yes" : "NO");
+  return 0;
+}
+
+int cmd_pagerank(const Args& a) {
+  GA_CHECK(a.positional.size() >= 2, "pagerank: missing file");
+  const auto g = load(a.positional[1]);
+  core::WallTimer t;
+  const auto r = kernels::pagerank(g);
+  std::printf("converged=%s iterations=%u (%.2f ms)\n",
+              r.converged ? "yes" : "no", r.iterations, t.millis());
+  for (const auto& [score, v] : kernels::pagerank_topk(r, a.get("top", 10))) {
+    std::printf("  %8u  %.6f\n", v, score);
+  }
+  return 0;
+}
+
+int cmd_components(const Args& a) {
+  GA_CHECK(a.positional.size() >= 2, "components: missing file");
+  const auto g = load(a.positional[1]);
+  core::WallTimer t;
+  const auto r = kernels::wcc_union_find(g);
+  std::printf("components=%u largest=%u (%.2f ms)\n", r.num_components,
+              r.largest_size, t.millis());
+  return 0;
+}
+
+int cmd_triangles(const Args& a) {
+  GA_CHECK(a.positional.size() >= 2, "triangles: missing file");
+  const auto g = load(a.positional[1]);
+  core::WallTimer t;
+  const auto count = kernels::triangle_count_forward(g);
+  std::printf("triangles=%llu (%.2f ms)\n",
+              static_cast<unsigned long long>(count), t.millis());
+  return 0;
+}
+
+int cmd_jaccard(const Args& a) {
+  GA_CHECK(a.positional.size() >= 3, "jaccard: need FILE VERTEX");
+  const auto g = load(a.positional[1]);
+  const auto v = static_cast<vid_t>(std::stoul(a.positional[2]));
+  core::WallTimer t;
+  const auto matches = kernels::jaccard_query(g, v, a.getf("threshold", 0.0));
+  std::printf("%zu matches (%.2f ms)\n", matches.size(), t.millis());
+  for (std::size_t i = 0; i < matches.size() && i < 10; ++i) {
+    std::printf("  %8u  J=%.4f\n", matches[i].v, matches[i].coefficient);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.positional.empty()) return usage();
+    const std::string& cmd = args.positional[0];
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "bfs") return cmd_bfs(args);
+    if (cmd == "pagerank") return cmd_pagerank(args);
+    if (cmd == "components") return cmd_components(args);
+    if (cmd == "triangles") return cmd_triangles(args);
+    if (cmd == "jaccard") return cmd_jaccard(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
