@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_la_vs_direct.dir/ablation_la_vs_direct.cpp.o"
+  "CMakeFiles/ablation_la_vs_direct.dir/ablation_la_vs_direct.cpp.o.d"
+  "ablation_la_vs_direct"
+  "ablation_la_vs_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_la_vs_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

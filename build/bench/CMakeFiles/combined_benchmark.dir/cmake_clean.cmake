@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combined_benchmark.dir/combined_benchmark.cpp.o"
+  "CMakeFiles/combined_benchmark.dir/combined_benchmark.cpp.o.d"
+  "combined_benchmark"
+  "combined_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combined_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_kernel_spectrum.dir/fig1_kernel_spectrum.cpp.o"
+  "CMakeFiles/fig1_kernel_spectrum.dir/fig1_kernel_spectrum.cpp.o.d"
+  "fig1_kernel_spectrum"
+  "fig1_kernel_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_kernel_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_canonical_flow.dir/fig2_canonical_flow.cpp.o"
+  "CMakeFiles/fig2_canonical_flow.dir/fig2_canonical_flow.cpp.o.d"
+  "fig2_canonical_flow"
+  "fig2_canonical_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_canonical_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sparse_accelerator.dir/fig4_sparse_accelerator.cpp.o"
+  "CMakeFiles/fig4_sparse_accelerator.dir/fig4_sparse_accelerator.cpp.o.d"
+  "fig4_sparse_accelerator"
+  "fig4_sparse_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sparse_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_jaccard_streaming.dir/fig5_jaccard_streaming.cpp.o"
+  "CMakeFiles/fig5_jaccard_streaming.dir/fig5_jaccard_streaming.cpp.o.d"
+  "fig5_jaccard_streaming"
+  "fig5_jaccard_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_jaccard_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

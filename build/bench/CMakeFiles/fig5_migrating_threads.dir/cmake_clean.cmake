@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_migrating_threads.dir/fig5_migrating_threads.cpp.o"
+  "CMakeFiles/fig5_migrating_threads.dir/fig5_migrating_threads.cpp.o.d"
+  "fig5_migrating_threads"
+  "fig5_migrating_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_migrating_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firehose_anomaly.dir/firehose_anomaly.cpp.o"
+  "CMakeFiles/firehose_anomaly.dir/firehose_anomaly.cpp.o.d"
+  "firehose_anomaly"
+  "firehose_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firehose_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

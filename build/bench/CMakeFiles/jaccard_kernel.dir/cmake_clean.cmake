@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccard_kernel.dir/jaccard_kernel.cpp.o"
+  "CMakeFiles/jaccard_kernel.dir/jaccard_kernel.cpp.o.d"
+  "jaccard_kernel"
+  "jaccard_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccard_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_explorer.dir/architecture_explorer.cpp.o"
+  "CMakeFiles/architecture_explorer.dir/architecture_explorer.cpp.o.d"
+  "architecture_explorer"
+  "architecture_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nora_insurance.dir/nora_insurance.cpp.o"
+  "CMakeFiles/nora_insurance.dir/nora_insurance.cpp.o.d"
+  "nora_insurance"
+  "nora_insurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nora_insurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_cybersecurity.dir/streaming_cybersecurity.cpp.o"
+  "CMakeFiles/streaming_cybersecurity.dir/streaming_cybersecurity.cpp.o.d"
+  "streaming_cybersecurity"
+  "streaming_cybersecurity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_cybersecurity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archmodel/configs.cpp" "src/CMakeFiles/ga_archmodel.dir/archmodel/configs.cpp.o" "gcc" "src/CMakeFiles/ga_archmodel.dir/archmodel/configs.cpp.o.d"
+  "/root/repo/src/archmodel/machine.cpp" "src/CMakeFiles/ga_archmodel.dir/archmodel/machine.cpp.o" "gcc" "src/CMakeFiles/ga_archmodel.dir/archmodel/machine.cpp.o.d"
+  "/root/repo/src/archmodel/nora_model.cpp" "src/CMakeFiles/ga_archmodel.dir/archmodel/nora_model.cpp.o" "gcc" "src/CMakeFiles/ga_archmodel.dir/archmodel/nora_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_archmodel.dir/archmodel/configs.cpp.o"
+  "CMakeFiles/ga_archmodel.dir/archmodel/configs.cpp.o.d"
+  "CMakeFiles/ga_archmodel.dir/archmodel/machine.cpp.o"
+  "CMakeFiles/ga_archmodel.dir/archmodel/machine.cpp.o.d"
+  "CMakeFiles/ga_archmodel.dir/archmodel/nora_model.cpp.o"
+  "CMakeFiles/ga_archmodel.dir/archmodel/nora_model.cpp.o.d"
+  "libga_archmodel.a"
+  "libga_archmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_archmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

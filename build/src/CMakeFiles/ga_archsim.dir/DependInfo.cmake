@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archsim/conventional_node.cpp" "src/CMakeFiles/ga_archsim.dir/archsim/conventional_node.cpp.o" "gcc" "src/CMakeFiles/ga_archsim.dir/archsim/conventional_node.cpp.o.d"
+  "/root/repo/src/archsim/migrating_threads.cpp" "src/CMakeFiles/ga_archsim.dir/archsim/migrating_threads.cpp.o" "gcc" "src/CMakeFiles/ga_archsim.dir/archsim/migrating_threads.cpp.o.d"
+  "/root/repo/src/archsim/sparse_accel.cpp" "src/CMakeFiles/ga_archsim.dir/archsim/sparse_accel.cpp.o" "gcc" "src/CMakeFiles/ga_archsim.dir/archsim/sparse_accel.cpp.o.d"
+  "/root/repo/src/archsim/workloads.cpp" "src/CMakeFiles/ga_archsim.dir/archsim/workloads.cpp.o" "gcc" "src/CMakeFiles/ga_archsim.dir/archsim/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_spla.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

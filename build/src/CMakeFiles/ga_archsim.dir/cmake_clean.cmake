@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_archsim.dir/archsim/conventional_node.cpp.o"
+  "CMakeFiles/ga_archsim.dir/archsim/conventional_node.cpp.o.d"
+  "CMakeFiles/ga_archsim.dir/archsim/migrating_threads.cpp.o"
+  "CMakeFiles/ga_archsim.dir/archsim/migrating_threads.cpp.o.d"
+  "CMakeFiles/ga_archsim.dir/archsim/sparse_accel.cpp.o"
+  "CMakeFiles/ga_archsim.dir/archsim/sparse_accel.cpp.o.d"
+  "CMakeFiles/ga_archsim.dir/archsim/workloads.cpp.o"
+  "CMakeFiles/ga_archsim.dir/archsim/workloads.cpp.o.d"
+  "libga_archsim.a"
+  "libga_archsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_archsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_core.dir/core/stats.cpp.o"
+  "CMakeFiles/ga_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/ga_core.dir/core/thread_pool.cpp.o"
+  "CMakeFiles/ga_core.dir/core/thread_pool.cpp.o.d"
+  "libga_core.a"
+  "libga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

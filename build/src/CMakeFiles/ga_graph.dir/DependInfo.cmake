@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/ga_graph.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/ga_graph.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/ga_graph.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/ga_graph.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/degree_stats.cpp" "src/CMakeFiles/ga_graph.dir/graph/degree_stats.cpp.o" "gcc" "src/CMakeFiles/ga_graph.dir/graph/degree_stats.cpp.o.d"
+  "/root/repo/src/graph/dynamic_graph.cpp" "src/CMakeFiles/ga_graph.dir/graph/dynamic_graph.cpp.o" "gcc" "src/CMakeFiles/ga_graph.dir/graph/dynamic_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/ga_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/ga_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/ga_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/ga_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/property_table.cpp" "src/CMakeFiles/ga_graph.dir/graph/property_table.cpp.o" "gcc" "src/CMakeFiles/ga_graph.dir/graph/property_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/ga_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/ga_graph.dir/graph/csr_graph.cpp.o"
+  "CMakeFiles/ga_graph.dir/graph/csr_graph.cpp.o.d"
+  "CMakeFiles/ga_graph.dir/graph/degree_stats.cpp.o"
+  "CMakeFiles/ga_graph.dir/graph/degree_stats.cpp.o.d"
+  "CMakeFiles/ga_graph.dir/graph/dynamic_graph.cpp.o"
+  "CMakeFiles/ga_graph.dir/graph/dynamic_graph.cpp.o.d"
+  "CMakeFiles/ga_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/ga_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/ga_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/ga_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/ga_graph.dir/graph/property_table.cpp.o"
+  "CMakeFiles/ga_graph.dir/graph/property_table.cpp.o.d"
+  "libga_graph.a"
+  "libga_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/apsp.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/apsp.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/apsp.cpp.o.d"
+  "/root/repo/src/kernels/betweenness.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/betweenness.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/betweenness.cpp.o.d"
+  "/root/repo/src/kernels/bfs.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/bfs.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/bfs.cpp.o.d"
+  "/root/repo/src/kernels/clustering.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/clustering.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/clustering.cpp.o.d"
+  "/root/repo/src/kernels/community.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/community.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/community.cpp.o.d"
+  "/root/repo/src/kernels/connected_components.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/connected_components.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/connected_components.cpp.o.d"
+  "/root/repo/src/kernels/contraction.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/contraction.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/contraction.cpp.o.d"
+  "/root/repo/src/kernels/geo_temporal.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/geo_temporal.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/geo_temporal.cpp.o.d"
+  "/root/repo/src/kernels/jaccard.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/jaccard.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/jaccard.cpp.o.d"
+  "/root/repo/src/kernels/kcore.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/kcore.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/kcore.cpp.o.d"
+  "/root/repo/src/kernels/ktruss.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/ktruss.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/ktruss.cpp.o.d"
+  "/root/repo/src/kernels/mis.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/mis.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/mis.cpp.o.d"
+  "/root/repo/src/kernels/pagerank.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/pagerank.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/pagerank.cpp.o.d"
+  "/root/repo/src/kernels/partition.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/partition.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/partition.cpp.o.d"
+  "/root/repo/src/kernels/scc.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/scc.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/scc.cpp.o.d"
+  "/root/repo/src/kernels/search_largest.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/search_largest.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/search_largest.cpp.o.d"
+  "/root/repo/src/kernels/sssp.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/sssp.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/sssp.cpp.o.d"
+  "/root/repo/src/kernels/subgraph_iso.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/subgraph_iso.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/subgraph_iso.cpp.o.d"
+  "/root/repo/src/kernels/triangles.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/triangles.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/triangles.cpp.o.d"
+  "/root/repo/src/kernels/weighted_jaccard.cpp" "src/CMakeFiles/ga_kernels.dir/kernels/weighted_jaccard.cpp.o" "gcc" "src/CMakeFiles/ga_kernels.dir/kernels/weighted_jaccard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

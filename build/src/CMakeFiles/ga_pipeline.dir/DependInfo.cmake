@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/analytics.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/analytics.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/analytics.cpp.o.d"
+  "/root/repo/src/pipeline/dedup.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/dedup.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/dedup.cpp.o.d"
+  "/root/repo/src/pipeline/extraction.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/extraction.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/extraction.cpp.o.d"
+  "/root/repo/src/pipeline/flow.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/flow.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/flow.cpp.o.d"
+  "/root/repo/src/pipeline/graph_store.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/graph_store.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/graph_store.cpp.o.d"
+  "/root/repo/src/pipeline/nora.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/nora.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/nora.cpp.o.d"
+  "/root/repo/src/pipeline/record.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/record.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/record.cpp.o.d"
+  "/root/repo/src/pipeline/selection.cpp" "src/CMakeFiles/ga_pipeline.dir/pipeline/selection.cpp.o" "gcc" "src/CMakeFiles/ga_pipeline.dir/pipeline/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

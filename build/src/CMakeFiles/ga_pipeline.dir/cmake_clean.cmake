@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_pipeline.dir/pipeline/analytics.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/analytics.cpp.o.d"
+  "CMakeFiles/ga_pipeline.dir/pipeline/dedup.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/dedup.cpp.o.d"
+  "CMakeFiles/ga_pipeline.dir/pipeline/extraction.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/extraction.cpp.o.d"
+  "CMakeFiles/ga_pipeline.dir/pipeline/flow.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/flow.cpp.o.d"
+  "CMakeFiles/ga_pipeline.dir/pipeline/graph_store.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/graph_store.cpp.o.d"
+  "CMakeFiles/ga_pipeline.dir/pipeline/nora.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/nora.cpp.o.d"
+  "CMakeFiles/ga_pipeline.dir/pipeline/record.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/record.cpp.o.d"
+  "CMakeFiles/ga_pipeline.dir/pipeline/selection.cpp.o"
+  "CMakeFiles/ga_pipeline.dir/pipeline/selection.cpp.o.d"
+  "libga_pipeline.a"
+  "libga_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spla/algorithms.cpp" "src/CMakeFiles/ga_spla.dir/spla/algorithms.cpp.o" "gcc" "src/CMakeFiles/ga_spla.dir/spla/algorithms.cpp.o.d"
+  "/root/repo/src/spla/csr_matrix.cpp" "src/CMakeFiles/ga_spla.dir/spla/csr_matrix.cpp.o" "gcc" "src/CMakeFiles/ga_spla.dir/spla/csr_matrix.cpp.o.d"
+  "/root/repo/src/spla/ewise.cpp" "src/CMakeFiles/ga_spla.dir/spla/ewise.cpp.o" "gcc" "src/CMakeFiles/ga_spla.dir/spla/ewise.cpp.o.d"
+  "/root/repo/src/spla/sparse_vector.cpp" "src/CMakeFiles/ga_spla.dir/spla/sparse_vector.cpp.o" "gcc" "src/CMakeFiles/ga_spla.dir/spla/sparse_vector.cpp.o.d"
+  "/root/repo/src/spla/spgemm.cpp" "src/CMakeFiles/ga_spla.dir/spla/spgemm.cpp.o" "gcc" "src/CMakeFiles/ga_spla.dir/spla/spgemm.cpp.o.d"
+  "/root/repo/src/spla/spmv.cpp" "src/CMakeFiles/ga_spla.dir/spla/spmv.cpp.o" "gcc" "src/CMakeFiles/ga_spla.dir/spla/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_spla.dir/spla/algorithms.cpp.o"
+  "CMakeFiles/ga_spla.dir/spla/algorithms.cpp.o.d"
+  "CMakeFiles/ga_spla.dir/spla/csr_matrix.cpp.o"
+  "CMakeFiles/ga_spla.dir/spla/csr_matrix.cpp.o.d"
+  "CMakeFiles/ga_spla.dir/spla/ewise.cpp.o"
+  "CMakeFiles/ga_spla.dir/spla/ewise.cpp.o.d"
+  "CMakeFiles/ga_spla.dir/spla/sparse_vector.cpp.o"
+  "CMakeFiles/ga_spla.dir/spla/sparse_vector.cpp.o.d"
+  "CMakeFiles/ga_spla.dir/spla/spgemm.cpp.o"
+  "CMakeFiles/ga_spla.dir/spla/spgemm.cpp.o.d"
+  "CMakeFiles/ga_spla.dir/spla/spmv.cpp.o"
+  "CMakeFiles/ga_spla.dir/spla/spmv.cpp.o.d"
+  "libga_spla.a"
+  "libga_spla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_spla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

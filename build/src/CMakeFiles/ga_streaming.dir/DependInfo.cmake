@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streaming/anomaly.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/anomaly.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/anomaly.cpp.o.d"
+  "/root/repo/src/streaming/incremental_cc.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_cc.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_cc.cpp.o.d"
+  "/root/repo/src/streaming/incremental_kcore.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_kcore.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_kcore.cpp.o.d"
+  "/root/repo/src/streaming/incremental_pagerank.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_pagerank.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_pagerank.cpp.o.d"
+  "/root/repo/src/streaming/incremental_triangles.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_triangles.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/incremental_triangles.cpp.o.d"
+  "/root/repo/src/streaming/streaming_jaccard.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/streaming_jaccard.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/streaming_jaccard.cpp.o.d"
+  "/root/repo/src/streaming/topk_tracker.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/topk_tracker.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/topk_tracker.cpp.o.d"
+  "/root/repo/src/streaming/trigger.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/trigger.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/trigger.cpp.o.d"
+  "/root/repo/src/streaming/update_stream.cpp" "src/CMakeFiles/ga_streaming.dir/streaming/update_stream.cpp.o" "gcc" "src/CMakeFiles/ga_streaming.dir/streaming/update_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_streaming.dir/streaming/anomaly.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/anomaly.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_cc.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_cc.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_kcore.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_kcore.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_pagerank.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_pagerank.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_triangles.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/incremental_triangles.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/streaming_jaccard.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/streaming_jaccard.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/topk_tracker.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/topk_tracker.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/trigger.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/trigger.cpp.o.d"
+  "CMakeFiles/ga_streaming.dir/streaming/update_stream.cpp.o"
+  "CMakeFiles/ga_streaming.dir/streaming/update_stream.cpp.o.d"
+  "libga_streaming.a"
+  "libga_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_anomaly.cpp" "tests/CMakeFiles/ga_tests.dir/test_anomaly.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_anomaly.cpp.o.d"
+  "/root/repo/tests/test_apsp.cpp" "tests/CMakeFiles/ga_tests.dir/test_apsp.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_apsp.cpp.o.d"
+  "/root/repo/tests/test_archmodel.cpp" "tests/CMakeFiles/ga_tests.dir/test_archmodel.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_archmodel.cpp.o.d"
+  "/root/repo/tests/test_archsim.cpp" "tests/CMakeFiles/ga_tests.dir/test_archsim.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_archsim.cpp.o.d"
+  "/root/repo/tests/test_betweenness.cpp" "tests/CMakeFiles/ga_tests.dir/test_betweenness.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_betweenness.cpp.o.d"
+  "/root/repo/tests/test_bfs.cpp" "tests/CMakeFiles/ga_tests.dir/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_bfs.cpp.o.d"
+  "/root/repo/tests/test_cc.cpp" "tests/CMakeFiles/ga_tests.dir/test_cc.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_cc.cpp.o.d"
+  "/root/repo/tests/test_clustering.cpp" "tests/CMakeFiles/ga_tests.dir/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_clustering.cpp.o.d"
+  "/root/repo/tests/test_community.cpp" "tests/CMakeFiles/ga_tests.dir/test_community.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_community.cpp.o.d"
+  "/root/repo/tests/test_contraction.cpp" "tests/CMakeFiles/ga_tests.dir/test_contraction.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_contraction.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/ga_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dynamic_graph.cpp" "tests/CMakeFiles/ga_tests.dir/test_dynamic_graph.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_dynamic_graph.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/ga_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_geo_temporal.cpp" "tests/CMakeFiles/ga_tests.dir/test_geo_temporal.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_geo_temporal.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/ga_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/ga_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_jaccard.cpp" "tests/CMakeFiles/ga_tests.dir/test_jaccard.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_jaccard.cpp.o.d"
+  "/root/repo/tests/test_kcore.cpp" "tests/CMakeFiles/ga_tests.dir/test_kcore.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_kcore.cpp.o.d"
+  "/root/repo/tests/test_ktruss.cpp" "tests/CMakeFiles/ga_tests.dir/test_ktruss.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_ktruss.cpp.o.d"
+  "/root/repo/tests/test_mis.cpp" "tests/CMakeFiles/ga_tests.dir/test_mis.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_mis.cpp.o.d"
+  "/root/repo/tests/test_model_based.cpp" "tests/CMakeFiles/ga_tests.dir/test_model_based.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_model_based.cpp.o.d"
+  "/root/repo/tests/test_pagerank.cpp" "tests/CMakeFiles/ga_tests.dir/test_pagerank.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_pagerank.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/ga_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/ga_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_property_table.cpp" "tests/CMakeFiles/ga_tests.dir/test_property_table.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_property_table.cpp.o.d"
+  "/root/repo/tests/test_scc.cpp" "tests/CMakeFiles/ga_tests.dir/test_scc.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_scc.cpp.o.d"
+  "/root/repo/tests/test_search_largest.cpp" "tests/CMakeFiles/ga_tests.dir/test_search_largest.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_search_largest.cpp.o.d"
+  "/root/repo/tests/test_spla.cpp" "tests/CMakeFiles/ga_tests.dir/test_spla.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_spla.cpp.o.d"
+  "/root/repo/tests/test_sssp.cpp" "tests/CMakeFiles/ga_tests.dir/test_sssp.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_sssp.cpp.o.d"
+  "/root/repo/tests/test_streaming.cpp" "tests/CMakeFiles/ga_tests.dir/test_streaming.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_streaming.cpp.o.d"
+  "/root/repo/tests/test_subgraph_iso.cpp" "tests/CMakeFiles/ga_tests.dir/test_subgraph_iso.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_subgraph_iso.cpp.o.d"
+  "/root/repo/tests/test_triangles.cpp" "tests/CMakeFiles/ga_tests.dir/test_triangles.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_triangles.cpp.o.d"
+  "/root/repo/tests/test_trigger.cpp" "tests/CMakeFiles/ga_tests.dir/test_trigger.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_trigger.cpp.o.d"
+  "/root/repo/tests/test_weighted_jaccard.cpp" "tests/CMakeFiles/ga_tests.dir/test_weighted_jaccard.cpp.o" "gcc" "tests/CMakeFiles/ga_tests.dir/test_weighted_jaccard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ga_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_archmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_spla.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/ga_cli" "generate" "rmat" "--scale" "8" "--out" "/root/repo/build/cli_test.edges")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/ga_cli" "stats" "/root/repo/build/cli_test.edges")
+set_tests_properties(cli_stats PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bfs "/root/repo/build/tools/ga_cli" "bfs" "/root/repo/build/cli_test.edges" "0")
+set_tests_properties(cli_bfs PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pagerank "/root/repo/build/tools/ga_cli" "pagerank" "/root/repo/build/cli_test.edges" "--top" "5")
+set_tests_properties(cli_pagerank PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_components "/root/repo/build/tools/ga_cli" "components" "/root/repo/build/cli_test.edges")
+set_tests_properties(cli_components PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_triangles "/root/repo/build/tools/ga_cli" "triangles" "/root/repo/build/cli_test.edges")
+set_tests_properties(cli_triangles PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_jaccard "/root/repo/build/tools/ga_cli" "jaccard" "/root/repo/build/cli_test.edges" "0")
+set_tests_properties(cli_jaccard PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage_fails "/root/repo/build/tools/ga_cli" "frobnicate")
+set_tests_properties(cli_bad_usage_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
