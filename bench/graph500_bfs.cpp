@@ -1,11 +1,16 @@
 // Graph500-style BFS benchmark (§IV: "the most exhaustive [results are]
 // the twice-yearly reports ... of the Breadth First Kernel used in the
 // GRAPH500 benchmark"): Kronecker/RMAT input, 16 random roots, harmonic-
-// mean TEPS, comparing top-down vs direction-optimizing engines.
+// mean TEPS, comparing top-down vs direction-optimizing engines. For the
+// largest scale the per-super-step engine telemetry is printed alongside
+// the analytic model's verdict on which resource bounds each step
+// (archmodel baseline, paper Fig. 3).
 #include <cstdio>
 
+#include "archmodel/configs.hpp"
 #include "core/prng.hpp"
 #include "core/timer.hpp"
+#include "engine/archbridge.hpp"
 #include "graph/generators.hpp"
 #include "kernels/bfs.hpp"
 
@@ -14,7 +19,21 @@ using namespace ga::kernels;
 
 namespace {
 
-void run_scale(unsigned scale) {
+void print_steps(const std::vector<engine::StepStats>& steps) {
+  engine::Telemetry telem;
+  for (const auto& s : steps) telem.record(s);
+  std::printf("%s", engine::format_telemetry(telem).c_str());
+
+  const auto model = engine::evaluate_measured(archmodel::baseline_2012(),
+                                               telem, "bfs");
+  std::printf("  analytic bound (baseline 2012 node): ");
+  for (const auto& st : model.steps) {
+    std::printf("%s ", archmodel::resource_name(st.bounding));
+  }
+  std::printf("\n");
+}
+
+void run_scale(unsigned scale, bool show_steps) {
   const auto g = graph::make_rmat({.scale = scale, .edge_factor = 16, .seed = 1});
   core::Xoshiro256 rng(scale);
   std::vector<vid_t> roots;
@@ -30,6 +49,7 @@ void run_scale(unsigned scale) {
     core::WallTimer t;
     double inv_teps_sum = 0.0;
     std::uint64_t reached = 0;
+    std::vector<engine::StepStats> sample_steps;
     t.restart();
     for (vid_t r : roots) {
       core::WallTimer bt;
@@ -44,11 +64,13 @@ void run_scale(unsigned scale) {
       component_edges /= 2;
       inv_teps_sum += secs / static_cast<double>(component_edges + 1);
       reached += res.reached;
+      if (sample_steps.empty()) sample_steps = res.steps;
     }
     const double harmonic_teps = roots.size() / inv_teps_sum;
     std::printf("  %-14s total %7.1f ms   harmonic-mean %8.2f MTEPS   avg reached %llu\n",
                 name, t.millis(), harmonic_teps / 1e6,
                 static_cast<unsigned long long>(reached / roots.size()));
+    if (show_steps) print_steps(sample_steps);
   }
 }
 
@@ -56,7 +78,7 @@ void run_scale(unsigned scale) {
 
 int main() {
   std::printf("=== Graph500-style BFS (E8) ===\n\n");
-  for (unsigned scale : {14u, 16u, 18u}) run_scale(scale);
+  for (unsigned scale : {14u, 16u, 18u}) run_scale(scale, scale == 18u);
   std::printf("\nShape: direction-optimizing wins on the fat RMAT frontiers.\n");
   return 0;
 }

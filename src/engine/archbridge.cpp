@@ -1,0 +1,41 @@
+#include "engine/archbridge.hpp"
+
+namespace ga::engine {
+
+archmodel::StepDemand to_step_demand(const StepStats& s,
+                                     const std::string& name,
+                                     const DemandModel& model) {
+  archmodel::StepDemand d;
+  d.name = name;
+  d.ops_gop = (model.ops_per_edge * static_cast<double>(s.edges_traversed) +
+               model.ops_per_vertex * static_cast<double>(s.vertices_touched)) /
+              1e9;
+  d.mem_gb = static_cast<double>(s.bytes_moved) / 1e9;
+  d.mem_irregularity = s.direction == Direction::kPush
+                           ? model.push_irregularity
+                           : model.pull_irregularity;
+  d.disk_gb = 0.0;
+  d.net_gb = 0.0;
+  return d;
+}
+
+std::vector<archmodel::StepDemand> to_step_demands(const Telemetry& t,
+                                                   const std::string& prefix,
+                                                   const DemandModel& model) {
+  std::vector<archmodel::StepDemand> out;
+  out.reserve(t.num_steps());
+  for (const StepStats& s : t.steps()) {
+    out.push_back(
+        to_step_demand(s, prefix + "." + std::to_string(s.step), model));
+  }
+  return out;
+}
+
+archmodel::ModelResult evaluate_measured(const archmodel::MachineConfig& m,
+                                         const Telemetry& t,
+                                         const std::string& prefix,
+                                         const DemandModel& model) {
+  return archmodel::evaluate(m, to_step_demands(t, prefix, model));
+}
+
+}  // namespace ga::engine

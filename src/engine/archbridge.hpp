@@ -1,0 +1,49 @@
+// Bridge from measured traversal telemetry to the paper's analytic
+// resource-bound model (Fig. 3): each StepStats super-step becomes an
+// archmodel::StepDemand whose compute/memory demands come from real
+// counters instead of hand-calibrated coefficients, so a measured kernel
+// profile can be evaluated on any MachineConfig and its bounding resource
+// compared against the paper's predictions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "archmodel/nora_model.hpp"
+#include "engine/telemetry.hpp"
+
+namespace ga::engine {
+
+/// Conversion coefficients, overridable per call site.
+struct DemandModel {
+  /// Instructions charged per inspected arc (index arithmetic, compare,
+  /// branch, state update).
+  double ops_per_edge = 8.0;
+  /// Instructions charged per examined vertex (frontier pop / cond test).
+  double ops_per_vertex = 4.0;
+  /// Memory-access irregularity by direction: push scatters updates to
+  /// random targets; pull streams vertices sequentially but probes the
+  /// frontier bitmap and reverse arcs randomly.
+  double push_irregularity = 0.9;
+  double pull_irregularity = 0.6;
+};
+
+/// One measured super-step as a Fig. 3 demand record (disk and network
+/// demands are zero: the engine is an in-memory, single-node traversal).
+archmodel::StepDemand to_step_demand(const StepStats& s,
+                                     const std::string& name,
+                                     const DemandModel& model = {});
+
+/// All super-steps, named `prefix.<index>`.
+std::vector<archmodel::StepDemand> to_step_demands(
+    const Telemetry& t, const std::string& prefix,
+    const DemandModel& model = {});
+
+/// Feed measured counters into the analytic bounding-resource model:
+/// per-step resource seconds and the bounding resource on machine `m`.
+archmodel::ModelResult evaluate_measured(const archmodel::MachineConfig& m,
+                                         const Telemetry& t,
+                                         const std::string& prefix,
+                                         const DemandModel& model = {});
+
+}  // namespace ga::engine

@@ -1,0 +1,55 @@
+#include "engine/frontier.hpp"
+
+namespace ga::engine {
+
+Frontier Frontier::all(vid_t n) {
+  Frontier f(n);
+  f.make_dense();
+  for (vid_t v = 0; v < n; ++v) f.bits_.set(v);
+  f.count_ = n;
+  return f;
+}
+
+void Frontier::ensure_sparse() {
+  if (!dense_) return;
+  items_.clear();
+  items_.reserve(count_);
+  for (vid_t v = 0; v < n_; ++v) {
+    if (bits_.get(v)) items_.push_back(v);
+  }
+  dense_ = false;
+}
+
+void Frontier::auto_switch() {
+  const std::uint64_t threshold = n_ / kDensifyFraction;
+  if (!dense_ && count_ > threshold) {
+    make_dense();
+  } else if (dense_ && count_ <= threshold) {
+    ensure_sparse();
+  }
+}
+
+void Frontier::merge(Frontier& other) {
+  GA_ASSERT(n_ == other.n_);
+  if (other.empty()) return;
+  other.ensure_sparse();
+  if (dense_) {
+    for (vid_t v : other.items()) {
+      if (!bits_.get(v)) {
+        bits_.set(v);
+        ++count_;
+      }
+    }
+  } else {
+    for (vid_t v : other.items()) add(v);
+  }
+}
+
+void Frontier::clear() {
+  bits_.reset();
+  items_.clear();
+  count_ = 0;
+  dense_ = false;
+}
+
+}  // namespace ga::engine

@@ -1,0 +1,111 @@
+// Frontier: the engine's vertex-subset abstraction. A frontier always
+// maintains a membership bitmap (O(1) contains + dedup), and additionally
+// keeps a sparse id list while it is small. The representation switches
+// automatically at |frontier| = n / kDensifyFraction (Ligra's threshold):
+// sparse lists make push steps cheap (iterate only the frontier), the
+// bitmap makes pull steps cheap (probe membership per in-arc).
+#pragma once
+
+#include <vector>
+
+#include "core/bitmap.hpp"
+#include "core/common.hpp"
+
+namespace ga::engine {
+
+class Frontier {
+ public:
+  /// Sparse frontiers denser than universe/kDensifyFraction switch to the
+  /// dense (bitmap-only) representation in auto_switch().
+  static constexpr std::uint64_t kDensifyFraction = 20;
+
+  Frontier() = default;
+  explicit Frontier(vid_t n) : n_(n), bits_(n) {}
+
+  /// Dense frontier containing every vertex of [0, n).
+  static Frontier all(vid_t n);
+
+  vid_t universe() const { return n_; }
+  std::uint64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool dense() const { return dense_; }
+  bool complete() const { return count_ == n_; }
+
+  bool contains(vid_t v) const { return bits_.get(v); }
+
+  /// Deduplicated insert; returns true if v was newly added. Sparse
+  /// frontiers also append to the id list. Single-writer only.
+  bool add(vid_t v) {
+    if (bits_.get(v)) return false;
+    bits_.set(v);
+    if (!dense_) items_.push_back(v);
+    ++count_;
+    return true;
+  }
+
+  /// Concurrent test-and-set on the membership bitmap; returns true if this
+  /// caller flipped the bit. Does NOT update the id list or count — callers
+  /// (the engine's parallel paths) buffer claimed vertices thread-locally
+  /// and merge them via append_batch / bump_count.
+  bool claim_atomic(vid_t v) { return bits_.set_atomic(v); }
+
+  /// Splice a batch of already-claimed vertices into the sparse list.
+  /// Caller serializes (the engine merges per-thread buffers under a mutex).
+  void append_batch(const std::vector<vid_t>& vs) {
+    GA_ASSERT(!dense_);
+    items_.insert(items_.end(), vs.begin(), vs.end());
+    count_ += vs.size();
+  }
+
+  /// Account for vertices claimed directly into the bitmap (dense output).
+  void bump_count(std::uint64_t k) { count_ += k; }
+
+  /// Drop the id list; the bitmap becomes the only representation.
+  void make_dense() {
+    dense_ = true;
+    items_.clear();
+    items_.shrink_to_fit();
+  }
+
+  /// Materialize the sparse id list (ascending scan of the bitmap when the
+  /// frontier is dense; no-op otherwise).
+  void ensure_sparse();
+
+  /// The sparse id list (insertion order; ascending after densify round
+  /// trips). Requires a sparse representation — call ensure_sparse() first.
+  const std::vector<vid_t>& items() const {
+    GA_ASSERT(!dense_);
+    return items_;
+  }
+
+  const core::Bitmap& bits() const { return bits_; }
+
+  /// Pick the representation matching the current density.
+  void auto_switch();
+
+  /// Union `other` into this frontier (deduplicated).
+  void merge(Frontier& other);
+
+  void clear();
+
+  /// Apply fn(v) to every member (sparse: list order; dense: ascending).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (!dense_) {
+      for (vid_t v : items_) fn(v);
+    } else {
+      for (vid_t v = 0; v < n_; ++v) {
+        if (bits_.get(v)) fn(v);
+      }
+    }
+  }
+
+ private:
+  vid_t n_ = 0;
+  std::uint64_t count_ = 0;
+  bool dense_ = false;
+  std::vector<vid_t> items_;
+  core::Bitmap bits_;
+};
+
+}  // namespace ga::engine

@@ -1,0 +1,71 @@
+#include "engine/telemetry.hpp"
+
+#include <cstdio>
+
+namespace ga::engine {
+
+const char* direction_name(Direction d) {
+  return d == Direction::kPush ? "push" : "pull";
+}
+
+std::uint64_t Telemetry::total_edges() const {
+  std::uint64_t s = 0;
+  for (const StepStats& st : steps_) s += st.edges_traversed;
+  return s;
+}
+
+std::uint64_t Telemetry::total_vertices() const {
+  std::uint64_t s = 0;
+  for (const StepStats& st : steps_) s += st.vertices_touched;
+  return s;
+}
+
+std::uint64_t Telemetry::total_bytes() const {
+  std::uint64_t s = 0;
+  for (const StepStats& st : steps_) s += st.bytes_moved;
+  return s;
+}
+
+double Telemetry::total_seconds() const {
+  double s = 0.0;
+  for (const StepStats& st : steps_) s += st.seconds;
+  return s;
+}
+
+std::size_t Telemetry::push_steps() const {
+  std::size_t c = 0;
+  for (const StepStats& st : steps_) c += st.direction == Direction::kPush;
+  return c;
+}
+
+std::size_t Telemetry::pull_steps() const {
+  return steps_.size() - push_steps();
+}
+
+std::string format_telemetry(const Telemetry& t) {
+  std::string out =
+      "  step  dir   frontier    vertices       edges       bytes      ms\n";
+  char buf[160];
+  for (const StepStats& s : t.steps()) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %4u  %-4s %9llu %11llu %11llu %11llu %7.2f\n", s.step,
+                  direction_name(s.direction),
+                  static_cast<unsigned long long>(s.frontier_size),
+                  static_cast<unsigned long long>(s.vertices_touched),
+                  static_cast<unsigned long long>(s.edges_traversed),
+                  static_cast<unsigned long long>(s.bytes_moved),
+                  s.seconds * 1e3);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  total %zu steps (%zu push, %zu pull): %llu edges, "
+                "%llu bytes, %.2f ms\n",
+                t.num_steps(), t.push_steps(), t.pull_steps(),
+                static_cast<unsigned long long>(t.total_edges()),
+                static_cast<unsigned long long>(t.total_bytes()),
+                t.total_seconds() * 1e3);
+  out += buf;
+  return out;
+}
+
+}  // namespace ga::engine

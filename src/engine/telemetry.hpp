@@ -1,0 +1,60 @@
+// Per-super-step resource telemetry for the traversal engine. Every
+// edge_map/vertex_map super-step appends one StepStats record: how many
+// vertices and arcs it touched, a modeled byte count for memory traffic,
+// which direction (push/pull) the engine chose, and wall time. These are
+// the measured counterparts of the paper's Fig. 3 per-step resource bars;
+// engine/archbridge.hpp converts them into archmodel::StepDemand records
+// so measured profiles can be run through the analytic bounding-resource
+// model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ga::engine {
+
+enum class Direction : std::uint8_t { kPush, kPull };
+const char* direction_name(Direction d);
+
+/// Counters for one traversal super-step (one edge_map or vertex_map call).
+struct StepStats {
+  std::uint32_t step = 0;             // index within the owning Telemetry
+  Direction direction = Direction::kPush;
+  std::uint64_t frontier_size = 0;    // vertices in the input frontier
+  std::uint64_t vertices_touched = 0; // vertices whose state was examined
+  std::uint64_t edges_traversed = 0;  // arcs inspected (TEPS accounting)
+  std::uint64_t bytes_moved = 0;      // modeled word-granular memory traffic
+  double seconds = 0.0;               // wall time of the step
+};
+
+/// Append-only log of super-steps with aggregate accessors. Kernels merge
+/// per-thread counters into one StepStats before recording, so a Telemetry
+/// is only ever written from the coordinating thread.
+class Telemetry {
+ public:
+  void record(StepStats s) {
+    s.step = static_cast<std::uint32_t>(steps_.size());
+    steps_.push_back(s);
+  }
+
+  const std::vector<StepStats>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  std::size_t num_steps() const { return steps_.size(); }
+  void clear() { steps_.clear(); }
+
+  std::uint64_t total_edges() const;
+  std::uint64_t total_vertices() const;
+  std::uint64_t total_bytes() const;
+  double total_seconds() const;
+  std::size_t push_steps() const;
+  std::size_t pull_steps() const;
+
+ private:
+  std::vector<StepStats> steps_;
+};
+
+/// Human-readable per-step table (bench/CLI reporting).
+std::string format_telemetry(const Telemetry& t);
+
+}  // namespace ga::engine

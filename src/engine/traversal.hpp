@@ -1,0 +1,316 @@
+// The shared frontier-centric traversal engine (Ligra-style vertex_map /
+// edge_map with Beamer direction optimization). Every level-synchronous
+// kernel (BFS, frontier SSSP, label-propagation CC, Brandes BC, k-core
+// peeling, PageRank's dense pull) is one functor plus a loop over
+// edge_map; the engine owns the hot path: direction choice, sparse/dense
+// frontier representation, thread-local next-frontier buffers merged per
+// step, and per-super-step StepStats telemetry.
+//
+// Functor concept F:
+//   bool cond(vid_t v)                       — is target v still active?
+//   bool update(vid_t u, vid_t v, float w)   — apply arc (u,v); return true
+//                                              to add v to the next frontier.
+//                                              Serial paths and pull (where
+//                                              one thread owns v) use this.
+//   bool update_atomic(vid_t u, vid_t v, float w)
+//                                            — as update, but safe for
+//                                              concurrent callers (parallel
+//                                              push). Use atomics on shared
+//                                              per-vertex state.
+// The engine deduplicates next-frontier insertion; update may return true
+// for the same v more than once per step.
+//
+// Direction semantics: push iterates the frontier's out-arcs (u ranges over
+// the frontier); pull scans every vertex v with cond(v) and probes its
+// in-arcs for frontier members, breaking early once cond(v) turns false.
+// On directed graphs the transpose is built on demand (thread-safe, const).
+// Pull on a *directed weighted* graph cannot recover arc weights from the
+// transpose and passes w = 1.0f — weight-dependent kernels force push.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "engine/frontier.hpp"
+#include "engine/telemetry.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace ga::engine {
+
+struct TraversalOptions {
+  enum class Dir : std::uint8_t { kAuto, kPush, kPull };
+
+  Dir direction = Dir::kAuto;
+  /// Use worker threads when the global pool has more than one. Serial
+  /// traversals are exactly deterministic (insertion order reproducible).
+  bool parallel = true;
+  /// Traverse the transposed graph: push follows in-arcs, pull probes
+  /// out-arcs. Used e.g. for the reverse sweep of directed WCC.
+  bool transpose = false;
+  /// Build and return the next frontier. Dense recurrences that only fold
+  /// state (PageRank) switch this off to skip claim/merge work.
+  bool produce_output = true;
+  std::uint64_t grain = 64;
+  /// Beamer switch thresholds (same form as the classic direction-
+  /// optimizing BFS): choose pull when the frontier's out-arc count times
+  /// alpha exceeds the arc total AND the frontier holds more than n/beta
+  /// vertices; otherwise push.
+  std::uint64_t alpha = 14;
+  std::uint64_t beta = 24;
+};
+
+namespace detail {
+
+/// Adjacency view: forward (out) or reverse (in) arcs, with weight access
+/// where the representation has them. in-lists alias out-lists on
+/// undirected graphs, so weights stay index-aligned there; a directed
+/// transpose has no weight array and reports 1.0f.
+struct Adj {
+  const graph::CSRGraph* g;
+  bool use_in;
+  bool has_weights;
+
+  static Adj make(const graph::CSRGraph& g, bool use_in) {
+    return {&g, use_in, g.weighted() && (!use_in || !g.directed())};
+  }
+
+  std::span<const vid_t> neighbors(vid_t u) const {
+    return use_in ? g->in_neighbors(u) : g->out_neighbors(u);
+  }
+  eid_t degree(vid_t u) const {
+    return use_in ? g->in_degree(u) : g->out_degree(u);
+  }
+  float weight(vid_t u, std::size_t i) const {
+    // use_in implies undirected here (see has_weights), where in-lists
+    // alias out-lists, so out_weights is index-aligned for both views.
+    return has_weights ? g->out_weights(u)[i] : 1.0f;
+  }
+};
+
+/// Modeled memory traffic of a step, at word granularity (the paper's
+/// Fig. 3 memory-resource axis): per examined vertex an offset pair, per
+/// inspected arc a target id, its optional weight, and one word of kernel
+/// state read or written at the far endpoint.
+inline std::uint64_t model_bytes(std::uint64_t vertices, std::uint64_t edges,
+                                 bool weighted) {
+  constexpr std::uint64_t kVertexOverhead = 2 * sizeof(eid_t);  // offsets
+  constexpr std::uint64_t kStateBytes = 8;                      // dist/label/rank word
+  const std::uint64_t per_edge =
+      sizeof(vid_t) + (weighted ? sizeof(float) : 0) + kStateBytes;
+  return vertices * kVertexOverhead + edges * per_edge;
+}
+
+inline std::uint64_t degree_sum(const Adj& adj, const Frontier& f) {
+  std::uint64_t sum = 0;
+  f.for_each([&](vid_t v) { sum += adj.degree(v); });
+  return sum;
+}
+
+}  // namespace detail
+
+/// One traversal super-step: apply `f` over the arcs leaving `frontier`
+/// (push) or entering still-active vertices (pull), returning the next
+/// frontier. Direction, representation switching, parallel merging, and
+/// telemetry are handled here — kernels supply only the functor.
+template <typename F>
+Frontier edge_map(const graph::CSRGraph& g, Frontier& frontier, F&& f,
+                  const TraversalOptions& opts = {},
+                  Telemetry* telem = nullptr) {
+  const vid_t n = g.num_vertices();
+  GA_CHECK(frontier.universe() == n, "edge_map: frontier/graph mismatch");
+  core::WallTimer timer;
+
+  detail::Adj fwd = detail::Adj::make(g, opts.transpose);
+
+  Direction dir;
+  if (opts.direction == TraversalOptions::Dir::kPush) {
+    dir = Direction::kPush;
+  } else if (opts.direction == TraversalOptions::Dir::kPull) {
+    dir = Direction::kPull;
+  } else {
+    // Pull cannot recover arc weights from a directed transpose, so the
+    // heuristic never selects it there (callers may still force it for
+    // weight-oblivious functors like PageRank's).
+    const bool pull_usable = !(g.directed() && g.weighted());
+    const std::uint64_t fedges = detail::degree_sum(fwd, frontier);
+    dir = (pull_usable && fedges * opts.alpha > g.num_arcs() &&
+           frontier.size() > n / opts.beta)
+              ? Direction::kPull
+              : Direction::kPush;
+  }
+  // Push on the transpose and pull on the forward graph both read in-arcs.
+  if (g.directed() && ((dir == Direction::kPush) == opts.transpose)) {
+    g.ensure_transpose();
+  }
+
+  const bool run_parallel =
+      opts.parallel && core::ThreadPool::global().num_threads() > 1;
+  StepStats st;
+  st.direction = dir;
+  st.frontier_size = frontier.size();
+  Frontier next(n);
+
+  if (dir == Direction::kPush) {
+    frontier.ensure_sparse();
+    const auto& items = frontier.items();
+    st.vertices_touched = items.size();
+    if (!run_parallel) {
+      std::uint64_t edges = 0;
+      for (vid_t u : items) {
+        const auto nbrs = fwd.neighbors(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const vid_t v = nbrs[i];
+          ++edges;
+          if (!f.cond(v)) continue;
+          if (f.update(u, v, fwd.weight(u, i)) && opts.produce_output) {
+            next.add(v);
+          }
+        }
+      }
+      st.edges_traversed = edges;
+    } else {
+      // Parallel push: per-chunk thread-local buffers of claimed vertices
+      // spliced under a mutex, per-thread edge counters merged once per
+      // chunk (no shared ++ on hot paths).
+      std::mutex splice_mu;
+      std::atomic<std::uint64_t> edges{0};
+      std::function<void(std::uint64_t, std::uint64_t)> body =
+          [&](std::uint64_t b, std::uint64_t e) {
+            std::vector<vid_t> local;
+            std::uint64_t local_edges = 0;
+            for (std::uint64_t idx = b; idx < e; ++idx) {
+              const vid_t u = items[idx];
+              const auto nbrs = fwd.neighbors(u);
+              for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const vid_t v = nbrs[i];
+                ++local_edges;
+                if (!f.cond(v)) continue;
+                if (f.update_atomic(u, v, fwd.weight(u, i)) &&
+                    opts.produce_output && next.claim_atomic(v)) {
+                  local.push_back(v);
+                }
+              }
+            }
+            edges.fetch_add(local_edges, std::memory_order_relaxed);
+            if (!local.empty()) {
+              std::lock_guard<std::mutex> lk(splice_mu);
+              next.append_batch(local);
+            }
+          };
+      core::ThreadPool::global().parallel_for(0, items.size(), opts.grain,
+                                              body);
+      st.edges_traversed = edges.load();
+    }
+  } else {
+    // Pull: scan every still-active vertex and probe its reverse arcs for
+    // frontier members; break as soon as cond(v) is satisfied-away.
+    next.make_dense();
+    detail::Adj rev = detail::Adj::make(g, !opts.transpose);
+    const bool whole = frontier.complete();
+    if (!run_parallel) {
+      std::uint64_t edges = 0, touched = 0;
+      for (vid_t v = 0; v < n; ++v) {
+        if (!f.cond(v)) continue;
+        ++touched;
+        const auto nbrs = rev.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const vid_t u = nbrs[i];
+          ++edges;
+          if (!whole && !frontier.contains(u)) continue;
+          if (f.update(u, v, rev.weight(v, i)) && opts.produce_output) {
+            next.add(v);
+          }
+          if (!f.cond(v)) break;
+        }
+      }
+      st.edges_traversed = edges;
+      st.vertices_touched = touched;
+    } else {
+      std::atomic<std::uint64_t> edges{0}, touched{0}, added{0};
+      std::function<void(std::uint64_t, std::uint64_t)> body =
+          [&](std::uint64_t b, std::uint64_t e) {
+            std::uint64_t local_edges = 0, local_touched = 0, local_added = 0;
+            for (std::uint64_t vv = b; vv < e; ++vv) {
+              const vid_t v = static_cast<vid_t>(vv);
+              if (!f.cond(v)) continue;
+              ++local_touched;
+              const auto nbrs = rev.neighbors(v);
+              for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const vid_t u = nbrs[i];
+                ++local_edges;
+                if (!whole && !frontier.contains(u)) continue;
+                if (f.update(u, v, rev.weight(v, i)) && opts.produce_output &&
+                    next.claim_atomic(v)) {
+                  ++local_added;
+                }
+                if (!f.cond(v)) break;
+              }
+            }
+            edges.fetch_add(local_edges, std::memory_order_relaxed);
+            touched.fetch_add(local_touched, std::memory_order_relaxed);
+            added.fetch_add(local_added, std::memory_order_relaxed);
+          };
+      core::ThreadPool::global().parallel_for(0, n, opts.grain, body);
+      st.edges_traversed = edges.load();
+      st.vertices_touched = touched.load();
+      next.bump_count(added.load());
+    }
+  }
+
+  if (opts.produce_output) next.auto_switch();
+  st.bytes_moved =
+      detail::model_bytes(st.vertices_touched, st.edges_traversed,
+                          g.weighted());
+  st.seconds = timer.seconds();
+  if (telem) telem->record(st);
+  return next;
+}
+
+/// Apply fn(v) to every frontier member. Parallel over the sparse list
+/// when requested and worker threads exist; fn must then be safe for
+/// concurrent calls on distinct vertices.
+template <typename Fn>
+void vertex_map(Frontier& frontier, Fn&& fn, bool parallel = false,
+                Telemetry* telem = nullptr) {
+  core::WallTimer timer;
+  const bool run_parallel =
+      parallel && core::ThreadPool::global().num_threads() > 1;
+  if (!run_parallel) {
+    frontier.for_each(fn);
+  } else {
+    frontier.ensure_sparse();
+    const auto& items = frontier.items();
+    std::function<void(std::uint64_t, std::uint64_t)> body =
+        [&](std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t i = b; i < e; ++i) fn(items[i]);
+        };
+    core::ThreadPool::global().parallel_for(0, items.size(), 256, body);
+  }
+  if (telem) {
+    StepStats st;
+    st.direction = Direction::kPush;
+    st.frontier_size = frontier.size();
+    st.vertices_touched = frontier.size();
+    st.bytes_moved = detail::model_bytes(frontier.size(), 0, false);
+    st.seconds = timer.seconds();
+    telem->record(st);
+  }
+}
+
+/// Build a frontier of every vertex in [0, n) satisfying pred.
+template <typename Pred>
+Frontier vertex_filter(vid_t n, Pred&& pred) {
+  Frontier out(n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (pred(v)) out.add(v);
+  }
+  out.auto_switch();
+  return out;
+}
+
+}  // namespace ga::engine

@@ -31,36 +31,96 @@ float CSRGraph::edge_weight(vid_t u, vid_t v) const {
   return weights_[offsets_[u] + static_cast<eid_t>(it - nbrs.begin())];
 }
 
-void CSRGraph::ensure_transpose() {
+CSRGraph::CSRGraph(const CSRGraph& other)
+    : n_(other.n_),
+      directed_(other.directed_),
+      offsets_(other.offsets_),
+      targets_(other.targets_),
+      weights_(other.weights_) {
+  if (const Transpose* t = other.transpose_acquire()) {
+    transpose_.store(new Transpose(*t), std::memory_order_release);
+  }
+}
+
+CSRGraph& CSRGraph::operator=(const CSRGraph& other) {
+  if (this != &other) {
+    CSRGraph tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+CSRGraph::CSRGraph(CSRGraph&& other) noexcept
+    : n_(other.n_),
+      directed_(other.directed_),
+      offsets_(std::move(other.offsets_)),
+      targets_(std::move(other.targets_)),
+      weights_(std::move(other.weights_)) {
+  transpose_.store(other.transpose_.exchange(nullptr, std::memory_order_acq_rel),
+                   std::memory_order_release);
+  other.n_ = 0;
+}
+
+CSRGraph& CSRGraph::operator=(CSRGraph&& other) noexcept {
+  if (this != &other) {
+    n_ = other.n_;
+    directed_ = other.directed_;
+    offsets_ = std::move(other.offsets_);
+    targets_ = std::move(other.targets_);
+    weights_ = std::move(other.weights_);
+    delete transpose_.exchange(
+        other.transpose_.exchange(nullptr, std::memory_order_acq_rel),
+        std::memory_order_acq_rel);
+    other.n_ = 0;
+  }
+  return *this;
+}
+
+CSRGraph::~CSRGraph() {
+  delete transpose_.load(std::memory_order_acquire);
+}
+
+void CSRGraph::ensure_transpose() const {
   if (has_transpose()) return;
-  in_offsets_.assign(n_ + 1, 0);
-  for (vid_t t : targets_) ++in_offsets_[t + 1];
-  for (vid_t i = 0; i < n_; ++i) in_offsets_[i + 1] += in_offsets_[i];
-  in_targets_.resize(targets_.size());
-  std::vector<eid_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  auto t = std::make_unique<Transpose>();
+  t->offsets.assign(n_ + 1, 0);
+  for (vid_t tgt : targets_) ++t->offsets[tgt + 1];
+  for (vid_t i = 0; i < n_; ++i) t->offsets[i + 1] += t->offsets[i];
+  t->targets.resize(targets_.size());
+  std::vector<eid_t> cursor(t->offsets.begin(), t->offsets.end() - 1);
   for (vid_t u = 0; u < n_; ++u) {
-    for (vid_t v : out_neighbors(u)) in_targets_[cursor[v]++] = u;
+    for (vid_t v : out_neighbors(u)) t->targets[cursor[v]++] = u;
   }
   // Sort each in-adjacency list for binary-search parity with out-lists.
   for (vid_t v = 0; v < n_; ++v) {
-    std::sort(in_targets_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v]),
-              in_targets_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v + 1]));
+    std::sort(t->targets.begin() + static_cast<std::ptrdiff_t>(t->offsets[v]),
+              t->targets.begin() + static_cast<std::ptrdiff_t>(t->offsets[v + 1]));
+  }
+  // Publish; a concurrent builder that wins the CAS makes ours redundant.
+  Transpose* expected = nullptr;
+  Transpose* built = t.release();
+  if (!transpose_.compare_exchange_strong(expected, built,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    delete built;
   }
 }
 
 eid_t CSRGraph::in_degree(vid_t u) const {
   GA_ASSERT(u < n_);
   if (!directed_) return out_degree(u);
-  GA_CHECK(!in_offsets_.empty(), "call ensure_transpose() first");
-  return in_offsets_[u + 1] - in_offsets_[u];
+  const Transpose* t = transpose_acquire();
+  GA_CHECK(t != nullptr, "call ensure_transpose() first");
+  return t->offsets[u + 1] - t->offsets[u];
 }
 
 std::span<const vid_t> CSRGraph::in_neighbors(vid_t u) const {
   GA_ASSERT(u < n_);
   if (!directed_) return out_neighbors(u);
-  GA_CHECK(!in_offsets_.empty(), "call ensure_transpose() first");
-  return {in_targets_.data() + in_offsets_[u],
-          static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u])};
+  const Transpose* t = transpose_acquire();
+  GA_CHECK(t != nullptr, "call ensure_transpose() first");
+  return {t->targets.data() + t->offsets[u],
+          static_cast<std::size_t>(t->offsets[u + 1] - t->offsets[u])};
 }
 
 CSRGraph CSRGraph::transposed() const {

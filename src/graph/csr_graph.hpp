@@ -5,7 +5,9 @@
 // lookup and merge-based triangle/Jaccard kernels.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -62,25 +64,42 @@ class CSRGraph {
   const std::vector<float>& weights() const { return weights_; }
 
   /// In-adjacency accessors. For undirected graphs these alias the
-  /// out-adjacency; for directed graphs the transpose is built lazily by
-  /// build_transpose() (kernels that need it call ensure_transpose()).
-  void ensure_transpose();
-  bool has_transpose() const { return !directed_ || !in_offsets_.empty(); }
+  /// out-adjacency; for directed graphs the transpose is built lazily.
+  /// ensure_transpose() is const and thread-safe: concurrent callers may
+  /// build duplicate transposes but exactly one is published (CAS) and the
+  /// losers are discarded, so pull-style kernels can share a const graph.
+  void ensure_transpose() const;
+  bool has_transpose() const {
+    return !directed_ || transpose_.load(std::memory_order_acquire) != nullptr;
+  }
   eid_t in_degree(vid_t u) const;
   std::span<const vid_t> in_neighbors(vid_t u) const;
 
   /// Returns the transposed graph as a standalone CSRGraph (directed only).
   CSRGraph transposed() const;
 
+  CSRGraph(const CSRGraph& other);
+  CSRGraph& operator=(const CSRGraph& other);
+  CSRGraph(CSRGraph&& other) noexcept;
+  CSRGraph& operator=(CSRGraph&& other) noexcept;
+  ~CSRGraph();
+
  private:
+  // Lazily built in-adjacency (directed graphs only), published atomically.
+  struct Transpose {
+    std::vector<eid_t> offsets;
+    std::vector<vid_t> targets;
+  };
+  const Transpose* transpose_acquire() const {
+    return transpose_.load(std::memory_order_acquire);
+  }
+
   vid_t n_ = 0;
   bool directed_ = false;
   std::vector<eid_t> offsets_;
   std::vector<vid_t> targets_;
   std::vector<float> weights_;
-  // Lazily built transpose (directed graphs only).
-  std::vector<eid_t> in_offsets_;
-  std::vector<vid_t> in_targets_;
+  mutable std::atomic<Transpose*> transpose_{nullptr};
 };
 
 }  // namespace ga::graph

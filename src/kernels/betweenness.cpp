@@ -5,16 +5,41 @@
 
 #include "core/prng.hpp"
 #include "core/thread_pool.hpp"
+#include "engine/traversal.hpp"
 
 namespace ga::kernels {
 
 namespace {
 
+/// Engine functor for the Brandes forward sweep: discover vertices at
+/// `level` and accumulate shortest-path counts. A target stays active
+/// while it sits on the current level so every frontier predecessor
+/// contributes its sigma. Serial-only (sigma sums are order-sensitive);
+/// update_atomic delegates for the template's sake but is never invoked
+/// because call sites pin opts.parallel = false.
+struct BrandesStep {
+  std::vector<std::uint32_t>& dist;
+  std::vector<double>& sigma;
+  std::uint32_t level;
+
+  bool cond(vid_t v) const {
+    return dist[v] == kInfDist || dist[v] == level;
+  }
+  bool update(vid_t u, vid_t v, float) {
+    const bool fresh = dist[v] == kInfDist;
+    if (fresh) dist[v] = level;
+    sigma[v] += sigma[u];
+    return fresh;
+  }
+  bool update_atomic(vid_t u, vid_t v, float w) { return update(u, v, w); }
+};
+
 /// Brandes accumulation from one source into `bc`.
 void brandes_from(const CSRGraph& g, vid_t s, std::vector<double>& bc,
                   std::vector<std::uint32_t>& dist,
                   std::vector<double>& sigma, std::vector<double>& delta,
-                  std::vector<vid_t>& order) {
+                  std::vector<vid_t>& order,
+                  engine::Telemetry* telem = nullptr) {
   const vid_t n = g.num_vertices();
   std::fill(dist.begin(), dist.end(), kInfDist);
   std::fill(sigma.begin(), sigma.end(), 0.0);
@@ -23,25 +48,22 @@ void brandes_from(const CSRGraph& g, vid_t s, std::vector<double>& bc,
 
   dist[s] = 0;
   sigma[s] = 1.0;
-  // BFS recording visitation order and path counts.
-  std::vector<vid_t> frontier{s};
+  // Engine BFS recording visitation order and path counts. Forced push:
+  // sigma accumulation needs every (frontier, level) arc applied exactly
+  // once, which the serial push path guarantees in discovery order.
+  engine::TraversalOptions opts;
+  opts.direction = engine::TraversalOptions::Dir::kPush;
+  opts.parallel = false;
+  engine::Frontier frontier(n);
+  frontier.add(s);
   std::uint32_t level = 1;
   while (!frontier.empty()) {
-    order.insert(order.end(), frontier.begin(), frontier.end());
-    std::vector<vid_t> next;
-    for (vid_t u : frontier) {
-      for (vid_t v : g.out_neighbors(u)) {
-        if (dist[v] == kInfDist) {
-          dist[v] = level;
-          next.push_back(v);
-        }
-        if (dist[v] == level) sigma[v] += sigma[u];
-      }
-    }
-    frontier.swap(next);
+    frontier.for_each([&](vid_t v) { order.push_back(v); });
+    BrandesStep step{dist, sigma, level};
+    engine::Frontier next = engine::edge_map(g, frontier, step, opts, telem);
+    frontier = std::move(next);
     ++level;
   }
-  (void)n;
   // Dependency back-propagation in reverse BFS order.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const vid_t u = *it;
@@ -56,7 +78,8 @@ void brandes_from(const CSRGraph& g, vid_t s, std::vector<double>& bc,
 
 }  // namespace
 
-std::vector<double> betweenness_exact(const CSRGraph& g) {
+std::vector<double> betweenness_exact(const CSRGraph& g,
+                                      engine::Telemetry* telem) {
   const vid_t n = g.num_vertices();
   std::vector<double> bc(n, 0.0);
   std::vector<std::uint32_t> dist(n);
@@ -64,7 +87,7 @@ std::vector<double> betweenness_exact(const CSRGraph& g) {
   std::vector<vid_t> order;
   order.reserve(n);
   for (vid_t s = 0; s < n; ++s) {
-    brandes_from(g, s, bc, dist, sigma, delta, order);
+    brandes_from(g, s, bc, dist, sigma, delta, order, telem);
   }
   return bc;
 }
@@ -92,10 +115,11 @@ std::vector<double> betweenness_exact_parallel(const CSRGraph& g) {
 }
 
 std::vector<double> betweenness_sampled(const CSRGraph& g, vid_t num_pivots,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed,
+                                        engine::Telemetry* telem) {
   const vid_t n = g.num_vertices();
   GA_CHECK(num_pivots > 0, "betweenness_sampled: need >= 1 pivot");
-  if (num_pivots >= n) return betweenness_exact(g);
+  if (num_pivots >= n) return betweenness_exact(g, telem);
   std::vector<double> bc(n, 0.0);
   std::vector<std::uint32_t> dist(n);
   std::vector<double> sigma(n), delta(n);
@@ -107,7 +131,7 @@ std::vector<double> betweenness_sampled(const CSRGraph& g, vid_t num_pivots,
   for (vid_t i = 0; i < num_pivots; ++i) {
     const auto j = i + rng.next_below(n - i);
     std::swap(ids[i], ids[j]);
-    brandes_from(g, ids[i], bc, dist, sigma, delta, order);
+    brandes_from(g, ids[i], bc, dist, sigma, delta, order, telem);
   }
   const double scale = static_cast<double>(n) / num_pivots;
   for (double& x : bc) x *= scale;

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace ga::kernels {
@@ -14,13 +15,16 @@ using graph::CSRGraph;
 
 /// Exact BC on unweighted graphs. Scores are unnormalized pair-dependency
 /// sums; for undirected graphs each pair is counted twice (divide by 2 to
-/// match textbook values).
-std::vector<double> betweenness_exact(const CSRGraph& g);
+/// match textbook values). `telem` (optional) collects the forward-sweep
+/// StepStats of every source.
+std::vector<double> betweenness_exact(const CSRGraph& g,
+                                      engine::Telemetry* telem = nullptr);
 
 /// Sampled BC from `num_pivots` sources chosen deterministically from
 /// `seed`; scores scaled by n/num_pivots to estimate the exact values.
 std::vector<double> betweenness_sampled(const CSRGraph& g, vid_t num_pivots,
-                                        std::uint64_t seed = 1);
+                                        std::uint64_t seed = 1,
+                                        engine::Telemetry* telem = nullptr);
 
 /// Parallel exact BC: pivots are independent Brandes passes, accumulated
 /// into per-chunk partial score vectors and merged. Deterministic (sum

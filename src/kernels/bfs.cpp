@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
-#include "core/bitmap.hpp"
-#include "core/thread_pool.hpp"
+#include "engine/traversal.hpp"
 
 namespace ga::kernels {
 
@@ -18,160 +16,99 @@ BfsResult make_result(vid_t n) {
   return r;
 }
 
-/// One top-down step: expand `frontier`, writing `next`.
-void top_down_step(const CSRGraph& g, const std::vector<vid_t>& frontier,
-                   std::vector<vid_t>& next, BfsResult& r,
-                   std::uint32_t level) {
-  for (vid_t u : frontier) {
-    for (vid_t v : g.out_neighbors(u)) {
-      ++r.edges_traversed;
-      if (r.dist[v] == kInfDist) {
-        r.dist[v] = level;
-        r.parent[v] = u;
-        next.push_back(v);
-      }
-    }
+/// Engine functor for one BFS level: claim unvisited targets at `level`.
+/// Push claims with a CAS on parent (the tie-breaker among concurrent
+/// discoverers); pull runs single-writer-per-target so plain stores are
+/// enough, and the engine breaks off v's scan once cond flips false.
+struct BfsStep {
+  std::vector<std::uint32_t>& dist;
+  std::vector<vid_t>& parent;
+  std::uint32_t level;
+
+  bool cond(vid_t v) const {
+    return std::atomic_ref<std::uint32_t>(dist[v])
+               .load(std::memory_order_relaxed) == kInfDist;
   }
-}
-
-/// One bottom-up step: every unvisited vertex scans its in-neighbors for a
-/// frontier member. `in_frontier` is a bitmap of the current frontier.
-void bottom_up_step(const CSRGraph& g, core::Bitmap& in_frontier,
-                    core::Bitmap& next_frontier, BfsResult& r,
-                    std::uint32_t level, std::uint64_t& next_count) {
-  next_count = 0;
-  for (vid_t v = 0; v < g.num_vertices(); ++v) {
-    if (r.dist[v] != kInfDist) continue;
-    for (vid_t u : g.in_neighbors(v)) {
-      ++r.edges_traversed;
-      if (in_frontier.get(u)) {
-        r.dist[v] = level;
-        r.parent[v] = u;
-        next_frontier.set(v);
-        ++next_count;
-        break;
-      }
-    }
+  bool update(vid_t u, vid_t v, float) {
+    dist[v] = level;
+    parent[v] = u;
+    return true;
   }
-  in_frontier.swap(next_frontier);
-  next_frontier.reset();
-}
+  bool update_atomic(vid_t u, vid_t v, float) {
+    vid_t expected = kInvalidVid;
+    if (std::atomic_ref<vid_t>(parent[v]).compare_exchange_strong(
+            expected, u, std::memory_order_relaxed)) {
+      std::atomic_ref<std::uint32_t>(dist[v]).store(level,
+                                                    std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
 
-}  // namespace
+/// Distance-only claim (khop has no parent tree).
+struct KhopStep {
+  std::vector<std::uint32_t>& dist;
+  std::uint32_t level;
 
-BfsResult bfs(const CSRGraph& g, vid_t source, BfsMode mode) {
-  GA_CHECK(source < g.num_vertices(), "bfs: source out of range");
+  bool cond(vid_t v) const {
+    return std::atomic_ref<std::uint32_t>(dist[v])
+               .load(std::memory_order_relaxed) == kInfDist;
+  }
+  bool update(vid_t, vid_t v, float) {
+    dist[v] = level;
+    return true;
+  }
+  bool update_atomic(vid_t, vid_t v, float) {
+    std::uint32_t expected = kInfDist;
+    return std::atomic_ref<std::uint32_t>(dist[v]).compare_exchange_strong(
+        expected, level, std::memory_order_relaxed);
+  }
+};
+
+BfsResult bfs_impl(const CSRGraph& g, vid_t source,
+                   engine::TraversalOptions::Dir dir, bool parallel) {
   const vid_t n = g.num_vertices();
   BfsResult r = make_result(n);
   r.dist[source] = 0;
   r.parent[source] = source;
   r.reached = 1;
 
-  if (mode == BfsMode::kBottomUp || mode == BfsMode::kDirectionOptimizing) {
-    // Bottom-up needs in-neighbors on directed graphs.
-    const_cast<CSRGraph&>(g).ensure_transpose();
-  }
+  engine::TraversalOptions opts;
+  opts.direction = dir;
+  opts.parallel = parallel;
 
-  std::vector<vid_t> frontier{source}, next;
-  core::Bitmap fbm(n), nbm(n);
-  bool using_bitmap = false;
-  std::uint64_t frontier_edges = g.out_degree(source);
-  std::uint64_t frontier_count = 1;
-  // Beamer heuristics: switch down when the frontier's out-edges exceed
-  // (total arcs)/alpha; switch back up when the frontier shrinks below
-  // n/beta vertices.
-  constexpr std::uint64_t kAlpha = 14, kBeta = 24;
-
+  engine::Telemetry telem;
+  engine::Frontier frontier(n);
+  frontier.add(source);
   std::uint32_t level = 1;
-  while (frontier_count > 0) {
-    const bool want_bottom_up =
-        mode == BfsMode::kBottomUp ||
-        (mode == BfsMode::kDirectionOptimizing &&
-         frontier_edges * kAlpha > g.num_arcs() &&
-         frontier_count > n / kBeta);
-
-    if (want_bottom_up) {
-      if (!using_bitmap) {
-        fbm.reset();
-        for (vid_t u : frontier) fbm.set(u);
-        using_bitmap = true;
-      }
-      std::uint64_t next_count = 0;
-      bottom_up_step(g, fbm, nbm, r, level, next_count);
-      frontier_count = next_count;
-      r.reached += next_count;
-      frontier_edges = 0;  // unknown in bitmap form; forces re-evaluation
-    } else {
-      if (using_bitmap) {
-        // Rebuild the queue from the bitmap to go back top-down.
-        frontier.clear();
-        for (vid_t v = 0; v < n; ++v) {
-          if (fbm.get(v)) frontier.push_back(v);
-        }
-        using_bitmap = false;
-      }
-      next.clear();
-      top_down_step(g, frontier, next, r, level);
-      frontier.swap(next);
-      frontier_count = frontier.size();
-      r.reached += frontier_count;
-      frontier_edges = 0;
-      for (vid_t u : frontier) frontier_edges += g.out_degree(u);
-    }
+  while (!frontier.empty()) {
+    BfsStep step{r.dist, r.parent, level};
+    engine::Frontier next = engine::edge_map(g, frontier, step, opts, &telem);
+    r.reached += next.size();
+    frontier = std::move(next);
     ++level;
   }
+  r.edges_traversed = telem.total_edges();
+  r.steps = telem.steps();
   return r;
+}
+
+}  // namespace
+
+BfsResult bfs(const CSRGraph& g, vid_t source, BfsMode mode) {
+  GA_CHECK(source < g.num_vertices(), "bfs: source out of range");
+  using Dir = engine::TraversalOptions::Dir;
+  const Dir dir = mode == BfsMode::kTopDown    ? Dir::kPush
+                  : mode == BfsMode::kBottomUp ? Dir::kPull
+                                               : Dir::kAuto;
+  return bfs_impl(g, source, dir, /*parallel=*/false);
 }
 
 BfsResult bfs_parallel(const CSRGraph& g, vid_t source) {
   GA_CHECK(source < g.num_vertices(), "bfs_parallel: source out of range");
-  const vid_t n = g.num_vertices();
-  BfsResult r = make_result(n);
-  std::vector<std::atomic<vid_t>> parent(n);
-  for (vid_t v = 0; v < n; ++v) {
-    parent[v].store(kInvalidVid, std::memory_order_relaxed);
-  }
-  parent[source].store(source, std::memory_order_relaxed);
-  r.dist[source] = 0;
-
-  std::vector<vid_t> frontier{source};
-  std::atomic<std::uint64_t> traversed{0};
-  std::uint32_t level = 1;
-  while (!frontier.empty()) {
-    // Per-chunk local buffers spliced under a mutex at chunk end.
-    std::mutex splice_mu;
-    std::vector<vid_t> next;
-    std::function<void(std::uint64_t, std::uint64_t)> body =
-        [&](std::uint64_t b, std::uint64_t e) {
-          std::vector<vid_t> local;
-          std::uint64_t edges = 0;
-          for (std::uint64_t i = b; i < e; ++i) {
-            const vid_t u = frontier[i];
-            for (vid_t v : g.out_neighbors(u)) {
-              ++edges;
-              vid_t expected = kInvalidVid;
-              if (parent[v].compare_exchange_strong(
-                      expected, u, std::memory_order_relaxed)) {
-                local.push_back(v);
-              }
-            }
-          }
-          traversed.fetch_add(edges, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lk(splice_mu);
-          next.insert(next.end(), local.begin(), local.end());
-        };
-    core::ThreadPool::global().parallel_for(0, frontier.size(), 64, body);
-    for (vid_t v : next) r.dist[v] = level;
-    frontier.swap(next);
-    ++level;
-  }
-  r.edges_traversed = traversed.load();
-  r.reached = 0;
-  for (vid_t v = 0; v < n; ++v) {
-    r.parent[v] = parent[v].load(std::memory_order_relaxed);
-    if (r.parent[v] != kInvalidVid) ++r.reached;
-  }
-  return r;
+  return bfs_impl(g, source, engine::TraversalOptions::Dir::kPush,
+                  /*parallel=*/true);
 }
 
 std::uint32_t approx_diameter(const CSRGraph& g, vid_t start) {
@@ -200,27 +137,24 @@ std::vector<vid_t> khop_neighborhood(const CSRGraph& g,
                                      std::uint32_t depth) {
   const vid_t n = g.num_vertices();
   std::vector<std::uint32_t> dist(n, kInfDist);
-  std::vector<vid_t> frontier, next, out;
+  std::vector<vid_t> out;
+  engine::Frontier frontier(n);
   for (vid_t s : seeds) {
     GA_CHECK(s < n, "khop: seed out of range");
     if (dist[s] == kInfDist) {
       dist[s] = 0;
-      frontier.push_back(s);
+      frontier.add(s);
       out.push_back(s);
     }
   }
+  engine::TraversalOptions opts;
+  opts.direction = engine::TraversalOptions::Dir::kPush;
+  opts.parallel = false;
   for (std::uint32_t level = 1; level <= depth && !frontier.empty(); ++level) {
-    next.clear();
-    for (vid_t u : frontier) {
-      for (vid_t v : g.out_neighbors(u)) {
-        if (dist[v] == kInfDist) {
-          dist[v] = level;
-          next.push_back(v);
-          out.push_back(v);
-        }
-      }
-    }
-    frontier.swap(next);
+    KhopStep step{dist, level};
+    engine::Frontier next = engine::edge_map(g, frontier, step, opts);
+    next.for_each([&](vid_t v) { out.push_back(v); });
+    frontier = std::move(next);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -243,15 +177,15 @@ bool validate_bfs_tree(const CSRGraph& g, vid_t source, const BfsResult& r) {
       if (r.dist[v] != r.dist[p] + 1) return false;
       if (!g.has_edge(p, v)) return false;
     }
-    // Every edge spans at most one BFS level.
+    // Every arc v->w drops at most one level: dist[w] <= dist[v] + 1.
+    // (On undirected graphs the mirrored arc bounds the other direction;
+    // on directed graphs an arc back up to a shallower vertex is legal.)
     for (vid_t w : g.out_neighbors(v)) {
       if (r.dist[w] == kInfDist) {
-        // An unreached neighbor of a reached vertex is a contradiction on
-        // undirected graphs.
-        if (!g.directed()) return false;
-      } else if (r.dist[w] + 1 < r.dist[v]) {
+        // An unreached out-neighbor of a reached vertex is a contradiction.
         return false;
       }
+      if (r.dist[w] > r.dist[v] + 1) return false;
     }
   }
   return reached == r.reached;

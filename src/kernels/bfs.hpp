@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace ga::kernels {
@@ -20,6 +21,8 @@ struct BfsResult {
   std::vector<vid_t> parent;         // BFS tree parent; kInvalidVid if none
   std::uint64_t reached = 0;         // vertices reached (incl. source)
   std::uint64_t edges_traversed = 0; // arcs inspected (TEPS accounting)
+  /// Per-super-step engine telemetry (direction, edges, bytes, time).
+  std::vector<engine::StepStats> steps;
 };
 
 enum class BfsMode { kTopDown, kBottomUp, kDirectionOptimizing };

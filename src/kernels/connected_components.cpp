@@ -1,13 +1,41 @@
 #include "kernels/connected_components.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
+#include "engine/traversal.hpp"
 #include "kernels/bfs.hpp"
 
 namespace ga::kernels {
 
 namespace {
+
+/// Engine functor: v adopts u's label when smaller (min-label propagation).
+struct MinLabelStep {
+  std::vector<vid_t>& label;
+
+  bool cond(vid_t) const { return true; }
+  bool update(vid_t u, vid_t v, float) {
+    if (label[u] < label[v]) {
+      label[v] = label[u];
+      return true;
+    }
+    return false;
+  }
+  bool update_atomic(vid_t u, vid_t v, float) {
+    const vid_t lu =
+        std::atomic_ref<vid_t>(label[u]).load(std::memory_order_relaxed);
+    std::atomic_ref<vid_t> lv(label[v]);
+    vid_t cur = lv.load(std::memory_order_relaxed);
+    while (lu < cur) {
+      if (lv.compare_exchange_weak(cur, lu, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
 
 ComponentsResult finalize(std::vector<vid_t> label) {
   canonicalize_labels(label);
@@ -36,27 +64,29 @@ ComponentsResult wcc_label_propagation(const CSRGraph& g) {
   const vid_t n = g.num_vertices();
   std::vector<vid_t> label(n);
   for (vid_t v = 0; v < n; ++v) label[v] = v;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    // Hook: adopt the smaller neighbor label.
-    for (vid_t u = 0; u < n; ++u) {
-      for (vid_t v : g.out_neighbors(u)) {
-        if (label[v] < label[u]) {
-          label[u] = label[v];
-          changed = true;
-        } else if (label[u] < label[v]) {
-          label[v] = label[u];
-          changed = true;
-        }
-      }
+
+  // Min-label propagation on the engine: each round the frontier of
+  // vertices whose label just dropped pushes it to neighbors. Weak
+  // connectivity on a directed graph must flow labels both ways, so those
+  // rounds also run the transposed edge_map and union the output frontiers.
+  engine::Telemetry telem;
+  engine::TraversalOptions fwd;
+  engine::TraversalOptions rev;
+  rev.transpose = true;
+
+  engine::Frontier frontier = engine::Frontier::all(n);
+  while (!frontier.empty()) {
+    MinLabelStep step{label};
+    engine::Frontier next = engine::edge_map(g, frontier, step, fwd, &telem);
+    if (g.directed()) {
+      engine::Frontier back = engine::edge_map(g, frontier, step, rev, &telem);
+      next.merge(back);
     }
-    // Compress: pointer jumping until labels are fixpoints.
-    for (vid_t v = 0; v < n; ++v) {
-      while (label[label[v]] != label[v]) label[v] = label[label[v]];
-    }
+    frontier = std::move(next);
   }
-  return finalize(std::move(label));
+  ComponentsResult r = finalize(std::move(label));
+  r.steps = telem.steps();
+  return r;
 }
 
 ComponentsResult wcc_bfs(const CSRGraph& g) {

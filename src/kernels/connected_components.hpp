@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace ga::kernels {
@@ -18,6 +19,8 @@ struct ComponentsResult {
   std::vector<vid_t> label;       // component id per vertex (min vertex id)
   vid_t num_components = 0;
   vid_t largest_size = 0;
+  /// Per-super-step engine telemetry (wcc_label_propagation only).
+  std::vector<engine::StepStats> steps;
 };
 
 /// Shiloach–Vishkin style hook + compress label propagation.

@@ -2,47 +2,60 @@
 
 #include <algorithm>
 
+#include "engine/traversal.hpp"
+
 namespace ga::kernels {
 
-std::vector<std::uint32_t> core_numbers(const CSRGraph& g) {
+namespace {
+
+/// Engine functor for one peel wave: removing u costs each live neighbor v
+/// one degree; v joins the wave the moment it sinks to the threshold.
+struct PeelStep {
+  std::vector<std::uint32_t>& degree;
+  const std::vector<char>& removed;
+  std::uint32_t k;
+
+  bool cond(vid_t v) const { return !removed[v]; }
+  bool update(vid_t, vid_t v, float) {
+    if (degree[v] > 0) --degree[v];
+    return degree[v] <= k;
+  }
+  // Peeling is run serial (wave order is part of the invariant that
+  // degrees never sink below the current level before their wave).
+  bool update_atomic(vid_t u, vid_t v, float w) { return update(u, v, w); }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> core_numbers(const CSRGraph& g,
+                                        engine::Telemetry* telem) {
   GA_CHECK(!g.directed(), "k-core expects undirected graphs");
   const vid_t n = g.num_vertices();
   std::vector<std::uint32_t> degree(n), core(n, 0);
-  std::uint32_t max_deg = 0;
   for (vid_t v = 0; v < n; ++v) {
     degree[v] = static_cast<std::uint32_t>(g.out_degree(v));
-    max_deg = std::max(max_deg, degree[v]);
   }
-  // Bucket sort vertices by degree (Batagelj–Zaveršnik).
-  std::vector<vid_t> bin(max_deg + 2, 0), pos(n), vert(n);
-  for (vid_t v = 0; v < n; ++v) ++bin[degree[v] + 1];
-  for (std::uint32_t d = 1; d <= max_deg + 1; ++d) bin[d] += bin[d - 1];
-  for (vid_t v = 0; v < n; ++v) {
-    pos[v] = bin[degree[v]]++;
-    vert[pos[v]] = v;
-  }
-  // Restore bin starts.
-  for (std::uint32_t d = max_deg + 1; d >= 1; --d) bin[d] = bin[d - 1];
-  bin[0] = 0;
 
-  for (vid_t i = 0; i < n; ++i) {
-    const vid_t v = vert[i];
-    core[v] = degree[v];
-    for (vid_t u : g.out_neighbors(v)) {
-      if (degree[u] > degree[v]) {
-        // Move u one bucket down: swap with the first vertex of its bucket.
-        const vid_t du = degree[u];
-        const vid_t pu = pos[u];
-        const vid_t pw = bin[du];
-        const vid_t w = vert[pw];
-        if (u != w) {
-          std::swap(vert[pu], vert[pw]);
-          pos[u] = pw;
-          pos[w] = pu;
-        }
-        ++bin[du];
-        --degree[u];
-      }
+  // Julienne-style peeling on the engine: at level k, repeatedly peel the
+  // frontier of live vertices with degree <= k (each peel wave is one
+  // edge_map decrementing neighbor degrees) until none remain, then raise
+  // k. A vertex's core number is the level at which it was peeled.
+  std::vector<char> removed(n, 0);
+  engine::TraversalOptions opts;
+  opts.direction = engine::TraversalOptions::Dir::kPush;
+  opts.parallel = false;
+  std::uint64_t remaining = n;
+  for (std::uint32_t k = 0; remaining > 0; ++k) {
+    engine::Frontier frontier = engine::vertex_filter(
+        n, [&](vid_t v) { return !removed[v] && degree[v] <= k; });
+    while (!frontier.empty()) {
+      frontier.for_each([&](vid_t v) {
+        core[v] = k;
+        removed[v] = 1;
+      });
+      remaining -= frontier.size();
+      PeelStep step{degree, removed, k};
+      frontier = engine::edge_map(g, frontier, step, opts, telem);
     }
   }
   return core;

@@ -5,14 +5,18 @@
 
 #include <vector>
 
+#include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace ga::kernels {
 
 using graph::CSRGraph;
 
-/// Core number per vertex (Batagelj–Zaveršnik bucket peeling, O(m)).
-std::vector<std::uint32_t> core_numbers(const CSRGraph& g);
+/// Core number per vertex via engine peel waves (Julienne-style: one
+/// edge_map per wave of vertices sinking to the current level). `telem`
+/// (optional) collects per-wave StepStats.
+std::vector<std::uint32_t> core_numbers(const CSRGraph& g,
+                                        engine::Telemetry* telem = nullptr);
 
 /// Vertices in the k-core (sorted).
 std::vector<vid_t> kcore_members(const CSRGraph& g, std::uint32_t k);

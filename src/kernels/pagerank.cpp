@@ -1,24 +1,53 @@
 #include "kernels/pagerank.hpp"
 
+#include <atomic>
 #include <cmath>
 
-#include "core/thread_pool.hpp"
 #include "core/topk.hpp"
+#include "engine/traversal.hpp"
 
 namespace ga::kernels {
 
-PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts) {
-  const vid_t n = g.num_vertices();
-  PageRankResult r;
-  if (n == 0) return r;
-  const_cast<CSRGraph&>(g).ensure_transpose();
+namespace {
 
-  const double init = 1.0 / n;
-  std::vector<double> rank(n, init), next(n, 0.0);
+/// Engine functor for one power-iteration pull: fold rank/outdeg
+/// contributions into the per-vertex accumulator. Produces no frontier
+/// (update returns false; callers run with produce_output off) — the
+/// recurrence is dense, every vertex recomputes every iteration.
+struct PullContrib {
+  const std::vector<double>& contrib;
+  std::vector<double>& acc;
+
+  bool cond(vid_t) const { return true; }
+  bool update(vid_t u, vid_t v, float) {
+    acc[v] += contrib[u];
+    return false;
+  }
+  bool update_atomic(vid_t u, vid_t v, float) {
+    std::atomic_ref<double>(acc[v]).fetch_add(contrib[u],
+                                              std::memory_order_relaxed);
+    return false;
+  }
+};
+
+/// Shared power-iteration driver: `restart_mass(v)` is the teleport +
+/// dangling mass landing on v given the dangling total of the iteration.
+template <typename RestartFn>
+void power_iterate(const CSRGraph& g, const PageRankOptions& opts,
+                   std::vector<double>& rank, RestartFn&& restart_mass,
+                   PageRankResult& r) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> next(n, 0.0);
   std::vector<double> contrib(n, 0.0);  // rank[u]/outdeg[u], 0 for dangling
 
+  engine::Telemetry telem;
+  engine::TraversalOptions pull;
+  pull.direction = engine::TraversalOptions::Dir::kPull;
+  pull.produce_output = false;
+  engine::Frontier all = engine::Frontier::all(n);
+
   for (unsigned iter = 1; iter <= opts.max_iters; ++iter) {
-    // Dangling vertices spread their mass uniformly.
+    // Dangling vertices spread their mass via the restart distribution.
     double dangling = 0.0;
     for (vid_t u = 0; u < n; ++u) {
       const eid_t d = g.out_degree(u);
@@ -29,16 +58,16 @@ PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts) {
         contrib[u] = rank[u] / static_cast<double>(d);
       }
     }
-    const double base = (1.0 - opts.damping) / n + opts.damping * dangling / n;
 
-    core::parallel_for_each(0, n, 256, [&](std::uint64_t v) {
-      double sum = 0.0;
-      for (vid_t u : g.in_neighbors(static_cast<vid_t>(v))) sum += contrib[u];
-      next[v] = base + opts.damping * sum;
-    });
+    std::fill(next.begin(), next.end(), 0.0);
+    PullContrib step{contrib, next};
+    engine::edge_map(g, all, step, pull, &telem);
 
     double delta = 0.0;
-    for (vid_t v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    for (vid_t v = 0; v < n; ++v) {
+      next[v] = restart_mass(v, dangling) + opts.damping * next[v];
+      delta += std::abs(next[v] - rank[v]);
+    }
     rank.swap(next);
     r.iterations = iter;
     r.final_delta = delta;
@@ -47,6 +76,23 @@ PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts) {
       break;
     }
   }
+  r.steps = telem.steps();
+}
+
+}  // namespace
+
+PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts) {
+  const vid_t n = g.num_vertices();
+  PageRankResult r;
+  if (n == 0) return r;
+
+  std::vector<double> rank(n, 1.0 / n);
+  power_iterate(g, opts, rank,
+                [&](vid_t, double dangling) {
+                  return (1.0 - opts.damping) / n +
+                         opts.damping * dangling / n;
+                },
+                r);
   r.rank = std::move(rank);
   return r;
 }
@@ -58,7 +104,6 @@ PageRankResult personalized_pagerank(const CSRGraph& g,
   const vid_t n = g.num_vertices();
   PageRankResult r;
   if (n == 0) return r;
-  const_cast<CSRGraph&>(g).ensure_transpose();
 
   std::vector<double> restart(n, 0.0);
   for (vid_t s : seeds) {
@@ -66,35 +111,14 @@ PageRankResult personalized_pagerank(const CSRGraph& g,
     restart[s] += 1.0 / static_cast<double>(seeds.size());
   }
 
-  std::vector<double> rank = restart, next(n, 0.0), contrib(n, 0.0);
-  for (unsigned iter = 1; iter <= opts.max_iters; ++iter) {
-    double dangling = 0.0;
-    for (vid_t u = 0; u < n; ++u) {
-      const eid_t d = g.out_degree(u);
-      if (d == 0) {
-        dangling += rank[u];
-        contrib[u] = 0.0;
-      } else {
-        contrib[u] = rank[u] / static_cast<double>(d);
-      }
-    }
-    core::parallel_for_each(0, n, 256, [&](std::uint64_t v) {
-      double sum = 0.0;
-      for (vid_t u : g.in_neighbors(static_cast<vid_t>(v))) sum += contrib[u];
-      // Dangling mass and teleportation both return to the seed set.
-      next[v] = (1.0 - opts.damping + opts.damping * dangling) * restart[v] +
-                opts.damping * sum;
-    });
-    double delta = 0.0;
-    for (vid_t v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
-    rank.swap(next);
-    r.iterations = iter;
-    r.final_delta = delta;
-    if (delta < opts.tolerance) {
-      r.converged = true;
-      break;
-    }
-  }
+  std::vector<double> rank = restart;
+  power_iterate(g, opts, rank,
+                [&](vid_t v, double dangling) {
+                  // Dangling mass and teleportation both return to the seeds.
+                  return (1.0 - opts.damping + opts.damping * dangling) *
+                         restart[v];
+                },
+                r);
   r.rank = std::move(rank);
   return r;
 }

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace ga::kernels {
@@ -22,6 +23,8 @@ struct PageRankResult {
   unsigned iterations = 0;
   double final_delta = 0.0;
   bool converged = false;
+  /// Per-iteration engine telemetry (one pull super-step each).
+  std::vector<engine::StepStats> steps;
 };
 
 PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts = {});

@@ -1,7 +1,10 @@
 #include "kernels/sssp.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
+
+#include "engine/traversal.hpp"
 
 namespace ga::kernels {
 
@@ -17,6 +20,38 @@ SsspResult make_result(vid_t n) {
 float weight_of(const CSRGraph& g, vid_t u, std::size_t i) {
   return g.weighted() ? g.out_weights(u)[i] : 1.0f;
 }
+
+/// Engine functor: relax arc (u,v) and re-activate v on improvement.
+/// Weight-dependent, so callers force push (a directed transpose carries
+/// no weights).
+struct RelaxStep {
+  std::vector<float>& dist;
+  std::vector<vid_t>& parent;
+
+  bool cond(vid_t) const { return true; }
+  bool update(vid_t u, vid_t v, float w) {
+    const float nd = dist[u] + w;
+    if (nd < dist[v]) {
+      dist[v] = nd;
+      parent[v] = u;
+      return true;
+    }
+    return false;
+  }
+  bool update_atomic(vid_t u, vid_t v, float w) {
+    const float nd =
+        std::atomic_ref<float>(dist[u]).load(std::memory_order_relaxed) + w;
+    std::atomic_ref<float> dv(dist[v]);
+    float cur = dv.load(std::memory_order_relaxed);
+    while (nd < cur) {
+      if (dv.compare_exchange_weak(cur, nd, std::memory_order_relaxed)) {
+        std::atomic_ref<vid_t>(parent[v]).store(u, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+};
 
 }  // namespace
 
@@ -125,24 +160,23 @@ SsspResult bellman_ford(const CSRGraph& g, vid_t source) {
   SsspResult r = make_result(n);
   r.dist[source] = 0.0f;
   r.parent[source] = source;
-  bool changed = true;
-  for (vid_t round = 0; round < n && changed; ++round) {
-    changed = false;
-    for (vid_t u = 0; u < n; ++u) {
-      if (r.dist[u] == kInfWeight) continue;
-      const auto nbrs = g.out_neighbors(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const vid_t v = nbrs[i];
-        const float w = weight_of(g, u, i);
-        ++r.relaxations;
-        if (r.dist[u] + w < r.dist[v]) {
-          r.dist[v] = r.dist[u] + w;
-          r.parent[v] = u;
-          changed = true;
-        }
-      }
-    }
+
+  // Frontier Bellman-Ford (SPFA): only vertices whose distance improved
+  // last round relax their out-arcs. Level-synchronous, so it converges in
+  // at most n-1 super-steps on nonnegative weights, same as the dense form.
+  engine::TraversalOptions opts;
+  opts.direction = engine::TraversalOptions::Dir::kPush;
+  opts.parallel = false;
+  engine::Telemetry telem;
+  engine::Frontier frontier(n);
+  frontier.add(source);
+  for (vid_t round = 0; round < n && !frontier.empty(); ++round) {
+    RelaxStep step{r.dist, r.parent};
+    engine::Frontier next = engine::edge_map(g, frontier, step, opts, &telem);
+    frontier = std::move(next);
   }
+  r.relaxations = telem.total_edges();
+  r.steps = telem.steps();
   return r;
 }
 

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace ga::kernels {
@@ -18,6 +19,9 @@ struct SsspResult {
   std::vector<float> dist;    // kInfWeight if unreached
   std::vector<vid_t> parent;  // kInvalidVid if none
   std::uint64_t relaxations = 0;
+  /// Per-super-step engine telemetry (bellman_ford only; the PQ/bucket
+  /// engines are not level-synchronous and record nothing).
+  std::vector<engine::StepStats> steps;
 };
 
 /// Exact Dijkstra; requires nonnegative weights (unweighted graphs use 1).

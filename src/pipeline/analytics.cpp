@@ -53,14 +53,15 @@ AnalyticRegistry AnalyticRegistry::with_builtins() {
     }
     put_column(sub, "an_degree", deg);
     return AnalyticOutput{sub.num_vertices() ? total / sub.num_vertices() : 0.0,
-                          "an_degree"};
+                          "an_degree",
+                          {}};
   });
   r.register_analytic("pagerank", [](ExtractedSubgraph& sub) {
-    const auto pr = kernels::pagerank(sub.graph());
+    auto pr = kernels::pagerank(sub.graph());
     put_column(sub, "an_pagerank", pr.rank);
     const double mx =
         pr.rank.empty() ? 0.0 : *std::max_element(pr.rank.begin(), pr.rank.end());
-    return AnalyticOutput{mx, "an_pagerank"};
+    return AnalyticOutput{mx, "an_pagerank", std::move(pr.steps)};
   });
   r.register_analytic("clustering", [](ExtractedSubgraph& sub) {
     const auto cc = kernels::local_clustering(sub.graph());
@@ -68,7 +69,7 @@ AnalyticRegistry AnalyticRegistry::with_builtins() {
     double mean = 0.0;
     for (double c : cc) mean += c;
     if (!cc.empty()) mean /= static_cast<double>(cc.size());
-    return AnalyticOutput{mean, "an_clustering"};
+    return AnalyticOutput{mean, "an_clustering", {}};
   });
   r.register_analytic("triangles", [](ExtractedSubgraph& sub) {
     const auto per = kernels::triangle_counts_per_vertex(sub.graph());
@@ -76,10 +77,11 @@ AnalyticRegistry AnalyticRegistry::with_builtins() {
     put_column(sub, "an_triangles", dper);
     return AnalyticOutput{
         static_cast<double>(kernels::triangle_count_node_iterator(sub.graph())),
-        "an_triangles"};
+        "an_triangles",
+        {}};
   });
   r.register_analytic("component_size", [](ExtractedSubgraph& sub) {
-    const auto comp = kernels::wcc_union_find(sub.graph());
+    auto comp = kernels::wcc_label_propagation(sub.graph());
     std::vector<vid_t> size_of(sub.num_vertices(), 0);
     for (vid_t v = 0; v < sub.num_vertices(); ++v) ++size_of[comp.label[v]];
     std::vector<double> out(sub.num_vertices());
@@ -88,15 +90,16 @@ AnalyticRegistry AnalyticRegistry::with_builtins() {
     }
     put_column(sub, "an_component_size", out);
     return AnalyticOutput{static_cast<double>(comp.num_components),
-                          "an_component_size"};
+                          "an_component_size", std::move(comp.steps)};
   });
   r.register_analytic("core_number", [](ExtractedSubgraph& sub) {
-    const auto core = kernels::core_numbers(sub.graph());
+    engine::Telemetry telem;
+    const auto core = kernels::core_numbers(sub.graph(), &telem);
     std::vector<double> out(core.begin(), core.end());
     put_column(sub, "an_core_number", out);
     double mx = 0.0;
     for (double c : out) mx = std::max(mx, c);
-    return AnalyticOutput{mx, "an_core_number"};
+    return AnalyticOutput{mx, "an_core_number", telem.steps()};
   });
   return r;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/telemetry.hpp"
 #include "pipeline/extraction.hpp"
 
 namespace ga::pipeline {
@@ -17,6 +18,9 @@ namespace ga::pipeline {
 struct AnalyticOutput {
   double scalar = 0.0;          // graph-level summary (Fig. 1 "global value")
   std::string column_written;   // property column created (empty if none)
+  /// Engine super-step telemetry, for analytics that run on the traversal
+  /// engine (pagerank, component_size, core_number); empty otherwise.
+  std::vector<engine::StepStats> steps;
 };
 
 using Analytic = std::function<AnalyticOutput(ExtractedSubgraph&)>;

@@ -78,10 +78,13 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
   // Stage 6: batch analytic on the extracted subgraph.
   timer.restart();
   const AnalyticRegistry registry = AnalyticRegistry::with_builtins();
-  const AnalyticOutput an = registry.run(opts.analytic, sub);
+  AnalyticOutput an = registry.run(opts.analytic, sub);
   out.analytic_scalar = an.scalar;
-  out.timings.push_back({"analytic:" + opts.analytic, timer.seconds(),
-                         "scalar=" + std::to_string(an.scalar)});
+  out.analytic_steps = std::move(an.steps);
+  out.timings.push_back(
+      {"analytic:" + opts.analytic, timer.seconds(),
+       "scalar=" + std::to_string(an.scalar) + ", " +
+           std::to_string(out.analytic_steps.size()) + " engine steps"});
 
   // Stage 7: property write-back into the persistent store.
   timer.restart();

@@ -37,6 +37,9 @@ struct BatchFlowResult {
   std::vector<vid_t> seeds;
   vid_t extracted_vertices = 0;
   double analytic_scalar = 0.0;
+  /// Engine super-step telemetry of the batch analytic (empty when the
+  /// analytic does not run on the traversal engine).
+  std::vector<engine::StepStats> analytic_steps;
 };
 
 struct BatchFlowOptions {

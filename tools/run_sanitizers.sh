@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sanitizer sweep for the traversal engine and tier-1 tests:
+#   1. ASan+UBSan build running the full ctest suite.
+#   2. TSan build running the BFS / connected-components / engine /
+#      thread-pool tests (the code with parallel engine paths).
+# Each sanitizer gets its own build tree under build-san/ so the regular
+# build/ directory is never polluted. Exits nonzero on the first failure.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== [asan-ubsan] configure + build (-fsanitize=address,undefined) ==="
+ASAN_DIR="$ROOT/build-san/asan-ubsan"
+cmake -B "$ASAN_DIR" -S "$ROOT" -DGA_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$ASAN_DIR" -j "$JOBS" > /dev/null
+echo "=== [asan-ubsan] full ctest ==="
+(cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS")
+
+echo "=== [tsan] configure + build (-fsanitize=thread) ==="
+TSAN_DIR="$ROOT/build-san/tsan"
+cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$TSAN_DIR" -j "$JOBS" --target ga_tests > /dev/null
+echo "=== [tsan] parallel-path tests ==="
+"$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
+
+echo "All sanitizer suites passed."
