@@ -45,8 +45,11 @@ int main() {
   std::printf("selection -> %zu seeds; extraction -> %u vertices; analytic=%.4f\n\n",
               r.seeds.size(), r.extracted_vertices, r.analytic_scalar);
 
-  // --- streaming path: new records arriving in real time ---
+  // --- streaming path: new records arriving in real time, behind the
+  // resilient ingest gate (validation -> quarantine, staged apply) ---
   std::printf("--- streaming path ---\n");
+  StreamResilienceOptions ropts;
+  flow.set_stream_resilience(ropts);
   core::Xoshiro256 rng(99);
   core::PercentileSketch ingest_us, query_us;
   std::size_t triggers = 0;
@@ -62,12 +65,19 @@ int main() {
     rec.address_id = static_cast<std::uint32_t>(
         rng.next_below(corpus.num_addresses));
     rec.ts = static_cast<std::int64_t>(1000000 + i);
+    // A real firehose carries malformed records; let a few through so the
+    // dead-letter quarantine has something to show.
+    if (i % 251 == 13) rec.last_name.clear();
+    if (i % 401 == 57) rec.address_id = corpus.num_addresses + 1;
     t.restart();
     triggers += flow.ingest_streaming(rec) ? 1 : 0;
     ingest_us.add(t.micros());
   }
-  std::printf("ingested %zu streaming records: %zu threshold triggers\n",
-              kIngest, triggers);
+  std::printf("ingested %zu streaming records: %zu threshold triggers, "
+              "%llu quarantined\n",
+              kIngest, triggers,
+              static_cast<unsigned long long>(
+                  flow.dead_letters().total_quarantined()));
   std::printf("ingest latency us: p50=%.1f p95=%.1f p99=%.1f\n",
               ingest_us.percentile(0.5), ingest_us.percentile(0.95),
               ingest_us.percentile(0.99));
@@ -85,6 +95,14 @@ int main() {
   std::printf("query latency us: p50=%.1f p95=%.1f p99=%.1f\n",
               query_us.percentile(0.5), query_us.percentile(0.95),
               query_us.percentile(0.99));
+
+  // Per-stage failure/degradation telemetry — the resilience counterpart
+  // of the batch stage table above.
+  std::printf("\n--- streaming resilience health ---\n");
+  for (const auto& h : flow.stream_health()) {
+    std::printf("  %-22s %8.1f ms  %s\n", h.stage.c_str(), h.seconds * 1e3,
+                h.detail.c_str());
+  }
   std::printf(
       "\n(The streaming query path answers per-applicant relationship\n"
       "questions directly, removing the weekly precompute — §III.)\n");

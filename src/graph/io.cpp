@@ -32,10 +32,15 @@ std::vector<Edge> read_edge_list_text(std::istream& is) {
     if (!(ls >> e.u >> e.v)) {
       throw Error("malformed edge list line: " + line);
     }
-    ls >> e.w;  // optional
+    if (!(ls >> e.w)) ls.clear();  // weight is optional
+    std::string trailing;
+    if (ls >> trailing) {
+      throw Error("malformed edge list line (trailing tokens): " + line);
+    }
     e.ts = static_cast<std::int64_t>(edges.size());
     edges.push_back(e);
   }
+  GA_CHECK(!is.bad(), "edge list read error (stream bad)");
   return edges;
 }
 
@@ -50,17 +55,33 @@ void write_edge_list_binary(std::ostream& os, const std::vector<Edge>& edges) {
 std::vector<Edge> read_edge_list_binary(std::istream& is) {
   char magic[8];
   is.read(magic, sizeof(magic));
-  GA_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+  GA_CHECK(is.gcount() == sizeof(magic) &&
+               std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
            "bad binary edge list magic");
   std::uint64_t m = 0;
   is.read(reinterpret_cast<char*>(&m), sizeof(m));
-  GA_CHECK(is.good(), "truncated binary edge list header");
-  std::vector<Edge> edges(m);
-  is.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(m * sizeof(Edge)));
-  GA_CHECK(is.good() || (is.eof() && is.gcount() ==
-                                         static_cast<std::streamsize>(m * sizeof(Edge))),
-           "truncated binary edge list body");
+  GA_CHECK(is.gcount() == sizeof(m), "truncated binary edge list header");
+  // Read in bounded chunks so a corrupted header count fails on the first
+  // missing chunk instead of attempting one enormous upfront allocation,
+  // and so a truncated file never yields a partially-filled edge list.
+  constexpr std::uint64_t kChunkEdges = 1u << 16;
+  std::vector<Edge> edges;
+  std::uint64_t remaining = m;
+  while (remaining > 0) {
+    const std::uint64_t take = remaining < kChunkEdges ? remaining : kChunkEdges;
+    const std::size_t base = edges.size();
+    edges.resize(base + take);
+    is.read(reinterpret_cast<char*>(edges.data() + base),
+            static_cast<std::streamsize>(take * sizeof(Edge)));
+    GA_CHECK(is.gcount() == static_cast<std::streamsize>(take * sizeof(Edge)),
+             "truncated binary edge list body: header claims " +
+                 std::to_string(m) + " edges, file holds " +
+                 std::to_string(base + static_cast<std::size_t>(
+                                           is.gcount() / sizeof(Edge))));
+    remaining -= take;
+  }
+  GA_CHECK(is.peek() == std::char_traits<char>::eof(),
+           "trailing bytes after binary edge list body");
   return edges;
 }
 

@@ -1,9 +1,12 @@
 #include "graph/property_table.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <istream>
 #include <ostream>
+
+#include "core/hash.hpp"
 
 namespace ga::graph {
 
@@ -158,7 +161,11 @@ void put_str(std::ostream& os, const std::string& s) {
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 std::string get_str(std::istream& is) {
-  std::string s(get_u64(is), '\0');
+  const std::uint64_t len = get_u64(is);
+  // Length sanity: a corrupt or truncated stream must produce ga::Error,
+  // not a multi-GB allocation attempt (std::bad_alloc / length_error).
+  GA_CHECK(len <= (1ULL << 30), "property table: implausible string length");
+  std::string s(len, '\0');
   is.read(s.data(), static_cast<std::streamsize>(s.size()));
   GA_CHECK(is.good() || s.empty(), "property table: truncated string");
   return s;
@@ -196,6 +203,7 @@ PropertyTable PropertyTable::deserialize(std::istream& is) {
            "property table: bad magic");
   PropertyTable out(get_u64(is));
   const std::uint64_t ncols = get_u64(is);
+  GA_CHECK(ncols <= (1ULL << 24), "property table: implausible column count");
   for (std::uint64_t i = 0; i < ncols; ++i) {
     const std::string name = get_str(is);
     const std::uint64_t type = get_u64(is);
@@ -225,6 +233,33 @@ PropertyTable PropertyTable::deserialize(std::istream& is) {
     GA_CHECK(!is.fail(), "property table: truncated column");
   }
   return out;
+}
+
+std::uint64_t PropertyTable::digest() const {
+  std::uint64_t h = core::fnv1a("gaprops");
+  h = core::hash_combine(h, rows_);
+  h = core::hash_combine(h, columns_.size());
+  for (const auto& [name, col] : columns_) {
+    h = core::hash_combine(h, core::fnv1a(name));
+    h = core::hash_combine(h, col.index());
+    std::visit(
+        [&](const auto& c) {
+          using C = std::decay_t<decltype(c)>;
+          if constexpr (std::is_same_v<C, StringCol>) {
+            for (const auto& s : c) h = core::hash_combine(h, core::fnv1a(s));
+          } else if constexpr (std::is_same_v<C, DoubleCol>) {
+            for (const double v : c) {
+              h = core::hash_combine(h, std::bit_cast<std::uint64_t>(v));
+            }
+          } else {
+            for (const std::int64_t v : c) {
+              h = core::hash_combine(h, static_cast<std::uint64_t>(v));
+            }
+          }
+        },
+        col);
+  }
+  return h;
 }
 
 }  // namespace ga::graph

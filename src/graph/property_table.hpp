@@ -69,6 +69,11 @@ class PropertyTable {
   void serialize(std::ostream& os) const;
   static PropertyTable deserialize(std::istream& is);
 
+  /// Order-sensitive content digest over rows, column names/types, and
+  /// every value (doubles by bit pattern). Used by the resilience layer to
+  /// verify that WAL recovery reproduces property state exactly.
+  std::uint64_t digest() const;
+
  private:
   Column& column(const std::string& name);
   const Column& column(const std::string& name) const;

@@ -1,6 +1,8 @@
 #include "pipeline/flow.hpp"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "core/timer.hpp"
 
@@ -106,33 +108,111 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
 bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
   GA_CHECK(store_ != nullptr && inline_dedup_ != nullptr, "run_batch first");
   core::WallTimer timer;
-  const std::size_t before = inline_dedup_->entities().size();
-  const std::uint64_t eid = inline_dedup_->ingest(rec);
-  const Entity& e = inline_dedup_->entities()[eid];
+
+  // Validation gate (resilient path): malformed records are quarantined
+  // with a reason instead of corrupting the store or crashing the loop.
+  if (resilience_on_ && res_opts_.validate) {
+    std::string reason = validate_record(rec, store_->num_addresses());
+    if (!reason.empty()) {
+      stream_timings_.push_back(
+          {"ingest", timer.seconds(), "quarantined:" + reason});
+      dead_letters_.quarantine(rec, std::move(reason), rec.ts);
+      return false;
+    }
+  }
+
+  // Stage 1: inline dedup + store apply. Injected faults fire before any
+  // mutation, so a retry replays cleanly.
+  const auto apply_record = [&]() -> vid_t {
+    const std::uint64_t eid = inline_dedup_->ingest(rec);
+    const Entity& e = inline_dedup_->entities()[eid];
+    if (eid >= entity_vertex_.size()) {
+      // Brand-new streaming entity: new person vertex.
+      const vid_t v = store_->add_person(e, rec.ts);
+      entity_vertex_.push_back(v);
+      return v;
+    }
+    const vid_t v = static_cast<vid_t>(entity_vertex_[eid]);
+    store_->add_residency(v, rec.address_id, rec.ts);
+    return v;
+  };
 
   vid_t person;
-  if (eid >= entity_vertex_.size()) {
-    // Brand-new streaming entity: new person vertex.
-    person = store_->add_person(e, rec.ts);
-    entity_vertex_.push_back(person);
+  if (resilience_on_) {
+    const auto ap = stream_exec_.run<vid_t>("ingest_apply", apply_record,
+                                            res_opts_.stage);
+    if (!ap.ok) {
+      ++stream_dropped_;
+      stream_timings_.push_back({"ingest", timer.seconds(), "dropped"});
+      dead_letters_.quarantine(rec, "ingest-exhausted:" + ap.error, rec.ts);
+      return false;
+    }
+    person = ap.value;
   } else {
-    person = static_cast<vid_t>(entity_vertex_[eid]);
-    store_->add_residency(person, rec.address_id, rec.ts);
+    person = apply_record();
   }
-  (void)before;
 
-  // Threshold test: does this update create a qualifying relationship?
-  // Only the touched person needs rechecking (the paper's "simply adding
-  // more validity to a pre-identified relationship needs no more
-  // processing" guard is the count comparison against the stored column).
-  const auto rels = nora_query(*store_, person, nora_opts_);
+  // Stage 2 — threshold test: does this update create a qualifying
+  // relationship? Only the touched person needs rechecking (the paper's
+  // "simply adding more validity to a pre-identified relationship needs no
+  // more processing" guard is the count comparison against the stored
+  // column). Under the executor the full NORA re-analytic may degrade to a
+  // cheap co-resident estimate; degraded counts never write columns.
+  struct TriggerEval {
+    double count = 0.0;
+    std::vector<Relationship> rels;
+  };
+  const auto full_eval = [&]() -> TriggerEval {
+    auto rels = nora_query(*store_, person, nora_opts_);
+    return TriggerEval{static_cast<double>(rels.size()), std::move(rels)};
+  };
+
   auto& col = store_->properties().doubles("nora_relationships");
   const double prev = col[person];
-  const double now = static_cast<double>(rels.size());
   bool triggered = false;
-  if (now > prev) {
-    col[person] = now;
-    for (const Relationship& rel : rels) {
+  bool degraded = false;
+  TriggerEval ev;
+
+  if (resilience_on_) {
+    const auto tr = stream_exec_.run<TriggerEval>(
+        "trigger_nora", full_eval,
+        [&]() -> TriggerEval {
+          // Degraded approximation: distinct co-residents across the
+          // person's addresses — an upper bound on qualifying NORA
+          // relationships that needs no pairwise scoring.
+          double co = 0.0;
+          for (const vid_t av : store_->addresses_of(person)) {
+            const auto d = store_->graph().degree(av);
+            co += d > 0 ? static_cast<double>(d - 1) : 0.0;
+          }
+          return TriggerEval{co, {}};
+        },
+        res_opts_.stage);
+    if (!tr.ok) {
+      // Record is applied but the threshold test failed outright; the next
+      // full boil reconciles. Count it so telemetry shows the gap.
+      ++stream_dropped_;
+      stream_timings_.push_back(
+          {"ingest", timer.seconds(), "applied;threshold-failed"});
+      return false;
+    }
+    ev = tr.value;
+    degraded = tr.degraded;
+  } else {
+    ev = full_eval();
+  }
+
+  if (degraded) {
+    // Approximate threshold test only — no column writes (the estimate
+    // over-counts; writing it back would poison later exact comparisons).
+    if (ev.count > prev) {
+      ++stream_triggers_;
+      ++stream_degraded_;
+      triggered = true;
+    }
+  } else if (ev.count > prev) {
+    col[person] = ev.count;
+    for (const Relationship& rel : ev.rels) {
       const vid_t other = rel.a == person ? rel.b : rel.a;
       auto others = nora_query(*store_, other, nora_opts_);
       col[other] = static_cast<double>(others.size());
@@ -140,9 +220,62 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
     ++stream_triggers_;
     triggered = true;
   }
-  stream_timings_.push_back({"ingest", timer.seconds(),
-                             triggered ? "triggered" : "absorbed"});
+  stream_timings_.push_back(
+      {"ingest", timer.seconds(),
+       triggered ? (degraded ? "triggered-degraded" : "triggered")
+                 : "absorbed"});
   return triggered;
+}
+
+void CanonicalFlow::set_stream_resilience(const StreamResilienceOptions& opts) {
+  resilience_on_ = true;
+  res_opts_ = opts;
+  stream_exec_.set_fault_injector(opts.faults);
+  dead_letters_ =
+      resilience::DeadLetterQueue<RawRecord>(opts.dead_letter_capacity);
+}
+
+StreamIngestReport CanonicalFlow::run_stream(
+    const std::vector<RawRecord>& records,
+    const resilience::QueueOptions& qopts) {
+  GA_CHECK(store_ != nullptr && inline_dedup_ != nullptr, "run_batch first");
+  StreamIngestReport out;
+  const std::uint64_t triggers0 = stream_triggers_;
+  const std::uint64_t dropped0 = stream_dropped_;
+  const std::uint64_t quarantined0 = dead_letters_.total_quarantined();
+  resilience::IngestQueue<RawRecord> queue(qopts);
+  core::WallTimer timer;
+  std::thread producer([&] {
+    for (const RawRecord& r : records) queue.push(r);
+    queue.close();
+  });
+  while (auto rec = queue.pop()) {
+    ingest_streaming(*rec);
+    ++out.ingested;
+  }
+  producer.join();
+  out.seconds = timer.seconds();
+  out.queue = queue.stats();
+  out.triggered = stream_triggers_ - triggers0;
+  out.dropped = static_cast<std::size_t>(stream_dropped_ - dropped0);
+  out.quarantined =
+      static_cast<std::size_t>(dead_letters_.total_quarantined() - quarantined0);
+  return out;
+}
+
+std::vector<StageTiming> CanonicalFlow::stream_health() const {
+  std::vector<StageTiming> out;
+  for (const resilience::StageHealth& h : stream_exec_.health()) {
+    out.push_back({"health:" + h.stage, h.total_ms / 1000.0,
+                   resilience::format_stage_health(h)});
+  }
+  std::string dl = std::to_string(dead_letters_.total_quarantined()) +
+                   " quarantined";
+  for (const auto& [reason, n] : dead_letters_.by_reason()) {
+    dl += ", " + reason + "=" + std::to_string(n);
+  }
+  out.push_back({"health:dead_letter", 0.0, dl});
+  return out;
 }
 
 std::vector<Relationship> CanonicalFlow::query(vid_t person) const {

@@ -19,6 +19,9 @@
 #include "pipeline/nora.hpp"
 #include "pipeline/record.hpp"
 #include "pipeline/selection.hpp"
+#include "resilience/dead_letter.hpp"
+#include "resilience/ingest_queue.hpp"
+#include "resilience/retry.hpp"
 
 namespace ga::pipeline {
 
@@ -50,6 +53,32 @@ struct BatchFlowOptions {
   std::string analytic = "pagerank";
 };
 
+/// Resilience policy for the streaming ingest path. When enabled (via
+/// CanonicalFlow::set_stream_resilience), malformed records are quarantined
+/// instead of silently absorbed, and the per-record stages (inline dedup +
+/// store apply, NORA threshold re-analytic) run under a StageExecutor's
+/// retry + deadline policy, consulting an optional FaultInjector. When the
+/// full NORA re-analytic exhausts its retries or misses its deadline, the
+/// threshold test degrades to a cheap co-resident estimate that never
+/// writes property columns (the next full pass reconciles).
+struct StreamResilienceOptions {
+  bool validate = true;
+  resilience::StageOptions stage;
+  /// Not owned; may be nullptr. Must outlive the flow's streaming use.
+  resilience::FaultInjector* faults = nullptr;
+  std::size_t dead_letter_capacity = 4096;
+};
+
+/// Outcome of a backpressured streaming run (run_stream).
+struct StreamIngestReport {
+  resilience::QueueStats queue;
+  std::size_t ingested = 0;     // records popped and offered to the store
+  std::size_t quarantined = 0;  // records parked in the dead-letter queue
+  std::size_t dropped = 0;      // records whose ingest stage exhausted
+  std::uint64_t triggered = 0;  // NORA threshold crossings in this run
+  double seconds = 0.0;
+};
+
 class CanonicalFlow {
  public:
   /// Runs the full batch path over a corpus; the store persists in the
@@ -65,11 +94,36 @@ class CanonicalFlow {
   /// Streaming query: real-time NORA relationships for a person vertex.
   std::vector<Relationship> query(vid_t person) const;
 
+  /// Enable the fault-tolerant streaming path (validation → quarantine,
+  /// staged ingest with retry/deadline/degradation). Call before ingesting.
+  void set_stream_resilience(const StreamResilienceOptions& opts);
+
+  /// Backpressured streaming run: a producer thread offers `records` into a
+  /// bounded IngestQueue under `qopts` while the calling thread pops and
+  /// ingests — Fig. 2's record firehose decoupled from the apply loop.
+  StreamIngestReport run_stream(const std::vector<RawRecord>& records,
+                                const resilience::QueueOptions& qopts = {});
+
   GraphStore& store();
   const std::vector<StageTiming>& streaming_timings() const {
     return stream_timings_;
   }
   std::uint64_t streaming_triggers() const { return stream_triggers_; }
+  std::uint64_t streaming_degraded() const { return stream_degraded_; }
+  std::uint64_t streaming_dropped() const { return stream_dropped_; }
+
+  /// StageTiming-style failure/degradation telemetry for the streaming
+  /// path: one line per executor stage plus a dead-letter summary — the
+  /// resilience counterpart of streaming_timings(), printed by the fig2
+  /// bench alongside the batch stage table.
+  std::vector<StageTiming> stream_health() const;
+
+  resilience::DeadLetterQueue<RawRecord>& dead_letters() {
+    return dead_letters_;
+  }
+  const resilience::DeadLetterQueue<RawRecord>& dead_letters() const {
+    return dead_letters_;
+  }
 
  private:
   std::unique_ptr<GraphStore> store_;
@@ -78,6 +132,12 @@ class CanonicalFlow {
   NoraOptions nora_opts_;
   std::vector<StageTiming> stream_timings_;
   std::uint64_t stream_triggers_ = 0;
+  std::uint64_t stream_degraded_ = 0;  // threshold tests served degraded
+  std::uint64_t stream_dropped_ = 0;   // records lost to exhausted stages
+  bool resilience_on_ = false;
+  StreamResilienceOptions res_opts_;
+  resilience::StageExecutor stream_exec_;
+  resilience::DeadLetterQueue<RawRecord> dead_letters_;
 };
 
 }  // namespace ga::pipeline

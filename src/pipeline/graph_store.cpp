@@ -1,10 +1,13 @@
 #include "pipeline/graph_store.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+
+#include "core/hash.hpp"
 
 namespace ga::pipeline {
 
@@ -73,6 +76,37 @@ GraphStore::GraphStore(vid_t num_people, vid_t num_addresses,
 
 namespace {
 constexpr char kStoreMagic[8] = {'G', 'A', 'S', 'T', 'O', 'R', '0', '1'};
+}
+
+std::uint64_t GraphStore::content_digest() const {
+  std::uint64_t h = core::fnv1a("gastore");
+  h = core::hash_combine(h, num_people_);
+  h = core::hash_combine(h, num_addresses_);
+  h = core::hash_combine(h, g_.num_vertices());
+  h = core::hash_combine(h, g_.num_edges());
+  struct Arc {
+    vid_t v;
+    float w;
+    std::int64_t ts;
+  };
+  std::vector<Arc> arcs;
+  for (vid_t u = 0; u < g_.num_vertices(); ++u) {
+    arcs.clear();
+    g_.for_each_neighbor(u, [&](vid_t v, float w, std::int64_t ts) {
+      arcs.push_back({v, w, ts});
+    });
+    // Sort by neighbor so the digest is independent of edge-block layout
+    // (a recovered store replays inserts in a different physical order).
+    std::sort(arcs.begin(), arcs.end(),
+              [](const Arc& a, const Arc& b) { return a.v < b.v; });
+    h = core::hash_combine(h, arcs.size());
+    for (const Arc& a : arcs) {
+      h = core::hash_combine(h, a.v);
+      h = core::hash_combine(h, std::bit_cast<std::uint32_t>(a.w));
+      h = core::hash_combine(h, static_cast<std::uint64_t>(a.ts));
+    }
+  }
+  return core::hash_combine(h, props_.digest());
 }
 
 void GraphStore::save(std::ostream& os) const {

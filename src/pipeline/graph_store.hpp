@@ -63,6 +63,13 @@ class GraphStore {
   /// Distinct addresses of a person (sorted vertex ids of address class).
   std::vector<vid_t> addresses_of(vid_t person) const;
 
+  /// Content digest over vertex counts, adjacency (neighbor-sorted, so the
+  /// physical edge-block layout doesn't matter), weights, timestamps, and
+  /// all property columns. Two stores with equal digests hold identical
+  /// logical state — the recovery invariant checked by the resilience
+  /// layer (snapshot + WAL replay must reproduce this exactly).
+  std::uint64_t content_digest() const;
+
   /// Binary persistence — the Fig. 2 store outlives any single analytic.
   void save(std::ostream& os) const;
   static GraphStore load(std::istream& is);

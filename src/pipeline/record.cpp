@@ -158,6 +158,25 @@ double name_similarity(const std::string& a, const std::string& b) {
   return 1.0 - static_cast<double>(d) / static_cast<double>(len);
 }
 
+std::string validate_record(const RawRecord& rec,
+                            std::uint32_t num_addresses) {
+  if (rec.last_name.empty()) return "empty-last-name";
+  if (rec.address_id >= num_addresses) return "bad-address";
+  if (rec.birth_year != 0 && (rec.birth_year < 1850 || rec.birth_year > 2100)) {
+    return "bad-birth-year";
+  }
+  if (!rec.ssn.empty()) {
+    if (rec.ssn.size() != 9) return "bad-ssn";
+    for (const char c : rec.ssn) {
+      if (c < '0' || c > '9') return "bad-ssn";
+    }
+  }
+  if (rec.credit_score < 0.0 || rec.credit_score > 1000.0) {
+    return "bad-credit-score";
+  }
+  return {};
+}
+
 std::string blocking_code(const std::string& name) {
   if (name.empty()) return "?";
   std::string code(1, static_cast<char>(std::tolower(name[0])));

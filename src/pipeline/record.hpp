@@ -62,4 +62,10 @@ double name_similarity(const std::string& a, const std::string& b);
 /// Soundex stand-in, stable and dependency-free).
 std::string blocking_code(const std::string& name);
 
+/// Ingest validation for the streaming path: returns an empty string when
+/// the record is well-formed, else a short reason ("empty-last-name",
+/// "bad-address", ...). Records that fail go to the dead-letter quarantine
+/// instead of corrupting the store or crashing the apply loop.
+std::string validate_record(const RawRecord& rec, std::uint32_t num_addresses);
+
 }  // namespace ga::pipeline

@@ -1,0 +1,67 @@
+// Dead-letter quarantine: records that fail validation or dedup are parked
+// here with a reason instead of today's silent acceptance or crash. Bounded
+// (oldest entries drop when full, counted), drainable for reprocessing, and
+// it keeps a per-reason histogram so the fig2 bench can print *why* records
+// were rejected. Single-consumer by design — the streaming apply loop owns
+// it (the bounded IngestQueue is the cross-thread boundary).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ga::resilience {
+
+template <typename T>
+class DeadLetterQueue {
+ public:
+  struct Entry {
+    T item;
+    std::string reason;
+    std::int64_t ts = 0;
+  };
+
+  explicit DeadLetterQueue(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void quarantine(T item, std::string reason, std::int64_t ts) {
+    ++total_;
+    ++by_reason_[reason];
+    entries_.push_back(Entry{std::move(item), std::move(reason), ts});
+    if (entries_.size() > capacity_) {
+      entries_.pop_front();
+      ++dropped_oldest_;
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  /// Remove and return everything (reprocessing after a fix).
+  std::vector<Entry> drain() {
+    std::vector<Entry> out(std::make_move_iterator(entries_.begin()),
+                           std::make_move_iterator(entries_.end()));
+    entries_.clear();
+    return out;
+  }
+
+  /// Total ever quarantined (including entries since dropped or drained).
+  std::uint64_t total_quarantined() const { return total_; }
+  std::uint64_t dropped_oldest() const { return dropped_oldest_; }
+  const std::map<std::string, std::uint64_t>& by_reason() const {
+    return by_reason_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+  std::map<std::string, std::uint64_t> by_reason_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_oldest_ = 0;
+};
+
+}  // namespace ga::resilience

@@ -1,0 +1,341 @@
+#include "resilience/durable_store.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/hash.hpp"
+
+namespace ga::resilience {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'G', 'A', 'R', 'S', 'N', 'A', 'P', '1'};
+
+// --- bounds-checked byte codec for StoreOp payloads -------------------------
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  std::vector<char> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  std::vector<char> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t len) : p_(data), end_(data + len) {}
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+  double f64() { return get<double>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    GA_CHECK(static_cast<std::size_t>(end_ - p_) >= n,
+             "store op: truncated string");
+    std::string s(p_, p_ + n);
+    p_ += n;
+    return s;
+  }
+  bool done() const { return p_ == end_; }
+
+ private:
+  template <typename T>
+  T get() {
+    GA_CHECK(static_cast<std::size_t>(end_ - p_) >= sizeof(T),
+             "store op: truncated payload");
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+StoreOp StoreOp::add_person(pipeline::Entity e, std::int64_t ts) {
+  StoreOp op;
+  op.kind = Kind::kAddPerson;
+  op.entity = std::move(e);
+  op.ts = ts;
+  return op;
+}
+
+StoreOp StoreOp::add_residency(vid_t person, std::uint32_t address_id,
+                               std::int64_t ts) {
+  StoreOp op;
+  op.kind = Kind::kAddResidency;
+  op.person = person;
+  op.address_id = address_id;
+  op.ts = ts;
+  return op;
+}
+
+StoreOp StoreOp::set_double(vid_t row, std::string column, double value) {
+  StoreOp op;
+  op.kind = Kind::kSetDouble;
+  op.person = row;
+  op.column = std::move(column);
+  op.value = value;
+  return op;
+}
+
+std::vector<char> encode_op(const StoreOp& op) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op.kind));
+  switch (op.kind) {
+    case StoreOp::Kind::kAddPerson: {
+      const pipeline::Entity& e = op.entity;
+      w.u64(e.entity_id);
+      w.str(e.first_name);
+      w.str(e.last_name);
+      w.str(e.ssn);
+      w.u32(e.birth_year);
+      w.f64(e.credit_score);
+      w.u32(static_cast<std::uint32_t>(e.addresses.size()));
+      for (const std::uint32_t a : e.addresses) w.u32(a);
+      w.u32(static_cast<std::uint32_t>(e.record_ids.size()));
+      for (const std::uint64_t r : e.record_ids) w.u64(r);
+      w.u64(e.true_person);
+      w.i64(op.ts);
+      break;
+    }
+    case StoreOp::Kind::kAddResidency:
+      w.u32(op.person);
+      w.u32(op.address_id);
+      w.i64(op.ts);
+      break;
+    case StoreOp::Kind::kSetDouble:
+      w.u32(op.person);
+      w.str(op.column);
+      w.f64(op.value);
+      break;
+  }
+  return w.take();
+}
+
+StoreOp decode_op(const char* data, std::size_t len) {
+  ByteReader r(data, len);
+  StoreOp op;
+  const std::uint8_t kind = r.u8();
+  GA_CHECK(kind <= static_cast<std::uint8_t>(StoreOp::Kind::kSetDouble),
+           "store op: unknown kind");
+  op.kind = static_cast<StoreOp::Kind>(kind);
+  switch (op.kind) {
+    case StoreOp::Kind::kAddPerson: {
+      pipeline::Entity& e = op.entity;
+      e.entity_id = r.u64();
+      e.first_name = r.str();
+      e.last_name = r.str();
+      e.ssn = r.str();
+      e.birth_year = r.u32();
+      e.credit_score = r.f64();
+      const std::uint32_t na = r.u32();
+      GA_CHECK(na <= len, "store op: implausible address count");
+      e.addresses.resize(na);
+      for (auto& a : e.addresses) a = r.u32();
+      const std::uint32_t nr = r.u32();
+      GA_CHECK(nr <= len, "store op: implausible record count");
+      e.record_ids.resize(nr);
+      for (auto& rid : e.record_ids) rid = r.u64();
+      e.true_person = r.u64();
+      op.ts = r.i64();
+      break;
+    }
+    case StoreOp::Kind::kAddResidency:
+      op.person = r.u32();
+      op.address_id = r.u32();
+      op.ts = r.i64();
+      break;
+    case StoreOp::Kind::kSetDouble:
+      op.person = r.u32();
+      op.column = r.str();
+      op.value = r.f64();
+      break;
+  }
+  GA_CHECK(r.done(), "store op: trailing bytes");
+  return op;
+}
+
+void apply_op(pipeline::GraphStore& store, const StoreOp& op) {
+  switch (op.kind) {
+    case StoreOp::Kind::kAddPerson:
+      store.add_person(op.entity, op.ts);
+      break;
+    case StoreOp::Kind::kAddResidency:
+      store.add_residency(op.person, op.address_id, op.ts);
+      break;
+    case StoreOp::Kind::kSetDouble: {
+      auto& props = store.properties();
+      if (!props.has_column(op.column)) props.add_double_column(op.column);
+      auto& col = props.doubles(op.column);
+      GA_CHECK(op.person < col.size(), "store op: row out of range");
+      col[op.person] = op.value;
+      break;
+    }
+  }
+}
+
+std::string DurableGraphStore::snapshot_path(const std::string& dir) {
+  return dir + "/snapshot.gas";
+}
+
+std::string DurableGraphStore::wal_path(const std::string& dir) {
+  return dir + "/wal.log";
+}
+
+DurableGraphStore::DurableGraphStore(pipeline::GraphStore store,
+                                     DurabilityOptions opts)
+    : DurableGraphStore(std::move(store), std::move(opts), /*seq=*/0,
+                        /*fresh=*/true) {}
+
+DurableGraphStore::DurableGraphStore(pipeline::GraphStore store,
+                                     DurabilityOptions opts, std::uint64_t seq,
+                                     bool fresh)
+    : store_(std::move(store)), opts_(std::move(opts)), seq_(seq) {
+  GA_CHECK(!opts_.dir.empty(), "durable store: empty directory");
+  std::filesystem::create_directories(opts_.dir);
+  stats_.last_seq = seq_;
+  if (fresh) {
+    write_snapshot();
+    open_wal(/*truncate=*/true);
+  } else {
+    open_wal(/*truncate=*/false);
+  }
+}
+
+void DurableGraphStore::write_snapshot() {
+  // Stage to a tmp file, then atomically rename over the live snapshot so
+  // a crash mid-write never loses the previous checkpoint.
+  std::ostringstream body(std::ios::binary);
+  store_.save(body);
+  const std::string bytes = body.str();
+  const std::uint32_t crc = core::crc32(bytes.data(), bytes.size());
+
+  const std::string tmp = snapshot_path(opts_.dir) + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    GA_CHECK(os.good(), "durable store: cannot open " + tmp);
+    os.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+    const std::uint64_t seq = seq_;
+    const std::uint64_t nbytes = bytes.size();
+    os.write(reinterpret_cast<const char*>(&seq), sizeof(seq));
+    os.write(reinterpret_cast<const char*>(&nbytes), sizeof(nbytes));
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    GA_CHECK(os.good(), "durable store: snapshot write failed");
+  }
+  std::filesystem::rename(tmp, snapshot_path(opts_.dir));
+}
+
+void DurableGraphStore::open_wal(bool truncate) {
+  wal_ = std::make_unique<WalWriter>(wal_path(opts_.dir), truncate,
+                                     opts_.group_commit_bytes);
+}
+
+void DurableGraphStore::apply(const StoreOp& op) {
+  const std::vector<char> payload = encode_op(op);
+  wal_->append(++seq_, payload.data(), payload.size());
+  if (opts_.flush_each_append) wal_->flush();
+  apply_op(store_, op);
+  ++stats_.ops_applied;
+  stats_.last_seq = seq_;
+  stats_.wal_records = wal_->stats().records_appended;
+  stats_.wal_bytes = wal_->stats().bytes_appended;
+  if (opts_.checkpoint_every > 0 &&
+      ++ops_since_checkpoint_ >= opts_.checkpoint_every) {
+    checkpoint();
+  }
+}
+
+void DurableGraphStore::flush() { wal_->flush(); }
+
+void DurableGraphStore::checkpoint() {
+  wal_->flush();
+  write_snapshot();
+  // Truncating the WAL only after the snapshot rename is durable; a crash
+  // between the two leaves already-snapshotted records in the log, which
+  // recovery skips by sequence number.
+  open_wal(/*truncate=*/true);
+  ++stats_.checkpoints;
+  ops_since_checkpoint_ = 0;
+}
+
+DurableGraphStore DurableGraphStore::recover(DurabilityOptions opts,
+                                             RecoverReport* report,
+                                             CorruptionPolicy policy) {
+  RecoverReport local;
+  RecoverReport& rep = report != nullptr ? *report : local;
+  rep = RecoverReport{};
+
+  const std::string snap_path = snapshot_path(opts.dir);
+  std::ifstream is(snap_path, std::ios::binary);
+  GA_CHECK(is.good(), "durable store: no snapshot at " + snap_path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  GA_CHECK(is.good() && std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0,
+           "durable store: bad snapshot magic");
+  std::uint64_t seq = 0, nbytes = 0;
+  std::uint32_t crc = 0;
+  is.read(reinterpret_cast<char*>(&seq), sizeof(seq));
+  is.read(reinterpret_cast<char*>(&nbytes), sizeof(nbytes));
+  is.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  GA_CHECK(is.good(), "durable store: truncated snapshot header");
+  GA_CHECK(nbytes <= (1ULL << 34), "durable store: implausible snapshot size");
+  std::string bytes(nbytes, '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(nbytes));
+  GA_CHECK(is.good() || (is.eof() && is.gcount() ==
+                                         static_cast<std::streamsize>(nbytes)),
+           "durable store: truncated snapshot body");
+  GA_CHECK(core::crc32(bytes.data(), bytes.size()) == crc,
+           "durable store: snapshot CRC mismatch");
+  std::istringstream body(bytes, std::ios::binary);
+  pipeline::GraphStore store = pipeline::GraphStore::load(body);
+  rep.snapshot_seq = seq;
+
+  // Replay the WAL suffix, skipping records already in the snapshot.
+  const std::string wp = wal_path(opts.dir);
+  WalScanResult scan = scan_wal(wp, policy);
+  rep.torn_tail = scan.torn_tail;
+  rep.torn_bytes = scan.torn_bytes;
+  rep.corrupt_records = scan.corrupt_records;
+  std::uint64_t max_seq = seq;
+  for (const WalRecord& rec : scan.records) {
+    if (rec.seq <= seq) {
+      ++rep.skipped_pre_snapshot;
+      continue;
+    }
+    apply_op(store, decode_op(rec.payload.data(), rec.payload.size()));
+    ++rep.replayed;
+    max_seq = rec.seq;
+  }
+  // Cut the torn/untrusted tail so post-recovery appends extend a clean log.
+  if (scan.torn_bytes > 0 && std::filesystem::exists(wp)) {
+    std::filesystem::resize_file(wp, scan.bytes_valid);
+  }
+
+  DurableGraphStore out(std::move(store), std::move(opts), max_seq,
+                        /*fresh=*/false);
+  out.stats_.ops_applied = rep.replayed;
+  return out;
+}
+
+}  // namespace ga::resilience

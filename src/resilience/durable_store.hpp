@@ -1,0 +1,137 @@
+// WAL + snapshot checkpointing for the persistent GraphStore (Fig. 2's
+// center). Every applied StoreOp is framed into the WAL before it mutates
+// the store; periodic snapshots compact the log. Recovery loads the newest
+// snapshot and replays the WAL suffix — sequence numbers embedded in both
+// make replay idempotent across the checkpoint crash window (snapshot
+// renamed but WAL not yet truncated → records with seq <= snapshot seq are
+// skipped, never double-applied).
+//
+// Directory layout (all under DurabilityOptions::dir):
+//   snapshot.gas      [magic][u64 last_seq][u64 nbytes][u32 crc][store bytes]
+//   snapshot.gas.tmp  staging file; atomically renamed over snapshot.gas
+//   wal.log           framed StoreOps (see wal.hpp)
+//
+// Recovery invariant (tested by the crash sweep in test_resilience.cpp):
+// for any prefix of the op stream that reached flush(), recover() yields a
+// store whose content_digest() equals a store that applied the same prefix
+// uninterrupted; continuing the remaining ops yields the digest of the
+// uninterrupted full run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/graph_store.hpp"
+#include "resilience/wal.hpp"
+
+namespace ga::resilience {
+
+/// Logical store mutation — the WAL record payload. Mirrors the streaming
+/// path's post-dedup effects on GraphStore (so replay is deterministic and
+/// independent of dedup state).
+struct StoreOp {
+  enum class Kind : std::uint8_t {
+    kAddPerson = 0,    // entity, ts
+    kAddResidency = 1, // person, address_id, ts
+    kSetDouble = 2,    // column, person (row), value
+  };
+  Kind kind = Kind::kAddResidency;
+  pipeline::Entity entity;
+  vid_t person = 0;
+  std::uint32_t address_id = 0;
+  std::int64_t ts = 0;
+  std::string column;
+  double value = 0.0;
+
+  static StoreOp add_person(pipeline::Entity e, std::int64_t ts);
+  static StoreOp add_residency(vid_t person, std::uint32_t address_id,
+                               std::int64_t ts);
+  static StoreOp set_double(vid_t row, std::string column, double value);
+};
+
+/// Byte (de)serialization of one op. decode throws ga::Error on malformed
+/// payloads (defense against WAL corruption that passes CRC — e.g. a
+/// truncated record accepted by a buggy writer).
+std::vector<char> encode_op(const StoreOp& op);
+StoreOp decode_op(const char* data, std::size_t len);
+
+/// Apply one op to a store (creates missing double columns for kSetDouble).
+void apply_op(pipeline::GraphStore& store, const StoreOp& op);
+
+struct DurabilityOptions {
+  std::string dir;
+  /// Automatic checkpoint after this many ops (0 = manual checkpoints only).
+  std::uint64_t checkpoint_every = 0;
+  /// Flush the group-commit buffer after every append (maximum durability,
+  /// maximum cost; benches measure the difference).
+  bool flush_each_append = false;
+  std::size_t group_commit_bytes = 64 * 1024;
+};
+
+struct DurabilityStats {
+  std::uint64_t ops_applied = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t last_seq = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+};
+
+struct RecoverReport {
+  std::uint64_t snapshot_seq = 0;
+  std::uint64_t replayed = 0;             // WAL records applied
+  std::uint64_t skipped_pre_snapshot = 0; // seq <= snapshot seq (idempotence)
+  std::uint64_t corrupt_records = 0;
+  bool torn_tail = false;
+  std::uint64_t torn_bytes = 0;           // bytes truncated off the WAL
+};
+
+class DurableGraphStore {
+ public:
+  /// Start a fresh durable store in `opts.dir` (created if missing): writes
+  /// the initial snapshot and an empty WAL.
+  DurableGraphStore(pipeline::GraphStore store, DurabilityOptions opts);
+
+  DurableGraphStore(DurableGraphStore&&) = default;
+
+  /// Rebuild from `opts.dir`: newest snapshot + WAL suffix replay. Torn
+  /// tails are truncated; corrupt records end the replay (kStop) or throw
+  /// (kThrow). The returned store is ready for further apply() calls.
+  static DurableGraphStore recover(
+      DurabilityOptions opts, RecoverReport* report = nullptr,
+      CorruptionPolicy policy = CorruptionPolicy::kStop);
+
+  /// Log-then-apply one op; may auto-checkpoint (see options).
+  void apply(const StoreOp& op);
+
+  /// Make everything appended so far durable (group-commit flush).
+  void flush();
+
+  /// Snapshot the store and truncate the WAL.
+  void checkpoint();
+
+  pipeline::GraphStore& store() { return store_; }
+  const pipeline::GraphStore& store() const { return store_; }
+  std::uint64_t content_digest() const { return store_.content_digest(); }
+  const DurabilityStats& stats() const { return stats_; }
+  const DurabilityOptions& options() const { return opts_; }
+
+  static std::string snapshot_path(const std::string& dir);
+  static std::string wal_path(const std::string& dir);
+
+ private:
+  DurableGraphStore(pipeline::GraphStore store, DurabilityOptions opts,
+                    std::uint64_t seq, bool fresh);
+  void write_snapshot();
+  void open_wal(bool truncate);
+
+  pipeline::GraphStore store_;
+  DurabilityOptions opts_;
+  DurabilityStats stats_;
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t seq_ = 0;             // last applied (and logged) sequence
+  std::uint64_t ops_since_checkpoint_ = 0;
+};
+
+}  // namespace ga::resilience

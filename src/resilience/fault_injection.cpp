@@ -1,0 +1,64 @@
+#include "resilience/fault_injection.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/prng.hpp"
+
+namespace ga::resilience {
+
+FaultPlan FaultPlan::scattered_throws(std::uint64_t seed,
+                                      const std::string& stage,
+                                      std::uint64_t calls,
+                                      std::uint64_t count) {
+  GA_CHECK(count <= calls, "scattered_throws: more faults than calls");
+  core::Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> picked;
+  while (picked.size() < count) picked.insert(1 + rng.next_below(calls));
+  std::vector<std::uint64_t> sorted(picked.begin(), picked.end());
+  std::sort(sorted.begin(), sorted.end());
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const std::uint64_t n : sorted) {
+    FaultSpec s;
+    s.kind = FaultSpec::Kind::kThrow;
+    s.stage = stage;
+    s.nth = n;
+    s.message = "injected fault (seed " + std::to_string(seed) + ", call " +
+                std::to_string(n) + ")";
+    plan.specs.push_back(std::move(s));
+  }
+  return plan;
+}
+
+double FaultInjector::on_call(std::string_view stage) {
+  const std::uint64_t index = ++calls_[std::string(stage)];
+  double latency = 0.0;
+  for (const FaultSpec& s : plan_.specs) {
+    if (!s.stage.empty() && s.stage != stage) continue;
+    const bool hit = (s.nth != 0 && index == s.nth) ||
+                     (s.every_n != 0 && index % s.every_n == 0);
+    if (!hit) continue;
+    if (s.kind == FaultSpec::Kind::kThrow) {
+      ++injected_throws_;
+      throw InjectedFault(s.message + " [stage " + std::string(stage) +
+                          " call " + std::to_string(index) + "]");
+    }
+    ++injected_latency_events_;
+    latency += s.latency_ms;
+  }
+  return latency;
+}
+
+std::uint64_t FaultInjector::calls(std::string_view stage) const {
+  const auto it = calls_.find(std::string(stage));
+  return it == calls_.end() ? 0 : it->second;
+}
+
+void FaultInjector::reset() {
+  calls_.clear();
+  injected_throws_ = 0;
+  injected_latency_events_ = 0;
+}
+
+}  // namespace ga::resilience

@@ -1,0 +1,188 @@
+// Bounded ingest queue with backpressure — the buffer between update-stream
+// producers and the streaming apply loop (Fig. 2's left-hand path). Three
+// overflow policies:
+//  * kBlock:  producers wait for space (lossless backpressure),
+//  * kShed:   offers beyond capacity are dropped and counted (load shedding),
+//  * kSample: above the high watermark only a deterministic, seeded fraction
+//             of offers is kept (graceful degradation under overload; the
+//             kept subset is reproducible for a fixed seed + offer order).
+// Watermark crossings (rising past high, falling to low) invoke an optional
+// callback outside the lock so consumers can throttle sources or emit
+// telemetry without deadlocking.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "core/common.hpp"
+#include "core/hash.hpp"
+
+namespace ga::resilience {
+
+enum class OverflowPolicy : std::uint8_t { kBlock, kShed, kSample };
+
+struct QueueOptions {
+  std::size_t capacity = 1024;
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  /// kSample: probability of keeping an offer while above the high
+  /// watermark. Deterministic per (seed, offer index).
+  double sample_keep = 0.5;
+  std::uint64_t seed = 1;
+  /// 0 = default to 3/4 (high) and 1/4 (low) of capacity.
+  std::size_t high_watermark = 0;
+  std::size_t low_watermark = 0;
+};
+
+struct QueueStats {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t shed = 0;          // kShed drops (queue full)
+  std::uint64_t sampled_out = 0;   // kSample drops (above high watermark)
+  std::uint64_t blocked_pushes = 0;  // kBlock pushes that had to wait
+  std::uint64_t high_events = 0;   // rising crossings of the high watermark
+  std::uint64_t low_events = 0;    // falling returns to the low watermark
+  std::size_t max_depth = 0;
+};
+
+/// `fn(true)` on rising high-watermark crossing, `fn(false)` on the fall
+/// back to the low watermark.
+using WatermarkCallback = std::function<void(bool high)>;
+
+template <typename T>
+class IngestQueue {
+ public:
+  explicit IngestQueue(QueueOptions opts = {}) : opts_(opts) {
+    GA_CHECK(opts_.capacity > 0, "ingest queue: zero capacity");
+    if (opts_.high_watermark == 0 || opts_.high_watermark > opts_.capacity) {
+      opts_.high_watermark = std::max<std::size_t>(1, opts_.capacity * 3 / 4);
+    }
+    if (opts_.low_watermark == 0 || opts_.low_watermark >= opts_.high_watermark) {
+      opts_.low_watermark = opts_.capacity / 4;
+    }
+  }
+
+  void set_watermark_callback(WatermarkCallback fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    watermark_cb_ = std::move(fn);
+  }
+
+  /// Offer one item. Returns false if the item was shed or sampled out.
+  /// kBlock never returns false (it waits); pushing to a closed queue is a
+  /// caller bug.
+  bool push(T item) {
+    bool fire_high = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      GA_CHECK(!closed_, "ingest queue: push after close");
+      const std::uint64_t offer = ++stats_.offered;
+      switch (opts_.policy) {
+        case OverflowPolicy::kBlock:
+          if (q_.size() >= opts_.capacity) {
+            ++stats_.blocked_pushes;
+            not_full_.wait(lk, [&] { return q_.size() < opts_.capacity; });
+          }
+          break;
+        case OverflowPolicy::kShed:
+          if (q_.size() >= opts_.capacity) {
+            ++stats_.shed;
+            return false;
+          }
+          break;
+        case OverflowPolicy::kSample:
+          if (q_.size() >= opts_.high_watermark) {
+            // Deterministic coin: same seed + offer order => same kept set.
+            const double coin =
+                static_cast<double>(core::mix64(opts_.seed ^ offer) >> 11) *
+                0x1.0p-53;
+            if (q_.size() >= opts_.capacity || coin >= opts_.sample_keep) {
+              ++stats_.sampled_out;
+              return false;
+            }
+          }
+          break;
+      }
+      q_.push_back(std::move(item));
+      ++stats_.accepted;
+      stats_.max_depth = std::max(stats_.max_depth, q_.size());
+      if (!above_high_ && q_.size() >= opts_.high_watermark) {
+        above_high_ = true;
+        ++stats_.high_events;
+        fire_high = true;
+      }
+    }
+    not_empty_.notify_one();
+    if (fire_high) fire_watermark(true);
+    return true;
+  }
+
+  /// Pop the next item; blocks until one is available or the queue is
+  /// closed and drained (then returns nullopt).
+  std::optional<T> pop() {
+    bool fire_low = false;
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+      if (q_.empty()) return std::nullopt;
+      out.emplace(std::move(q_.front()));
+      q_.pop_front();
+      ++stats_.popped;
+      if (above_high_ && q_.size() <= opts_.low_watermark) {
+        above_high_ = false;
+        ++stats_.low_events;
+        fire_low = true;
+      }
+    }
+    not_full_.notify_one();
+    if (fire_low) fire_watermark(false);
+    return out;
+  }
+
+  /// Producers are done: pop() drains the remainder then returns nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+  QueueStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  const QueueOptions& options() const { return opts_; }
+
+ private:
+  void fire_watermark(bool high) {
+    WatermarkCallback cb;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      cb = watermark_cb_;
+    }
+    if (cb) cb(high);
+  }
+
+  QueueOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<T> q_;
+  QueueStats stats_;
+  WatermarkCallback watermark_cb_;
+  bool above_high_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace ga::resilience

@@ -1,0 +1,57 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace ga::resilience {
+
+double StageExecutor::backoff_ms(const RetryPolicy& p,
+                                 unsigned failed_attempts) {
+  double delay = p.base_delay_ms;
+  for (unsigned i = 1; i < failed_attempts; ++i) delay *= p.backoff_multiplier;
+  return std::min(delay, p.max_delay_ms);
+}
+
+void StageExecutor::sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  if (sleep_fn_) {
+    sleep_fn_(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+StageHealth& StageExecutor::health_for(const std::string& stage) {
+  for (auto& h : health_) {
+    if (h.stage == stage) return h;
+  }
+  health_.push_back(StageHealth{});
+  health_.back().stage = stage;
+  return health_.back();
+}
+
+const StageHealth* StageExecutor::health_for_stage(
+    const std::string& stage) const {
+  for (const auto& h : health_) {
+    if (h.stage == stage) return &h;
+  }
+  return nullptr;
+}
+
+std::string format_stage_health(const StageHealth& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "calls=%llu attempts=%llu failures=%llu retries=%llu "
+                "deadline_misses=%llu degraded=%llu exhausted=%llu",
+                static_cast<unsigned long long>(h.calls),
+                static_cast<unsigned long long>(h.attempts),
+                static_cast<unsigned long long>(h.failures),
+                static_cast<unsigned long long>(h.retries),
+                static_cast<unsigned long long>(h.deadline_misses),
+                static_cast<unsigned long long>(h.degraded),
+                static_cast<unsigned long long>(h.exhausted));
+  return buf;
+}
+
+}  // namespace ga::resilience

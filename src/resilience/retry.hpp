@@ -1,0 +1,155 @@
+// Per-stage deadline + retry-with-exponential-backoff wrappers for the
+// triggered extraction→analytic path. A StageExecutor runs a named stage
+// through a retry policy, consults a FaultInjector at each attempt, and on
+// persistent failure or a missed deadline degrades to a caller-supplied
+// fallback (typically the incremental approximation of the full analytic).
+// Injected latency is VIRTUAL: it advances the deadline clock without
+// sleeping, so deadline-degradation behavior is deterministic under a
+// fixed fault plan regardless of host timing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/timer.hpp"
+#include "resilience/fault_injection.hpp"
+
+namespace ga::resilience {
+
+struct RetryPolicy {
+  unsigned max_attempts = 3;
+  double base_delay_ms = 1.0;      // backoff before attempt 2
+  double backoff_multiplier = 2.0;
+  double max_delay_ms = 100.0;
+};
+
+struct StageOptions {
+  RetryPolicy retry;
+  /// Wall-clock + injected-latency budget per attempt; 0 = no deadline.
+  double deadline_ms = 0.0;
+};
+
+/// Cumulative per-stage health counters — the failure/degradation
+/// counterpart of engine::StepStats, surfaced by CanonicalFlow telemetry.
+struct StageHealth {
+  std::string stage;
+  std::uint64_t calls = 0;            // run() invocations
+  std::uint64_t attempts = 0;         // primary executions (incl. retries)
+  std::uint64_t failures = 0;         // attempts that threw
+  std::uint64_t retries = 0;          // failures that were retried
+  std::uint64_t deadline_misses = 0;  // attempts over budget
+  std::uint64_t degraded = 0;         // calls resolved by the fallback
+  std::uint64_t exhausted = 0;        // calls that failed with no fallback
+  double total_ms = 0.0;              // wall time across attempts
+};
+
+template <typename R>
+struct StageResult {
+  bool ok = false;
+  bool degraded = false;        // value came from the fallback
+  bool deadline_missed = false;
+  unsigned attempts = 0;
+  R value{};
+  std::string error;            // last failure, when !ok or degraded
+};
+
+class StageExecutor {
+ public:
+  explicit StageExecutor(FaultInjector* faults = nullptr) : faults_(faults) {}
+
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
+
+  /// Override the backoff sleeper (tests pass a no-op or a virtual clock).
+  void set_sleep_fn(std::function<void(double ms)> fn) {
+    sleep_fn_ = std::move(fn);
+  }
+
+  /// Run `primary` under retry + deadline; on exhaustion or deadline miss
+  /// fall back to `fallback` (degraded result). `fallback` may be a
+  /// nullptr-like std::function to signal "no fallback".
+  template <typename R>
+  StageResult<R> run(const std::string& stage, const std::function<R()>& primary,
+                     const std::function<R()>& fallback,
+                     const StageOptions& opts = {}) {
+    StageHealth& h = health_for(stage);
+    ++h.calls;
+    StageResult<R> out;
+    core::WallTimer stage_timer;
+    for (unsigned attempt = 1; attempt <= opts.retry.max_attempts; ++attempt) {
+      out.attempts = attempt;
+      ++h.attempts;
+      double injected_ms = 0.0;
+      try {
+        if (faults_ != nullptr) injected_ms = faults_->on_call(stage);
+        core::WallTimer t;
+        R value = primary();
+        const double elapsed_ms = t.millis() + injected_ms;
+        if (opts.deadline_ms > 0.0 && elapsed_ms > opts.deadline_ms) {
+          ++h.deadline_misses;
+          out.deadline_missed = true;
+          out.error = "deadline missed: " + std::to_string(elapsed_ms) +
+                      "ms > " + std::to_string(opts.deadline_ms) + "ms";
+          break;  // straight to degradation — retrying won't get faster
+        }
+        out.ok = true;
+        out.value = std::move(value);
+        h.total_ms += stage_timer.millis();
+        return out;
+      } catch (const std::exception& e) {
+        ++h.failures;
+        out.error = e.what();
+        if (attempt < opts.retry.max_attempts) {
+          ++h.retries;
+          sleep_ms(backoff_ms(opts.retry, attempt));
+        }
+      }
+    }
+    // Primary exhausted (or over deadline): degrade if we can.
+    if (fallback) {
+      try {
+        out.value = fallback();
+        out.ok = true;
+        out.degraded = true;
+        ++h.degraded;
+        h.total_ms += stage_timer.millis();
+        return out;
+      } catch (const std::exception& e) {
+        out.error = std::string("fallback failed: ") + e.what();
+      }
+    }
+    ++h.exhausted;
+    h.total_ms += stage_timer.millis();
+    return out;
+  }
+
+  /// No-fallback convenience.
+  template <typename R>
+  StageResult<R> run(const std::string& stage, const std::function<R()>& primary,
+                     const StageOptions& opts = {}) {
+    return run<R>(stage, primary, std::function<R()>(), opts);
+  }
+
+  /// Per-stage health in first-use order.
+  const std::vector<StageHealth>& health() const { return health_; }
+  const StageHealth* health_for_stage(const std::string& stage) const;
+  void reset_health() { health_.clear(); }
+
+  static double backoff_ms(const RetryPolicy& p, unsigned failed_attempts);
+
+ private:
+  StageHealth& health_for(const std::string& stage);
+  void sleep_ms(double ms);
+
+  FaultInjector* faults_ = nullptr;
+  std::function<void(double)> sleep_fn_;
+  std::vector<StageHealth> health_;
+};
+
+/// One StageTiming-style line per stage: "calls=.. retries=.. ...".
+std::string format_stage_health(const StageHealth& h);
+
+}  // namespace ga::resilience

@@ -1,0 +1,210 @@
+#include "resilience/wal.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "core/hash.hpp"
+
+namespace ga::resilience {
+
+namespace {
+constexpr std::size_t kFrameHeader = detail::kWalFrameHeader;
+constexpr std::size_t kSeqBytes = detail::kWalSeqBytes;
+}  // namespace
+
+WalWriter::WalWriter(const std::string& path, bool truncate,
+                     std::size_t group_commit_bytes, bool async_drain)
+    : path_(path),
+      os_(path, std::ios::binary | (truncate ? std::ios::trunc : std::ios::app)),
+      buf_cap_(group_commit_bytes + 4096),
+      group_commit_bytes_(group_commit_bytes),
+      async_(async_drain) {
+  GA_CHECK(os_.good(), "wal: cannot open " + path);
+  buf_ = std::make_unique<char[]>(buf_cap_);
+  if (async_) {
+    spare_ = std::make_unique<char[]>(buf_cap_);
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+}
+
+WalWriter::~WalWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best-effort; a crash here is the torn-tail case
+    // recovery is built to handle.
+  }
+  if (async_) {
+    {
+      std::lock_guard<std::mutex> lk(wmu_);
+      stop_writer_ = true;
+    }
+    wcv_.notify_all();
+    writer_.join();
+  }
+}
+
+void WalWriter::writer_loop() {
+  std::unique_lock<std::mutex> lk(wmu_);
+  for (;;) {
+    wcv_.wait(lk, [&] { return pending_size_ > 0 || stop_writer_; });
+    if (pending_size_ == 0) return;  // stop requested, nothing left to write
+    const std::size_t nbytes = pending_size_;
+    std::unique_ptr<char[]> block = std::move(pending_);
+    lk.unlock();
+    os_.write(block.get(), static_cast<std::streamsize>(nbytes));
+    const bool ok = os_.good();
+    lk.lock();
+    spare_ = std::move(block);
+    pending_size_ = 0;
+    if (!ok) writer_failed_ = true;
+    wcv_.notify_all();
+  }
+}
+
+void WalWriter::wait_writer_idle() {
+  std::unique_lock<std::mutex> lk(wmu_);
+  wcv_.wait(lk, [&] { return pending_size_ == 0; });
+  GA_CHECK(!writer_failed_, "wal: write failed: " + path_);
+}
+
+void WalWriter::append_slow(std::uint64_t seq, const void* payload,
+                            std::size_t len) {
+  GA_CHECK(len <= 0x7fffffffu, "wal: oversized record");
+  const auto len32 = static_cast<std::uint32_t>(len);
+  const std::size_t frame = kFrameHeader + kSeqBytes + len;
+
+  drain_buffer();
+  if (frame > buf_cap_) {
+    // Record larger than the group-commit buffer: frame it through the
+    // stream directly (header from a stack scratch, then the payload).
+    if (async_) wait_writer_idle();  // writer parked => os_ is ours
+    char head[kFrameHeader + kSeqBytes];
+    std::memcpy(head + kFrameHeader, &seq, kSeqBytes);
+    std::uint32_t crc = core::crc32(&seq, kSeqBytes);
+    crc = core::crc32(payload, len, crc);
+    std::memcpy(head, &len32, sizeof(len32));
+    std::memcpy(head + sizeof(len32), &crc, sizeof(crc));
+    os_.write(head, sizeof(head));
+    os_.write(static_cast<const char*>(payload),
+              static_cast<std::streamsize>(len));
+    GA_CHECK(os_.good(), "wal: write failed: " + path_);
+    ++stats_.records_appended;
+    stats_.bytes_appended += frame;
+    ++stats_.flushes;
+    return;
+  }
+  append(seq, payload, len);  // buffer now has room; take the fast path
+}
+
+// Group-commit handoff: push the buffer into the stream but skip the
+// per-boundary pubsync — forcing a sync syscall every 64 KB is what group
+// commit exists to avoid. Explicit flush() below still syncs. In async
+// mode the full buffer is swapped to the writer thread instead, so the
+// file write overlaps with further appends.
+void WalWriter::drain_buffer() {
+  if (buf_size_ == 0) return;
+  if (!async_) {
+    os_.write(buf_.get(), static_cast<std::streamsize>(buf_size_));
+    buf_size_ = 0;
+    ++stats_.flushes;
+    GA_CHECK(os_.good(), "wal: write failed: " + path_);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lk(wmu_);
+    wcv_.wait(lk, [&] { return pending_size_ == 0; });
+    GA_CHECK(!writer_failed_, "wal: write failed: " + path_);
+    pending_ = std::move(buf_);
+    pending_size_ = buf_size_;
+    buf_ = std::move(spare_);
+    buf_size_ = 0;
+    ++stats_.flushes;
+  }
+  wcv_.notify_all();
+}
+
+void WalWriter::flush() {
+  drain_buffer();
+  if (async_) wait_writer_idle();  // writer parked => os_ is ours
+  os_.flush();
+  GA_CHECK(os_.good(), "wal: write failed: " + path_);
+}
+
+WalScanResult scan_wal(const std::string& path, CorruptionPolicy policy) {
+  WalScanResult out;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return out;  // no log yet: empty history
+  is.seekg(0, std::ios::end);
+  const auto end = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+
+  std::uint64_t at = 0;
+  while (at < end) {
+    if (end - at < kFrameHeader + kSeqBytes) {
+      out.torn_tail = true;
+      break;
+    }
+    std::uint32_t len = 0, crc = 0;
+    std::uint64_t seq = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    is.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+    is.read(reinterpret_cast<char*>(&seq), sizeof(seq));
+    if (!is.good() || end - at - kFrameHeader - kSeqBytes < len) {
+      out.torn_tail = true;
+      break;
+    }
+    std::vector<char> payload(len);
+    if (len > 0) {
+      is.read(payload.data(), static_cast<std::streamsize>(len));
+      if (!is.good()) {
+        out.torn_tail = true;
+        break;
+      }
+    }
+    std::uint32_t actual = core::crc32(&seq, kSeqBytes);
+    actual = core::crc32(payload.data(), payload.size(), actual);
+    if (actual != crc) {
+      ++out.corrupt_records;
+      if (policy == CorruptionPolicy::kThrow) {
+        throw Error("wal: CRC mismatch at offset " + std::to_string(at) +
+                    " in " + path);
+      }
+      break;  // kStop: everything from here on is untrusted
+    }
+    at += kFrameHeader + kSeqBytes + len;
+    out.records.push_back(WalRecord{seq, std::move(payload)});
+  }
+  out.bytes_valid = at;
+  out.torn_bytes = end - at;
+  return out;
+}
+
+void tear_tail(const std::string& path, std::uint64_t bytes) {
+  const std::uint64_t size = file_size(path);
+  GA_CHECK(bytes <= size, "tear_tail: larger than file");
+  std::filesystem::resize_file(path, size - bytes);
+}
+
+void corrupt_byte(const std::string& path, std::uint64_t offset,
+                  unsigned char xor_mask) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  GA_CHECK(f.good(), "corrupt_byte: cannot open " + path);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  GA_CHECK(f.good(), "corrupt_byte: offset past end of " + path);
+  c = static_cast<char>(static_cast<unsigned char>(c) ^ xor_mask);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+  GA_CHECK(f.good(), "corrupt_byte: write failed: " + path);
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  GA_CHECK(!ec, "file_size: cannot stat " + path);
+  return size;
+}
+
+}  // namespace ga::resilience

@@ -1,7 +1,9 @@
 #include "streaming/trigger.hpp"
 
 #include <algorithm>
+#include <thread>
 
+#include "core/timer.hpp"
 #include "graph/builder.hpp"
 #include "kernels/bfs.hpp"
 
@@ -61,18 +63,72 @@ void StreamProcessor::set_analytic(SubgraphAnalytic analytic) {
   analytic_ = std::move(analytic);
 }
 
+void StreamProcessor::set_stage_executor(resilience::StageExecutor* executor,
+                                         resilience::StageOptions stage_opts) {
+  executor_ = executor;
+  stage_opts_ = stage_opts;
+}
+
+void StreamProcessor::set_degraded_analytic(std::function<double(vid_t)> fn) {
+  degraded_analytic_ = std::move(fn);
+}
+
 void StreamProcessor::fire(vid_t seed, const std::string& reason,
                            double metric, std::int64_t ts) {
   ++stats_.triggers;
-  auto [sub, seed_local] =
-      extract_neighborhood(g_, seed, policy_.extraction_depth);
   Alert a;
   a.ts = ts;
   a.seed = seed;
   a.reason = reason;
   a.metric = metric;
+
+  if (executor_ == nullptr) {
+    auto [sub, seed_local] =
+        extract_neighborhood(g_, seed, policy_.extraction_depth);
+    a.subgraph_vertices = sub.num_vertices();
+    a.analytic_result = analytic_(sub, seed_local);
+    alerts_.push_back(std::move(a));
+    return;
+  }
+
+  // Resilient trigger path: extraction then analytic, each under the stage
+  // executor's retry + deadline policy. The analytic degrades to the
+  // incremental approximation; a failed extraction drops the alert (there
+  // is no subgraph to analyze) and is counted.
+  const auto ex = executor_->run<std::pair<graph::CSRGraph, vid_t>>(
+      "trigger_extract",
+      [&] { return extract_neighborhood(g_, seed, policy_.extraction_depth); },
+      stage_opts_);
+  stats_.retries += ex.attempts > 1 ? ex.attempts - 1 : 0;
+  if (ex.deadline_missed) ++stats_.deadline_misses;
+  if (!ex.ok) {
+    ++stats_.dropped_alerts;
+    return;
+  }
+  const auto& [sub, seed_local] = ex.value;
   a.subgraph_vertices = sub.num_vertices();
-  a.analytic_result = analytic_(sub, seed_local);
+
+  const auto an = executor_->run<double>(
+      "trigger_analytic", [&] { return analytic_(sub, seed_local); },
+      [&] {
+        // Incremental approximation kept hot by the stream trackers
+        // (component size by default — an incremental_cc answer).
+        return degraded_analytic_
+                   ? degraded_analytic_(seed)
+                   : static_cast<double>(cc_.component_size(seed));
+      },
+      stage_opts_);
+  stats_.retries += an.attempts > 1 ? an.attempts - 1 : 0;
+  if (an.deadline_missed) ++stats_.deadline_misses;
+  if (!an.ok) {
+    ++stats_.dropped_alerts;
+    return;
+  }
+  if (an.degraded) {
+    ++stats_.degraded;
+    a.degraded = true;
+  }
+  a.analytic_result = an.value;
   alerts_.push_back(std::move(a));
 }
 
@@ -124,6 +180,26 @@ void StreamProcessor::apply(const Update& u) {
 
 void StreamProcessor::apply_all(const std::vector<Update>& stream) {
   for (const Update& u : stream) apply(u);
+}
+
+BackpressureReport run_with_backpressure(
+    StreamProcessor& proc, const std::vector<Update>& stream,
+    const resilience::QueueOptions& qopts) {
+  BackpressureReport out;
+  resilience::IngestQueue<Update> queue(qopts);
+  core::WallTimer timer;
+  std::thread producer([&] {
+    for (const Update& u : stream) queue.push(u);
+    queue.close();
+  });
+  while (auto u = queue.pop()) {
+    proc.apply(*u);
+    ++out.applied;
+  }
+  producer.join();
+  out.seconds = timer.seconds();
+  out.queue = queue.stats();
+  return out;
 }
 
 }  // namespace ga::streaming

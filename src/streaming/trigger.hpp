@@ -13,6 +13,8 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "resilience/ingest_queue.hpp"
+#include "resilience/retry.hpp"
 #include "streaming/incremental_cc.hpp"
 #include "streaming/incremental_triangles.hpp"
 #include "streaming/topk_tracker.hpp"
@@ -27,6 +29,9 @@ struct Alert {
   double metric = 0.0;
   vid_t subgraph_vertices = 0;   // size of the extracted neighborhood
   double analytic_result = 0.0;  // batch analytic output on the subgraph
+  /// True when the full re-analytic missed its deadline or kept failing and
+  /// analytic_result came from the incremental approximation instead.
+  bool degraded = false;
 };
 
 struct TriggerPolicy {
@@ -52,6 +57,11 @@ struct StreamStats {
   std::uint64_t property_updates = 0;
   std::uint64_t queries = 0;
   std::uint64_t triggers = 0;
+  // Resilience counters for the trigger path (extraction + re-analytic).
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t degraded = 0;        // alerts served by the fallback metric
+  std::uint64_t dropped_alerts = 0;  // extraction/analytic failed outright
 };
 
 class StreamProcessor {
@@ -61,6 +71,18 @@ class StreamProcessor {
 
   /// Set the batch analytic run on trigger (default: average degree).
   void set_analytic(SubgraphAnalytic analytic);
+
+  /// Route the trigger path (extraction + analytic) through a deadline +
+  /// retry stage executor (stages "trigger_extract" / "trigger_analytic").
+  /// When the full analytic exhausts its retries or misses its deadline,
+  /// the alert degrades to the incremental approximation already kept hot
+  /// (the seed's component size from IncrementalCC by default; override
+  /// with set_degraded_analytic, e.g. an incremental_pagerank rank).
+  void set_stage_executor(resilience::StageExecutor* executor,
+                          resilience::StageOptions stage_opts = {});
+
+  /// Fallback metric for degraded alerts: fn(seed) -> approximate result.
+  void set_degraded_analytic(std::function<double(vid_t)> fn);
 
   /// Apply one update; may append to alerts().
   void apply(const Update& u);
@@ -86,6 +108,23 @@ class StreamProcessor {
   SubgraphAnalytic analytic_;
   std::vector<Alert> alerts_;
   StreamStats stats_;
+  resilience::StageExecutor* executor_ = nullptr;
+  resilience::StageOptions stage_opts_;
+  std::function<double(vid_t)> degraded_analytic_;
 };
+
+/// Producer/consumer streaming run with backpressure: a producer thread
+/// offers `stream` into a bounded IngestQueue under `qopts` while the
+/// calling thread pops and applies — Fig. 2's update stream decoupled from
+/// the apply loop so overload sheds or blocks at the queue instead of
+/// corrupting the processor.
+struct BackpressureReport {
+  resilience::QueueStats queue;
+  std::size_t applied = 0;
+  double seconds = 0.0;
+};
+BackpressureReport run_with_backpressure(StreamProcessor& proc,
+                                         const std::vector<Update>& stream,
+                                         const resilience::QueueOptions& qopts);
 
 }  // namespace ga::streaming

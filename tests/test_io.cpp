@@ -57,6 +57,60 @@ TEST(Io, BinaryRejectsBadMagic) {
   EXPECT_THROW(read_edge_list_binary(ss), ga::Error);
 }
 
+TEST(Io, BinaryRejectsTruncatedHeader) {
+  const auto edges = erdos_renyi_edges(10, 20, 5);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_edge_list_binary(full, edges);
+  const std::string bytes = full.str();
+  // Cut inside the 8-byte count that follows the magic.
+  std::stringstream cut(bytes.substr(0, 12),
+                        std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_edge_list_binary(cut), ga::Error);
+}
+
+TEST(Io, BinaryRejectsTruncatedBodyWithoutPartialResult) {
+  const auto edges = erdos_renyi_edges(40, 80, 6);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_edge_list_binary(full, edges);
+  const std::string bytes = full.str();
+  // Tear at several offsets inside the body, including mid-edge.
+  for (const std::size_t cut :
+       {bytes.size() - 1, bytes.size() - 7, bytes.size() / 2, std::size_t{17}}) {
+    std::stringstream torn(bytes.substr(0, cut),
+                           std::ios::in | std::ios::out | std::ios::binary);
+    EXPECT_THROW(read_edge_list_binary(torn), ga::Error) << "cut=" << cut;
+  }
+}
+
+TEST(Io, BinaryRejectsHugeBogusCountWithoutHugeAllocation) {
+  // A corrupted header claiming ~10^18 edges must throw a ga::Error from
+  // the truncation check, not die attempting a massive allocation.
+  const auto edges = erdos_renyi_edges(10, 20, 7);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_edge_list_binary(full, edges);
+  std::string bytes = full.str();
+  const std::uint64_t bogus = 1ULL << 60;
+  for (std::size_t i = 0; i < sizeof(bogus); ++i) {
+    bytes[8 + i] = static_cast<char>((bogus >> (8 * i)) & 0xFF);
+  }
+  std::stringstream corrupt(bytes,
+                            std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_edge_list_binary(corrupt), ga::Error);
+}
+
+TEST(Io, BinaryRejectsTrailingGarbage) {
+  const auto edges = erdos_renyi_edges(10, 20, 8);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_edge_list_binary(ss, edges);
+  ss << "extra";
+  EXPECT_THROW(read_edge_list_binary(ss), ga::Error);
+}
+
+TEST(Io, TextRejectsTrailingTokens) {
+  std::stringstream ss("1 2 0.5 junk\n");
+  EXPECT_THROW(read_edge_list_text(ss), ga::Error);
+}
+
 TEST(Io, FileRoundTrip) {
   const auto edges = erdos_renyi_edges(20, 40, 4);
   const std::string path = ::testing::TempDir() + "/ga_io_test.edges";

@@ -5,10 +5,37 @@
 #      thread-pool tests (the code with parallel engine paths).
 # Each sanitizer gets its own build tree under build-san/ so the regular
 # build/ directory is never polluted. Exits nonzero on the first failure.
+#
+# chaos mode (`run_sanitizers.sh chaos`): the fault-tolerance suite only —
+# WAL recovery sweeps + fault injection under ASan+UBSan (use-after-free /
+# OOB on the torn-tail and corruption paths), and the backpressure queue +
+# producer/consumer tests under TSan (the cross-thread boundary).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-full}"
+
+if [[ "$MODE" == "chaos" ]]; then
+  echo "=== [chaos/asan-ubsan] configure + build resilience suite ==="
+  ASAN_DIR="$ROOT/build-san/asan-ubsan"
+  cmake -B "$ASAN_DIR" -S "$ROOT" -DGA_SANITIZE=address,undefined \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$ASAN_DIR" -j "$JOBS" --target ga_resilience_tests > /dev/null
+  echo "=== [chaos/asan-ubsan] resilience suite (recovery + fault injection) ==="
+  "$ASAN_DIR/tests/ga_resilience_tests"
+
+  echo "=== [chaos/tsan] configure + build resilience suite ==="
+  TSAN_DIR="$ROOT/build-san/tsan"
+  cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target ga_resilience_tests > /dev/null
+  echo "=== [chaos/tsan] backpressure queue + streaming handoff tests ==="
+  "$TSAN_DIR/tests/ga_resilience_tests" \
+      --gtest_filter='IngestQueue*:Backpressure*:RunStream*:Wal.AsyncDrain*'
+  echo "Chaos sanitizer suites passed."
+  exit 0
+fi
 
 echo "=== [asan-ubsan] configure + build (-fsanitize=address,undefined) ==="
 ASAN_DIR="$ROOT/build-san/asan-ubsan"
