@@ -1,0 +1,87 @@
+// Machine-readable bench output: every bench that accepts --json writes a
+// flat BENCH_<name>.json next to the binary's working directory so sweeps
+// can be diffed and plotted without scraping stdout. Values are rendered
+// when added (numbers as %.6g, strings escaped), so the document class is
+// just an ordered list of pre-rendered fields.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+class JsonDoc {
+ public:
+  explicit JsonDoc(std::string bench_name) : name_(std::move(bench_name)) {
+    add("bench", name_);
+  }
+
+  void add(const std::string& key, const std::string& v) {
+    std::string esc;
+    for (const char c : v) {
+      if (c == '"' || c == '\\') esc.push_back('\\');
+      if (c == '\n') { esc += "\\n"; continue; }
+      esc.push_back(c);
+    }
+    fields_.push_back("\"" + key + "\": \"" + esc + "\"");
+  }
+  void add(const std::string& key, double v) {
+    fields_.push_back("\"" + key + "\": " + num(v));
+  }
+  void add(const std::string& key, std::uint64_t v) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(v));
+  }
+  void add(const std::string& key, int v) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(v));
+  }
+  void add_array(const std::string& key, const std::vector<double>& vs) {
+    std::string body;
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i) body += ", ";
+      body += num(vs[i]);
+    }
+    fields_.push_back("\"" + key + "\": [" + body + "]");
+  }
+
+  /// Writes BENCH_<name>.json in the current directory; returns the path.
+  std::string write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    GA_CHECK(f != nullptr, "cannot open " + path);
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", fields_[i].c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("[json] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    // JSON has no inf/nan literals; clamp to null.
+    if (std::strstr(buf, "inf") || std::strstr(buf, "nan")) return "null";
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::string> fields_;
+};
+
+}  // namespace ga::bench

@@ -5,10 +5,16 @@
 // largest scale the per-super-step engine telemetry is printed alongside
 // the analytic model's verdict on which resource bounds each step
 // (archmodel baseline, paper Fig. 3).
+//
+// --json: additionally writes BENCH_graph500_bfs.json with harmonic-mean
+// MTEPS plus median/p95 per-root times for every (scale, engine) cell.
+#include <algorithm>
 #include <cstdio>
 
 #include "archmodel/configs.hpp"
+#include "bench_json.hpp"
 #include "core/prng.hpp"
+#include "core/stats.hpp"
 #include "core/timer.hpp"
 #include "engine/archbridge.hpp"
 #include "graph/generators.hpp"
@@ -33,7 +39,7 @@ void print_steps(const std::vector<engine::StepStats>& steps) {
   std::printf("\n");
 }
 
-void run_scale(unsigned scale, bool show_steps) {
+void run_scale(unsigned scale, bool show_steps, bench::JsonDoc* doc) {
   const auto g = graph::make_rmat({.scale = scale, .edge_factor = 16, .seed = 1});
   core::Xoshiro256 rng(scale);
   std::vector<vid_t> roots;
@@ -43,18 +49,20 @@ void run_scale(unsigned scale, bool show_steps) {
   }
   std::printf("scale %2u (n=%u, m=%llu):\n", scale, g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()));
-  for (const auto& [name, mode] :
-       {std::pair{"top-down", BfsMode::kTopDown},
-        std::pair{"direction-opt", BfsMode::kDirectionOptimizing}}) {
+  for (const auto& [name, tag, mode] :
+       {std::tuple{"top-down", "topdown", BfsMode::kTopDown},
+        std::tuple{"direction-opt", "dirop", BfsMode::kDirectionOptimizing}}) {
     core::WallTimer t;
     double inv_teps_sum = 0.0;
     std::uint64_t reached = 0;
+    std::vector<double> root_ms;
     std::vector<engine::StepStats> sample_steps;
     t.restart();
     for (vid_t r : roots) {
       core::WallTimer bt;
       const auto res = bfs(g, r, mode);
       const double secs = bt.seconds();
+      root_ms.push_back(secs * 1e3);
       // Graph500 counts input edges within the traversed component
       // (independent of how many arcs the engine actually scanned).
       std::uint64_t component_edges = 0;
@@ -71,14 +79,28 @@ void run_scale(unsigned scale, bool show_steps) {
                 name, t.millis(), harmonic_teps / 1e6,
                 static_cast<unsigned long long>(reached / roots.size()));
     if (show_steps) print_steps(sample_steps);
+    if (doc != nullptr) {
+      core::PercentileSketch ps;
+      for (const double ms : root_ms) ps.add(ms);
+      const std::string cell =
+          "s" + std::to_string(scale) + "_" + tag;
+      doc->add(cell + "_harmonic_mteps", harmonic_teps / 1e6);
+      doc->add(cell + "_root_ms_p50", ps.percentile(0.5));
+      doc->add(cell + "_root_ms_p95", ps.percentile(0.95));
+    }
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::has_flag(argc, argv, "--json");
+  bench::JsonDoc doc("graph500_bfs");
   std::printf("=== Graph500-style BFS (E8) ===\n\n");
-  for (unsigned scale : {14u, 16u, 18u}) run_scale(scale, scale == 18u);
+  for (unsigned scale : {14u, 16u, 18u}) {
+    run_scale(scale, scale == 18u, json ? &doc : nullptr);
+  }
   std::printf("\nShape: direction-optimizing wins on the fat RMAT frontiers.\n");
+  if (json) doc.write();
   return 0;
 }

@@ -43,21 +43,62 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     Region* region = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      cv_start_.wait(lk, [&] {
+        return stop_ || epoch_ != seen_epoch ||
+               pending_tasks_.load(std::memory_order_relaxed) > 0;
+      });
       if (stop_) return;
-      seen_epoch = epoch_;
-      region = active_;
+      if (epoch_ != seen_epoch) {
+        // Regions take precedence over tasks: a blocked parallel_for caller
+        // waits on every worker, a queued task waits on just one.
+        seen_epoch = epoch_;
+        region = active_;
+      } else {
+        task = pop_task_locked();
+      }
     }
-    if (region == nullptr) continue;
-    drain(*region);
-    if (region->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last worker out wakes the caller.
-      std::lock_guard<std::mutex> lk(mu_);
-      cv_done_.notify_all();
+    if (region != nullptr) {
+      drain(*region);
+      if (region->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last worker out wakes the caller.
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_done_.notify_all();
+      }
+      continue;
+    }
+    if (task) task();
+  }
+}
+
+std::function<void()> ThreadPool::pop_task_locked() {
+  for (auto& q : tasks_) {
+    if (!q.empty()) {
+      std::function<void()> fn = std::move(q.front());
+      q.pop_front();
+      pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
+      return fn;
     }
   }
+  return {};
+}
+
+void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
+  GA_CHECK(static_cast<bool>(task), "submit: empty task");
+  // Serial degradation: with no workers the task runs inline, so submit
+  // still guarantees eventual execution (and FIFO order) on 1-core hosts.
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_[static_cast<std::size_t>(priority)].push_back(std::move(task));
+    pending_tasks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_start_.notify_one();
 }
 
 void ThreadPool::parallel_for(

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -15,6 +16,12 @@
 #include "core/common.hpp"
 
 namespace ga::core {
+
+/// Priority class for one-shot tasks submitted to a ThreadPool. Lower
+/// enum value = drained first. The serving layer maps interactive queries
+/// to kHigh and background/batch work to kLow.
+enum class TaskPriority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr std::size_t kNumTaskPriorities = 3;
 
 /// Fixed-size pool of worker threads executing blocked index ranges.
 /// Threads are created once and parked on a condition variable between
@@ -40,6 +47,26 @@ class ThreadPool {
   void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
                     const std::function<void(std::uint64_t, std::uint64_t)>& body);
 
+  /// Enqueues a one-shot task for asynchronous execution by a worker.
+  /// Workers drain tasks strictly in priority order (kHigh before kNormal
+  /// before kLow; FIFO within a class) whenever no parallel_for region is
+  /// active. With zero workers (1-core host) the task runs inline before
+  /// submit returns, preserving completion semantics. The default
+  /// parallel_for path is untouched when no tasks are ever submitted: the
+  /// only added cost is one relaxed atomic load on worker wake-up.
+  ///
+  /// Tasks must not call parallel_for or submit-and-wait on this same pool
+  /// (a worker blocked in a task cannot drain the region it waits on).
+  /// Tasks still queued when the pool is destroyed are discarded; owners
+  /// that need completion must drain before tearing the pool down.
+  void submit(std::function<void()> task,
+              TaskPriority priority = TaskPriority::kNormal);
+
+  /// Tasks enqueued but not yet started (diagnostic; racy by nature).
+  std::size_t pending_tasks() const {
+    return pending_tasks_.load(std::memory_order_relaxed);
+  }
+
   /// Process-wide default pool (lazily constructed, sized to hardware).
   static ThreadPool& global();
 
@@ -54,6 +81,9 @@ class ThreadPool {
 
   void worker_loop();
   void drain(Region& r);
+  /// Pops the highest-priority pending task (mu_ must be held). Returns an
+  /// empty function when no task is queued.
+  std::function<void()> pop_task_locked();
 
   std::vector<std::thread> workers_;
   std::mutex region_mu_;  // serializes whole parallel_for regions
@@ -63,6 +93,8 @@ class ThreadPool {
   Region* active_ = nullptr;   // guarded by mu_ for pointer hand-off
   std::uint64_t epoch_ = 0;    // bumped per region so workers see new work
   bool stop_ = false;
+  std::deque<std::function<void()>> tasks_[kNumTaskPriorities];  // guarded by mu_
+  std::atomic<std::size_t> pending_tasks_{0};
 };
 
 /// Convenience: parallel_for over the global pool with per-index body.

@@ -1,0 +1,44 @@
+// Multi-source frontier entry points: fuse up to 64 concurrent BFS roots
+// into ONE level-synchronous pass using bit-parallel frontiers (one
+// std::uint64_t seed-mask per vertex, MS-BFS style). The serving layer's
+// scheduler batches same-kernel queries through this path so k concurrent
+// BFS requests cost one graph sweep instead of k — the same arcs are
+// inspected once and every seed's wavefront rides the same cache lines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/telemetry.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace ga::engine {
+
+/// Hard cap on fused roots: one bit per seed in the per-vertex mask word.
+inline constexpr std::size_t kMaxMultiSourceSeeds = 64;
+
+struct MultiSourceBfsResult {
+  /// Hop counts, seed-major lookup: dist_of(v, s) == dist[v * num_seeds + s]
+  /// (kInfDist when seed s does not reach v).
+  std::vector<std::uint32_t> dist;
+  std::size_t num_seeds = 0;
+  /// Vertices reached per seed (including the seed itself).
+  std::vector<std::uint64_t> reached;
+  /// One StepStats per level (edges counted once per level, not per seed).
+  std::vector<StepStats> steps;
+
+  std::uint32_t dist_of(vid_t v, std::size_t seed_idx) const {
+    return dist[static_cast<std::size_t>(v) * num_seeds + seed_idx];
+  }
+};
+
+/// Level-synchronous bit-parallel BFS from every seed at once (1..64 seeds;
+/// duplicate seeds are allowed and produce identical rows). Deterministic
+/// and single-threaded: the serving layer runs many batches concurrently on
+/// immutable snapshots, so intra-batch parallelism would only fight the
+/// scheduler's worker threads for the one memory system.
+MultiSourceBfsResult multi_source_bfs(const graph::CSRGraph& g,
+                                      const std::vector<vid_t>& seeds,
+                                      Telemetry* telem = nullptr);
+
+}  // namespace ga::engine

@@ -68,4 +68,19 @@ std::string format_telemetry(const Telemetry& t) {
   return out;
 }
 
+std::string format_counter_groups(const std::vector<CounterGroup>& groups) {
+  std::string out;
+  char buf[160];
+  for (const CounterGroup& g : groups) {
+    std::snprintf(buf, sizeof(buf), "  [%s]\n", g.name.c_str());
+    out += buf;
+    for (const Counter& c : g.counters) {
+      std::snprintf(buf, sizeof(buf), "    %-28s %12llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += buf;
+    }
+  }
+  return out;
+}
+
 }  // namespace ga::engine

@@ -57,4 +57,22 @@ class Telemetry {
 /// Human-readable per-step table (bench/CLI reporting).
 std::string format_telemetry(const Telemetry& t);
 
+/// One named monotonic counter, exported by a subsystem for health
+/// reporting (serving cache hits, scheduler admissions, snapshot epochs).
+struct Counter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// A subsystem's counters under one heading. The serving layer's cache,
+/// scheduler, and snapshot manager each return one group; benches print
+/// them with format_counter_groups alongside stream/stage health.
+struct CounterGroup {
+  std::string name;
+  std::vector<Counter> counters;
+};
+
+/// Render groups as an indented "name  value" table (one block per group).
+std::string format_counter_groups(const std::vector<CounterGroup>& groups);
+
 }  // namespace ga::engine

@@ -94,6 +94,17 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
   out.timings.push_back({"write_back", timer.seconds(),
                          "column " + an.column_written});
 
+  // The boiled store is the freshest consistent state — publish it as a
+  // serving epoch if a consumer is attached.
+  if (snapshot_publisher_) {
+    timer.restart();
+    snapshot_publisher_(store_->graph().snapshot());
+    ++snapshot_publications_;
+    out.timings.push_back({"publish_snapshot", timer.seconds(),
+                           "epoch publication " +
+                               std::to_string(snapshot_publications_)});
+  }
+
   // Streaming state for subsequent ingests: seed the inline deduper with
   // the batch entities so streaming records resolve against them.
   inline_dedup_ = std::make_unique<InlineDeduper>(opts.dedup);
@@ -224,7 +235,18 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
       {"ingest", timer.seconds(),
        triggered ? (degraded ? "triggered-degraded" : "triggered")
                  : "absorbed"});
+  // A trigger means new relationship structure exists — refresh the
+  // serving epoch so queries see the post-trigger store.
+  if (triggered && snapshot_publisher_) {
+    snapshot_publisher_(store_->graph().snapshot());
+    ++snapshot_publications_;
+  }
   return triggered;
+}
+
+void CanonicalFlow::set_snapshot_publisher(
+    std::function<void(const graph::CSRGraph&)> fn) {
+  snapshot_publisher_ = std::move(fn);
 }
 
 void CanonicalFlow::set_stream_resilience(const StreamResilienceOptions& opts) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +99,18 @@ class CanonicalFlow {
   /// staged ingest with retry/deadline/degradation). Call before ingesting.
   void set_stream_resilience(const StreamResilienceOptions& opts);
 
+  /// Route frozen CSR snapshots of the persistent store to a downstream
+  /// consumer (typically server::AnalyticsServer::publisher()): once after
+  /// each run_batch write-back, and after every streaming NORA trigger.
+  /// Keeps the serving layer's epoch current without this layer linking
+  /// against the server.
+  void set_snapshot_publisher(
+      std::function<void(const graph::CSRGraph&)> fn);
+
+  std::uint64_t snapshot_publications() const {
+    return snapshot_publications_;
+  }
+
   /// Backpressured streaming run: a producer thread offers `records` into a
   /// bounded IngestQueue under `qopts` while the calling thread pops and
   /// ingests — Fig. 2's record firehose decoupled from the apply loop.
@@ -138,6 +151,8 @@ class CanonicalFlow {
   StreamResilienceOptions res_opts_;
   resilience::StageExecutor stream_exec_;
   resilience::DeadLetterQueue<RawRecord> dead_letters_;
+  std::function<void(const graph::CSRGraph&)> snapshot_publisher_;
+  std::uint64_t snapshot_publications_ = 0;
 };
 
 }  // namespace ga::pipeline

@@ -1,0 +1,70 @@
+// Model-driven admission control: before a query is admitted, its expected
+// resource demand is synthesized from the target snapshot's shape (n, m,
+// average degree), pushed through the paper's Fig. 3 bounding-resource
+// machine model (archmodel::evaluate on a single-node host config), and
+// the predicted bounding-resource time — rescaled by an online per-kind
+// calibration loop fed with measured executions — gates whether the query
+// is admitted, queued, or rejected with backpressure. This closes the loop
+// between the paper's analytic model and a live serving system: the same
+// StepDemand algebra that reproduces Fig. 3 decides, per request, whether
+// the machine can meet the deadline.
+#pragma once
+
+#include <array>
+#include <mutex>
+
+#include "archmodel/machine.hpp"
+#include "engine/archbridge.hpp"
+#include "server/query.hpp"
+
+namespace ga::server {
+
+struct CostEstimate {
+  double raw_ms = 0.0;   // uncalibrated analytic prediction
+  double ms = 0.0;       // raw_ms x per-kind calibration factor
+  archmodel::Resource bounding = archmodel::Resource::kCompute;
+};
+
+struct CostModelStats {
+  std::uint64_t predictions = 0;
+  std::array<std::uint64_t, kNumQueryKinds> observations{};
+  std::array<double, kNumQueryKinds> calibration{};  // measured/raw EWMA
+};
+
+class ServingCostModel {
+ public:
+  /// `host` is the machine the predictions are evaluated on; defaults to
+  /// host_config(). Absolute scale is corrected online by observe(), so the
+  /// config's job is the RELATIVE resource mix (bounding resource choice).
+  explicit ServingCostModel(archmodel::MachineConfig host = host_config());
+
+  /// Predicted execution time of `q` against a snapshot with `n` vertices
+  /// and `m` stored arcs. Thread-safe.
+  CostEstimate predict(const QueryDesc& q, vid_t n, eid_t m) const;
+
+  /// Feed one measured execution back into the per-kind calibration EWMA.
+  void observe(QueryKind kind, double raw_ms, double measured_ms);
+
+  double calibration(QueryKind kind) const;
+  CostModelStats stats() const;
+  const archmodel::MachineConfig& host() const { return host_; }
+
+  /// Single-node serving host: one conventional cache-line node. The
+  /// absolute rates are deliberately round numbers — observe() learns the
+  /// true scale within a handful of queries — but the irregularity penalty
+  /// and resource ratios mirror the paper's conventional-node model.
+  static archmodel::MachineConfig host_config();
+
+  /// The synthesized Fig. 3 demand record for `q` (exposed for tests and
+  /// the bench's model-vs-measured report).
+  archmodel::StepDemand demand(const QueryDesc& q, vid_t n, eid_t m) const;
+
+ private:
+  archmodel::MachineConfig host_;
+  mutable std::mutex mu_;
+  std::array<double, kNumQueryKinds> calib_;
+  std::array<std::uint64_t, kNumQueryKinds> observations_{};
+  mutable std::uint64_t predictions_ = 0;
+};
+
+}  // namespace ga::server

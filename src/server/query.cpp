@@ -1,0 +1,59 @@
+#include "server/query.hpp"
+
+#include <bit>
+
+namespace ga::server {
+
+const char* query_kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kBfs: return "bfs";
+    case QueryKind::kPageRankTopK: return "pagerank_topk";
+    case QueryKind::kJaccardNeighbors: return "jaccard";
+    case QueryKind::kWcc: return "wcc";
+    case QueryKind::kSubgraphExtract: return "subgraph";
+  }
+  return "?";
+}
+
+const char* query_status_name(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRejectedCost: return "rejected_cost";
+    case QueryStatus::kRejectedOverload: return "rejected_overload";
+    case QueryStatus::kRejectedBacklog: return "rejected_backlog";
+    case QueryStatus::kDeadlineMiss: return "deadline_miss";
+    case QueryStatus::kNoSnapshot: return "no_snapshot";
+    case QueryStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+QueryKey QueryKey::of(const QueryDesc& d, std::uint64_t epoch) {
+  QueryKey key;
+  key.kind = d.kind;
+  key.epoch = epoch;
+  // Only fields the kind actually reads participate, so e.g. two WCC
+  // queries with different (irrelevant) seeds share one cache entry.
+  switch (d.kind) {
+    case QueryKind::kBfs:
+      key.seed = d.seed;
+      break;
+    case QueryKind::kPageRankTopK:
+      key.k = d.k;
+      break;
+    case QueryKind::kJaccardNeighbors:
+      key.seed = d.seed;
+      key.k = d.k;
+      key.threshold_bits = std::bit_cast<std::uint64_t>(d.threshold);
+      break;
+    case QueryKind::kWcc:
+      break;
+    case QueryKind::kSubgraphExtract:
+      key.seed = d.seed;
+      key.depth = d.depth;
+      break;
+  }
+  return key;
+}
+
+}  // namespace ga::server

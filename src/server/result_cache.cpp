@@ -1,0 +1,108 @@
+#include "server/result_cache.hpp"
+
+#include <algorithm>
+
+namespace ga::server {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  GA_CHECK(shards >= 1, "ResultCache: need at least one shard");
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const QueryResult> ResultCache::lookup(const QueryKey& key) {
+  Shard& sh = shard_of(key);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const auto it = sh.map.find(key.hash());
+  // The map is keyed by the 64-bit mixed hash; the full key is compared on
+  // hit so a (vanishingly rare) collision reads as a miss, never as a
+  // wrong answer.
+  if (it == sh.map.end() || !(it->second->key == key)) {
+    ++sh.misses;
+    return nullptr;
+  }
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // touch
+  ++sh.hits;
+  return it->second->value;
+}
+
+void ResultCache::insert(const QueryKey& key,
+                         std::shared_ptr<const QueryResult> value) {
+  Shard& sh = shard_of(key);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const std::uint64_t h = key.hash();
+  const auto it = sh.map.find(h);
+  if (it != sh.map.end()) {
+    it->second->key = key;
+    it->second->value = std::move(value);
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return;
+  }
+  sh.lru.push_front(Entry{key, std::move(value)});
+  sh.map.emplace(h, sh.lru.begin());
+  ++sh.insertions;
+  if (sh.lru.size() > per_shard_capacity_) {
+    const Entry& victim = sh.lru.back();
+    sh.map.erase(victim.key.hash());
+    sh.lru.pop_back();
+    ++sh.evictions;
+  }
+}
+
+void ResultCache::invalidate_before(std::uint64_t epoch) {
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard<std::mutex> lk(sh.mu);
+    for (auto it = sh.lru.begin(); it != sh.lru.end();) {
+      if (it->key.epoch < epoch) {
+        sh.map.erase(it->key.hash());
+        it = sh.lru.erase(it);
+        ++sh.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ResultCache::clear() {
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.invalidations += sh.lru.size();
+    sh.lru.clear();
+    sh.map.clear();
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats st;
+  for (const auto& shp : shards_) {
+    const Shard& sh = *shp;
+    std::lock_guard<std::mutex> lk(sh.mu);
+    st.hits += sh.hits;
+    st.misses += sh.misses;
+    st.insertions += sh.insertions;
+    st.evictions += sh.evictions;
+    st.invalidations += sh.invalidations;
+    st.entries += sh.lru.size();
+  }
+  return st;
+}
+
+engine::CounterGroup ResultCache::counters() const {
+  const CacheStats st = stats();
+  return {"result_cache",
+          {{"hits", st.hits},
+           {"misses", st.misses},
+           {"insertions", st.insertions},
+           {"evictions", st.evictions},
+           {"epoch_invalidations", st.invalidations},
+           {"entries", st.entries},
+           {"hit_rate_pct", static_cast<std::uint64_t>(st.hit_rate() * 100)}}};
+}
+
+}  // namespace ga::server

@@ -1,0 +1,76 @@
+// Epoch-keyed result cache: a sharded LRU over completed QueryResults.
+// Keys embed the snapshot epoch, so an entry can never serve a stale
+// answer — epoch advance makes old keys unreachable and invalidate_before
+// (hooked to SnapshotManager's epoch listener) purges their capacity.
+// Sharding by key hash keeps the 64-client closed loop off a single mutex.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/telemetry.hpp"
+#include "server/query.hpp"
+
+namespace ga::server {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;      // LRU capacity pressure
+  std::uint64_t invalidations = 0;  // purged by epoch advance
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` entries total, split evenly over `shards` shards (each
+  /// shard evicts independently, so worst-case retained entries are
+  /// capacity +/- one shard's rounding).
+  explicit ResultCache(std::size_t capacity = 4096, std::size_t shards = 8);
+
+  /// Cached result for `key`, or nullptr (counts a hit/miss).
+  std::shared_ptr<const QueryResult> lookup(const QueryKey& key);
+
+  /// Inserts (or refreshes) `key`; evicts the shard's LRU entry beyond
+  /// capacity. Results are immutable once cached — callers share them.
+  void insert(const QueryKey& key, std::shared_ptr<const QueryResult> value);
+
+  /// Drops every entry with epoch < `epoch` (SnapshotManager listener).
+  void invalidate_before(std::uint64_t epoch);
+
+  void clear();
+  CacheStats stats() const;
+  engine::CounterGroup counters() const;
+
+ private:
+  struct Entry {
+    QueryKey key;
+    std::shared_ptr<const QueryResult> value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
+                  invalidations = 0;
+  };
+
+  Shard& shard_of(const QueryKey& key) {
+    return *shards_[key.hash() % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ga::server

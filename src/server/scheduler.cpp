@@ -1,0 +1,536 @@
+#include "server/scheduler.hpp"
+
+#include <algorithm>
+
+#include "core/timer.hpp"
+#include "engine/multi_source.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/pagerank.hpp"
+
+namespace ga::server {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Serving-grade PageRank settings: bounded iteration count so one batch
+/// query cannot occupy a worker for an unbounded convergence tail.
+kernels::PageRankOptions serving_pagerank_opts() {
+  kernels::PageRankOptions o;
+  o.tolerance = 1e-6;
+  o.max_iters = 50;
+  return o;
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(SnapshotManager& snaps, SchedulerOptions opts)
+    : snaps_(snaps),
+      opts_(opts),
+      cache_(opts.cache_capacity, opts.cache_shards),
+      // ThreadPool counts the calling thread, so +1 yields `workers`
+      // dedicated task threads even though this object never calls
+      // parallel_for on its own pool.
+      pool_(std::max(1u, opts.workers) + 1) {
+  opts_.workers = std::max(1u, opts_.workers);
+  opts_.max_bfs_batch = std::clamp<std::size_t>(opts_.max_bfs_batch, 1,
+                                                engine::kMaxMultiSourceSeeds);
+  paused_ = opts_.start_paused;
+  // Epoch advance = every older-epoch cache entry is unreachable; purge.
+  snaps_.set_epoch_listener(
+      [this](std::uint64_t epoch) { cache_.invalidate_before(epoch); });
+}
+
+QueryScheduler::~QueryScheduler() {
+  resume();
+  drain();
+  snaps_.set_epoch_listener({});
+}
+
+std::future<QueryResult> QueryScheduler::submit(const QueryDesc& desc) {
+  std::promise<QueryResult> prom;
+  std::future<QueryResult> fut = prom.get_future();
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    ++stats_.submitted;
+  }
+
+  const std::uint64_t epoch = snaps_.current_epoch();
+  if (epoch == 0) {
+    QueryResult r;
+    r.status = QueryStatus::kNoSnapshot;
+    r.kind = desc.kind;
+    std::lock_guard<std::mutex> lk(qmu_);
+    ++stats_.no_snapshot;
+    prom.set_value(std::move(r));
+    return fut;
+  }
+
+  if (desc.use_cache) {
+    if (auto hit = cache_.lookup(QueryKey::of(desc, epoch))) {
+      QueryResult r = *hit;  // immutable shared entry; copy for the caller
+      r.cache_hit = true;
+      r.wait_ms = 0.0;
+      r.exec_ms = 0.0;  // no kernel ran for this caller
+      {
+        std::lock_guard<std::mutex> lk(qmu_);
+        ++stats_.cache_hits;
+      }
+      prom.set_value(std::move(r));
+      return fut;
+    }
+  }
+
+  CostEstimate est;
+  if (auto rejected = admission_check(desc, est)) {
+    prom.set_value(std::move(*rejected));
+    return fut;
+  }
+
+  auto p = std::make_unique<Pending>();
+  p->desc = desc;
+  p->promise = std::move(prom);
+  p->est = est;
+  p->submitted_at = std::chrono::steady_clock::now();
+  enqueue(std::move(p));
+  return fut;
+}
+
+std::optional<QueryResult> QueryScheduler::admission_check(
+    const QueryDesc& desc, CostEstimate& est) {
+  {
+    SnapshotRef snap = snaps_.acquire();
+    if (!snap) {
+      QueryResult r;
+      r.status = QueryStatus::kNoSnapshot;
+      r.kind = desc.kind;
+      std::lock_guard<std::mutex> lk(qmu_);
+      ++stats_.no_snapshot;
+      return r;
+    }
+    est = model_.predict(desc, snap.graph().num_vertices(),
+                         snap.graph().num_arcs());
+  }
+
+  const std::size_t ci = static_cast<std::size_t>(desc.klass);
+  std::lock_guard<std::mutex> lk(qmu_);
+  QueryResult r;
+  r.kind = desc.kind;
+  r.predicted_ms = est.ms;
+  r.epoch = snaps_.current_epoch();
+  if (queues_[ci].size() >= opts_.max_queue_per_class) {
+    r.status = QueryStatus::kRejectedBacklog;
+    ++stats_.rejected_backlog;
+    return r;
+  }
+  if (desc.deadline_ms > 0.0) {
+    if (est.ms > desc.deadline_ms) {
+      r.status = QueryStatus::kRejectedCost;
+      ++stats_.rejected_cost;
+      return r;
+    }
+    // Work queued at this class or better drains before this query can
+    // start; spread across the worker threads it bounds the expected wait.
+    double ahead_ms = 0.0;
+    for (std::size_t c = 0; c <= ci; ++c) ahead_ms += queued_cost_ms_[c];
+    if (ahead_ms / opts_.workers + est.ms > desc.deadline_ms) {
+      r.status = QueryStatus::kRejectedOverload;
+      ++stats_.rejected_overload;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+void QueryScheduler::enqueue(std::unique_ptr<Pending> p) {
+  const QueryClass klass = p->desc.klass;
+  const std::size_t ci = static_cast<std::size_t>(klass);
+  bool paused;
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    ++stats_.admitted;
+    queued_cost_ms_[ci] += p->est.ms;
+    queues_[ci].push_back(std::move(p));
+    paused = paused_;
+  }
+  if (!paused) {
+    pool_.submit([this] { drain_one(); }, pool_priority(klass));
+  }
+}
+
+void QueryScheduler::resume() {
+  std::size_t pending = 0;
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    if (!paused_) return;
+    paused_ = false;
+    for (const auto& q : queues_) pending += q.size();
+  }
+  // One drain task per pending query; tasks superseded by a fused batch
+  // find the queues empty and return.
+  for (std::size_t i = 0; i < pending; ++i) {
+    pool_.submit([this] { drain_one(); }, core::TaskPriority::kNormal);
+  }
+}
+
+void QueryScheduler::drain() {
+  std::unique_lock<std::mutex> lk(qmu_);
+  drain_cv_.wait(lk, [&] {
+    if (in_flight_ != 0) return false;
+    if (paused_) return true;  // queued-but-paused work is not in flight
+    for (const auto& q : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  });
+}
+
+void QueryScheduler::drain_one() {
+  std::unique_ptr<Pending> first;
+  std::vector<std::unique_ptr<Pending>> batch;
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    for (std::size_t c = 0; c < 3 && !first; ++c) {
+      if (!queues_[c].empty()) {
+        first = std::move(queues_[c].front());
+        queues_[c].pop_front();
+        queued_cost_ms_[c] =
+            std::max(0.0, queued_cost_ms_[c] - first->est.ms);
+      }
+    }
+    if (!first) return;  // this task's query was absorbed by a fused batch
+    ++in_flight_;
+    if (first->desc.kind == QueryKind::kBfs && opts_.enable_batching) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        auto& q = queues_[c];
+        for (auto it = q.begin();
+             it != q.end() && batch.size() + 1 < opts_.max_bfs_batch;) {
+          if ((*it)->desc.kind == QueryKind::kBfs) {
+            queued_cost_ms_[c] =
+                std::max(0.0, queued_cost_ms_[c] - (*it)->est.ms);
+            batch.push_back(std::move(*it));
+            it = q.erase(it);
+            ++in_flight_;
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+  }
+  if (batch.empty()) {
+    execute_single(*first);
+  } else {
+    batch.insert(batch.begin(), std::move(first));
+    execute_bfs_batch(batch);
+  }
+}
+
+void QueryScheduler::execute_single(Pending& p) {
+  const double wait_ms = ms_since(p.submitted_at);
+  QueryResult r;
+  r.kind = p.desc.kind;
+  r.predicted_ms = p.est.ms;
+  r.wait_ms = wait_ms;
+  if (p.desc.deadline_ms > 0.0 && wait_ms > p.desc.deadline_ms) {
+    r.status = QueryStatus::kDeadlineMiss;
+    finish(p, std::move(r));
+    return;
+  }
+  SnapshotRef snap = snaps_.acquire();
+  if (!snap) {
+    r.status = QueryStatus::kNoSnapshot;
+    finish(p, std::move(r));
+    return;
+  }
+  core::WallTimer timer;
+  try {
+    r = run_kernel(p.desc, snap);
+  } catch (const std::exception& e) {
+    r.status = QueryStatus::kFailed;
+    r.error = e.what();
+  }
+  r.kind = p.desc.kind;
+  r.exec_ms = timer.millis();
+  r.predicted_ms = p.est.ms;
+  r.wait_ms = wait_ms;
+  r.epoch = snap.epoch();
+  if (r.ok()) {
+    model_.observe(p.desc.kind, p.est.raw_ms, r.exec_ms);
+    if (p.desc.use_cache) {
+      cache_.insert(QueryKey::of(p.desc, snap.epoch()),
+                    std::make_shared<const QueryResult>(r));
+    }
+  }
+  finish(p, std::move(r));
+}
+
+void QueryScheduler::execute_bfs_batch(
+    std::vector<std::unique_ptr<Pending>>& batch) {
+  SnapshotRef snap = snaps_.acquire();
+  // Settle deadline expiries and invalid seeds individually; survivors
+  // ride the fused pass.
+  std::vector<Pending*> live;
+  std::vector<vid_t> seeds;
+  for (auto& p : batch) {
+    QueryResult r;
+    r.kind = QueryKind::kBfs;
+    r.predicted_ms = p->est.ms;
+    r.wait_ms = ms_since(p->submitted_at);
+    if (!snap) {
+      r.status = QueryStatus::kNoSnapshot;
+      finish(*p, std::move(r));
+      continue;
+    }
+    if (p->desc.deadline_ms > 0.0 && r.wait_ms > p->desc.deadline_ms) {
+      r.status = QueryStatus::kDeadlineMiss;
+      finish(*p, std::move(r));
+      continue;
+    }
+    if (p->desc.seed >= snap.graph().num_vertices()) {
+      r.status = QueryStatus::kFailed;
+      r.error = "bfs seed out of range";
+      finish(*p, std::move(r));
+      continue;
+    }
+    live.push_back(p.get());
+    seeds.push_back(p->desc.seed);
+  }
+  if (live.empty()) return;
+
+  core::WallTimer timer;
+  QueryResult fail;
+  bool failed = false;
+  engine::MultiSourceBfsResult ms;
+  try {
+    ms = engine::multi_source_bfs(snap.graph(), seeds);
+  } catch (const std::exception& e) {
+    failed = true;
+    fail.status = QueryStatus::kFailed;
+    fail.error = e.what();
+  }
+  const double exec_ms = timer.millis();
+  const bool fused = live.size() > 1;
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    if (fused) {
+      ++stats_.batches;
+      stats_.batched_queries += live.size();
+    }
+  }
+  const vid_t n = snap.graph().num_vertices();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Pending& p = *live[i];
+    QueryResult r;
+    if (failed) {
+      r = fail;
+    } else {
+      r.status = QueryStatus::kOk;
+      r.dist.resize(n);
+      for (vid_t v = 0; v < n; ++v) r.dist[v] = ms.dist_of(v, i);
+      r.reached = ms.reached[i];
+    }
+    r.kind = QueryKind::kBfs;
+    r.batched = fused;
+    r.exec_ms = exec_ms;
+    r.predicted_ms = p.est.ms;
+    r.wait_ms = ms_since(p.submitted_at);
+    r.epoch = snap.epoch();
+    if (r.ok()) {
+      // A fused pass measures k queries at once; per-query calibration
+      // only learns from solo executions, so skip observe() here.
+      if (p.desc.use_cache) {
+        cache_.insert(QueryKey::of(p.desc, snap.epoch()),
+                      std::make_shared<const QueryResult>(r));
+      }
+    }
+    finish(p, std::move(r));
+  }
+}
+
+QueryResult QueryScheduler::run_kernel(const QueryDesc& desc,
+                                       const SnapshotRef& snap) {
+  const graph::CSRGraph& g = snap.graph();
+  const vid_t n = g.num_vertices();
+  QueryResult r;
+  r.kind = desc.kind;
+  const bool needs_seed = desc.kind == QueryKind::kBfs ||
+                          desc.kind == QueryKind::kJaccardNeighbors ||
+                          desc.kind == QueryKind::kSubgraphExtract;
+  if (needs_seed && desc.seed >= n) {
+    r.status = QueryStatus::kFailed;
+    r.error = "seed out of range";
+    return r;
+  }
+  switch (desc.kind) {
+    case QueryKind::kBfs: {
+      auto res = kernels::bfs(g, desc.seed);
+      r.dist = std::move(res.dist);
+      r.reached = res.reached;
+      break;
+    }
+    case QueryKind::kPageRankTopK: {
+      const auto res = kernels::pagerank(g, serving_pagerank_opts());
+      r.topk = kernels::pagerank_topk(res, desc.k);
+      break;
+    }
+    case QueryKind::kJaccardNeighbors: {
+      r.neighbors = kernels::jaccard_query(g, desc.seed, desc.threshold);
+      if (r.neighbors.size() > desc.k) r.neighbors.resize(desc.k);
+      break;
+    }
+    case QueryKind::kWcc: {
+      const auto res = kernels::wcc_label_propagation(g);
+      r.num_components = res.num_components;
+      r.largest_component = res.largest_size;
+      break;
+    }
+    case QueryKind::kSubgraphExtract: {
+      r.members = kernels::khop_neighborhood(g, {desc.seed}, desc.depth);
+      // Arc count inside the neighborhood: members is sorted, so each
+      // adjacency probe is a binary search.
+      eid_t arcs = 0;
+      for (const vid_t u : r.members) {
+        for (const vid_t v : g.out_neighbors(u)) {
+          arcs += std::binary_search(r.members.begin(), r.members.end(), v);
+        }
+      }
+      r.subgraph_arcs = arcs;
+      break;
+    }
+  }
+  r.status = QueryStatus::kOk;
+  return r;
+}
+
+QueryResult QueryScheduler::execute_now(const QueryDesc& desc) {
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    ++stats_.submitted;
+  }
+  const std::uint64_t epoch = snaps_.current_epoch();
+  if (epoch == 0) {
+    QueryResult r;
+    r.status = QueryStatus::kNoSnapshot;
+    r.kind = desc.kind;
+    std::lock_guard<std::mutex> lk(qmu_);
+    ++stats_.no_snapshot;
+    return r;
+  }
+  if (desc.use_cache) {
+    if (auto hit = cache_.lookup(QueryKey::of(desc, epoch))) {
+      QueryResult r = *hit;
+      r.cache_hit = true;
+      r.wait_ms = 0.0;
+      r.exec_ms = 0.0;  // no kernel ran for this caller
+      std::lock_guard<std::mutex> lk(qmu_);
+      ++stats_.cache_hits;
+      return r;
+    }
+  }
+  SnapshotRef snap = snaps_.acquire();
+  if (!snap) {
+    QueryResult r;
+    r.status = QueryStatus::kNoSnapshot;
+    r.kind = desc.kind;
+    return r;
+  }
+  const CostEstimate est = model_.predict(desc, snap.graph().num_vertices(),
+                                          snap.graph().num_arcs());
+  QueryResult r;
+  if (desc.deadline_ms > 0.0 && est.ms > desc.deadline_ms) {
+    r.status = QueryStatus::kRejectedCost;
+    r.kind = desc.kind;
+    r.predicted_ms = est.ms;
+    r.epoch = snap.epoch();
+    std::lock_guard<std::mutex> lk(qmu_);
+    ++stats_.rejected_cost;
+    return r;
+  }
+  core::WallTimer timer;
+  try {
+    r = run_kernel(desc, snap);
+  } catch (const std::exception& e) {
+    r.status = QueryStatus::kFailed;
+    r.error = e.what();
+  }
+  r.kind = desc.kind;
+  r.exec_ms = timer.millis();
+  r.predicted_ms = est.ms;
+  r.epoch = snap.epoch();
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    ++stats_.admitted;
+    if (r.ok()) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  if (r.ok()) {
+    model_.observe(desc.kind, est.raw_ms, r.exec_ms);
+    if (desc.use_cache) {
+      cache_.insert(QueryKey::of(desc, snap.epoch()),
+                    std::make_shared<const QueryResult>(r));
+    }
+  }
+  return r;
+}
+
+void QueryScheduler::finish(Pending& p, QueryResult&& r) {
+  const QueryStatus status = r.status;
+  // Account BEFORE resolving the future: a caller unblocked by get() must
+  // already see this query reflected in stats(). in_flight_ drops after
+  // set_value so drain() cannot return with an unresolved future.
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    switch (status) {
+      case QueryStatus::kOk:
+        ++stats_.completed;
+        break;
+      case QueryStatus::kDeadlineMiss:
+        ++stats_.deadline_misses;
+        break;
+      case QueryStatus::kNoSnapshot:
+        ++stats_.no_snapshot;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+  }
+  p.promise.set_value(std::move(r));
+  std::lock_guard<std::mutex> lk(qmu_);
+  GA_ASSERT(in_flight_ >= 1);
+  --in_flight_;
+  drain_cv_.notify_all();
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lk(qmu_);
+  return stats_;
+}
+
+engine::CounterGroup QueryScheduler::counters() const {
+  const SchedulerStats st = stats();
+  return {"scheduler",
+          {{"submitted", st.submitted},
+           {"admitted", st.admitted},
+           {"cache_hits", st.cache_hits},
+           {"rejected_cost", st.rejected_cost},
+           {"rejected_overload", st.rejected_overload},
+           {"rejected_backlog", st.rejected_backlog},
+           {"no_snapshot", st.no_snapshot},
+           {"completed", st.completed},
+           {"failed", st.failed},
+           {"deadline_misses", st.deadline_misses},
+           {"fused_batches", st.batches},
+           {"batched_queries", st.batched_queries}}};
+}
+
+}  // namespace ga::server

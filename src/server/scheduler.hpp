@@ -1,0 +1,133 @@
+// QueryScheduler: typed queries over immutable snapshots, executed by a
+// priority-aware ThreadPool. Per-class FIFO queues (interactive, standard,
+// batch) map onto core::TaskPriority; admission control is model-driven —
+// the Fig. 3 bounding-resource prediction (ServingCostModel) gates every
+// submission, so a query whose predicted cost (or predicted queue wait)
+// exceeds its deadline budget is REJECTED with backpressure instead of
+// stalling the queue. Same-kernel batching fuses up to kMaxMultiSourceSeeds
+// concurrent BFS requests into one engine::multi_source_bfs pass, and every
+// completed result lands in the epoch-keyed ResultCache.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "server/cost_model.hpp"
+#include "server/result_cache.hpp"
+#include "server/snapshot.hpp"
+
+namespace ga::server {
+
+struct SchedulerOptions {
+  /// Dedicated worker threads executing queries (>= 1). Query kernels run
+  /// serially inside a worker; concurrency comes from workers x queries.
+  unsigned workers = 4;
+  /// Per-class pending cap; submissions beyond it get kRejectedBacklog.
+  std::size_t max_queue_per_class = 256;
+  /// Fuse up to this many queued BFS queries into one multi-source pass.
+  std::size_t max_bfs_batch = 16;
+  bool enable_batching = true;
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+  /// Tests: queue submissions without executing until resume() — makes
+  /// batching and priority order deterministic.
+  bool start_paused = false;
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t cache_hits = 0;        // served without touching a worker
+  std::uint64_t rejected_cost = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_backlog = 0;
+  std::uint64_t no_snapshot = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_misses = 0;   // admitted but budget expired queued
+  std::uint64_t batches = 0;           // fused multi-source passes
+  std::uint64_t batched_queries = 0;   // queries served by those passes
+};
+
+class QueryScheduler {
+ public:
+  /// `snaps` must outlive the scheduler.
+  explicit QueryScheduler(SnapshotManager& snaps, SchedulerOptions opts = {});
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Admission-checked asynchronous submission. The future always resolves:
+  /// cache hits and rejections resolve before submit returns, admitted
+  /// queries resolve when a worker completes (or expires) them.
+  std::future<QueryResult> submit(const QueryDesc& desc);
+
+  /// Synchronous execution on the calling thread (cache + cost gate still
+  /// apply, queue wait does not). Benches use it for cold/hit probes.
+  QueryResult execute_now(const QueryDesc& desc);
+
+  /// Blocks until every admitted query has resolved.
+  void drain();
+
+  /// start_paused control (see SchedulerOptions).
+  void resume();
+
+  SchedulerStats stats() const;
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+  ServingCostModel& cost_model() { return model_; }
+  const ServingCostModel& cost_model() const { return model_; }
+  engine::CounterGroup counters() const;
+
+ private:
+  struct Pending {
+    QueryDesc desc;
+    std::promise<QueryResult> promise;
+    CostEstimate est;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  /// Admission gate: returns nullopt when admitted, a terminal result
+  /// otherwise. Fills `est`.
+  std::optional<QueryResult> admission_check(const QueryDesc& desc,
+                                             CostEstimate& est);
+  void enqueue(std::unique_ptr<Pending> p);
+  /// Worker task body: pop + execute one query (or one fused batch).
+  void drain_one();
+  void execute_single(Pending& p);
+  void execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch);
+  /// Runs the kernel for `desc` against `snap`, filling payload fields.
+  QueryResult run_kernel(const QueryDesc& desc, const SnapshotRef& snap);
+  void finish(Pending& p, QueryResult&& r);
+  static core::TaskPriority pool_priority(QueryClass c) {
+    return static_cast<core::TaskPriority>(c);
+  }
+
+  SnapshotManager& snaps_;
+  SchedulerOptions opts_;
+  ServingCostModel model_;
+  ResultCache cache_;
+
+  mutable std::mutex qmu_;
+  std::condition_variable drain_cv_;
+  std::deque<std::unique_ptr<Pending>> queues_[3];  // by QueryClass
+  double queued_cost_ms_[3] = {0.0, 0.0, 0.0};
+  std::size_t in_flight_ = 0;
+  bool paused_ = false;
+  SchedulerStats stats_;
+
+  // Declared last: destroyed first, so worker tasks (which borrow every
+  // member above) are joined before any state they touch goes away.
+  core::ThreadPool pool_;
+};
+
+}  // namespace ga::server

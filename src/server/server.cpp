@@ -1,0 +1,31 @@
+#include "server/server.hpp"
+
+#include <cstdio>
+
+namespace ga::server {
+
+std::vector<engine::CounterGroup> AnalyticsServer::counters() const {
+  return {snapshots_.counters(), scheduler_.counters(),
+          scheduler_.cache().counters()};
+}
+
+std::string AnalyticsServer::format_health() const {
+  std::string out = "serving health:\n";
+  out += engine::format_counter_groups(counters());
+  const CostModelStats cm = scheduler_.cost_model().stats();
+  out += "  [cost_model]\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "    %-28s %12llu\n", "predictions",
+                static_cast<unsigned long long>(cm.predictions));
+  out += buf;
+  for (std::size_t i = 0; i < kNumQueryKinds; ++i) {
+    if (cm.observations[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "    calib[%-12s] %10.4f  (%llu obs)\n",
+                  query_kind_name(static_cast<QueryKind>(i)), cm.calibration[i],
+                  static_cast<unsigned long long>(cm.observations[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ga::server

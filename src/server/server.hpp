@@ -1,0 +1,65 @@
+// AnalyticsServer: the serving layer's front door. Owns the snapshot
+// manager and the query scheduler, and exposes the two verbs the rest of
+// the system needs: publish(graph) for writers (batch pipeline, streaming
+// trigger) and submit(query) for readers. The publisher() adapter returns a
+// plain std::function so lower layers (pipeline, streaming) can push
+// epochs into the server without linking against ga_server — they depend
+// only on graph::CSRGraph and std::function.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "server/scheduler.hpp"
+#include "server/snapshot.hpp"
+
+namespace ga::server {
+
+class AnalyticsServer {
+ public:
+  explicit AnalyticsServer(SchedulerOptions opts = {})
+      : scheduler_(snapshots_, opts) {}
+
+  /// Publishes `g` as the next immutable epoch; returns the epoch id.
+  /// In-flight queries keep their leased snapshots; the result cache drops
+  /// entries from earlier epochs.
+  std::uint64_t publish(graph::CSRGraph g) {
+    return snapshots_.publish(std::move(g));
+  }
+
+  /// Adapter for layers that publish epochs but must not depend on the
+  /// server (streaming triggers, pipeline flows). Copies the graph so the
+  /// caller keeps mutating its working copy.
+  std::function<void(const graph::CSRGraph&)> publisher() {
+    return [this](const graph::CSRGraph& g) { snapshots_.publish(g); };
+  }
+
+  std::future<QueryResult> submit(const QueryDesc& desc) {
+    return scheduler_.submit(desc);
+  }
+  QueryResult execute_now(const QueryDesc& desc) {
+    return scheduler_.execute_now(desc);
+  }
+  void drain() { scheduler_.drain(); }
+  void resume() { scheduler_.resume(); }
+
+  SnapshotManager& snapshots() { return snapshots_; }
+  QueryScheduler& scheduler() { return scheduler_; }
+
+  /// Serving-health counters: snapshots, scheduler, result cache — ready
+  /// for engine::format_counter_groups.
+  std::vector<engine::CounterGroup> counters() const;
+
+  /// Human-readable health block (what fig2_canonical_flow prints).
+  std::string format_health() const;
+
+ private:
+  // Scheduler declared after the manager it borrows; destroyed first, so
+  // every lease drains before the snapshots go away.
+  SnapshotManager snapshots_;
+  QueryScheduler scheduler_;
+};
+
+}  // namespace ga::server

@@ -1,0 +1,93 @@
+#include "server/snapshot.hpp"
+
+#include <algorithm>
+
+namespace ga::server {
+
+void SnapshotRef::release() {
+  if (snap_ == nullptr) return;
+  mgr_->release(snap_);
+  mgr_ = nullptr;
+  snap_ = nullptr;
+}
+
+SnapshotManager::~SnapshotManager() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Leases outlive queries, queries are drained before the server tears
+  // down; a live lease here would become a dangling pointer.
+  GA_ASSERT(retired_.empty());
+  GA_ASSERT(current_ == nullptr ||
+            current_->readers_.load(std::memory_order_relaxed) == 0);
+}
+
+std::uint64_t SnapshotManager::publish(graph::CSRGraph g) {
+  std::function<void(std::uint64_t)> listener;
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch = epoch_.load(std::memory_order_relaxed) + 1;
+    auto snap = std::make_unique<Snapshot>(epoch, std::move(g));
+    if (current_ != nullptr) retired_.push_back(std::move(current_));
+    current_ = std::move(snap);
+    epoch_.store(epoch, std::memory_order_release);
+    reclaim_locked();
+    listener = listener_;
+  }
+  if (listener) listener(epoch);
+  return epoch;
+}
+
+SnapshotRef SnapshotManager::acquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_ == nullptr) return {};
+  current_->readers_.fetch_add(1, std::memory_order_relaxed);
+  ++acquires_;
+  return SnapshotRef(this, current_.get());
+}
+
+void SnapshotManager::release(const Snapshot* snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto* s = const_cast<Snapshot*>(snap);
+  const std::uint64_t before = s->readers_.fetch_sub(1, std::memory_order_relaxed);
+  GA_ASSERT(before >= 1);
+  // Only a retired snapshot can become reclaimable here; the current one
+  // stays alive regardless of its lease count.
+  if (before == 1 && s != current_.get()) reclaim_locked();
+}
+
+void SnapshotManager::reclaim_locked() {
+  const auto dead = [](const std::unique_ptr<Snapshot>& s) {
+    return s->readers_.load(std::memory_order_relaxed) == 0;
+  };
+  const std::size_t n = retired_.size();
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(), dead),
+                 retired_.end());
+  reclaimed_ += n - retired_.size();
+}
+
+void SnapshotManager::set_epoch_listener(std::function<void(std::uint64_t)> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  listener_ = std::move(fn);
+}
+
+SnapshotManagerStats SnapshotManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SnapshotManagerStats st;
+  st.published = epoch_.load(std::memory_order_relaxed);
+  st.reclaimed = reclaimed_;
+  st.acquires = acquires_;
+  st.retired_live = retired_.size();
+  st.current_epoch = st.published;
+  return st;
+}
+
+engine::CounterGroup SnapshotManager::counters() const {
+  const SnapshotManagerStats st = stats();
+  return {"snapshots",
+          {{"epochs_published", st.published},
+           {"leases_acquired", st.acquires},
+           {"retired_reclaimed", st.reclaimed},
+           {"retired_pinned_by_readers", st.retired_live}}};
+}
+
+}  // namespace ga::server

@@ -1,0 +1,142 @@
+// Epoch-versioned immutable snapshot publication — the serving layer's
+// answer to the paper's central tension (Fig. 2): batch analytics want a
+// frozen CSR while the update stream keeps mutating the persistent graph.
+// A writer publishes a new immutable CSRGraph under the next epoch; readers
+// lease the current snapshot through RAII SnapshotRef handles and keep
+// reading it unperturbed while newer epochs appear. Reclamation is
+// epoch-based: a superseded snapshot is moved to the retired list and its
+// memory is freed only when the last outstanding lease drains — readers
+// never block writers, writers never invalidate a running query.
+//
+// Concurrency contract: publish/acquire take a mutex for pointer motion
+// only (no graph copies happen under the lock); graph reads are lock-free
+// because snapshots are immutable after publication.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/telemetry.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace ga::server {
+
+class SnapshotManager;
+
+/// One immutable published graph version.
+class Snapshot {
+ public:
+  Snapshot(std::uint64_t epoch, graph::CSRGraph g)
+      : epoch_(epoch), g_(std::move(g)) {}
+
+  std::uint64_t epoch() const { return epoch_; }
+  const graph::CSRGraph& graph() const { return g_; }
+
+ private:
+  friend class SnapshotManager;
+
+  std::uint64_t epoch_ = 0;
+  graph::CSRGraph g_;
+  std::atomic<std::uint64_t> readers_{0};  // outstanding SnapshotRef leases
+};
+
+/// RAII reader lease on one snapshot. Movable, not copyable. The referenced
+/// snapshot (and its epoch's CSR arrays) outlives every live ref even if
+/// arbitrarily many newer epochs are published meanwhile.
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  SnapshotRef(SnapshotRef&& other) noexcept
+      : mgr_(other.mgr_), snap_(other.snap_) {
+    other.mgr_ = nullptr;
+    other.snap_ = nullptr;
+  }
+  SnapshotRef& operator=(SnapshotRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      mgr_ = other.mgr_;
+      snap_ = other.snap_;
+      other.mgr_ = nullptr;
+      other.snap_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+  ~SnapshotRef() { release(); }
+
+  explicit operator bool() const { return snap_ != nullptr; }
+  const Snapshot* operator->() const { return snap_; }
+  const Snapshot& operator*() const { return *snap_; }
+  const graph::CSRGraph& graph() const { return snap_->graph(); }
+  std::uint64_t epoch() const { return snap_->epoch(); }
+
+  void release();
+
+ private:
+  friend class SnapshotManager;
+  SnapshotRef(SnapshotManager* mgr, const Snapshot* snap)
+      : mgr_(mgr), snap_(snap) {}
+
+  SnapshotManager* mgr_ = nullptr;
+  const Snapshot* snap_ = nullptr;
+};
+
+struct SnapshotManagerStats {
+  std::uint64_t published = 0;    // epochs published so far
+  std::uint64_t reclaimed = 0;    // retired snapshots whose memory was freed
+  std::uint64_t acquires = 0;     // leases handed out
+  std::size_t retired_live = 0;   // superseded snapshots pinned by readers
+  std::uint64_t current_epoch = 0;
+};
+
+class SnapshotManager {
+ public:
+  SnapshotManager() = default;
+  /// All leases must be released before destruction (callers drain their
+  /// schedulers first); outstanding refs at destruction abort.
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Publishes `g` as the next epoch and returns that epoch (1-based; epoch
+  /// 0 means "nothing published yet"). The previous snapshot is retired and
+  /// reclaimed once its last lease drains. The epoch listener (if any) runs
+  /// after the swap, outside the lock — the result cache hooks it to drop
+  /// stale entries.
+  std::uint64_t publish(graph::CSRGraph g);
+
+  /// Leases the current snapshot; empty ref when nothing is published yet.
+  SnapshotRef acquire();
+
+  std::uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Called with the new epoch after each publish (single listener).
+  void set_epoch_listener(std::function<void(std::uint64_t)> fn);
+
+  SnapshotManagerStats stats() const;
+  engine::CounterGroup counters() const;
+
+ private:
+  friend class SnapshotRef;
+  void release(const Snapshot* snap);
+  /// Frees retired snapshots with no outstanding leases (mu_ held).
+  void reclaim_locked();
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Snapshot> current_;
+  std::vector<std::unique_ptr<Snapshot>> retired_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t reclaimed_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::function<void(std::uint64_t)> listener_;
+};
+
+}  // namespace ga::server

@@ -73,6 +73,22 @@ void StreamProcessor::set_degraded_analytic(std::function<double(vid_t)> fn) {
   degraded_analytic_ = std::move(fn);
 }
 
+void StreamProcessor::set_epoch_publisher(
+    std::function<void(const graph::CSRGraph&)> fn,
+    std::uint64_t every_n_updates) {
+  GA_CHECK(every_n_updates > 0, "set_epoch_publisher: every_n must be > 0");
+  epoch_publisher_ = std::move(fn);
+  publish_every_n_ = every_n_updates;
+  updates_since_publish_ = 0;
+}
+
+void StreamProcessor::publish_epoch() {
+  if (!epoch_publisher_) return;
+  epoch_publisher_(g_.snapshot());
+  ++stats_.epoch_publications;
+  updates_since_publish_ = 0;
+}
+
 void StreamProcessor::fire(vid_t seed, const std::string& reason,
                            double metric, std::int64_t ts) {
   ++stats_.triggers;
@@ -88,6 +104,9 @@ void StreamProcessor::fire(vid_t seed, const std::string& reason,
     a.subgraph_vertices = sub.num_vertices();
     a.analytic_result = analytic_(sub, seed_local);
     alerts_.push_back(std::move(a));
+    // A trigger marks a meaningful local change — refresh the serving epoch
+    // so queries land on the post-anomaly graph.
+    publish_epoch();
     return;
   }
 
@@ -130,9 +149,12 @@ void StreamProcessor::fire(vid_t seed, const std::string& reason,
   }
   a.analytic_result = an.value;
   alerts_.push_back(std::move(a));
+  publish_epoch();
 }
 
 void StreamProcessor::apply(const Update& u) {
+  const bool structural =
+      u.kind == UpdateKind::kEdgeInsert || u.kind == UpdateKind::kEdgeDelete;
   switch (u.kind) {
     case UpdateKind::kEdgeInsert: {
       ++stats_.inserts;
@@ -175,6 +197,10 @@ void StreamProcessor::apply(const Update& u) {
     case UpdateKind::kVertexQuery:
       ++stats_.queries;
       break;
+  }
+  if (structural && epoch_publisher_ &&
+      ++updates_since_publish_ >= publish_every_n_) {
+    publish_epoch();
   }
 }
 

@@ -57,6 +57,7 @@ struct StreamStats {
   std::uint64_t property_updates = 0;
   std::uint64_t queries = 0;
   std::uint64_t triggers = 0;
+  std::uint64_t epoch_publications = 0;  // snapshots pushed to the publisher
   // Resilience counters for the trigger path (extraction + re-analytic).
   std::uint64_t retries = 0;
   std::uint64_t deadline_misses = 0;
@@ -83,6 +84,16 @@ class StreamProcessor {
 
   /// Fallback metric for degraded alerts: fn(seed) -> approximate result.
   void set_degraded_analytic(std::function<double(vid_t)> fn);
+
+  /// Route frozen CSR snapshots to a downstream consumer (typically
+  /// server::AnalyticsServer::publisher()) every `every_n_updates`
+  /// structural updates and after every trigger fire. Keeps the serving
+  /// layer's epoch fresh without this layer depending on the server.
+  void set_epoch_publisher(std::function<void(const graph::CSRGraph&)> fn,
+                           std::uint64_t every_n_updates = 1024);
+
+  /// Push the current graph state to the publisher immediately.
+  void publish_epoch();
 
   /// Apply one update; may append to alerts().
   void apply(const Update& u);
@@ -111,6 +122,9 @@ class StreamProcessor {
   resilience::StageExecutor* executor_ = nullptr;
   resilience::StageOptions stage_opts_;
   std::function<double(vid_t)> degraded_analytic_;
+  std::function<void(const graph::CSRGraph&)> epoch_publisher_;
+  std::uint64_t publish_every_n_ = 1024;
+  std::uint64_t updates_since_publish_ = 0;
 };
 
 /// Producer/consumer streaming run with backpressure: a producer thread

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
@@ -181,6 +182,97 @@ TEST(ThreadPool, NestedUseFromWorkerBodyIsSafeSerially) {
     for (int i = 0; i < 10; ++i) total.fetch_add(1);
   });
   EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPool, SubmitRunsInlineWithZeroWorkers) {
+  // num_threads=1 means the calling thread is the only "worker": submit
+  // must execute the task before returning (1-core host degradation).
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.pending_tasks(), 0u);
+}
+
+TEST(ThreadPool, SubmittedTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); },
+                static_cast<TaskPriority>(i % 3));
+  }
+  // Busy-wait with a deadline; tasks are trivial.
+  for (int spins = 0; done.load() < kTasks && spins < 20000; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, TasksDrainInPriorityOrder) {
+  // One dedicated worker; a blocker task pins it while we enqueue one task
+  // per class out of priority order. The drain order must be high, normal,
+  // low regardless of submission order.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return release; });
+  });
+  // Give the worker a moment to pick up the blocker so the next three
+  // tasks queue behind it rather than racing it.
+  while (pool.pending_tasks() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto record = [&](int tag) {
+    return [&, tag] {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        order.push_back(tag);
+      }
+      done.fetch_add(1);
+    };
+  };
+  pool.submit(record(2), TaskPriority::kLow);
+  pool.submit(record(1), TaskPriority::kNormal);
+  pool.submit(record(0), TaskPriority::kHigh);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (int spins = 0; done.load() < 3 && spins < 20000; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(done.load(), 3);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, ParallelForStillWorksAfterSubmits) {
+  // Regions and one-shot tasks share workers; a region issued after tasks
+  // drains normally and covers every index.
+  ThreadPool pool(3);
+  std::atomic<int> task_done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] { task_done.fetch_add(1); });
+  }
+  std::vector<std::atomic<int>> hits(512);
+  std::function<void(std::uint64_t, std::uint64_t)> body =
+      [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+  pool.parallel_for(0, hits.size(), 19, body);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  for (int spins = 0; task_done.load() < 16 && spins < 20000; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(task_done.load(), 16);
 }
 
 TEST(RunningStats, MatchesDirectComputation) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# One-shot CI gate: configure + build everything, run the full ctest
+# suite, then the sanitizer sweeps (ASan+UBSan full suite, TSan on the
+# parallel paths including the serving layer, plus the resilience chaos
+# mode). This is the exact sequence a PR must pass; run it locally
+# before pushing.
+#
+# Usage:
+#   tools/ci.sh           # full gate (build + tests + sanitizers)
+#   tools/ci.sh fast      # build + tests only, skip sanitizer rebuilds
+#
+# Environment:
+#   JOBS=N     parallelism (default: nproc)
+#   BUILD_DIR  primary build tree (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+MODE="${1:-full}"
+
+echo "=== [ci] configure (${BUILD_DIR}) ==="
+cmake -B "$BUILD_DIR" -S "$ROOT" > /dev/null
+
+echo "=== [ci] build (-j ${JOBS}) ==="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "=== [ci] ctest (full suite) ==="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+echo "=== [ci] ctest (serving label, repeated for flake detection) ==="
+(cd "$BUILD_DIR" && ctest --output-on-failure -L serving --repeat until-fail:2)
+
+if [[ "$MODE" == "fast" ]]; then
+  echo "=== [ci] fast mode: skipping sanitizer sweeps ==="
+  echo "CI gate (fast) passed."
+  exit 0
+fi
+
+echo "=== [ci] sanitizer sweep (full) ==="
+"$ROOT/tools/run_sanitizers.sh"
+
+echo "=== [ci] sanitizer sweep (chaos: resilience + serving) ==="
+"$ROOT/tools/run_sanitizers.sh" chaos
+
+echo "CI gate passed."

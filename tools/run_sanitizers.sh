@@ -25,14 +25,17 @@ if [[ "$MODE" == "chaos" ]]; then
   echo "=== [chaos/asan-ubsan] resilience suite (recovery + fault injection) ==="
   "$ASAN_DIR/tests/ga_resilience_tests"
 
-  echo "=== [chaos/tsan] configure + build resilience suite ==="
+  echo "=== [chaos/tsan] configure + build resilience + serving suites ==="
   TSAN_DIR="$ROOT/build-san/tsan"
   cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target ga_resilience_tests > /dev/null
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+        --target ga_resilience_tests ga_serving_tests > /dev/null
   echo "=== [chaos/tsan] backpressure queue + streaming handoff tests ==="
   "$TSAN_DIR/tests/ga_resilience_tests" \
       --gtest_filter='IngestQueue*:Backpressure*:RunStream*:Wal.AsyncDrain*'
+  echo "=== [chaos/tsan] serving suite (snapshot churn + concurrent clients) ==="
+  "$TSAN_DIR/tests/ga_serving_tests"
   echo "Chaos sanitizer suites passed."
   exit 0
 fi
@@ -49,8 +52,10 @@ echo "=== [tsan] configure + build (-fsanitize=thread) ==="
 TSAN_DIR="$ROOT/build-san/tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$TSAN_DIR" -j "$JOBS" --target ga_tests > /dev/null
+cmake --build "$TSAN_DIR" -j "$JOBS" --target ga_tests ga_serving_tests > /dev/null
 echo "=== [tsan] parallel-path tests ==="
 "$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
+echo "=== [tsan] serving suite (snapshot lifetime + scheduler concurrency) ==="
+"$TSAN_DIR/tests/ga_serving_tests"
 
 echo "All sanitizer suites passed."
