@@ -1,17 +1,22 @@
 // Machine-readable bench output: every bench that accepts --json writes a
 // flat BENCH_<name>.json next to the binary's working directory so sweeps
-// can be diffed and plotted without scraping stdout. Values are rendered
-// when added (numbers as %.6g, strings escaped), so the document class is
-// just an ordered list of pre-rendered fields.
+// can be diffed and plotted without scraping stdout.
+//
+// Rendering (string escaping, %.6g numbers, inf/nan -> null) is delegated
+// to obs::JsonWriter so bench artifacts and the metrics exposition share
+// one serialization policy, and every document carries the same
+// `schema_version` stamp (obs::kSchemaVersion).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/common.hpp"
+#include "obs/exposition.hpp"
 
 namespace ga::bench {
 
@@ -22,23 +27,28 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Value of `--flag N` style arguments; fallback when absent.
+inline long flag_value(int argc, char** argv, const char* flag,
+                       long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
 class JsonDoc {
  public:
   explicit JsonDoc(std::string bench_name) : name_(std::move(bench_name)) {
+    add("schema_version", obs::kSchemaVersion);
     add("bench", name_);
   }
 
   void add(const std::string& key, const std::string& v) {
-    std::string esc;
-    for (const char c : v) {
-      if (c == '"' || c == '\\') esc.push_back('\\');
-      if (c == '\n') { esc += "\\n"; continue; }
-      esc.push_back(c);
-    }
-    fields_.push_back("\"" + key + "\": \"" + esc + "\"");
+    fields_.push_back("\"" + key + "\": \"" + obs::JsonWriter::escape(v) +
+                      "\"");
   }
   void add(const std::string& key, double v) {
-    fields_.push_back("\"" + key + "\": " + num(v));
+    fields_.push_back("\"" + key + "\": " + obs::JsonWriter::number(v));
   }
   void add(const std::string& key, std::uint64_t v) {
     fields_.push_back("\"" + key + "\": " + std::to_string(v));
@@ -50,9 +60,17 @@ class JsonDoc {
     std::string body;
     for (std::size_t i = 0; i < vs.size(); ++i) {
       if (i) body += ", ";
-      body += num(vs[i]);
+      body += obs::JsonWriter::number(vs[i]);
     }
     fields_.push_back("\"" + key + "\": [" + body + "]");
+  }
+  /// Embed the current metrics exposition (pre-rendered JSON) under `key`,
+  /// so a bench artifact can carry the registry state of its own run.
+  void add_metrics(const std::string& key,
+                   const obs::MetricsRegistry& reg =
+                       obs::MetricsRegistry::global()) {
+    fields_.push_back("\"" + key + "\": " +
+                      obs::expose_json(reg, /*tracer=*/nullptr));
   }
 
   /// Writes BENCH_<name>.json in the current directory; returns the path.
@@ -72,14 +90,6 @@ class JsonDoc {
   }
 
  private:
-  static std::string num(double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    // JSON has no inf/nan literals; clamp to null.
-    if (std::strstr(buf, "inf") || std::strstr(buf, "nan")) return "null";
-    return buf;
-  }
-
   std::string name_;
   std::vector<std::string> fields_;
 };

@@ -9,6 +9,8 @@
 #include "core/prng.hpp"
 #include "core/stats.hpp"
 #include "core/timer.hpp"
+#include "obs/exposition.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/flow.hpp"
 #include "server/server.hpp"
 
@@ -131,7 +133,34 @@ int main() {
                   res.cache_hit ? "HIT " : "miss", res.exec_ms,
                   static_cast<unsigned long long>(res.epoch));
     }
+
+    // --- end-to-end query trace: one served query, every layer visible
+    // (admission → snapshot epoch → kernel → engine steps with bounding
+    // resource → cache write) ---
+    auto& tracer = obs::Tracer::global();
+    tracer.set_active(true);
+    QueryDesc traced = bfs_q;
+    traced.seed = 7;  // fresh seed: miss the cache so the kernel runs
+    {
+      obs::ScopedSpan root("query", {});
+      root.set_detail(std::string("kind=") +
+                      server::query_kind_name(traced.kind));
+      traced.trace = root.context();
+      serving.execute_now(traced);
+      std::printf("\n--- span tree of one served query (trace %llu) ---\n",
+                  static_cast<unsigned long long>(root.context().trace_id));
+      root.finish();
+      std::printf("%s", tracer.format_tree(traced.trace.trace_id).c_str());
+    }
+    tracer.set_active(false);
   }
+  // Unified telemetry: fold the serving and streaming health views into
+  // the process-wide registry and print the exposition that the golden
+  // file test pins down.
+  serving.publish_metrics();
+  flow.publish_stream_metrics();
+  std::printf("\n--- metrics exposition (schema_version=%d) ---\n%s",
+              obs::kSchemaVersion, obs::expose_text().c_str());
   std::printf("\n%s", serving.format_health().c_str());
   std::printf(
       "\n(The streaming query path answers per-applicant relationship\n"

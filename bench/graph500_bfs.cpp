@@ -8,6 +8,9 @@
 //
 // --json: additionally writes BENCH_graph500_bfs.json with harmonic-mean
 // MTEPS plus median/p95 per-root times for every (scale, engine) cell.
+// --scale N: run only that scale (the ci.sh obs-overhead gate's knob).
+// --no-obs: runtime-disable metrics/tracing before the timed region, for
+// measuring instrumentation overhead against a GA_OBS_NOOP build.
 #include <algorithm>
 #include <cstdio>
 
@@ -19,6 +22,7 @@
 #include "engine/archbridge.hpp"
 #include "graph/generators.hpp"
 #include "kernels/bfs.hpp"
+#include "obs/metrics.hpp"
 
 using namespace ga;
 using namespace ga::kernels;
@@ -95,10 +99,17 @@ void run_scale(unsigned scale, bool show_steps, bench::JsonDoc* doc) {
 
 int main(int argc, char** argv) {
   const bool json = bench::has_flag(argc, argv, "--json");
+  if (bench::has_flag(argc, argv, "--no-obs")) obs::set_enabled(false);
+  const long only_scale = bench::flag_value(argc, argv, "--scale", 0);
   bench::JsonDoc doc("graph500_bfs");
   std::printf("=== Graph500-style BFS (E8) ===\n\n");
-  for (unsigned scale : {14u, 16u, 18u}) {
-    run_scale(scale, scale == 18u, json ? &doc : nullptr);
+  if (only_scale > 0) {
+    run_scale(static_cast<unsigned>(only_scale), /*show_steps=*/false,
+              json ? &doc : nullptr);
+  } else {
+    for (unsigned scale : {14u, 16u, 18u}) {
+      run_scale(scale, scale == 18u, json ? &doc : nullptr);
+    }
   }
   std::printf("\nShape: direction-optimizing wins on the fat RMAT frontiers.\n");
   if (json) doc.write();

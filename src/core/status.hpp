@@ -1,0 +1,152 @@
+// core::Status / StatusOr<T> — the one error vocabulary for fallible APIs.
+// Replaces the mixed styles that grew across the subsystems (bool + error
+// string in resilience, ga::Error exceptions in graph/io, ad-hoc enums in
+// the server): a Status carries a machine-readable code plus a human
+// message, and StatusOr<T> carries either a value or the Status explaining
+// its absence. The observability layer records the codes uniformly, so a
+// failed load, an exhausted retry stage, and a rejected query all expose
+// the same taxonomy in traces and metrics.
+//
+// Legacy bridging: throwing APIs stay as thin wrappers — `or_throw()`
+// converts a non-OK Status into the historical ga::Error, preserving the
+// original message text.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/common.hpp"
+
+namespace ga::core {
+
+/// Failure taxonomy (a pragmatic subset of the canonical RPC codes).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // caller-supplied input is malformed
+  kNotFound,            // named thing (file, kernel, metric) absent
+  kOutOfRange,          // index / id outside the valid domain
+  kResourceExhausted,   // capacity limit hit (queue full, backlog)
+  kDeadlineExceeded,    // budget expired before completion
+  kUnavailable,         // transient: retry may succeed (no snapshot yet)
+  kDataLoss,            // durable bytes are gone or corrupt (CRC, torn tail)
+  kFailedPrecondition,  // call sequence violated (run_batch first)
+  kInternal,            // invariant broke; bug, not bad input
+};
+inline constexpr std::size_t kNumStatusCodes = 10;
+
+inline const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status OutOfRange(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status DataLoss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  /// Bridge to the legacy throwing API: raises ga::Error with the original
+  /// message text (so existing EXPECT_THROW(…, ga::Error) tests hold).
+  const Status& or_throw() const {
+    if (!ok()) throw Error(message_);
+    return *this;
+  }
+
+  bool operator==(const Status& o) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or the Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    GA_ASSERT(!status_.ok());  // OK without a value is a contract violation
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GA_ASSERT(ok());
+    return *value_;
+  }
+  T& value() & {
+    GA_ASSERT(ok());
+    return *value_;
+  }
+  T&& value() && {
+    GA_ASSERT(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Legacy bridge: the value, or ga::Error with the status message.
+  T value_or_throw() && {
+    status_.or_throw();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ga::core

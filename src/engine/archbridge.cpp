@@ -1,5 +1,9 @@
 #include "engine/archbridge.hpp"
 
+#include <cstdio>
+
+#include "archmodel/configs.hpp"
+
 namespace ga::engine {
 
 archmodel::StepDemand to_step_demand(const StepStats& s,
@@ -36,6 +40,59 @@ archmodel::ModelResult evaluate_measured(const archmodel::MachineConfig& m,
                                          const std::string& prefix,
                                          const DemandModel& model) {
   return archmodel::evaluate(m, to_step_demands(t, prefix, model));
+}
+
+archmodel::Resource step_bound_resource(const StepStats& s,
+                                        const DemandModel& model) {
+  static const archmodel::MachineConfig baseline = archmodel::baseline_2012();
+  const archmodel::ModelResult r =
+      archmodel::evaluate(baseline, {to_step_demand(s, "step", model)});
+  return r.steps.empty() ? archmodel::Resource::kCompute
+                         : r.steps.front().bounding;
+}
+
+obs::BoundResource to_obs_resource(archmodel::Resource r) {
+  switch (r) {
+    case archmodel::Resource::kCompute: return obs::BoundResource::kCompute;
+    case archmodel::Resource::kMemory: return obs::BoundResource::kMemory;
+    case archmodel::Resource::kDisk: return obs::BoundResource::kDisk;
+    case archmodel::Resource::kNetwork: return obs::BoundResource::kNetwork;
+  }
+  return obs::BoundResource::kNone;
+}
+
+void obs_record_step(const StepStats& s) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& c_steps = reg.counter("engine.steps_total");
+  static obs::Counter& c_edges = reg.counter("engine.edges_traversed_total");
+  static obs::Counter& c_verts = reg.counter("engine.vertices_touched_total");
+  static obs::Counter& c_bytes = reg.counter("engine.bytes_moved_total");
+  static obs::Counter& c_push = reg.counter("engine.push_steps_total");
+  static obs::Counter& c_pull = reg.counter("engine.pull_steps_total");
+  static obs::Histogram& h_step = reg.histogram("engine.step_us");
+  c_steps.add();
+  c_edges.add(s.edges_traversed);
+  c_verts.add(s.vertices_touched);
+  c_bytes.add(s.bytes_moved);
+  (s.direction == Direction::kPush ? c_push : c_pull).add();
+  const double step_ms = s.seconds * 1e3;
+  h_step.observe(s.seconds * 1e6);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.active()) return;
+  const obs::TraceContext parent = obs::ambient();
+  if (!parent.valid()) return;
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "dir=%s frontier=%llu edges=%llu bytes=%llu",
+                direction_name(s.direction),
+                static_cast<unsigned long long>(s.frontier_size),
+                static_cast<unsigned long long>(s.edges_traversed),
+                static_cast<unsigned long long>(s.bytes_moved));
+  tracer.emit_interval(parent, "engine.step", tracer.now_ms() - step_ms,
+                       step_ms, to_obs_resource(step_bound_resource(s)),
+                       core::StatusCode::kOk, detail);
 }
 
 }  // namespace ga::engine

@@ -11,6 +11,7 @@
 
 #include "archmodel/nora_model.hpp"
 #include "engine/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ga::engine {
 
@@ -45,5 +46,19 @@ archmodel::ModelResult evaluate_measured(const archmodel::MachineConfig& m,
                                          const Telemetry& t,
                                          const std::string& prefix,
                                          const DemandModel& model = {});
+
+/// Fig. 3 bounding resource of one measured super-step, evaluated on the
+/// paper's 2012 baseline machine.
+archmodel::Resource step_bound_resource(const StepStats& s,
+                                        const DemandModel& model = {});
+
+/// archmodel::Resource → the obs layer's mirrored taxonomy.
+obs::BoundResource to_obs_resource(archmodel::Resource r);
+
+/// Observability sink for one finished super-step: bumps the engine.*
+/// registry instruments and — when a trace is active on this thread —
+/// emits an `engine.step` span under the ambient context, attributed with
+/// the step's bounding resource. One obs::enabled() load when disabled.
+void obs_record_step(const StepStats& s);
 
 }  // namespace ga::engine

@@ -83,4 +83,30 @@ std::string format_counter_groups(const std::vector<CounterGroup>& groups) {
   return out;
 }
 
+void publish_counter_groups(const std::vector<CounterGroup>& groups,
+                            const std::string& prefix,
+                            obs::MetricsRegistry& reg) {
+  auto sanitize = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == ' ') {
+        out += '_';
+      } else if (c >= 'A' && c <= 'Z') {
+        out += static_cast<char>(c - 'A' + 'a');
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  for (const CounterGroup& g : groups) {
+    const std::string base = prefix + sanitize(g.name) + ".";
+    for (const Counter& c : g.counters) {
+      reg.gauge(base + sanitize(c.name))
+          .set(static_cast<double>(c.value));
+    }
+  }
+}
+
 }  // namespace ga::engine

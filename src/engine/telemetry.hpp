@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace ga::engine {
 
 enum class Direction : std::uint8_t { kPush, kPull };
@@ -74,5 +76,14 @@ struct CounterGroup {
 
 /// Render groups as an indented "name  value" table (one block per group).
 std::string format_counter_groups(const std::vector<CounterGroup>& groups);
+
+/// Publish counter groups into the metrics registry as gauges named
+/// `<prefix><group>.<counter>` (names lowercased, spaces → '_'). Values are
+/// point-in-time snapshots of the owner's counters, so gauges (idempotent
+/// set) rather than registry counters; republishing refreshes them. This is
+/// how the serving-health and stream-health surfaces become registry views.
+void publish_counter_groups(
+    const std::vector<CounterGroup>& groups, const std::string& prefix,
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global());
 
 }  // namespace ga::engine

@@ -36,6 +36,7 @@
 
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
+#include "engine/archbridge.hpp"
 #include "engine/frontier.hpp"
 #include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
@@ -268,6 +269,7 @@ Frontier edge_map(const graph::CSRGraph& g, Frontier& frontier, F&& f,
                           g.weighted());
   st.seconds = timer.seconds();
   if (telem) telem->record(st);
+  obs_record_step(st);  // one relaxed load per super-step when disabled
   return next;
 }
 
@@ -291,14 +293,15 @@ void vertex_map(Frontier& frontier, Fn&& fn, bool parallel = false,
         };
     core::ThreadPool::global().parallel_for(0, items.size(), 256, body);
   }
-  if (telem) {
+  if (telem || obs::enabled()) {
     StepStats st;
     st.direction = Direction::kPush;
     st.frontier_size = frontier.size();
     st.vertices_touched = frontier.size();
     st.bytes_moved = detail::model_bytes(frontier.size(), 0, false);
     st.seconds = timer.seconds();
-    telem->record(st);
+    if (telem) telem->record(st);
+    obs_record_step(st);
   }
 }
 

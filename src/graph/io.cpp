@@ -22,7 +22,7 @@ void write_edge_list_text(std::ostream& os, const std::vector<Edge>& edges,
   }
 }
 
-std::vector<Edge> read_edge_list_text(std::istream& is) {
+core::StatusOr<std::vector<Edge>> try_read_edge_list_text(std::istream& is) {
   std::vector<Edge> edges;
   std::string line;
   while (std::getline(is, line)) {
@@ -30,17 +30,21 @@ std::vector<Edge> read_edge_list_text(std::istream& is) {
     std::istringstream ls(line);
     Edge e;
     if (!(ls >> e.u >> e.v)) {
-      throw Error("malformed edge list line: " + line);
+      return core::Status::InvalidArgument("malformed edge list line: " +
+                                           line);
     }
     if (!(ls >> e.w)) ls.clear();  // weight is optional
     std::string trailing;
     if (ls >> trailing) {
-      throw Error("malformed edge list line (trailing tokens): " + line);
+      return core::Status::InvalidArgument(
+          "malformed edge list line (trailing tokens): " + line);
     }
     e.ts = static_cast<std::int64_t>(edges.size());
     edges.push_back(e);
   }
-  GA_CHECK(!is.bad(), "edge list read error (stream bad)");
+  if (is.bad()) {
+    return core::Status::DataLoss("edge list read error (stream bad)");
+  }
   return edges;
 }
 
@@ -52,15 +56,18 @@ void write_edge_list_binary(std::ostream& os, const std::vector<Edge>& edges) {
            static_cast<std::streamsize>(m * sizeof(Edge)));
 }
 
-std::vector<Edge> read_edge_list_binary(std::istream& is) {
+core::StatusOr<std::vector<Edge>> try_read_edge_list_binary(std::istream& is) {
   char magic[8];
   is.read(magic, sizeof(magic));
-  GA_CHECK(is.gcount() == sizeof(magic) &&
-               std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-           "bad binary edge list magic");
+  if (is.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return core::Status::DataLoss("bad binary edge list magic");
+  }
   std::uint64_t m = 0;
   is.read(reinterpret_cast<char*>(&m), sizeof(m));
-  GA_CHECK(is.gcount() == sizeof(m), "truncated binary edge list header");
+  if (is.gcount() != sizeof(m)) {
+    return core::Status::DataLoss("truncated binary edge list header");
+  }
   // Read in bounded chunks so a corrupted header count fails on the first
   // missing chunk instead of attempting one enormous upfront allocation,
   // and so a truncated file never yields a partially-filled edge list.
@@ -73,34 +80,60 @@ std::vector<Edge> read_edge_list_binary(std::istream& is) {
     edges.resize(base + take);
     is.read(reinterpret_cast<char*>(edges.data() + base),
             static_cast<std::streamsize>(take * sizeof(Edge)));
-    GA_CHECK(is.gcount() == static_cast<std::streamsize>(take * sizeof(Edge)),
-             "truncated binary edge list body: header claims " +
-                 std::to_string(m) + " edges, file holds " +
-                 std::to_string(base + static_cast<std::size_t>(
-                                           is.gcount() / sizeof(Edge))));
+    if (is.gcount() != static_cast<std::streamsize>(take * sizeof(Edge))) {
+      return core::Status::DataLoss(
+          "truncated binary edge list body: header claims " +
+          std::to_string(m) + " edges, file holds " +
+          std::to_string(base +
+                         static_cast<std::size_t>(is.gcount() / sizeof(Edge))));
+    }
     remaining -= take;
   }
-  GA_CHECK(is.peek() == std::char_traits<char>::eof(),
-           "trailing bytes after binary edge list body");
+  if (is.peek() != std::char_traits<char>::eof()) {
+    return core::Status::DataLoss("trailing bytes after binary edge list body");
+  }
   return edges;
 }
 
-void save_edge_list(const std::string& path, const std::vector<Edge>& edges,
-                    bool binary) {
+core::Status try_save_edge_list(const std::string& path,
+                                const std::vector<Edge>& edges, bool binary) {
   std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
-  GA_CHECK(os.good(), "cannot open for write: " + path);
+  if (!os.good()) {
+    return core::Status::NotFound("cannot open for write: " + path);
+  }
   if (binary) {
     write_edge_list_binary(os, edges);
   } else {
     write_edge_list_text(os, edges, /*with_weights=*/true);
   }
-  GA_CHECK(os.good(), "write failed: " + path);
+  if (!os.good()) return core::Status::DataLoss("write failed: " + path);
+  return core::Status::Ok();
+}
+
+core::StatusOr<std::vector<Edge>> try_load_edge_list(const std::string& path,
+                                                     bool binary) {
+  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
+  if (!is.good()) {
+    return core::Status::NotFound("cannot open for read: " + path);
+  }
+  return binary ? try_read_edge_list_binary(is) : try_read_edge_list_text(is);
+}
+
+std::vector<Edge> read_edge_list_text(std::istream& is) {
+  return try_read_edge_list_text(is).value_or_throw();
+}
+
+std::vector<Edge> read_edge_list_binary(std::istream& is) {
+  return try_read_edge_list_binary(is).value_or_throw();
+}
+
+void save_edge_list(const std::string& path, const std::vector<Edge>& edges,
+                    bool binary) {
+  try_save_edge_list(path, edges, binary).or_throw();
 }
 
 std::vector<Edge> load_edge_list(const std::string& path, bool binary) {
-  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
-  GA_CHECK(is.good(), "cannot open for read: " + path);
-  return binary ? read_edge_list_binary(is) : read_edge_list_text(is);
+  return try_load_edge_list(path, binary).value_or_throw();
 }
 
 }  // namespace ga::graph

@@ -1,23 +1,39 @@
 // Edge-list I/O: whitespace text ("u v [w]" per line, '#' comments) and a
 // compact binary format for round-tripping generated inputs.
+//
+// The try_* functions are the primary API: they return core::Status /
+// StatusOr and never throw on bad input (malformed line → kInvalidArgument,
+// missing file → kNotFound, truncation/corruption → kDataLoss). The
+// historical throwing signatures remain as thin wrappers that raise
+// ga::Error with the status message.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "graph/edge.hpp"
 
 namespace ga::graph {
 
 void write_edge_list_text(std::ostream& os, const std::vector<Edge>& edges,
                           bool with_weights = false);
-std::vector<Edge> read_edge_list_text(std::istream& is);
+core::StatusOr<std::vector<Edge>> try_read_edge_list_text(std::istream& is);
 
 void write_edge_list_binary(std::ostream& os, const std::vector<Edge>& edges);
-std::vector<Edge> read_edge_list_binary(std::istream& is);
+core::StatusOr<std::vector<Edge>> try_read_edge_list_binary(std::istream& is);
 
-/// File-path conveniences (throw ga::Error on I/O failure).
+/// File-path conveniences.
+core::Status try_save_edge_list(const std::string& path,
+                                const std::vector<Edge>& edges,
+                                bool binary = false);
+core::StatusOr<std::vector<Edge>> try_load_edge_list(const std::string& path,
+                                                     bool binary = false);
+
+/// Legacy throwing wrappers (ga::Error with the status message).
+std::vector<Edge> read_edge_list_text(std::istream& is);
+std::vector<Edge> read_edge_list_binary(std::istream& is);
 void save_edge_list(const std::string& path, const std::vector<Edge>& edges,
                     bool binary = false);
 std::vector<Edge> load_edge_list(const std::string& path, bool binary = false);

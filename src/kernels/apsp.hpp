@@ -31,4 +31,16 @@ std::vector<float> eccentricities(const ApspResult& r);
 /// Exact diameter (max finite eccentricity).
 float exact_diameter(const ApspResult& r);
 
+enum class ApspAlgo { kDijkstra, kFloydWarshall };
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct ApspOptions {
+  ApspAlgo algo = ApspAlgo::kDijkstra;
+};
+
+inline ApspResult run(const CSRGraph& g, const ApspOptions& opts) {
+  return opts.algo == ApspAlgo::kFloydWarshall ? apsp_floyd_warshall(g)
+                                               : apsp_dijkstra(g);
+}
+
 }  // namespace ga::kernels

@@ -31,4 +31,24 @@ std::vector<double> betweenness_sampled(const CSRGraph& g, vid_t num_pivots,
 /// order fixed by chunk merge order within a tolerance).
 std::vector<double> betweenness_exact_parallel(const CSRGraph& g);
 
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct BetweennessOptions {
+  vid_t num_pivots = 0;  // 0 = exact (all sources); >0 = sampled
+  std::uint64_t seed = 1;
+  bool parallel = false;  // exact only
+};
+
+struct BetweennessResult {
+  std::vector<double> centrality;  // unnormalized pair-dependency sums
+};
+
+inline BetweennessResult run(const CSRGraph& g,
+                             const BetweennessOptions& opts) {
+  if (opts.num_pivots > 0) {
+    return {betweenness_sampled(g, opts.num_pivots, opts.seed)};
+  }
+  return {opts.parallel ? betweenness_exact_parallel(g)
+                        : betweenness_exact(g)};
+}
+
 }  // namespace ga::kernels

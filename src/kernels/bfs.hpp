@@ -27,11 +27,24 @@ struct BfsResult {
 
 enum class BfsMode { kTopDown, kBottomUp, kDirectionOptimizing };
 
+/// Uniform kernel entry point (see kernels/registry.hpp): every kernel
+/// exposes run(graph, <Kernel>Options) -> <Kernel>Result.
+struct BfsOptions {
+  vid_t source = 0;
+  BfsMode mode = BfsMode::kDirectionOptimizing;
+  bool parallel = false;  // parallel top-down engine (ignores `mode`)
+};
+
 BfsResult bfs(const CSRGraph& g, vid_t source,
               BfsMode mode = BfsMode::kDirectionOptimizing);
 
 /// Parallel frontier-based top-down BFS (atomic parent claims).
 BfsResult bfs_parallel(const CSRGraph& g, vid_t source);
+
+inline BfsResult run(const CSRGraph& g, const BfsOptions& opts) {
+  return opts.parallel ? bfs_parallel(g, opts.source)
+                       : bfs(g, opts.source, opts.mode);
+}
 
 /// Eccentricity lower bound by a double BFS sweep (approximate diameter).
 std::uint32_t approx_diameter(const CSRGraph& g, vid_t start = 0);

@@ -49,4 +49,17 @@ double global_clustering(const CSRGraph& g) {
                      : 3.0 * static_cast<double>(tris) / static_cast<double>(wedges);
 }
 
+ClusteringResult run(const CSRGraph& g, const ClusteringOptions& opts) {
+  ClusteringResult r;
+  auto cc = local_clustering(g);
+  if (!cc.empty()) {
+    double sum = 0.0;
+    for (double c : cc) sum += c;
+    r.average = sum / static_cast<double>(cc.size());
+  }
+  if (opts.per_vertex) r.local = std::move(cc);
+  r.global = global_clustering(g);
+  return r;
+}
+
 }  // namespace ga::kernels

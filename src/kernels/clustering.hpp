@@ -20,4 +20,17 @@ double average_clustering(const CSRGraph& g);
 /// Transitivity: 3 * triangles / wedges.
 double global_clustering(const CSRGraph& g);
 
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct ClusteringOptions {
+  bool per_vertex = true;  // also materialize the per-vertex coefficients
+};
+
+struct ClusteringResult {
+  std::vector<double> local;  // empty unless per_vertex
+  double average = 0.0;       // Watts–Strogatz mean of local coefficients
+  double global = 0.0;        // transitivity
+};
+
+ClusteringResult run(const CSRGraph& g, const ClusteringOptions& opts);
+
 }  // namespace ga::kernels

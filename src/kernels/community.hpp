@@ -38,4 +38,25 @@ CommunityResult community_louvain_phase1(const CSRGraph& g,
 CommunityResult community_louvain(const CSRGraph& g, unsigned max_levels = 10,
                                   unsigned max_rounds = 32);
 
+enum class CommunityAlgo { kLabelPropagation, kLouvain, kLouvainPhase1 };
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct CommunityOptions {
+  CommunityAlgo algo = CommunityAlgo::kLabelPropagation;
+  unsigned max_rounds = 32;
+  unsigned max_levels = 10;  // Louvain only
+  std::uint64_t seed = 1;    // label propagation only
+};
+
+inline CommunityResult run(const CSRGraph& g, const CommunityOptions& opts) {
+  switch (opts.algo) {
+    case CommunityAlgo::kLouvain:
+      return community_louvain(g, opts.max_levels, opts.max_rounds);
+    case CommunityAlgo::kLouvainPhase1:
+      return community_louvain_phase1(g, opts.max_rounds);
+    default:
+      return community_label_propagation(g, opts.max_rounds, opts.seed);
+  }
+}
+
 }  // namespace ga::kernels

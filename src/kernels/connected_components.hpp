@@ -53,4 +53,19 @@ ComponentsResult wcc_union_find(const CSRGraph& g);
 /// three engines produce byte-identical results.
 void canonicalize_labels(std::vector<vid_t>& label);
 
+enum class WccAlgo { kLabelPropagation, kBfs, kUnionFind };
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct ComponentsOptions {
+  WccAlgo algo = WccAlgo::kLabelPropagation;
+};
+
+inline ComponentsResult run(const CSRGraph& g, const ComponentsOptions& opts) {
+  switch (opts.algo) {
+    case WccAlgo::kBfs: return wcc_bfs(g);
+    case WccAlgo::kUnionFind: return wcc_union_find(g);
+    default: return wcc_label_propagation(g);
+  }
+}
+
 }  // namespace ga::kernels

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "graph/builder.hpp"
+#include "kernels/community.hpp"
 
 namespace ga::kernels {
 
@@ -52,6 +53,13 @@ ContractionResult contract(const CSRGraph& g, const std::vector<vid_t>& group) {
   opts.dedup_parallel_edges = false;  // already aggregated
   r.contracted = graph::build_csr(std::move(edges), r.num_groups, opts);
   return r;
+}
+
+ContractionResult run(const CSRGraph& g, const ContractionOptions& opts) {
+  if (!opts.group.empty()) return contract(g, opts.group);
+  const CommunityResult comm =
+      community_label_propagation(g, /*max_rounds=*/32, opts.seed);
+  return contract(g, comm.community);
 }
 
 }  // namespace ga::kernels

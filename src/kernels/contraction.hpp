@@ -24,4 +24,14 @@ struct ContractionResult {
 /// `group` maps each vertex to an arbitrary group id (need not be dense).
 ContractionResult contract(const CSRGraph& g, const std::vector<vid_t>& group);
 
+/// Uniform kernel entry point (see kernels/registry.hpp). An empty group
+/// map contracts by community_label_propagation — the paper's canonical
+/// "detect communities, then contract" pipeline.
+struct ContractionOptions {
+  std::vector<vid_t> group;  // vertex -> group id; empty = auto-detect
+  std::uint64_t seed = 1;    // community detection seed when auto-detecting
+};
+
+ContractionResult run(const CSRGraph& g, const ContractionOptions& opts);
+
 }  // namespace ga::kernels

@@ -166,4 +166,20 @@ std::vector<GeoEvent> generate_geo_stream(const GeoStreamOptions& opts) {
   return events;
 }
 
+GeoTemporalResult run(const graph::CSRGraph& g,
+                      const GeoTemporalOptions& opts) {
+  GeoStreamOptions stream = opts.stream;
+  if (stream.count == 0) stream.count = g.num_vertices();
+  const auto events = generate_geo_stream(stream);
+  GeoTemporalResult r;
+  r.events = events.size();
+  const auto clusters = correlation_clusters(events, opts.params);
+  r.clusters = clusters.num_clusters;
+  r.largest_cluster = clusters.largest;
+  StreamingGeoCorrelator det(opts.params, opts.alert_threshold);
+  for (const auto& e : events) det.ingest(e);
+  r.alerts = det.alerts().size();
+  return r;
+}
+
 }  // namespace ga::kernels

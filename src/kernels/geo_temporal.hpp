@@ -13,6 +13,10 @@
 
 #include "core/common.hpp"
 
+namespace ga::graph {
+class CSRGraph;
+}
+
 namespace ga::kernels {
 
 struct GeoEvent {
@@ -89,5 +93,24 @@ struct GeoStreamOptions {
   std::uint64_t seed = 1;
 };
 std::vector<GeoEvent> generate_geo_stream(const GeoStreamOptions& opts);
+
+/// Uniform kernel entry point (see kernels/registry.hpp). This kernel is
+/// stream-native: the graph argument only sizes the synthetic stream when
+/// `stream.count` is 0 (one event per vertex); correlation then runs over
+/// the generated events in both batch and streaming form.
+struct GeoTemporalOptions {
+  GeoStreamOptions stream;
+  CorrelationParams params;
+  std::size_t alert_threshold = 8;  // streaming density threshold
+};
+
+struct GeoTemporalResult {
+  std::size_t events = 0;
+  std::uint32_t clusters = 0;       // batch correlation clusters
+  std::uint32_t largest_cluster = 0;
+  std::size_t alerts = 0;           // streaming hotspot alerts
+};
+
+GeoTemporalResult run(const graph::CSRGraph& g, const GeoTemporalOptions& opts);
 
 }  // namespace ga::kernels

@@ -39,4 +39,23 @@ std::vector<JaccardPair> jaccard_topk(const CSRGraph& g, std::size_t k);
 std::vector<JaccardPair> jaccard_query(const CSRGraph& g, vid_t u,
                                        double threshold = 0.0);
 
+/// Uniform kernel entry point (see kernels/registry.hpp). With a query
+/// vertex set, runs the per-vertex query form; otherwise batch top-k.
+struct JaccardOptions {
+  std::size_t topk = 10;
+  vid_t query = kInvalidVid;  // != kInvalidVid selects the query form
+  double threshold = 0.0;
+};
+
+struct JaccardResult {
+  std::vector<JaccardPair> pairs;  // descending coefficient
+};
+
+inline JaccardResult run(const CSRGraph& g, const JaccardOptions& opts) {
+  if (opts.query != kInvalidVid) {
+    return {jaccard_query(g, opts.query, opts.threshold)};
+  }
+  return {jaccard_topk(g, opts.topk)};
+}
+
 }  // namespace ga::kernels

@@ -3,6 +3,7 @@
 // stage and by anomaly triage (densely embedded vertices).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "engine/telemetry.hpp"
@@ -23,5 +24,28 @@ std::vector<vid_t> kcore_members(const CSRGraph& g, std::uint32_t k);
 
 /// Degeneracy = max core number.
 std::uint32_t degeneracy(const CSRGraph& g);
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct KCoreOptions {
+  std::uint32_t k = 0;  // >0 also materializes the k-core member list
+};
+
+struct KCoreResult {
+  std::vector<std::uint32_t> core;  // core number per vertex
+  std::uint32_t degeneracy = 0;     // max core number
+  std::vector<vid_t> members;       // k-core vertices (empty unless k > 0)
+};
+
+inline KCoreResult run(const CSRGraph& g, const KCoreOptions& opts) {
+  KCoreResult r;
+  r.core = core_numbers(g);
+  for (std::uint32_t c : r.core) r.degeneracy = std::max(r.degeneracy, c);
+  if (opts.k > 0) {
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (r.core[v] >= opts.k) r.members.push_back(v);
+    }
+  }
+  return r;
+}
 
 }  // namespace ga::kernels

@@ -29,4 +29,12 @@ TrussResult truss_decomposition(const CSRGraph& g);
 /// Vertices of the k-truss subgraph (sorted).
 std::vector<vid_t> ktruss_members(const CSRGraph& g, std::uint32_t k);
 
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct KTrussOptions {};
+using KTrussResult = TrussResult;
+
+inline KTrussResult run(const CSRGraph& g, const KTrussOptions&) {
+  return truss_decomposition(g);
+}
+
 }  // namespace ga::kernels

@@ -20,4 +20,21 @@ std::vector<vid_t> mis_greedy(const CSRGraph& g);
 /// Validation: true iff `set` is independent and maximal in g.
 bool is_maximal_independent_set(const CSRGraph& g, const std::vector<vid_t>& set);
 
+enum class MisAlgo { kLuby, kGreedy };
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct MisOptions {
+  MisAlgo algo = MisAlgo::kLuby;
+  std::uint64_t seed = 1;
+};
+
+struct MisResult {
+  std::vector<vid_t> members;  // sorted independent set
+};
+
+inline MisResult run(const CSRGraph& g, const MisOptions& opts) {
+  return {opts.algo == MisAlgo::kGreedy ? mis_greedy(g)
+                                        : mis_luby(g, opts.seed)};
+}
+
 }  // namespace ga::kernels

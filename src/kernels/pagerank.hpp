@@ -16,6 +16,9 @@ struct PageRankOptions {
   double damping = 0.85;
   double tolerance = 1e-8;   // L1 delta between iterations
   unsigned max_iters = 100;
+  /// Non-empty = personalized PageRank with restart mass on these seeds
+  /// (only honored by the uniform run() entry point below).
+  std::vector<vid_t> seeds;
 };
 
 struct PageRankResult {
@@ -40,5 +43,11 @@ std::vector<std::pair<double, vid_t>> pagerank_topk(const PageRankResult& r,
 PageRankResult personalized_pagerank(const CSRGraph& g,
                                      const std::vector<vid_t>& seeds,
                                      const PageRankOptions& opts = {});
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+inline PageRankResult run(const CSRGraph& g, const PageRankOptions& opts) {
+  return opts.seeds.empty() ? pagerank(g, opts)
+                            : personalized_pagerank(g, opts.seeds, opts);
+}
 
 }  // namespace ga::kernels

@@ -36,4 +36,22 @@ PartitionResult refine_partition(const CSRGraph& g, PartitionResult init,
 PartitionResult partition(const CSRGraph& g, std::uint32_t k,
                           std::uint64_t seed = 1);
 
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct PartitionOptions {
+  std::uint32_t k = 8;
+  std::uint64_t seed = 1;
+  bool refine = true;
+  double balance_factor = 1.05;
+  unsigned max_passes = 8;
+};
+
+inline PartitionResult run(const CSRGraph& g, const PartitionOptions& opts) {
+  PartitionResult r = partition_bfs_grow(g, opts.k, opts.seed);
+  if (opts.refine) {
+    r = refine_partition(g, std::move(r), opts.balance_factor,
+                         opts.max_passes);
+  }
+  return r;
+}
+
 }  // namespace ga::kernels

@@ -1,0 +1,48 @@
+// Kernel registry: one row per Fig. 1 batch kernel, carrying the paper's
+// taxonomy metadata (kernel class, benchmark suites, output class) plus a
+// type-erased runner over the uniform run(graph, <Kernel>Options) API every
+// kernel header now exposes. ga_cli and bench/fig1_kernel_spectrum dispatch
+// through this table instead of hand-rolled per-kernel call sites, so a new
+// kernel shows up in both by adding one entry here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ga::kernels {
+
+struct KernelInfo {
+  std::string name;          // short id for CLI dispatch, e.g. "bfs"
+  std::string display;       // Fig. 1 row label
+  std::string kclass;        // taxonomy class (Fig. 1 first column group)
+  std::string suites;        // benchmark efforts containing it (B/S)
+  std::string output_class;  // output class (Fig. 1 last column group)
+  bool directed = false;     // runner wants a directed CSR input
+  /// RMAT scale the default run is sized for (heavier kernels get smaller
+  /// default inputs; harnesses may build one graph per distinct scale).
+  unsigned preferred_scale = 13;
+  /// Run with registry-default options; returns a one-line result summary.
+  std::function<std::string(const graph::CSRGraph&)> run;
+};
+
+/// All registered kernels, in Fig. 1 row order.
+const std::vector<KernelInfo>& registry();
+
+/// Lookup by short name; nullptr if unknown.
+const KernelInfo* find_kernel(std::string_view name);
+
+struct KernelRunOutcome {
+  std::string summary;
+  double millis = 0.0;
+};
+
+/// Timed dispatch through the registry: wraps the runner in a
+/// "kernel.<name>" trace span (under the ambient trace context, when the
+/// tracer is active) and records kernel.runs_total / kernel.run_us.
+KernelRunOutcome run_kernel(const KernelInfo& info, const graph::CSRGraph& g);
+
+}  // namespace ga::kernels

@@ -20,6 +20,17 @@ struct SccResult {
 SccResult scc_tarjan(const CSRGraph& g);
 SccResult scc_kosaraju(const CSRGraph& g);
 
+enum class SccAlgo { kTarjan, kKosaraju };
+
+/// Uniform kernel entry point (see kernels/registry.hpp). Directed input.
+struct SccOptions {
+  SccAlgo algo = SccAlgo::kTarjan;
+};
+
+inline SccResult run(const CSRGraph& g, const SccOptions& opts) {
+  return opts.algo == SccAlgo::kKosaraju ? scc_kosaraju(g) : scc_tarjan(g);
+}
+
 /// Normalize both results to compare: same partition iff equal after
 /// relabeling by first occurrence.
 std::vector<vid_t> normalize_partition(const std::vector<vid_t>& comp);

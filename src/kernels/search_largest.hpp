@@ -28,4 +28,19 @@ std::vector<vid_t> search_where(vid_t num_vertices,
 /// Top-k by out-degree, the paper's canonical example property.
 std::vector<ScoredVertex> largest_degree(const CSRGraph& g, std::size_t k);
 
+/// Uniform kernel entry point (see kernels/registry.hpp): top-k by degree,
+/// the paper's canonical "search for largest" property.
+struct SearchLargestOptions {
+  std::size_t k = 10;
+};
+
+struct SearchLargestResult {
+  std::vector<ScoredVertex> top;  // descending score
+};
+
+inline SearchLargestResult run(const CSRGraph& g,
+                               const SearchLargestOptions& opts) {
+  return {largest_degree(g, opts.k)};
+}
+
 }  // namespace ga::kernels

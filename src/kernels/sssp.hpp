@@ -34,4 +34,21 @@ SsspResult delta_stepping(const CSRGraph& g, vid_t source, float delta = 0.0f);
 /// Bellman-Ford; tolerates any nonnegative weights, O(nm) worst case.
 SsspResult bellman_ford(const CSRGraph& g, vid_t source);
 
+enum class SsspAlgo { kDeltaStepping, kDijkstra, kBellmanFord };
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct SsspOptions {
+  vid_t source = 0;
+  SsspAlgo algo = SsspAlgo::kDeltaStepping;
+  float delta = 0.0f;  // delta-stepping bucket width (<=0 = heuristic)
+};
+
+inline SsspResult run(const CSRGraph& g, const SsspOptions& opts) {
+  switch (opts.algo) {
+    case SsspAlgo::kDijkstra: return dijkstra(g, opts.source);
+    case SsspAlgo::kBellmanFord: return bellman_ford(g, opts.source);
+    default: return delta_stepping(g, opts.source, opts.delta);
+  }
+}
+
 }  // namespace ga::kernels

@@ -136,4 +136,21 @@ std::uint64_t count_cycles(const CSRGraph& data, vid_t k) {
   return subgraph_isomorphisms(data, cycle) / (2ULL * k);
 }
 
+SubgraphIsoResult run(const CSRGraph& g, const SubgraphIsoRunOptions& opts) {
+  SubgraphIsoOptions iso;
+  iso.limit = opts.limit;
+  iso.induced = opts.induced;
+  if (opts.pattern != nullptr) {
+    return {subgraph_isomorphisms(g, *opts.pattern, nullptr, iso)};
+  }
+  GA_CHECK(opts.cycle_length >= 3, "cycles need k >= 3");
+  std::vector<graph::Edge> edges;
+  for (vid_t i = 0; i < opts.cycle_length; ++i) {
+    edges.push_back(graph::Edge{i, (i + 1) % opts.cycle_length});
+  }
+  const CSRGraph cycle =
+      graph::build_undirected(std::move(edges), opts.cycle_length);
+  return {subgraph_isomorphisms(g, cycle, nullptr, iso)};
+}
+
 }  // namespace ga::kernels

@@ -36,4 +36,19 @@ std::uint64_t subgraph_isomorphisms(
 /// Convenience: count embeddings of a k-cycle (k>=3) in `data`.
 std::uint64_t count_cycles(const CSRGraph& data, vid_t k);
 
+/// Uniform kernel entry point (see kernels/registry.hpp). Matches
+/// `pattern` when supplied, else a `cycle_length`-cycle pattern.
+struct SubgraphIsoRunOptions {
+  const CSRGraph* pattern = nullptr;  // borrowed; nullptr = cycle pattern
+  vid_t cycle_length = 4;
+  std::uint64_t limit = 0;  // stop after this many embeddings (0 = all)
+  bool induced = false;
+};
+
+struct SubgraphIsoResult {
+  std::uint64_t embeddings = 0;  // raw count (not automorphism-reduced)
+};
+
+SubgraphIsoResult run(const CSRGraph& g, const SubgraphIsoRunOptions& opts);
+
 }  // namespace ga::kernels

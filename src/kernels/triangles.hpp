@@ -36,4 +36,26 @@ void triangle_list(const CSRGraph& g,
 /// Size of sorted-range intersection (shared helper for Jaccard/clustering).
 std::size_t intersect_count(std::span<const vid_t> a, std::span<const vid_t> b);
 
+enum class TriangleAlgo { kForward, kNodeIterator };
+
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct TrianglesOptions {
+  TriangleAlgo algo = TriangleAlgo::kForward;
+  bool per_vertex = false;  // also materialize per-vertex counts
+};
+
+struct TrianglesResult {
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> per_vertex;  // empty unless requested
+};
+
+inline TrianglesResult run(const CSRGraph& g, const TrianglesOptions& opts) {
+  TrianglesResult r;
+  r.total = opts.algo == TriangleAlgo::kNodeIterator
+                ? triangle_count_node_iterator(g)
+                : triangle_count_forward(g);
+  if (opts.per_vertex) r.per_vertex = triangle_counts_per_vertex(g);
+  return r;
+}
+
 }  // namespace ga::kernels

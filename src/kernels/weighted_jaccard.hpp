@@ -21,4 +21,19 @@ double weighted_jaccard_coefficient(const CSRGraph& g, vid_t u, vid_t v);
 std::vector<JaccardPair> weighted_jaccard_query(const CSRGraph& g, vid_t u,
                                                 double threshold = 0.0);
 
+/// Uniform kernel entry point (see kernels/registry.hpp).
+struct WeightedJaccardOptions {
+  vid_t query = 0;
+  double threshold = 0.0;
+};
+
+struct WeightedJaccardResult {
+  std::vector<JaccardPair> pairs;  // descending coefficient
+};
+
+inline WeightedJaccardResult run(const CSRGraph& g,
+                                 const WeightedJaccardOptions& opts) {
+  return {weighted_jaccard_query(g, opts.query, opts.threshold)};
+}
+
 }  // namespace ga::kernels

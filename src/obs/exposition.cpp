@@ -1,0 +1,200 @@
+#include "obs/exposition.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/common.hpp"
+
+namespace ga::obs {
+
+void JsonWriter::pre_value() {
+  if (have_key_) {
+    have_key_ = false;
+    return;
+  }
+  if (!levels_.empty()) {
+    if (levels_.back()) out_ += ',';
+    levels_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  levels_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  GA_ASSERT(!levels_.empty() && !have_key_);
+  levels_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  levels_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  GA_ASSERT(!levels_.empty() && !have_key_);
+  levels_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  GA_ASSERT(!levels_.empty() && !have_key_);
+  if (levels_.back()) out_ += ',';
+  levels_.back() = true;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  out_ += number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string esc;
+  esc.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': esc += "\\\""; break;
+      case '\\': esc += "\\\\"; break;
+      case '\n': esc += "\\n"; break;
+      case '\r': esc += "\\r"; break;
+      case '\t': esc += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          esc += buf;
+        } else {
+          esc.push_back(c);
+        }
+    }
+  }
+  return esc;
+}
+
+std::string JsonWriter::number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  // JSON has no inf/nan literals; clamp to null.
+  if (std::strstr(buf, "inf") || std::strstr(buf, "nan")) return "null";
+  return buf;
+}
+
+std::string sample_to_text(const MetricSample& s) {
+  std::string line;
+  switch (s.kind) {
+    case MetricKind::kCounter:
+      line = "counter " + s.name + ' ' + std::to_string(s.count);
+      break;
+    case MetricKind::kGauge:
+      line = "gauge " + s.name + ' ' + JsonWriter::number(s.value);
+      break;
+    case MetricKind::kHistogram:
+      line = "histogram " + s.name + " count=" + std::to_string(s.count) +
+             " sum=" + JsonWriter::number(s.value) +
+             " p50=" + JsonWriter::number(s.p50) +
+             " p95=" + JsonWriter::number(s.p95) +
+             " p99=" + JsonWriter::number(s.p99);
+      break;
+  }
+  return line;
+}
+
+std::string expose_text(const MetricsRegistry& reg) {
+  std::string out = "# ga_metrics schema_version=" +
+                    std::to_string(kSchemaVersion) + '\n';
+  for (const MetricSample& s : reg.snapshot()) {
+    out += sample_to_text(s);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string expose_json(const MetricsRegistry& reg, const Tracer* tracer) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(kSchemaVersion);
+  w.key("metrics").begin_array();
+  for (const MetricSample& s : reg.snapshot()) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        w.key("kind").value("counter");
+        w.key("count").value(s.count);
+        break;
+      case MetricKind::kGauge:
+        w.key("kind").value("gauge");
+        w.key("value").value(s.value);
+        break;
+      case MetricKind::kHistogram:
+        w.key("kind").value("histogram");
+        w.key("count").value(s.count);
+        w.key("sum").value(s.value);
+        w.key("p50").value(s.p50);
+        w.key("p95").value(s.p95);
+        w.key("p99").value(s.p99);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (tracer != nullptr) {
+    w.key("tracer").begin_object();
+    w.key("active").value(tracer->active());
+    w.key("traces_started").value(tracer->traces_started());
+    w.key("spans_recorded").value(tracer->spans_recorded());
+    w.key("spans_dropped").value(tracer->spans_dropped());
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ga::obs

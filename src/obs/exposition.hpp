@@ -1,0 +1,73 @@
+// Exposition: the one serialization surface for telemetry. Two formats:
+//
+//   * text  — `metric <kind> <name> <fields>` lines, sorted by name, stable
+//             enough to golden-test and grep (`ga_cli metrics`).
+//   * JSON  — schema_version-stamped document; the bench --json emitters
+//             (bench/bench_json.hpp) and `ga_cli metrics --json` are built
+//             on the same JsonWriter so every machine-readable artifact in
+//             the repo shares one escaping/number-rendering policy.
+//
+// JsonWriter is a small streaming builder (explicit begin/end, comma
+// management by nesting level). Numbers render as %.6g; JSON has no
+// inf/nan literals, so those render as null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ga::obs {
+
+/// Version of every machine-readable telemetry document this repo emits
+/// (metrics exposition and bench JSON alike). Bump when a field changes
+/// meaning; additions are allowed within a version.
+inline constexpr int kSchemaVersion = 2;
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);  // %.6g; inf/nan render as null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+  bool done() const { return levels_.empty() && !out_.empty(); }
+
+  /// Shared rendering policy, reusable without a writer instance.
+  static std::string escape(std::string_view s);
+  static std::string number(double v);
+
+ private:
+  void pre_value();
+  std::string out_;
+  std::vector<bool> levels_;  // per nesting level: value already written?
+  bool have_key_ = false;
+};
+
+/// Text exposition of a registry snapshot (sorted by metric name; the
+/// format the golden-file test pins down).
+std::string expose_text(const MetricsRegistry& reg = MetricsRegistry::global());
+
+/// JSON exposition: {"schema_version":…, "metrics":[…], "tracer":{…}}.
+/// Pass a tracer to include its span accounting; nullptr omits the block.
+std::string expose_json(const MetricsRegistry& reg = MetricsRegistry::global(),
+                        const Tracer* tracer = &Tracer::global());
+
+/// One metric sample as a text exposition line (no trailing newline).
+std::string sample_to_text(const MetricSample& s);
+
+}  // namespace ga::obs

@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/common.hpp"
+
+namespace ga::obs {
+
+void Histogram::observe(double v) {
+  std::size_t b = 0;
+  if (v >= 1.0) {
+    // bucket b >= 1 holds [2^(b-1), 2^b); integer log2 of the clamped value.
+    const auto iv = static_cast<std::uint64_t>(v);
+    b = std::min<std::size_t>(kBuckets - 1,
+                              1 + (63 - std::countl_zero(iv | 1ull)));
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // atomic<double>::fetch_add is C++20; keep the CAS loop for toolchains
+  // where it lowers to a libatomic call anyway.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::bucket_lower(std::size_t b) {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+}
+
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil — the classic nearest-rank rule).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t c = buckets_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      const double lo = bucket_lower(b);
+      const double hi = b + 1 < kBuckets ? bucket_lower(b + 1) : lo * 2.0;
+      // Linear interpolation by rank position within the bucket.
+      const double frac =
+          (static_cast<double>(rank - seen) - 0.5) / static_cast<double>(c);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += c;
+  }
+  return bucket_lower(kBuckets - 1) * 2.0;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  GA_ASSERT(gauges_.find(name) == gauges_.end() &&
+            histograms_.find(name) == histograms_.end());
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  GA_ASSERT(counters_.find(name) == counters_.end() &&
+            histograms_.find(name) == histograms_.end());
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  GA_ASSERT(counters_.find(name) == counters_.end() &&
+            gauges_.find(name) == gauges_.end());
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.count = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = h->count();
+    s.value = h->sum();
+    s.p50 = h->percentile(0.50);
+    s.p95 = h->percentile(0.95);
+    s.p99 = h->percentile(0.99);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+}  // namespace ga::obs

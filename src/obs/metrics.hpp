@@ -1,0 +1,150 @@
+// Process-wide metrics registry — the one place every subsystem's health
+// numbers live. Three instrument kinds, all safe for concurrent update
+// without locks after registration:
+//
+//   Counter    monotonic uint64 (relaxed fetch_add)
+//   Gauge      last-written double (relaxed store)
+//   Histogram  fixed log2-bucket latency histogram with p50/p95/p99
+//              extraction (relaxed per-bucket fetch_add)
+//
+// Registration (name -> instrument) takes a mutex once; instrument
+// pointers are stable for the registry's lifetime, so hot paths cache the
+// reference and never touch the map again. `MetricsRegistry::global()` is
+// the process registry that the exposition API (obs/exposition.hpp), the
+// `ga_cli metrics` command, and the benches read; tests build private
+// instances.
+//
+// Disable story (two levels):
+//   * runtime: obs::set_enabled(false) — instrumentation sites check
+//     obs::enabled() (one relaxed atomic load) and skip.
+//   * compile-out: -DGA_OBS_NOOP makes enabled() constexpr-false so the
+//     guarded code folds away entirely; tools/ci.sh uses such a build as
+//     the zero-instrumentation baseline for the ≤2% overhead gate.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ga::obs {
+
+#ifdef GA_OBS_NOOP
+inline constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#else
+namespace detail {
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+}  // namespace detail
+inline bool enabled() {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+#endif
+
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Latency histogram over fixed log2 buckets. Bucket b holds observations
+/// in [2^(b-1), 2^b) of the recorded unit (by convention microseconds for
+/// *_us metrics, milliseconds for *_ms); bucket 0 holds values < 1.
+/// Percentiles interpolate linearly inside the winning bucket, so the
+/// error is bounded by the bucket width (a factor-of-2 band) — exactly the
+/// resolution needed to tell a p99 regression from noise without keeping
+/// raw samples.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const auto c = count();
+    return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+  }
+  /// q in (0,1]; linear interpolation within the selected bucket.
+  double percentile(double q) const;
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+  static double bucket_lower(std::size_t b);  // inclusive lower bound
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One exposition-ready sample (histograms pre-extract the percentiles).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter value / histogram count
+  double value = 0.0;       // gauge value / histogram sum
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // histograms only
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry. Never destroyed before exit.
+  static MetricsRegistry& global();
+
+  /// Find-or-create; returned references stay valid for the registry's
+  /// lifetime. A name registered as one kind must not be re-requested as
+  /// another (asserts).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Point-in-time view of every instrument, sorted by name (the
+  /// deterministic order the text exposition and its golden test rely on).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Zero every instrument's value. Instruments stay registered, so cached
+  /// references held by instrumentation sites remain valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ga::obs

@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ga::obs {
+
+const char* bound_resource_name(BoundResource r) {
+  switch (r) {
+    case BoundResource::kNone: return "-";
+    case BoundResource::kCompute: return "compute";
+    case BoundResource::kMemory: return "memory";
+    case BoundResource::kDisk: return "disk";
+    case BoundResource::kNetwork: return "network";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // never destroyed
+  return *t;
+}
+
+std::uint64_t Tracer::new_trace_id() {
+  return next_trace_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::new_span_id() {
+  return next_span_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Tracer::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::emit(const TraceContext& parent, std::uint64_t span_id,
+                  std::string_view name, double start_ms, double duration_ms,
+                  BoundResource resource, core::StatusCode status,
+                  std::string detail) {
+  if (!active() || parent.trace_id == 0) return;
+  SpanRecord rec;
+  rec.trace_id = parent.trace_id;
+  rec.span_id = span_id;
+  rec.parent_id = parent.span_id;
+  rec.name = std::string(name);
+  rec.start_ms = start_ms;
+  rec.duration_ms = duration_ms;
+  rec.resource = resource;
+  rec.status = status;
+  rec.detail = std::move(detail);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_size_ == capacity_) {
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++ring_size_;
+  }
+  ring_[ring_head_] = std::move(rec);
+  ring_head_ = (ring_head_ + 1) % capacity_;
+  spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::emit_interval(const TraceContext& parent,
+                                    std::string_view name, double start_ms,
+                                    double duration_ms, BoundResource resource,
+                                    core::StatusCode status,
+                                    std::string detail) {
+  if (!active() || !parent.valid()) return 0;
+  const std::uint64_t id = new_span_id();
+  emit(parent, id, name, start_ms, duration_ms, resource, status,
+       std::move(detail));
+  return id;
+}
+
+std::vector<SpanRecord> Tracer::spans_of(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Oldest-first walk of the ring.
+  const std::size_t start =
+      ring_size_ == capacity_ ? ring_head_ : 0;
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    const SpanRecord& r = ring_[(start + i) % capacity_];
+    if (r.trace_id == trace_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Tracer::format_tree(std::uint64_t trace_id) const {
+  const std::vector<SpanRecord> spans = spans_of(trace_id);
+  if (spans.empty()) {
+    return "trace " + std::to_string(trace_id) + ": no spans retained\n";
+  }
+  // children[parent_id] -> indices, siblings ordered by start time.
+  std::vector<std::size_t> order(spans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return spans[a].start_ms < spans[b].start_ms;
+  });
+  std::string out;
+  char buf[256];
+  // Recursive expansion without recursion: stack of (index, depth).
+  auto children_of = [&](std::uint64_t parent) {
+    std::vector<std::size_t> kids;
+    for (std::size_t i : order) {
+      if (spans[i].parent_id == parent) kids.push_back(i);
+    }
+    return kids;
+  };
+  std::vector<std::pair<std::size_t, int>> stack;
+  const auto roots = children_of(0);
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    const auto [i, depth] = stack.back();
+    stack.pop_back();
+    const SpanRecord& s = spans[i];
+    std::snprintf(buf, sizeof(buf), "%*s%-*s %9.3f ms", depth * 2, "",
+                  std::max(1, 30 - depth * 2), s.name.c_str(),
+                  s.duration_ms);
+    out += buf;
+    if (s.resource != BoundResource::kNone) {
+      out += "  [";
+      out += bound_resource_name(s.resource);
+      out += "-bound]";
+    }
+    if (s.status != core::StatusCode::kOk) {
+      out += "  status=";
+      out += core::status_code_name(s.status);
+    }
+    if (!s.detail.empty()) {
+      out += "  ";
+      out += s.detail;
+    }
+    out += '\n';
+    const auto kids = children_of(s.span_id);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_head_ = 0;
+  ring_size_ = 0;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, const TraceContext& parent,
+                       Tracer& tracer)
+    : tracer_(tracer) {
+  if (!tracer_.active()) return;
+  ctx_.trace_id =
+      parent.valid() ? parent.trace_id : tracer_.new_trace_id();
+  ctx_.span_id = tracer_.new_span_id();
+  parent_id_ = parent.valid() ? parent.span_id : 0;
+  name_ = std::string(name);
+  start_ms_ = tracer_.now_ms();
+}
+
+ScopedSpan::~ScopedSpan() { finish(); }
+
+void ScopedSpan::finish() {
+  if (!ctx_.valid()) return;
+  TraceContext parent;
+  parent.trace_id = ctx_.trace_id;
+  parent.span_id = parent_id_;
+  tracer_.emit(parent, ctx_.span_id, name_, start_ms_,
+               tracer_.now_ms() - start_ms_, resource_, status_,
+               std::move(detail_));
+  ctx_ = {};  // emitted; destruction becomes a no-op
+}
+
+namespace {
+thread_local TraceContext g_ambient;
+}  // namespace
+
+TraceContext ambient() { return g_ambient; }
+
+AmbientScope::AmbientScope(const TraceContext& ctx) : prev_(g_ambient) {
+  g_ambient = ctx;
+}
+
+AmbientScope::~AmbientScope() { g_ambient = prev_; }
+
+}  // namespace ga::obs

@@ -1,0 +1,211 @@
+// Hierarchical query tracing with per-span resource attribution — the
+// end-to-end counterpart of the per-step StepStats telemetry. A trace is a
+// tree of spans (query → admission → snapshot lease → kernel exec →
+// engine steps); every span carries a wall-clock interval, a
+// core::StatusCode, a free-form detail string, and the Fig. 3
+// bounding-resource verdict for the work it covers, so one served query
+// can be read top-to-bottom with the same taxonomy the analytic
+// architecture model uses.
+//
+// Design constraints, in order:
+//   1. Zero cost when tracing is off: `Tracer::active()` is one relaxed
+//      load (constexpr-false under GA_OBS_NOOP); ScopedSpan holds no
+//      allocations until the trace is live.
+//   2. No open-span bookkeeping: spans are recorded only when they END
+//      (ScopedSpan destruction or an explicit retroactive emit() for
+//      intervals measured elsewhere, e.g. queue wait). The tree is
+//      reassembled from parent ids at formatting time.
+//   3. Context travels explicitly (TraceContext in QueryDesc) across
+//      thread/queue hops, and ambiently (thread_local) into code that
+//      cannot grow a parameter, like the traversal engine's edge_map.
+//
+// Finished spans land in a bounded ring (default 8192); a reader that
+// wants a particular trace formats it before ~8k further spans arrive.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace ga::obs {
+
+/// Fig. 3 bounding-resource taxonomy (mirrors archmodel::Resource so the
+/// obs layer does not depend on the architecture model).
+enum class BoundResource : std::uint8_t {
+  kNone = 0,  // not attributed
+  kCompute,
+  kMemory,
+  kDisk,
+  kNetwork,
+};
+const char* bound_resource_name(BoundResource r);
+
+/// Addressing for one node of a trace tree. trace_id 0 = "no trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One finished span.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  double start_ms = 0.0;     // since tracer epoch
+  double duration_ms = 0.0;
+  BoundResource resource = BoundResource::kNone;
+  core::StatusCode status = core::StatusCode::kOk;
+  std::string detail;  // "epoch=7 dir=pull edges=123…"
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 8192);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  /// Master switch. Off by default: traces are demo/debug artifacts, not
+  /// always-on accounting (that is the metrics registry's job).
+  void set_active(bool on) {
+#ifndef GA_OBS_NOOP
+    active_.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+  }
+  bool active() const {
+#ifdef GA_OBS_NOOP
+    return false;
+#else
+    return active_.load(std::memory_order_relaxed);
+#endif
+  }
+
+  /// Fresh ids (never 0). new_trace_id also counts traces_started.
+  std::uint64_t new_trace_id();
+  std::uint64_t new_span_id();
+
+  /// Milliseconds since this tracer's construction (span timebase).
+  double now_ms() const;
+
+  /// Record a finished span. `parent` addresses the enclosing span; the
+  /// span becomes a root when parent.span_id == 0.
+  void emit(const TraceContext& parent, std::uint64_t span_id,
+            std::string_view name, double start_ms, double duration_ms,
+            BoundResource resource, core::StatusCode status,
+            std::string detail);
+
+  /// Retroactive child span for an interval measured elsewhere (allocates
+  /// its own span id; returns it so grandchildren could attach).
+  std::uint64_t emit_interval(const TraceContext& parent,
+                              std::string_view name, double start_ms,
+                              double duration_ms,
+                              BoundResource resource = BoundResource::kNone,
+                              core::StatusCode status = core::StatusCode::kOk,
+                              std::string detail = {});
+
+  /// All retained spans of one trace, in emission order.
+  std::vector<SpanRecord> spans_of(std::uint64_t trace_id) const;
+
+  /// Render one trace as an indented tree: children under parents,
+  /// siblings by start time, each line showing duration, bounding
+  /// resource, status (when not OK), and detail.
+  std::string format_tree(std::uint64_t trace_id) const;
+
+  std::uint64_t traces_started() const {
+    return next_trace_.load(std::memory_order_relaxed) - 1;
+  }
+  std::uint64_t spans_recorded() const {
+    return spans_recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spans_dropped() const {
+    return spans_dropped_.load(std::memory_order_relaxed);
+  }
+
+  void clear();
+
+ private:
+#ifndef GA_OBS_NOOP
+  std::atomic<bool> active_{false};
+#endif
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> next_span_{1};
+  std::atomic<std::uint64_t> spans_recorded_{0};
+  std::atomic<std::uint64_t> spans_dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // capacity_ slots, ring_head_ = next write
+  std::size_t capacity_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_size_ = 0;
+};
+
+/// RAII span: captures start on construction, emits on destruction (only
+/// if the tracer was active at construction). With an invalid parent it
+/// starts a new trace and becomes its root.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, const TraceContext& parent,
+             Tracer& tracer = Tracer::global());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Context for children of this span (invalid when tracing is off).
+  TraceContext context() const { return ctx_; }
+  bool live() const { return ctx_.valid(); }
+
+  /// Emit now (no-op if not live); destruction then does nothing. For
+  /// callers that need the finished span visible before scope exit, e.g.
+  /// to format its trace tree.
+  void finish();
+
+  void set_resource(BoundResource r) { resource_ = r; }
+  void set_status(core::StatusCode s) { status_ = s; }
+  void set_detail(std::string d) { detail_ = std::move(d); }
+  void append_detail(std::string_view d) {
+    if (!detail_.empty()) detail_ += ' ';
+    detail_ += d;
+  }
+
+ private:
+  Tracer& tracer_;
+  TraceContext ctx_;       // this span's address (valid only when live)
+  std::uint64_t parent_id_ = 0;
+  std::string name_;
+  double start_ms_ = 0.0;
+  BoundResource resource_ = BoundResource::kNone;
+  core::StatusCode status_ = core::StatusCode::kOk;
+  std::string detail_;
+};
+
+/// Ambient context: the innermost live span on this thread. Lets the
+/// traversal engine attach per-step spans without a parameter through
+/// every kernel signature.
+TraceContext ambient();
+
+/// RAII: set the thread's ambient context, restore the previous on exit.
+class AmbientScope {
+ public:
+  explicit AmbientScope(const TraceContext& ctx);
+  ~AmbientScope();
+  AmbientScope(const AmbientScope&) = delete;
+  AmbientScope& operator=(const AmbientScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace ga::obs

@@ -5,8 +5,38 @@
 #include <utility>
 
 #include "core/timer.hpp"
+#include "engine/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ga::pipeline {
+
+namespace {
+
+/// Observability sink for one finished flow stage: stage-latency histogram
+/// plus — under an active trace — a retroactive child span carrying the
+/// stage's detail line.
+void obs_stage(const StageTiming& t) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& c_stages = reg.counter("flow.stages_total");
+  static obs::Histogram& h_stage = reg.histogram("flow.stage_us");
+  c_stages.add();
+  h_stage.observe(t.seconds * 1e6);
+  obs::Tracer& tracer = obs::Tracer::global();
+  const obs::TraceContext parent = obs::ambient();
+  if (!tracer.active() || !parent.valid()) return;
+  const std::string name = "flow." + t.stage;
+  const double ms = t.seconds * 1e3;
+  tracer.emit_interval(parent, name, tracer.now_ms() - ms, ms,
+                       obs::BoundResource::kNone, core::StatusCode::kOk,
+                       t.detail);
+}
+
+obs::Counter& stream_counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
 
 GraphStore& CanonicalFlow::store() {
   GA_CHECK(store_ != nullptr, "run_batch first");
@@ -17,6 +47,8 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
                                          const BatchFlowOptions& opts) {
   BatchFlowResult out;
   nora_opts_ = opts.nora;
+  obs::ScopedSpan flow_span("flow.run_batch", obs::ambient());
+  obs::AmbientScope flow_ambient(flow_span.context());
   core::WallTimer timer;
 
   // Stage 1: batch dedup.
@@ -25,6 +57,7 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
   out.timings.push_back({"dedup", timer.seconds(),
                          std::to_string(dedup.entities.size()) + " entities from " +
                              std::to_string(corpus.records.size()) + " records"});
+  obs_stage(out.timings.back());
   out.dedup_quality = score_dedup(corpus.records, dedup.entity_of_record);
   out.num_entities = dedup.entities.size();
 
@@ -35,6 +68,7 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
                          std::to_string(store_->num_vertices()) + " vertices, " +
                              std::to_string(store_->graph().num_edges()) +
                              " edges"});
+  obs_stage(out.timings.back());
 
   // Stage 3: the weekly NORA "boil" (precompute + write-back).
   timer.restart();
@@ -44,6 +78,7 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
                              " relationships from " +
                              std::to_string(boil.candidate_pairs) +
                              " candidate pairs"});
+  obs_stage(out.timings.back());
   out.num_relationships = boil.relationships.size();
   // Map ground-truth people to deduped vertices for ring recall.
   std::vector<vid_t> vertex_of_true(corpus.num_people, kInvalidVid);
@@ -65,6 +100,7 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
   out.seeds = select_seeds(*store_, criteria);
   out.timings.push_back(
       {"select", timer.seconds(), std::to_string(out.seeds.size()) + " seeds"});
+  obs_stage(out.timings.back());
 
   // Stage 5: subgraph extraction with property projection.
   timer.restart();
@@ -76,6 +112,7 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
   out.extracted_vertices = sub.num_vertices();
   out.timings.push_back({"extract", timer.seconds(),
                          std::to_string(sub.num_vertices()) + " vertices"});
+  obs_stage(out.timings.back());
 
   // Stage 6: batch analytic on the extracted subgraph.
   timer.restart();
@@ -87,12 +124,14 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
       {"analytic:" + opts.analytic, timer.seconds(),
        "scalar=" + std::to_string(an.scalar) + ", " +
            std::to_string(out.analytic_steps.size()) + " engine steps"});
+  obs_stage(out.timings.back());
 
   // Stage 7: property write-back into the persistent store.
   timer.restart();
   sub.write_back(*store_);
   out.timings.push_back({"write_back", timer.seconds(),
                          "column " + an.column_written});
+  obs_stage(out.timings.back());
 
   // The boiled store is the freshest consistent state — publish it as a
   // serving epoch if a consumer is attached.
@@ -103,6 +142,7 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
     out.timings.push_back({"publish_snapshot", timer.seconds(),
                            "epoch publication " +
                                std::to_string(snapshot_publications_)});
+    obs_stage(out.timings.back());
   }
 
   // Streaming state for subsequent ingests: seed the inline deduper with
@@ -128,6 +168,7 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
       stream_timings_.push_back(
           {"ingest", timer.seconds(), "quarantined:" + reason});
       dead_letters_.quarantine(rec, std::move(reason), rec.ts);
+      if (obs::enabled()) stream_counter("flow.stream.quarantined_total").add();
       return false;
     }
   }
@@ -156,6 +197,7 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
       ++stream_dropped_;
       stream_timings_.push_back({"ingest", timer.seconds(), "dropped"});
       dead_letters_.quarantine(rec, "ingest-exhausted:" + ap.error, rec.ts);
+      if (obs::enabled()) stream_counter("flow.stream.dropped_total").add();
       return false;
     }
     person = ap.value;
@@ -205,6 +247,7 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
       ++stream_dropped_;
       stream_timings_.push_back(
           {"ingest", timer.seconds(), "applied;threshold-failed"});
+      if (obs::enabled()) stream_counter("flow.stream.dropped_total").add();
       return false;
     }
     ev = tr.value;
@@ -240,6 +283,18 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
   if (triggered && snapshot_publisher_) {
     snapshot_publisher_(store_->graph().snapshot());
     ++snapshot_publications_;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_ingested =
+        reg.counter("flow.stream.ingested_total");
+    static obs::Histogram& h_ingest = reg.histogram("flow.stream.ingest_us");
+    c_ingested.add();
+    h_ingest.observe(timer.seconds() * 1e6);
+    if (triggered) stream_counter("flow.stream.triggers_total").add();
+    if (triggered && degraded) {
+      stream_counter("flow.stream.degraded_triggers_total").add();
+    }
   }
   return triggered;
 }
@@ -298,6 +353,26 @@ std::vector<StageTiming> CanonicalFlow::stream_health() const {
   }
   out.push_back({"health:dead_letter", 0.0, dl});
   return out;
+}
+
+void CanonicalFlow::publish_stream_metrics(obs::MetricsRegistry& reg) const {
+  std::vector<engine::CounterGroup> groups;
+  for (const resilience::StageHealth& h : stream_exec_.health()) {
+    groups.push_back({"stream_" + h.stage,
+                      {{"calls", h.calls},
+                       {"attempts", h.attempts},
+                       {"failures", h.failures},
+                       {"retries", h.retries},
+                       {"deadline_misses", h.deadline_misses},
+                       {"degraded", h.degraded},
+                       {"exhausted", h.exhausted}}});
+  }
+  groups.push_back({"stream",
+                    {{"triggers", stream_triggers_},
+                     {"degraded_threshold_tests", stream_degraded_},
+                     {"dropped", stream_dropped_},
+                     {"quarantined", dead_letters_.total_quarantined()}}});
+  engine::publish_counter_groups(groups, "flow.", reg);
 }
 
 std::vector<Relationship> CanonicalFlow::query(vid_t person) const {

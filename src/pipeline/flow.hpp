@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/analytics.hpp"
 #include "pipeline/dedup.hpp"
 #include "pipeline/extraction.hpp"
@@ -130,6 +131,12 @@ class CanonicalFlow {
   /// resilience counterpart of streaming_timings(), printed by the fig2
   /// bench alongside the batch stage table.
   std::vector<StageTiming> stream_health() const;
+
+  /// Publish the streaming-health surface (stage executor health + dead
+  /// letters + trigger/degrade/drop counters) into the metrics registry as
+  /// flow.stream_* gauges — the registry view of stream_health().
+  void publish_stream_metrics(
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::global()) const;
 
   resilience::DeadLetterQueue<RawRecord>& dead_letters() {
     return dead_letters_;

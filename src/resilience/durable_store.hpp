@@ -85,6 +85,17 @@ struct RecoverReport {
   std::uint64_t corrupt_records = 0;
   bool torn_tail = false;
   std::uint64_t torn_bytes = 0;           // bytes truncated off the WAL
+
+  /// Unified-status view of recovery: CRC corruption is data loss; a torn
+  /// tail alone is the normal crash artifact and recovers clean.
+  core::Status status() const {
+    if (corrupt_records > 0) {
+      return core::Status::DataLoss(
+          std::to_string(corrupt_records) +
+          " corrupt WAL record(s) dropped during recovery");
+    }
+    return core::Status::Ok();
+  }
 };
 
 class DurableGraphStore {

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/status.hpp"
 #include "core/timer.hpp"
 #include "resilience/fault_injection.hpp"
 
@@ -54,6 +55,15 @@ struct StageResult {
   unsigned attempts = 0;
   R value{};
   std::string error;            // last failure, when !ok or degraded
+
+  /// Outcome in the unified core::Status taxonomy. Degraded-but-resolved
+  /// is still OK (the caller got a value); traces/metrics record the
+  /// degradation separately.
+  core::Status status() const {
+    if (ok) return core::Status::Ok();
+    if (deadline_missed) return core::Status::DeadlineExceeded(error);
+    return core::Status::ResourceExhausted(error);
+  }
 };
 
 class StageExecutor {

@@ -27,6 +27,7 @@
 
 #include "core/common.hpp"
 #include "core/hash.hpp"
+#include "core/status.hpp"
 
 namespace ga::resilience {
 
@@ -141,6 +142,16 @@ struct WalScanResult {
   bool torn_tail = false;            // incomplete frame at end of file
   std::uint64_t torn_bytes = 0;      // bytes past the clean prefix
   std::uint64_t corrupt_records = 0; // CRC mismatches (kStop: 1, then stop)
+
+  /// Unified-status view of the scan. A torn tail is OK (the expected
+  /// crash artifact — the prefix is intact); a CRC mismatch is data loss.
+  core::Status status() const {
+    if (corrupt_records > 0) {
+      return core::Status::DataLoss(
+          std::to_string(corrupt_records) + " corrupt WAL record(s)");
+    }
+    return core::Status::Ok();
+  }
 };
 
 enum class CorruptionPolicy : std::uint8_t {

@@ -28,6 +28,31 @@ const char* query_status_name(QueryStatus s) {
   return "?";
 }
 
+core::StatusCode status_code(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return core::StatusCode::kOk;
+    // Predicted execution alone busts the budget: no amount of retrying at
+    // this load helps, the deadline itself is infeasible.
+    case QueryStatus::kRejectedCost: return core::StatusCode::kDeadlineExceeded;
+    // Overload and backlog are capacity conditions: retry later.
+    case QueryStatus::kRejectedOverload:
+      return core::StatusCode::kResourceExhausted;
+    case QueryStatus::kRejectedBacklog:
+      return core::StatusCode::kResourceExhausted;
+    case QueryStatus::kDeadlineMiss: return core::StatusCode::kDeadlineExceeded;
+    case QueryStatus::kNoSnapshot: return core::StatusCode::kUnavailable;
+    case QueryStatus::kFailed: return core::StatusCode::kInternal;
+  }
+  return core::StatusCode::kInternal;
+}
+
+core::Status to_status(const QueryResult& r) {
+  if (r.ok()) return core::Status::Ok();
+  std::string msg = query_status_name(r.status);
+  if (!r.error.empty()) msg += std::string(": ") + r.error;
+  return {status_code(r.status), std::move(msg)};
+}
+
 QueryKey QueryKey::of(const QueryDesc& d, std::uint64_t epoch) {
   QueryKey key;
   key.kind = d.kind;

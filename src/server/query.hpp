@@ -12,7 +12,9 @@
 
 #include "core/common.hpp"
 #include "core/hash.hpp"
+#include "core/status.hpp"
 #include "kernels/jaccard.hpp"
+#include "obs/trace.hpp"
 
 namespace ga::server {
 
@@ -44,6 +46,10 @@ struct QueryDesc {
   /// 0 = no deadline, never rejected on predicted cost.
   double deadline_ms = 0.0;
   bool use_cache = true;
+  /// Trace context of the caller's enclosing span. When a trace is active,
+  /// the scheduler hangs its admission / snapshot-lease / kernel spans off
+  /// this; default (invalid) means "untraced".
+  obs::TraceContext trace;
 };
 
 enum class QueryStatus : std::uint8_t {
@@ -56,6 +62,11 @@ enum class QueryStatus : std::uint8_t {
   kFailed,            // kernel threw
 };
 const char* query_status_name(QueryStatus s);
+
+/// The serving outcome in the unified core::Status taxonomy — what traces
+/// and the metrics exposition record, so a rejected query and a failed WAL
+/// read share one status vocabulary.
+core::StatusCode status_code(QueryStatus s);
 
 /// Result envelope. Exactly one payload section is populated, selected by
 /// the query kind; the header fields are always valid.
@@ -86,6 +97,10 @@ struct QueryResult {
 
   bool ok() const { return status == QueryStatus::kOk; }
 };
+
+/// Result envelope → core::Status (OK, or the mapped code with the
+/// rejection reason / kernel error as the message).
+core::Status to_status(const QueryResult& r);
 
 /// Cache identity of a query at one epoch: every descriptor field that
 /// changes the answer, plus the epoch (epoch advance == invalidation).

@@ -1,6 +1,7 @@
 #include "server/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/timer.hpp"
 #include "engine/multi_source.hpp"
@@ -25,6 +26,28 @@ kernels::PageRankOptions serving_pagerank_opts() {
   o.tolerance = 1e-6;
   o.max_iters = 50;
   return o;
+}
+
+/// Registry sink for one resolved query: total + per-status-code counters
+/// (the unified core::Status taxonomy), latency histograms for queries
+/// that actually ran a kernel, hit counter for cache serves.
+void obs_count_query(const QueryResult& r) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& c_total = reg.counter("serve.queries_total");
+  static obs::Histogram& h_exec = reg.histogram("serve.exec_us");
+  static obs::Histogram& h_wait = reg.histogram("serve.wait_us");
+  c_total.add();
+  reg.counter(std::string("serve.status.") +
+              core::status_code_name(status_code(r.status)))
+      .add();
+  if (r.cache_hit) {
+    static obs::Counter& c_hits = reg.counter("serve.cache_hits_total");
+    c_hits.add();
+  } else if (r.ok()) {
+    h_exec.observe(r.exec_ms * 1e3);
+    h_wait.observe(r.wait_ms * 1e3);
+  }
 }
 
 }  // namespace
@@ -65,8 +88,11 @@ std::future<QueryResult> QueryScheduler::submit(const QueryDesc& desc) {
     QueryResult r;
     r.status = QueryStatus::kNoSnapshot;
     r.kind = desc.kind;
-    std::lock_guard<std::mutex> lk(qmu_);
-    ++stats_.no_snapshot;
+    {
+      std::lock_guard<std::mutex> lk(qmu_);
+      ++stats_.no_snapshot;
+    }
+    obs_count_query(r);
     prom.set_value(std::move(r));
     return fut;
   }
@@ -81,6 +107,7 @@ std::future<QueryResult> QueryScheduler::submit(const QueryDesc& desc) {
         std::lock_guard<std::mutex> lk(qmu_);
         ++stats_.cache_hits;
       }
+      obs_count_query(r);
       prom.set_value(std::move(r));
       return fut;
     }
@@ -88,6 +115,7 @@ std::future<QueryResult> QueryScheduler::submit(const QueryDesc& desc) {
 
   CostEstimate est;
   if (auto rejected = admission_check(desc, est)) {
+    obs_count_query(*rejected);
     prom.set_value(std::move(*rejected));
     return fut;
   }
@@ -233,6 +261,12 @@ void QueryScheduler::drain_one() {
 
 void QueryScheduler::execute_single(Pending& p) {
   const double wait_ms = ms_since(p.submitted_at);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.active() && p.desc.trace.valid()) {
+    // Queue wait was measured outside any scope; attach it retroactively.
+    tracer.emit_interval(p.desc.trace, "serve.queue_wait",
+                         tracer.now_ms() - wait_ms, wait_ms);
+  }
   QueryResult r;
   r.kind = p.desc.kind;
   r.predicted_ms = p.est.ms;
@@ -249,11 +283,17 @@ void QueryScheduler::execute_single(Pending& p) {
     return;
   }
   core::WallTimer timer;
-  try {
-    r = run_kernel(p.desc, snap);
-  } catch (const std::exception& e) {
-    r.status = QueryStatus::kFailed;
-    r.error = e.what();
+  {
+    obs::ScopedSpan span("serve.kernel", p.desc.trace);
+    obs::AmbientScope ambient(span.context());
+    try {
+      r = run_kernel(p.desc, snap);
+    } catch (const std::exception& e) {
+      r.status = QueryStatus::kFailed;
+      r.error = e.what();
+    }
+    span.set_detail(query_kind_name(p.desc.kind));
+    span.set_status(status_code(r.status));
   }
   r.kind = p.desc.kind;
   r.exec_ms = timer.millis();
@@ -263,6 +303,7 @@ void QueryScheduler::execute_single(Pending& p) {
   if (r.ok()) {
     model_.observe(p.desc.kind, p.est.raw_ms, r.exec_ms);
     if (p.desc.use_cache) {
+      obs::ScopedSpan span("serve.cache_write", p.desc.trace);
       cache_.insert(QueryKey::of(p.desc, snap.epoch()),
                     std::make_shared<const QueryResult>(r));
     }
@@ -418,46 +459,87 @@ QueryResult QueryScheduler::execute_now(const QueryDesc& desc) {
     QueryResult r;
     r.status = QueryStatus::kNoSnapshot;
     r.kind = desc.kind;
-    std::lock_guard<std::mutex> lk(qmu_);
-    ++stats_.no_snapshot;
+    {
+      std::lock_guard<std::mutex> lk(qmu_);
+      ++stats_.no_snapshot;
+    }
+    obs_count_query(r);
     return r;
   }
   if (desc.use_cache) {
+    obs::ScopedSpan span("serve.cache_lookup", desc.trace);
     if (auto hit = cache_.lookup(QueryKey::of(desc, epoch))) {
       QueryResult r = *hit;
       r.cache_hit = true;
       r.wait_ms = 0.0;
       r.exec_ms = 0.0;  // no kernel ran for this caller
-      std::lock_guard<std::mutex> lk(qmu_);
-      ++stats_.cache_hits;
+      span.set_detail("hit");
+      {
+        std::lock_guard<std::mutex> lk(qmu_);
+        ++stats_.cache_hits;
+      }
+      obs_count_query(r);
+      return r;
+    }
+    span.set_detail("miss");
+  }
+  // Admission: lease the snapshot, predict the Fig. 3 cost, gate on the
+  // deadline budget. The lease span nests under admission so the trace
+  // reads query → admission → snapshot epoch → kernel → engine steps.
+  SnapshotRef snap;
+  CostEstimate est;
+  QueryResult r;
+  {
+    obs::ScopedSpan adm("serve.admission", desc.trace);
+    {
+      obs::ScopedSpan lease("serve.snapshot_lease", adm.context());
+      snap = snaps_.acquire();
+      if (snap) {
+        lease.set_detail("epoch=" + std::to_string(snap.epoch()));
+      } else {
+        lease.set_status(core::StatusCode::kUnavailable);
+      }
+    }
+    if (!snap) {
+      adm.set_status(core::StatusCode::kUnavailable);
+      r.status = QueryStatus::kNoSnapshot;
+      r.kind = desc.kind;
+      obs_count_query(r);
+      return r;
+    }
+    est = model_.predict(desc, snap.graph().num_vertices(),
+                         snap.graph().num_arcs());
+    if (adm.live()) {
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "predicted_ms=%.3f", est.ms);
+      adm.set_detail(detail);
+    }
+    if (desc.deadline_ms > 0.0 && est.ms > desc.deadline_ms) {
+      adm.set_status(core::StatusCode::kDeadlineExceeded);
+      r.status = QueryStatus::kRejectedCost;
+      r.kind = desc.kind;
+      r.predicted_ms = est.ms;
+      r.epoch = snap.epoch();
+      {
+        std::lock_guard<std::mutex> lk(qmu_);
+        ++stats_.rejected_cost;
+      }
+      obs_count_query(r);
       return r;
     }
   }
-  SnapshotRef snap = snaps_.acquire();
-  if (!snap) {
-    QueryResult r;
-    r.status = QueryStatus::kNoSnapshot;
-    r.kind = desc.kind;
-    return r;
-  }
-  const CostEstimate est = model_.predict(desc, snap.graph().num_vertices(),
-                                          snap.graph().num_arcs());
-  QueryResult r;
-  if (desc.deadline_ms > 0.0 && est.ms > desc.deadline_ms) {
-    r.status = QueryStatus::kRejectedCost;
-    r.kind = desc.kind;
-    r.predicted_ms = est.ms;
-    r.epoch = snap.epoch();
-    std::lock_guard<std::mutex> lk(qmu_);
-    ++stats_.rejected_cost;
-    return r;
-  }
   core::WallTimer timer;
-  try {
-    r = run_kernel(desc, snap);
-  } catch (const std::exception& e) {
-    r.status = QueryStatus::kFailed;
-    r.error = e.what();
+  {
+    obs::ScopedSpan span("serve.kernel", desc.trace);
+    obs::AmbientScope ambient(span.context());
+    try {
+      r = run_kernel(desc, snap);
+    } catch (const std::exception& e) {
+      r.status = QueryStatus::kFailed;
+      r.error = e.what();
+    }
+    span.set_detail(query_kind_name(desc.kind));
+    span.set_status(status_code(r.status));
   }
   r.kind = desc.kind;
   r.exec_ms = timer.millis();
@@ -475,10 +557,12 @@ QueryResult QueryScheduler::execute_now(const QueryDesc& desc) {
   if (r.ok()) {
     model_.observe(desc.kind, est.raw_ms, r.exec_ms);
     if (desc.use_cache) {
+      obs::ScopedSpan span("serve.cache_write", desc.trace);
       cache_.insert(QueryKey::of(desc, snap.epoch()),
                     std::make_shared<const QueryResult>(r));
     }
   }
+  obs_count_query(r);
   return r;
 }
 
@@ -504,6 +588,7 @@ void QueryScheduler::finish(Pending& p, QueryResult&& r) {
         break;
     }
   }
+  obs_count_query(r);
   p.promise.set_value(std::move(r));
   std::lock_guard<std::mutex> lk(qmu_);
   GA_ASSERT(in_flight_ >= 1);

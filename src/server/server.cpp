@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/exposition.hpp"
+
 namespace ga::server {
 
 std::vector<engine::CounterGroup> AnalyticsServer::counters() const {
@@ -26,6 +28,15 @@ std::string AnalyticsServer::format_health() const {
     out += buf;
   }
   return out;
+}
+
+void AnalyticsServer::publish_metrics(obs::MetricsRegistry& reg) const {
+  engine::publish_counter_groups(counters(), "serve.", reg);
+}
+
+std::string AnalyticsServer::export_metrics(bool json) const {
+  publish_metrics();
+  return json ? obs::expose_json() : obs::expose_text();
 }
 
 }  // namespace ga::server

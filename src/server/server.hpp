@@ -55,6 +55,15 @@ class AnalyticsServer {
   /// Human-readable health block (what fig2_canonical_flow prints).
   std::string format_health() const;
 
+  /// Publish the serving-health counters into the metrics registry (gauges
+  /// named serve.<group>.<counter>), making the health surface a registry
+  /// view readable through the one exposition API.
+  void publish_metrics(
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::global()) const;
+
+  /// publish_metrics + the registry's exposition: text (default) or JSON.
+  std::string export_metrics(bool json = false) const;
+
  private:
   // Scheduler declared after the manager it borrows; destroyed first, so
   // every lease drains before the snapshots go away.

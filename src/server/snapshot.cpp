@@ -34,10 +34,22 @@ std::uint64_t SnapshotManager::publish(graph::CSRGraph g) {
     listener = listener_;
   }
   if (listener) listener(epoch);
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_pub = reg.counter("snapshot.epochs_published_total");
+    static obs::Gauge& g_epoch = reg.gauge("snapshot.current_epoch");
+    c_pub.add();
+    g_epoch.set(static_cast<double>(epoch));
+  }
   return epoch;
 }
 
 SnapshotRef SnapshotManager::acquire() {
+  if (obs::enabled()) {
+    static obs::Counter& c_leases =
+        obs::MetricsRegistry::global().counter("snapshot.leases_total");
+    c_leases.add();
+  }
   std::lock_guard<std::mutex> lk(mu_);
   if (current_ == nullptr) return {};
   current_->readers_.fetch_add(1, std::memory_order_relaxed);

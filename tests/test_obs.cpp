@@ -1,0 +1,382 @@
+// Observability layer tests: metrics registry concurrency (the TSan
+// target), histogram percentile correctness against a sorted reference,
+// span parent/child integrity, no-op mode, and the golden-file test that
+// pins the text exposition format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace ga;
+using namespace ga::obs;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: concurrency (run under TSan by tools/run_sanitizers.sh)
+
+TEST(MetricsRegistry, ConcurrentUpdatesSumExactly) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Re-resolve by name every iteration: hammers the registration
+      // mutex's find path, not just the lock-free instrument updates.
+      for (int i = 0; i < kOps; ++i) {
+        reg.counter("conc.requests_total").add();
+        reg.histogram("conc.latency_us").observe(static_cast<double>(i % 128));
+        reg.gauge("conc.depth").set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(reg.counter("conc.requests_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(reg.histogram("conc.latency_us").count(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  const double depth = reg.gauge("conc.depth").value();
+  EXPECT_GE(depth, 0.0);
+  EXPECT_LT(depth, kThreads);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsStable) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Every thread registers one private name and updates a shared one;
+      // find-or-create must hand all threads the same shared instrument.
+      reg.counter("reg.private_" + std::to_string(t)).add();
+      for (int i = 0; i < 1000; ++i) reg.counter("reg.shared").add();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(reg.counter("reg.shared").value(), kThreads * 1000u);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.size(), kThreads + 1u);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end(),
+                             [](const MetricSample& a, const MetricSample& b) {
+                               return a.name < b.name;
+                             }));
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsInstruments) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("r.count");
+  reg.histogram("r.hist").observe(5.0);
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // cached reference survives reset
+  EXPECT_EQ(reg.histogram("r.hist").count(), 0u);
+  EXPECT_EQ(reg.snapshot().size(), 2u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("r.count").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: percentiles vs a sorted reference
+
+namespace {
+
+double nearest_rank(std::vector<double> sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * n)));
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+TEST(Histogram, PercentilesTrackSortedReference) {
+  // Log2 buckets bound the error to a factor-of-2 band: the reported
+  // percentile lies in the same bucket as the true nearest-rank sample.
+  Histogram h;
+  core::Xoshiro256 rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Heavy-tailed latency-ish distribution on [1, ~65k).
+    const double v = std::ldexp(1.0, static_cast<int>(rng.next_below(16))) +
+                     static_cast<double>(rng.next_below(1000)) / 1000.0;
+    samples.push_back(v);
+    h.observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double ref = nearest_rank(samples, q);
+    const double got = h.percentile(q);
+    EXPECT_GE(got, ref / 2.0) << "q=" << q;
+    EXPECT_LE(got, ref * 2.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), 20000u);
+}
+
+TEST(Histogram, BucketBoundsAndSmallValues) {
+  Histogram h;
+  h.observe(0.25);  // < 1 -> bucket 0
+  h.observe(1.0);   // [1,2) -> bucket 1
+  h.observe(2.0);   // [2,4) -> bucket 2
+  h.observe(3.9);
+  h.observe(1024.0);  // [1024,2048) -> bucket 11
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(11), 1024.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.25 + 1.0 + 2.0 + 3.9 + 1024.0);
+  // rank 3 of 5 lands in bucket 2: frac = (3-2-0.5)/2 -> 2 + 2*0.25 = 2.5.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.5);
+}
+
+TEST(Histogram, EmptyAndReset) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.99), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.observe(8.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: span parent/child integrity
+
+TEST(Tracer, SpanParentChildIntegrity) {
+  Tracer tr(64);
+  tr.set_active(true);
+  std::uint64_t trace_id = 0;
+  {
+    ScopedSpan root("query", {}, tr);
+    ASSERT_TRUE(root.live());
+    trace_id = root.context().trace_id;
+    {
+      ScopedSpan kernel("serve.kernel", root.context(), tr);
+      ASSERT_TRUE(kernel.live());
+      EXPECT_EQ(kernel.context().trace_id, trace_id);
+      tr.emit_interval(kernel.context(), "engine.step", tr.now_ms(), 0.5,
+                       BoundResource::kMemory, core::StatusCode::kOk,
+                       "dir=pull");
+      kernel.set_resource(BoundResource::kCompute);
+    }
+    root.set_detail("kind=bfs");
+  }
+  const auto spans = tr.spans_of(trace_id);
+  ASSERT_EQ(spans.size(), 3u);
+  // Emission order: leaf interval, then kernel (scope exit), then root.
+  const SpanRecord& step = spans[0];
+  const SpanRecord& kernel = spans[1];
+  const SpanRecord& root = spans[2];
+  EXPECT_EQ(step.name, "engine.step");
+  EXPECT_EQ(kernel.name, "serve.kernel");
+  EXPECT_EQ(root.name, "query");
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(kernel.parent_id, root.span_id);
+  EXPECT_EQ(step.parent_id, kernel.span_id);
+  EXPECT_EQ(step.resource, BoundResource::kMemory);
+  EXPECT_EQ(kernel.resource, BoundResource::kCompute);
+  EXPECT_EQ(root.detail, "kind=bfs");
+
+  const std::string tree = tr.format_tree(trace_id);
+  EXPECT_NE(tree.find("query"), std::string::npos);
+  EXPECT_NE(tree.find("  serve.kernel"), std::string::npos);
+  EXPECT_NE(tree.find("    engine.step"), std::string::npos);
+  EXPECT_NE(tree.find("[memory-bound]"), std::string::npos);
+  EXPECT_NE(tree.find("dir=pull"), std::string::npos);
+}
+
+TEST(Tracer, FinishEmitsOnceAndDisarmsDestructor) {
+  Tracer tr(16);
+  tr.set_active(true);
+  std::uint64_t trace_id = 0;
+  {
+    ScopedSpan s("early", {}, tr);
+    trace_id = s.context().trace_id;
+    s.finish();
+    EXPECT_FALSE(s.live());
+    EXPECT_EQ(tr.spans_of(trace_id).size(), 1u);  // visible before scope exit
+  }
+  EXPECT_EQ(tr.spans_of(trace_id).size(), 1u);  // destructor did not re-emit
+  EXPECT_EQ(tr.spans_recorded(), 1u);
+}
+
+TEST(Tracer, RingDropsOldestKeepsNewest) {
+  Tracer tr(4);
+  tr.set_active(true);
+  TraceContext root;
+  root.trace_id = tr.new_trace_id();
+  root.span_id = tr.new_span_id();
+  for (int i = 0; i < 6; ++i) {
+    tr.emit_interval(root, "s" + std::to_string(i), 0.0, 1.0);
+  }
+  EXPECT_EQ(tr.spans_recorded(), 6u);
+  EXPECT_EQ(tr.spans_dropped(), 2u);
+  const auto spans = tr.spans_of(root.trace_id);
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s2");  // oldest two evicted
+  EXPECT_EQ(spans.back().name, "s5");
+}
+
+TEST(Tracer, ConcurrentEmittersKeepExactAccounting) {
+  Tracer tr(1 << 14);
+  tr.set_active(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 500;
+  std::vector<std::uint64_t> trace_ids(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tr, &trace_ids, t] {
+      ScopedSpan root("thread.root", {}, tr);
+      trace_ids[t] = root.context().trace_id;
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedSpan child("thread.child", root.context(), tr);
+        child.set_resource(BoundResource::kCompute);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tr.spans_recorded(),
+            static_cast<std::uint64_t>(kThreads) * (kSpans + 1));
+  EXPECT_EQ(tr.spans_dropped(), 0u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(tr.spans_of(trace_ids[t]).size(), kSpans + 1u);
+  }
+}
+
+TEST(Tracer, InactiveRecordsNothing) {
+  Tracer tr(16);  // active defaults to off
+  {
+    ScopedSpan s("dead", {}, tr);
+    EXPECT_FALSE(s.live());
+    EXPECT_FALSE(s.context().valid());
+    tr.emit_interval(s.context(), "child", 0.0, 1.0);
+  }
+  EXPECT_EQ(tr.spans_recorded(), 0u);
+  EXPECT_EQ(tr.traces_started(), 0u);
+}
+
+TEST(Tracer, AmbientScopeNestsAndRestores) {
+  EXPECT_FALSE(ambient().valid());
+  TraceContext outer{7, 1};
+  {
+    AmbientScope a(outer);
+    EXPECT_EQ(ambient().trace_id, 7u);
+    TraceContext inner{7, 2};
+    {
+      AmbientScope b(inner);
+      EXPECT_EQ(ambient().span_id, 2u);
+    }
+    EXPECT_EQ(ambient().span_id, 1u);
+  }
+  EXPECT_FALSE(ambient().valid());
+}
+
+// ---------------------------------------------------------------------------
+// No-op mode (runtime switch; the compile-out variant is gated in ci.sh)
+
+TEST(NoopMode, DisabledFlagSkipsGuardedSites) {
+#ifndef GA_OBS_NOOP
+  MetricsRegistry reg;
+  Counter& c = reg.counter("noop.count");
+  ASSERT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  // The instrumentation-site idiom: one relaxed load guards the update.
+  if (enabled()) c.add();
+  EXPECT_EQ(c.value(), 0u);
+  set_enabled(true);
+  if (enabled()) c.add();
+  EXPECT_EQ(c.value(), 1u);
+#else
+  EXPECT_FALSE(enabled());
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Exposition: golden-file text format + JSON shape
+
+namespace {
+
+MetricsRegistry* demo_registry() {
+  auto* reg = new MetricsRegistry();
+  reg->counter("demo.requests_total").add(3);
+  reg->gauge("demo.queue_depth").set(2.5);
+  Histogram& h = reg->histogram("demo.latency_us");
+  for (const double v : {1.0, 2.0, 4.0, 8.0}) h.observe(v);
+  return reg;
+}
+
+}  // namespace
+
+TEST(Exposition, TextMatchesGoldenFile) {
+  std::unique_ptr<MetricsRegistry> reg(demo_registry());
+  const std::string actual = expose_text(*reg);
+
+  std::ifstream in(GA_TEST_GOLDEN_DIR "/exposition.golden",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << GA_TEST_GOLDEN_DIR
+                         << "/exposition.golden";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(actual, buf.str())
+      << "text exposition drifted from tests/golden/exposition.golden;\n"
+      << "actual output:\n"
+      << actual;
+}
+
+TEST(Exposition, SampleToTextFormats) {
+  MetricSample s;
+  s.name = "x.count";
+  s.kind = MetricKind::kCounter;
+  s.count = 42;
+  EXPECT_EQ(sample_to_text(s), "counter x.count 42");
+  s.kind = MetricKind::kGauge;
+  s.value = 0.125;
+  EXPECT_EQ(sample_to_text(s), "gauge x.count 0.125");
+}
+
+TEST(Exposition, JsonShapeAndTracerBlock) {
+  std::unique_ptr<MetricsRegistry> reg(demo_registry());
+  const std::string without = expose_json(*reg, nullptr);
+  EXPECT_EQ(without.front(), '{');
+  EXPECT_EQ(without.back(), '}');
+  EXPECT_NE(without.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(without.find("\"name\":\"demo.latency_us\""), std::string::npos);
+  EXPECT_NE(without.find("\"p95\":12"), std::string::npos);
+  EXPECT_EQ(without.find("\"tracer\""), std::string::npos);
+
+  Tracer tr(8);
+  const std::string with = expose_json(*reg, &tr);
+  EXPECT_NE(with.find("\"tracer\":{\"active\":false"), std::string::npos);
+  EXPECT_NE(with.find("\"spans_dropped\":0"), std::string::npos);
+}
+
+TEST(Exposition, JsonWriterEscapingAndNumbers) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::number(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::number(1e300 * 1e300), "null");  // inf -> null
+  EXPECT_EQ(JsonWriter::number(std::nan("")), "null");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(std::uint64_t{1});
+  w.key("b").begin_array().value("x").value(true).null().end_array();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(w.str(), R"({"a":1,"b":["x",true,null]})");
+}

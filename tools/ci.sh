@@ -31,6 +31,31 @@ echo "=== [ci] ctest (full suite) ==="
 echo "=== [ci] ctest (serving label, repeated for flake detection) ==="
 (cd "$BUILD_DIR" && ctest --output-on-failure -L serving --repeat until-fail:2)
 
+echo "=== [ci] obs overhead gate (graph500_bfs scale 16, disabled obs vs compiled-out) ==="
+# The observability layer promises <=2% overhead on hot traversal loops
+# when runtime-disabled. Compare the regular build with obs disabled
+# (--no-obs: the one relaxed load per super-step stays) against a
+# GA_OBS_NOOP build (instrumentation compiled out entirely).
+NOOP_DIR="$ROOT/build-noobs"
+cmake -B "$NOOP_DIR" -S "$ROOT" -DGA_OBS_NOOP=ON > /dev/null
+cmake --build "$NOOP_DIR" -j "$JOBS" --target graph500_bfs > /dev/null
+gate_mteps() { # binary flags... -> best-of-3 harmonic-mean MTEPS (dirop row)
+  for _ in 1 2 3; do
+    "$@" --scale 16 | awk '/direction-opt .*MTEPS/ {print $(NF-4)}'
+  done | sort -g | tail -1
+}
+BASE=$(gate_mteps "$NOOP_DIR/bench/graph500_bfs")
+DISABLED=$(gate_mteps "$BUILD_DIR/bench/graph500_bfs" --no-obs)
+python3 - "$BASE" "$DISABLED" <<'EOF'
+import sys
+base, disabled = float(sys.argv[1]), float(sys.argv[2])
+overhead = (base - disabled) / base * 100.0
+print(f"[ci] obs-disabled {disabled:.2f} MTEPS vs compiled-out {base:.2f} MTEPS "
+      f"-> overhead {overhead:+.2f}%")
+# Allow 2% plus measurement noise headroom on shared CI hosts.
+sys.exit(0 if overhead <= 2.0 else 1)
+EOF
+
 if [[ "$MODE" == "fast" ]]; then
   echo "=== [ci] fast mode: skipping sanitizer sweeps ==="
   echo "CI gate (fast) passed."

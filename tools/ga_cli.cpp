@@ -4,6 +4,11 @@
 //   ga_cli generate <rmat|er|ba|ws|grid> [--scale N] [--n N] [--m M]
 //          [--seed S] [--out FILE]
 //   ga_cli stats FILE
+//   ga_cli kernels                      — list the kernel registry
+//   ga_cli run KERNEL FILE              — registry dispatch on an edge list
+//   ga_cli metrics [FILE] [--json] [--trace]
+//          — run a small instrumented workload and print the unified
+//            metrics exposition (and, with --trace, the query span tree)
 //   ga_cli bfs FILE SOURCE
 //   ga_cli pagerank FILE [--top K]
 //   ga_cli components FILE
@@ -23,7 +28,11 @@
 #include "kernels/connected_components.hpp"
 #include "kernels/jaccard.hpp"
 #include "kernels/pagerank.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/triangles.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace ga;
 
@@ -52,8 +61,12 @@ Args parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
       const std::string key = argv[i] + 2;
-      GA_CHECK(i + 1 < argc, "missing value for --" + key);
-      a.flags[key] = argv[++i];
+      // Boolean flags (--json, --trace, --directed) take no value.
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        a.flags[key] = "1";
+      } else {
+        a.flags[key] = argv[++i];
+      }
     } else {
       a.positional.emplace_back(argv[i]);
     }
@@ -71,12 +84,82 @@ int usage() {
                "  generate <rmat|er|ba|ws|grid> [--scale N] [--n N] [--m M]"
                " [--seed S] [--out FILE]\n"
                "  stats FILE\n"
+               "  kernels\n"
+               "  run KERNEL FILE [--directed]\n"
+               "  metrics [FILE] [--json] [--trace]\n"
                "  bfs FILE SOURCE\n"
                "  pagerank FILE [--top K]\n"
                "  components FILE\n"
                "  triangles FILE\n"
                "  jaccard FILE VERTEX [--threshold X]\n");
   return 2;
+}
+
+int cmd_kernels(const Args&) {
+  std::printf("%-18s %-34s %-22s %s\n", "name", "kernel", "class",
+              "output class");
+  for (const auto& k : kernels::registry()) {
+    std::printf("%-18s %-34s %-22s %s%s\n", k.name.c_str(),
+                k.display.c_str(), k.kclass.c_str(), k.output_class.c_str(),
+                k.directed ? "  [directed]" : "");
+  }
+  return 0;
+}
+
+int cmd_run(const Args& a) {
+  GA_CHECK(a.positional.size() >= 3, "run: need KERNEL FILE");
+  const kernels::KernelInfo* info = kernels::find_kernel(a.positional[1]);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown kernel: %s (see `ga_cli kernels`)\n",
+                 a.positional[1].c_str());
+    return 2;
+  }
+  const auto edges = graph::load_edge_list(a.positional[2]);
+  const auto g = (info->directed || a.flags.count("directed"))
+                     ? graph::build_directed(edges)
+                     : graph::build_undirected(edges);
+  const auto out = kernels::run_kernel(*info, g);
+  std::printf("%s: %s (%.2f ms)\n", info->display.c_str(),
+              out.summary.c_str(), out.millis);
+  return 0;
+}
+
+/// Run a small instrumented workload (BFS + PageRank through the registry)
+/// and print the process-wide metrics exposition — the obs layer's
+/// end-to-end smoke path.
+int cmd_metrics(const Args& a) {
+  const bool trace = a.flags.count("trace") != 0;
+  auto& tracer = obs::Tracer::global();
+  if (trace) tracer.set_active(true);
+
+  const auto g =
+      a.positional.size() >= 2
+          ? load(a.positional[1])
+          : graph::make_rmat({.scale = static_cast<unsigned>(
+                                  a.get("scale", 10)),
+                              .edge_factor = 16, .seed = 1});
+
+  obs::ScopedSpan root("cli.metrics", {});
+  obs::AmbientScope ambient(root.context());
+  for (const char* name : {"bfs", "pagerank", "wcc"}) {
+    const auto* info = kernels::find_kernel(name);
+    kernels::run_kernel(*info, g);
+  }
+  const obs::TraceContext ctx = root.context();
+  root.finish();
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (a.flags.count("json")) {
+    std::printf("%s\n", obs::expose_json(reg).c_str());
+  } else {
+    std::printf("%s", obs::expose_text(reg).c_str());
+  }
+  if (trace) {
+    std::printf("\n# trace %llu\n%s",
+                static_cast<unsigned long long>(ctx.trace_id),
+                tracer.format_tree(ctx.trace_id).c_str());
+  }
+  return 0;
 }
 
 int cmd_generate(const Args& a) {
@@ -197,6 +280,9 @@ int main(int argc, char** argv) {
     const std::string& cmd = args.positional[0];
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "kernels") return cmd_kernels(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "pagerank") return cmd_pagerank(args);
     if (cmd == "components") return cmd_components(args);

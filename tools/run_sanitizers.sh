@@ -52,10 +52,13 @@ echo "=== [tsan] configure + build (-fsanitize=thread) ==="
 TSAN_DIR="$ROOT/build-san/tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$TSAN_DIR" -j "$JOBS" --target ga_tests ga_serving_tests > /dev/null
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+      --target ga_tests ga_serving_tests ga_obs_tests > /dev/null
 echo "=== [tsan] parallel-path tests ==="
 "$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
 echo "=== [tsan] serving suite (snapshot lifetime + scheduler concurrency) ==="
 "$TSAN_DIR/tests/ga_serving_tests"
+echo "=== [tsan] obs suite (registry/tracer concurrency) ==="
+"$TSAN_DIR/tests/ga_obs_tests"
 
 echo "All sanitizer suites passed."
