@@ -36,6 +36,15 @@ inline long flag_value(int argc, char** argv, const char* flag,
   return fallback;
 }
 
+/// Value of `--flag X.Y` style arguments; fallback when absent.
+inline double flag_value_double(int argc, char** argv, const char* flag,
+                                double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
 class JsonDoc {
  public:
   explicit JsonDoc(std::string bench_name) : name_(std::move(bench_name)) {

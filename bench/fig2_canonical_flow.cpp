@@ -4,8 +4,12 @@
 // streaming path (in-line dedup ingest + threshold triggers + real-time
 // queries), which is the combined batch+streaming benchmark the paper's
 // §VI calls for.
+//
+// --json: additionally writes BENCH_fig2_canonical_flow.json with the
+// stage timings, publish-latency percentiles, and memory amplification.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/prng.hpp"
 #include "core/stats.hpp"
 #include "core/timer.hpp"
@@ -17,7 +21,8 @@
 using namespace ga;
 using namespace ga::pipeline;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::has_flag(argc, argv, "--json");
   std::printf("=== Fig. 2 reproduction: canonical graph processing flow ===\n\n");
   CorpusOptions copts;
   copts.num_people = 20000;
@@ -162,8 +167,58 @@ int main() {
   std::printf("\n--- metrics exposition (schema_version=%d) ---\n%s",
               obs::kSchemaVersion, obs::expose_text().c_str());
   std::printf("\n%s", serving.format_health().c_str());
+
+  // --- epoch publication economics: the delta-chain store behind the
+  // flow publishes O(Δ) overlay views; report what that cost and how much
+  // memory the live epochs hold relative to one flat CSR ---
+  const server::SnapshotManagerStats ss = serving.snapshots().stats();
+  double pub_p50 = 0.0, pub_p99 = 0.0;
+  if (obs::enabled()) {
+    auto& h = obs::MetricsRegistry::global().histogram("snapshot.publish_us");
+    pub_p50 = h.percentile(0.5);
+    pub_p99 = h.percentile(0.99);
+  }
+  std::printf("\n--- epoch publication (delta-chain store) ---\n");
+  std::printf("  publications  %llu (epoch %llu)\n",
+              static_cast<unsigned long long>(flow.snapshot_publications()),
+              static_cast<unsigned long long>(ss.current_epoch));
+  std::printf("  publish latency us   p50=%.1f p99=%.1f\n", pub_p50, pub_p99);
+  std::printf("  memory amplification %.3fx (%zu live bytes / %zu flat)\n",
+              ss.memory_amplification, ss.live_bytes, ss.flat_bytes);
+  if (const auto* vs = flow.store().versioned_store()) {
+    const store::StoreStats sst = vs->stats();
+    std::printf("  store chain depth %zu, delta publishes %llu, "
+                "compactions %llu\n",
+                sst.chain_depth,
+                static_cast<unsigned long long>(sst.delta_publishes),
+                static_cast<unsigned long long>(sst.compactions));
+  }
   std::printf(
       "\n(The streaming query path answers per-applicant relationship\n"
       "questions directly, removing the weekly precompute — §III.)\n");
+
+  if (json) {
+    bench::JsonDoc doc("fig2_canonical_flow");
+    double batch_total = 0.0;
+    for (const auto& st : r.timings) {
+      doc.add("stage_" + st.stage + "_ms", st.seconds * 1e3);
+      batch_total += st.seconds;
+    }
+    doc.add("batch_total_ms", batch_total * 1e3);
+    doc.add("dedup_precision", r.dedup_quality.precision);
+    doc.add("dedup_recall", r.dedup_quality.recall);
+    doc.add("ring_recall", r.ring_recall);
+    doc.add("stream_ingested", static_cast<std::uint64_t>(kIngest));
+    doc.add("stream_triggers", static_cast<std::uint64_t>(triggers));
+    doc.add("ingest_p50_us", ingest_us.percentile(0.5));
+    doc.add("ingest_p99_us", ingest_us.percentile(0.99));
+    doc.add("query_p50_us", query_us.percentile(0.5));
+    doc.add("query_p99_us", query_us.percentile(0.99));
+    doc.add("epochs_published", ss.current_epoch);
+    doc.add("publish_p50_us", pub_p50);
+    doc.add("publish_p99_us", pub_p99);
+    doc.add("memory_amplification", ss.memory_amplification);
+    doc.write();
+  }
   return 0;
 }

@@ -8,6 +8,14 @@
 // least 10x cheaper than its cold miss, and a query whose predicted cost
 // exceeds its deadline budget must be REJECTED (backpressure), not stalled.
 //
+// --publish-bench: instead of the closed loop, A/B the two epoch
+// publication paths under identical churn — O(Δ) delta-chain publication
+// through the versioned store vs the legacy full-CSR rebuild — and report
+// p50/p99 publish latency, the speedup, read amplification after
+// compaction, and live-epoch memory amplification. `--scale N` sizes the
+// RMAT graph, `--churn F` sets the per-epoch edge churn fraction.
+// tools/ci.sh gates on this mode at scale 20 / 0.1% churn.
+//
 // --json: additionally writes BENCH_serving_load.json.
 #include <algorithm>
 #include <atomic>
@@ -22,6 +30,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
 #include "server/server.hpp"
+#include "store/versioned_store.hpp"
 #include "streaming/trigger.hpp"
 #include "streaming/update_stream.hpp"
 
@@ -69,15 +78,134 @@ QueryDesc pick_query(core::Xoshiro256& rng, vid_t n) {
   return q;
 }
 
+double pct(std::vector<double> v, double q) {
+  GA_CHECK(!v.empty(), "pct: empty sample");
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * (v.size() - 1));
+  return v[idx];
+}
+
+/// A/B of the two publication paths under identical churn. Returns 0 on
+/// success; GA_CHECKs are the bench's own sanity anchors (the ≥10x / ≤1.5x
+/// acceptance gates live in tools/ci.sh so sweeps can still explore).
+int run_publish_bench(unsigned scale, double churn, bool json) {
+  std::printf("=== Epoch publication: delta chain vs full rebuild ===\n\n");
+  graph::RmatParams gp;
+  gp.scale = scale;
+  gp.edge_factor = 8;
+  gp.seed = 3;
+  const graph::CSRGraph base = graph::make_rmat(gp);
+  const vid_t n = base.num_vertices();
+  graph::DynamicGraph dyn(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (const vid_t v : base.out_neighbors(u)) {
+      if (u < v) dyn.insert_edge(u, v, 1.0f, 0);
+    }
+  }
+  const eid_t delta_edges = std::max<eid_t>(
+      1, static_cast<eid_t>(static_cast<double>(dyn.num_edges()) * churn));
+  constexpr int kEpochs = 16;
+  std::printf("graph: n=%u, m=%llu (RMAT scale %u)\n", n,
+              static_cast<unsigned long long>(dyn.num_edges()), gp.scale);
+  std::printf("churn: %.4f%% = %llu edges/epoch, %d epochs\n\n", churn * 100.0,
+              static_cast<unsigned long long>(delta_edges), kEpochs);
+
+  store::VersionedGraphStore vstore(dyn.snapshot(/*keep_weights=*/true));
+  vstore.start_compactor();  // folds run off the publish path
+  AnalyticsServer server;
+  server.publish(vstore.view());
+
+  core::Xoshiro256 rng(99);
+  std::vector<double> delta_us, full_us;
+  for (int e = 0; e < kEpochs; ++e) {
+    // Mutate the dynamic mirror; capture the exact same ops as a batch.
+    store::DeltaBatch batch;
+    for (eid_t i = 0; i < delta_edges; ++i) {
+      vid_t u = static_cast<vid_t>(rng.next_below(n));
+      vid_t v = static_cast<vid_t>(rng.next_below(n));
+      if (u == v) v = (v + 1) % n;
+      if (rng.next_below(10) == 0) {
+        if (dyn.delete_edge(u, v)) batch.delete_edge(u, v);
+      } else {
+        dyn.insert_edge(u, v, 1.0f, 0);
+        batch.insert_edge(u, v);
+      }
+    }
+    // Path A: O(Δ) delta-chain publication.
+    core::WallTimer t;
+    vstore.apply(batch);
+    server.publish(vstore.view());
+    delta_us.push_back(t.seconds() * 1e6);
+    // Path B: the legacy O(|E|) full-CSR rebuild of the same content.
+    t.restart();
+    server.publish(dyn.snapshot(/*keep_weights=*/true));
+    full_us.push_back(t.seconds() * 1e6);
+  }
+  // Both paths must publish the same logical graph.
+  GA_CHECK(vstore.view().num_arcs() == dyn.num_edges() * 2,
+           "delta-chain arc count diverged from the dynamic mirror");
+
+  const SnapshotManagerStats ss = server.snapshots().stats();
+  vstore.stop_compactor();
+  vstore.compact_now();
+  const double read_amp = vstore.view().read_amplification();
+  const store::StoreStats vs = vstore.stats();
+
+  const double d50 = pct(delta_us, 0.5), d99 = pct(delta_us, 0.99);
+  const double f50 = pct(full_us, 0.5), f99 = pct(full_us, 0.99);
+  std::printf("--- publish latency (us) ---\n");
+  std::printf("  delta chain      p50=%10.1f  p99=%10.1f\n", d50, d99);
+  std::printf("  full rebuild     p50=%10.1f  p99=%10.1f\n", f50, f99);
+  std::printf("  speedup          p50=%9.1fx  p99=%9.1fx\n", f50 / d50,
+              f99 / d99);
+  std::printf("--- store ---\n");
+  std::printf("  epochs=%llu chain_depth=%zu compactions=%llu (fail %llu)\n",
+              static_cast<unsigned long long>(vs.epoch), vs.chain_depth,
+              static_cast<unsigned long long>(vs.compactions),
+              static_cast<unsigned long long>(vs.compaction_failures));
+  std::printf("  read amplification after compaction: %.3fx\n", read_amp);
+  std::printf("  live epoch memory amplification:     %.3fx\n\n",
+              ss.memory_amplification);
+  GA_CHECK(ss.memory_amplification > 0.0, "stats missing amplification");
+
+  if (json) {
+    bench::JsonDoc doc("serving_load");
+    doc.add("mode", std::string("publish_bench"));
+    doc.add("scale", static_cast<int>(scale));
+    doc.add("churn", churn);
+    doc.add("epochs", static_cast<std::uint64_t>(kEpochs));
+    doc.add("delta_edges_per_epoch", static_cast<std::uint64_t>(delta_edges));
+    doc.add("publish_delta_p50_us", d50);
+    doc.add("publish_delta_p99_us", d99);
+    doc.add("publish_full_p50_us", f50);
+    doc.add("publish_full_p99_us", f99);
+    doc.add("publish_speedup_p50", f50 / d50);
+    doc.add("publish_speedup_p99", f99 / d99);
+    doc.add("read_amplification_after_compaction", read_amp);
+    doc.add("memory_amplification", ss.memory_amplification);
+    doc.add("compactions", vs.compactions);
+    doc.add("chain_depth", static_cast<std::uint64_t>(vs.chain_depth));
+    doc.write();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool json = bench::has_flag(argc, argv, "--json");
+  const auto scale = static_cast<unsigned>(
+      bench::flag_value(argc, argv, "--scale", 12));
+  const double churn =
+      bench::flag_value_double(argc, argv, "--churn", 0.001);
+  if (bench::has_flag(argc, argv, "--publish-bench")) {
+    return run_publish_bench(scale, churn, json);
+  }
   std::printf("=== Concurrent analytics serving, closed loop (E10) ===\n\n");
 
   // Base graph + live stream applied to a dynamic copy of it.
   graph::RmatParams gp;
-  gp.scale = 12;
+  gp.scale = scale;
   gp.edge_factor = 8;
   gp.seed = 3;
   const graph::CSRGraph base = graph::make_rmat(gp);
@@ -193,8 +321,19 @@ int main(int argc, char** argv) {
   std::printf("  epochs published     %llu (live stream applied %zu updates)\n",
               static_cast<unsigned long long>(ss.published),
               updates_applied.load());
-  std::printf("  snapshots reclaimed  %llu, still pinned %zu\n\n",
+  std::printf("  snapshots reclaimed  %llu, still pinned %zu\n",
               static_cast<unsigned long long>(ss.reclaimed), ss.retired_live);
+  // Publish latency through the delta-chain path (snapshot.publish_us is
+  // recorded by the manager on every epoch swap).
+  double pub_p50 = 0.0, pub_p99 = 0.0;
+  if (obs::enabled()) {
+    auto& h = obs::MetricsRegistry::global().histogram("snapshot.publish_us");
+    pub_p50 = h.percentile(0.5);
+    pub_p99 = h.percentile(0.99);
+  }
+  std::printf("  publish latency us   p50=%.1f p99=%.1f\n", pub_p50, pub_p99);
+  std::printf("  memory amplification %.3fx (%zu live bytes / %zu flat)\n\n",
+              ss.memory_amplification, ss.live_bytes, ss.flat_bytes);
   GA_CHECK(ok > 0, "no queries completed");
   GA_CHECK(ss.retired_live == 0, "leases leaked after drain");
   GA_CHECK(ss.published > 1, "live stream never republished an epoch");
@@ -265,6 +404,9 @@ int main(int argc, char** argv) {
     doc.add("rejected", rejected);
     doc.add("epochs_published", ss.published);
     doc.add("snapshots_reclaimed", ss.reclaimed);
+    doc.add("publish_p50_us", pub_p50);
+    doc.add("publish_p99_us", pub_p99);
+    doc.add("memory_amplification", ss.memory_amplification);
     doc.add("cold_ms", cold_ms);
     doc.add("hit_median_ms", hit_med);
     doc.add("hit_speedup", cold_ms / hit_med);

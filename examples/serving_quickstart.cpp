@@ -30,7 +30,7 @@ int main() {
   //    versioned CSR snapshots; publishing never blocks readers, and an
   //    old epoch is reclaimed only when its last lease drains.
   const auto g0 = graph::make_rmat({.scale = 10, .edge_factor = 8, .seed = 3});
-  serving.publish(g0);
+  serving.publish(graph::CSRGraph(g0));  // explicit copy: g0 is reused below
   std::printf("published epoch %llu: %u vertices, %llu arcs\n",
               static_cast<unsigned long long>(serving.snapshots().current_epoch()),
               g0.num_vertices(),

@@ -40,6 +40,7 @@
 #include "engine/frontier.hpp"
 #include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::engine {
 
@@ -270,6 +271,82 @@ Frontier edge_map(const graph::CSRGraph& g, Frontier& frontier, F&& f,
   st.seconds = timer.seconds();
   if (telem) telem->record(st);
   obs_record_step(st);  // one relaxed load per super-step when disabled
+  return next;
+}
+
+/// edge_map over the versioned store's GraphView — the engine's unified
+/// read path. A flat view delegates to the CSR overload above (identical
+/// hot path, full direction optimization). A delta-backed view traverses
+/// the merged adjacency push-style: the chain keeps no in-adjacency, so
+/// pull (and transpose) are unavailable until the compactor flattens —
+/// opts.direction/transpose are ignored rather than an error, because the
+/// same kernel code must run on both view kinds.
+template <typename F>
+Frontier edge_map(const store::GraphView& view, Frontier& frontier, F&& f,
+                  const TraversalOptions& opts = {},
+                  Telemetry* telem = nullptr) {
+  if (view.flat()) return edge_map(view.base(), frontier, f, opts, telem);
+  GA_CHECK(!opts.transpose,
+           "edge_map(GraphView): transpose traversal needs a flat view "
+           "(compact first or use view.csr())");
+  const vid_t n = view.num_vertices();
+  GA_CHECK(frontier.universe() == n, "edge_map: frontier/view mismatch");
+  core::WallTimer timer;
+
+  const bool run_parallel =
+      opts.parallel && core::ThreadPool::global().num_threads() > 1;
+  StepStats st;
+  st.direction = Direction::kPush;
+  st.frontier_size = frontier.size();
+  Frontier next(n);
+
+  frontier.ensure_sparse();
+  const auto& items = frontier.items();
+  st.vertices_touched = items.size();
+  if (!run_parallel) {
+    std::uint64_t edges = 0;
+    for (vid_t u : items) {
+      view.for_each_out(u, [&](vid_t v, float w) {
+        ++edges;
+        if (!f.cond(v)) return;
+        if (f.update(u, v, w) && opts.produce_output) next.add(v);
+      });
+    }
+    st.edges_traversed = edges;
+  } else {
+    std::mutex splice_mu;
+    std::atomic<std::uint64_t> edges{0};
+    std::function<void(std::uint64_t, std::uint64_t)> body =
+        [&](std::uint64_t b, std::uint64_t e) {
+          std::vector<vid_t> local;
+          std::uint64_t local_edges = 0;
+          for (std::uint64_t idx = b; idx < e; ++idx) {
+            const vid_t u = items[idx];
+            view.for_each_out(u, [&](vid_t v, float w) {
+              ++local_edges;
+              if (!f.cond(v)) return;
+              if (f.update_atomic(u, v, w) && opts.produce_output &&
+                  next.claim_atomic(v)) {
+                local.push_back(v);
+              }
+            });
+          }
+          edges.fetch_add(local_edges, std::memory_order_relaxed);
+          if (!local.empty()) {
+            std::lock_guard<std::mutex> lk(splice_mu);
+            next.append_batch(local);
+          }
+        };
+    core::ThreadPool::global().parallel_for(0, items.size(), opts.grain, body);
+    st.edges_traversed = edges.load();
+  }
+
+  if (opts.produce_output) next.auto_switch();
+  st.bytes_moved = detail::model_bytes(st.vertices_touched,
+                                       st.edges_traversed, view.weighted());
+  st.seconds = timer.seconds();
+  if (telem) telem->record(st);
+  obs_record_step(st);
   return next;
 }
 

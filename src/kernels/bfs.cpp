@@ -66,7 +66,10 @@ struct KhopStep {
   }
 };
 
-BfsResult bfs_impl(const CSRGraph& g, vid_t source,
+/// Shared across the flat CSR and the delta-backed GraphView: edge_map
+/// overload resolution picks the matching engine.
+template <typename G>
+BfsResult bfs_impl(const G& g, vid_t source,
                    engine::TraversalOptions::Dir dir, bool parallel) {
   const vid_t n = g.num_vertices();
   BfsResult r = make_result(n);
@@ -94,6 +97,34 @@ BfsResult bfs_impl(const CSRGraph& g, vid_t source,
   return r;
 }
 
+template <typename G>
+std::vector<vid_t> khop_impl(const G& g, const std::vector<vid_t>& seeds,
+                             std::uint32_t depth) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::uint32_t> dist(n, kInfDist);
+  std::vector<vid_t> out;
+  engine::Frontier frontier(n);
+  for (vid_t s : seeds) {
+    GA_CHECK(s < n, "khop: seed out of range");
+    if (dist[s] == kInfDist) {
+      dist[s] = 0;
+      frontier.add(s);
+      out.push_back(s);
+    }
+  }
+  engine::TraversalOptions opts;
+  opts.direction = engine::TraversalOptions::Dir::kPush;
+  opts.parallel = false;
+  for (std::uint32_t level = 1; level <= depth && !frontier.empty(); ++level) {
+    KhopStep step{dist, level};
+    engine::Frontier next = engine::edge_map(g, frontier, step, opts);
+    next.for_each([&](vid_t v) { out.push_back(v); });
+    frontier = std::move(next);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace
 
 BfsResult bfs(const CSRGraph& g, vid_t source, BfsMode mode) {
@@ -105,7 +136,22 @@ BfsResult bfs(const CSRGraph& g, vid_t source, BfsMode mode) {
   return bfs_impl(g, source, dir, /*parallel=*/false);
 }
 
+BfsResult bfs(const store::GraphView& g, vid_t source, BfsMode mode) {
+  GA_CHECK(source < g.num_vertices(), "bfs: source out of range");
+  using Dir = engine::TraversalOptions::Dir;
+  const Dir dir = mode == BfsMode::kTopDown    ? Dir::kPush
+                  : mode == BfsMode::kBottomUp ? Dir::kPull
+                                               : Dir::kAuto;
+  return bfs_impl(g, source, dir, /*parallel=*/false);
+}
+
 BfsResult bfs_parallel(const CSRGraph& g, vid_t source) {
+  GA_CHECK(source < g.num_vertices(), "bfs_parallel: source out of range");
+  return bfs_impl(g, source, engine::TraversalOptions::Dir::kPush,
+                  /*parallel=*/true);
+}
+
+BfsResult bfs_parallel(const store::GraphView& g, vid_t source) {
   GA_CHECK(source < g.num_vertices(), "bfs_parallel: source out of range");
   return bfs_impl(g, source, engine::TraversalOptions::Dir::kPush,
                   /*parallel=*/true);
@@ -135,29 +181,13 @@ std::uint32_t approx_diameter(const CSRGraph& g, vid_t start) {
 std::vector<vid_t> khop_neighborhood(const CSRGraph& g,
                                      const std::vector<vid_t>& seeds,
                                      std::uint32_t depth) {
-  const vid_t n = g.num_vertices();
-  std::vector<std::uint32_t> dist(n, kInfDist);
-  std::vector<vid_t> out;
-  engine::Frontier frontier(n);
-  for (vid_t s : seeds) {
-    GA_CHECK(s < n, "khop: seed out of range");
-    if (dist[s] == kInfDist) {
-      dist[s] = 0;
-      frontier.add(s);
-      out.push_back(s);
-    }
-  }
-  engine::TraversalOptions opts;
-  opts.direction = engine::TraversalOptions::Dir::kPush;
-  opts.parallel = false;
-  for (std::uint32_t level = 1; level <= depth && !frontier.empty(); ++level) {
-    KhopStep step{dist, level};
-    engine::Frontier next = engine::edge_map(g, frontier, step, opts);
-    next.for_each([&](vid_t v) { out.push_back(v); });
-    frontier = std::move(next);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return khop_impl(g, seeds, depth);
+}
+
+std::vector<vid_t> khop_neighborhood(const store::GraphView& g,
+                                     const std::vector<vid_t>& seeds,
+                                     std::uint32_t depth) {
+  return khop_impl(g, seeds, depth);
 }
 
 bool validate_bfs_tree(const CSRGraph& g, vid_t source, const BfsResult& r) {

@@ -11,6 +11,7 @@
 
 #include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::kernels {
 
@@ -37,11 +38,22 @@ struct BfsOptions {
 
 BfsResult bfs(const CSRGraph& g, vid_t source,
               BfsMode mode = BfsMode::kDirectionOptimizing);
+/// Delta-native BFS over the versioned store's read path; non-flat views
+/// run push-only (the chain keeps no in-adjacency), flat views get full
+/// direction optimization.
+BfsResult bfs(const store::GraphView& g, vid_t source,
+              BfsMode mode = BfsMode::kDirectionOptimizing);
 
 /// Parallel frontier-based top-down BFS (atomic parent claims).
 BfsResult bfs_parallel(const CSRGraph& g, vid_t source);
+BfsResult bfs_parallel(const store::GraphView& g, vid_t source);
 
 inline BfsResult run(const CSRGraph& g, const BfsOptions& opts) {
+  return opts.parallel ? bfs_parallel(g, opts.source)
+                       : bfs(g, opts.source, opts.mode);
+}
+
+inline BfsResult run(const store::GraphView& g, const BfsOptions& opts) {
   return opts.parallel ? bfs_parallel(g, opts.source)
                        : bfs(g, opts.source, opts.mode);
 }
@@ -52,6 +64,9 @@ std::uint32_t approx_diameter(const CSRGraph& g, vid_t start = 0);
 /// Vertices within `depth` hops of any seed (the Fig. 2 "subgraph
 /// extraction" primitive; returned sorted ascending).
 std::vector<vid_t> khop_neighborhood(const CSRGraph& g,
+                                     const std::vector<vid_t>& seeds,
+                                     std::uint32_t depth);
+std::vector<vid_t> khop_neighborhood(const store::GraphView& g,
                                      const std::vector<vid_t>& seeds,
                                      std::uint32_t depth);
 

@@ -89,6 +89,28 @@ ComponentsResult wcc_label_propagation(const CSRGraph& g) {
   return r;
 }
 
+ComponentsResult wcc_label_propagation(const store::GraphView& g) {
+  if (g.flat()) return wcc_label_propagation(g.base());
+  if (g.directed()) {
+    // Weak connectivity on a directed graph needs the transposed sweep,
+    // which a delta chain cannot serve; fold once (cached) and recurse.
+    return wcc_label_propagation(g.csr());
+  }
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> label(n);
+  for (vid_t v = 0; v < n; ++v) label[v] = v;
+  engine::Telemetry telem;
+  engine::TraversalOptions fwd;
+  engine::Frontier frontier = engine::Frontier::all(n);
+  while (!frontier.empty()) {
+    MinLabelStep step{label};
+    frontier = engine::edge_map(g, frontier, step, fwd, &telem);
+  }
+  ComponentsResult r = finalize(std::move(label));
+  r.steps = telem.steps();
+  return r;
+}
+
 ComponentsResult wcc_bfs(const CSRGraph& g) {
   const vid_t n = g.num_vertices();
   std::vector<vid_t> label(n, kInvalidVid);

@@ -10,6 +10,7 @@
 
 #include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::kernels {
 
@@ -25,6 +26,9 @@ struct ComponentsResult {
 
 /// Shiloach–Vishkin style hook + compress label propagation.
 ComponentsResult wcc_label_propagation(const CSRGraph& g);
+/// Delta-native on undirected views (push-only min-label rounds); directed
+/// non-flat views fold once through view.csr() for the transposed sweep.
+ComponentsResult wcc_label_propagation(const store::GraphView& g);
 
 /// BFS from every unvisited vertex (test oracle).
 ComponentsResult wcc_bfs(const CSRGraph& g);
@@ -66,6 +70,14 @@ inline ComponentsResult run(const CSRGraph& g, const ComponentsOptions& opts) {
     case WccAlgo::kUnionFind: return wcc_union_find(g);
     default: return wcc_label_propagation(g);
   }
+}
+
+inline ComponentsResult run(const store::GraphView& g,
+                            const ComponentsOptions& opts) {
+  if (opts.algo == WccAlgo::kLabelPropagation) {
+    return wcc_label_propagation(g);  // delta-native path
+  }
+  return run(g.csr(), opts);
 }
 
 }  // namespace ga::kernels

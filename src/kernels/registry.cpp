@@ -37,20 +37,22 @@ std::vector<KernelInfo> make_registry() {
   std::vector<KernelInfo> r;
   r.push_back({"bfs", "BFS: Breadth First Search", "connectedness",
                "Graph500,GraphBLAS,GC,GAP,HPC-GA(B)", "vertex property",
-               false, 13, [](const CSRGraph& g) {
-                 return "reached=" + u64(run(g, BfsOptions{}).reached);
+               false, 13, [](const store::GraphView& v) {
+                 return "reached=" + u64(run(v, BfsOptions{}).reached);
                }});
   r.push_back({"sssp", "SSSP: Single Source Shortest Path", "connectedness",
                "Firehose(B),GC(B/S),GAP(B)", "vertex property + events",
-               false, 13, [](const CSRGraph& g) {
-                 const auto res = run(g, SsspOptions{});
+               false, 13, [](const store::GraphView& v) {
+                 const auto res = run(
+                     v, SsspOptions{.algo = SsspAlgo::kBellmanFord});
                  std::uint64_t reached = 0;
                  for (float d : res.dist) reached += d != kInfWeight;
                  return "reached=" + u64(reached);
                }});
   r.push_back({"apsp", "APSP: All Pairs Shortest Path", "connectedness",
                "GAP(B)", "O(|V|) list per source", false, 9,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  const auto res = run(g, ApspOptions{});
                  return "diameter=" +
                         std::to_string(
@@ -58,24 +60,27 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"wcc", "CCW: Weakly Connected Components", "connectedness",
                "GAP(B),HPC-GA(B),K&G(S)", "vertex property + O(|V|) list",
-               false, 13, [](const CSRGraph& g) {
+               false, 13, [](const store::GraphView& v) {
                  return "components=" +
-                        u64(run(g, ComponentsOptions{}).num_components);
+                        u64(run(v, ComponentsOptions{}).num_components);
                }});
   r.push_back({"scc", "CCS: Strongly Connected Components", "connectedness",
                "GAP(B),HPC-GA(B)", "O(|V|) list", true, 12,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "components=" + u64(run(g, SccOptions{}).num_components);
                }});
   r.push_back({"pagerank", "PR: PageRank", "centrality", "GC(B)",
-               "vertex property", false, 13, [](const CSRGraph& g) {
+               "vertex property", false, 13, [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  const auto res = run(g, PageRankOptions{});
                  const auto top = pagerank_topk(res, 1);
                  return "top vertex=" + u64(top.empty() ? 0 : top[0].second);
                }});
   r.push_back({"betweenness", "BC: Betweenness Centrality", "centrality",
                "Graph500(B),GC(B),HPC-GA(B),K&G(S)", "vertex property",
-               false, 13, [](const CSRGraph& g) {
+               false, 13, [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  const auto res = run(g, BetweennessOptions{.num_pivots = 32});
                  double mx = 0;
                  for (double x : res.centrality) mx = std::max(mx, x);
@@ -84,7 +89,8 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"clustering", "CCO: Clustering Coefficients", "clustering",
                "HPC-GA(B),K&G(S)", "vertex property", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  char buf[48];
                  std::snprintf(buf, sizeof(buf), "avg=%.6f",
                                run(g, ClusteringOptions{.per_vertex = false})
@@ -94,36 +100,42 @@ std::vector<KernelInfo> make_registry() {
   r.push_back({"community", "CD: Community Detection",
                "contraction/centrality", "HPC-GA(S)",
                "vertex property + O(|V|) list", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "communities=" +
                         u64(run(g, CommunityOptions{}).num_communities);
                }});
   r.push_back({"contraction", "GC: Graph Contraction", "contraction",
                "GC(B),GAP(B)", "global value (super-graph)", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "super-vertices=" +
                         u64(run(g, ContractionOptions{}).num_groups);
                }});
   r.push_back({"partition", "GP: Graph Partitioning", "contraction",
                "GraphBLAS(B/S),GAP(B)", "global value", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "cut=" + u64(run(g, PartitionOptions{}).cut_edges);
                }});
   r.push_back({"triangles", "GTC: Global Triangle Counting",
                "subgraph isomorphism", "GC(B)", "global value", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "triangles=" + u64(run(g, TrianglesOptions{}).total);
                }});
   r.push_back({"subgraph_iso", "SI: General Subgraph Isomorphism",
                "subgraph isomorphism", "Graph500(B/S)",
-               "O(|V|^k) list (top-k)", false, 10, [](const CSRGraph& g) {
+               "O(|V|^k) list (top-k)", false, 10, [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "4-cycle embeddings=" +
                         u64(run(g, SubgraphIsoRunOptions{.limit = 100000})
                                 .embeddings);
                }});
   r.push_back({"jaccard", "Jaccard (batch top-k)", "clustering",
                "standalone(B/S)", "O(|V|^k) list (top-k)", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  const auto res = run(g, JaccardOptions{});
                  char buf[48];
                  std::snprintf(buf, sizeof(buf), "max J=%.6f",
@@ -133,7 +145,8 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"weighted_jaccard", "Jaccard (weighted/Ruzicka query)",
                "clustering", "standalone(B/S)", "O(|V|) list per query",
-               false, 13, [](const CSRGraph& g) {
+               false, 13, [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  const auto res =
                      run(g, WeightedJaccardOptions{.query = 0,
                                                    .threshold = 0.1});
@@ -141,18 +154,21 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"kcore", "k-core decomposition", "subgraph isomorphism",
                "GAP(B)", "vertex property", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "degeneracy=" +
                         std::to_string(run(g, KCoreOptions{}).degeneracy);
                }});
   r.push_back({"ktruss", "k-truss decomposition", "subgraph isomorphism",
                "GC(B)", "per-edge property", false, 11,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "max truss=" +
                         std::to_string(run(g, KTrussOptions{}).max_truss);
                }});
   r.push_back({"geo_temporal", "Geo & Temporal Correlation", "clustering",
-               "K&G(B/S)", "O(1) events", false, 13, [](const CSRGraph& g) {
+               "K&G(B/S)", "O(1) events", false, 13, [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  const auto res = run(
                      g, GeoTemporalOptions{
                             .stream = {.count = 50000,
@@ -164,11 +180,13 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"mis", "MIS: Maximally Independent Set", "other",
                "Firehose(B),GC(B)", "O(|V|) list", false, 13,
-               [](const CSRGraph& g) {
+               [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  return "|set|=" + u64(run(g, MisOptions{}).members.size());
                }});
   r.push_back({"search_largest", "Search for Largest", "other", "GC(B)",
-               "O(1) events", false, 13, [](const CSRGraph& g) {
+               "O(1) events", false, 13, [](const store::GraphView& v) {
+                 const CSRGraph& g = v.csr();
                  const auto res = run(g, SearchLargestOptions{});
                  return "max degree=" +
                         std::to_string(static_cast<long long>(
@@ -191,12 +209,13 @@ const KernelInfo* find_kernel(std::string_view name) {
   return nullptr;
 }
 
-KernelRunOutcome run_kernel(const KernelInfo& info, const graph::CSRGraph& g) {
+KernelRunOutcome run_kernel(const KernelInfo& info,
+                            const store::GraphView& v) {
   obs::ScopedSpan span("kernel." + info.name, obs::ambient());
   obs::AmbientScope ambient(span.context());  // engine steps nest under us
   core::WallTimer t;
   KernelRunOutcome out;
-  out.summary = info.run(g);
+  out.summary = info.run(v);
   out.millis = t.millis();
   span.set_detail(out.summary);
   if (obs::enabled()) {

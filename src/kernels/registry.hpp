@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::kernels {
 
@@ -26,7 +27,10 @@ struct KernelInfo {
   /// default inputs; harnesses may build one graph per distinct scale).
   unsigned preferred_scale = 13;
   /// Run with registry-default options; returns a one-line result summary.
-  std::function<std::string(const graph::CSRGraph&)> run;
+  /// Every runner consumes the store's GraphView read path: kernels with a
+  /// delta-native engine traverse the merged chain directly, the rest fold
+  /// once through view.csr() (cached per version).
+  std::function<std::string(const store::GraphView&)> run;
 };
 
 /// All registered kernels, in Fig. 1 row order.
@@ -43,6 +47,13 @@ struct KernelRunOutcome {
 /// Timed dispatch through the registry: wraps the runner in a
 /// "kernel.<name>" trace span (under the ambient trace context, when the
 /// tracer is active) and records kernel.runs_total / kernel.run_us.
-KernelRunOutcome run_kernel(const KernelInfo& info, const graph::CSRGraph& g);
+KernelRunOutcome run_kernel(const KernelInfo& info, const store::GraphView& v);
+
+/// Convenience for harnesses that own a flat CSR on the stack: wraps it in
+/// a borrowed (non-owning) flat view for the duration of the call.
+inline KernelRunOutcome run_kernel(const KernelInfo& info,
+                                   const graph::CSRGraph& g) {
+  return run_kernel(info, store::GraphView::borrowed(g));
+}
 
 }  // namespace ga::kernels

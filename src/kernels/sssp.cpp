@@ -154,7 +154,8 @@ SsspResult delta_stepping(const CSRGraph& g, vid_t source, float delta) {
   return r;
 }
 
-SsspResult bellman_ford(const CSRGraph& g, vid_t source) {
+template <typename G>
+SsspResult bellman_ford_impl(const G& g, vid_t source) {
   GA_CHECK(source < g.num_vertices(), "bellman_ford: source out of range");
   const vid_t n = g.num_vertices();
   SsspResult r = make_result(n);
@@ -178,6 +179,14 @@ SsspResult bellman_ford(const CSRGraph& g, vid_t source) {
   r.relaxations = telem.total_edges();
   r.steps = telem.steps();
   return r;
+}
+
+SsspResult bellman_ford(const CSRGraph& g, vid_t source) {
+  return bellman_ford_impl(g, source);
+}
+
+SsspResult bellman_ford(const store::GraphView& g, vid_t source) {
+  return bellman_ford_impl(g, source);
 }
 
 }  // namespace ga::kernels

@@ -8,6 +8,7 @@
 
 #include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::kernels {
 
@@ -33,6 +34,9 @@ SsspResult delta_stepping(const CSRGraph& g, vid_t source, float delta = 0.0f);
 
 /// Bellman-Ford; tolerates any nonnegative weights, O(nm) worst case.
 SsspResult bellman_ford(const CSRGraph& g, vid_t source);
+/// Delta-native frontier Bellman-Ford over the versioned store's read
+/// path (push-only; weights flow through the merged iteration).
+SsspResult bellman_ford(const store::GraphView& g, vid_t source);
 
 enum class SsspAlgo { kDeltaStepping, kDijkstra, kBellmanFord };
 
@@ -49,6 +53,13 @@ inline SsspResult run(const CSRGraph& g, const SsspOptions& opts) {
     case SsspAlgo::kBellmanFord: return bellman_ford(g, opts.source);
     default: return delta_stepping(g, opts.source, opts.delta);
   }
+}
+
+inline SsspResult run(const store::GraphView& g, const SsspOptions& opts) {
+  if (opts.algo == SsspAlgo::kBellmanFord) {
+    return bellman_ford(g, opts.source);  // delta-native path
+  }
+  return run(g.csr(), opts);
 }
 
 }  // namespace ga::kernels

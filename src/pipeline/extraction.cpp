@@ -29,10 +29,12 @@ ExtractedSubgraph extract(const GraphStore& store,
                           const std::vector<vid_t>& seeds,
                           const ExtractionOptions& opts) {
   GA_CHECK(!seeds.empty(), "extract: no seeds");
-  // Snapshot the persistent graph, take the k-hop union, remap.
-  const graph::CSRGraph snap = store.graph().snapshot(/*keep_weights=*/true);
+  // Read through the versioned store: an O(Δ) sync instead of an O(|E|)
+  // snapshot per extraction. The k-hop walk and the edge collection both
+  // run on the merged delta-chain view directly.
+  const store::GraphView view = store.view();
   const std::vector<vid_t> members =
-      kernels::khop_neighborhood(snap, seeds, opts.depth);
+      kernels::khop_neighborhood(view, seeds, opts.depth);
 
   const auto local_of = [&](vid_t v) -> vid_t {
     const auto it = std::lower_bound(members.begin(), members.end(), v);
@@ -43,14 +45,11 @@ ExtractedSubgraph extract(const GraphStore& store,
 
   std::vector<graph::Edge> edges;
   for (vid_t lu = 0; lu < members.size(); ++lu) {
-    const vid_t gu = members[lu];
-    const auto nbrs = snap.out_neighbors(gu);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const vid_t lv = local_of(nbrs[i]);
-      if (lv == kInvalidVid || lv <= lu) continue;
-      const float w = snap.weighted() ? snap.out_weights(gu)[i] : 1.0f;
+    view.for_each_out(members[lu], [&](vid_t v, float w) {
+      const vid_t lv = local_of(v);
+      if (lv == kInvalidVid || lv <= lu) return;
       edges.push_back(graph::Edge{lu, lv, w, 0});
-    }
+    });
   }
   graph::BuildOptions bopts;
   bopts.directed = false;

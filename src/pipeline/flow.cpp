@@ -137,7 +137,7 @@ BatchFlowResult CanonicalFlow::run_batch(const Corpus& corpus,
   // serving epoch if a consumer is attached.
   if (snapshot_publisher_) {
     timer.restart();
-    snapshot_publisher_(store_->graph().snapshot());
+    snapshot_publisher_(store_->view());
     ++snapshot_publications_;
     out.timings.push_back({"publish_snapshot", timer.seconds(),
                            "epoch publication " +
@@ -281,7 +281,7 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
   // A trigger means new relationship structure exists — refresh the
   // serving epoch so queries see the post-trigger store.
   if (triggered && snapshot_publisher_) {
-    snapshot_publisher_(store_->graph().snapshot());
+    snapshot_publisher_(store_->view());  // O(Δ) delta-chain publication
     ++snapshot_publications_;
   }
   if (obs::enabled()) {
@@ -300,7 +300,7 @@ bool CanonicalFlow::ingest_streaming(const RawRecord& rec) {
 }
 
 void CanonicalFlow::set_snapshot_publisher(
-    std::function<void(const graph::CSRGraph&)> fn) {
+    std::function<void(store::GraphView)> fn) {
   snapshot_publisher_ = std::move(fn);
 }
 

@@ -100,13 +100,14 @@ class CanonicalFlow {
   /// staged ingest with retry/deadline/degradation). Call before ingesting.
   void set_stream_resilience(const StreamResilienceOptions& opts);
 
-  /// Route frozen CSR snapshots of the persistent store to a downstream
+  /// Route versioned views of the persistent store to a downstream
   /// consumer (typically server::AnalyticsServer::publisher()): once after
   /// each run_batch write-back, and after every streaming NORA trigger.
-  /// Keeps the serving layer's epoch current without this layer linking
-  /// against the server.
-  void set_snapshot_publisher(
-      std::function<void(const graph::CSRGraph&)> fn);
+  /// The first publication seeds the store's delta chain (one O(|E|)
+  /// snapshot); trigger-time publications ship O(Δ) overlay views. Keeps
+  /// the serving layer's epoch current without this layer linking against
+  /// the server.
+  void set_snapshot_publisher(std::function<void(store::GraphView)> fn);
 
   std::uint64_t snapshot_publications() const {
     return snapshot_publications_;
@@ -158,7 +159,7 @@ class CanonicalFlow {
   StreamResilienceOptions res_opts_;
   resilience::StageExecutor stream_exec_;
   resilience::DeadLetterQueue<RawRecord> dead_letters_;
-  std::function<void(const graph::CSRGraph&)> snapshot_publisher_;
+  std::function<void(store::GraphView)> snapshot_publisher_;
   std::uint64_t snapshot_publications_ = 0;
 };
 

@@ -46,6 +46,7 @@ vid_t GraphStore::add_person(const Entity& e, std::int64_t ts) {
   // whole vertex space and the class column records them as persons.
   const vid_t v = g_.num_vertices();
   g_.add_vertices(1);
+  if (versioned_) pending_.add_vertices(1);
   props_.resize_rows(props_.num_rows() + 1);
   props_.ints("class")[v] = static_cast<std::int64_t>(VertexClass::kPerson);
   props_.doubles("credit_score")[v] = e.credit_score;
@@ -65,6 +66,20 @@ void GraphStore::add_residency(vid_t person, std::uint32_t address_id,
   const float prev = g_.edge_weight_or(person, av, 0.0f);
   // Weight counts sightings of this person at this address.
   g_.insert_edge(person, av, prev + 1.0f, ts);
+  // Mutations before the first view() land in the seed snapshot instead.
+  if (versioned_) pending_.insert_edge(person, av, prev + 1.0f);
+}
+
+store::GraphView GraphStore::view() const {
+  if (!versioned_) {
+    versioned_ = std::make_unique<store::VersionedGraphStore>(
+        g_.snapshot(/*keep_weights=*/true));
+    pending_.clear();
+  } else if (!pending_.empty()) {
+    versioned_->apply(pending_);  // O(Δ) epoch publication
+    pending_.clear();
+  }
+  return versioned_->view();
 }
 
 GraphStore::GraphStore(vid_t num_people, vid_t num_addresses,

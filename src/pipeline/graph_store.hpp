@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/dynamic_graph.hpp"
 #include "graph/property_table.hpp"
 #include "pipeline/dedup.hpp"
+#include "store/versioned_store.hpp"
 
 namespace ga::pipeline {
 
@@ -63,6 +65,19 @@ class GraphStore {
   /// Distinct addresses of a person (sorted vertex ids of address class).
   std::vector<vid_t> addresses_of(vid_t person) const;
 
+  /// Versioned read path over the persistent graph: the first call seeds
+  /// an embedded delta-chain store from one O(|E|) snapshot; later calls
+  /// seal whatever add_person/add_residency changed since and return an
+  /// O(Δ) overlay view (the store's compactor folds when the chain gets
+  /// deep). This is what the flow publishes to the serving layer.
+  store::GraphView view() const;
+
+  /// The embedded delta-chain store; nullptr until the first view() call.
+  /// Exposed for chain-depth / compaction statistics.
+  const store::VersionedGraphStore* versioned_store() const {
+    return versioned_.get();
+  }
+
   /// Content digest over vertex counts, adjacency (neighbor-sorted, so the
   /// physical edge-block layout doesn't matter), weights, timestamps, and
   /// all property columns. Two stores with equal digests hold identical
@@ -83,6 +98,10 @@ class GraphStore {
   graph::PropertyTable props_;
   vid_t num_people_ = 0;
   vid_t num_addresses_ = 0;
+  // Delta capture for the versioned read path (mutable: view() is a const
+  // read that lazily seeds the store and folds pending mutations in).
+  mutable std::unique_ptr<store::VersionedGraphStore> versioned_;
+  mutable store::DeltaBatch pending_;
 };
 
 }  // namespace ga::pipeline

@@ -141,8 +141,8 @@ std::optional<QueryResult> QueryScheduler::admission_check(
       ++stats_.no_snapshot;
       return r;
     }
-    est = model_.predict(desc, snap.graph().num_vertices(),
-                         snap.graph().num_arcs());
+    est = model_.predict(desc, snap.view().num_vertices(),
+                         snap.view().num_arcs());
   }
 
   const std::size_t ci = static_cast<std::size_t>(desc.klass);
@@ -333,7 +333,7 @@ void QueryScheduler::execute_bfs_batch(
       finish(*p, std::move(r));
       continue;
     }
-    if (p->desc.seed >= snap.graph().num_vertices()) {
+    if (p->desc.seed >= snap.view().num_vertices()) {
       r.status = QueryStatus::kFailed;
       r.error = "bfs seed out of range";
       finish(*p, std::move(r));
@@ -347,9 +347,19 @@ void QueryScheduler::execute_bfs_batch(
   core::WallTimer timer;
   QueryResult fail;
   bool failed = false;
+  const bool flat = snap.view().flat();
   engine::MultiSourceBfsResult ms;
+  std::vector<kernels::BfsResult> solo;
   try {
-    ms = engine::multi_source_bfs(snap.graph(), seeds);
+    if (flat) {
+      // Bit-parallel fused pass over the flat CSR.
+      ms = engine::multi_source_bfs(snap.graph(), seeds);
+    } else {
+      // Delta-backed view: answer each seed on the merged chain rather
+      // than forcing an O(|E|) fold for a batch of O(Δ)-fresh queries.
+      solo.reserve(seeds.size());
+      for (const vid_t s : seeds) solo.push_back(kernels::bfs(snap.view(), s));
+    }
   } catch (const std::exception& e) {
     failed = true;
     fail.status = QueryStatus::kFailed;
@@ -364,17 +374,21 @@ void QueryScheduler::execute_bfs_batch(
       stats_.batched_queries += live.size();
     }
   }
-  const vid_t n = snap.graph().num_vertices();
+  const vid_t n = snap.view().num_vertices();
   for (std::size_t i = 0; i < live.size(); ++i) {
     Pending& p = *live[i];
     QueryResult r;
     if (failed) {
       r = fail;
-    } else {
+    } else if (flat) {
       r.status = QueryStatus::kOk;
       r.dist.resize(n);
       for (vid_t v = 0; v < n; ++v) r.dist[v] = ms.dist_of(v, i);
       r.reached = ms.reached[i];
+    } else {
+      r.status = QueryStatus::kOk;
+      r.dist = std::move(solo[i].dist);
+      r.reached = solo[i].reached;
     }
     r.kind = QueryKind::kBfs;
     r.batched = fused;
@@ -396,8 +410,11 @@ void QueryScheduler::execute_bfs_batch(
 
 QueryResult QueryScheduler::run_kernel(const QueryDesc& desc,
                                        const SnapshotRef& snap) {
-  const graph::CSRGraph& g = snap.graph();
-  const vid_t n = g.num_vertices();
+  // The one read path: delta-native kernels (BFS, WCC, k-hop) traverse
+  // the view's merged chain directly; PageRank and Jaccard need the flat
+  // CSR and pay the cached per-version fold through view.csr().
+  const store::GraphView& v = snap.view();
+  const vid_t n = v.num_vertices();
   QueryResult r;
   r.kind = desc.kind;
   const bool needs_seed = desc.kind == QueryKind::kBfs ||
@@ -410,36 +427,36 @@ QueryResult QueryScheduler::run_kernel(const QueryDesc& desc,
   }
   switch (desc.kind) {
     case QueryKind::kBfs: {
-      auto res = kernels::bfs(g, desc.seed);
+      auto res = kernels::bfs(v, desc.seed);
       r.dist = std::move(res.dist);
       r.reached = res.reached;
       break;
     }
     case QueryKind::kPageRankTopK: {
-      const auto res = kernels::pagerank(g, serving_pagerank_opts());
+      const auto res = kernels::pagerank(v.csr(), serving_pagerank_opts());
       r.topk = kernels::pagerank_topk(res, desc.k);
       break;
     }
     case QueryKind::kJaccardNeighbors: {
-      r.neighbors = kernels::jaccard_query(g, desc.seed, desc.threshold);
+      r.neighbors = kernels::jaccard_query(v.csr(), desc.seed, desc.threshold);
       if (r.neighbors.size() > desc.k) r.neighbors.resize(desc.k);
       break;
     }
     case QueryKind::kWcc: {
-      const auto res = kernels::wcc_label_propagation(g);
+      const auto res = kernels::wcc_label_propagation(v);
       r.num_components = res.num_components;
       r.largest_component = res.largest_size;
       break;
     }
     case QueryKind::kSubgraphExtract: {
-      r.members = kernels::khop_neighborhood(g, {desc.seed}, desc.depth);
+      r.members = kernels::khop_neighborhood(v, {desc.seed}, desc.depth);
       // Arc count inside the neighborhood: members is sorted, so each
-      // adjacency probe is a binary search.
+      // adjacency probe is a binary search over the merged iteration.
       eid_t arcs = 0;
       for (const vid_t u : r.members) {
-        for (const vid_t v : g.out_neighbors(u)) {
-          arcs += std::binary_search(r.members.begin(), r.members.end(), v);
-        }
+        v.for_each_out(u, [&](vid_t w, float) {
+          arcs += std::binary_search(r.members.begin(), r.members.end(), w);
+        });
       }
       r.subgraph_arcs = arcs;
       break;
@@ -507,8 +524,8 @@ QueryResult QueryScheduler::execute_now(const QueryDesc& desc) {
       obs_count_query(r);
       return r;
     }
-    est = model_.predict(desc, snap.graph().num_vertices(),
-                         snap.graph().num_arcs());
+    est = model_.predict(desc, snap.view().num_vertices(),
+                         snap.view().num_arcs());
     if (adm.live()) {
       char detail[64];
       std::snprintf(detail, sizeof(detail), "predicted_ms=%.3f", est.ms);

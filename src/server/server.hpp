@@ -1,10 +1,10 @@
 // AnalyticsServer: the serving layer's front door. Owns the snapshot
 // manager and the query scheduler, and exposes the two verbs the rest of
-// the system needs: publish(graph) for writers (batch pipeline, streaming
+// the system needs: publish(view) for writers (batch pipeline, streaming
 // trigger) and submit(query) for readers. The publisher() adapter returns a
 // plain std::function so lower layers (pipeline, streaming) can push
 // epochs into the server without linking against ga_server — they depend
-// only on graph::CSRGraph and std::function.
+// only on store::GraphView and std::function.
 #pragma once
 
 #include <functional>
@@ -22,18 +22,24 @@ class AnalyticsServer {
   explicit AnalyticsServer(SchedulerOptions opts = {})
       : scheduler_(snapshots_, opts) {}
 
-  /// Publishes `g` as the next immutable epoch; returns the epoch id.
-  /// In-flight queries keep their leased snapshots; the result cache drops
-  /// entries from earlier epochs.
-  std::uint64_t publish(graph::CSRGraph g) {
+  /// Publishes `v` as the next immutable epoch; returns the epoch id.
+  /// O(Δ): views share their base CSR with earlier epochs. In-flight
+  /// queries keep their leased snapshots; the result cache drops entries
+  /// from earlier epochs.
+  std::uint64_t publish(store::GraphView v) {
+    return snapshots_.publish(std::move(v));
+  }
+  /// Full-rebuild publication; rvalue only — the hot publish path never
+  /// copies CSR arrays.
+  std::uint64_t publish(graph::CSRGraph&& g) {
     return snapshots_.publish(std::move(g));
   }
 
   /// Adapter for layers that publish epochs but must not depend on the
-  /// server (streaming triggers, pipeline flows). Copies the graph so the
-  /// caller keeps mutating its working copy.
-  std::function<void(const graph::CSRGraph&)> publisher() {
-    return [this](const graph::CSRGraph& g) { snapshots_.publish(g); };
+  /// server (streaming triggers, pipeline flows). Views are cheap value
+  /// types, so the hand-off moves a couple of shared_ptrs.
+  std::function<void(store::GraphView)> publisher() {
+    return [this](store::GraphView v) { snapshots_.publish(std::move(v)); };
   }
 
   std::future<QueryResult> submit(const QueryDesc& desc) {

@@ -1,6 +1,8 @@
 #include "server/snapshot.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <unordered_set>
 
 namespace ga::server {
 
@@ -20,13 +22,15 @@ SnapshotManager::~SnapshotManager() {
             current_->readers_.load(std::memory_order_relaxed) == 0);
 }
 
-std::uint64_t SnapshotManager::publish(graph::CSRGraph g) {
+std::uint64_t SnapshotManager::publish(store::GraphView v) {
+  GA_CHECK(v.valid(), "SnapshotManager::publish: empty view");
+  const auto t0 = std::chrono::steady_clock::now();
   std::function<void(std::uint64_t)> listener;
   std::uint64_t epoch;
   {
     std::lock_guard<std::mutex> lk(mu_);
     epoch = epoch_.load(std::memory_order_relaxed) + 1;
-    auto snap = std::make_unique<Snapshot>(epoch, std::move(g));
+    auto snap = std::make_unique<Snapshot>(epoch, std::move(v));
     if (current_ != nullptr) retired_.push_back(std::move(current_));
     current_ = std::move(snap);
     epoch_.store(epoch, std::memory_order_release);
@@ -40,6 +44,10 @@ std::uint64_t SnapshotManager::publish(graph::CSRGraph g) {
     static obs::Gauge& g_epoch = reg.gauge("snapshot.current_epoch");
     c_pub.add();
     g_epoch.set(static_cast<double>(epoch));
+    reg.histogram("snapshot.publish_us")
+        .observe(std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
   }
   return epoch;
 }
@@ -90,6 +98,32 @@ SnapshotManagerStats SnapshotManager::stats() const {
   st.acquires = acquires_;
   st.retired_live = retired_.size();
   st.current_epoch = st.published;
+
+  // Unique bytes across live epochs: delta epochs share their base CSR
+  // (and older layers), so dedup by allocation identity before summing.
+  std::unordered_set<const void*> seen;
+  std::size_t live = 0;
+  const auto account = [&](const Snapshot& s) {
+    const store::GraphView& v = s.view();
+    if (seen.insert(v.base_id()).second) live += v.base_bytes();
+    for (const auto& layer : v.chain()) {
+      if (seen.insert(layer.get()).second) live += layer->bytes();
+    }
+  };
+  if (current_ != nullptr) account(*current_);
+  for (const auto& s : retired_) account(*s);
+  st.live_bytes = live;
+  if (current_ != nullptr) {
+    const store::GraphView& v = current_->view();
+    st.flat_bytes = (static_cast<std::size_t>(v.num_vertices()) + 1) *
+                        sizeof(eid_t) +
+                    static_cast<std::size_t>(v.num_arcs()) *
+                        (sizeof(vid_t) + (v.weighted() ? sizeof(float) : 0));
+    if (st.flat_bytes > 0) {
+      st.memory_amplification =
+          static_cast<double>(live) / static_cast<double>(st.flat_bytes);
+    }
+  }
   return st;
 }
 

@@ -22,25 +22,33 @@
 
 #include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::server {
 
 class SnapshotManager;
 
-/// One immutable published graph version.
+/// One immutable published graph version. Since the delta-chain refactor
+/// the payload is a store::GraphView — usually an O(Δ) delta overlay over
+/// a base CSR shared with earlier epochs, occasionally a flat CSR when the
+/// store's compactor decided a full rebuild.
 class Snapshot {
  public:
-  Snapshot(std::uint64_t epoch, graph::CSRGraph g)
-      : epoch_(epoch), g_(std::move(g)) {}
+  Snapshot(std::uint64_t epoch, store::GraphView v)
+      : epoch_(epoch), view_(std::move(v)) {}
 
   std::uint64_t epoch() const { return epoch_; }
-  const graph::CSRGraph& graph() const { return g_; }
+  const store::GraphView& view() const { return view_; }
+  /// Flat read path: free on flat views; on a delta-backed view the first
+  /// caller pays one cached fold (the read-amplification half of the
+  /// store's compaction-policy bargain).
+  const graph::CSRGraph& graph() const { return view_.csr(); }
 
  private:
   friend class SnapshotManager;
 
   std::uint64_t epoch_ = 0;
-  graph::CSRGraph g_;
+  store::GraphView view_;
   std::atomic<std::uint64_t> readers_{0};  // outstanding SnapshotRef leases
 };
 
@@ -72,6 +80,7 @@ class SnapshotRef {
   explicit operator bool() const { return snap_ != nullptr; }
   const Snapshot* operator->() const { return snap_; }
   const Snapshot& operator*() const { return *snap_; }
+  const store::GraphView& view() const { return snap_->view(); }
   const graph::CSRGraph& graph() const { return snap_->graph(); }
   std::uint64_t epoch() const { return snap_->epoch(); }
 
@@ -92,6 +101,14 @@ struct SnapshotManagerStats {
   std::uint64_t acquires = 0;     // leases handed out
   std::size_t retired_live = 0;   // superseded snapshots pinned by readers
   std::uint64_t current_epoch = 0;
+  /// Unique bytes held across every live epoch (current + reader-pinned
+  /// retired), deduplicated by shared base/layer allocation — delta epochs
+  /// share their base CSR, so this grows by O(Δ) per pinned epoch.
+  std::size_t live_bytes = 0;
+  /// Modeled size of one flat CSR of the current content.
+  std::size_t flat_bytes = 0;
+  /// live_bytes / flat_bytes: 1.0 when a single flat epoch is live.
+  double memory_amplification = 0.0;
 };
 
 class SnapshotManager {
@@ -104,12 +121,20 @@ class SnapshotManager {
   SnapshotManager(const SnapshotManager&) = delete;
   SnapshotManager& operator=(const SnapshotManager&) = delete;
 
-  /// Publishes `g` as the next epoch and returns that epoch (1-based; epoch
-  /// 0 means "nothing published yet"). The previous snapshot is retired and
+  /// Publishes `v` as the next epoch and returns that epoch (1-based; epoch
+  /// 0 means "nothing published yet"). O(Δ): a view is a couple of
+  /// shared_ptrs, no graph data moves. The previous snapshot is retired and
   /// reclaimed once its last lease drains. The epoch listener (if any) runs
   /// after the swap, outside the lock — the result cache hooks it to drop
   /// stale entries.
-  std::uint64_t publish(graph::CSRGraph g);
+  std::uint64_t publish(store::GraphView v);
+
+  /// Full-rebuild publication (the legacy path, now the exception: the
+  /// store's compactor decides when a flat CSR is worth it). Takes the
+  /// graph by rvalue — the hot publish path never copies CSR arrays.
+  std::uint64_t publish(graph::CSRGraph&& g) {
+    return publish(store::GraphView::of(std::move(g)));
+  }
 
   /// Leases the current snapshot; empty ref when nothing is published yet.
   SnapshotRef acquire();

@@ -1,0 +1,117 @@
+#include "store/delta.hpp"
+
+#include <algorithm>
+
+namespace ga::store {
+
+bool DeltaLayer::touches(vid_t u) const {
+  return std::binary_search(verts_.begin(), verts_.end(), u);
+}
+
+DeltaLayer::VertexOps DeltaLayer::ops(vid_t u) const {
+  const auto it = std::lower_bound(verts_.begin(), verts_.end(), u);
+  if (it == verts_.end() || *it != u) return {};
+  const std::size_t i = static_cast<std::size_t>(it - verts_.begin());
+  return {
+      {add_tgt_.data() + add_off_[i], add_off_[i + 1] - add_off_[i]},
+      {add_w_.data() + add_off_[i], add_off_[i + 1] - add_off_[i]},
+      {del_tgt_.data() + del_off_[i], del_off_[i + 1] - del_off_[i]},
+  };
+}
+
+std::size_t DeltaLayer::bytes() const {
+  return verts_.size() * sizeof(vid_t) +
+         (add_off_.size() + del_off_.size()) * sizeof(std::uint32_t) +
+         add_tgt_.size() * sizeof(vid_t) + add_w_.size() * sizeof(float) +
+         del_tgt_.size() * sizeof(vid_t) +
+         props_.size() * sizeof(std::pair<vid_t, float>) + sizeof(DeltaLayer);
+}
+
+void DeltaBatch::push_arc(vid_t u, vid_t v, float w, bool is_delete) {
+  edge_ops_.push_back({u, v, w, static_cast<std::uint32_t>(edge_ops_.size()),
+                       is_delete});
+}
+
+void DeltaBatch::insert_edge(vid_t u, vid_t v, float w) {
+  GA_CHECK(u != v, "DeltaBatch: self loops are not supported");
+  push_arc(u, v, w, /*is_delete=*/false);
+  if (!directed_) push_arc(v, u, w, /*is_delete=*/false);
+}
+
+void DeltaBatch::delete_edge(vid_t u, vid_t v) {
+  push_arc(u, v, 0.0f, /*is_delete=*/true);
+  if (!directed_) push_arc(v, u, 0.0f, /*is_delete=*/true);
+}
+
+void DeltaBatch::set_vertex_property(vid_t v, float value) {
+  prop_ops_.emplace_back(v, value);
+}
+
+DeltaLayer DeltaBatch::seal(vid_t base_vertices) const {
+  DeltaLayer layer;
+  layer.directed_ = directed_;
+  layer.n_ = base_vertices + new_vertices_;
+
+  // Sort ops by (source, target, arrival) and keep only the last op per
+  // arc — a delete followed by a re-insert in the same batch is an insert,
+  // an insert followed by a delete is a delete, repeated upserts keep the
+  // final weight.
+  std::vector<EdgeOp> ops = edge_ops_;
+  for (const EdgeOp& op : ops) {
+    GA_CHECK(op.u < layer.n_ && op.v < layer.n_,
+             "DeltaBatch: edge endpoint out of range");
+  }
+  std::sort(ops.begin(), ops.end(), [](const EdgeOp& a, const EdgeOp& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.seq < b.seq;
+  });
+
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i + 1 < ops.size() && ops[i + 1].u == ops[i].u &&
+        ops[i + 1].v == ops[i].v) {
+      continue;  // a later op on the same arc supersedes this one
+    }
+    ops[kept++] = ops[i];
+  }
+  ops.resize(kept);
+
+  layer.add_off_.push_back(0);
+  layer.del_off_.push_back(0);
+  for (std::size_t i = 0; i < ops.size();) {
+    const vid_t u = ops[i].u;
+    layer.verts_.push_back(u);
+    for (; i < ops.size() && ops[i].u == u; ++i) {
+      if (ops[i].is_delete) {
+        layer.del_tgt_.push_back(ops[i].v);
+      } else {
+        layer.add_tgt_.push_back(ops[i].v);
+        layer.add_w_.push_back(ops[i].w);
+      }
+    }
+    layer.add_off_.push_back(static_cast<std::uint32_t>(layer.add_tgt_.size()));
+    layer.del_off_.push_back(static_cast<std::uint32_t>(layer.del_tgt_.size()));
+  }
+
+  layer.props_ = prop_ops_;
+  std::stable_sort(layer.props_.begin(), layer.props_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Last write per vertex wins: keep the final entry of each run.
+  std::size_t pk = 0;
+  for (std::size_t i = 0; i < layer.props_.size(); ++i) {
+    if (i + 1 < layer.props_.size() &&
+        layer.props_[i + 1].first == layer.props_[i].first) {
+      continue;
+    }
+    layer.props_[pk++] = layer.props_[i];
+  }
+  layer.props_.resize(pk);
+  for (const auto& [v, value] : layer.props_) {
+    (void)value;
+    GA_CHECK(v < layer.n_, "DeltaBatch: property patch vertex out of range");
+  }
+  return layer;
+}
+
+}  // namespace ga::store

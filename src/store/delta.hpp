@@ -1,0 +1,131 @@
+// Per-epoch immutable delta overlays for the versioned graph store.
+//
+// A writer accumulates mutations in a DeltaBatch (edge upserts, edge
+// deletes, vertex growth, vertex property patches) and seals it into a
+// DeltaLayer: a sorted, immutable, CSR-like record of exactly what one
+// epoch changed. Layers chain on top of an immutable base CSR; GraphView
+// (graph_view.hpp) merges the chain newest-first at read time, which is
+// what makes epoch publication O(Δ) instead of O(|E|).
+//
+// Layout: touched vertices are kept as a sorted id list with parallel
+// offset arrays into per-vertex sorted add/delete target lists — the same
+// prefix-sum discipline as the CSR itself, so per-vertex lookup is
+// O(log touched) and per-vertex merge walks stay sequential.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::store {
+
+/// One sealed, immutable epoch overlay. Produced by DeltaBatch::seal();
+/// never mutated afterwards (GraphView shares layers across snapshots via
+/// shared_ptr<const DeltaLayer>).
+class DeltaLayer {
+ public:
+  /// Per-vertex slices of the overlay. Both target lists are sorted by id;
+  /// adds carry the (possibly updated) weight. Empty spans if untouched.
+  struct VertexOps {
+    std::span<const vid_t> add_tgt;
+    std::span<const float> add_w;
+    std::span<const vid_t> del_tgt;
+  };
+
+  /// Vertex-id universe after this layer (base n plus any growth).
+  vid_t num_vertices() const { return n_; }
+  bool directed() const { return directed_; }
+
+  /// Sorted list of vertices with adjacency changes in this layer.
+  std::span<const vid_t> touched() const { return verts_; }
+  bool touches(vid_t u) const;
+  VertexOps ops(vid_t u) const;
+
+  /// Sorted (vertex, value) property patches (last write in the batch wins).
+  std::span<const std::pair<vid_t, float>> prop_patches() const {
+    return props_;
+  }
+
+  /// Gross op counts (arc granularity; an undirected edge contributes two).
+  eid_t arcs_added() const { return static_cast<eid_t>(add_tgt_.size()); }
+  eid_t arcs_deleted() const { return static_cast<eid_t>(del_tgt_.size()); }
+  std::size_t num_ops() const { return add_tgt_.size() + del_tgt_.size(); }
+
+  std::size_t bytes() const;
+
+  /// Epoch id assigned when the owning store links the layer into a chain.
+  std::uint64_t epoch = 0;
+  /// Net arc-count change vs. the predecessor view (an insert of an existing
+  /// edge is a weight update, a delete of a missing edge is a no-op); the
+  /// store computes this at apply time so GraphView::num_arcs() stays exact.
+  std::int64_t net_arcs = 0;
+
+ private:
+  friend class DeltaBatch;
+
+  vid_t n_ = 0;
+  bool directed_ = false;
+  std::vector<vid_t> verts_;          // sorted touched vertices
+  std::vector<std::uint32_t> add_off_;  // size verts_+1
+  std::vector<std::uint32_t> del_off_;  // size verts_+1
+  std::vector<vid_t> add_tgt_;
+  std::vector<float> add_w_;
+  std::vector<vid_t> del_tgt_;
+  std::vector<std::pair<vid_t, float>> props_;
+};
+
+/// Mutable builder for one epoch's delta. Not thread-safe (one writer).
+/// Mirrors DynamicGraph semantics: insert_edge is an upsert (inserting an
+/// existing edge updates its weight), delete of a missing edge is a no-op,
+/// and on undirected graphs both arcs move together.
+class DeltaBatch {
+ public:
+  explicit DeltaBatch(bool directed = false) : directed_(directed) {}
+
+  void insert_edge(vid_t u, vid_t v, float w = 1.0f);
+  void delete_edge(vid_t u, vid_t v);
+  /// Grows the vertex-id universe by `count` (new vertices start isolated).
+  void add_vertices(vid_t count) { new_vertices_ += count; }
+  /// Records a vertex property patch (last write wins within the batch).
+  void set_vertex_property(vid_t v, float value);
+
+  bool directed() const { return directed_; }
+  bool empty() const {
+    return edge_ops_.empty() && prop_ops_.empty() && new_vertices_ == 0;
+  }
+  std::size_t num_ops() const { return edge_ops_.size() + prop_ops_.size(); }
+  vid_t vertex_growth() const { return new_vertices_; }
+
+  /// Seals into an immutable layer against a base universe of
+  /// `base_vertices` ids: sorts, deduplicates (the latest op on an arc
+  /// wins), and validates every endpoint. O(Δ log Δ). The batch itself is
+  /// left untouched; call clear() to reuse it.
+  DeltaLayer seal(vid_t base_vertices) const;
+
+  void clear() {
+    edge_ops_.clear();
+    prop_ops_.clear();
+    new_vertices_ = 0;
+  }
+
+ private:
+  struct EdgeOp {
+    vid_t u, v;
+    float w;
+    std::uint32_t seq;  // arrival order; ties broken toward the latest op
+    bool is_delete;
+  };
+
+  void push_arc(vid_t u, vid_t v, float w, bool is_delete);
+
+  bool directed_;
+  vid_t new_vertices_ = 0;
+  std::vector<EdgeOp> edge_ops_;
+  std::vector<std::pair<vid_t, float>> prop_ops_;
+};
+
+}  // namespace ga::store

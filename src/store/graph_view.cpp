@@ -1,0 +1,149 @@
+#include "store/graph_view.hpp"
+
+#include <algorithm>
+
+namespace ga::store {
+
+GraphView GraphView::of(std::shared_ptr<const graph::CSRGraph> base,
+                        std::uint64_t epoch) {
+  GA_CHECK(base != nullptr, "GraphView::of: null base");
+  GraphView v;
+  v.n_ = base->num_vertices();
+  v.arcs_ = base->num_arcs();
+  v.epoch_ = epoch;
+  v.base_ = std::move(base);
+  return v;
+}
+
+GraphView GraphView::of(graph::CSRGraph base, std::uint64_t epoch) {
+  return of(std::make_shared<const graph::CSRGraph>(std::move(base)), epoch);
+}
+
+GraphView GraphView::borrowed(const graph::CSRGraph& base,
+                              std::uint64_t epoch) {
+  return of(std::shared_ptr<const graph::CSRGraph>(&base,
+                                                   [](const graph::CSRGraph*) {}),
+            epoch);
+}
+
+GraphView::GraphView(
+    std::shared_ptr<const graph::CSRGraph> base,
+    std::vector<std::shared_ptr<const DeltaLayer>> chain,
+    std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props,
+    std::uint64_t epoch, eid_t num_arcs)
+    : base_(std::move(base)),
+      chain_(std::move(chain)),
+      props_(std::move(props)),
+      epoch_(epoch),
+      arcs_(num_arcs) {
+  GA_CHECK(base_ != nullptr, "GraphView: null base");
+  n_ = chain_.empty() ? base_->num_vertices() : chain_.back()->num_vertices();
+  GA_ASSERT(n_ >= base_->num_vertices());
+  if (!chain_.empty()) cache_ = std::make_shared<FlattenCache>();
+}
+
+std::shared_ptr<const graph::CSRGraph> GraphView::flatten() const {
+  GA_CHECK(valid(), "GraphView: empty view");
+  if (chain_.empty()) return base_;
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  if (!cache_->flat) cache_->flat = build_flat();
+  return cache_->flat;
+}
+
+std::shared_ptr<const graph::CSRGraph> GraphView::build_flat() const {
+  std::vector<eid_t> offsets(n_ + 1, 0);
+  std::vector<vid_t> targets;
+  std::vector<float> weights;
+  targets.reserve(arcs_);
+  const bool w = weighted();
+  if (w) weights.reserve(arcs_);
+  for (vid_t u = 0; u < n_; ++u) {
+    for_each_out(u, [&](vid_t v, float wt) {
+      targets.push_back(v);
+      if (w) weights.push_back(wt);
+    });
+    offsets[u + 1] = static_cast<eid_t>(targets.size());
+  }
+  GA_ASSERT(static_cast<eid_t>(targets.size()) == arcs_);
+  return std::make_shared<const graph::CSRGraph>(
+      std::move(offsets), std::move(targets), std::move(weights), directed());
+}
+
+eid_t GraphView::out_degree(vid_t u) const {
+  if (chain_.empty()) return base_->out_degree(u);
+  eid_t d = 0;
+  for_each_out(u, [&](vid_t, float) { ++d; });
+  return d;
+}
+
+bool GraphView::has_edge(vid_t u, vid_t v) const {
+  GA_ASSERT(valid());
+  // Ids beyond this version's universe (e.g. vertices a later layer will
+  // add) have no edges yet by definition.
+  if (u >= n_ || v >= n_) return false;
+  for (std::size_t k = chain_.size(); k-- > 0;) {
+    const auto ops = chain_[k]->ops(u);
+    if (std::binary_search(ops.add_tgt.begin(), ops.add_tgt.end(), v)) {
+      return true;
+    }
+    if (std::binary_search(ops.del_tgt.begin(), ops.del_tgt.end(), v)) {
+      return false;
+    }
+  }
+  return u < base_->num_vertices() && v < base_->num_vertices() &&
+         base_->has_edge(u, v);
+}
+
+std::vector<std::pair<vid_t, float>> GraphView::out_edges_copy(vid_t u) const {
+  std::vector<std::pair<vid_t, float>> out;
+  for_each_out(u, [&](vid_t v, float w) { out.emplace_back(v, w); });
+  return out;
+}
+
+float GraphView::vertex_property_or(vid_t v, float fallback) const {
+  const auto find = [v](const std::vector<std::pair<vid_t, float>>& patches,
+                        float* out) {
+    const auto it = std::lower_bound(
+        patches.begin(), patches.end(), v,
+        [](const std::pair<vid_t, float>& p, vid_t key) { return p.first < key; });
+    if (it != patches.end() && it->first == v) {
+      *out = it->second;
+      return true;
+    }
+    return false;
+  };
+  float value = fallback;
+  for (std::size_t k = chain_.size(); k-- > 0;) {
+    const auto patches = chain_[k]->prop_patches();
+    const auto it = std::lower_bound(
+        patches.begin(), patches.end(), v,
+        [](const std::pair<vid_t, float>& p, vid_t key) { return p.first < key; });
+    if (it != patches.end() && it->first == v) return it->second;
+  }
+  if (props_ && find(*props_, &value)) return value;
+  return fallback;
+}
+
+std::size_t GraphView::base_bytes() const {
+  const graph::CSRGraph& b = *base_;
+  return b.offsets().size() * sizeof(eid_t) +
+         b.targets().size() * sizeof(vid_t) +
+         b.weights().size() * sizeof(float);
+}
+
+std::size_t GraphView::delta_bytes() const {
+  std::size_t total = 0;
+  for (const auto& layer : chain_) total += layer->bytes();
+  if (props_) total += props_->size() * sizeof(std::pair<vid_t, float>);
+  return total;
+}
+
+double GraphView::read_amplification() const {
+  if (chain_.empty()) return 1.0;
+  eid_t scanned = base_->num_arcs();
+  for (const auto& layer : chain_) scanned += layer->num_ops();
+  return static_cast<double>(scanned) /
+         static_cast<double>(std::max<eid_t>(arcs_, 1));
+}
+
+}  // namespace ga::store

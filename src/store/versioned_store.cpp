@@ -1,0 +1,267 @@
+#include "store/versioned_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace ga::store {
+
+namespace {
+
+double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Folds the inherited property table plus the patches of `chain[0..k)`
+/// into one sorted last-write-wins vector.
+std::shared_ptr<const std::vector<std::pair<vid_t, float>>> fold_props(
+    const std::shared_ptr<const std::vector<std::pair<vid_t, float>>>& base,
+    const std::vector<std::shared_ptr<const DeltaLayer>>& chain,
+    std::size_t k) {
+  std::vector<std::pair<vid_t, float>> all;
+  if (base) all = *base;
+  bool any = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto patches = chain[i]->prop_patches();
+    any |= !patches.empty();
+    all.insert(all.end(), patches.begin(), patches.end());
+  }
+  if (!any) return base;
+  // Later layers were appended later; stable sort keeps arrival order
+  // within a key, so the last entry of each run is the newest write.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i + 1 < all.size() && all[i + 1].first == all[i].first) continue;
+    all[kept++] = all[i];
+  }
+  all.resize(kept);
+  return std::make_shared<const std::vector<std::pair<vid_t, float>>>(
+      std::move(all));
+}
+
+}  // namespace
+
+VersionedGraphStore::VersionedGraphStore(graph::CSRGraph base,
+                                         CompactionPolicy policy)
+    : VersionedGraphStore(
+          std::make_shared<const graph::CSRGraph>(std::move(base)), policy) {}
+
+VersionedGraphStore::VersionedGraphStore(
+    std::shared_ptr<const graph::CSRGraph> base, CompactionPolicy policy)
+    : policy_(policy), current_(GraphView::of(std::move(base), 0)) {}
+
+VersionedGraphStore::~VersionedGraphStore() { stop_compactor(); }
+
+std::uint64_t VersionedGraphStore::apply(const DeltaBatch& batch) {
+  const auto t0 = std::chrono::steady_clock::now();
+  GraphView next;
+  std::function<void(GraphView)> listener;
+  double publish_us = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GA_CHECK(batch.directed() == current_.directed(),
+             "VersionedGraphStore: batch directedness mismatch");
+    const auto layer = std::make_shared<DeltaLayer>(
+        batch.seal(current_.num_vertices()));
+    // Exact arc accounting against the predecessor: an insert of an
+    // existing arc is a weight update, a delete of a missing arc a no-op.
+    std::int64_t net = 0;
+    for (const vid_t u : layer->touched()) {
+      const auto ops = layer->ops(u);
+      for (const vid_t v : ops.add_tgt) {
+        if (!current_.has_edge(u, v)) ++net;
+      }
+      for (const vid_t v : ops.del_tgt) {
+        if (current_.has_edge(u, v)) --net;
+      }
+    }
+    layer->net_arcs = net;
+    layer->epoch = ++epoch_;
+    auto chain = current_.chain();
+    chain.push_back(layer);
+    next = GraphView(current_.base_ptr(), std::move(chain),
+                     current_.folded_props(), epoch_,
+                     static_cast<eid_t>(
+                         static_cast<std::int64_t>(current_.num_arcs()) + net));
+    current_ = next;
+    ++delta_publishes_;
+    publish_us = us_since(t0);
+    last_publish_us_ = publish_us;
+    listener = listener_;
+  }
+  publish_obs(publish_us);
+
+  if (needs_compaction(next)) {
+    if (compactor_running()) {
+      std::lock_guard<std::mutex> lock(compactor_mu_);
+      compactor_kick_ = true;
+      compactor_cv_.notify_one();
+    } else if (policy_.auto_compact) {
+      fold_once();
+    }
+  }
+  if (listener) listener(std::move(next));
+  return epoch();
+}
+
+GraphView VersionedGraphStore::view() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::uint64_t VersionedGraphStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+bool VersionedGraphStore::needs_compaction(const GraphView& v) const {
+  if (v.chain_depth() < std::max<std::size_t>(policy_.min_chain_depth, 1)) {
+    return false;
+  }
+  return v.chain_depth() > policy_.max_chain_depth ||
+         v.read_amplification() > policy_.max_read_amplification;
+}
+
+bool VersionedGraphStore::compact_now() { return fold_once(); }
+
+bool VersionedGraphStore::fold_once() {
+  // One fold at a time: with folds serialized, every later chain has the
+  // captured chain as a prefix (apply only ever appends), so the swap
+  // below can splice by index safely.
+  std::lock_guard<std::mutex> fold_lock(fold_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  GraphView captured;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (current_.chain_depth() == 0) return false;
+    captured = current_;
+  }
+  const std::size_t k = captured.chain_depth();
+  std::shared_ptr<const graph::CSRGraph> flat;
+  std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props;
+  try {
+    if (fault_hook_) fault_hook_("compact_begin");
+    // The fold also primes the captured version's flatten cache, so any
+    // reader still on it gets the flat CSR for free.
+    flat = captured.flatten();
+    if (fault_hook_) fault_hook_("compact_fold");
+    props = fold_props(captured.folded_props(), captured.chain(), k);
+    if (fault_hook_) fault_hook_("compact_swap");
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++compaction_failures_;
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .counter("store.compaction_failures_total")
+          .add();
+    }
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Keep only layers published since the capture; the folded base
+    // absorbs the first k. Content is unchanged, so the epoch is too.
+    std::vector<std::shared_ptr<const DeltaLayer>> remaining(
+        current_.chain().begin() + static_cast<std::ptrdiff_t>(k),
+        current_.chain().end());
+    current_ = GraphView(std::move(flat), std::move(remaining), std::move(props),
+                         current_.epoch(), current_.num_arcs());
+    ++compactions_;
+    last_compact_ms_ = us_since(t0) / 1000.0;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("store.compactions_total").add();
+    reg.histogram("store.compact_ms").observe(last_compact_ms_);
+  }
+  return true;
+}
+
+void VersionedGraphStore::start_compactor() {
+  std::lock_guard<std::mutex> lock(compactor_mu_);
+  if (compactor_running_) return;
+  compactor_stop_.store(false);
+  compactor_kick_ = false;
+  compactor_running_ = true;
+  compactor_ = std::thread([this] { compactor_main(); });
+}
+
+void VersionedGraphStore::stop_compactor() {
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    if (!compactor_running_) return;
+    compactor_stop_.store(true);
+    compactor_cv_.notify_one();
+  }
+  compactor_.join();
+  std::lock_guard<std::mutex> lock(compactor_mu_);
+  compactor_running_ = false;
+}
+
+bool VersionedGraphStore::compactor_running() const {
+  std::lock_guard<std::mutex> lock(compactor_mu_);
+  return compactor_running_;
+}
+
+void VersionedGraphStore::compactor_main() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(compactor_mu_);
+      compactor_cv_.wait(lock, [this] {
+        return compactor_kick_ || compactor_stop_.load();
+      });
+      if (compactor_stop_.load()) return;
+      compactor_kick_ = false;
+    }
+    // Writers may outpace one fold; keep folding until under policy.
+    while (!compactor_stop_.load() && needs_compaction(view())) {
+      if (!fold_once()) break;
+    }
+  }
+}
+
+void VersionedGraphStore::set_view_listener(std::function<void(GraphView)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(fn);
+}
+
+void VersionedGraphStore::set_fault_hook(
+    std::function<void(const char*)> fn) {
+  fault_hook_ = std::move(fn);
+}
+
+void VersionedGraphStore::publish_obs(double publish_us) const {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("store.epochs_total").add();
+  reg.histogram("store.publish_us").observe(publish_us);
+  StoreStats s = stats();
+  reg.gauge("store.chain_depth").set(static_cast<double>(s.chain_depth));
+  reg.gauge("store.read_amplification").set(s.read_amplification);
+}
+
+StoreStats VersionedGraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats s;
+  s.epoch = epoch_;
+  s.chain_depth = current_.chain_depth();
+  s.num_vertices = current_.num_vertices();
+  s.num_arcs = current_.num_arcs();
+  s.base_bytes = current_.base_bytes();
+  s.delta_bytes = current_.delta_bytes();
+  s.read_amplification = current_.read_amplification();
+  s.delta_publishes = delta_publishes_;
+  s.compactions = compactions_;
+  s.compaction_failures = compaction_failures_;
+  s.last_publish_us = last_publish_us_;
+  s.last_compact_ms = last_compact_ms_;
+  return s;
+}
+
+}  // namespace ga::store

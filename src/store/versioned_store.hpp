@@ -1,0 +1,135 @@
+// VersionedGraphStore: the persistent multi-property graph at the center
+// of the paper's Fig. 2 canonical flow. Writers apply DeltaBatches; each
+// apply seals an immutable DeltaLayer, links it under the next epoch id,
+// and publishes a new GraphView in O(Δ). A compactor — background thread
+// or inline, per policy — folds long chains back into a flat base CSR
+// when chain depth or modeled read amplification exceeds the policy, so
+// reads stay near-flat while publishes stay near-free.
+//
+// Concurrency contract: any number of threads may call view()/stats();
+// apply() serializes writers on the store mutex (sealing happens outside
+// it, pointer motion inside). Compaction folds a captured version outside
+// the lock while writers keep appending, then swaps the folded base in
+// and keeps only the layers published since the capture — readers holding
+// older views are unaffected (all storage is immutable + shared_ptr'd).
+//
+// Crash safety: a fault hook (tests wire the PR 2 FaultInjector through
+// it) fires at the compaction stages; an exception thrown mid-compaction
+// leaves the published view untouched and is counted, never propagated to
+// writers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "store/graph_view.hpp"
+
+namespace ga::store {
+
+struct CompactionPolicy {
+  /// Fold when the chain exceeds this many layers.
+  std::size_t max_chain_depth = 8;
+  /// Fold when GraphView::read_amplification() exceeds this.
+  double max_read_amplification = 1.5;
+  /// Never fold chains shorter than this (folding a 1-layer chain buys
+  /// little and costs a full O(|E|) pass).
+  std::size_t min_chain_depth = 2;
+  /// Apply-triggered folding: false disables automatic compaction
+  /// entirely (callers drive compact_now()).
+  bool auto_compact = true;
+};
+
+struct StoreStats {
+  std::uint64_t epoch = 0;
+  std::size_t chain_depth = 0;
+  vid_t num_vertices = 0;
+  eid_t num_arcs = 0;
+  std::size_t base_bytes = 0;
+  std::size_t delta_bytes = 0;
+  double read_amplification = 1.0;
+  std::uint64_t delta_publishes = 0;   // O(Δ) epoch publications
+  std::uint64_t compactions = 0;       // successful folds (full rebuilds)
+  std::uint64_t compaction_failures = 0;
+  double last_publish_us = 0.0;
+  double last_compact_ms = 0.0;
+};
+
+class VersionedGraphStore {
+ public:
+  explicit VersionedGraphStore(graph::CSRGraph base,
+                               CompactionPolicy policy = {});
+  explicit VersionedGraphStore(std::shared_ptr<const graph::CSRGraph> base,
+                               CompactionPolicy policy = {});
+  /// Joins the background compactor (if started).
+  ~VersionedGraphStore();
+
+  VersionedGraphStore(const VersionedGraphStore&) = delete;
+  VersionedGraphStore& operator=(const VersionedGraphStore&) = delete;
+
+  /// Seals `batch` and publishes it as the next epoch; O(Δ log Δ) in the
+  /// batch size, never proportional to |E|. Empty batches still advance
+  /// the epoch (a heartbeat publish). Returns the new epoch id. If the
+  /// policy trips: wakes the background compactor when running, else
+  /// folds inline (the "compactor says full rebuild" path).
+  std::uint64_t apply(const DeltaBatch& batch);
+
+  /// Current published version; immutable, safe to hold indefinitely.
+  GraphView view() const;
+  std::uint64_t epoch() const;
+  const CompactionPolicy& policy() const { return policy_; }
+
+  /// Background compaction thread (idempotent start/stop).
+  void start_compactor();
+  void stop_compactor();
+  bool compactor_running() const;
+
+  /// Synchronously folds the current chain into a flat base. Returns
+  /// false when there is nothing to fold or a fault hook aborted the fold
+  /// (state unchanged, failure counted).
+  bool compact_now();
+
+  /// Invoked after every successful publish (apply or fold), outside the
+  /// store lock, with the new view. Single listener; the serving layer's
+  /// snapshot manager hangs off this.
+  void set_view_listener(std::function<void(GraphView)> fn);
+
+  /// Test hook fired at compaction stages ("compact_begin", "compact_fold",
+  /// "compact_swap"); exceptions abort the fold, leaving the store intact.
+  void set_fault_hook(std::function<void(const char*)> fn);
+
+  StoreStats stats() const;
+
+ private:
+  bool needs_compaction(const GraphView& v) const;
+  bool fold_once();  // one compaction attempt; returns true if it swapped
+  void compactor_main();
+  void publish_obs(double publish_us) const;
+
+  CompactionPolicy policy_;
+
+  mutable std::mutex mu_;
+  GraphView current_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t delta_publishes_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t compaction_failures_ = 0;
+  double last_publish_us_ = 0.0;
+  double last_compact_ms_ = 0.0;
+  std::function<void(GraphView)> listener_;
+  std::function<void(const char*)> fault_hook_;
+
+  std::mutex fold_mu_;  // serializes compact_now() vs the background thread
+
+  mutable std::mutex compactor_mu_;
+  std::condition_variable compactor_cv_;
+  std::thread compactor_;
+  std::atomic<bool> compactor_stop_{false};
+  bool compactor_kick_ = false;
+  bool compactor_running_ = false;
+};
+
+}  // namespace ga::store

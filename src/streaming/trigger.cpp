@@ -51,7 +51,8 @@ double default_analytic(const graph::CSRGraph& sub, vid_t /*seed_local*/) {
 StreamProcessor::StreamProcessor(graph::DynamicGraph& g, TriggerPolicy policy,
                                  std::size_t topk)
     : g_(g), policy_(policy), cc_(g), tris_(g),
-      topk_(g.num_vertices(), topk), analytic_(default_analytic) {
+      topk_(g.num_vertices(), topk), analytic_(default_analytic),
+      pending_(g.directed()) {
   // Seed the degree tracker from current state.
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     topk_.update(v, static_cast<double>(g.degree(v)));
@@ -74,17 +75,32 @@ void StreamProcessor::set_degraded_analytic(std::function<double(vid_t)> fn) {
 }
 
 void StreamProcessor::set_epoch_publisher(
-    std::function<void(const graph::CSRGraph&)> fn,
-    std::uint64_t every_n_updates) {
+    std::function<void(store::GraphView)> fn, std::uint64_t every_n_updates) {
   GA_CHECK(every_n_updates > 0, "set_epoch_publisher: every_n must be > 0");
   epoch_publisher_ = std::move(fn);
   publish_every_n_ = every_n_updates;
   updates_since_publish_ = 0;
 }
 
+void StreamProcessor::sync_store() {
+  if (!versioned_) {
+    // First publish: one O(|E|) snapshot seeds the base CSR. Mutations
+    // recorded so far are already inside that snapshot — discard them.
+    versioned_ = std::make_unique<store::VersionedGraphStore>(
+        g_.snapshot(/*keep_weights=*/true));
+    pending_.clear();
+    return;
+  }
+  // Later publishes are O(Δ): seal exactly what changed since last time.
+  // Empty batches still advance the epoch (heartbeat publish).
+  versioned_->apply(pending_);
+  pending_.clear();
+}
+
 void StreamProcessor::publish_epoch() {
   if (!epoch_publisher_) return;
-  epoch_publisher_(g_.snapshot());
+  sync_store();
+  epoch_publisher_(versioned_->view());
   ++stats_.epoch_publications;
   updates_since_publish_ = 0;
 }
@@ -160,6 +176,9 @@ void StreamProcessor::apply(const Update& u) {
       ++stats_.inserts;
       const std::uint64_t delta = tris_.on_insert(u.u, u.v);
       g_.insert_edge(u.u, u.v, u.value, u.ts);
+      // Delta capture mirrors DynamicGraph semantics exactly: an insert of
+      // an existing edge becomes a weight upsert in the sealed layer.
+      if (epoch_publisher_) pending_.insert_edge(u.u, u.v, u.value);
       const bool merged = cc_.on_insert(u.u, u.v);
       bool topk_changed = false;
       topk_changed |= topk_.update(u.u, static_cast<double>(g_.degree(u.u)));
@@ -184,6 +203,7 @@ void StreamProcessor::apply(const Update& u) {
       ++stats_.deletes;
       tris_.on_delete(u.u, u.v);
       if (g_.delete_edge(u.u, u.v)) {
+        if (epoch_publisher_) pending_.delete_edge(u.u, u.v);
         cc_.on_delete(u.u, u.v);
         topk_.update(u.u, static_cast<double>(g_.degree(u.u)));
         topk_.update(u.v, static_cast<double>(g_.degree(u.v)));

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "resilience/ingest_queue.hpp"
 #include "resilience/retry.hpp"
+#include "store/versioned_store.hpp"
 #include "streaming/incremental_cc.hpp"
 #include "streaming/incremental_triangles.hpp"
 #include "streaming/topk_tracker.hpp"
@@ -85,15 +87,27 @@ class StreamProcessor {
   /// Fallback metric for degraded alerts: fn(seed) -> approximate result.
   void set_degraded_analytic(std::function<double(vid_t)> fn);
 
-  /// Route frozen CSR snapshots to a downstream consumer (typically
+  /// Route versioned graph views to a downstream consumer (typically
   /// server::AnalyticsServer::publisher()) every `every_n_updates`
-  /// structural updates and after every trigger fire. Keeps the serving
-  /// layer's epoch fresh without this layer depending on the server.
-  void set_epoch_publisher(std::function<void(const graph::CSRGraph&)> fn,
+  /// structural updates and after every trigger fire. The first publish
+  /// seeds an embedded VersionedGraphStore from the dynamic graph (one
+  /// O(|E|) snapshot); every later publish seals the accumulated delta
+  /// batch and ships an O(Δ) overlay view — the store's compactor decides
+  /// when a full fold is worth it. Keeps the serving layer's epoch fresh
+  /// without this layer depending on the server.
+  void set_epoch_publisher(std::function<void(store::GraphView)> fn,
                            std::uint64_t every_n_updates = 1024);
 
   /// Push the current graph state to the publisher immediately.
   void publish_epoch();
+
+  /// The embedded delta-chain store backing epoch publication; nullptr
+  /// until the first publish seeds it. Exposed so harnesses can start the
+  /// background compactor or read chain-depth / compaction stats.
+  store::VersionedGraphStore* versioned_store() { return versioned_.get(); }
+  const store::VersionedGraphStore* versioned_store() const {
+    return versioned_.get();
+  }
 
   /// Apply one update; may append to alerts().
   void apply(const Update& u);
@@ -110,6 +124,8 @@ class StreamProcessor {
  private:
   void fire(vid_t seed, const std::string& reason, double metric,
             std::int64_t ts);
+  /// Folds pending_ into the versioned store (seeding it on first call).
+  void sync_store();
 
   graph::DynamicGraph& g_;
   TriggerPolicy policy_;
@@ -122,9 +138,14 @@ class StreamProcessor {
   resilience::StageExecutor* executor_ = nullptr;
   resilience::StageOptions stage_opts_;
   std::function<double(vid_t)> degraded_analytic_;
-  std::function<void(const graph::CSRGraph&)> epoch_publisher_;
+  std::function<void(store::GraphView)> epoch_publisher_;
   std::uint64_t publish_every_n_ = 1024;
   std::uint64_t updates_since_publish_ = 0;
+  // Delta capture for O(Δ) epoch publication: pending_ mirrors the exact
+  // mutations applied to g_ since the last publish (populated only once a
+  // publisher is set); versioned_ is seeded lazily on the first publish.
+  std::unique_ptr<store::VersionedGraphStore> versioned_;
+  store::DeltaBatch pending_;
 };
 
 /// Producer/consumer streaming run with backpressure: a producer thread

@@ -181,7 +181,7 @@ class SchedulerKinds : public ::testing::Test {
   void SetUp() override {
     g_ = test_graph(3);
     server_ = std::make_unique<AnalyticsServer>(opts());
-    server_->publish(g_);
+    server_->publish(graph::CSRGraph(g_));  // explicit copy: tests keep g_
   }
   static SchedulerOptions opts() {
     SchedulerOptions o;
@@ -474,7 +474,7 @@ TEST(Admission, PredictionScalesWithGraphSize) {
 TEST(Batching, PausedQueueFusesBfsSeedsIntoOnePass) {
   SnapshotManager mgr;
   const graph::CSRGraph g = test_graph(4);
-  mgr.publish(g);
+  mgr.publish(graph::CSRGraph(g));
   SchedulerOptions o;
   o.workers = 1;
   o.start_paused = true;
@@ -534,7 +534,7 @@ TEST(Batching, DisabledBatchingRunsEachQueryAlone) {
 TEST(AnalyticsServerTest, PublisherAdapterFeedsSnapshots) {
   AnalyticsServer server;
   const auto pub = server.publisher();
-  pub(graph::make_path(8));
+  pub(store::GraphView::of(graph::make_path(8)));
   EXPECT_EQ(server.snapshots().current_epoch(), 1u);
   QueryDesc q;
   q.kind = QueryKind::kBfs;

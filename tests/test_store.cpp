@@ -1,0 +1,546 @@
+// Versioned delta-chain store suite: delta seal semantics, the GraphView
+// merged read path against independent mirrors, compaction (including
+// crash-during-compaction via the fault injector), the registry-wide
+// kernel equivalence sweep on delta-backed views, the StreamProcessor's
+// O(Δ) epoch publication, and the concurrent publish/lease/compact churn
+// the sanitizer script runs under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "graph/builder.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/registry.hpp"
+#include "resilience/fault_injection.hpp"
+#include "server/snapshot.hpp"
+#include "store/delta.hpp"
+#include "store/graph_view.hpp"
+#include "store/versioned_store.hpp"
+#include "streaming/trigger.hpp"
+#include "streaming/update_stream.hpp"
+
+namespace ga::store {
+namespace {
+
+using graph::CSRGraph;
+
+// ---------------------------------------------------------------------------
+// Mirror: a plain arc-set model of the store (directed arc granularity;
+// undirected edges occupy both (u,v) and (v,u)). Weight map mirrors upsert
+// semantics.
+
+struct Mirror {
+  bool directed;
+  vid_t n;
+  std::map<std::pair<vid_t, vid_t>, float> arcs;
+
+  void insert(vid_t u, vid_t v, float w = 1.0f) {
+    arcs[{u, v}] = w;
+    if (!directed) arcs[{v, u}] = w;
+  }
+  void erase(vid_t u, vid_t v) {
+    arcs.erase({u, v});
+    if (!directed) arcs.erase({v, u});
+  }
+  bool has(vid_t u, vid_t v) const { return arcs.count({u, v}) > 0; }
+
+  std::vector<std::pair<vid_t, float>> out(vid_t u) const {
+    std::vector<std::pair<vid_t, float>> o;
+    for (auto it = arcs.lower_bound({u, 0});
+         it != arcs.end() && it->first.first == u; ++it) {
+      o.emplace_back(it->first.second, it->second);
+    }
+    return o;
+  }
+
+  /// Eagerly built CSR of the same content (sorted adjacency, unweighted).
+  CSRGraph eager() const {
+    std::vector<graph::Edge> edges;
+    for (const auto& [arc, w] : arcs) {
+      if (directed) {
+        edges.push_back(graph::Edge{arc.first, arc.second});
+      } else if (arc.first < arc.second) {
+        edges.push_back(graph::Edge{arc.first, arc.second});
+      }
+    }
+    if (directed) {
+      graph::BuildOptions o;
+      o.directed = true;
+      return graph::build_csr(std::move(edges), n, o);
+    }
+    return graph::build_undirected(std::move(edges), n);
+  }
+};
+
+/// Random structural churn: mutate `m` and record the identical ops in a
+/// DeltaBatch (insert of a random absent arc, delete of a random present
+/// one — roughly 70/30).
+void churn(core::Xoshiro256& rng, Mirror& m, DeltaBatch& b, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    vid_t u = rng.next_vid(m.n);
+    vid_t v = rng.next_vid(m.n);
+    if (u == v) v = (v + 1) % m.n;
+    if (m.has(u, v) && rng.next_below(10) < 3) {
+      m.erase(u, v);
+      b.delete_edge(u, v);
+    } else {
+      m.insert(u, v);
+      b.insert_edge(u, v);
+    }
+  }
+}
+
+Mirror seed_mirror(core::Xoshiro256& rng, vid_t n, int edges, bool directed) {
+  Mirror m{directed, n, {}};
+  for (int i = 0; i < edges; ++i) {
+    vid_t u = rng.next_vid(n);
+    vid_t v = rng.next_vid(n);
+    if (u == v) v = (v + 1) % n;
+    m.insert(u, v);
+  }
+  return m;
+}
+
+void expect_view_matches_mirror(const GraphView& view, const Mirror& m) {
+  ASSERT_EQ(view.num_vertices(), m.n);
+  ASSERT_EQ(view.num_arcs(), static_cast<eid_t>(m.arcs.size()));
+  for (vid_t u = 0; u < m.n; ++u) {
+    const auto got = view.out_edges_copy(u);
+    const auto want = m.out(u);
+    ASSERT_EQ(got.size(), want.size()) << "vertex " << u;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first) << "vertex " << u;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta seal semantics
+
+TEST(DeltaBatch, UndirectedInsertSealsBothArcs) {
+  DeltaBatch b(/*directed=*/false);
+  b.insert_edge(1, 4, 2.0f);
+  const DeltaLayer layer = b.seal(/*base_vertices=*/8);
+  EXPECT_EQ(layer.arcs_added(), 2u);
+  EXPECT_TRUE(layer.touches(1));
+  EXPECT_TRUE(layer.touches(4));
+  const auto ops = layer.ops(4);
+  ASSERT_EQ(ops.add_tgt.size(), 1u);
+  EXPECT_EQ(ops.add_tgt[0], 1u);
+  EXPECT_FLOAT_EQ(ops.add_w[0], 2.0f);
+}
+
+TEST(DeltaBatch, LastOpOnAnArcWinsWithinABatch) {
+  DeltaBatch b(/*directed=*/true);
+  b.insert_edge(0, 1, 1.0f);
+  b.delete_edge(0, 1);
+  b.insert_edge(0, 2, 1.0f);
+  b.insert_edge(0, 2, 9.0f);  // upsert: weight refresh
+  const DeltaLayer layer = b.seal(4);
+  const auto ops = layer.ops(0);
+  ASSERT_EQ(ops.add_tgt.size(), 1u);
+  EXPECT_EQ(ops.add_tgt[0], 2u);
+  EXPECT_FLOAT_EQ(ops.add_w[0], 9.0f);
+  ASSERT_EQ(ops.del_tgt.size(), 1u);
+  EXPECT_EQ(ops.del_tgt[0], 1u);
+}
+
+TEST(DeltaBatch, VertexGrowthExtendsTheUniverse) {
+  DeltaBatch b;
+  b.add_vertices(3);
+  b.insert_edge(2, 9, 1.0f);  // endpoint valid only in the grown universe
+  const DeltaLayer layer = b.seal(8);
+  EXPECT_EQ(layer.num_vertices(), 11u);
+}
+
+TEST(DeltaBatch, SealRejectsOutOfRangeEndpoints) {
+  DeltaBatch b;
+  b.insert_edge(0, 100);
+  EXPECT_THROW(b.seal(8), Error);
+}
+
+TEST(DeltaBatch, PropertyPatchLastWriteWins) {
+  DeltaBatch b;
+  b.set_vertex_property(3, 1.0f);
+  b.set_vertex_property(3, 7.0f);
+  b.set_vertex_property(1, 2.0f);
+  const DeltaLayer layer = b.seal(8);
+  const auto patches = layer.prop_patches();
+  ASSERT_EQ(patches.size(), 2u);
+  EXPECT_EQ(patches[0].first, 1u);
+  EXPECT_FLOAT_EQ(patches[1].second, 7.0f);
+}
+
+// ---------------------------------------------------------------------------
+// GraphView merged read path
+
+TEST(GraphView, FlatViewIsACsrPassthrough) {
+  const CSRGraph g = graph::make_path(16);
+  const GraphView v = GraphView::of(CSRGraph(g));
+  EXPECT_TRUE(v.flat());
+  EXPECT_EQ(v.num_arcs(), g.num_arcs());
+  EXPECT_DOUBLE_EQ(v.read_amplification(), 1.0);
+  std::vector<vid_t> seen;
+  v.for_each_out(1, [&](vid_t t, float) { seen.push_back(t); });
+  EXPECT_EQ(seen, std::vector<vid_t>({0, 2}));
+}
+
+TEST(GraphView, RandomizedMergeMatchesMirror) {
+  core::Xoshiro256 rng(17);
+  Mirror m = seed_mirror(rng, 64, 200, /*directed=*/false);
+  VersionedGraphStore store(m.eager(),
+                            CompactionPolicy{.auto_compact = false});
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    DeltaBatch b;
+    churn(rng, m, b, 48);
+    store.apply(b);
+    expect_view_matches_mirror(store.view(), m);
+  }
+  const GraphView v = store.view();
+  EXPECT_EQ(v.chain_depth(), 6u);
+  EXPECT_GT(v.read_amplification(), 1.0);
+  // has_edge agrees with the mirror on random probes.
+  for (int i = 0; i < 500; ++i) {
+    const vid_t u = rng.next_vid(m.n), w = rng.next_vid(m.n);
+    EXPECT_EQ(v.has_edge(u, w), m.has(u, w)) << u << "->" << w;
+  }
+}
+
+TEST(GraphView, FlattenMatchesIndependentlyBuiltCsr) {
+  core::Xoshiro256 rng(23);
+  Mirror m = seed_mirror(rng, 96, 300, /*directed=*/true);
+  VersionedGraphStore store(m.eager(),
+                            CompactionPolicy{.auto_compact = false});
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    DeltaBatch b(/*directed=*/true);
+    churn(rng, m, b, 64);
+    store.apply(b);
+  }
+  const GraphView v = store.view();
+  ASSERT_FALSE(v.flat());
+  const CSRGraph& folded = v.csr();
+  const CSRGraph eager = m.eager();
+  ASSERT_EQ(folded.num_vertices(), eager.num_vertices());
+  ASSERT_EQ(folded.num_arcs(), eager.num_arcs());
+  for (vid_t u = 0; u < eager.num_vertices(); ++u) {
+    const auto a = folded.out_neighbors(u);
+    const auto b2 = eager.out_neighbors(u);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b2.begin(), b2.end()))
+        << "vertex " << u;
+  }
+  // The fold is cached per version: same pointer on a copied view.
+  const GraphView copy = v;
+  EXPECT_EQ(copy.flatten().get(), v.flatten().get());
+}
+
+TEST(GraphView, NewestLayerWinsAcrossTheChain) {
+  const CSRGraph base = graph::make_path(8);  // 0-1-2-...-7
+  VersionedGraphStore store(CSRGraph(base),
+                            CompactionPolicy{.auto_compact = false});
+  DeltaBatch del;
+  del.delete_edge(0, 1);
+  store.apply(del);
+  EXPECT_FALSE(store.view().has_edge(0, 1));
+  DeltaBatch re;
+  re.insert_edge(0, 1, 5.0f);
+  store.apply(re);
+  const GraphView v = store.view();
+  EXPECT_TRUE(v.has_edge(0, 1));
+  const auto out = v.out_edges_copy(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out[0].second, 5.0f);  // re-inserted weight wins
+  EXPECT_EQ(v.num_arcs(), base.num_arcs());
+}
+
+TEST(GraphView, PropertyPatchesAreNewestWins) {
+  VersionedGraphStore store(graph::make_path(8),
+                            CompactionPolicy{.auto_compact = false});
+  DeltaBatch b1;
+  b1.set_vertex_property(3, 1.5f);
+  store.apply(b1);
+  DeltaBatch b2;
+  b2.set_vertex_property(3, 4.5f);
+  store.apply(b2);
+  const GraphView v = store.view();
+  EXPECT_FLOAT_EQ(v.vertex_property_or(3, 0.0f), 4.5f);
+  EXPECT_FLOAT_EQ(v.vertex_property_or(5, -1.0f), -1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// VersionedGraphStore: epochs, compaction, crash safety
+
+TEST(VersionedStore, ApplyAdvancesEpochAndTracksNetArcs) {
+  VersionedGraphStore store(graph::make_path(8),
+                            CompactionPolicy{.auto_compact = false});
+  EXPECT_EQ(store.epoch(), 0u);
+  const eid_t arcs0 = store.view().num_arcs();
+  DeltaBatch b;
+  b.insert_edge(0, 7);       // new edge: +2 arcs
+  b.insert_edge(0, 1, 3.0f); // existing edge: upsert, net 0
+  b.delete_edge(2, 6);       // missing edge: no-op, net 0
+  store.apply(b);
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.view().num_arcs(), arcs0 + 2);
+  EXPECT_EQ(store.view().epoch(), 1u);
+}
+
+TEST(VersionedStore, PolicyFoldsDeepChainsInline) {
+  core::Xoshiro256 rng(31);
+  Mirror m = seed_mirror(rng, 64, 200, /*directed=*/false);
+  CompactionPolicy pol;
+  pol.max_chain_depth = 4;
+  pol.max_read_amplification = 1e9;  // depth is the only trigger
+  VersionedGraphStore store(m.eager(), pol);
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    DeltaBatch b;
+    churn(rng, m, b, 16);
+    store.apply(b);
+  }
+  const StoreStats st = store.stats();
+  EXPECT_GE(st.compactions, 1u);
+  EXPECT_LE(st.chain_depth, pol.max_chain_depth);
+  EXPECT_EQ(st.epoch, 12u);
+  expect_view_matches_mirror(store.view(), m);
+}
+
+TEST(VersionedStore, CompactNowPreservesContentAndEpoch) {
+  core::Xoshiro256 rng(37);
+  Mirror m = seed_mirror(rng, 48, 150, /*directed=*/false);
+  VersionedGraphStore store(m.eager(),
+                            CompactionPolicy{.auto_compact = false});
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    DeltaBatch b;
+    churn(rng, m, b, 24);
+    store.apply(b);
+  }
+  const std::uint64_t epoch_before = store.epoch();
+  ASSERT_TRUE(store.compact_now());
+  EXPECT_EQ(store.epoch(), epoch_before);  // content identical, not a write
+  const GraphView v = store.view();
+  EXPECT_TRUE(v.flat());
+  EXPECT_DOUBLE_EQ(v.read_amplification(), 1.0);
+  expect_view_matches_mirror(v, m);
+  EXPECT_FALSE(store.compact_now());  // nothing left to fold
+}
+
+TEST(VersionedStore, ViewListenerFiresOnApplyNotOnCompaction) {
+  VersionedGraphStore store(graph::make_path(8),
+                            CompactionPolicy{.auto_compact = false});
+  std::vector<std::uint64_t> published;
+  store.set_view_listener(
+      [&](GraphView v) { published.push_back(v.epoch()); });
+  for (int i = 0; i < 3; ++i) {
+    DeltaBatch b;
+    b.insert_edge(0, static_cast<vid_t>(2 + i));
+    store.apply(b);
+  }
+  ASSERT_TRUE(store.compact_now());
+  EXPECT_EQ(published, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(VersionedStore, CrashDuringCompactionLeavesStoreIntact) {
+  core::Xoshiro256 rng(41);
+  Mirror m = seed_mirror(rng, 48, 150, /*directed=*/false);
+  VersionedGraphStore store(m.eager(),
+                            CompactionPolicy{.auto_compact = false});
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    DeltaBatch b;
+    churn(rng, m, b, 24);
+    store.apply(b);
+  }
+  // The PR 2 fault injector, wired through the compaction stage hook:
+  // the first fold crashes mid-fold, the second mid-swap.
+  resilience::FaultPlan plan;
+  plan.specs.push_back({resilience::FaultSpec::Kind::kThrow, "compact_fold",
+                        /*nth=*/1, 0, 0.0, "fold torn"});
+  plan.specs.push_back({resilience::FaultSpec::Kind::kThrow, "compact_swap",
+                        /*nth=*/1, 0, 0.0, "swap torn"});
+  resilience::FaultInjector inj(plan);
+  store.set_fault_hook([&](const char* stage) { inj.on_call(stage); });
+
+  EXPECT_FALSE(store.compact_now());  // dies in compact_fold
+  EXPECT_EQ(store.stats().compaction_failures, 1u);
+  expect_view_matches_mirror(store.view(), m);  // untouched
+  EXPECT_EQ(store.view().chain_depth(), 4u);
+
+  EXPECT_FALSE(store.compact_now());  // dies in compact_swap
+  EXPECT_EQ(store.stats().compaction_failures, 2u);
+  expect_view_matches_mirror(store.view(), m);
+
+  EXPECT_TRUE(store.compact_now());  // plan exhausted: fold succeeds
+  EXPECT_EQ(inj.injected_throws(), 2u);
+  EXPECT_TRUE(store.view().flat());
+  expect_view_matches_mirror(store.view(), m);
+  EXPECT_EQ(store.stats().compactions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry-wide kernel equivalence: every registered kernel must produce
+// the same summary on a delta-chain view as on the eagerly built flat CSR
+// of identical content.
+
+TEST(RegistryEquivalence, EveryKernelMatchesEagerCsrOnDeltaChains) {
+  for (const auto& info : kernels::registry()) {
+    SCOPED_TRACE(info.name);
+    core::Xoshiro256 rng(7);
+    Mirror m = seed_mirror(rng, 200, 900, info.directed);
+    VersionedGraphStore store(m.eager(),
+                              CompactionPolicy{.auto_compact = false});
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      DeltaBatch b(info.directed);
+      churn(rng, m, b, 80);
+      store.apply(b);
+    }
+    const GraphView delta_view = store.view();
+    ASSERT_EQ(delta_view.chain_depth(), 4u);
+    const CSRGraph eager = m.eager();
+    const auto got = kernels::run_kernel(info, delta_view);
+    const auto want = kernels::run_kernel(info, eager);
+    EXPECT_EQ(got.summary, want.summary);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StreamProcessor publishes O(Δ) epochs whose content matches the dynamic
+// graph exactly.
+
+TEST(StreamPublication, PublishedViewsMatchDynamicGraphAdjacency) {
+  const vid_t n = 128;
+  graph::DynamicGraph dyn(n);
+  core::Xoshiro256 rng(53);
+  for (int i = 0; i < 300; ++i) {
+    const vid_t u = rng.next_vid(n);
+    vid_t v = rng.next_vid(n);
+    if (u == v) v = (v + 1) % n;
+    dyn.insert_edge(u, v);
+  }
+  streaming::TriggerPolicy policy;
+  policy.triangle_delta_threshold = 0;  // publication only via cadence
+  streaming::StreamProcessor proc(dyn, policy);
+  std::vector<GraphView> views;
+  proc.set_epoch_publisher([&](GraphView v) { views.push_back(std::move(v)); },
+                           /*every_n_updates=*/64);
+  const auto stream = streaming::generate_stream(
+      n, {.count = 400, .delete_fraction = 0.2, .seed = 61});
+  proc.apply_all(stream);
+  proc.publish_epoch();  // final flush
+  ASSERT_GE(views.size(), 3u);
+  ASSERT_NE(proc.versioned_store(), nullptr);
+  EXPECT_GE(proc.versioned_store()->stats().delta_publishes, 1u);
+
+  // Final published view ≡ the dynamic graph, adjacency for adjacency.
+  const GraphView& last = views.back();
+  const CSRGraph snap = dyn.snapshot();
+  ASSERT_EQ(last.num_vertices(), snap.num_vertices());
+  ASSERT_EQ(last.num_arcs(), snap.num_arcs());
+  for (vid_t u = 0; u < n; ++u) {
+    std::vector<vid_t> got;
+    last.for_each_out(u, [&](vid_t v, float) { got.push_back(v); });
+    const auto want = snap.out_neighbors(u);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+        << "vertex " << u;
+  }
+  // Earlier views are immutable history: each epoch's arc count is what it
+  // was at publication time (monotone epochs).
+  for (std::size_t i = 1; i < views.size(); ++i) {
+    EXPECT_GT(views[i].epoch(), views[i - 1].epoch());
+  }
+  // A delta-native kernel on the published view matches the flat run.
+  const auto a = kernels::bfs(last, 0);
+  const auto b = kernels::bfs(snap, 0);
+  EXPECT_EQ(a.dist, b.dist);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency churn (the TSan target): writers apply batches and publish
+// views into a SnapshotManager while readers lease snapshots and traverse,
+// and the compactor folds — all at once.
+
+TEST(StoreConcurrency, PublishLeaseCompactChurn) {
+  core::Xoshiro256 seed_rng(71);
+  Mirror m0 = seed_mirror(seed_rng, 256, 2000, /*directed=*/false);
+  CompactionPolicy pol;
+  pol.max_chain_depth = 6;
+  VersionedGraphStore store(m0.eager(), pol);
+  store.start_compactor();
+  server::SnapshotManager mgr;
+  store.set_view_listener([&](GraphView v) { mgr.publish(std::move(v)); });
+  mgr.publish(store.view());
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kEpochsPerWriter = 60;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> read_arcs{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      core::Xoshiro256 rng(100 + w);
+      for (int e = 0; e < kEpochsPerWriter; ++e) {
+        DeltaBatch b;
+        for (int i = 0; i < 32; ++i) {
+          vid_t u = rng.next_vid(256);
+          vid_t v = rng.next_vid(256);
+          if (u == v) v = (v + 1) % 256;
+          if (rng.next_below(4) == 0) {
+            b.delete_edge(u, v);
+          } else {
+            b.insert_edge(u, v);
+          }
+        }
+        store.apply(b);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t local = 0;
+      core::Xoshiro256 rng(200 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        server::SnapshotRef ref = mgr.acquire();
+        if (!ref) continue;
+        const GraphView& v = ref.view();
+        const vid_t u = rng.next_vid(v.num_vertices());
+        v.for_each_out(u, [&](vid_t, float) { ++local; });
+        if (rng.next_below(16) == 0) local += v.csr().num_arcs();
+      }
+      read_arcs.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::thread folder([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      store.compact_now();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  folder.join();
+  store.stop_compactor();
+
+  const StoreStats st = store.stats();
+  EXPECT_EQ(st.epoch, kWriters * kEpochsPerWriter);
+  EXPECT_GT(read_arcs.load(), 0u);
+  // Every published epoch reached the snapshot manager (listener fires per
+  // apply; compactions do not republish).
+  EXPECT_EQ(mgr.stats().published,
+            static_cast<std::uint64_t>(kWriters * kEpochsPerWriter) + 1);
+  // Drain leases before the manager dies.
+  const GraphView final_view = store.view();
+  EXPECT_EQ(final_view.num_vertices(), 256u);
+}
+
+}  // namespace
+}  // namespace ga::store

@@ -56,6 +56,22 @@ print(f"[ci] obs-disabled {disabled:.2f} MTEPS vs compiled-out {base:.2f} MTEPS 
 sys.exit(0 if overhead <= 2.0 else 1)
 EOF
 
+echo "=== [ci] delta publish gate (serving_load --publish-bench, scale 20, 0.1% churn) ==="
+# The versioned store promises O(Δ) epoch publication: a delta publish must
+# be >=10x faster (p99) than a full-CSR rebuild at scale 20 with 0.1% edge
+# churn, and compaction must bring read amplification back to <=1.5x.
+(cd "$BUILD_DIR" && ./bench/serving_load --publish-bench --scale 20 --churn 0.001 --json)
+python3 - "$BUILD_DIR/BENCH_serving_load.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+speedup = d["publish_speedup_p99"]
+read_amp = d["read_amplification_after_compaction"]
+print(f"[ci] delta publish p99 speedup {speedup:.1f}x (gate >=10x), "
+      f"read amplification after compaction {read_amp:.3f}x (gate <=1.5x)")
+sys.exit(0 if speedup >= 10.0 and read_amp <= 1.5 else 1)
+EOF
+
 if [[ "$MODE" == "fast" ]]; then
   echo "=== [ci] fast mode: skipping sanitizer sweeps ==="
   echo "CI gate (fast) passed."

@@ -9,6 +9,10 @@
 //   ga_cli metrics [FILE] [--json] [--trace]
 //          — run a small instrumented workload and print the unified
 //            metrics exposition (and, with --trace, the query span tree)
+//   ga_cli store [FILE] [--scale N] [--epochs E] [--delta D] [--seed S]
+//          [--depth K] [--no-compact]
+//          — churn the versioned delta-chain store and print chain depth,
+//            epoch count, bytes, and compaction stats
 //   ga_cli bfs FILE SOURCE
 //   ga_cli pagerank FILE [--top K]
 //   ga_cli components FILE
@@ -30,9 +34,11 @@
 #include "kernels/pagerank.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/triangles.hpp"
+#include "core/prng.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/versioned_store.hpp"
 
 using namespace ga;
 
@@ -87,6 +93,8 @@ int usage() {
                "  kernels\n"
                "  run KERNEL FILE [--directed]\n"
                "  metrics [FILE] [--json] [--trace]\n"
+               "  store [FILE] [--scale N] [--epochs E] [--delta D]"
+               " [--seed S] [--depth K] [--no-compact]\n"
                "  bfs FILE SOURCE\n"
                "  pagerank FILE [--top K]\n"
                "  components FILE\n"
@@ -159,6 +167,66 @@ int cmd_metrics(const Args& a) {
                 static_cast<unsigned long long>(ctx.trace_id),
                 tracer.format_tree(ctx.trace_id).c_str());
   }
+  return 0;
+}
+
+/// Churn the versioned delta-chain store — apply --epochs delta batches of
+/// --delta random edge inserts/deletes each — and print what the store did
+/// with them: chain depth, epoch count, live bytes, compaction stats.
+int cmd_store(const Args& a) {
+  store::CompactionPolicy policy;
+  policy.max_chain_depth = static_cast<std::size_t>(a.get("depth", 8));
+  policy.auto_compact = a.flags.count("no-compact") == 0;
+  auto g = a.positional.size() >= 2
+               ? load(a.positional[1])
+               : graph::make_rmat({.scale = static_cast<unsigned>(
+                                       a.get("scale", 14)),
+                                   .edge_factor = 16,
+                                   .seed = a.get("seed", 1)});
+  const vid_t n = g.num_vertices();
+  store::VersionedGraphStore vstore(std::move(g), policy);
+
+  const auto epochs = a.get("epochs", 32);
+  const auto delta = a.get("delta", 256);
+  core::Xoshiro256 rng(a.get("seed", 1));
+  core::WallTimer t;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    store::DeltaBatch batch(/*directed=*/false);
+    for (std::uint64_t i = 0; i < delta; ++i) {
+      const vid_t u = rng.next_vid(n);
+      const vid_t v = rng.next_vid(n);
+      if (u == v) continue;
+      if (rng.next_below(10) == 0) {
+        batch.delete_edge(u, v);
+      } else {
+        batch.insert_edge(u, v, 1.0f);
+      }
+    }
+    vstore.apply(batch);
+  }
+  const double churn_ms = t.millis();
+
+  const store::StoreStats s = vstore.stats();
+  const store::GraphView v = vstore.view();
+  std::printf("epoch:            %llu (%llu delta publishes in %.2f ms)\n",
+              static_cast<unsigned long long>(s.epoch),
+              static_cast<unsigned long long>(s.delta_publishes), churn_ms);
+  std::printf("chain depth:      %zu (policy max %zu, auto-compact %s)\n",
+              s.chain_depth, policy.max_chain_depth,
+              policy.auto_compact ? "on" : "off");
+  std::printf("vertices:         %u\n", v.num_vertices());
+  std::printf("arcs:             %llu\n",
+              static_cast<unsigned long long>(v.num_arcs()));
+  std::printf("base bytes:       %zu\n", s.base_bytes);
+  std::printf("delta bytes:      %zu (%.2f%% of base)\n", s.delta_bytes,
+              100.0 * static_cast<double>(s.delta_bytes) /
+                  static_cast<double>(s.base_bytes ? s.base_bytes : 1));
+  std::printf("read amp:         %.3fx\n", s.read_amplification);
+  std::printf("compactions:      %llu (%llu failed, last %.2f ms)\n",
+              static_cast<unsigned long long>(s.compactions),
+              static_cast<unsigned long long>(s.compaction_failures),
+              s.last_compact_ms);
+  std::printf("last publish:     %.1f us\n", s.last_publish_us);
   return 0;
 }
 
@@ -283,6 +351,7 @@ int main(int argc, char** argv) {
     if (cmd == "kernels") return cmd_kernels(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "metrics") return cmd_metrics(args);
+    if (cmd == "store") return cmd_store(args);
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "pagerank") return cmd_pagerank(args);
     if (cmd == "components") return cmd_components(args);

@@ -2,7 +2,9 @@
 # Sanitizer sweep for the traversal engine and tier-1 tests:
 #   1. ASan+UBSan build running the full ctest suite.
 #   2. TSan build running the BFS / connected-components / engine /
-#      thread-pool tests (the code with parallel engine paths).
+#      thread-pool tests (the code with parallel engine paths), plus the
+#      serving, obs, and versioned-store suites (snapshot churn, registry
+#      concurrency, concurrent publish/lease/compact).
 # Each sanitizer gets its own build tree under build-san/ so the regular
 # build/ directory is never polluted. Exits nonzero on the first failure.
 #
@@ -25,17 +27,19 @@ if [[ "$MODE" == "chaos" ]]; then
   echo "=== [chaos/asan-ubsan] resilience suite (recovery + fault injection) ==="
   "$ASAN_DIR/tests/ga_resilience_tests"
 
-  echo "=== [chaos/tsan] configure + build resilience + serving suites ==="
+  echo "=== [chaos/tsan] configure + build resilience + serving + store suites ==="
   TSAN_DIR="$ROOT/build-san/tsan"
   cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-        --target ga_resilience_tests ga_serving_tests > /dev/null
+        --target ga_resilience_tests ga_serving_tests ga_store_tests > /dev/null
   echo "=== [chaos/tsan] backpressure queue + streaming handoff tests ==="
   "$TSAN_DIR/tests/ga_resilience_tests" \
       --gtest_filter='IngestQueue*:Backpressure*:RunStream*:Wal.AsyncDrain*'
   echo "=== [chaos/tsan] serving suite (snapshot churn + concurrent clients) ==="
   "$TSAN_DIR/tests/ga_serving_tests"
+  echo "=== [chaos/tsan] store suite (concurrent publish/lease/compact churn) ==="
+  "$TSAN_DIR/tests/ga_store_tests" --gtest_filter='StoreConcurrency*:StreamPublication*'
   echo "Chaos sanitizer suites passed."
   exit 0
 fi
@@ -53,12 +57,14 @@ TSAN_DIR="$ROOT/build-san/tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-      --target ga_tests ga_serving_tests ga_obs_tests > /dev/null
+      --target ga_tests ga_serving_tests ga_obs_tests ga_store_tests > /dev/null
 echo "=== [tsan] parallel-path tests ==="
 "$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
 echo "=== [tsan] serving suite (snapshot lifetime + scheduler concurrency) ==="
 "$TSAN_DIR/tests/ga_serving_tests"
 echo "=== [tsan] obs suite (registry/tracer concurrency) ==="
 "$TSAN_DIR/tests/ga_obs_tests"
+echo "=== [tsan] store suite (delta publish / lease / background compaction) ==="
+"$TSAN_DIR/tests/ga_store_tests"
 
 echo "All sanitizer suites passed."
