@@ -14,9 +14,9 @@
 #include "graph/builder.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
+#include "kernels/jaccard.hpp"
 #include "kernels/registry.hpp"
 #include "streaming/anomaly.hpp"
-#include "streaming/streaming_jaccard.hpp"
 #include "streaming/update_stream.hpp"
 
 using namespace ga;
@@ -108,10 +108,9 @@ int main() {
                "HPC-GA(S),STINGER", "graph modification", ms,
                std::to_string(applied) + " updates"});
 
-    streaming::StreamingJaccard sj(dyn);
     auto [qms, matches] = timed([&] {
       std::size_t total = 0;
-      for (vid_t q = 0; q < 200; ++q) total += sj.query(q * 7).size();
+      for (vid_t q = 0; q < 200; ++q) total += kernels::jaccard_query(dyn, q * 7).size();
       return total;
     });
     print_row({"Jaccard (streaming queries)", "clustering", "standalone(S)",

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "graph/dynamic_graph.hpp"
 #include "kernels/triangles.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::kernels {
 
@@ -32,21 +34,50 @@ std::vector<JaccardPair> jaccard_all_edges(const CSRGraph& g) {
 
 namespace {
 
-/// Visit each 2-hop candidate pair (u, v) with u < v and a shared neighbor,
-/// computing the intersection size along the way. Calls fn(u, v, inter).
-/// Deduplicates candidates per source vertex with a scratch map.
+/// Visit every 2-hop candidate v of u (v != u, >= 1 shared neighbor) with
+/// the intersection size |N(u) ∩ N(v)|, graph representation abstracted
+/// behind `nbrs(x, cb)` (must call cb(vid_t) per neighbor of x). One sweep:
+/// for each neighbor w of u, each neighbor v of w gains one shared count.
+template <typename NbrFn, typename Fn>
+void two_hop_sweep(vid_t u, NbrFn&& nbrs, Fn&& fn) {
+  std::unordered_map<vid_t, std::size_t> shared;
+  nbrs(u, [&](vid_t w) {
+    nbrs(w, [&](vid_t v) {
+      if (v != u) ++shared[v];
+    });
+  });
+  for (const auto& [v, inter] : shared) fn(v, inter);
+}
+
 template <typename Fn>
 void for_each_two_hop_pair(const CSRGraph& g, vid_t u, Fn&& fn) {
-  // Count shared neighbors of u with every 2-hop vertex v > u in one sweep:
-  // for each neighbor w of u, each neighbor v of w gains one shared count.
-  std::unordered_map<vid_t, std::size_t> shared;
-  for (vid_t w : g.out_neighbors(u)) {
-    for (vid_t v : g.out_neighbors(w)) {
-      if (v == u) continue;
-      ++shared[v];
-    }
-  }
-  for (const auto& [v, inter] : shared) fn(v, inter);
+  two_hop_sweep(
+      u,
+      [&](vid_t x, auto&& cb) {
+        for (const vid_t v : g.out_neighbors(x)) cb(v);
+      },
+      std::forward<Fn>(fn));
+}
+
+/// Shared query body for all three graph representations.
+template <typename DegFn, typename NbrFn>
+std::vector<JaccardPair> query_impl(vid_t u, double threshold, DegFn&& deg,
+                                    NbrFn&& nbrs) {
+  std::vector<JaccardPair> out;
+  const double du = static_cast<double>(deg(u));
+  two_hop_sweep(u, nbrs, [&](vid_t v, std::size_t inter) {
+    const double uni =
+        du + static_cast<double>(deg(v)) - static_cast<double>(inter);
+    const double j = uni == 0.0 ? 0.0 : static_cast<double>(inter) / uni;
+    if (j >= threshold && j > 0.0) out.push_back({u, v, j});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const JaccardPair& a, const JaccardPair& b) {
+              return a.coefficient != b.coefficient
+                         ? a.coefficient > b.coefficient
+                         : a.v < b.v;
+            });
+  return out;
 }
 
 }  // namespace
@@ -74,18 +105,59 @@ std::vector<JaccardPair> jaccard_topk(const CSRGraph& g, std::size_t k) {
 std::vector<JaccardPair> jaccard_query(const CSRGraph& g, vid_t u,
                                        double threshold) {
   GA_CHECK(u < g.num_vertices(), "jaccard_query: vertex out of range");
-  std::vector<JaccardPair> out;
-  const double du = static_cast<double>(g.out_degree(u));
-  for_each_two_hop_pair(g, u, [&](vid_t v, std::size_t inter) {
-    const double uni =
-        du + static_cast<double>(g.out_degree(v)) - static_cast<double>(inter);
-    const double j = uni == 0.0 ? 0.0 : static_cast<double>(inter) / uni;
-    if (j >= threshold && j > 0.0) out.push_back({u, v, j});
+  return query_impl(
+      u, threshold, [&](vid_t x) { return g.out_degree(x); },
+      [&](vid_t x, auto&& cb) {
+        for (const vid_t v : g.out_neighbors(x)) cb(v);
+      });
+}
+
+std::vector<JaccardPair> jaccard_query(const graph::DynamicGraph& g, vid_t u,
+                                       double threshold) {
+  GA_CHECK(u < g.num_vertices(), "jaccard_query: vertex out of range");
+  return query_impl(
+      u, threshold, [&](vid_t x) { return g.degree(x); },
+      [&](vid_t x, auto&& cb) {
+        g.for_each_neighbor(x,
+                            [&](vid_t v, float, std::int64_t) { cb(v); });
+      });
+}
+
+std::vector<JaccardPair> jaccard_query(const store::GraphView& g, vid_t u,
+                                       double threshold) {
+  GA_CHECK(u < g.num_vertices(), "jaccard_query: vertex out of range");
+  return query_impl(
+      u, threshold, [&](vid_t x) { return g.out_degree(x); },
+      [&](vid_t x, auto&& cb) {
+        g.for_each_out(x, [&](vid_t v, float) { cb(v); });
+      });
+}
+
+JaccardPair jaccard_max_partner(const graph::DynamicGraph& g, vid_t u) {
+  const auto matches = jaccard_query(g, u, 0.0);
+  return matches.empty() ? JaccardPair{u, kInvalidVid, 0.0} : matches.front();
+}
+
+bool jaccard_insert_crosses_threshold(const graph::DynamicGraph& g, vid_t u,
+                                      vid_t v, double threshold) {
+  return jaccard_max_partner(g, u).coefficient >= threshold ||
+         jaccard_max_partner(g, v).coefficient >= threshold;
+}
+
+std::vector<vid_t> jaccard_footprint(const store::GraphView& g, vid_t u,
+                                     std::size_t cap) {
+  GA_CHECK(u < g.num_vertices(), "jaccard_footprint: vertex out of range");
+  std::vector<vid_t> out;
+  out.push_back(u);
+  g.for_each_out(u, [&](vid_t w, float) {
+    out.push_back(w);
+    g.for_each_out(w, [&](vid_t v, float) {
+      if (v != u) out.push_back(v);
+    });
   });
-  std::sort(out.begin(), out.end(), [](const JaccardPair& a, const JaccardPair& b) {
-    return a.coefficient != b.coefficient ? a.coefficient > b.coefficient
-                                          : a.v < b.v;
-  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > cap) return {};
   return out;
 }
 

@@ -15,6 +15,13 @@
 #include "core/topk.hpp"
 #include "graph/csr_graph.hpp"
 
+namespace ga::graph {
+class DynamicGraph;
+}
+namespace ga::store {
+class GraphView;
+}
+
 namespace ga::kernels {
 
 using graph::CSRGraph;
@@ -38,6 +45,35 @@ std::vector<JaccardPair> jaccard_topk(const CSRGraph& g, std::size_t k);
 /// descending coefficient. Only 2-hop candidates are examined.
 std::vector<JaccardPair> jaccard_query(const CSRGraph& g, vid_t u,
                                        double threshold = 0.0);
+
+/// Query form over a live dynamic graph (the paper's streaming form 2:
+/// answer relationship queries as the graph mutates). Same candidate
+/// sweep, coefficients, and ordering as the CSR overload.
+std::vector<JaccardPair> jaccard_query(const graph::DynamicGraph& g, vid_t u,
+                                       double threshold = 0.0);
+
+/// Query form over a versioned store view, delta-native (merged adjacency
+/// iteration; never folds the chain).
+std::vector<JaccardPair> jaccard_query(const store::GraphView& g, vid_t u,
+                                       double threshold = 0.0);
+
+/// Max-coefficient partner of u (streaming form 1 building block);
+/// v == kInvalidVid with coefficient 0 when u has no 2-hop candidate.
+JaccardPair jaccard_max_partner(const graph::DynamicGraph& g, vid_t u);
+
+/// Streaming form 1 trigger: after an applied insert (u, v), does either
+/// endpoint's maximum coefficient now reach `threshold`?
+bool jaccard_insert_crosses_threshold(const graph::DynamicGraph& g, vid_t u,
+                                      vid_t v, double threshold);
+
+/// Sorted dependency set of jaccard_query(g, u, ·): {u} ∪ N(u) ∪ the 2-hop
+/// candidate set. Any epoch whose changed-vertex set is disjoint from this
+/// footprint cannot alter the query answer (every effective arc change
+/// lists both endpoints, and a relevant arc always has an endpoint in the
+/// footprint). Returns an empty vector when the set exceeds `cap` —
+/// callers must then treat the query as depending on the whole graph.
+std::vector<vid_t> jaccard_footprint(const store::GraphView& g, vid_t u,
+                                     std::size_t cap);
 
 /// Uniform kernel entry point (see kernels/registry.hpp). With a query
 /// vertex set, runs the per-vertex query form; otherwise batch top-k.

@@ -97,6 +97,33 @@ PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts) {
   return r;
 }
 
+PageRankResult pagerank_warm(const CSRGraph& g, std::vector<double> rank,
+                             const PageRankOptions& opts) {
+  const vid_t n = g.num_vertices();
+  PageRankResult r;
+  if (n == 0) return r;
+  GA_CHECK(rank.size() == n, "pagerank_warm: seed size mismatch");
+
+  // Renormalize the seed: the caller's ranks may come from a slightly
+  // different mass distribution (or accumulated float drift).
+  double total = 0.0;
+  for (const double x : rank) total += x;
+  if (total > 0.0) {
+    for (double& x : rank) x /= total;
+  } else {
+    std::fill(rank.begin(), rank.end(), 1.0 / n);
+  }
+
+  power_iterate(g, opts, rank,
+                [&](vid_t, double dangling) {
+                  return (1.0 - opts.damping) / n +
+                         opts.damping * dangling / n;
+                },
+                r);
+  r.rank = std::move(rank);
+  return r;
+}
+
 PageRankResult personalized_pagerank(const CSRGraph& g,
                                      const std::vector<vid_t>& seeds,
                                      const PageRankOptions& opts) {

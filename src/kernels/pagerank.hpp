@@ -32,6 +32,15 @@ struct PageRankResult {
 
 PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts = {});
 
+/// Warm-started power iteration: seeds the solve from `rank` (a prior
+/// epoch's result, renormalized here) instead of uniform 1/n, then refines
+/// to opts.tolerance. After a small edge delta the spectrum barely moves,
+/// so this typically converges in a handful of iterations — the core of
+/// the delta-driven incremental PageRank path (kernels/incremental.hpp).
+/// `rank.size()` must equal g.num_vertices().
+PageRankResult pagerank_warm(const CSRGraph& g, std::vector<double> rank,
+                             const PageRankOptions& opts = {});
+
 /// Top-k vertices by rank (descending) — the "search for largest" pattern.
 std::vector<std::pair<double, vid_t>> pagerank_topk(const PageRankResult& r,
                                                     std::size_t k);

@@ -12,6 +12,7 @@
 #include "kernels/connected_components.hpp"
 #include "kernels/contraction.hpp"
 #include "kernels/geo_temporal.hpp"
+#include "kernels/incremental.hpp"
 #include "kernels/jaccard.hpp"
 #include "kernels/kcore.hpp"
 #include "kernels/ktruss.hpp"
@@ -192,6 +193,19 @@ std::vector<KernelInfo> make_registry() {
                         std::to_string(static_cast<long long>(
                             res.top.empty() ? 0.0 : res.top[0].score));
                }});
+
+  // Kernels with a delta-incremental update path (kernels/incremental.hpp).
+  for (KernelInfo& k : r) {
+    if (k.name == "pagerank") {
+      k.make_incremental = [] { return make_incremental_pagerank(); };
+    } else if (k.name == "wcc") {
+      k.make_incremental = [] { return make_incremental_wcc(); };
+    } else if (k.name == "jaccard") {
+      // Point-query form anchored at vertex 0 with a low threshold — the
+      // same shape the serving layer's kJaccardNeighbors queries use.
+      k.make_incremental = [] { return make_incremental_jaccard(0, 0.1); };
+    }
+  }
   return r;
 }
 

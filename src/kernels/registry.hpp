@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "store/graph_view.hpp"
 
 namespace ga::kernels {
+
+class IncrementalKernel;
 
 struct KernelInfo {
   std::string name;          // short id for CLI dispatch, e.g. "bfs"
@@ -31,6 +34,11 @@ struct KernelInfo {
   /// delta-native engine traverse the merged chain directly, the rest fold
   /// once through view.csr() (cached per version).
   std::function<std::string(const store::GraphView&)> run;
+  /// Non-null for kernels with a delta-incremental update path: creates a
+  /// fresh epoch-folding runner (kernels/incremental.hpp) with registry
+  /// default options. Harnesses seed it with init() on one epoch and fold
+  /// later epochs' DeltaSummaries forward with update().
+  std::function<std::unique_ptr<IncrementalKernel>()> make_incremental;
 };
 
 /// All registered kernels, in Fig. 1 row order.

@@ -76,6 +76,7 @@ engine::StepStats synth_stats(const QueryDesc& q, vid_t n, eid_t m) {
 ServingCostModel::ServingCostModel(archmodel::MachineConfig host)
     : host_(std::move(host)) {
   calib_.fill(1.0);
+  inc_calib_.fill(1.0);
 }
 
 archmodel::MachineConfig ServingCostModel::host_config() {
@@ -111,6 +112,39 @@ CostEstimate ServingCostModel::predict(const QueryDesc& q, vid_t n,
   return est;
 }
 
+CostEstimate ServingCostModel::predict_incremental(const QueryDesc& q, vid_t n,
+                                                   eid_t m,
+                                                   vid_t changed) const {
+  const auto result = archmodel::evaluate(host_, {demand(q, n, m)});
+  // Refinement work scales with the changed fraction of the graph: a warm
+  // PageRank converges in a couple of sweeps instead of ~20, an insert-only
+  // WCC update is one union-find reconstruction. The 2% floor models the
+  // always-paid part (reseed, summary merge, convergence check).
+  const double nd = std::max(1.0, static_cast<double>(n));
+  const double frac =
+      std::clamp(0.02 + static_cast<double>(changed) / nd, 0.02, 1.0);
+  CostEstimate est;
+  est.raw_ms = result.total_seconds * 1e3 * frac;
+  est.bounding = result.steps.front().bounding;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++predictions_;
+  est.ms = est.raw_ms * inc_calib_[static_cast<std::size_t>(q.kind)];
+  return est;
+}
+
+void ServingCostModel::observe_incremental(QueryKind kind, double raw_ms,
+                                           double measured_ms) {
+  if (raw_ms <= 0.0 || measured_ms < 0.0) return;
+  const double ratio = std::clamp(measured_ms / raw_ms, 1e-4, 1e4);
+  const std::size_t i = static_cast<std::size_t>(kind);
+  std::lock_guard<std::mutex> lk(mu_);
+  double& c = inc_calib_[i];
+  c = inc_observations_[i] == 0
+          ? ratio
+          : (1.0 - kCalibAlpha) * c + kCalibAlpha * ratio;
+  ++inc_observations_[i];
+}
+
 void ServingCostModel::observe(QueryKind kind, double raw_ms,
                                double measured_ms) {
   if (raw_ms <= 0.0 || measured_ms < 0.0) return;
@@ -136,6 +170,8 @@ CostModelStats ServingCostModel::stats() const {
   st.predictions = predictions_;
   st.observations = observations_;
   st.calibration = calib_;
+  st.inc_observations = inc_observations_;
+  st.inc_calibration = inc_calib_;
   return st;
 }
 

@@ -29,6 +29,10 @@ struct CostModelStats {
   std::uint64_t predictions = 0;
   std::array<std::uint64_t, kNumQueryKinds> observations{};
   std::array<double, kNumQueryKinds> calibration{};  // measured/raw EWMA
+  // Incremental-path calibration (separate EWMA family: refining a warm
+  // result has a very different cost profile than a batch recompute).
+  std::array<std::uint64_t, kNumQueryKinds> inc_observations{};
+  std::array<double, kNumQueryKinds> inc_calibration{};
 };
 
 class ServingCostModel {
@@ -44,6 +48,20 @@ class ServingCostModel {
 
   /// Feed one measured execution back into the per-kind calibration EWMA.
   void observe(QueryKind kind, double raw_ms, double measured_ms);
+
+  /// Predicted cost of serving `q` by incrementally refining the previous
+  /// epoch's warm result against a delta whose changed-vertex set has
+  /// `changed` members, instead of recomputing from scratch. The analytic
+  /// shape scales the batch demand by the changed fraction of the graph
+  /// (plus a fixed floor for the always-paid reseed/merge work); absolute
+  /// scale is learned by a per-kind EWMA that is separate from the batch
+  /// calibration, fed by observe_incremental(). Thread-safe.
+  CostEstimate predict_incremental(const QueryDesc& q, vid_t n, eid_t m,
+                                   vid_t changed) const;
+
+  /// Feed one measured incremental refinement back into the incremental
+  /// calibration EWMA (batch calibration is untouched).
+  void observe_incremental(QueryKind kind, double raw_ms, double measured_ms);
 
   double calibration(QueryKind kind) const;
   CostModelStats stats() const;
@@ -64,6 +82,8 @@ class ServingCostModel {
   mutable std::mutex mu_;
   std::array<double, kNumQueryKinds> calib_;
   std::array<std::uint64_t, kNumQueryKinds> observations_{};
+  std::array<double, kNumQueryKinds> inc_calib_;
+  std::array<std::uint64_t, kNumQueryKinds> inc_observations_{};
   mutable std::uint64_t predictions_ = 0;
 };
 

@@ -46,6 +46,11 @@ struct QueryDesc {
   /// 0 = no deadline, never rejected on predicted cost.
   double deadline_ms = 0.0;
   bool use_cache = true;
+  /// Permit serving this query by incrementally refining the previous
+  /// epoch's warm result against the published DeltaSummary chain (the
+  /// scheduler's cost model still decides whether refinement actually
+  /// beats a batch recompute). Disable to force batch execution.
+  bool allow_incremental = true;
   /// Trace context of the caller's enclosing span. When a trace is active,
   /// the scheduler hangs its admission / snapshot-lease / kernel spans off
   /// this; default (invalid) means "untraced".
@@ -68,6 +73,18 @@ const char* query_status_name(QueryStatus s);
 /// read share one status vocabulary.
 core::StatusCode status_code(QueryStatus s);
 
+/// Vertex-set dependency footprint of one query answer: the vertices whose
+/// adjacency the answer was derived from. `global` (the default) means the
+/// answer depends on the whole graph — any structural epoch delta
+/// invalidates a cached copy. When `global` is false, `verts` is sorted
+/// ascending and an epoch publish invalidates the cached answer only if
+/// the DeltaSummary's changed-vertex set intersects `verts`; disjoint
+/// deltas let the entry be carried forward to the new epoch unchanged.
+struct QueryFootprint {
+  bool global = true;
+  std::vector<vid_t> verts;  // sorted when !global
+};
+
 /// Result envelope. Exactly one payload section is populated, selected by
 /// the query kind; the header fields are always valid.
 struct QueryResult {
@@ -79,7 +96,10 @@ struct QueryResult {
   double exec_ms = 0.0;        // kernel time (0 for cache hits)
   bool cache_hit = false;
   bool batched = false;        // served by a fused multi-source pass
+  bool incremental = false;    // refined from the previous epoch's result
   std::string error;           // kFailed diagnostics
+  /// Dependency set for delta-aware cache invalidation (see QueryFootprint).
+  QueryFootprint footprint;
 
   // kBfs
   std::vector<std::uint32_t> dist;  // hop counts; kInfDist if unreached

@@ -1,6 +1,10 @@
 #include "server/result_cache.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "store/delta_summary.hpp"
 
 namespace ga::server {
 
@@ -68,6 +72,69 @@ void ResultCache::invalidate_before(std::uint64_t epoch) {
   }
 }
 
+void ResultCache::on_epoch_publish(
+    std::uint64_t epoch, std::shared_ptr<const store::DeltaSummary> delta) {
+  if (delta == nullptr) {
+    invalidate_before(epoch);
+    return;
+  }
+  const bool structural = delta->structural();
+  std::uint64_t dropped = 0;
+  // Phase 1: extract survivors shard by shard. A survivor's hash changes
+  // with its epoch, so it may land in a different shard after re-keying —
+  // it cannot be re-linked in place.
+  std::vector<Entry> survivors;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard<std::mutex> lk(sh.mu);
+    for (auto it = sh.lru.begin(); it != sh.lru.end();) {
+      if (it->key.epoch >= epoch) {
+        ++it;
+        continue;
+      }
+      bool keep = it->key.epoch + 1 == epoch;
+      if (keep && structural) {
+        const QueryFootprint& fp = it->value->footprint;
+        keep = !fp.global && !delta->intersects(fp.verts);
+      }
+      sh.map.erase(it->key.hash());
+      if (keep) {
+        ++sh.carried;
+        survivors.push_back(std::move(*it));
+      } else {
+        ++sh.invalidations;
+        ++dropped;
+      }
+      it = sh.lru.erase(it);
+    }
+  }
+  // Phase 2: reinsert the survivors under the new epoch.
+  for (Entry& e : survivors) {
+    e.key.epoch = epoch;
+    const std::uint64_t h = e.key.hash();
+    Shard& sh = *shards_[h % shards_.size()];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (sh.map.count(h) != 0) continue;  // a fresher entry raced in; keep it
+    sh.lru.push_front(std::move(e));
+    sh.map.emplace(h, sh.lru.begin());
+    if (sh.lru.size() > per_shard_capacity_) {
+      const Entry& victim = sh.lru.back();
+      sh.map.erase(victim.key.hash());
+      sh.lru.pop_back();
+      ++sh.evictions;
+    }
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_carried =
+        reg.counter("serve.cache.delta_carried_total");
+    static obs::Counter& c_dropped =
+        reg.counter("serve.cache.delta_invalidations_total");
+    c_carried.add(survivors.size());
+    c_dropped.add(dropped);
+  }
+}
+
 void ResultCache::clear() {
   for (auto& shp : shards_) {
     Shard& sh = *shp;
@@ -88,6 +155,7 @@ CacheStats ResultCache::stats() const {
     st.insertions += sh.insertions;
     st.evictions += sh.evictions;
     st.invalidations += sh.invalidations;
+    st.carried += sh.carried;
     st.entries += sh.lru.size();
   }
   return st;
@@ -101,6 +169,7 @@ engine::CounterGroup ResultCache::counters() const {
            {"insertions", st.insertions},
            {"evictions", st.evictions},
            {"epoch_invalidations", st.invalidations},
+           {"delta_carried", st.carried},
            {"entries", st.entries},
            {"hit_rate_pct", static_cast<std::uint64_t>(st.hit_rate() * 100)}}};
 }

@@ -1,8 +1,13 @@
 // Epoch-keyed result cache: a sharded LRU over completed QueryResults.
 // Keys embed the snapshot epoch, so an entry can never serve a stale
-// answer — epoch advance makes old keys unreachable and invalidate_before
-// (hooked to SnapshotManager's epoch listener) purges their capacity.
-// Sharding by key hash keeps the 64-client closed loop off a single mutex.
+// answer — epoch advance makes old keys unreachable. Invalidation is
+// delta-aware: when an epoch publish carries a store::DeltaSummary,
+// on_epoch_publish drops only the entries whose dependency footprint
+// intersects the delta's changed-vertex set and re-keys the disjoint
+// survivors to the new epoch, so a localized update no longer wipes the
+// whole cache. Summary-less publishes degrade to the legacy whole-epoch
+// purge (invalidate_before). Sharding by key hash keeps the 64-client
+// closed loop off a single mutex.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,10 @@
 #include "engine/telemetry.hpp"
 #include "server/query.hpp"
 
+namespace ga::store {
+struct DeltaSummary;
+}
+
 namespace ga::server {
 
 struct CacheStats {
@@ -23,6 +32,7 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;      // LRU capacity pressure
   std::uint64_t invalidations = 0;  // purged by epoch advance
+  std::uint64_t carried = 0;        // re-keyed across a disjoint epoch delta
   std::size_t entries = 0;
 
   double hit_rate() const {
@@ -45,8 +55,23 @@ class ResultCache {
   /// capacity. Results are immutable once cached — callers share them.
   void insert(const QueryKey& key, std::shared_ptr<const QueryResult> value);
 
-  /// Drops every entry with epoch < `epoch` (SnapshotManager listener).
+  /// Drops every entry with epoch < `epoch` (the legacy whole-epoch wipe;
+  /// on_epoch_publish falls back to it when no delta is available).
   void invalidate_before(std::uint64_t epoch);
+
+  /// Delta-aware epoch-publish hook. Entries keyed to the immediately
+  /// preceding epoch survive iff the published delta provably cannot have
+  /// changed their answer: a non-structural delta (property patches only)
+  /// carries every entry, a structural delta carries entries whose
+  /// non-global footprint is disjoint from the delta's changed-vertex
+  /// set. Survivors are re-keyed to `epoch` (their hash — and thus shard —
+  /// changes with it) so the next lookup at the new epoch hits; carried
+  /// entries keep their recorded compute epoch in the payload. Everything
+  /// else older than `epoch` is dropped. A null `delta` means the publish
+  /// had no summary (fresh seed, non-contiguous store epoch) and degrades
+  /// to invalidate_before.
+  void on_epoch_publish(std::uint64_t epoch,
+                        std::shared_ptr<const store::DeltaSummary> delta);
 
   void clear();
   CacheStats stats() const;
@@ -62,7 +87,7 @@ class ResultCache {
     std::list<Entry> lru;  // front = most recent
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map;
     std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
-                  invalidations = 0;
+                  invalidations = 0, carried = 0;
   };
 
   Shard& shard_of(const QueryKey& key) {

@@ -7,11 +7,34 @@
 #include "engine/multi_source.hpp"
 #include "kernels/bfs.hpp"
 #include "kernels/connected_components.hpp"
+#include "kernels/incremental.hpp"
+#include "kernels/jaccard.hpp"
 #include "kernels/pagerank.hpp"
+#include "store/delta_summary.hpp"
 
 namespace ga::server {
 
 namespace {
+
+/// Largest dependency set recorded on a result before it degrades to a
+/// global footprint. Bounds both the per-entry memory and the per-publish
+/// intersection work in the cache.
+constexpr std::size_t kFootprintCap = 4096;
+
+/// BFS answers depend only on the adjacency of the reached set: an arc
+/// change can alter a distance only if some changed endpoint is reachable,
+/// and the DeltaSummary lists both endpoints of every effective arc op —
+/// so a delta disjoint from the reached set cannot change the answer.
+void set_bfs_footprint(QueryResult& r) {
+  if (r.reached > kFootprintCap) return;  // stay global
+  std::vector<vid_t> verts;
+  verts.reserve(static_cast<std::size_t>(r.reached));
+  for (vid_t u = 0; u < r.dist.size(); ++u) {
+    if (r.dist[u] != kInfDist) verts.push_back(u);
+  }
+  r.footprint.global = false;
+  r.footprint.verts = std::move(verts);
+}
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -25,6 +48,16 @@ kernels::PageRankOptions serving_pagerank_opts() {
   kernels::PageRankOptions o;
   o.tolerance = 1e-6;
   o.max_iters = 50;
+  return o;
+}
+
+/// Serving-grade refinement settings. The warm-iteration cap matches the
+/// batch cap: a warm start only ever needs fewer sweeps than a cold one,
+/// and a tighter cap would make kNotConverged fallbacks the common case —
+/// turning the incremental tier into dead code on structural epochs.
+kernels::IncrementalOptions serving_inc_opts() {
+  kernels::IncrementalOptions o;
+  o.max_warm_iters = serving_pagerank_opts().max_iters;
   return o;
 }
 
@@ -64,9 +97,12 @@ QueryScheduler::QueryScheduler(SnapshotManager& snaps, SchedulerOptions opts)
   opts_.max_bfs_batch = std::clamp<std::size_t>(opts_.max_bfs_batch, 1,
                                                 engine::kMaxMultiSourceSeeds);
   paused_ = opts_.start_paused;
-  // Epoch advance = every older-epoch cache entry is unreachable; purge.
+  // Epoch advance: delta-aware invalidation (footprint-disjoint entries
+  // carry forward) + warm incremental state maintenance.
   snaps_.set_epoch_listener(
-      [this](std::uint64_t epoch) { cache_.invalidate_before(epoch); });
+      [this](std::uint64_t epoch, const store::GraphView& view) {
+        on_epoch_published(epoch, view);
+      });
 }
 
 QueryScheduler::~QueryScheduler() {
@@ -218,6 +254,76 @@ void QueryScheduler::drain() {
   });
 }
 
+void QueryScheduler::on_epoch_published(std::uint64_t epoch,
+                                        const store::GraphView& view) {
+  std::shared_ptr<const store::DeltaSummary> delta;
+  {
+    std::lock_guard<std::mutex> lk(warm_mu_);
+    const auto s = view.delta_summary();
+    // The summary describes the transition FROM the view's predecessor:
+    // it justifies carrying cached answers only if the previously
+    // published view was exactly that predecessor. Anything else (first
+    // publish, fresh seed, skipped store epochs, a different store) must
+    // degrade to the whole-epoch wipe.
+    const bool contiguous = s != nullptr && s->epoch == view.epoch() &&
+                            saw_publish_ &&
+                            last_store_epoch_ + 1 == view.epoch();
+    if (contiguous) {
+      delta = s;
+      deltas_.push_back(s);
+      while (deltas_.size() > opts_.max_delta_history) deltas_.pop_front();
+    } else if (s != nullptr && s->epoch == view.epoch() && saw_publish_ &&
+               view.epoch() == last_store_epoch_) {
+      // Re-publication of the same store version (e.g. after a background
+      // compaction folded the chain — fold preserves epoch and summary):
+      // content is identical, so everything carries (an empty summary is
+      // non-structural) and the warm state + history stay valid. The
+      // summary requirement keeps unrelated flat views — which all report
+      // store epoch 0 — on the wipe path below.
+      auto same = std::make_shared<store::DeltaSummary>();
+      same->epoch = view.epoch();
+      delta = std::move(same);
+    } else {
+      deltas_.clear();
+      warm_pr_.reset();
+      warm_wcc_.reset();
+    }
+    last_store_epoch_ = view.epoch();
+    saw_publish_ = true;
+  }
+  cache_.on_epoch_publish(epoch, std::move(delta));
+}
+
+bool QueryScheduler::merged_delta(std::uint64_t from, std::uint64_t to,
+                                  store::DeltaSummary& out) const {
+  if (from == to) {
+    out = store::DeltaSummary{};
+    out.epoch = to;
+    return true;
+  }
+  if (from > to || deltas_.empty() || last_store_epoch_ != to) return false;
+  std::vector<std::shared_ptr<const store::DeltaSummary>> chain;
+  chain.reserve(deltas_.size());
+  for (const auto& s : deltas_) {
+    if (s->epoch > from) chain.push_back(s);
+  }
+  // deltas_ is contiguous and ends at `to`; the chain covers (from, to]
+  // exactly when its first element is from+1 (otherwise history was
+  // trimmed past the warm result's epoch).
+  if (chain.empty() || chain.front()->epoch != from + 1) return false;
+  out = store::merge_summaries(chain);
+  return true;
+}
+
+void QueryScheduler::count_incremental(bool served) {
+  std::lock_guard<std::mutex> lk(qmu_);
+  if (served) {
+    ++stats_.incremental_served;
+  } else {
+    ++stats_.incremental_fallbacks;
+  }
+}
+
 void QueryScheduler::drain_one() {
   std::unique_ptr<Pending> first;
   std::vector<std::unique_ptr<Pending>> batch;
@@ -301,7 +407,10 @@ void QueryScheduler::execute_single(Pending& p) {
   r.wait_ms = wait_ms;
   r.epoch = snap.epoch();
   if (r.ok()) {
-    model_.observe(p.desc.kind, p.est.raw_ms, r.exec_ms);
+    // An incremental serve already fed observe_incremental inside
+    // run_kernel; feeding its (much smaller) time into the batch EWMA
+    // would poison the batch calibration.
+    if (!r.incremental) model_.observe(p.desc.kind, p.est.raw_ms, r.exec_ms);
     if (p.desc.use_cache) {
       obs::ScopedSpan span("serve.cache_write", p.desc.trace);
       cache_.insert(QueryKey::of(p.desc, snap.epoch()),
@@ -390,6 +499,7 @@ void QueryScheduler::execute_bfs_batch(
       r.dist = std::move(solo[i].dist);
       r.reached = solo[i].reached;
     }
+    if (r.status == QueryStatus::kOk) set_bfs_footprint(r);
     r.kind = QueryKind::kBfs;
     r.batched = fused;
     r.exec_ms = exec_ms;
@@ -430,22 +540,117 @@ QueryResult QueryScheduler::run_kernel(const QueryDesc& desc,
       auto res = kernels::bfs(v, desc.seed);
       r.dist = std::move(res.dist);
       r.reached = res.reached;
+      set_bfs_footprint(r);
       break;
     }
     case QueryKind::kPageRankTopK: {
-      const auto res = kernels::pagerank(v.csr(), serving_pagerank_opts());
-      r.topk = kernels::pagerank_topk(res, desc.k);
+      // Tier choice: refine the previous epoch's ranks over the merged
+      // delta chain when warm state is fresh enough and the cost model
+      // predicts refinement beats a batch recompute. update_pagerank
+      // self-falls-back (shape mismatch, churn, non-convergence), so the
+      // answer is always within batch tolerance.
+      std::shared_ptr<const kernels::PageRankResult> prev;
+      store::DeltaSummary merged;
+      if (opts_.enable_incremental && desc.allow_incremental) {
+        std::lock_guard<std::mutex> lk(warm_mu_);
+        if (warm_pr_ != nullptr && warm_pr_epoch_ <= v.epoch() &&
+            merged_delta(warm_pr_epoch_, v.epoch(), merged)) {
+          prev = warm_pr_;
+        }
+      }
+      std::shared_ptr<const kernels::PageRankResult> res;
+      if (prev != nullptr) {
+        const CostEstimate inc_est = model_.predict_incremental(
+            desc, n, v.num_arcs(),
+            static_cast<vid_t>(merged.changed_vertices.size()));
+        const CostEstimate batch_est = model_.predict(desc, n, v.num_arcs());
+        if (inc_est.ms <= batch_est.ms) {
+          kernels::IncrementalOutcome out;
+          core::WallTimer inc_timer;
+          res = std::make_shared<const kernels::PageRankResult>(
+              kernels::update_pagerank(*prev, merged, v,
+                                       serving_pagerank_opts(),
+                                       serving_inc_opts(), &out));
+          r.incremental = out.incremental;
+          // Observed unconditionally: when the refinement fell back, the
+          // timer covers warm attempt + internal batch recompute, so the
+          // EWMA learns the tier's true expected cost (including fallback
+          // risk) and stops picking a tier that keeps paying double.
+          model_.observe_incremental(desc.kind, inc_est.raw_ms,
+                                     inc_timer.millis());
+          count_incremental(out.incremental);
+        }
+      }
+      if (res == nullptr) {
+        res = std::make_shared<const kernels::PageRankResult>(
+            kernels::pagerank(v.csr(), serving_pagerank_opts()));
+      }
+      {
+        std::lock_guard<std::mutex> lk(warm_mu_);
+        if (v.epoch() >= warm_pr_epoch_ || warm_pr_ == nullptr) {
+          warm_pr_ = res;
+          warm_pr_epoch_ = v.epoch();
+        }
+      }
+      r.topk = kernels::pagerank_topk(*res, desc.k);
       break;
     }
     case QueryKind::kJaccardNeighbors: {
-      r.neighbors = kernels::jaccard_query(v.csr(), desc.seed, desc.threshold);
+      // Delta-native query (no O(|E|) fold); the recorded footprint —
+      // seed + neighbors + 2-hop candidates — lets the cache carry this
+      // answer across every epoch whose delta is disjoint from it, which
+      // is the incremental tier for a purely local query.
+      r.neighbors = kernels::jaccard_query(v, desc.seed, desc.threshold);
       if (r.neighbors.size() > desc.k) r.neighbors.resize(desc.k);
+      auto fp = kernels::jaccard_footprint(v, desc.seed, kFootprintCap);
+      if (!fp.empty()) {
+        r.footprint.global = false;
+        r.footprint.verts = std::move(fp);
+      }
       break;
     }
     case QueryKind::kWcc: {
-      const auto res = kernels::wcc_label_propagation(v);
-      r.num_components = res.num_components;
-      r.largest_component = res.largest_size;
+      std::shared_ptr<const kernels::ComponentsResult> prev;
+      store::DeltaSummary merged;
+      if (opts_.enable_incremental && desc.allow_incremental) {
+        std::lock_guard<std::mutex> lk(warm_mu_);
+        if (warm_wcc_ != nullptr && warm_wcc_epoch_ <= v.epoch() &&
+            merged_delta(warm_wcc_epoch_, v.epoch(), merged)) {
+          prev = warm_wcc_;
+        }
+      }
+      std::shared_ptr<const kernels::ComponentsResult> res;
+      if (prev != nullptr) {
+        const CostEstimate inc_est = model_.predict_incremental(
+            desc, n, v.num_arcs(),
+            static_cast<vid_t>(merged.changed_vertices.size()));
+        const CostEstimate batch_est = model_.predict(desc, n, v.num_arcs());
+        if (inc_est.ms <= batch_est.ms) {
+          kernels::IncrementalOutcome out;
+          core::WallTimer inc_timer;
+          res = std::make_shared<const kernels::ComponentsResult>(
+              kernels::update_wcc(*prev, merged, v, serving_inc_opts(), &out));
+          r.incremental = out.incremental;
+          // Unconditional for the same reason as PageRank: fallbacks teach
+          // the EWMA the tier's true cost.
+          model_.observe_incremental(desc.kind, inc_est.raw_ms,
+                                     inc_timer.millis());
+          count_incremental(out.incremental);
+        }
+      }
+      if (res == nullptr) {
+        res = std::make_shared<const kernels::ComponentsResult>(
+            kernels::wcc_label_propagation(v));
+      }
+      {
+        std::lock_guard<std::mutex> lk(warm_mu_);
+        if (v.epoch() >= warm_wcc_epoch_ || warm_wcc_ == nullptr) {
+          warm_wcc_ = res;
+          warm_wcc_epoch_ = v.epoch();
+        }
+      }
+      r.num_components = res->num_components;
+      r.largest_component = res->largest_size;
       break;
     }
     case QueryKind::kSubgraphExtract: {
@@ -459,6 +664,13 @@ QueryResult QueryScheduler::run_kernel(const QueryDesc& desc,
         });
       }
       r.subgraph_arcs = arcs;
+      // Membership is decided by the adjacency of vertices within the
+      // radius and the arc count by adjacency of members, so the member
+      // set is a sound dependency footprint.
+      if (r.members.size() <= kFootprintCap) {
+        r.footprint.global = false;
+        r.footprint.verts = r.members;  // khop returns them sorted
+      }
       break;
     }
   }
@@ -572,7 +784,7 @@ QueryResult QueryScheduler::execute_now(const QueryDesc& desc) {
     }
   }
   if (r.ok()) {
-    model_.observe(desc.kind, est.raw_ms, r.exec_ms);
+    if (!r.incremental) model_.observe(desc.kind, est.raw_ms, r.exec_ms);
     if (desc.use_cache) {
       obs::ScopedSpan span("serve.cache_write", desc.trace);
       cache_.insert(QueryKey::of(desc, snap.epoch()),
@@ -632,7 +844,9 @@ engine::CounterGroup QueryScheduler::counters() const {
            {"failed", st.failed},
            {"deadline_misses", st.deadline_misses},
            {"fused_batches", st.batches},
-           {"batched_queries", st.batched_queries}}};
+           {"batched_queries", st.batched_queries},
+           {"incremental_served", st.incremental_served},
+           {"incremental_fallbacks", st.incremental_fallbacks}}};
 }
 
 }  // namespace ga::server

@@ -7,6 +7,17 @@
 // stalling the queue. Same-kernel batching fuses up to kMaxMultiSourceSeeds
 // concurrent BFS requests into one engine::multi_source_bfs pass, and every
 // completed result lands in the epoch-keyed ResultCache.
+//
+// Incremental serving: each epoch publish delivers the store's
+// DeltaSummary through the snapshot listener. The scheduler keeps a
+// bounded, contiguous history of summaries plus the last computed
+// PageRank/WCC results, and for each new query lets the cost model choose
+// between three serving tiers — cached answer (delta-aware carry-forward
+// in ResultCache), incremental refinement of the warm result against the
+// merged delta chain (kernels::update_*), or batch recompute. Refinement
+// self-falls-back to batch when its preconditions fail (deletes for WCC,
+// churn/convergence for PageRank), so answers are always exact-or-
+// tolerance-equivalent to batch.
 #pragma once
 
 #include <chrono>
@@ -24,6 +35,15 @@
 #include "server/result_cache.hpp"
 #include "server/snapshot.hpp"
 
+namespace ga::kernels {
+struct ComponentsResult;
+struct PageRankResult;
+}  // namespace ga::kernels
+
+namespace ga::store {
+struct DeltaSummary;
+}
+
 namespace ga::server {
 
 struct SchedulerOptions {
@@ -37,6 +57,13 @@ struct SchedulerOptions {
   bool enable_batching = true;
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
+  /// Serve PageRank/WCC by refining the previous epoch's warm result
+  /// against the published DeltaSummary chain when the cost model predicts
+  /// refinement beats a batch recompute.
+  bool enable_incremental = true;
+  /// Delta summaries retained for warm-state catch-up; warm results older
+  /// than this many epochs fall back to batch recompute.
+  std::size_t max_delta_history = 32;
   /// Tests: queue submissions without executing until resume() — makes
   /// batching and priority order deterministic.
   bool start_paused = false;
@@ -55,6 +82,8 @@ struct SchedulerStats {
   std::uint64_t deadline_misses = 0;   // admitted but budget expired queued
   std::uint64_t batches = 0;           // fused multi-source passes
   std::uint64_t batched_queries = 0;   // queries served by those passes
+  std::uint64_t incremental_served = 0;     // refined from warm state
+  std::uint64_t incremental_fallbacks = 0;  // refinement chosen, fell back
 };
 
 class QueryScheduler {
@@ -108,6 +137,16 @@ class QueryScheduler {
   /// Runs the kernel for `desc` against `snap`, filling payload fields.
   QueryResult run_kernel(const QueryDesc& desc, const SnapshotRef& snap);
   void finish(Pending& p, QueryResult&& r);
+  /// Epoch listener body: maintains the contiguous delta history + warm
+  /// incremental state, then routes the delta to the cache's delta-aware
+  /// invalidation.
+  void on_epoch_published(std::uint64_t epoch, const store::GraphView& view);
+  /// Merges the summary chain covering store epochs (from, to] into `out`.
+  /// Returns false when the retained history does not reach back to
+  /// `from` (warm state too stale → batch). warm_mu_ must be held.
+  bool merged_delta(std::uint64_t from, std::uint64_t to,
+                    store::DeltaSummary& out) const;
+  void count_incremental(bool served);
   static core::TaskPriority pool_priority(QueryClass c) {
     return static_cast<core::TaskPriority>(c);
   }
@@ -124,6 +163,20 @@ class QueryScheduler {
   std::size_t in_flight_ = 0;
   bool paused_ = false;
   SchedulerStats stats_;
+
+  // Warm incremental state, keyed by STORE epoch (view.epoch()) — distinct
+  // from the manager's publish epoch: the store numbers graph versions,
+  // the manager numbers publications. deltas_ holds a contiguous run of
+  // summaries ending at last_store_epoch_; any non-contiguous publish
+  // clears it (and the warm results), so a merge over it is always exact.
+  mutable std::mutex warm_mu_;
+  std::uint64_t last_store_epoch_ = 0;
+  bool saw_publish_ = false;
+  std::deque<std::shared_ptr<const store::DeltaSummary>> deltas_;
+  std::shared_ptr<const kernels::PageRankResult> warm_pr_;
+  std::uint64_t warm_pr_epoch_ = 0;
+  std::shared_ptr<const kernels::ComponentsResult> warm_wcc_;
+  std::uint64_t warm_wcc_epoch_ = 0;
 
   // Declared last: destroyed first, so worker tasks (which borrow every
   // member above) are joined before any state they touch goes away.

@@ -25,8 +25,12 @@ SnapshotManager::~SnapshotManager() {
 std::uint64_t SnapshotManager::publish(store::GraphView v) {
   GA_CHECK(v.valid(), "SnapshotManager::publish: empty view");
   const auto t0 = std::chrono::steady_clock::now();
-  std::function<void(std::uint64_t)> listener;
+  EpochListener listener;
   std::uint64_t epoch;
+  // Cheap handle copy (shared base + layer pointers) so the listener can
+  // read the published view outside the lock without racing a subsequent
+  // publish that retires the snapshot.
+  const store::GraphView published = v;
   {
     std::lock_guard<std::mutex> lk(mu_);
     epoch = epoch_.load(std::memory_order_relaxed) + 1;
@@ -37,7 +41,7 @@ std::uint64_t SnapshotManager::publish(store::GraphView v) {
     reclaim_locked();
     listener = listener_;
   }
-  if (listener) listener(epoch);
+  if (listener) listener(epoch, published);
   if (obs::enabled()) {
     auto& reg = obs::MetricsRegistry::global();
     static obs::Counter& c_pub = reg.counter("snapshot.epochs_published_total");
@@ -85,7 +89,7 @@ void SnapshotManager::reclaim_locked() {
   reclaimed_ += n - retired_.size();
 }
 
-void SnapshotManager::set_epoch_listener(std::function<void(std::uint64_t)> fn) {
+void SnapshotManager::set_epoch_listener(EpochListener fn) {
   std::lock_guard<std::mutex> lk(mu_);
   listener_ = std::move(fn);
 }

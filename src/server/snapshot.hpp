@@ -143,8 +143,14 @@ class SnapshotManager {
     return epoch_.load(std::memory_order_acquire);
   }
 
-  /// Called with the new epoch after each publish (single listener).
-  void set_epoch_listener(std::function<void(std::uint64_t)> fn);
+  /// Called after each publish, outside the lock, with the new epoch and
+  /// the published view (single listener). The view carries the store's
+  /// DeltaSummary when the epoch was produced by a delta apply — the
+  /// scheduler's delta-aware cache invalidation and warm incremental
+  /// state both hang off this hook.
+  using EpochListener =
+      std::function<void(std::uint64_t, const store::GraphView&)>;
+  void set_epoch_listener(EpochListener fn);
 
   SnapshotManagerStats stats() const;
   engine::CounterGroup counters() const;
@@ -161,7 +167,7 @@ class SnapshotManager {
   std::atomic<std::uint64_t> epoch_{0};
   std::uint64_t reclaimed_ = 0;
   std::uint64_t acquires_ = 0;
-  std::function<void(std::uint64_t)> listener_;
+  EpochListener listener_;
 };
 
 }  // namespace ga::server

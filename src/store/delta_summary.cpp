@@ -1,0 +1,98 @@
+#include "store/delta_summary.hpp"
+
+#include <algorithm>
+
+#include "store/delta.hpp"
+#include "store/graph_view.hpp"
+
+namespace ga::store {
+
+namespace {
+
+void sort_unique(std::vector<vid_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+bool DeltaSummary::touches(vid_t v) const {
+  return std::binary_search(changed_vertices.begin(), changed_vertices.end(),
+                            v);
+}
+
+bool DeltaSummary::intersects(std::span<const vid_t> sorted) const {
+  // Linear merge over two sorted sets; both are typically tiny (a delta's
+  // endpoints vs a query footprint).
+  auto a = changed_vertices.begin();
+  auto b = sorted.begin();
+  while (a != changed_vertices.end() && b != sorted.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+DeltaSummary summarize_layer(const DeltaLayer& layer,
+                             const GraphView& predecessor) {
+  DeltaSummary s;
+  for (const vid_t u : layer.touched()) {
+    const auto ops = layer.ops(u);
+    for (const vid_t v : ops.add_tgt) {
+      if (predecessor.has_edge(u, v)) {
+        ++s.weight_updates;
+      } else {
+        s.inserted_arcs.emplace_back(u, v);
+      }
+      s.changed_vertices.push_back(u);
+      s.changed_vertices.push_back(v);
+    }
+    for (const vid_t v : ops.del_tgt) {
+      if (!predecessor.has_edge(u, v)) continue;  // delete of missing: no-op
+      s.deleted_arcs.emplace_back(u, v);
+      s.changed_vertices.push_back(u);
+      s.changed_vertices.push_back(v);
+    }
+  }
+  sort_unique(s.changed_vertices);
+  for (const auto& [v, value] : layer.prop_patches()) {
+    (void)value;
+    s.property_vertices.push_back(v);
+  }
+  sort_unique(s.property_vertices);
+  if (layer.num_vertices() > predecessor.num_vertices()) {
+    s.vertex_growth = layer.num_vertices() - predecessor.num_vertices();
+  }
+  return s;
+}
+
+DeltaSummary merge_summaries(
+    std::span<const std::shared_ptr<const DeltaSummary>> chain) {
+  DeltaSummary out;
+  for (const auto& s : chain) {
+    if (!s) continue;
+    out.epoch = s->epoch;
+    out.changed_vertices.insert(out.changed_vertices.end(),
+                                s->changed_vertices.begin(),
+                                s->changed_vertices.end());
+    out.inserted_arcs.insert(out.inserted_arcs.end(), s->inserted_arcs.begin(),
+                             s->inserted_arcs.end());
+    out.deleted_arcs.insert(out.deleted_arcs.end(), s->deleted_arcs.begin(),
+                            s->deleted_arcs.end());
+    out.weight_updates += s->weight_updates;
+    out.property_vertices.insert(out.property_vertices.end(),
+                                 s->property_vertices.begin(),
+                                 s->property_vertices.end());
+    out.vertex_growth += s->vertex_growth;
+  }
+  sort_unique(out.changed_vertices);
+  sort_unique(out.property_vertices);
+  return out;
+}
+
+}  // namespace ga::store

@@ -1,0 +1,87 @@
+// DeltaSummary: the per-epoch change manifest that rides alongside every
+// published GraphView. Where a DeltaLayer records the *operations* one
+// epoch applied (including no-op deletes and upserts of existing arcs),
+// the summary records their *effect* against the predecessor view: which
+// vertices' adjacency actually changed, which arcs were really inserted or
+// removed, and which vertex properties were patched. It is what lets the
+// layers above recompute from the delta instead of the whole graph — the
+// kernels' incremental update path and the result cache's footprint-aware
+// invalidation both consume it.
+//
+// Contract:
+//  * changed_vertices is sorted and holds every endpoint of an effective
+//    structural op (insert of a new arc, delete of a present arc, weight
+//    update of an existing arc). Vertices added isolated by vertex growth
+//    are NOT listed — their adjacency is empty before and after.
+//  * inserted_arcs / deleted_arcs are effective ops only, at arc
+//    granularity (an undirected edge contributes both directions), in
+//    layer order. An insert of an existing arc is counted in
+//    weight_updates instead; a delete of a missing arc appears nowhere.
+//  * property_vertices is sorted and independent of the structural sets: a
+//    property-patch-only epoch has empty changed_vertices and
+//    structural() == false.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace ga::store {
+
+class DeltaLayer;
+class GraphView;
+
+struct DeltaSummary {
+  /// Store epoch this summary describes (the view it is attached to);
+  /// the predecessor is epoch - 1.
+  std::uint64_t epoch = 0;
+
+  /// Sorted endpoints of every effective structural op (see header).
+  std::vector<vid_t> changed_vertices;
+  /// Net-new arcs (u, v): absent in the predecessor, present now.
+  std::vector<std::pair<vid_t, vid_t>> inserted_arcs;
+  /// Removed arcs (u, v): present in the predecessor, absent now.
+  std::vector<std::pair<vid_t, vid_t>> deleted_arcs;
+  /// Upserts that hit an existing arc (weight refresh, no topology change).
+  eid_t weight_updates = 0;
+  /// Sorted vertices whose property value was patched this epoch.
+  std::vector<vid_t> property_vertices;
+  /// Vertices appended to the id universe (isolated until an arc arrives).
+  vid_t vertex_growth = 0;
+
+  /// Any adjacency change at all (inserts, deletes, or weight refreshes).
+  /// Property-only and heartbeat epochs are non-structural.
+  bool structural() const {
+    return !inserted_arcs.empty() || !deleted_arcs.empty() ||
+           weight_updates > 0;
+  }
+  bool empty() const {
+    return !structural() && property_vertices.empty() && vertex_growth == 0;
+  }
+
+  /// Did this epoch change v's adjacency?
+  bool touches(vid_t v) const;
+  /// Does the changed-vertex set intersect `sorted` (ascending ids)?
+  bool intersects(std::span<const vid_t> sorted) const;
+};
+
+/// Builds the effect manifest of `layer` applied on top of `predecessor`.
+/// O(Δ log) — the same has_edge probes the store's net-arc accounting
+/// already pays, so apply() folds both into one walk.
+DeltaSummary summarize_layer(const DeltaLayer& layer,
+                             const GraphView& predecessor);
+
+/// Folds consecutive per-epoch summaries (oldest first) into one manifest
+/// covering the whole span — what a consumer catching up over several
+/// epochs feeds to an incremental kernel. Arc lists concatenate without
+/// cancellation (an arc inserted then deleted stays in both lists), which
+/// is conservative for every consumer: fallback triggers fire at least as
+/// often as with exact cancellation.
+DeltaSummary merge_summaries(
+    std::span<const std::shared_ptr<const DeltaSummary>> chain);
+
+}  // namespace ga::store

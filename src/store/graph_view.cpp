@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "store/delta_summary.hpp"
+
 namespace ga::store {
+
+GraphView GraphView::with_summary(
+    std::shared_ptr<const DeltaSummary> s) const {
+  GraphView v = *this;
+  v.summary_ = std::move(s);
+  return v;
+}
 
 GraphView GraphView::of(std::shared_ptr<const graph::CSRGraph> base,
                         std::uint64_t epoch) {

@@ -31,6 +31,8 @@
 
 namespace ga::store {
 
+struct DeltaSummary;
+
 class GraphView {
  public:
   GraphView() = default;
@@ -107,6 +109,17 @@ class GraphView {
   /// bytes held across epochs by these pointers).
   const void* base_id() const { return base_.get(); }
 
+  /// Change manifest of this epoch vs. its immediate predecessor (store
+  /// epoch - 1); attached by VersionedGraphStore::apply and preserved
+  /// across compaction. Null on flat/initial views and views of unknown
+  /// provenance — consumers must then fall back to whole-graph treatment.
+  std::shared_ptr<const DeltaSummary> delta_summary() const {
+    return summary_;
+  }
+  /// Copy of this view carrying `s` as its change manifest. The graph
+  /// content is identical; only the provenance annotation changes.
+  GraphView with_summary(std::shared_ptr<const DeltaSummary> s) const;
+
  private:
   struct FlattenCache {
     std::mutex mu;
@@ -118,6 +131,7 @@ class GraphView {
   std::vector<std::shared_ptr<const DeltaLayer>> chain_;  // oldest..newest
   std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props_;
   std::shared_ptr<FlattenCache> cache_;  // non-null iff delta-backed
+  std::shared_ptr<const DeltaSummary> summary_;
   std::uint64_t epoch_ = 0;
   vid_t n_ = 0;
   eid_t arcs_ = 0;

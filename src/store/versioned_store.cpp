@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "store/delta_summary.hpp"
 
 namespace ga::store {
 
@@ -71,24 +72,23 @@ std::uint64_t VersionedGraphStore::apply(const DeltaBatch& batch) {
         batch.seal(current_.num_vertices()));
     // Exact arc accounting against the predecessor: an insert of an
     // existing arc is a weight update, a delete of a missing arc a no-op.
-    std::int64_t net = 0;
-    for (const vid_t u : layer->touched()) {
-      const auto ops = layer->ops(u);
-      for (const vid_t v : ops.add_tgt) {
-        if (!current_.has_edge(u, v)) ++net;
-      }
-      for (const vid_t v : ops.del_tgt) {
-        if (current_.has_edge(u, v)) --net;
-      }
-    }
+    // summarize_layer pays exactly those has_edge probes, so the same walk
+    // yields both the net arc count and the epoch's change manifest.
+    auto summary =
+        std::make_shared<DeltaSummary>(summarize_layer(*layer, current_));
+    const std::int64_t net =
+        static_cast<std::int64_t>(summary->inserted_arcs.size()) -
+        static_cast<std::int64_t>(summary->deleted_arcs.size());
     layer->net_arcs = net;
     layer->epoch = ++epoch_;
+    summary->epoch = epoch_;
     auto chain = current_.chain();
     chain.push_back(layer);
     next = GraphView(current_.base_ptr(), std::move(chain),
                      current_.folded_props(), epoch_,
                      static_cast<eid_t>(
-                         static_cast<std::int64_t>(current_.num_arcs()) + net));
+                         static_cast<std::int64_t>(current_.num_arcs()) + net))
+               .with_summary(std::move(summary));
     current_ = next;
     ++delta_publishes_;
     publish_us = us_since(t0);
@@ -171,7 +171,8 @@ bool VersionedGraphStore::fold_once() {
         current_.chain().begin() + static_cast<std::ptrdiff_t>(k),
         current_.chain().end());
     current_ = GraphView(std::move(flat), std::move(remaining), std::move(props),
-                         current_.epoch(), current_.num_arcs());
+                         current_.epoch(), current_.num_arcs())
+                   .with_summary(current_.delta_summary());
     ++compactions_;
     last_compact_ms_ = us_since(t0) / 1000.0;
   }

@@ -2,7 +2,7 @@
 // property" kernel (Fig. 1 output class) with O(1) threshold events when
 // vertices enter or leave the k-core. Inserts can only grow the core and
 // deletes only shrink it, so the tracker keeps cheap degree bounds hot and
-// recomputes lazily (the IncrementalCC amortization policy) only when a
+// recomputes lazily (the StreamingComponents amortization policy) only when a
 // query arrives after the bounds say membership may have changed.
 #pragma once
 

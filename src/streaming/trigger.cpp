@@ -147,7 +147,7 @@ void StreamProcessor::fire(vid_t seed, const std::string& reason,
       "trigger_analytic", [&] { return analytic_(sub, seed_local); },
       [&] {
         // Incremental approximation kept hot by the stream trackers
-        // (component size by default — an incremental_cc answer).
+        // (component size by default — a StreamingComponents answer).
         return degraded_analytic_
                    ? degraded_analytic_(seed)
                    : static_cast<double>(cc_.component_size(seed));

@@ -14,10 +14,10 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "kernels/incremental.hpp"
 #include "resilience/ingest_queue.hpp"
 #include "resilience/retry.hpp"
 #include "store/versioned_store.hpp"
-#include "streaming/incremental_cc.hpp"
 #include "streaming/incremental_triangles.hpp"
 #include "streaming/topk_tracker.hpp"
 #include "streaming/update_stream.hpp"
@@ -79,7 +79,7 @@ class StreamProcessor {
   /// retry stage executor (stages "trigger_extract" / "trigger_analytic").
   /// When the full analytic exhausts its retries or misses its deadline,
   /// the alert degrades to the incremental approximation already kept hot
-  /// (the seed's component size from IncrementalCC by default; override
+  /// (the seed's component size from StreamingComponents by default; override
   /// with set_degraded_analytic, e.g. an incremental_pagerank rank).
   void set_stage_executor(resilience::StageExecutor* executor,
                           resilience::StageOptions stage_opts = {});
@@ -118,7 +118,7 @@ class StreamProcessor {
   const std::vector<Alert>& alerts() const { return alerts_; }
   const StreamStats& stats() const { return stats_; }
   IncrementalTriangles& triangles() { return tris_; }
-  IncrementalCC& components() { return cc_; }
+  kernels::StreamingComponents& components() { return cc_; }
   TopKTracker& degree_topk() { return topk_; }
 
  private:
@@ -129,7 +129,7 @@ class StreamProcessor {
 
   graph::DynamicGraph& g_;
   TriggerPolicy policy_;
-  IncrementalCC cc_;
+  kernels::StreamingComponents cc_;
   IncrementalTriangles tris_;
   TopKTracker topk_;
   SubgraphAnalytic analytic_;

@@ -1,0 +1,636 @@
+// Incremental-compute suite: the DeltaSummary contract (effective-op
+// semantics, edge-case epochs), the registry-wide incremental-vs-batch
+// equivalence sweep over a randomized insert/delete stream (including
+// fault-injected mid-stream fallback), and the serving layer's delta-aware
+// cache carry/invalidate + incremental-tier behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/incremental.hpp"
+#include "kernels/jaccard.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/registry.hpp"
+#include "obs/metrics.hpp"
+#include "server/server.hpp"
+#include "store/delta_summary.hpp"
+#include "store/versioned_store.hpp"
+
+using namespace ga;
+using server::AnalyticsServer;
+using server::QueryDesc;
+using server::QueryKind;
+using store::DeltaBatch;
+using store::DeltaSummary;
+using store::VersionedGraphStore;
+
+namespace {
+
+store::CompactionPolicy no_compact() {
+  store::CompactionPolicy p;
+  p.auto_compact = false;
+  return p;
+}
+
+/// Two disjoint 4-vertex paths (0-1-2-3 and 10-11-12-13) in a 14-vertex
+/// universe — deltas confined to one component are provably disjoint from
+/// queries rooted in the other.
+graph::CSRGraph two_component_graph() {
+  std::vector<graph::Edge> es = {{0, 1}, {1, 2}, {2, 3},
+                                 {10, 11}, {11, 12}, {12, 13}};
+  return graph::build_undirected(std::move(es), 14);
+}
+
+std::shared_ptr<const DeltaSummary> apply_one(VersionedGraphStore& st,
+                                              const DeltaBatch& b) {
+  st.apply(b);
+  return st.view().delta_summary();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeltaSummary contract
+
+TEST(DeltaSummaryContract, DeletesOnlyEpoch) {
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch b;
+  b.delete_edge(1, 2);
+  const auto s = apply_one(st, b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->epoch, st.view().epoch());
+  EXPECT_TRUE(s->structural());
+  EXPECT_TRUE(s->inserted_arcs.empty());
+  EXPECT_EQ(s->deleted_arcs.size(), 2u);  // undirected: both directions
+  EXPECT_EQ(s->changed_vertices, (std::vector<vid_t>{1, 2}));
+  EXPECT_EQ(s->weight_updates, 0u);
+}
+
+TEST(DeltaSummaryContract, InsertThenDeleteOfNewEdgeInOneBatchIsNoop) {
+  // The seal's latest-op-wins dedup leaves a delete of an edge the
+  // predecessor never had — an effective no-op, so the changed-vertex set
+  // is empty and structural() is false.
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch b;
+  b.insert_edge(0, 12);
+  b.delete_edge(0, 12);
+  const auto s = apply_one(st, b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->structural());
+  EXPECT_TRUE(s->changed_vertices.empty());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(DeltaSummaryContract, DeleteOfMissingEdgeAppearsNowhere) {
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch b;
+  b.delete_edge(0, 13);  // never existed
+  const auto s = apply_one(st, b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->empty());
+  EXPECT_TRUE(s->deleted_arcs.empty());
+}
+
+TEST(DeltaSummaryContract, UpsertOfExistingEdgeIsWeightUpdate) {
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch b;
+  b.insert_edge(0, 1, 7.5f);
+  const auto s = apply_one(st, b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->structural());
+  EXPECT_TRUE(s->inserted_arcs.empty());
+  EXPECT_EQ(s->weight_updates, 2u);  // both arcs of the undirected edge
+  EXPECT_EQ(s->changed_vertices, (std::vector<vid_t>{0, 1}));
+}
+
+TEST(DeltaSummaryContract, PropertyPatchOnlyEpochIsNonStructural) {
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch b;
+  b.set_vertex_property(3, 9.0f);
+  b.set_vertex_property(11, -1.0f);
+  const auto s = apply_one(st, b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->structural());
+  EXPECT_FALSE(s->empty());
+  EXPECT_TRUE(s->changed_vertices.empty());
+  EXPECT_EQ(s->property_vertices, (std::vector<vid_t>{3, 11}));
+}
+
+TEST(DeltaSummaryContract, IsolatedVertexGrowthNotInChangedSet) {
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch b;
+  b.add_vertices(2);
+  const auto s = apply_one(st, b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->structural());
+  EXPECT_EQ(s->vertex_growth, 2u);
+  EXPECT_TRUE(s->changed_vertices.empty());
+}
+
+TEST(DeltaSummaryContract, TouchesAndIntersects) {
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch b;
+  b.insert_edge(2, 10);
+  const auto s = apply_one(st, b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->changed_vertices, (std::vector<vid_t>{2, 10}));
+  EXPECT_TRUE(s->touches(2));
+  EXPECT_TRUE(s->touches(10));
+  EXPECT_FALSE(s->touches(3));
+  const std::vector<vid_t> hit = {3, 4, 10};
+  const std::vector<vid_t> miss = {4, 5, 11};
+  EXPECT_TRUE(s->intersects(hit));
+  EXPECT_FALSE(s->intersects(miss));
+  EXPECT_FALSE(s->intersects(std::vector<vid_t>{}));
+}
+
+TEST(DeltaSummaryContract, MergeConcatenatesWithoutCancellation) {
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  DeltaBatch ins;
+  ins.insert_edge(0, 10);
+  const auto s1 = apply_one(st, ins);
+  DeltaBatch del;
+  del.delete_edge(0, 10);
+  const auto s2 = apply_one(st, del);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  const std::vector<std::shared_ptr<const DeltaSummary>> chain = {s1, s2};
+  const DeltaSummary m = store::merge_summaries(chain);
+  // Insert-then-delete across epochs stays in BOTH lists (conservative:
+  // every consumer's fallback trigger fires at least as often).
+  EXPECT_EQ(m.inserted_arcs.size(), 2u);
+  EXPECT_EQ(m.deleted_arcs.size(), 2u);
+  EXPECT_EQ(m.changed_vertices, (std::vector<vid_t>{0, 10}));
+  EXPECT_EQ(m.epoch, s2->epoch);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-vs-batch equivalence over a randomized update stream
+
+namespace {
+
+/// One randomized epoch: ~`ops` inserts/deletes over n vertices. Every
+/// third epoch is insert-only so the WCC warm path (which falls back on
+/// any effective delete) is exercised alongside its fallback.
+DeltaBatch random_batch(core::Xoshiro256& rng, vid_t n, int epoch, int ops) {
+  DeltaBatch b;
+  const bool insert_only = epoch % 3 == 0;
+  for (int i = 0; i < ops; ++i) {
+    const vid_t u = static_cast<vid_t>(rng.next_below(n));
+    const vid_t v = static_cast<vid_t>(rng.next_below(n));
+    if (u == v) continue;
+    if (!insert_only && rng.next_below(100) < 35) {
+      b.delete_edge(u, v);
+    } else {
+      b.insert_edge(u, v, 1.0f + static_cast<float>(rng.next_below(4)));
+    }
+  }
+  return b;
+}
+
+void expect_jaccard_equal(const std::vector<kernels::JaccardPair>& got,
+                          const std::vector<kernels::JaccardPair>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].u, want[i].u);
+    EXPECT_EQ(got[i].v, want[i].v);
+    EXPECT_DOUBLE_EQ(got[i].coefficient, want[i].coefficient);
+  }
+}
+
+}  // namespace
+
+TEST(IncrementalEquivalence, FiftyEpochRandomizedStreamMatchesBatch) {
+  const auto base = graph::make_rmat({.scale = 8, .edge_factor = 8, .seed = 99});
+  const vid_t n = base.num_vertices();
+  VersionedGraphStore st(base, no_compact());
+
+  kernels::PageRankOptions pr_opts;
+  pr_opts.tolerance = 1e-10;
+  pr_opts.max_iters = 400;
+  kernels::IncrementalOptions inc;
+  inc.max_warm_iters = 400;
+  inc.max_changed_fraction = 1.0;  // equivalence sweep: never churn out
+
+  store::GraphView view = st.view();
+  kernels::PageRankResult pr = kernels::pagerank(view.csr(), pr_opts);
+  ASSERT_TRUE(pr.converged);
+  kernels::ComponentsResult cc = kernels::wcc_label_propagation(view);
+  // Jaccard seed: a peripheral vertex with a small 2-hop footprint. An RMAT
+  // hub's footprint covers most of the graph, so every epoch would
+  // intersect it and the warm path would never fire.
+  vid_t seed = 0;
+  bool found_seed = false;
+  for (vid_t u = n; u-- > 0;) {
+    const auto fp = kernels::jaccard_footprint(view, u, 4096);
+    if (!fp.empty() && fp.size() <= 16) {
+      seed = u;
+      found_seed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_seed);
+  kernels::JaccardResult jac{kernels::jaccard_query(view, seed)};
+
+  core::Xoshiro256 rng(7);
+  std::uint64_t warm_pr = 0, warm_cc = 0, warm_jac = 0;
+  for (int epoch = 1; epoch <= 55; ++epoch) {
+    st.apply(random_batch(rng, n, epoch, 12 + static_cast<int>(rng.next_below(12))));
+    view = st.view();
+    const auto s = view.delta_summary();
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->epoch, view.epoch());
+
+    kernels::IncrementalOutcome o_pr, o_cc, o_jac;
+    pr = kernels::update_pagerank(pr, *s, view, pr_opts, inc, &o_pr);
+    cc = kernels::update_wcc(cc, *s, view, inc, &o_cc);
+    const auto fp = kernels::jaccard_footprint(view, seed, 4096);
+    jac = kernels::update_jaccard_query(jac, seed, 0.0, fp, *s, view, inc,
+                                        &o_jac);
+    warm_pr += o_pr.incremental;
+    warm_cc += o_cc.incremental;
+    warm_jac += o_jac.incremental;
+
+    const auto pr_ref = kernels::pagerank(view.csr(), pr_opts);
+    ASSERT_EQ(pr.rank.size(), pr_ref.rank.size());
+    for (vid_t u = 0; u < n; ++u) {
+      ASSERT_NEAR(pr.rank[u], pr_ref.rank[u], 1e-6)
+          << "epoch " << epoch << " vertex " << u;
+    }
+    const auto cc_ref = kernels::wcc_label_propagation(view);
+    ASSERT_EQ(cc.label, cc_ref.label) << "epoch " << epoch;
+    ASSERT_EQ(cc.num_components, cc_ref.num_components);
+    ASSERT_EQ(cc.largest_size, cc_ref.largest_size);
+    expect_jaccard_equal(jac.pairs, kernels::jaccard_query(view, seed));
+  }
+  // The sweep must exercise the warm path, not just perpetual fallback.
+  EXPECT_GT(warm_pr, 25u);
+  EXPECT_GT(warm_cc, 0u);   // insert-only epochs
+  EXPECT_GT(warm_jac, 0u);  // epochs disjoint from the seed's 2-hop set
+}
+
+TEST(IncrementalEquivalence, FaultInjectedMidStreamFallsBackToBatch) {
+  const auto base = graph::make_rmat({.scale = 7, .edge_factor = 6, .seed = 3});
+  const vid_t n = base.num_vertices();
+  VersionedGraphStore st(base, no_compact());
+
+  kernels::PageRankOptions pr_opts;
+  pr_opts.tolerance = 1e-10;
+  pr_opts.max_iters = 400;
+  bool armed = false;
+  kernels::IncrementalOptions inc;
+  inc.max_warm_iters = 400;
+  inc.max_changed_fraction = 1.0;
+  inc.fault_hook = [&](const char* stage) {
+    if (armed) throw std::runtime_error(std::string("injected at ") + stage);
+  };
+
+  store::GraphView view = st.view();
+  kernels::PageRankResult pr = kernels::pagerank(view.csr(), pr_opts);
+  kernels::ComponentsResult cc = kernels::wcc_label_propagation(view);
+
+  core::Xoshiro256 rng(17);
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    DeltaBatch b;  // insert-only: keeps the WCC warm path eligible
+    for (int i = 0; i < 8; ++i) {
+      const vid_t u = static_cast<vid_t>(rng.next_below(n));
+      const vid_t v = static_cast<vid_t>(rng.next_below(n));
+      if (u != v) b.insert_edge(u, v);
+    }
+    st.apply(b);
+    view = st.view();
+    const auto s = view.delta_summary();
+    ASSERT_NE(s, nullptr);
+
+    armed = epoch == 5;  // one poisoned epoch mid-stream
+    kernels::IncrementalOutcome o_pr, o_cc;
+    pr = kernels::update_pagerank(pr, *s, view, pr_opts, inc, &o_pr);
+    cc = kernels::update_wcc(cc, *s, view, inc, &o_cc);
+    armed = false;
+
+    if (epoch == 5) {
+      EXPECT_FALSE(o_pr.incremental);
+      EXPECT_EQ(o_pr.fallback, kernels::IncrementalFallback::kFault);
+      EXPECT_FALSE(o_cc.incremental);
+      EXPECT_EQ(o_cc.fallback, kernels::IncrementalFallback::kFault);
+    }
+    // Fault or not, results stay batch-equivalent and the stream continues.
+    const auto pr_ref = kernels::pagerank(view.csr(), pr_opts);
+    for (vid_t u = 0; u < n; ++u) {
+      ASSERT_NEAR(pr.rank[u], pr_ref.rank[u], 1e-6);
+    }
+    ASSERT_EQ(cc.label, kernels::wcc_label_propagation(view).label);
+  }
+}
+
+TEST(IncrementalRegistry, RunnersFoldFiftyEpochsAndMatchBatchDigests) {
+  // Registry-wide: exactly the kernels with an incremental policy expose
+  // make_incremental, and their type-erased runners stay batch-equivalent
+  // across the stream (exact digests for WCC/Jaccard; PageRank equivalence
+  // is covered to tolerance by the typed sweep above).
+  std::vector<std::string> with_inc;
+  std::vector<std::unique_ptr<kernels::IncrementalKernel>> runners;
+  std::vector<std::string> names;
+  for (const auto& info : kernels::registry()) {
+    if (!info.make_incremental) continue;
+    with_inc.push_back(info.name);
+    runners.push_back(info.make_incremental());
+    names.push_back(info.name);
+  }
+  std::sort(with_inc.begin(), with_inc.end());
+  EXPECT_EQ(with_inc,
+            (std::vector<std::string>{"jaccard", "pagerank", "wcc"}));
+
+  const auto base = graph::make_rmat({.scale = 7, .edge_factor = 6, .seed = 21});
+  const vid_t n = base.num_vertices();
+  VersionedGraphStore st(base, no_compact());
+  store::GraphView view = st.view();
+  for (auto& r : runners) EXPECT_FALSE(r->init(view).empty());
+
+  core::Xoshiro256 rng(5);
+  for (int epoch = 1; epoch <= 50; ++epoch) {
+    st.apply(random_batch(rng, n, epoch, 10));
+    view = st.view();
+    const auto s = view.delta_summary();
+    ASSERT_NE(s, nullptr);
+    for (std::size_t i = 0; i < runners.size(); ++i) {
+      runners[i]->update(*s, view);
+      if (names[i] == "wcc" || names[i] == "jaccard") {
+        ASSERT_EQ(runners[i]->digest(), runners[i]->batch_digest(view))
+            << names[i] << " diverged at epoch " << epoch;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-aware result-cache invalidation (serving layer)
+
+namespace {
+
+/// Publishes the store's current view into the server.
+void publish(AnalyticsServer& server, const VersionedGraphStore& st) {
+  server.publish(st.view());
+}
+
+}  // namespace
+
+TEST(DeltaCacheInvalidation, DisjointDeltaCarriesBoundedFootprintEntry) {
+  obs::set_enabled(true);
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t carried0 =
+      reg.counter("serve.cache.delta_carried_total").value();
+
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc bfs;
+  bfs.kind = QueryKind::kBfs;
+  bfs.seed = 0;  // footprint = component {0,1,2,3}
+  const auto cold = server.submit(bfs).get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.footprint.global);
+  EXPECT_EQ(cold.footprint.verts, (std::vector<vid_t>{0, 1, 2, 3}));
+
+  DeltaBatch b;
+  b.insert_edge(10, 13);  // other component: provably disjoint
+  st.apply(b);
+  publish(server, st);
+
+  const auto warm = server.submit(bfs).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cache_hit);  // carried across the epoch publish
+  EXPECT_EQ(warm.dist, cold.dist);
+  const auto cs = server.scheduler().cache().stats();
+  EXPECT_EQ(cs.carried, 1u);
+  EXPECT_EQ(cs.invalidations, 0u);
+  EXPECT_GT(reg.counter("serve.cache.delta_carried_total").value(), carried0);
+  obs::set_enabled(false);
+}
+
+TEST(DeltaCacheInvalidation, IntersectingDeltaDropsEntry) {
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc bfs;
+  bfs.kind = QueryKind::kBfs;
+  bfs.seed = 0;
+  ASSERT_TRUE(server.submit(bfs).get().ok());
+
+  DeltaBatch b;
+  b.insert_edge(3, 4);  // touches the cached query's component
+  st.apply(b);
+  publish(server, st);
+
+  const auto warm = server.submit(bfs).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm.cache_hit);
+  const auto cs = server.scheduler().cache().stats();
+  EXPECT_EQ(cs.carried, 0u);
+  EXPECT_GE(cs.invalidations, 1u);
+}
+
+TEST(DeltaCacheInvalidation, DeletesOnlyEpochInvalidatesOnlyIntersecting) {
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc a, bq;
+  a.kind = bq.kind = QueryKind::kBfs;
+  a.seed = 0;    // component A
+  bq.seed = 10;  // component B
+  ASSERT_TRUE(server.submit(a).get().ok());
+  ASSERT_TRUE(server.submit(bq).get().ok());
+
+  DeltaBatch b;
+  b.delete_edge(11, 12);  // deletes-only epoch, inside component B
+  st.apply(b);
+  publish(server, st);
+
+  EXPECT_TRUE(server.submit(a).get().cache_hit);    // disjoint: carried
+  EXPECT_FALSE(server.submit(bq).get().cache_hit);  // intersecting: dropped
+  const auto cs = server.scheduler().cache().stats();
+  EXPECT_EQ(cs.carried, 1u);
+  EXPECT_EQ(cs.invalidations, 1u);
+}
+
+TEST(DeltaCacheInvalidation, PropertyOnlyEpochCarriesEvenGlobalFootprints) {
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc wcc;
+  wcc.kind = QueryKind::kWcc;
+  const auto cold = server.submit(wcc).get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(cold.footprint.global);
+
+  DeltaBatch b;
+  b.set_vertex_property(2, 5.0f);  // property-patch-only epoch
+  st.apply(b);
+  publish(server, st);
+
+  const auto warm = server.submit(wcc).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cache_hit);  // non-structural: everything carries
+  const auto cs = server.scheduler().cache().stats();
+  EXPECT_EQ(cs.carried, 1u);
+  EXPECT_EQ(cs.invalidations, 0u);
+}
+
+TEST(DeltaCacheInvalidation, StructuralDeltaDropsGlobalFootprints) {
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc wcc;
+  wcc.kind = QueryKind::kWcc;
+  ASSERT_TRUE(server.submit(wcc).get().ok());
+
+  DeltaBatch b;
+  b.insert_edge(0, 13);
+  st.apply(b);
+  publish(server, st);
+
+  EXPECT_FALSE(server.submit(wcc).get().cache_hit);
+  EXPECT_GE(server.scheduler().cache().stats().invalidations, 1u);
+}
+
+TEST(DeltaCacheInvalidation, SummarylessPublishWipesWholeEpoch) {
+  AnalyticsServer server;
+  server.publish(two_component_graph());
+  QueryDesc bfs;
+  bfs.kind = QueryKind::kBfs;
+  bfs.seed = 0;
+  ASSERT_TRUE(server.submit(bfs).get().ok());
+  // A flat publish carries no summary: legacy whole-epoch invalidation,
+  // even though the content happens to be identical.
+  server.publish(two_component_graph());
+  EXPECT_FALSE(server.submit(bfs).get().cache_hit);
+  EXPECT_GE(server.scheduler().cache().stats().invalidations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental serving tier (scheduler chooses refine over recompute)
+
+TEST(IncrementalServing, WccRefinesFromWarmStateAfterInsertOnlyEpoch) {
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc q;
+  q.kind = QueryKind::kWcc;
+  const auto cold = server.submit(q).get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.incremental);
+  EXPECT_EQ(cold.num_components, 8u);  // 2 paths + 6 isolated vertices
+
+  DeltaBatch b;
+  b.insert_edge(3, 10);  // merges the two paths
+  st.apply(b);
+  publish(server, st);
+
+  const auto warm = server.submit(q).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_TRUE(warm.incremental);
+  EXPECT_GE(server.scheduler().stats().incremental_served, 1u);
+
+  QueryDesc qb = q;
+  qb.allow_incremental = false;
+  qb.use_cache = false;
+  const auto batch = server.submit(qb).get();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch.incremental);
+  EXPECT_EQ(warm.num_components, batch.num_components);
+  EXPECT_EQ(warm.largest_component, batch.largest_component);
+}
+
+TEST(IncrementalServing, WccDeleteEpochFallsBackToBatch) {
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc q;
+  q.kind = QueryKind::kWcc;
+  ASSERT_TRUE(server.submit(q).get().ok());
+
+  DeltaBatch b;
+  b.delete_edge(1, 2);  // WCC has no delete rule: recompute-on-delete
+  st.apply(b);
+  publish(server, st);
+
+  const auto r = server.submit(q).get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.incremental);  // the chosen refinement fell back
+  EXPECT_GE(server.scheduler().stats().incremental_fallbacks, 1u);
+  EXPECT_EQ(r.num_components, 9u);  // the split path adds one component
+}
+
+TEST(IncrementalServing, PageRankRefinesAndMatchesBatchRanks) {
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc q;
+  q.kind = QueryKind::kPageRankTopK;
+  q.k = 14;  // full ranking, so warm/batch compare per-vertex
+  const auto cold = server.submit(q).get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.incremental);
+
+  DeltaBatch b;
+  b.insert_edge(2, 11);
+  st.apply(b);
+  publish(server, st);
+
+  const auto warm = server.submit(q).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.incremental);
+
+  QueryDesc qb = q;
+  qb.allow_incremental = false;
+  qb.use_cache = false;
+  const auto batch = server.submit(qb).get();
+  ASSERT_TRUE(batch.ok());
+  std::map<vid_t, double> warm_rank, batch_rank;
+  for (const auto& [r, v] : warm.topk) warm_rank[v] = r;
+  for (const auto& [r, v] : batch.topk) batch_rank[v] = r;
+  ASSERT_EQ(warm_rank.size(), batch_rank.size());
+  for (const auto& [v, r] : batch_rank) {
+    ASSERT_NEAR(warm_rank.at(v), r, 1e-5) << "vertex " << v;
+  }
+}
+
+TEST(IncrementalServing, JaccardFootprintServesAsCacheCarry) {
+  // Jaccard's incremental tier IS the footprint carry: a disjoint epoch
+  // serves the cached answer, an intersecting one recomputes locally.
+  AnalyticsServer server;
+  VersionedGraphStore st(two_component_graph(), no_compact());
+  publish(server, st);
+  QueryDesc q;
+  q.kind = QueryKind::kJaccardNeighbors;
+  q.seed = 1;
+  const auto cold = server.submit(q).get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.footprint.global);
+
+  DeltaBatch far_away;
+  far_away.insert_edge(11, 13);
+  st.apply(far_away);
+  publish(server, st);
+  EXPECT_TRUE(server.submit(q).get().cache_hit);
+
+  DeltaBatch nearby;
+  nearby.insert_edge(1, 3);
+  st.apply(nearby);
+  publish(server, st);
+  const auto recomputed = server.submit(q).get();
+  EXPECT_FALSE(recomputed.cache_hit);
+  ASSERT_TRUE(recomputed.ok());
+  expect_jaccard_equal(recomputed.neighbors,
+                       kernels::jaccard_query(st.view(), q.seed));
+}

@@ -88,7 +88,8 @@ TEST(Snapshot, ManyEpochsPinnedByOneReaderEach) {
 TEST(Snapshot, EpochListenerFiresAfterEachPublish) {
   SnapshotManager mgr;
   std::vector<std::uint64_t> seen;
-  mgr.set_epoch_listener([&](std::uint64_t e) { seen.push_back(e); });
+  mgr.set_epoch_listener(
+      [&](std::uint64_t e, const store::GraphView&) { seen.push_back(e); });
   mgr.publish(graph::make_path(4));
   mgr.publish(graph::make_path(5));
   EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));

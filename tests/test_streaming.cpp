@@ -8,15 +8,14 @@
 #include "core/prng.hpp"
 #include "graph/generators.hpp"
 #include "kernels/connected_components.hpp"
+#include "kernels/incremental.hpp"
 #include "kernels/jaccard.hpp"
 #include "kernels/kcore.hpp"
 #include "kernels/pagerank.hpp"
 #include "kernels/triangles.hpp"
-#include "streaming/incremental_cc.hpp"
 #include "streaming/incremental_kcore.hpp"
 #include "streaming/incremental_pagerank.hpp"
 #include "streaming/incremental_triangles.hpp"
-#include "streaming/streaming_jaccard.hpp"
 #include "streaming/topk_tracker.hpp"
 #include "streaming/update_stream.hpp"
 
@@ -106,7 +105,7 @@ TEST_P(IncrementalVsBatch, TrianglesMatchRecountAfterEveryPhase) {
 
 TEST_P(IncrementalVsBatch, ComponentsMatchBatch) {
   graph::DynamicGraph g(128);
-  IncrementalCC cc(g);
+  kernels::StreamingComponents cc(g);
   StreamOptions opts;
   opts.count = 600;
   opts.delete_fraction = 0.15;
@@ -131,9 +130,9 @@ TEST_P(IncrementalVsBatch, ComponentsMatchBatch) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalVsBatch, ::testing::Values(1, 2, 3));
 
-TEST(IncrementalCC, InsertOnlyNeverRebuilds) {
+TEST(StreamingComponents, InsertOnlyNeverRebuilds) {
   graph::DynamicGraph g(32);
-  IncrementalCC cc(g);
+  kernels::StreamingComponents cc(g);
   for (vid_t v = 1; v < 32; ++v) {
     g.insert_edge(0, v);
     cc.on_insert(0, v);
@@ -143,11 +142,11 @@ TEST(IncrementalCC, InsertOnlyNeverRebuilds) {
   EXPECT_EQ(cc.component_size(5), 32u);
 }
 
-TEST(IncrementalCC, DeleteForcesLazyRebuild) {
+TEST(StreamingComponents, DeleteForcesLazyRebuild) {
   graph::DynamicGraph g(4);
   g.insert_edge(0, 1);
   g.insert_edge(2, 3);
-  IncrementalCC cc(g);
+  kernels::StreamingComponents cc(g);
   EXPECT_EQ(cc.num_components(), 2u);
   g.delete_edge(0, 1);
   cc.on_delete(0, 1);
@@ -200,7 +199,7 @@ TEST(IncrementalPageRank, TracksBatchAfterUpdates) {
   EXPECT_LT(warm_iters, batch.iterations + 1);
 }
 
-TEST(StreamingJaccard, QueryMatchesBatchKernelOnSnapshot) {
+TEST(StreamingJaccardQuery, MatchesBatchKernelOnSnapshot) {
   graph::DynamicGraph g(80);
   StreamOptions opts;
   opts.count = 600;
@@ -208,30 +207,28 @@ TEST(StreamingJaccard, QueryMatchesBatchKernelOnSnapshot) {
   for (const auto& u : generate_stream(80, opts)) {
     if (u.kind == UpdateKind::kEdgeInsert) g.insert_edge(u.u, u.v);
   }
-  StreamingJaccard sj(g);
   const auto snap = g.snapshot();
   for (vid_t q = 0; q < 80; q += 13) {
-    const auto live = sj.query(q);
+    const auto live = kernels::jaccard_query(g, q);
     const auto batch = kernels::jaccard_query(snap, q);
     ASSERT_EQ(live.size(), batch.size()) << "query " << q;
     for (std::size_t i = 0; i < live.size(); ++i) {
-      EXPECT_EQ(live[i].other, batch[i].v);
+      EXPECT_EQ(live[i].v, batch[i].v);
       EXPECT_NEAR(live[i].coefficient, batch[i].coefficient, 1e-12);
     }
   }
 }
 
-TEST(StreamingJaccard, ThresholdCrossing) {
+TEST(StreamingJaccardQuery, ThresholdCrossing) {
   graph::DynamicGraph g(6);
   // Make 0 and 1 near-twins.
   for (vid_t v : {2u, 3u, 4u}) {
     g.insert_edge(0, v);
     g.insert_edge(1, v);
   }
-  StreamingJaccard sj(g, 0.9);
-  EXPECT_TRUE(sj.on_insert_crosses_threshold(0, 5));
-  const auto m = sj.max_partner(0);
-  EXPECT_EQ(m.other, 1u);
+  EXPECT_TRUE(kernels::jaccard_insert_crosses_threshold(g, 0, 5, 0.9));
+  const auto m = kernels::jaccard_max_partner(g, 0);
+  EXPECT_EQ(m.v, 1u);
   EXPECT_DOUBLE_EQ(m.coefficient, 1.0);
 }
 

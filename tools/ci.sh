@@ -72,6 +72,30 @@ print(f"[ci] delta publish p99 speedup {speedup:.1f}x (gate >=10x), "
 sys.exit(0 if speedup >= 10.0 and read_amp <= 1.5 else 1)
 EOF
 
+echo "=== [ci] incremental serving gate (serving_load --incremental-bench, scale 18, 0.2% churn) ==="
+# The incremental tier promises warm refinement beats batch recompute by
+# >=10x (p50) for WCC under insert-only churn of <=1% per epoch, with the
+# warm path actually serving every epoch (no silent fallback-to-batch).
+(cd "$BUILD_DIR" && ./bench/serving_load --incremental-bench --scale 18 --churn 0.002 --json)
+python3 - "$BUILD_DIR/BENCH_serving_load.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+speedup = d["wcc_warm_speedup_p50"]
+served, epochs = d["wcc_warm_served"], d["epochs"]
+print(f"[ci] warm incremental WCC p50 speedup {speedup:.1f}x (gate >=10x), "
+      f"warm-served {served}/{epochs} epochs (gate all)")
+sys.exit(0 if speedup >= 10.0 and served == epochs else 1)
+EOF
+
+echo "=== [ci] bench artifacts (repo root) ==="
+# Machine-readable artifacts for sweep diffing: the gated incremental
+# serving numbers and a graph500 BFS baseline, at stable repo-root names.
+(cd "$BUILD_DIR" && ./bench/graph500_bfs --scale 16 --json > /dev/null)
+cp "$BUILD_DIR/BENCH_serving_load.json" "$ROOT/BENCH_serving.json"
+cp "$BUILD_DIR/BENCH_graph500_bfs.json" "$ROOT/BENCH_graph500.json"
+echo "[ci] wrote $ROOT/BENCH_serving.json and $ROOT/BENCH_graph500.json"
+
 if [[ "$MODE" == "fast" ]]; then
   echo "=== [ci] fast mode: skipping sanitizer sweeps ==="
   echo "CI gate (fast) passed."

@@ -13,6 +13,12 @@
 //          [--depth K] [--no-compact]
 //          — churn the versioned delta-chain store and print chain depth,
 //            epoch count, bytes, and compaction stats
+//   ga_cli epochs [FILE] [--scale N] [--epochs E] [--delta D] [--seed S]
+//          [--deletes PCT]
+//          — replay a synthetic update stream through the serving layer:
+//            per epoch, time the incremental serve vs a forced batch
+//            recompute for WCC and PageRank, show the tier each query
+//            landed on, and the delta-aware cache carry/invalidate counters
 //   ga_cli bfs FILE SOURCE
 //   ga_cli pagerank FILE [--top K]
 //   ga_cli components FILE
@@ -38,6 +44,7 @@
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "server/server.hpp"
 #include "store/versioned_store.hpp"
 
 using namespace ga;
@@ -95,6 +102,8 @@ int usage() {
                "  metrics [FILE] [--json] [--trace]\n"
                "  store [FILE] [--scale N] [--epochs E] [--delta D]"
                " [--seed S] [--depth K] [--no-compact]\n"
+               "  epochs [FILE] [--scale N] [--epochs E] [--delta D]"
+               " [--seed S] [--deletes PCT]\n"
                "  bfs FILE SOURCE\n"
                "  pagerank FILE [--top K]\n"
                "  components FILE\n"
@@ -230,6 +239,122 @@ int cmd_store(const Args& a) {
   return 0;
 }
 
+/// Replay a synthetic update stream through the full serving path: each
+/// epoch applies a random delta batch to the versioned store, publishes the
+/// view (delta summary attached), then times the scheduler's chosen serving
+/// tier against a forced batch recompute for WCC and PageRank. A cached BFS
+/// query rides along to show the footprint-based carry/invalidate decision.
+int cmd_epochs(const Args& a) {
+  obs::set_enabled(true);
+  auto g = a.positional.size() >= 2
+               ? load(a.positional[1])
+               : graph::make_rmat({.scale = static_cast<unsigned>(
+                                       a.get("scale", 14)),
+                                   .edge_factor = 8,
+                                   .seed = a.get("seed", 1)});
+  const vid_t n = g.num_vertices();
+  store::VersionedGraphStore vstore(std::move(g));
+  server::AnalyticsServer server;
+  server.publish(vstore.view());
+
+  const auto epochs = a.get("epochs", 12);
+  const auto delta = a.get("delta", 512);
+  const double deletes = a.getf("deletes", 10.0) / 100.0;
+  std::printf("replaying %llu epochs of ~%llu ops (%.0f%% deletes) over "
+              "n=%u\n\n",
+              static_cast<unsigned long long>(epochs),
+              static_cast<unsigned long long>(delta), deletes * 100.0, n);
+
+  server::QueryDesc q_wcc;
+  q_wcc.kind = server::QueryKind::kWcc;
+  q_wcc.use_cache = false;
+  server::QueryDesc q_pr;
+  q_pr.kind = server::QueryKind::kPageRankTopK;
+  q_pr.k = 10;
+  q_pr.use_cache = false;
+  server::QueryDesc q_wcc_batch = q_wcc;
+  q_wcc_batch.allow_incremental = false;
+  server::QueryDesc q_pr_batch = q_pr;
+  q_pr_batch.allow_incremental = false;
+  server::QueryDesc q_bfs;  // cached: shows footprint carry across epochs
+  q_bfs.kind = server::QueryKind::kBfs;
+  q_bfs.seed = 0;
+
+  // Cold pass seeds the warm state and the BFS cache entry.
+  server.execute_now(q_wcc);
+  server.execute_now(q_pr);
+  server.execute_now(q_bfs);
+
+  core::Xoshiro256 rng(a.get("seed", 1));
+  std::printf("%3s %6s | %9s %5s %9s | %9s %5s %9s | %4s | %7s %7s\n", "ep",
+              "ops", "wcc-serve", "tier", "wcc-batch", "pr-serve", "tier",
+              "pr-batch", "bfs", "carried", "inval");
+  std::uint64_t carried_prev = 0, inval_prev = 0;
+  for (std::uint64_t e = 1; e <= epochs; ++e) {
+    store::DeltaBatch batch;
+    for (std::uint64_t i = 0; i < delta; ++i) {
+      const vid_t u = rng.next_vid(n);
+      const vid_t v = rng.next_vid(n);
+      if (u == v) continue;
+      if (static_cast<double>(rng.next_below(1000)) < deletes * 1000.0) {
+        batch.delete_edge(u, v);
+      } else {
+        batch.insert_edge(u, v, 1.0f);
+      }
+    }
+    vstore.apply(batch);
+    server.publish(vstore.view());
+
+    core::WallTimer t;
+    const auto rw = server.execute_now(q_wcc);
+    const double wcc_ms = t.millis();
+    t.restart();
+    server.execute_now(q_wcc_batch);
+    const double wccb_ms = t.millis();
+    t.restart();
+    const auto rp = server.execute_now(q_pr);
+    const double pr_ms = t.millis();
+    t.restart();
+    server.execute_now(q_pr_batch);
+    const double prb_ms = t.millis();
+    const auto rb = server.execute_now(q_bfs);
+
+    const server::CacheStats cs = server.scheduler().cache().stats();
+    std::printf(
+        "%3llu %6zu | %8.2fms %5s %8.2fms | %8.2fms %5s %8.2fms | %4s "
+        "| %7llu %7llu\n",
+        static_cast<unsigned long long>(e), batch.num_ops(), wcc_ms,
+        rw.incremental ? "inc" : "batch", wccb_ms, pr_ms,
+        rp.incremental ? "inc" : "batch", prb_ms,
+        rb.cache_hit ? "hit" : "miss",
+        static_cast<unsigned long long>(cs.carried - carried_prev),
+        static_cast<unsigned long long>(cs.invalidations - inval_prev));
+    carried_prev = cs.carried;
+    inval_prev = cs.invalidations;
+  }
+
+  const server::SchedulerStats st = server.scheduler().stats();
+  const server::CacheStats cs = server.scheduler().cache().stats();
+  std::printf("\nscheduler: incremental_served=%llu fallbacks=%llu "
+              "cache_hits=%llu\n",
+              static_cast<unsigned long long>(st.incremental_served),
+              static_cast<unsigned long long>(st.incremental_fallbacks),
+              static_cast<unsigned long long>(st.cache_hits));
+  std::printf("cache:     carried=%llu invalidations=%llu hit_rate=%.1f%%\n",
+              static_cast<unsigned long long>(cs.carried),
+              static_cast<unsigned long long>(cs.invalidations),
+              100.0 * cs.hit_rate());
+  auto& reg = obs::MetricsRegistry::global();
+  std::printf("obs:       delta_carried_total=%llu "
+              "delta_invalidations_total=%llu\n",
+              static_cast<unsigned long long>(
+                  reg.counter("serve.cache.delta_carried_total").value()),
+              static_cast<unsigned long long>(
+                  reg.counter("serve.cache.delta_invalidations_total")
+                      .value()));
+  return 0;
+}
+
 int cmd_generate(const Args& a) {
   GA_CHECK(a.positional.size() >= 2, "generate: missing family");
   const std::string& family = a.positional[1];
@@ -352,6 +477,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "store") return cmd_store(args);
+    if (cmd == "epochs") return cmd_epochs(args);
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "pagerank") return cmd_pagerank(args);
     if (cmd == "components") return cmd_components(args);

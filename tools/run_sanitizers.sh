@@ -3,8 +3,9 @@
 #   1. ASan+UBSan build running the full ctest suite.
 #   2. TSan build running the BFS / connected-components / engine /
 #      thread-pool tests (the code with parallel engine paths), plus the
-#      serving, obs, and versioned-store suites (snapshot churn, registry
-#      concurrency, concurrent publish/lease/compact).
+#      serving, obs, versioned-store, and incremental suites (snapshot
+#      churn, registry concurrency, concurrent publish/lease/compact,
+#      warm-state handoff across epoch publishes).
 # Each sanitizer gets its own build tree under build-san/ so the regular
 # build/ directory is never polluted. Exits nonzero on the first failure.
 #
@@ -32,7 +33,8 @@ if [[ "$MODE" == "chaos" ]]; then
   cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-        --target ga_resilience_tests ga_serving_tests ga_store_tests > /dev/null
+        --target ga_resilience_tests ga_serving_tests ga_store_tests \
+                 ga_incremental_tests > /dev/null
   echo "=== [chaos/tsan] backpressure queue + streaming handoff tests ==="
   "$TSAN_DIR/tests/ga_resilience_tests" \
       --gtest_filter='IngestQueue*:Backpressure*:RunStream*:Wal.AsyncDrain*'
@@ -40,6 +42,8 @@ if [[ "$MODE" == "chaos" ]]; then
   "$TSAN_DIR/tests/ga_serving_tests"
   echo "=== [chaos/tsan] store suite (concurrent publish/lease/compact churn) ==="
   "$TSAN_DIR/tests/ga_store_tests" --gtest_filter='StoreConcurrency*:StreamPublication*'
+  echo "=== [chaos/tsan] incremental suite (warm-state handoff across epoch publishes) ==="
+  "$TSAN_DIR/tests/ga_incremental_tests"
   echo "Chaos sanitizer suites passed."
   exit 0
 fi
@@ -57,7 +61,8 @@ TSAN_DIR="$ROOT/build-san/tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-      --target ga_tests ga_serving_tests ga_obs_tests ga_store_tests > /dev/null
+      --target ga_tests ga_serving_tests ga_obs_tests ga_store_tests \
+               ga_incremental_tests > /dev/null
 echo "=== [tsan] parallel-path tests ==="
 "$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
 echo "=== [tsan] serving suite (snapshot lifetime + scheduler concurrency) ==="
@@ -66,5 +71,7 @@ echo "=== [tsan] obs suite (registry/tracer concurrency) ==="
 "$TSAN_DIR/tests/ga_obs_tests"
 echo "=== [tsan] store suite (delta publish / lease / background compaction) ==="
 "$TSAN_DIR/tests/ga_store_tests"
+echo "=== [tsan] incremental suite (delta contract + warm-state handoff) ==="
+"$TSAN_DIR/tests/ga_incremental_tests"
 
 echo "All sanitizer suites passed."
