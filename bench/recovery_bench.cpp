@@ -1,0 +1,140 @@
+// Recovery bench (the CI durability gate): epoch-log append cost under
+// per-epoch fsync, full crash recovery wall time at scale, double-recovery
+// idempotence, and cold standby promotion.
+//
+// Defaults reproduce the gate tools/ci.sh enforces: a scale-18 RMAT base
+// (262k vertices, ~4M arcs), 64 churn epochs appended through an attached
+// EpochLog, then recover() twice — the first must land under 2 s with all
+// 64 epochs replayed, and the two recoveries (and the surviving primary)
+// must agree on the content digest.
+//
+// --scale N / --epochs N / --ops N override the workload.
+// --json additionally writes BENCH_recovery.json.
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "bench_json.hpp"
+#include "core/prng.hpp"
+#include "core/timer.hpp"
+#include "graph/generators.hpp"
+#include "store/delta.hpp"
+#include "store/epoch_log.hpp"
+#include "store/recovery.hpp"
+#include "store/versioned_store.hpp"
+
+using namespace ga;
+
+int main(int argc, char** argv) {
+  const auto scale =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--scale", 18));
+  const int epochs = static_cast<int>(
+      bench::flag_value(argc, argv, "--epochs", 64));
+  const int ops =
+      static_cast<int>(bench::flag_value(argc, argv, "--ops", 2000));
+  const bool json = bench::has_flag(argc, argv, "--json");
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ga_recovery_bench";
+  fs::remove_all(dir);
+
+  std::printf("=== Durable epoch log + recovery (scale %u, %d epochs, %d ops/epoch) ===\n\n",
+              scale, epochs, ops);
+
+  graph::CSRGraph base =
+      graph::make_rmat({.scale = scale, .edge_factor = 16, .seed = 5});
+  const vid_t n = base.num_vertices();
+  std::printf("base: %u vertices, %llu arcs\n", n,
+              static_cast<unsigned long long>(base.num_arcs()));
+
+  store::CompactionPolicy pol;
+  pol.auto_compact = false;
+  store::VersionedGraphStore primary(std::move(base), pol);
+  store::EpochLog log({.dir = dir.string(), .checkpoint_every = 0});
+
+  core::WallTimer attach_timer;
+  log.attach(primary);  // one durable checkpoint of the base
+  const double attach_ms = attach_timer.millis();
+
+  core::Xoshiro256 rng(99);
+  core::WallTimer append_timer;
+  for (int e = 0; e < epochs; ++e) {
+    store::DeltaBatch b(/*directed=*/primary.view().directed());
+    for (int i = 0; i < ops; ++i) {
+      const vid_t u = rng.next_vid(n);
+      vid_t v = rng.next_vid(n);
+      if (u == v) v = (v + 1) % n;
+      b.insert_edge(u, v, 1.0f);
+    }
+    primary.apply(b);
+  }
+  const double append_ms = append_timer.millis();
+  const store::EpochLogStats lstats = log.stats();
+  std::printf(
+      "appended %llu epochs  %.1f MiB framed  %.1f ms total  %.0f us/epoch "
+      "(fsync'd)\n",
+      static_cast<unsigned long long>(lstats.appends),
+      static_cast<double>(lstats.bytes_appended) / (1024.0 * 1024.0),
+      append_ms, append_ms * 1e3 / epochs);
+
+  store::RecoveryOptions ropts;
+  ropts.dir = dir.string();
+  ropts.compaction = pol;
+
+  core::WallTimer t1;
+  auto rec1 = store::recover(ropts);
+  const double recover_ms = t1.millis();
+  core::WallTimer t2;
+  auto rec2 = store::recover(ropts);
+  const double recover2_ms = t2.millis();
+
+  const std::uint64_t d1 = store::view_digest(rec1.store->view());
+  const std::uint64_t d2 = store::view_digest(rec2.store->view());
+  const std::uint64_t dp = store::view_digest(primary.view());
+
+  // Cold standby: full recovery + tail-to-durable-head + promotion.
+  core::WallTimer t3;
+  store::StandbyReplica standby(ropts);
+  auto promoted = standby.promote(primary.epoch());
+  const double promote_ms = t3.millis();
+  const std::uint64_t ds = store::view_digest(promoted->view());
+
+  std::printf("checkpoint(base): %.1f ms\n", attach_ms);
+  std::printf("recover #1: %.1f ms  (replayed %llu epochs to epoch %llu)\n",
+              recover_ms, static_cast<unsigned long long>(rec1.report.replayed),
+              static_cast<unsigned long long>(rec1.report.recovered_epoch));
+  std::printf("recover #2: %.1f ms  digest %s\n", recover2_ms,
+              d1 == d2 ? "IDENTICAL" : "MISMATCH");
+  std::printf("primary digest %s recovered digest\n",
+              d1 == dp ? "==" : "!=");
+  std::printf("standby cold promote: %.1f ms  digest %s\n", promote_ms,
+              ds == dp ? "IDENTICAL" : "MISMATCH");
+
+  if (json) {
+    bench::JsonDoc doc("recovery");
+    doc.add("scale", static_cast<int>(scale));
+    doc.add("epochs", epochs);
+    doc.add("ops_per_epoch", ops);
+    doc.add("base_arcs", static_cast<std::uint64_t>(primary.view().num_arcs()));
+    doc.add("checkpoint_ms", attach_ms);
+    doc.add("append_total_ms", append_ms);
+    doc.add("append_us_per_epoch", append_ms * 1e3 / epochs);
+    doc.add("log_bytes", lstats.bytes_appended);
+    doc.add("recover_ms", recover_ms);
+    doc.add("recover2_ms", recover2_ms);
+    doc.add("replayed", rec1.report.replayed);
+    doc.add("recovered_epoch", rec1.report.recovered_epoch);
+    doc.add("digest_idempotent", d1 == d2 ? 1 : 0);
+    doc.add("digest_matches_primary", d1 == dp ? 1 : 0);
+    doc.add("standby_promote_ms", promote_ms);
+    doc.add("standby_digest_matches", ds == dp ? 1 : 0);
+    doc.write();
+  }
+
+  fs::remove_all(dir);
+  const bool ok = d1 == d2 && d1 == dp && ds == dp &&
+                  rec1.report.recovered_epoch ==
+                      static_cast<std::uint64_t>(epochs);
+  if (!ok) std::printf("FAILED: recovery invariants violated\n");
+  return ok ? 0 : 1;
+}

@@ -304,6 +304,10 @@ void CanonicalFlow::set_snapshot_publisher(
   snapshot_publisher_ = std::move(fn);
 }
 
+void CanonicalFlow::set_epoch_log(store::EpochLog* log) {
+  store().set_epoch_log(log);
+}
+
 void CanonicalFlow::set_stream_resilience(const StreamResilienceOptions& opts) {
   resilience_on_ = true;
   res_opts_ = opts;

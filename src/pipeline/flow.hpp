@@ -109,6 +109,11 @@ class CanonicalFlow {
   /// the server.
   void set_snapshot_publisher(std::function<void(store::GraphView)> fn);
 
+  /// Make every published epoch durable: forwards to the persistent
+  /// GraphStore, which attaches the log to its embedded delta-chain store
+  /// (see store/epoch_log.hpp). Not owned; must outlive the flow.
+  void set_epoch_log(store::EpochLog* log);
+
   std::uint64_t snapshot_publications() const {
     return snapshot_publications_;
   }

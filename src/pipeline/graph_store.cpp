@@ -74,6 +74,9 @@ store::GraphView GraphStore::view() const {
   if (!versioned_) {
     versioned_ = std::make_unique<store::VersionedGraphStore>(
         g_.snapshot(/*keep_weights=*/true));
+    // Durability attaches before the first epoch seals, checkpointing the
+    // seed base so epoch 1 has an image to replay onto.
+    if (epoch_log_) epoch_log_->attach(*versioned_);
     pending_.clear();
   } else if (!pending_.empty()) {
     versioned_->apply(pending_);  // O(Δ) epoch publication

@@ -19,6 +19,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "graph/property_table.hpp"
 #include "pipeline/dedup.hpp"
+#include "store/epoch_log.hpp"
 #include "store/versioned_store.hpp"
 
 namespace ga::pipeline {
@@ -78,6 +79,14 @@ class GraphStore {
     return versioned_.get();
   }
 
+  /// Make every published epoch durable: attached to the embedded
+  /// delta-chain store when view() seeds it (immediately if it already
+  /// exists). Not owned; must outlive the store.
+  void set_epoch_log(store::EpochLog* log) {
+    epoch_log_ = log;
+    if (versioned_ && epoch_log_) epoch_log_->attach(*versioned_);
+  }
+
   /// Content digest over vertex counts, adjacency (neighbor-sorted, so the
   /// physical edge-block layout doesn't matter), weights, timestamps, and
   /// all property columns. Two stores with equal digests hold identical
@@ -102,6 +111,7 @@ class GraphStore {
   // read that lazily seeds the store and folds pending mutations in).
   mutable std::unique_ptr<store::VersionedGraphStore> versioned_;
   mutable store::DeltaBatch pending_;
+  store::EpochLog* epoch_log_ = nullptr;
 };
 
 }  // namespace ga::pipeline

@@ -243,7 +243,13 @@ void DurableGraphStore::write_snapshot() {
     os.flush();
     GA_CHECK(os.good(), "durable store: snapshot write failed");
   }
+  // flush() only reached the page cache: fsync the staged bytes, rename
+  // into place, then fsync the parent directory so the new directory entry
+  // survives power loss — otherwise the checkpoint itself can vanish and
+  // recovery replays against the previous one.
+  fsync_file(tmp);
   std::filesystem::rename(tmp, snapshot_path(opts_.dir));
+  fsync_dir(opts_.dir);
 }
 
 void DurableGraphStore::open_wal(bool truncate) {

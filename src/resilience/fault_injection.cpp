@@ -31,6 +31,33 @@ FaultPlan FaultPlan::scattered_throws(std::uint64_t seed,
   return plan;
 }
 
+FaultPlan FaultPlan::kill_at(const std::string& stage, std::uint64_t nth) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultSpec::Kind::kThrow;
+  s.stage = stage;
+  s.nth = nth;
+  s.message = "kill at " + stage + " #" + std::to_string(nth);
+  plan.specs.push_back(std::move(s));
+  return plan;
+}
+
+std::span<const char* const> store_kill_points() {
+  static constexpr const char* kPoints[] = {
+      // VersionedGraphStore::apply
+      "apply_seal", "apply_publish",
+      // VersionedGraphStore compaction (fold_once)
+      "compact_begin", "compact_fold", "compact_swap",
+      // EpochLog::append
+      "log_append_begin", "log_append_write", "log_append_sync",
+      // EpochLog::checkpoint
+      "ckpt_begin", "ckpt_write", "ckpt_sync", "ckpt_rename", "ckpt_dirsync",
+      // EpochLog log truncation past a durable checkpoint
+      "truncate_begin", "truncate_swap", "truncate_done",
+  };
+  return {kPoints, sizeof(kPoints) / sizeof(kPoints[0])};
+}
+
 double FaultInjector::on_call(std::string_view stage) {
   const std::uint64_t index = ++calls_[std::string(stage)];
   double latency = 0.0;

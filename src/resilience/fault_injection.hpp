@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -47,7 +48,18 @@ struct FaultPlan {
   static FaultPlan scattered_throws(std::uint64_t seed,
                                     const std::string& stage,
                                     std::uint64_t calls, std::uint64_t count);
+
+  /// One-shot kill: throw on the `nth` call of `stage`. The chaos tests
+  /// model a process crash as this throw — in-memory state is abandoned
+  /// and recovery starts from disk.
+  static FaultPlan kill_at(const std::string& stage, std::uint64_t nth = 1);
 };
+
+/// Canonical kill-point stage names instrumented across the durable epoch
+/// path: the store's apply/compaction stages plus every EpochLog
+/// append/checkpoint/truncate step. The kill-anywhere recovery sweep
+/// (tests/test_recovery.cpp) crashes at each of these in turn.
+std::span<const char* const> store_kill_points();
 
 class FaultInjector {
  public:

@@ -131,80 +131,4 @@ void WalWriter::flush() {
   GA_CHECK(os_.good(), "wal: write failed: " + path_);
 }
 
-WalScanResult scan_wal(const std::string& path, CorruptionPolicy policy) {
-  WalScanResult out;
-  std::ifstream is(path, std::ios::binary);
-  if (!is.good()) return out;  // no log yet: empty history
-  is.seekg(0, std::ios::end);
-  const auto end = static_cast<std::uint64_t>(is.tellg());
-  is.seekg(0, std::ios::beg);
-
-  std::uint64_t at = 0;
-  while (at < end) {
-    if (end - at < kFrameHeader + kSeqBytes) {
-      out.torn_tail = true;
-      break;
-    }
-    std::uint32_t len = 0, crc = 0;
-    std::uint64_t seq = 0;
-    is.read(reinterpret_cast<char*>(&len), sizeof(len));
-    is.read(reinterpret_cast<char*>(&crc), sizeof(crc));
-    is.read(reinterpret_cast<char*>(&seq), sizeof(seq));
-    if (!is.good() || end - at - kFrameHeader - kSeqBytes < len) {
-      out.torn_tail = true;
-      break;
-    }
-    std::vector<char> payload(len);
-    if (len > 0) {
-      is.read(payload.data(), static_cast<std::streamsize>(len));
-      if (!is.good()) {
-        out.torn_tail = true;
-        break;
-      }
-    }
-    std::uint32_t actual = core::crc32(&seq, kSeqBytes);
-    actual = core::crc32(payload.data(), payload.size(), actual);
-    if (actual != crc) {
-      ++out.corrupt_records;
-      if (policy == CorruptionPolicy::kThrow) {
-        throw Error("wal: CRC mismatch at offset " + std::to_string(at) +
-                    " in " + path);
-      }
-      break;  // kStop: everything from here on is untrusted
-    }
-    at += kFrameHeader + kSeqBytes + len;
-    out.records.push_back(WalRecord{seq, std::move(payload)});
-  }
-  out.bytes_valid = at;
-  out.torn_bytes = end - at;
-  return out;
-}
-
-void tear_tail(const std::string& path, std::uint64_t bytes) {
-  const std::uint64_t size = file_size(path);
-  GA_CHECK(bytes <= size, "tear_tail: larger than file");
-  std::filesystem::resize_file(path, size - bytes);
-}
-
-void corrupt_byte(const std::string& path, std::uint64_t offset,
-                  unsigned char xor_mask) {
-  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
-  GA_CHECK(f.good(), "corrupt_byte: cannot open " + path);
-  f.seekg(static_cast<std::streamoff>(offset));
-  char c = 0;
-  f.read(&c, 1);
-  GA_CHECK(f.good(), "corrupt_byte: offset past end of " + path);
-  c = static_cast<char>(static_cast<unsigned char>(c) ^ xor_mask);
-  f.seekp(static_cast<std::streamoff>(offset));
-  f.write(&c, 1);
-  GA_CHECK(f.good(), "corrupt_byte: write failed: " + path);
-}
-
-std::uint64_t file_size(const std::string& path) {
-  std::error_code ec;
-  const auto size = std::filesystem::file_size(path, ec);
-  GA_CHECK(!ec, "file_size: cannot stat " + path);
-  return size;
-}
-
 }  // namespace ga::resilience

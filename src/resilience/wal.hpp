@@ -6,13 +6,8 @@
 // durability cost amortizes — the classic group-commit trade measured by
 // bench/firehose_anomaly --faults.
 //
-// Recovery semantics (scan_wal):
-//  * A record whose frame extends past end-of-file is a TORN TAIL — the
-//    expected artifact of a crash mid-append. The valid prefix is returned
-//    and the torn bytes are reported so the caller can truncate them.
-//  * A complete record whose CRC mismatches is CORRUPTION (bit rot or a
-//    fault-injection test). Policy kStop ends the scan there and reports
-//    it; kThrow raises ga::Error.
+// Recovery semantics (scan_wal): see record_io.hpp — the WAL and the
+// store's epoch log share one framing + torn-tail/corruption contract.
 #pragma once
 
 #include <condition_variable>
@@ -28,13 +23,13 @@
 #include "core/common.hpp"
 #include "core/hash.hpp"
 #include "core/status.hpp"
+#include "resilience/record_io.hpp"
 
 namespace ga::resilience {
 
 namespace detail {
-inline constexpr std::size_t kWalFrameHeader =
-    sizeof(std::uint32_t) * 2;  // len + crc
-inline constexpr std::size_t kWalSeqBytes = sizeof(std::uint64_t);
+inline constexpr std::size_t kWalFrameHeader = recio::kFrameHeader;
+inline constexpr std::size_t kWalSeqBytes = recio::kSeqBytes;
 }  // namespace detail
 
 struct WalStats {
@@ -64,26 +59,12 @@ class WalWriter {
   /// CRC loop unrolls for compile-time record sizes — this is the
   /// per-packet cost on the firehose ingest path.
   void append(std::uint64_t seq, const void* payload, std::size_t len) {
-    const std::size_t frame = detail::kWalFrameHeader + detail::kWalSeqBytes + len;
-    if (len > 0x7fffffffu || frame > buf_cap_ - buf_size_) {
+    const std::size_t frame = recio::frame_size(len);
+    if (len > recio::kMaxPayload || frame > buf_cap_ - buf_size_) {
       append_slow(seq, payload, len);
       return;
     }
-    // Frame in place, then CRC the contiguous [seq][payload] span in one
-    // pass — chaining two crc32 calls gives the same value but pays the
-    // call/finalize cost twice.
-    char* p = buf_.get() + buf_size_;
-    std::memcpy(p + detail::kWalFrameHeader, &seq, detail::kWalSeqBytes);
-    if (len > 0) {
-      std::memcpy(p + detail::kWalFrameHeader + detail::kWalSeqBytes, payload,
-                  len);
-    }
-    const std::uint32_t crc =
-        core::crc32(p + detail::kWalFrameHeader, detail::kWalSeqBytes + len);
-    const auto len32 = static_cast<std::uint32_t>(len);
-    std::memcpy(p, &len32, sizeof(len32));
-    std::memcpy(p + sizeof(len32), &crc, sizeof(crc));
-    buf_size_ += frame;
+    buf_size_ += recio::frame_record(buf_.get() + buf_size_, seq, payload, len);
     ++stats_.records_appended;
     stats_.bytes_appended += frame;
     if (buf_size_ >= group_commit_bytes_) drain_buffer();
@@ -131,47 +112,16 @@ class WalWriter {
   std::thread writer_;
 };
 
-struct WalRecord {
-  std::uint64_t seq = 0;
-  std::vector<char> payload;
-};
-
-struct WalScanResult {
-  std::vector<WalRecord> records;    // valid prefix, in append order
-  std::uint64_t bytes_valid = 0;     // length of the clean prefix
-  bool torn_tail = false;            // incomplete frame at end of file
-  std::uint64_t torn_bytes = 0;      // bytes past the clean prefix
-  std::uint64_t corrupt_records = 0; // CRC mismatches (kStop: 1, then stop)
-
-  /// Unified-status view of the scan. A torn tail is OK (the expected
-  /// crash artifact — the prefix is intact); a CRC mismatch is data loss.
-  core::Status status() const {
-    if (corrupt_records > 0) {
-      return core::Status::DataLoss(
-          std::to_string(corrupt_records) + " corrupt WAL record(s)");
-    }
-    return core::Status::Ok();
-  }
-};
-
-enum class CorruptionPolicy : std::uint8_t {
-  kStop,   // report and stop the scan at the first bad CRC
-  kThrow,  // raise ga::Error
-};
+// Framed records, scan results, the corruption policy, and the file-fault
+// helpers (tear_tail / corrupt_byte / file_size) live in record_io.hpp and
+// are shared with the epoch log; the Wal* names are the ingest-path aliases.
+using WalRecord = FramedRecord;
+using WalScanResult = RecordScanResult;
 
 /// Scan a WAL file into records. A missing file yields an empty result.
-WalScanResult scan_wal(const std::string& path,
-                       CorruptionPolicy policy = CorruptionPolicy::kStop);
-
-// --- deterministic file-fault helpers (chaos harness) -----------------------
-
-/// Remove the last `bytes` bytes of a file (simulates a crash mid-append).
-void tear_tail(const std::string& path, std::uint64_t bytes);
-
-/// XOR one byte at `offset` (simulates bit rot; CRC must catch it).
-void corrupt_byte(const std::string& path, std::uint64_t offset,
-                  unsigned char xor_mask = 0x40);
-
-std::uint64_t file_size(const std::string& path);
+inline WalScanResult scan_wal(const std::string& path,
+                              CorruptionPolicy policy = CorruptionPolicy::kStop) {
+  return scan_records(path, policy);
+}
 
 }  // namespace ga::resilience

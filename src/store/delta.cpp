@@ -1,6 +1,8 @@
 #include "store/delta.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 
 namespace ga::store {
 
@@ -45,6 +47,79 @@ void DeltaBatch::delete_edge(vid_t u, vid_t v) {
 
 void DeltaBatch::set_vertex_property(vid_t v, float value) {
   prop_ops_.emplace_back(v, value);
+}
+
+namespace {
+
+// Little-endian POD append/read; the codec is only read back on the same
+// architecture (single-node durability, not a wire format).
+template <typename T>
+void put(std::vector<char>* out, const T& v) {
+  const auto* p = reinterpret_cast<const char*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const char* data, std::size_t len, std::size_t* at) {
+  GA_CHECK(*at + sizeof(T) <= len, "DeltaBatch::decode: truncated payload");
+  T v;
+  std::memcpy(&v, data + *at, sizeof(T));
+  *at += sizeof(T);
+  return v;
+}
+
+constexpr std::uint8_t kBatchCodecVersion = 1;
+
+}  // namespace
+
+void DeltaBatch::encode(std::vector<char>* out) const {
+  put(out, kBatchCodecVersion);
+  put(out, static_cast<std::uint8_t>(directed_ ? 1 : 0));
+  put(out, new_vertices_);
+  put(out, static_cast<std::uint64_t>(edge_ops_.size()));
+  for (const EdgeOp& op : edge_ops_) {
+    put(out, op.u);
+    put(out, op.v);
+    put(out, op.w);
+    put(out, static_cast<std::uint8_t>(op.is_delete ? 1 : 0));
+  }
+  put(out, static_cast<std::uint64_t>(prop_ops_.size()));
+  for (const auto& [v, value] : prop_ops_) {
+    put(out, v);
+    put(out, value);
+  }
+}
+
+DeltaBatch DeltaBatch::decode(const char* data, std::size_t len) {
+  std::size_t at = 0;
+  const auto version = get<std::uint8_t>(data, len, &at);
+  GA_CHECK(version == kBatchCodecVersion,
+           "DeltaBatch::decode: unknown codec version " +
+               std::to_string(version));
+  DeltaBatch batch(get<std::uint8_t>(data, len, &at) != 0);
+  batch.new_vertices_ = get<vid_t>(data, len, &at);
+  const auto n_ops = get<std::uint64_t>(data, len, &at);
+  GA_CHECK(n_ops <= len / 13, "DeltaBatch::decode: op count past payload");
+  batch.edge_ops_.reserve(n_ops);
+  for (std::uint64_t i = 0; i < n_ops; ++i) {
+    EdgeOp op;
+    op.u = get<vid_t>(data, len, &at);
+    op.v = get<vid_t>(data, len, &at);
+    op.w = get<float>(data, len, &at);
+    op.seq = static_cast<std::uint32_t>(i);  // arrival order == encode order
+    op.is_delete = get<std::uint8_t>(data, len, &at) != 0;
+    batch.edge_ops_.push_back(op);
+  }
+  const auto n_props = get<std::uint64_t>(data, len, &at);
+  GA_CHECK(n_props <= (len - at) / 8, "DeltaBatch::decode: prop count past payload");
+  batch.prop_ops_.reserve(n_props);
+  for (std::uint64_t i = 0; i < n_props; ++i) {
+    const auto v = get<vid_t>(data, len, &at);
+    const auto value = get<float>(data, len, &at);
+    batch.prop_ops_.emplace_back(v, value);
+  }
+  GA_CHECK(at == len, "DeltaBatch::decode: trailing bytes in payload");
+  return batch;
 }
 
 DeltaLayer DeltaBatch::seal(vid_t base_vertices) const {

@@ -112,6 +112,14 @@ class DeltaBatch {
     new_vertices_ = 0;
   }
 
+  /// Byte codec for the durable epoch log. encode() appends the raw op
+  /// stream exactly as recorded — arrival order, both arcs of an
+  /// undirected edge — so decode() + seal() reproduces the original layer
+  /// bit-for-bit on replay. decode() throws ga::Error on a malformed or
+  /// truncated payload (the log's CRC makes that corruption, not a crash).
+  void encode(std::vector<char>* out) const;
+  static DeltaBatch decode(const char* data, std::size_t len);
+
  private:
   struct EdgeOp {
     vid_t u, v;

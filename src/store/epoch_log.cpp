@@ -1,0 +1,414 @@
+#include "store/epoch_log.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "store/delta_summary.hpp"
+#include "store/versioned_store.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace ga::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'G', 'A', 'E', 'P', 'C', 'K', 'P', '1'};
+
+double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <typename T>
+void put(std::vector<char>* out, const T& v) {
+  const auto* p = reinterpret_cast<const char*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+void put_vec(std::vector<char>* out, const std::vector<T>& v) {
+  put(out, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const char*>(v.data());
+  out->insert(out->end(), p, p + v.size() * sizeof(T));
+}
+
+template <typename T>
+T get(const char* data, std::size_t len, std::size_t* at) {
+  GA_CHECK(*at + sizeof(T) <= len, "epoch log: truncated payload");
+  T v;
+  std::memcpy(&v, data + *at, sizeof(T));
+  *at += sizeof(T);
+  return v;
+}
+
+template <typename T>
+std::vector<T> get_vec(const char* data, std::size_t len, std::size_t* at) {
+  const auto count = get<std::uint64_t>(data, len, &*at);
+  GA_CHECK(count <= (len - *at) / sizeof(T), "epoch log: vector past payload");
+  std::vector<T> v(count);
+  std::memcpy(v.data(), data + *at, count * sizeof(T));
+  *at += count * sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+// --- epoch record payload codec --------------------------------------------
+
+void encode_epoch_payload(const DeltaBatch& batch, const DeltaSummary& summary,
+                          std::vector<char>* out) {
+  std::vector<char> batch_bytes;
+  batch.encode(&batch_bytes);
+  put(out, static_cast<std::uint32_t>(batch_bytes.size()));
+  out->insert(out->end(), batch_bytes.begin(), batch_bytes.end());
+  put(out, summary.epoch);
+  put(out, summary.weight_updates);
+  put(out, summary.vertex_growth);
+  put_vec(out, summary.changed_vertices);
+  put_vec(out, summary.inserted_arcs);
+  put_vec(out, summary.deleted_arcs);
+  put_vec(out, summary.property_vertices);
+}
+
+void decode_epoch_payload(const char* data, std::size_t len, DeltaBatch* batch,
+                          DeltaSummary* summary) {
+  std::size_t at = 0;
+  const auto batch_len = get<std::uint32_t>(data, len, &at);
+  GA_CHECK(batch_len <= len - at, "epoch log: batch bytes past payload");
+  *batch = DeltaBatch::decode(data + at, batch_len);
+  at += batch_len;
+  summary->epoch = get<std::uint64_t>(data, len, &at);
+  summary->weight_updates = get<eid_t>(data, len, &at);
+  summary->vertex_growth = get<vid_t>(data, len, &at);
+  summary->changed_vertices = get_vec<vid_t>(data, len, &at);
+  summary->inserted_arcs = get_vec<std::pair<vid_t, vid_t>>(data, len, &at);
+  summary->deleted_arcs = get_vec<std::pair<vid_t, vid_t>>(data, len, &at);
+  summary->property_vertices = get_vec<vid_t>(data, len, &at);
+  GA_CHECK(at == len, "epoch log: trailing bytes in epoch payload");
+}
+
+// --- checkpoint image -------------------------------------------------------
+
+bool load_checkpoint(const std::string& dir, CheckpointImage* out) {
+  std::ifstream is(EpochLog::checkpoint_path(dir), std::ios::binary);
+  if (!is.good()) return false;
+  char magic[sizeof(kCheckpointMagic)];
+  is.read(magic, sizeof(magic));
+  GA_CHECK(is.good() && std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0,
+           "epoch log: bad checkpoint magic in " + dir);
+  std::uint64_t epoch = 0, nbytes = 0;
+  std::uint32_t crc = 0;
+  is.read(reinterpret_cast<char*>(&epoch), sizeof(epoch));
+  is.read(reinterpret_cast<char*>(&nbytes), sizeof(nbytes));
+  is.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  GA_CHECK(is.good(), "epoch log: truncated checkpoint header in " + dir);
+  std::vector<char> bytes(nbytes);
+  is.read(bytes.data(), static_cast<std::streamsize>(nbytes));
+  GA_CHECK(is.good(), "epoch log: truncated checkpoint body in " + dir);
+  GA_CHECK(core::crc32(bytes.data(), bytes.size()) == crc,
+           "epoch log: checkpoint CRC mismatch in " + dir);
+
+  const char* d = bytes.data();
+  const std::size_t len = bytes.size();
+  std::size_t at = 0;
+  const bool directed = get<std::uint8_t>(d, len, &at) != 0;
+  auto offsets = get_vec<eid_t>(d, len, &at);
+  auto targets = get_vec<vid_t>(d, len, &at);
+  auto weights = get_vec<float>(d, len, &at);
+  auto props = get_vec<std::pair<vid_t, float>>(d, len, &at);
+  GA_CHECK(at == len, "epoch log: trailing bytes in checkpoint body");
+
+  out->epoch = epoch;
+  out->base = std::make_shared<const graph::CSRGraph>(
+      std::move(offsets), std::move(targets), std::move(weights), directed);
+  out->props =
+      props.empty()
+          ? nullptr
+          : std::make_shared<const std::vector<std::pair<vid_t, float>>>(
+                std::move(props));
+  return true;
+}
+
+// --- EpochLog ---------------------------------------------------------------
+
+std::string EpochLog::log_path(const std::string& dir) {
+  return dir + "/epochs.log";
+}
+std::string EpochLog::checkpoint_path(const std::string& dir) {
+  return dir + "/checkpoint.gsc";
+}
+
+EpochLog::EpochLog(EpochLogOptions opts) : opts_(std::move(opts)) {
+  GA_CHECK(!opts_.dir.empty(), "epoch log: empty directory");
+  fs::create_directories(opts_.dir);
+
+  // Resume state from an existing directory (the reopen-after-recovery
+  // path): checkpoint epoch from the image header, last epoch from the log
+  // tail. A torn tail is cut off now — those bytes were never
+  // acknowledged, and appending after them would bury new records behind
+  // an unscannable frame.
+  CheckpointImage image;
+  if (load_checkpoint(opts_.dir, &image)) {
+    has_checkpoint_ = true;
+    stats_.checkpoint_epoch = image.epoch;
+    stats_.last_epoch = image.epoch;
+  }
+  const auto scan = resilience::scan_records(log_path(opts_.dir));
+  GA_CHECK(scan.corrupt_records == 0,
+           "epoch log: corrupt record in " + log_path(opts_.dir) +
+               " — run recovery with an explicit policy first");
+  if (scan.torn_tail) {
+    fs::resize_file(log_path(opts_.dir), scan.bytes_valid);
+  }
+  if (!scan.records.empty()) {
+    stats_.last_epoch = std::max(stats_.last_epoch, scan.records.back().seq);
+  }
+  open_fd();
+}
+
+EpochLog::~EpochLog() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best-effort; a crash here is the torn-tail case
+    // recovery is built to handle.
+  }
+#ifndef _WIN32
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void EpochLog::hook(const char* stage) {
+  if (fault_hook_) fault_hook_(stage);
+}
+
+void EpochLog::open_fd() {
+#ifndef _WIN32
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(log_path(opts_.dir).c_str(), O_WRONLY | O_APPEND | O_CREAT,
+               0644);
+  GA_CHECK(fd_ >= 0, "epoch log: cannot open " + log_path(opts_.dir));
+#endif
+}
+
+void EpochLog::sync_fd() {
+#ifndef _WIN32
+  GA_CHECK(::fdatasync(fd_) == 0,
+           "epoch log: fdatasync failed for " + log_path(opts_.dir));
+#endif
+}
+
+void EpochLog::append(std::uint64_t epoch, const DeltaBatch& batch,
+                      const DeltaSummary& summary) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  hook("log_append_begin");
+  GA_CHECK(epoch == stats_.last_epoch + 1,
+           "epoch log: non-contiguous epoch " + std::to_string(epoch) +
+               " after " + std::to_string(stats_.last_epoch));
+
+  std::vector<char> payload;
+  encode_epoch_payload(batch, summary, &payload);
+  GA_CHECK(payload.size() <= resilience::recio::kMaxPayload,
+           "epoch log: oversized epoch record");
+  scratch_.resize(resilience::recio::frame_size(payload.size()));
+  const std::size_t frame = resilience::recio::frame_record(
+      scratch_.data(), epoch, payload.data(), payload.size());
+
+  hook("log_append_write");
+#ifndef _WIN32
+  const auto written = ::write(fd_, scratch_.data(), frame);
+  GA_CHECK(written == static_cast<ssize_t>(frame),
+           "epoch log: short write to " + log_path(opts_.dir));
+#endif
+  dirty_ = true;
+  if (opts_.sync_each_append) {
+    hook("log_append_sync");
+    sync_fd();
+    dirty_ = false;
+    ++stats_.syncs;
+  }
+  ++stats_.appends;
+  stats_.bytes_appended += frame;
+  stats_.last_epoch = epoch;
+  stats_.last_append_us = us_since(t0);
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("store.log.appends_total").add();
+    reg.counter("store.log.bytes_total").add(static_cast<double>(frame));
+    reg.histogram("store.log.append_us").observe(stats_.last_append_us);
+  }
+}
+
+void EpochLog::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dirty_ || fd_ < 0) return;
+  sync_fd();
+  dirty_ = false;
+  ++stats_.syncs;
+}
+
+bool EpochLog::checkpoint_due() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opts_.checkpoint_every > 0 &&
+         stats_.last_epoch - stats_.checkpoint_epoch >= opts_.checkpoint_every;
+}
+
+void EpochLog::maybe_checkpoint(const GraphView& view) {
+  if (checkpoint_due()) checkpoint(view);
+}
+
+void EpochLog::checkpoint(const GraphView& view) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  // A concurrent writer can race two maybe_checkpoint calls; the one
+  // carrying the older view must not regress the durable image.
+  if (has_checkpoint_ && view.epoch() <= stats_.checkpoint_epoch) return;
+  hook("ckpt_begin");
+
+  // Serialize the flattened base image. flatten() on a compacted view is a
+  // cache load; on a deep chain it pays the fold the compactor would have.
+  const auto flat = view.flatten();
+  std::vector<char> body;
+  put(&body, static_cast<std::uint8_t>(flat->directed() ? 1 : 0));
+  put_vec(&body, flat->offsets());
+  put_vec(&body, flat->targets());
+  put_vec(&body, flat->weights());
+  const auto props = view.flatten_props();
+  if (props) {
+    put_vec(&body, *props);
+  } else {
+    put(&body, static_cast<std::uint64_t>(0));
+  }
+  const std::uint32_t crc = core::crc32(body.data(), body.size());
+
+  // tmp → fsync → rename → dir-fsync: a crash at any point leaves either
+  // the old checkpoint or the new one, never a partial image, and the
+  // rename can't vanish on power loss once the directory entry is synced.
+  const std::string final_path = checkpoint_path(opts_.dir);
+  const std::string tmp = final_path + ".tmp";
+  hook("ckpt_write");
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    GA_CHECK(os.good(), "epoch log: cannot open " + tmp);
+    os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    const std::uint64_t epoch = view.epoch();
+    const std::uint64_t nbytes = body.size();
+    os.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+    os.write(reinterpret_cast<const char*>(&nbytes), sizeof(nbytes));
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    os.flush();
+    GA_CHECK(os.good(), "epoch log: checkpoint write failed: " + tmp);
+  }
+  hook("ckpt_sync");
+  resilience::fsync_file(tmp);
+  hook("ckpt_rename");
+  fs::rename(tmp, final_path);
+  hook("ckpt_dirsync");
+  resilience::fsync_dir(opts_.dir);
+
+  has_checkpoint_ = true;
+  stats_.checkpoint_epoch = view.epoch();
+  ++stats_.checkpoints;
+
+  truncate_below(view.epoch());
+
+  stats_.last_checkpoint_ms = us_since(t0) / 1000.0;
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("store.log.checkpoints_total").add();
+    reg.histogram("store.log.checkpoint_ms").observe(stats_.last_checkpoint_ms);
+  }
+}
+
+// Drop log records with seq <= epoch (they are covered by the durable
+// checkpoint) while preserving any newer suffix a concurrent writer may
+// have appended past the captured view. Same staging discipline as the
+// checkpoint itself: suffix → tmp → fsync → rename → dir-fsync. A crash
+// anywhere in the window leaves either the old log (recovery skips the
+// already-checkpointed prefix by seq) or the new one.
+void EpochLog::truncate_below(std::uint64_t epoch) {
+  hook("truncate_begin");
+  const std::string path = log_path(opts_.dir);
+  const auto scan = resilience::scan_records(path);
+  std::uint64_t cut = 0;
+  for (const auto& rec : scan.records) {
+    if (rec.seq > epoch) break;
+    cut += resilience::recio::frame_size(rec.payload.size());
+  }
+  if (cut == 0) {
+    hook("truncate_done");
+    return;
+  }
+
+  std::vector<char> suffix;
+  {
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    GA_CHECK(is.good(), "epoch log: cannot reopen " + path);
+    const auto end = static_cast<std::uint64_t>(is.tellg());
+    suffix.resize(end - cut);
+    is.seekg(static_cast<std::streamoff>(cut));
+    if (!suffix.empty()) {
+      is.read(suffix.data(), static_cast<std::streamsize>(suffix.size()));
+      GA_CHECK(is.good(), "epoch log: suffix read failed: " + path);
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    GA_CHECK(os.good(), "epoch log: cannot open " + tmp);
+    if (!suffix.empty()) {
+      os.write(suffix.data(), static_cast<std::streamsize>(suffix.size()));
+    }
+    os.flush();
+    GA_CHECK(os.good(), "epoch log: truncate write failed: " + tmp);
+  }
+  resilience::fsync_file(tmp);
+  hook("truncate_swap");
+  fs::rename(tmp, path);
+  resilience::fsync_dir(opts_.dir);
+  open_fd();  // fd_ pointed at the renamed-over inode
+  hook("truncate_done");
+
+  ++stats_.truncations;
+  stats_.truncated_bytes += cut;
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("store.log.truncations_total").add();
+    reg.counter("store.log.truncated_bytes_total").add(static_cast<double>(cut));
+  }
+}
+
+void EpochLog::attach(VersionedGraphStore& store) {
+  store.set_durability_hook(
+      [this](std::uint64_t epoch, const DeltaBatch& batch,
+             const DeltaSummary& summary) { append(epoch, batch, summary); });
+  store.set_post_publish_hook(
+      [this](const GraphView& view) { maybe_checkpoint(view); });
+  // A log without a checkpoint has no base to replay onto: seed one from
+  // the store's current view before the first epoch lands.
+  if (!has_checkpoint_) checkpoint(store.view());
+}
+
+void EpochLog::set_fault_hook(std::function<void(const char*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = std::move(fn);
+}
+
+EpochLogStats EpochLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ga::store

@@ -133,6 +133,31 @@ float GraphView::vertex_property_or(vid_t v, float fallback) const {
   return fallback;
 }
 
+std::shared_ptr<const std::vector<std::pair<vid_t, float>>>
+GraphView::flatten_props() const {
+  std::vector<std::pair<vid_t, float>> all;
+  if (props_) all = *props_;
+  bool any = false;
+  for (const auto& layer : chain_) {
+    const auto patches = layer->prop_patches();
+    any |= !patches.empty();
+    all.insert(all.end(), patches.begin(), patches.end());
+  }
+  if (!any) return props_;
+  // Later layers were appended later; stable sort keeps arrival order
+  // within a key, so the last entry of each run is the newest write.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i + 1 < all.size() && all[i + 1].first == all[i].first) continue;
+    all[kept++] = all[i];
+  }
+  all.resize(kept);
+  return std::make_shared<const std::vector<std::pair<vid_t, float>>>(
+      std::move(all));
+}
+
 std::size_t GraphView::base_bytes() const {
   const graph::CSRGraph& b = *base_;
   return b.offsets().size() * sizeof(eid_t) +

@@ -97,6 +97,13 @@ class GraphView {
       const {
     return props_;
   }
+  /// The property counterpart of flatten(): the inherited table plus every
+  /// chain layer's patches folded into one sorted last-write-wins vector.
+  /// Returns the inherited table unchanged (possibly null) when no layer
+  /// carries patches. The epoch-log checkpoint persists this — reading
+  /// folded_props() alone would drop patches still riding in the chain.
+  std::shared_ptr<const std::vector<std::pair<vid_t, float>>> flatten_props()
+      const;
 
   /// --- storage accounting (memory-amplification / compaction policy) ---
   std::size_t base_bytes() const;

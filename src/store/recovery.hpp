@@ -1,0 +1,160 @@
+// Crash recovery and hot standby for the durable epoch log.
+//
+// recover() rebuilds a VersionedGraphStore from an EpochLog directory:
+// load the newest durable checkpoint (flat base CSR + folded properties +
+// epoch), replay every log record with seq > checkpoint epoch in order —
+// re-sealing the decoded DeltaBatch reproduces the original layer
+// bit-for-bit — and truncate any torn tail. Replay is idempotent by epoch
+// seq, so the crash window between a checkpoint rename and the log
+// truncation (already-checkpointed records still in the log) is skipped,
+// and running recovery twice over the same directory yields identical
+// stores. The caller re-publishes the recovered view through its
+// SnapshotManager / AnalyticsServer to come back serving at the exact
+// last-acked epoch.
+//
+// StandbyReplica keeps a second store warm by tailing the same log
+// in-process: an incremental scan from a byte cursor applies new epochs as
+// they become durable, a log truncation (file shrank under the cursor)
+// triggers a full reload from the checkpoint, and promote() performs a
+// final catch-up and hands the store over for serving.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "resilience/record_io.hpp"
+#include "store/epoch_log.hpp"
+#include "store/versioned_store.hpp"
+
+namespace ga::store {
+
+struct RecoveryOptions {
+  std::string dir;
+  resilience::CorruptionPolicy policy = resilience::CorruptionPolicy::kStop;
+  CompactionPolicy compaction;
+  /// Cross-check each replayed epoch's recomputed DeltaSummary against the
+  /// logged one (counts + epoch id); mismatches are counted in the report.
+  bool verify_summaries = true;
+  /// Cut a torn tail off the log after replay so a subsequent EpochLog
+  /// reopen appends at a clean frame boundary. Corrupt suffixes (CRC
+  /// mismatch under kStop) are NOT cut — that is data loss, reported via
+  /// RecoveryReport::status(), not silently discarded.
+  bool truncate_torn_tail = true;
+};
+
+struct RecoveryReport {
+  std::uint64_t checkpoint_epoch = 0;
+  std::uint64_t recovered_epoch = 0;
+  std::uint64_t replayed = 0;          // records applied on top of the base
+  std::uint64_t skipped = 0;           // records at or below the checkpoint
+  std::uint64_t summary_mismatches = 0;
+  bool torn_tail = false;
+  std::uint64_t torn_bytes = 0;
+  std::uint64_t corrupt_records = 0;
+  double millis = 0.0;
+
+  /// DataLoss on corruption, Ok otherwise (a torn tail is the expected
+  /// crash artifact — the acked prefix is intact).
+  core::Status status() const {
+    if (corrupt_records > 0) {
+      return core::Status::DataLoss(std::to_string(corrupt_records) +
+                                    " corrupt epoch record(s)");
+    }
+    return core::Status::Ok();
+  }
+};
+
+struct RecoveredStore {
+  std::unique_ptr<VersionedGraphStore> store;
+  RecoveryReport report;
+};
+
+/// Rebuild the store from `opts.dir`. Throws ga::Error when the directory
+/// has no checkpoint (nothing to replay onto) or — under kThrow — on the
+/// first corrupt record.
+RecoveredStore recover(const RecoveryOptions& opts);
+
+/// Content digest of a view: merged adjacency (targets + weight bits, in
+/// iteration order), folded properties, vertex count, directedness. Equal
+/// digests ⇒ kernels see identical graphs — the recovery sweep's
+/// twin-equivalence check.
+std::uint64_t view_digest(const GraphView& view);
+
+/// Offline stats for `ga_cli store log-stat`: checkpoint header + log scan
+/// without building a store.
+struct EpochLogInfo {
+  bool has_checkpoint = false;
+  std::uint64_t checkpoint_epoch = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  vid_t checkpoint_vertices = 0;
+  eid_t checkpoint_arcs = 0;
+  std::uint64_t log_records = 0;
+  std::uint64_t log_bytes = 0;
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+  bool torn_tail = false;
+  std::uint64_t torn_bytes = 0;
+  std::uint64_t corrupt_records = 0;
+};
+EpochLogInfo inspect_epoch_log(const std::string& dir);
+
+struct StandbyStats {
+  std::uint64_t tail_passes = 0;
+  std::uint64_t epochs_applied = 0;  // beyond the initial recovery
+  std::uint64_t reloads = 0;         // full re-recoveries (log truncated)
+};
+
+class StandbyReplica {
+ public:
+  /// Runs a full recovery immediately; the replica is serveable from
+  /// construction.
+  explicit StandbyReplica(RecoveryOptions opts);
+  ~StandbyReplica();
+  StandbyReplica(const StandbyReplica&) = delete;
+  StandbyReplica& operator=(const StandbyReplica&) = delete;
+
+  /// One incremental catch-up pass over the log; returns epochs applied.
+  /// Safe to call concurrently with readers of view().
+  std::uint64_t tail_once();
+
+  /// Background tailer at `poll` cadence (idempotent start/stop).
+  void start(std::chrono::milliseconds poll = std::chrono::milliseconds(20));
+  void stop();
+  bool running() const { return tailer_running_.load(); }
+
+  /// Current replica view / epoch; any thread, any time before promote().
+  GraphView view() const;
+  std::uint64_t epoch() const;
+
+  const RecoveryReport& initial_report() const { return initial_report_; }
+  StandbyStats stats() const;
+
+  /// Promote to primary: stop tailing, catch up until the log yields
+  /// nothing new and at least `min_epoch` is reached (the writer's
+  /// last-acked epoch; 0 = whatever is durable now), then hand the store
+  /// over. The replica is empty afterwards.
+  std::unique_ptr<VersionedGraphStore> promote(std::uint64_t min_epoch = 0);
+
+ private:
+  void reload();  // full recover(): the log was truncated under the cursor
+  void tailer_main(std::chrono::milliseconds poll);
+
+  RecoveryOptions opts_;
+  RecoveryReport initial_report_;
+
+  mutable std::mutex mu_;  // guards store_ swap + cursor + stats
+  std::unique_ptr<VersionedGraphStore> store_;
+  std::uint64_t cursor_ = 0;  // byte offset of the next unread log frame
+  StandbyStats stats_;
+
+  std::thread tailer_;
+  std::atomic<bool> tailer_running_{false};
+  std::atomic<bool> tailer_stop_{false};
+};
+
+}  // namespace ga::store

@@ -57,17 +57,27 @@ VersionedGraphStore::VersionedGraphStore(
     std::shared_ptr<const graph::CSRGraph> base, CompactionPolicy policy)
     : policy_(policy), current_(GraphView::of(std::move(base), 0)) {}
 
+VersionedGraphStore::VersionedGraphStore(GraphView initial,
+                                         CompactionPolicy policy)
+    : policy_(policy), current_(std::move(initial)), epoch_(current_.epoch()) {
+  GA_CHECK(current_.valid(), "VersionedGraphStore: invalid initial view");
+  GA_CHECK(current_.flat(),
+           "VersionedGraphStore: initial view must be flat (compacted base)");
+}
+
 VersionedGraphStore::~VersionedGraphStore() { stop_compactor(); }
 
 std::uint64_t VersionedGraphStore::apply(const DeltaBatch& batch) {
   const auto t0 = std::chrono::steady_clock::now();
   GraphView next;
   std::function<void(GraphView)> listener;
+  std::function<void(const GraphView&)> post_publish;
   double publish_us = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     GA_CHECK(batch.directed() == current_.directed(),
              "VersionedGraphStore: batch directedness mismatch");
+    if (fault_hook_) fault_hook_("apply_seal");
     const auto layer = std::make_shared<DeltaLayer>(
         batch.seal(current_.num_vertices()));
     // Exact arc accounting against the predecessor: an insert of an
@@ -80,8 +90,18 @@ std::uint64_t VersionedGraphStore::apply(const DeltaBatch& batch) {
         static_cast<std::int64_t>(summary->inserted_arcs.size()) -
         static_cast<std::int64_t>(summary->deleted_arcs.size());
     layer->net_arcs = net;
-    layer->epoch = ++epoch_;
-    summary->epoch = epoch_;
+    // Epoch commit order: log first (durability hook may throw — disk
+    // failure or injected kill — and then the epoch is not consumed), then
+    // the in-memory publish. A crash after the hook returns leaves the
+    // epoch on disk but unacknowledged; replay is idempotent by seq, so
+    // recovery serving one-past-the-ack is correct, losing an acked epoch
+    // never happens.
+    const std::uint64_t next_epoch = epoch_ + 1;
+    layer->epoch = next_epoch;
+    summary->epoch = next_epoch;
+    if (durability_hook_) durability_hook_(next_epoch, batch, *summary);
+    if (fault_hook_) fault_hook_("apply_publish");
+    epoch_ = next_epoch;
     auto chain = current_.chain();
     chain.push_back(layer);
     next = GraphView(current_.base_ptr(), std::move(chain),
@@ -94,8 +114,10 @@ std::uint64_t VersionedGraphStore::apply(const DeltaBatch& batch) {
     publish_us = us_since(t0);
     last_publish_us_ = publish_us;
     listener = listener_;
+    post_publish = post_publish_hook_;
   }
   publish_obs(publish_us);
+  if (post_publish) post_publish(next);
 
   if (needs_compaction(next)) {
     if (compactor_running()) {
@@ -230,6 +252,17 @@ void VersionedGraphStore::compactor_main() {
 void VersionedGraphStore::set_view_listener(std::function<void(GraphView)> fn) {
   std::lock_guard<std::mutex> lock(mu_);
   listener_ = std::move(fn);
+}
+
+void VersionedGraphStore::set_durability_hook(DurabilityHook fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  durability_hook_ = std::move(fn);
+}
+
+void VersionedGraphStore::set_post_publish_hook(
+    std::function<void(const GraphView&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  post_publish_hook_ = std::move(fn);
 }
 
 void VersionedGraphStore::set_fault_hook(

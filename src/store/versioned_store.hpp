@@ -64,6 +64,10 @@ class VersionedGraphStore {
                                CompactionPolicy policy = {});
   explicit VersionedGraphStore(std::shared_ptr<const graph::CSRGraph> base,
                                CompactionPolicy policy = {});
+  /// Recovery ctor: resume from a flat view (checkpoint base + folded
+  /// properties) at a non-zero starting epoch — replayed epochs then apply
+  /// on top with their original ids.
+  explicit VersionedGraphStore(GraphView initial, CompactionPolicy policy = {});
   /// Joins the background compactor (if started).
   ~VersionedGraphStore();
 
@@ -97,8 +101,26 @@ class VersionedGraphStore {
   /// snapshot manager hangs off this.
   void set_view_listener(std::function<void(GraphView)> fn);
 
-  /// Test hook fired at compaction stages ("compact_begin", "compact_fold",
-  /// "compact_swap"); exceptions abort the fold, leaving the store intact.
+  /// Write-ahead durability hook, invoked inside apply() — under the store
+  /// lock, after the batch is sealed and summarized but BEFORE the epoch is
+  /// committed in memory. The EpochLog hangs off this: a throw (disk
+  /// failure, injected kill) propagates to the writer and the epoch is NOT
+  /// consumed, so an acknowledged apply() implies a durable log record.
+  using DurabilityHook = std::function<void(
+      std::uint64_t epoch, const DeltaBatch& batch, const DeltaSummary&)>;
+  void set_durability_hook(DurabilityHook fn);
+
+  /// Invoked after every successful apply(), outside the store lock, with
+  /// the new view — before the view listener. The EpochLog drives its
+  /// checkpoint cadence from here (it needs the published view, which the
+  /// durability hook — running pre-publish — cannot have).
+  void set_post_publish_hook(std::function<void(const GraphView&)> fn);
+
+  /// Test hook fired at apply stages ("apply_seal", "apply_publish") and
+  /// compaction stages ("compact_begin", "compact_fold", "compact_swap").
+  /// Exceptions at compact stages abort the fold, leaving the store
+  /// intact; exceptions at apply stages propagate to the writer with the
+  /// epoch unconsumed (the simulated kill the recovery sweep relies on).
   void set_fault_hook(std::function<void(const char*)> fn);
 
   StoreStats stats() const;
@@ -120,6 +142,8 @@ class VersionedGraphStore {
   double last_publish_us_ = 0.0;
   double last_compact_ms_ = 0.0;
   std::function<void(GraphView)> listener_;
+  DurabilityHook durability_hook_;
+  std::function<void(const GraphView&)> post_publish_hook_;
   std::function<void(const char*)> fault_hook_;
 
   std::mutex fold_mu_;  // serializes compact_now() vs the background thread

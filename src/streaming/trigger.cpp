@@ -82,12 +82,20 @@ void StreamProcessor::set_epoch_publisher(
   updates_since_publish_ = 0;
 }
 
+void StreamProcessor::set_epoch_log(store::EpochLog* log) {
+  epoch_log_ = log;
+  if (versioned_ && epoch_log_) epoch_log_->attach(*versioned_);
+}
+
 void StreamProcessor::sync_store() {
   if (!versioned_) {
     // First publish: one O(|E|) snapshot seeds the base CSR. Mutations
     // recorded so far are already inside that snapshot — discard them.
     versioned_ = std::make_unique<store::VersionedGraphStore>(
         g_.snapshot(/*keep_weights=*/true));
+    // Durability attaches before the first epoch: the attach checkpoints
+    // the seed base, so even epoch 1 has an image to replay onto.
+    if (epoch_log_) epoch_log_->attach(*versioned_);
     pending_.clear();
     return;
   }

@@ -17,6 +17,7 @@
 #include "kernels/incremental.hpp"
 #include "resilience/ingest_queue.hpp"
 #include "resilience/retry.hpp"
+#include "store/epoch_log.hpp"
 #include "store/versioned_store.hpp"
 #include "streaming/incremental_triangles.hpp"
 #include "streaming/topk_tracker.hpp"
@@ -101,6 +102,12 @@ class StreamProcessor {
   /// Push the current graph state to the publisher immediately.
   void publish_epoch();
 
+  /// Make every published epoch durable: the log is attached to the
+  /// embedded store (appending each sealed epoch pre-publish, driving the
+  /// checkpoint cadence post-publish) as soon as the store exists. Not
+  /// owned; must outlive the processor. Call before the first publish.
+  void set_epoch_log(store::EpochLog* log);
+
   /// The embedded delta-chain store backing epoch publication; nullptr
   /// until the first publish seeds it. Exposed so harnesses can start the
   /// background compactor or read chain-depth / compaction stats.
@@ -139,6 +146,7 @@ class StreamProcessor {
   resilience::StageOptions stage_opts_;
   std::function<double(vid_t)> degraded_analytic_;
   std::function<void(store::GraphView)> epoch_publisher_;
+  store::EpochLog* epoch_log_ = nullptr;
   std::uint64_t publish_every_n_ = 1024;
   std::uint64_t updates_since_publish_ = 0;
   // Delta capture for O(Δ) epoch publication: pending_ mirrors the exact

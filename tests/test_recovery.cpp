@@ -1,0 +1,531 @@
+// Durable epoch log + crash recovery suite: the kill-anywhere sweep
+// (every named store kill-point × several occurrence counts), random
+// byte-offset tail truncations, the checkpoint-rename/truncation crash
+// window, corrupt-record policies, reopen-and-continue after recovery,
+// and hot-standby promotion under live writer load (a TSan target).
+//
+// The invariant proved throughout: a crash at ANY instant loses zero
+// acknowledged epochs — recover() comes back at recovered_epoch >= acked
+// with a view digest identical to an uncrashed twin replayed to the same
+// epoch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "graph/builder.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/record_io.hpp"
+#include "server/server.hpp"
+#include "store/delta.hpp"
+#include "store/delta_summary.hpp"
+#include "store/epoch_log.hpp"
+#include "store/graph_view.hpp"
+#include "store/recovery.hpp"
+#include "store/versioned_store.hpp"
+
+namespace ga::store {
+namespace {
+
+namespace fs = std::filesystem;
+using graph::CSRGraph;
+
+// ---------------------------------------------------------------------------
+// Deterministic workload: a seeded base graph plus a fixed sequence of
+// churn batches (inserts/deletes/weight upserts, occasional vertex growth
+// and property patches). Any prefix of the sequence can be replayed onto
+// the base to build the "uncrashed twin" a recovered store must match.
+
+struct Mirror {
+  bool directed;
+  vid_t n;
+  std::map<std::pair<vid_t, vid_t>, float> arcs;
+
+  void insert(vid_t u, vid_t v, float w = 1.0f) {
+    arcs[{u, v}] = w;
+    if (!directed) arcs[{v, u}] = w;
+  }
+  void erase(vid_t u, vid_t v) {
+    arcs.erase({u, v});
+    if (!directed) arcs.erase({v, u});
+  }
+  bool has(vid_t u, vid_t v) const { return arcs.count({u, v}) > 0; }
+
+  CSRGraph eager() const {
+    std::vector<graph::Edge> edges;
+    for (const auto& [arc, w] : arcs) {
+      if (arc.first < arc.second) edges.push_back(graph::Edge{arc.first, arc.second});
+    }
+    return graph::build_undirected(std::move(edges), n);
+  }
+};
+
+constexpr vid_t kVertices = 160;
+constexpr int kSeedEdges = 420;
+constexpr int kOpsPerEpoch = 36;
+
+struct Workload {
+  CSRGraph base;
+  std::vector<DeltaBatch> batches;  // batches[i] is epoch i+1
+};
+
+Workload make_workload(std::uint64_t seed, int epochs) {
+  core::Xoshiro256 rng(seed);
+  Mirror m{/*directed=*/false, kVertices, {}};
+  for (int i = 0; i < kSeedEdges; ++i) {
+    vid_t u = rng.next_vid(m.n);
+    vid_t v = rng.next_vid(m.n);
+    if (u == v) v = (v + 1) % m.n;
+    m.insert(u, v);
+  }
+  Workload w{m.eager(), {}};
+  for (int e = 1; e <= epochs; ++e) {
+    DeltaBatch b(/*directed=*/false);
+    if (e % 6 == 5) {
+      b.add_vertices(2);  // streaming vertex growth crosses the log too
+      m.n += 2;
+    }
+    for (int i = 0; i < kOpsPerEpoch; ++i) {
+      vid_t u = rng.next_vid(m.n);
+      vid_t v = rng.next_vid(m.n);
+      if (u == v) v = (v + 1) % m.n;
+      if (m.has(u, v) && rng.next_below(10) < 3) {
+        m.erase(u, v);
+        b.delete_edge(u, v);
+      } else {
+        m.insert(u, v);
+        b.insert_edge(u, v);
+      }
+    }
+    if (e % 3 == 0) b.set_vertex_property(rng.next_vid(m.n), static_cast<float>(e));
+    w.batches.push_back(b);
+  }
+  return w;
+}
+
+CompactionPolicy manual_compaction() {
+  CompactionPolicy pol;
+  pol.auto_compact = false;
+  return pol;
+}
+
+/// The uncrashed twin at epoch k: base + batches[0..k).
+std::unique_ptr<VersionedGraphStore> twin_at(const Workload& w, std::uint64_t k) {
+  auto s = std::make_unique<VersionedGraphStore>(w.base, manual_compaction());
+  for (std::uint64_t i = 0; i < k; ++i) s->apply(w.batches[i]);
+  return s;
+}
+
+std::uint64_t twin_digest(const Workload& w, std::uint64_t k) {
+  return view_digest(twin_at(w, k)->view());
+}
+
+RecoveryOptions dir_opts(const std::string& dir) {
+  RecoveryOptions o;
+  o.dir = dir;
+  o.compaction = manual_compaction();
+  return o;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("ga_recovery_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------------------
+// Crash harness: run the workload through a store with an attached log,
+// with a one-shot kill planted at a named stage. An InjectedFault escaping
+// apply() is the simulated process death — everything in memory is
+// abandoned and only the directory survives for recovery.
+
+struct CrashRun {
+  std::uint64_t acked = 0;        // epochs whose apply() returned
+  std::uint64_t stage_calls = 0;  // times the planted stage was reached
+  bool crashed = false;
+};
+
+CrashRun run_to_crash(const Workload& w, const std::string& dir,
+                      const std::string& stage = "", std::uint64_t nth = 1,
+                      std::uint64_t checkpoint_every = 4,
+                      bool final_checkpoint = true) {
+  resilience::FaultInjector inj(stage.empty()
+                                    ? resilience::FaultPlan{}
+                                    : resilience::FaultPlan::kill_at(stage, nth));
+  CrashRun r;
+  try {
+    VersionedGraphStore store(w.base, manual_compaction());
+    EpochLog log({.dir = dir, .checkpoint_every = checkpoint_every});
+    const auto hook = [&](const char* s) {
+      if (stage == s) ++r.stage_calls;
+      inj.on_call(s);
+    };
+    store.set_fault_hook(hook);
+    log.set_fault_hook(hook);
+    log.attach(store);
+    for (const DeltaBatch& b : w.batches) {
+      store.apply(b);
+      ++r.acked;
+    }
+    if (final_checkpoint) {
+      store.compact_now();  // reaches the compact_* kill-points
+      log.checkpoint(store.view());
+    }
+  } catch (const resilience::InjectedFault&) {
+    r.crashed = true;
+  }
+  return r;
+}
+
+bool is_compaction_stage(const std::string& stage) {
+  return stage.rfind("compact_", 0) == 0;
+}
+
+/// The sweep invariant at one crash site: recovery succeeds, loses no
+/// acked epoch, and matches the uncrashed twin bit-for-bit at whatever
+/// epoch it recovered to.
+void verify_crash_site(const Workload& w, const std::string& dir,
+                       std::uint64_t acked) {
+  if (!fs::exists(EpochLog::checkpoint_path(dir))) {
+    // Killed before the attach-time checkpoint: nothing was ever durable,
+    // but nothing was ever acknowledged either.
+    EXPECT_EQ(acked, 0u);
+    return;
+  }
+  auto rec = recover(dir_opts(dir));
+  EXPECT_TRUE(rec.report.status().ok()) << rec.report.status().message();
+  EXPECT_EQ(rec.report.summary_mismatches, 0u);
+  ASSERT_GE(rec.report.recovered_epoch, acked) << "acked epoch lost";
+  ASSERT_LE(rec.report.recovered_epoch, w.batches.size());
+  EXPECT_EQ(rec.store->epoch(), rec.report.recovered_epoch);
+  EXPECT_EQ(view_digest(rec.store->view()),
+            twin_digest(w, rec.report.recovered_epoch));
+}
+
+// ---------------------------------------------------------------------------
+// EpochLog basics
+
+TEST(EpochLog, AppendRequiresContiguousEpochs) {
+  const std::string dir = fresh_dir("contiguous");
+  const Workload w = make_workload(3, 4);
+  VersionedGraphStore store(w.base, manual_compaction());
+  EpochLog log({.dir = dir});
+  log.attach(store);
+  EXPECT_EQ(log.stats().checkpoint_epoch, 0u);  // attach checkpoints the base
+  store.apply(w.batches[0]);
+  EXPECT_EQ(log.stats().last_epoch, 1u);
+  // A gap (epoch 5 after 1) is a wiring bug, not a crash artifact.
+  DeltaSummary summary;
+  summary.epoch = 5;
+  EXPECT_THROW(log.append(5, w.batches[1], summary), Error);
+  fs::remove_all(dir);
+}
+
+TEST(EpochLog, ReopenResumesAtTheLoggedEpoch) {
+  const std::string dir = fresh_dir("reopen");
+  const Workload w = make_workload(5, 6);
+  {
+    VersionedGraphStore store(w.base, manual_compaction());
+    EpochLog log({.dir = dir, .checkpoint_every = 0});
+    log.attach(store);
+    for (int i = 0; i < 3; ++i) store.apply(w.batches[i]);
+    EXPECT_EQ(log.stats().appends, 3u);
+  }
+  EpochLog log({.dir = dir, .checkpoint_every = 0});
+  EXPECT_EQ(log.stats().last_epoch, 3u);
+  EXPECT_EQ(log.stats().checkpoint_epoch, 0u);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Clean round trip: recover an uncrashed directory, serve from it
+
+TEST(Recovery, RoundTripRecoversExactStateAndServes) {
+  const std::string dir = fresh_dir("roundtrip");
+  const Workload w = make_workload(11, 16);
+  const CrashRun r = run_to_crash(w, dir);
+  ASSERT_FALSE(r.crashed);
+  ASSERT_EQ(r.acked, 16u);
+
+  auto rec = recover(dir_opts(dir));
+  EXPECT_TRUE(rec.report.status().ok());
+  EXPECT_EQ(rec.report.recovered_epoch, 16u);
+  EXPECT_FALSE(rec.report.torn_tail);
+  // recovered = checkpoint base + contiguous replay on top.
+  EXPECT_EQ(rec.report.checkpoint_epoch + rec.report.replayed, 16u);
+  const std::uint64_t twin = twin_digest(w, 16);
+  EXPECT_EQ(view_digest(rec.store->view()), twin);
+
+  // Double recovery is idempotent: same epoch, same digest.
+  auto rec2 = recover(dir_opts(dir));
+  EXPECT_EQ(rec2.report.recovered_epoch, 16u);
+  EXPECT_EQ(view_digest(rec2.store->view()), twin);
+
+  // Re-publish through the serving layer: the server answers queries on
+  // the recovered view exactly as on the twin.
+  server::AnalyticsServer recovered_srv;
+  server::AnalyticsServer twin_srv;
+  recovered_srv.publish(rec.store->view());
+  twin_srv.publish(twin_at(w, 16)->view());
+  server::QueryDesc q;
+  q.kind = server::QueryKind::kBfs;
+  q.seed = 0;
+  const auto a = recovered_srv.execute_now(q);
+  const auto b = twin_srv.execute_now(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.reached, b.reached);
+  EXPECT_EQ(a.dist, b.dist);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole: kill anywhere, lose nothing acked
+
+TEST(Recovery, KillAnywhereSweepLosesNoAckedEpoch) {
+  const Workload w = make_workload(17, 16);
+  for (const char* stage : resilience::store_kill_points()) {
+    for (const std::uint64_t nth : {std::uint64_t{1}, std::uint64_t{2},
+                                    std::uint64_t{5}}) {
+      const std::string label =
+          std::string(stage) + "#" + std::to_string(nth);
+      SCOPED_TRACE(label);
+      const std::string dir = fresh_dir("sweep_" + label);
+      const CrashRun r = run_to_crash(w, dir, stage, nth);
+      if (r.stage_calls >= nth && !is_compaction_stage(stage)) {
+        // The planted occurrence was reached, so the process must have
+        // died there (compaction faults are absorbed by design: a failed
+        // fold leaves the store intact).
+        EXPECT_TRUE(r.crashed);
+      }
+      verify_crash_site(w, dir, r.acked);
+      fs::remove_all(dir);
+    }
+  }
+}
+
+// The nastiest window: checkpoint renamed durable, crash before the log
+// is truncated past it. Replay must skip the already-checkpointed records
+// (idempotence by epoch seq), not double-apply them.
+TEST(Recovery, CrashBetweenCheckpointRenameAndTruncation) {
+  const std::string dir = fresh_dir("ckpt_window");
+  const Workload w = make_workload(23, 16);
+  // truncate_begin #1 is the attach-time checkpoint (nothing to cut);
+  // #2 is the cadence checkpoint at epoch 4, right after its rename.
+  const CrashRun r = run_to_crash(w, dir, "truncate_begin", 2);
+  ASSERT_TRUE(r.crashed);
+  // The kill fires inside epoch 4's apply() (post-publish checkpoint), so
+  // that apply never returned: 3 acked, epoch 4 durable on disk anyway.
+  ASSERT_EQ(r.acked, 3u);
+
+  auto rec = recover(dir_opts(dir));
+  EXPECT_TRUE(rec.report.status().ok());
+  EXPECT_EQ(rec.report.checkpoint_epoch, 4u);
+  EXPECT_EQ(rec.report.skipped, 4u);  // epochs 1..4 still in the log
+  EXPECT_EQ(rec.report.recovered_epoch, 4u);
+  EXPECT_EQ(view_digest(rec.store->view()), twin_digest(w, 4));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Reopen-and-continue: recovery is a working store, not a read-only dump
+
+TEST(Recovery, ReopenAfterCrashContinuesTheEpochSequence) {
+  const std::string dir = fresh_dir("continue");
+  const Workload w = make_workload(31, 16);
+  const CrashRun r = run_to_crash(w, dir, "log_append_begin", 9);
+  ASSERT_TRUE(r.crashed);
+  ASSERT_EQ(r.acked, 8u);
+
+  auto rec = recover(dir_opts(dir));
+  ASSERT_EQ(rec.report.recovered_epoch, 8u);
+
+  // Reattach a fresh log handle and run the rest of the workload.
+  EpochLog log({.dir = dir, .checkpoint_every = 4});
+  log.attach(*rec.store);
+  for (std::size_t i = rec.report.recovered_epoch; i < w.batches.size(); ++i) {
+    rec.store->apply(w.batches[i]);
+  }
+  EXPECT_EQ(rec.store->epoch(), 16u);
+  EXPECT_EQ(view_digest(rec.store->view()), twin_digest(w, 16));
+
+  // And the continued directory recovers to the full sequence.
+  auto rec2 = recover(dir_opts(dir));
+  EXPECT_EQ(rec2.report.recovered_epoch, 16u);
+  EXPECT_EQ(view_digest(rec2.store->view()), twin_digest(w, 16));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Torn tails at arbitrary byte offsets: whatever survives is a clean
+// prefix of acked history
+
+TEST(Recovery, RandomTailTruncationSweepKeepsAPrefix) {
+  const Workload w = make_workload(29, 16);
+  const std::string pristine = fresh_dir("tear_pristine");
+  // Manual cadence: the attach checkpoint holds epoch 0 and the log keeps
+  // all 16 records, so tears can land anywhere in real history.
+  const CrashRun base = run_to_crash(w, pristine, "", 1, /*checkpoint_every=*/0,
+                                     /*final_checkpoint=*/false);
+  ASSERT_EQ(base.acked, 16u);
+  const std::string log_name = EpochLog::log_path(pristine);
+  const std::uint64_t log_size = resilience::file_size(log_name);
+  ASSERT_GT(log_size, 0u);
+
+  core::Xoshiro256 rng(77);
+  for (int i = 0; i < 18; ++i) {
+    SCOPED_TRACE("tear " + std::to_string(i));
+    const std::string dir = fresh_dir("tear_case");
+    fs::copy(pristine, dir,
+             fs::copy_options::overwrite_existing | fs::copy_options::recursive);
+    const std::uint64_t cut = 1 + rng.next_below(log_size);
+    resilience::tear_tail(EpochLog::log_path(dir), cut);
+
+    auto rec = recover(dir_opts(dir));
+    EXPECT_TRUE(rec.report.status().ok());
+    EXPECT_LE(rec.report.recovered_epoch, 16u);
+    EXPECT_EQ(view_digest(rec.store->view()),
+              twin_digest(w, rec.report.recovered_epoch));
+
+    // Recovery truncated the torn tail, so a second pass sees a clean log
+    // and lands on the identical epoch.
+    auto rec2 = recover(dir_opts(dir));
+    EXPECT_FALSE(rec2.report.torn_tail);
+    EXPECT_EQ(rec2.report.recovered_epoch, rec.report.recovered_epoch);
+    fs::remove_all(dir);
+  }
+  fs::remove_all(pristine);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption is data loss, never silent
+
+TEST(Recovery, CorruptRecordReportsDataLoss) {
+  const Workload w = make_workload(37, 8);
+  const std::string dir = fresh_dir("corrupt");
+  run_to_crash(w, dir, "", 1, /*checkpoint_every=*/0, /*final_checkpoint=*/false);
+  // Flip a payload byte of the FIRST record (frame header 8B + seq 8B).
+  resilience::corrupt_byte(EpochLog::log_path(dir), 20);
+
+  auto rec = recover(dir_opts(dir));  // default kStop
+  EXPECT_FALSE(rec.report.status().ok());
+  EXPECT_GE(rec.report.corrupt_records, 1u);
+  // The prefix before the damage (here: just the checkpoint base) still
+  // stands, digest-consistent.
+  EXPECT_EQ(rec.report.recovered_epoch, 0u);
+  EXPECT_EQ(view_digest(rec.store->view()), twin_digest(w, 0));
+
+  RecoveryOptions strict;
+  strict.dir = dir;
+  strict.policy = resilience::CorruptionPolicy::kThrow;
+  EXPECT_THROW(recover(strict), Error);
+
+  // An EpochLog refuses to append onto a corrupt history.
+  EXPECT_THROW(EpochLog({.dir = dir}), Error);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Hot standby: tail the log under live writer load, then promote.
+// run_sanitizers.sh runs this under TSan.
+
+TEST(Recovery, StandbyPromotionUnderLiveWriterLoad) {
+  const int kEpochs = 40;
+  const Workload w = make_workload(91, kEpochs);
+  const std::string dir = fresh_dir("standby");
+
+  VersionedGraphStore primary(w.base, manual_compaction());
+  EpochLog log({.dir = dir, .checkpoint_every = 8});
+  log.attach(primary);  // checkpoint@0 exists: the standby can construct
+
+  StandbyReplica standby(dir_opts(dir));
+  EXPECT_EQ(standby.epoch(), 0u);
+  standby.start(std::chrono::milliseconds(1));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const GraphView v = standby.view();  // leased mid-tail: must be safe
+      std::uint64_t acc = 0;
+      for (vid_t u = 0; u < 4 && u < v.num_vertices(); ++u) {
+        v.for_each_out(u, [&](vid_t t, float) { acc += t; });
+      }
+      reads.fetch_add(1 + (acc & 0), std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::thread writer([&] {
+    for (const DeltaBatch& b : w.batches) {
+      primary.apply(b);
+      std::this_thread::sleep_for(std::chrono::microseconds(400));
+    }
+  });
+  writer.join();
+  const std::uint64_t acked = primary.epoch();
+  ASSERT_EQ(acked, static_cast<std::uint64_t>(kEpochs));
+  done.store(true);
+  reader.join();
+  EXPECT_GT(reads.load(), 0u);
+
+  // Promote: final catch-up to the writer's last-acked epoch, then the
+  // replica hands its store over.
+  auto promoted = standby.promote(acked);
+  ASSERT_TRUE(promoted != nullptr);
+  EXPECT_FALSE(standby.running());
+  EXPECT_EQ(promoted->epoch(), acked);
+  EXPECT_EQ(view_digest(promoted->view()), view_digest(primary.view()));
+  EXPECT_GE(standby.stats().tail_passes, 1u);
+
+  // The promoted store serves immediately.
+  server::AnalyticsServer serving;
+  serving.publish(promoted->view());
+  server::QueryDesc q;
+  q.kind = server::QueryKind::kBfs;
+  q.seed = 0;
+  EXPECT_TRUE(serving.execute_now(q).ok());
+  fs::remove_all(dir);
+}
+
+// Promotion mid-stream: the standby only needs the durable prefix; a
+// promote(min_epoch) issued while the writer is still appending blocks
+// until that floor is durable, never past what was acked.
+TEST(Recovery, PromoteWhileWriterStillAppending) {
+  const int kEpochs = 32;
+  const Workload w = make_workload(53, kEpochs);
+  const std::string dir = fresh_dir("promote_race");
+
+  VersionedGraphStore primary(w.base, manual_compaction());
+  EpochLog log({.dir = dir, .checkpoint_every = 6});
+  log.attach(primary);
+
+  StandbyReplica standby(dir_opts(dir));
+  standby.start(std::chrono::milliseconds(1));
+
+  std::thread writer([&] {
+    for (const DeltaBatch& b : w.batches) primary.apply(b);
+  });
+  // Half the stream is the promotion floor; the writer keeps going.
+  auto promoted = standby.promote(kEpochs / 2);
+  writer.join();
+
+  ASSERT_TRUE(promoted != nullptr);
+  const std::uint64_t at = promoted->epoch();
+  EXPECT_GE(at, static_cast<std::uint64_t>(kEpochs / 2));
+  EXPECT_LE(at, static_cast<std::uint64_t>(kEpochs));
+  EXPECT_EQ(view_digest(promoted->view()), twin_digest(w, at));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ga::store

@@ -178,6 +178,79 @@ TEST(Wal, CrcCorruptionStopsOrThrows) {
   EXPECT_THROW(scan_wal(path, CorruptionPolicy::kThrow), ga::Error);
 }
 
+// --- record_io: the shared framing under both the WAL and the epoch log ----
+
+TEST(RecordIo, FrameRecordMatchesWalWriterByteForByte) {
+  const std::string dir = fresh_dir("recio_frame");
+  const auto payloads = sample_payloads(40, 11);
+  const std::string wal_path = dir + "/wal.log";
+  {
+    WalWriter w(wal_path, /*truncate=*/true);
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      w.append(i + 1, payloads[i].data(), payloads[i].size());
+    }
+    w.flush();
+  }
+  // Frame the same records by hand through the extracted helper.
+  std::vector<char> framed;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const std::size_t at = framed.size();
+    framed.resize(at + recio::frame_size(payloads[i].size()));
+    recio::frame_record(framed.data() + at, i + 1, payloads[i].data(),
+                        payloads[i].size());
+  }
+  std::ifstream is(wal_path, std::ios::binary);
+  const std::vector<char> wal_bytes((std::istreambuf_iterator<char>(is)),
+                                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(wal_bytes, framed);
+}
+
+TEST(RecordIo, ScanFromOffsetResumesAtAFrameBoundary) {
+  const std::string path = fresh_dir("recio_offset") + "/log";
+  const auto payloads = sample_payloads(30, 13);
+  std::uint64_t offset_20 = 0;
+  {
+    WalWriter w(path, /*truncate=*/true);
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      if (i == 20) {
+        w.flush();
+        offset_20 = file_size(path);
+      }
+      w.append(i + 1, payloads[i].data(), payloads[i].size());
+    }
+    w.flush();
+  }
+  // A tailer resumes mid-file: only records 21.. come back, and
+  // bytes_valid is ABSOLUTE so it feeds straight into the next scan.
+  const RecordScanResult scan = scan_records_from(path, offset_20);
+  ASSERT_EQ(scan.records.size(), 10u);
+  EXPECT_EQ(scan.records.front().seq, 21u);
+  EXPECT_EQ(scan.records.back().seq, 30u);
+  EXPECT_EQ(scan.bytes_valid, file_size(path));
+  EXPECT_FALSE(scan.torn_tail);
+  // Scanning from the end yields nothing — the steady-state tail pass.
+  const RecordScanResult tail = scan_records_from(path, scan.bytes_valid);
+  EXPECT_TRUE(tail.records.empty());
+  EXPECT_EQ(tail.bytes_valid, scan.bytes_valid);
+}
+
+TEST(RecordIo, ScanOfMissingFileIsEmptyNotAnError) {
+  const RecordScanResult scan =
+      scan_records(fresh_dir("recio_missing") + "/absent.log");
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.bytes_valid, 0u);
+  EXPECT_TRUE(scan.status().ok());
+}
+
+TEST(RecordIo, FsyncHelpersAcceptRealPathsAndRejectMissingOnes) {
+  const std::string dir = fresh_dir("recio_fsync");
+  const std::string path = dir + "/f";
+  { std::ofstream(path) << "x"; }
+  EXPECT_NO_THROW(fsync_file(path));
+  EXPECT_NO_THROW(fsync_dir(dir));
+  EXPECT_THROW(fsync_file(dir + "/nope"), ga::Error);
+}
+
 // --- StoreOp codec ----------------------------------------------------------
 
 TEST(StoreOp, EncodeDecodeRoundTrip) {

@@ -88,13 +88,32 @@ print(f"[ci] warm incremental WCC p50 speedup {speedup:.1f}x (gate >=10x), "
 sys.exit(0 if speedup >= 10.0 and served == epochs else 1)
 EOF
 
+echo "=== [ci] recovery gate (kill-anywhere sweep + scale-18 recovery < 2s) ==="
+# The durable epoch log promises: acked => durable (the kill-anywhere ctest
+# sweep), a 64-epoch scale-18 recovery under 2 s, and double-recovery
+# idempotence (identical digests, no re-applied epochs).
+(cd "$BUILD_DIR" && ctest --output-on-failure -L recovery -j "$JOBS")
+(cd "$BUILD_DIR" && ./bench/recovery_bench --scale 18 --epochs 64 --json)
+python3 - "$BUILD_DIR/BENCH_recovery.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+ms, replayed = d["recover_ms"], d["replayed"]
+idem = d["digest_idempotent"] == 1 and d["digest_matches_primary"] == 1
+promote = d["standby_digest_matches"] == 1
+print(f"[ci] recovery {ms:.0f} ms for {replayed} epochs (gate < 2000 ms), "
+      f"idempotent={idem}, standby-promote-match={promote}")
+sys.exit(0 if ms < 2000.0 and replayed == 64 and idem and promote else 1)
+EOF
+
 echo "=== [ci] bench artifacts (repo root) ==="
 # Machine-readable artifacts for sweep diffing: the gated incremental
 # serving numbers and a graph500 BFS baseline, at stable repo-root names.
 (cd "$BUILD_DIR" && ./bench/graph500_bfs --scale 16 --json > /dev/null)
 cp "$BUILD_DIR/BENCH_serving_load.json" "$ROOT/BENCH_serving.json"
 cp "$BUILD_DIR/BENCH_graph500_bfs.json" "$ROOT/BENCH_graph500.json"
-echo "[ci] wrote $ROOT/BENCH_serving.json and $ROOT/BENCH_graph500.json"
+cp "$BUILD_DIR/BENCH_recovery.json" "$ROOT/BENCH_recovery.json"
+echo "[ci] wrote $ROOT/BENCH_serving.json, $ROOT/BENCH_graph500.json, and $ROOT/BENCH_recovery.json"
 
 if [[ "$MODE" == "fast" ]]; then
   echo "=== [ci] fast mode: skipping sanitizer sweeps ==="

@@ -13,6 +13,12 @@
 //          [--depth K] [--no-compact]
 //          — churn the versioned delta-chain store and print chain depth,
 //            epoch count, bytes, and compaction stats
+//   ga_cli store log-stat DIR
+//          — offline inspection of a durable epoch-log directory: checkpoint
+//            header, record/seq range, torn-tail and corruption counters
+//   ga_cli store recover DIR
+//          — run crash recovery against DIR and print the report (epochs
+//            replayed/skipped, torn tail, content digest of the result)
 //   ga_cli epochs [FILE] [--scale N] [--epochs E] [--delta D] [--seed S]
 //          [--deletes PCT]
 //          — replay a synthetic update stream through the serving layer:
@@ -45,6 +51,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/server.hpp"
+#include "store/recovery.hpp"
 #include "store/versioned_store.hpp"
 
 using namespace ga;
@@ -102,6 +109,8 @@ int usage() {
                "  metrics [FILE] [--json] [--trace]\n"
                "  store [FILE] [--scale N] [--epochs E] [--delta D]"
                " [--seed S] [--depth K] [--no-compact]\n"
+               "  store log-stat DIR\n"
+               "  store recover DIR\n"
                "  epochs [FILE] [--scale N] [--epochs E] [--delta D]"
                " [--seed S] [--deletes PCT]\n"
                "  bfs FILE SOURCE\n"
@@ -179,10 +188,82 @@ int cmd_metrics(const Args& a) {
   return 0;
 }
 
+/// Offline epoch-log inspection: checkpoint header + a full log scan,
+/// without rebuilding a store. Safe to run against a live directory.
+int cmd_store_logstat(const Args& a) {
+  GA_CHECK(a.positional.size() >= 3, "store log-stat: need DIR");
+  const store::EpochLogInfo info =
+      store::inspect_epoch_log(a.positional[2]);
+  std::printf("dir:              %s\n", a.positional[2].c_str());
+  if (info.has_checkpoint) {
+    std::printf("checkpoint:       epoch %llu  (%llu bytes, %u vertices, "
+                "%llu arcs)\n",
+                static_cast<unsigned long long>(info.checkpoint_epoch),
+                static_cast<unsigned long long>(info.checkpoint_bytes),
+                info.checkpoint_vertices,
+                static_cast<unsigned long long>(info.checkpoint_arcs));
+  } else {
+    std::printf("checkpoint:       none (directory not recoverable)\n");
+  }
+  std::printf("log records:      %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(info.log_records),
+              static_cast<unsigned long long>(info.log_bytes));
+  if (info.log_records > 0) {
+    std::printf("epoch range:      %llu .. %llu\n",
+                static_cast<unsigned long long>(info.first_seq),
+                static_cast<unsigned long long>(info.last_seq));
+  }
+  std::printf("torn tail:        %s (%llu bytes)\n",
+              info.torn_tail ? "yes" : "no",
+              static_cast<unsigned long long>(info.torn_bytes));
+  std::printf("corrupt records:  %llu\n",
+              static_cast<unsigned long long>(info.corrupt_records));
+  // A torn tail is the expected crash artifact; corruption is data loss.
+  return info.corrupt_records == 0 ? 0 : 1;
+}
+
+/// Run crash recovery against a log directory and print the report plus the
+/// content digest of the recovered view (compare across runs / replicas).
+int cmd_store_recover(const Args& a) {
+  GA_CHECK(a.positional.size() >= 3, "store recover: need DIR");
+  store::RecoveryOptions opts;
+  opts.dir = a.positional[2];
+  const auto rec = store::recover(opts);
+  const store::RecoveryReport& r = rec.report;
+  const store::GraphView v = rec.store->view();
+  std::printf("dir:              %s\n", opts.dir.c_str());
+  std::printf("recovered epoch:  %llu (checkpoint %llu + %llu replayed, "
+              "%llu skipped)\n",
+              static_cast<unsigned long long>(r.recovered_epoch),
+              static_cast<unsigned long long>(r.checkpoint_epoch),
+              static_cast<unsigned long long>(r.replayed),
+              static_cast<unsigned long long>(r.skipped));
+  std::printf("vertices:         %u\n", v.num_vertices());
+  std::printf("arcs:             %llu\n",
+              static_cast<unsigned long long>(v.num_arcs()));
+  std::printf("torn tail:        %s (%llu bytes cut)\n",
+              r.torn_tail ? "yes" : "no",
+              static_cast<unsigned long long>(r.torn_bytes));
+  std::printf("summary checks:   %llu mismatch(es)\n",
+              static_cast<unsigned long long>(r.summary_mismatches));
+  std::printf("digest:           %016llx\n",
+              static_cast<unsigned long long>(store::view_digest(v)));
+  std::printf("recovery time:    %.2f ms\n", r.millis);
+  const core::Status st = r.status();
+  std::printf("status:           %s\n", st.ok() ? "ok" : st.message().c_str());
+  return st.ok() && r.summary_mismatches == 0 ? 0 : 1;
+}
+
 /// Churn the versioned delta-chain store — apply --epochs delta batches of
 /// --delta random edge inserts/deletes each — and print what the store did
 /// with them: chain depth, epoch count, live bytes, compaction stats.
 int cmd_store(const Args& a) {
+  if (a.positional.size() >= 2 && a.positional[1] == "log-stat") {
+    return cmd_store_logstat(a);
+  }
+  if (a.positional.size() >= 2 && a.positional[1] == "recover") {
+    return cmd_store_recover(a);
+  }
   store::CompactionPolicy policy;
   policy.max_chain_depth = static_cast<std::size_t>(a.get("depth", 8));
   policy.auto_compact = a.flags.count("no-compact") == 0;

@@ -3,9 +3,10 @@
 #   1. ASan+UBSan build running the full ctest suite.
 #   2. TSan build running the BFS / connected-components / engine /
 #      thread-pool tests (the code with parallel engine paths), plus the
-#      serving, obs, versioned-store, and incremental suites (snapshot
-#      churn, registry concurrency, concurrent publish/lease/compact,
-#      warm-state handoff across epoch publishes).
+#      serving, obs, versioned-store, incremental, and recovery suites
+#      (snapshot churn, registry concurrency, concurrent
+#      publish/lease/compact, warm-state handoff across epoch publishes,
+#      standby log-tailing under live writer load).
 # Each sanitizer gets its own build tree under build-san/ so the regular
 # build/ directory is never polluted. Exits nonzero on the first failure.
 #
@@ -24,9 +25,12 @@ if [[ "$MODE" == "chaos" ]]; then
   ASAN_DIR="$ROOT/build-san/asan-ubsan"
   cmake -B "$ASAN_DIR" -S "$ROOT" -DGA_SANITIZE=address,undefined \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-  cmake --build "$ASAN_DIR" -j "$JOBS" --target ga_resilience_tests > /dev/null
+  cmake --build "$ASAN_DIR" -j "$JOBS" \
+        --target ga_resilience_tests ga_recovery_tests > /dev/null
   echo "=== [chaos/asan-ubsan] resilience suite (recovery + fault injection) ==="
   "$ASAN_DIR/tests/ga_resilience_tests"
+  echo "=== [chaos/asan-ubsan] epoch-log suite (kill-anywhere + torn tails) ==="
+  "$ASAN_DIR/tests/ga_recovery_tests"
 
   echo "=== [chaos/tsan] configure + build resilience + serving + store suites ==="
   TSAN_DIR="$ROOT/build-san/tsan"
@@ -34,7 +38,7 @@ if [[ "$MODE" == "chaos" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$TSAN_DIR" -j "$JOBS" \
         --target ga_resilience_tests ga_serving_tests ga_store_tests \
-                 ga_incremental_tests > /dev/null
+                 ga_incremental_tests ga_recovery_tests > /dev/null
   echo "=== [chaos/tsan] backpressure queue + streaming handoff tests ==="
   "$TSAN_DIR/tests/ga_resilience_tests" \
       --gtest_filter='IngestQueue*:Backpressure*:RunStream*:Wal.AsyncDrain*'
@@ -44,6 +48,8 @@ if [[ "$MODE" == "chaos" ]]; then
   "$TSAN_DIR/tests/ga_store_tests" --gtest_filter='StoreConcurrency*:StreamPublication*'
   echo "=== [chaos/tsan] incremental suite (warm-state handoff across epoch publishes) ==="
   "$TSAN_DIR/tests/ga_incremental_tests"
+  echo "=== [chaos/tsan] standby promotion under live writer load ==="
+  "$TSAN_DIR/tests/ga_recovery_tests" --gtest_filter='Recovery.Standby*:Recovery.Promote*'
   echo "Chaos sanitizer suites passed."
   exit 0
 fi
@@ -62,7 +68,7 @@ cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" \
       --target ga_tests ga_serving_tests ga_obs_tests ga_store_tests \
-               ga_incremental_tests > /dev/null
+               ga_incremental_tests ga_recovery_tests > /dev/null
 echo "=== [tsan] parallel-path tests ==="
 "$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
 echo "=== [tsan] serving suite (snapshot lifetime + scheduler concurrency) ==="
@@ -73,5 +79,7 @@ echo "=== [tsan] store suite (delta publish / lease / background compaction) ===
 "$TSAN_DIR/tests/ga_store_tests"
 echo "=== [tsan] incremental suite (delta contract + warm-state handoff) ==="
 "$TSAN_DIR/tests/ga_incremental_tests"
+echo "=== [tsan] recovery suite (log append + standby tail/promotion races) ==="
+"$TSAN_DIR/tests/ga_recovery_tests"
 
 echo "All sanitizer suites passed."
