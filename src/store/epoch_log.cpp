@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "resilience/fault_injection.hpp"
 #include "store/delta_summary.hpp"
 #include "store/versioned_store.hpp"
 
@@ -21,7 +22,9 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr char kCheckpointMagic[8] = {'G', 'A', 'E', 'P', 'C', 'K', 'P', '1'};
+// 'GAEPCKP2': version 2 moved the header fields (epoch, nbytes) under the
+// CRC so header bit rot fails closed instead of mis-aiming recovery.
+constexpr char kCheckpointMagic[8] = {'G', 'A', 'E', 'P', 'C', 'K', 'P', '2'};
 
 double us_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(
@@ -100,7 +103,8 @@ void decode_epoch_payload(const char* data, std::size_t len, DeltaBatch* batch,
 // --- checkpoint image -------------------------------------------------------
 
 bool load_checkpoint(const std::string& dir, CheckpointImage* out) {
-  std::ifstream is(EpochLog::checkpoint_path(dir), std::ios::binary);
+  const std::string path = EpochLog::checkpoint_path(dir);
+  std::ifstream is(path, std::ios::binary);
   if (!is.good()) return false;
   char magic[sizeof(kCheckpointMagic)];
   is.read(magic, sizeof(magic));
@@ -112,11 +116,22 @@ bool load_checkpoint(const std::string& dir, CheckpointImage* out) {
   is.read(reinterpret_cast<char*>(&nbytes), sizeof(nbytes));
   is.read(reinterpret_cast<char*>(&crc), sizeof(crc));
   GA_CHECK(is.good(), "epoch log: truncated checkpoint header in " + dir);
+  // Bound the length field against the file BEFORE sizing an allocation
+  // with it: a bit-rotted nbytes must fail like any other corruption, not
+  // as a multi-GB std::bad_alloc. A rotted-but-plausible length still
+  // fails closed below — the CRC covers the header fields too.
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kCheckpointMagic) + sizeof(epoch) + sizeof(nbytes) + sizeof(crc);
+  const std::uint64_t fsize = resilience::file_size(path);
+  GA_CHECK(fsize >= kHeaderBytes && nbytes <= fsize - kHeaderBytes,
+           "epoch log: checkpoint length field exceeds file in " + dir);
   std::vector<char> bytes(nbytes);
   is.read(bytes.data(), static_cast<std::streamsize>(nbytes));
   GA_CHECK(is.good(), "epoch log: truncated checkpoint body in " + dir);
-  GA_CHECK(core::crc32(bytes.data(), bytes.size()) == crc,
-           "epoch log: checkpoint CRC mismatch in " + dir);
+  std::uint32_t actual = core::crc32(&epoch, sizeof(epoch));
+  actual = core::crc32(&nbytes, sizeof(nbytes), actual);
+  actual = core::crc32(bytes.data(), bytes.size(), actual);
+  GA_CHECK(actual == crc, "epoch log: checkpoint CRC mismatch in " + dir);
 
   const char* d = bytes.data();
   const std::size_t len = bytes.size();
@@ -212,6 +227,9 @@ void EpochLog::append(std::uint64_t epoch, const DeltaBatch& batch,
                       const DeltaSummary& summary) {
   const auto t0 = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
+  GA_CHECK(!failed_,
+           "epoch log: unusable after a failed append rollback in " +
+               log_path(opts_.dir));
   hook("log_append_begin");
   GA_CHECK(epoch == stats_.last_epoch + 1,
            "epoch log: non-contiguous epoch " + std::to_string(epoch) +
@@ -225,18 +243,41 @@ void EpochLog::append(std::uint64_t epoch, const DeltaBatch& batch,
   const std::size_t frame = resilience::recio::frame_record(
       scratch_.data(), epoch, payload.data(), payload.size());
 
-  hook("log_append_write");
 #ifndef _WIN32
-  const auto written = ::write(fd_, scratch_.data(), frame);
-  GA_CHECK(written == static_cast<ssize_t>(frame),
-           "epoch log: short write to " + log_path(opts_.dir));
+  const auto base = ::lseek(fd_, 0, SEEK_END);
+  GA_CHECK(base >= 0, "epoch log: lseek failed for " + log_path(opts_.dir));
 #endif
-  dirty_ = true;
-  if (opts_.sync_each_append) {
-    hook("log_append_sync");
-    sync_fd();
-    dirty_ = false;
-    ++stats_.syncs;
+  const bool was_dirty = dirty_;
+  try {
+    hook("log_append_write");
+#ifndef _WIN32
+    const auto written = ::write(fd_, scratch_.data(), frame);
+    GA_CHECK(written == static_cast<ssize_t>(frame),
+             "epoch log: short write to " + log_path(opts_.dir));
+#endif
+    dirty_ = true;
+    if (opts_.sync_each_append) {
+      hook("log_append_sync");
+      sync_fd();
+      dirty_ = false;
+      ++stats_.syncs;
+    }
+  } catch (const resilience::InjectedFault&) {
+    // A simulated kill: a dead process runs no cleanup, and recovery must
+    // cope with exactly the bytes the crash left behind.
+    throw;
+  } catch (...) {
+    // Real I/O failure (short write, failed fdatasync) with the process
+    // still alive: cut the file back to the pre-append frame boundary so
+    // the torn frame cannot bury later acked appends behind an
+    // unscannable prefix, and so a retry cannot frame a duplicate seq.
+    // If the rollback itself fails the log is permanently unusable —
+    // refusing future appends beats acking epochs recovery cannot reach.
+    dirty_ = was_dirty;
+#ifndef _WIN32
+    if (::ftruncate(fd_, base) != 0) failed_ = true;
+#endif
+    throw;
   }
   ++stats_.appends;
   stats_.bytes_appended += frame;
@@ -290,7 +331,13 @@ void EpochLog::checkpoint(const GraphView& view) {
   } else {
     put(&body, static_cast<std::uint64_t>(0));
   }
-  const std::uint32_t crc = core::crc32(body.data(), body.size());
+  const std::uint64_t ck_epoch = view.epoch();
+  const std::uint64_t nbytes = body.size();
+  // The CRC covers the header fields, not just the body, so bit rot in
+  // epoch or nbytes fails closed at load.
+  std::uint32_t crc = core::crc32(&ck_epoch, sizeof(ck_epoch));
+  crc = core::crc32(&nbytes, sizeof(nbytes), crc);
+  crc = core::crc32(body.data(), body.size(), crc);
 
   // tmp → fsync → rename → dir-fsync: a crash at any point leaves either
   // the old checkpoint or the new one, never a partial image, and the
@@ -302,9 +349,7 @@ void EpochLog::checkpoint(const GraphView& view) {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     GA_CHECK(os.good(), "epoch log: cannot open " + tmp);
     os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-    const std::uint64_t epoch = view.epoch();
-    const std::uint64_t nbytes = body.size();
-    os.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+    os.write(reinterpret_cast<const char*>(&ck_epoch), sizeof(ck_epoch));
     os.write(reinterpret_cast<const char*>(&nbytes), sizeof(nbytes));
     os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
     os.write(body.data(), static_cast<std::streamsize>(body.size()));

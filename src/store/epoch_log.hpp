@@ -139,6 +139,7 @@ class EpochLog {
   int fd_ = -1;
   bool dirty_ = false;          // unsynced appended bytes
   bool has_checkpoint_ = false; // a durable image exists (loaded or written)
+  bool failed_ = false;         // a post-error rollback failed: refuse appends
   EpochLogStats stats_;
   std::function<void(const char*)> fault_hook_;
   std::vector<char> scratch_;  // framed-record staging buffer

@@ -9,6 +9,10 @@
 #include "obs/metrics.hpp"
 #include "store/delta_summary.hpp"
 
+#ifndef _WIN32
+#include <sys/stat.h>
+#endif
+
 namespace ga::store {
 
 namespace fs = std::filesystem;
@@ -36,6 +40,22 @@ bool summaries_agree(const DeltaSummary& replayed, const DeltaSummary& logged) {
          replayed.vertex_growth == logged.vertex_growth;
 }
 
+/// Inode of the log file a standby's byte cursor refers to (0 when the
+/// file is missing or off-POSIX). EpochLog::truncate_below swaps a new
+/// file into the log's path, so an inode change is the deterministic
+/// "cursor is meaningless now" signal — including when the new file is no
+/// shorter than the cursor, where a size probe alone sees nothing wrong.
+std::uint64_t log_inode(const std::string& path) {
+#ifndef _WIN32
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_ino);
+#else
+  (void)path;
+  return 0;
+#endif
+}
+
 }  // namespace
 
 RecoveredStore recover(const RecoveryOptions& opts) {
@@ -56,21 +76,23 @@ RecoveredStore recover(const RecoveryOptions& opts) {
   const std::string log = EpochLog::log_path(opts.dir);
   const auto scan = resilience::scan_records(log, opts.policy);
   for (const auto& rec : scan.records) {
-    if (rec.seq <= image.epoch) {
-      // The crash window between checkpoint rename and log truncation
-      // leaves already-checkpointed records behind; replay is idempotent
-      // by seq.
+    if (rec.seq <= out.store->epoch()) {
+      // Two legal sources of stale records: the crash window between a
+      // checkpoint rename and the log truncation (records at or below the
+      // checkpoint epoch), and a failed-fsync-then-retry append that
+      // framed the same seq twice. Replay is idempotent by seq: skip both.
       ++rep.skipped;
       continue;
     }
+    GA_CHECK(rec.seq == out.store->epoch() + 1,
+             "recovery: epoch gap — store at " +
+                 std::to_string(out.store->epoch()) +
+                 " but log record carries seq " + std::to_string(rec.seq));
     DeltaBatch batch;
     DeltaSummary logged;
     decode_epoch_payload(rec.payload.data(), rec.payload.size(), &batch,
                          &logged);
-    const std::uint64_t applied = out.store->apply(batch);
-    GA_CHECK(applied == rec.seq,
-             "recovery: epoch gap — applied " + std::to_string(applied) +
-                 " but log record carries seq " + std::to_string(rec.seq));
+    out.store->apply(batch);
     if (opts.verify_summaries) {
       const auto replayed = out.store->view().delta_summary();
       if (!replayed || !summaries_agree(*replayed, logged)) {
@@ -162,7 +184,11 @@ StandbyReplica::StandbyReplica(RecoveryOptions opts) : opts_(std::move(opts)) {
   initial_report_ = rec.report;
   store_ = std::move(rec.store);
   // Resume tailing right past the clean prefix the recovery scan consumed.
-  const auto scan = resilience::scan_records(EpochLog::log_path(opts_.dir));
+  // Inode first, scan second: if a swap lands between the two, the stale
+  // inode forces a reload on the first tail pass.
+  const std::string log = EpochLog::log_path(opts_.dir);
+  log_ino_ = log_inode(log);
+  const auto scan = resilience::scan_records(log);
   cursor_ = scan.bytes_valid;
 }
 
@@ -177,13 +203,23 @@ std::uint64_t StandbyReplica::tail_once() {
   try {
     std::uint64_t size = 0;
     if (fs::exists(log)) size = resilience::file_size(log);
-    if (size < cursor_) {
-      // The primary truncated the log past a checkpoint; the byte cursor
-      // is meaningless in the new file. Full reload from the durable image.
+    const std::uint64_t ino = log_inode(log);
+    if (size < cursor_ || (log_ino_ != 0 && ino != 0 && ino != log_ino_)) {
+      // The primary rewrote the log (checkpoint truncation renames a new
+      // file into place). Whether or not the new file is shorter than the
+      // cursor, the byte cursor is meaningless in it: full reload from the
+      // durable image.
       reload();
       return 0;
     }
-    auto scan = resilience::scan_records_from(log, cursor_, opts_.policy);
+    if (log_ino_ == 0) log_ino_ = ino;
+    resilience::RecordScanResult scan;
+    bool scan_threw = false;
+    try {
+      scan = resilience::scan_records_from(log, cursor_, opts_.policy);
+    } catch (const Error&) {
+      scan_threw = true;  // kThrow policy hit a bad CRC at the cursor
+    }
     for (auto& rec : scan.records) {
       if (rec.seq <= store_->epoch()) continue;  // covered by the base image
       if (rec.seq != store_->epoch() + 1) {
@@ -201,7 +237,25 @@ std::uint64_t StandbyReplica::tail_once() {
     }
     // A torn frame here usually means the writer is mid-append: leave the
     // cursor at the clean prefix and pick the record up next pass.
-    cursor_ = scan.bytes_valid;
+    if (!scan_threw) cursor_ = scan.bytes_valid;
+    if (scan_threw || scan.corrupt_records > 0 ||
+        (scan.torn_tail && scan.records.empty())) {
+      // Garbage at the cursor has two explanations: genuine corruption,
+      // or a log swap the inode probe raced past — a mid-frame cursor in
+      // the new file reads bytes that mimic corruption or a torn frame
+      // that never completes, stalling the tail forever. Cross-check
+      // against a from-zero scan: a clean prefix that disagrees with the
+      // cursor, or durable records beyond the replica's epoch, means the
+      // file was swapped. Genuine corruption agrees with the cursor and
+      // (correctly) stays stalled rather than reload-spinning.
+      const auto full = resilience::scan_records(log);
+      if (full.bytes_valid != cursor_ ||
+          (!full.records.empty() &&
+           full.records.back().seq > store_->epoch())) {
+        reload();
+        return applied;
+      }
+    }
   } catch (const Error&) {
     // Checkpoint/log swapped mid-pass (the primary's truncate window) —
     // every read raced a rename. Retry from scratch next pass.
@@ -220,7 +274,9 @@ void StandbyReplica::reload() {
   // Caller holds mu_.
   auto rec = recover(opts_);
   store_ = std::move(rec.store);
-  const auto scan = resilience::scan_records(EpochLog::log_path(opts_.dir));
+  const std::string log = EpochLog::log_path(opts_.dir);
+  log_ino_ = log_inode(log);
+  const auto scan = resilience::scan_records(log);
   cursor_ = scan.bytes_valid;
   ++stats_.reloads;
   if (obs::enabled()) {

@@ -14,9 +14,11 @@
 //
 // StandbyReplica keeps a second store warm by tailing the same log
 // in-process: an incremental scan from a byte cursor applies new epochs as
-// they become durable, a log truncation (file shrank under the cursor)
-// triggers a full reload from the checkpoint, and promote() performs a
-// final catch-up and hands the store over for serving.
+// they become durable; a log swap by the primary's checkpoint truncation —
+// detected by inode change, file-shrank-under-cursor, seq gap, or a
+// cursor that reads garbage while a from-zero scan disagrees — triggers a
+// full reload from the checkpoint; and promote() performs a final
+// catch-up and hands the store over for serving.
 #pragma once
 
 #include <atomic>
@@ -150,6 +152,7 @@ class StandbyReplica {
   mutable std::mutex mu_;  // guards store_ swap + cursor + stats
   std::unique_ptr<VersionedGraphStore> store_;
   std::uint64_t cursor_ = 0;  // byte offset of the next unread log frame
+  std::uint64_t log_ino_ = 0; // inode the cursor refers to (0 = unknown)
   StandbyStats stats_;
 
   std::thread tailer_;

@@ -14,9 +14,11 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -247,6 +249,47 @@ TEST(EpochLog, ReopenResumesAtTheLoggedEpoch) {
   fs::remove_all(dir);
 }
 
+// A failed write or fdatasync with the process still alive must restore
+// the log to a frame boundary: otherwise the torn frame buries every
+// later acked append behind bytes no recovery scan can cross, and a
+// retry would frame a duplicate seq.
+TEST(EpochLog, FailedAppendRestoresFrameBoundary) {
+  const std::string dir = fresh_dir("append_rollback");
+  const Workload w = make_workload(41, 4);
+  VersionedGraphStore store(w.base, manual_compaction());
+  EpochLog log({.dir = dir});
+  log.attach(store);
+  store.apply(w.batches[0]);
+  const std::uint64_t good = resilience::file_size(EpochLog::log_path(dir));
+
+  // A ga::Error from the sync-stage hook stands in for a failed fdatasync
+  // AFTER the frame bytes hit the file (an InjectedFault would model a
+  // process kill instead, which runs no rollback by design).
+  log.set_fault_hook([](const char* s) {
+    if (std::string_view(s) == "log_append_sync") {
+      throw Error("injected sync failure");
+    }
+  });
+  EXPECT_THROW(store.apply(w.batches[1]), Error);
+  EXPECT_EQ(store.epoch(), 1u);  // the epoch was never acked
+  EXPECT_EQ(resilience::file_size(EpochLog::log_path(dir)), good);
+
+  // The retry succeeds and the log scans clean: one record per epoch.
+  log.set_fault_hook(nullptr);
+  store.apply(w.batches[1]);
+  store.apply(w.batches[2]);
+  const auto scan = resilience::scan_records(EpochLog::log_path(dir));
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.corrupt_records, 0u);
+
+  auto rec = recover(dir_opts(dir));
+  EXPECT_EQ(rec.report.recovered_epoch, 3u);
+  EXPECT_EQ(view_digest(rec.store->view()), twin_digest(w, 3));
+  fs::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // Clean round trip: recover an uncrashed directory, serve from it
 
@@ -334,6 +377,48 @@ TEST(Recovery, CrashBetweenCheckpointRenameAndTruncation) {
   EXPECT_EQ(rec.report.skipped, 4u);  // epochs 1..4 still in the log
   EXPECT_EQ(rec.report.recovered_epoch, 4u);
   EXPECT_EQ(view_digest(rec.store->view()), twin_digest(w, 4));
+  fs::remove_all(dir);
+}
+
+// A failed-fsync-then-retry writer (before rollback existed) could frame
+// the same seq twice. Replay must skip the duplicate, not hard-fail.
+TEST(Recovery, ReplayToleratesDuplicateSeqRecords) {
+  const Workload w = make_workload(43, 6);
+  const std::string dir = fresh_dir("dup_seq");
+  run_to_crash(w, dir, "", 1, /*checkpoint_every=*/0,
+               /*final_checkpoint=*/false);
+  const std::string path = EpochLog::log_path(dir);
+  const auto scan = resilience::scan_records(path);
+  ASSERT_EQ(scan.records.size(), 6u);
+
+  // Splice a byte-identical copy of epoch 3's frame right after itself.
+  std::uint64_t start = 0;
+  for (int i = 0; i < 2; ++i) {
+    start += resilience::recio::frame_size(scan.records[i].payload.size());
+  }
+  const std::uint64_t dup_len =
+      resilience::recio::frame_size(scan.records[2].payload.size());
+  std::vector<char> bytes(resilience::file_size(path));
+  {
+    std::ifstream is(path, std::ios::binary);
+    is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(is.good());
+  }
+  bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(start + dup_len),
+               bytes.begin() + static_cast<std::ptrdiff_t>(start),
+               bytes.begin() + static_cast<std::ptrdiff_t>(start + dup_len));
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(os.good());
+  }
+
+  auto rec = recover(dir_opts(dir));
+  EXPECT_TRUE(rec.report.status().ok());
+  EXPECT_EQ(rec.report.skipped, 1u);  // the duplicate, counted not applied
+  EXPECT_EQ(rec.report.replayed, 6u);
+  EXPECT_EQ(rec.report.recovered_epoch, 6u);
+  EXPECT_EQ(view_digest(rec.store->view()), twin_digest(w, 6));
   fs::remove_all(dir);
 }
 
@@ -432,6 +517,136 @@ TEST(Recovery, CorruptRecordReportsDataLoss) {
 
   // An EpochLog refuses to append onto a corrupt history.
   EXPECT_THROW(EpochLog({.dir = dir}), Error);
+  fs::remove_all(dir);
+}
+
+// Checkpoint header rot: the length field is bounded before it sizes an
+// allocation, and the CRC covers the header fields — both fail as
+// ga::Error, never as a multi-GB std::bad_alloc or a silently wrong
+// checkpoint epoch. Header layout: magic[0,8) epoch[8,16) nbytes[16,24)
+// crc[24,28) body[28,...).
+TEST(Recovery, BitRottedCheckpointHeaderFailsClosed) {
+  const Workload w = make_workload(47, 6);
+  const std::string dir = fresh_dir("ckpt_rot_len");
+  run_to_crash(w, dir);  // ends with a durable checkpoint
+  // Flip a high byte of nbytes: the bounds check rejects it pre-alloc.
+  resilience::corrupt_byte(EpochLog::checkpoint_path(dir), 22, 0x7f);
+  CheckpointImage img;
+  EXPECT_THROW(load_checkpoint(dir, &img), Error);
+  fs::remove_all(dir);
+
+  const std::string dir2 = fresh_dir("ckpt_rot_epoch");
+  run_to_crash(w, dir2);
+  // Flip the low byte of epoch: still a plausible image, but the CRC
+  // covers the header, so the load fails instead of mis-aiming replay.
+  resilience::corrupt_byte(EpochLog::checkpoint_path(dir2), 8);
+  EXPECT_THROW(load_checkpoint(dir2, &img), Error);
+  fs::remove_all(dir2);
+}
+
+// ---------------------------------------------------------------------------
+// Standby vs. log swap: a checkpoint truncation rewrites the log file. If
+// the standby lags by more than the truncated prefix, the new file is no
+// SHORTER than its byte cursor — a size probe alone sees nothing wrong,
+// the cursor points mid-frame, and before the swap-detection fix the tail
+// stalled forever (a hung failover).
+
+TEST(Recovery, StandbyReloadsWhenTruncationOutpacesItsCursor) {
+  const int kEpochs = 20;
+  const Workload w = make_workload(67, kEpochs);
+  const std::string dir = fresh_dir("standby_lag");
+
+  VersionedGraphStore primary(w.base, manual_compaction());
+  EpochLog log({.dir = dir, .checkpoint_every = 0});  // manual checkpoints
+  log.attach(primary);
+  for (int i = 0; i < 2; ++i) primary.apply(w.batches[i]);
+
+  StandbyReplica standby(dir_opts(dir));
+  ASSERT_EQ(standby.epoch(), 2u);
+  const std::uint64_t cursor = resilience::file_size(EpochLog::log_path(dir));
+
+  for (int i = 2; i < 4; ++i) primary.apply(w.batches[i]);
+  const GraphView v4 = primary.view();
+  for (int i = 4; i < kEpochs; ++i) primary.apply(w.batches[i]);
+  // Checkpoint epoch 4: the truncation cuts 4 frames but 16 survive, so
+  // the rewritten log is LONGER than the standby's 2-frame cursor.
+  log.checkpoint(v4);
+  ASSERT_GE(resilience::file_size(EpochLog::log_path(dir)), cursor);
+
+  standby.tail_once();
+  EXPECT_GE(standby.stats().reloads, 1u);
+  EXPECT_EQ(standby.epoch(), static_cast<std::uint64_t>(kEpochs));
+  EXPECT_EQ(view_digest(standby.view()), twin_digest(w, kEpochs));
+
+  auto promoted = standby.promote(kEpochs);  // must not hang
+  ASSERT_TRUE(promoted != nullptr);
+  EXPECT_EQ(promoted->epoch(), static_cast<std::uint64_t>(kEpochs));
+  fs::remove_all(dir);
+}
+
+// Same stall, but the swap preserves the log's inode (content overwrite
+// instead of rename), so only the garbage-at-cursor cross-check against a
+// from-zero scan can detect it.
+TEST(Recovery, StandbyDetectsInPlaceLogSwapViaGarbageCursor) {
+  const int kEpochs = 20;
+  const Workload w = make_workload(71, kEpochs);
+
+  // "Before" image: checkpoint@0 + all 20 records.
+  const std::string before = fresh_dir("swap_before");
+  run_to_crash(w, before, "", 1, /*checkpoint_every=*/0,
+               /*final_checkpoint=*/false);
+
+  // "After" image: checkpoint@4, records 5..20 — what the primary's
+  // checkpoint truncation leaves behind.
+  const std::string after = fresh_dir("swap_after");
+  fs::copy(before, after,
+           fs::copy_options::overwrite_existing | fs::copy_options::recursive);
+  {
+    EpochLog log({.dir = after, .checkpoint_every = 0});
+    log.checkpoint(twin_at(w, 4)->view());
+  }
+
+  // The watched dir starts at the 2-epoch prefix of "before".
+  const std::string dir = fresh_dir("swap_watch");
+  fs::copy(before, dir,
+           fs::copy_options::overwrite_existing | fs::copy_options::recursive);
+  const auto pre = resilience::scan_records(EpochLog::log_path(before));
+  ASSERT_EQ(pre.records.size(), static_cast<std::size_t>(kEpochs));
+  std::uint64_t two_frames = 0;
+  for (int i = 0; i < 2; ++i) {
+    two_frames += resilience::recio::frame_size(pre.records[i].payload.size());
+  }
+  fs::resize_file(EpochLog::log_path(dir), two_frames);
+
+  StandbyReplica standby(dir_opts(dir));
+  ASSERT_EQ(standby.epoch(), 2u);
+
+  // Swap in the "after" state WITHOUT changing the log's inode. The new
+  // log is longer than the standby's cursor, which now points mid-frame.
+  fs::copy_file(EpochLog::checkpoint_path(after), EpochLog::checkpoint_path(dir),
+                fs::copy_options::overwrite_existing);
+  std::vector<char> new_log(resilience::file_size(EpochLog::log_path(after)));
+  {
+    std::ifstream is(EpochLog::log_path(after), std::ios::binary);
+    is.read(new_log.data(), static_cast<std::streamsize>(new_log.size()));
+    ASSERT_TRUE(is.good());
+  }
+  {
+    std::ofstream os(EpochLog::log_path(dir),
+                     std::ios::binary | std::ios::trunc);
+    os.write(new_log.data(), static_cast<std::streamsize>(new_log.size()));
+    ASSERT_TRUE(os.good());
+  }
+  ASSERT_GE(resilience::file_size(EpochLog::log_path(dir)), two_frames);
+
+  // One pass: the cursor reads garbage, the from-zero cross-check
+  // disagrees, and the standby reloads instead of stalling.
+  standby.tail_once();
+  EXPECT_GE(standby.stats().reloads, 1u);
+  EXPECT_EQ(standby.epoch(), static_cast<std::uint64_t>(kEpochs));
+  EXPECT_EQ(view_digest(standby.view()), twin_digest(w, kEpochs));
+  fs::remove_all(before);
+  fs::remove_all(after);
   fs::remove_all(dir);
 }
 
