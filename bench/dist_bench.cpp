@@ -1,0 +1,226 @@
+// Sharded serving bench (the CI dist gate): scatter/gather BFS, PageRank,
+// and WCC throughput + latency at 1/2/4 shard processes against the
+// single-process registry kernels, a digest cross-check at every shard
+// count, and the fail-over blackout — kill -9 one shard mid-workload and
+// measure the gap until the next successful query.
+//
+// Defaults keep CI fast; --scale N / --queries N / --shards-max N
+// override. --inproc uses shard threads instead of child processes (the
+// sanitizer harness mode). --json additionally writes BENCH_dist.json.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/prng.hpp"
+#include "core/timer.hpp"
+#include "dist/coordinator.hpp"
+#include "graph/generators.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/pagerank.hpp"
+#include "store/recovery.hpp"
+#include "store/versioned_store.hpp"
+
+using namespace ga;
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+struct OpStats {
+  double qps = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+};
+
+template <typename Fn>
+OpStats time_op(int queries, Fn&& fn) {
+  std::vector<double> lat;
+  lat.reserve(queries);
+  core::WallTimer total;
+  for (int i = 0; i < queries; ++i) {
+    core::WallTimer t;
+    fn(i);
+    lat.push_back(t.millis());
+  }
+  const double secs = total.seconds();
+  return OpStats{secs > 0 ? queries / secs : 0.0, percentile(lat, 0.50),
+                 percentile(lat, 0.99)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--scale", 13));
+  const int queries =
+      static_cast<int>(bench::flag_value(argc, argv, "--queries", 6));
+  const auto shards_max = static_cast<std::uint32_t>(
+      bench::flag_value(argc, argv, "--shards-max", 4));
+  const bool inproc = bench::has_flag(argc, argv, "--inproc");
+  const bool json = bench::has_flag(argc, argv, "--json");
+
+  namespace fs = std::filesystem;
+
+  std::printf("=== Sharded serving: scatter/gather vs single process "
+              "(scale %u, %d queries/op) ===\n\n",
+              scale, queries);
+
+  graph::CSRGraph base =
+      graph::make_rmat({.scale = scale, .edge_factor = 8, .seed = 7});
+  const vid_t n = base.num_vertices();
+  std::printf("base: %u vertices, %llu arcs, mode: %s\n\n", n,
+              static_cast<unsigned long long>(base.num_arcs()),
+              inproc ? "in-process shard threads" : "shard processes");
+
+  // Single-process baseline over the identical view.
+  store::VersionedGraphStore shadow(base);
+  const auto view = shadow.view();
+  kernels::PageRankOptions popts;
+  popts.tolerance = 0.0;
+  popts.max_iters = 10;
+  const auto ref_bfs = kernels::bfs(view, 0);
+  const auto ref_pr = kernels::pagerank(view.csr(), popts);
+  auto ref_cc = kernels::wcc_label_propagation(view);
+  kernels::canonicalize_labels(ref_cc.label);
+  const std::uint64_t ref_digest = store::view_digest(view);
+
+  const OpStats base_bfs =
+      time_op(queries, [&](int) { kernels::bfs(view, 0); });
+  const OpStats base_pr =
+      time_op(queries, [&](int) { kernels::pagerank(view.csr(), popts); });
+  const OpStats base_cc =
+      time_op(queries, [&](int) { kernels::wcc_label_propagation(view); });
+  std::printf("%-28s %10s %10s %10s\n", "config", "qps", "p50 ms", "p99 ms");
+  std::printf("%-28s %10.2f %10.2f %10.2f\n", "bfs single-process",
+              base_bfs.qps, base_bfs.p50_ms, base_bfs.p99_ms);
+  std::printf("%-28s %10.2f %10.2f %10.2f\n", "pagerank single-process",
+              base_pr.qps, base_pr.p50_ms, base_pr.p99_ms);
+  std::printf("%-28s %10.2f %10.2f %10.2f\n", "wcc single-process",
+              base_cc.qps, base_cc.p50_ms, base_cc.p99_ms);
+
+  bench::JsonDoc doc("dist");
+  doc.add("scale", static_cast<int>(scale));
+  doc.add("vertices", static_cast<std::uint64_t>(n));
+  doc.add("arcs", static_cast<std::uint64_t>(base.num_arcs()));
+  doc.add("queries_per_op", queries);
+  doc.add("mode", inproc ? "inproc" : "process");
+  doc.add("bfs_single_qps", base_bfs.qps);
+  doc.add("pagerank_single_qps", base_pr.qps);
+  doc.add("wcc_single_qps", base_cc.qps);
+
+  int digest_match_all = 1;
+  std::uint64_t wrong_answers = 0;
+  std::vector<double> shard_counts;
+
+  for (std::uint32_t shards = 1; shards <= shards_max; shards *= 2) {
+    dist::CoordinatorOptions opts;
+    opts.shards = shards;
+    opts.root_dir = (fs::temp_directory_path() /
+                     ("ga_dist_bench_" + std::to_string(shards)))
+                        .string();
+    fs::remove_all(opts.root_dir);
+    opts.process_isolation = !inproc;
+    opts.shard_binary = GA_SHARD_BIN;
+    opts.sync_each_append = false;  // bench I/O floor, not durability
+    opts.heartbeat_interval_ms = 20;
+    dist::Coordinator coord(opts);
+    coord.start(base).or_throw();
+    shard_counts.push_back(shards);
+
+    const OpStats d_bfs = time_op(queries, [&](int) {
+      const auto r = coord.bfs(0);
+      if (!r.ok() || r->dist != ref_bfs.dist) ++wrong_answers;
+    });
+    const OpStats d_pr = time_op(queries, [&](int) {
+      const auto r = coord.pagerank(0.85, 10);
+      if (!r.ok() || r->rank != ref_pr.rank) ++wrong_answers;
+    });
+    const OpStats d_cc = time_op(queries, [&](int) {
+      const auto r = coord.wcc();
+      if (!r.ok() || r->label != ref_cc.label) ++wrong_answers;
+    });
+    const auto fetched = coord.fetch_view();
+    const int match =
+        fetched.ok() && store::view_digest(*fetched) == ref_digest ? 1 : 0;
+    digest_match_all &= match;
+
+    const std::string tag = std::to_string(shards) + " shard" +
+                            (shards == 1 ? "" : "s");
+    std::printf("%-28s %10.2f %10.2f %10.2f\n", ("bfs " + tag).c_str(),
+                d_bfs.qps, d_bfs.p50_ms, d_bfs.p99_ms);
+    std::printf("%-28s %10.2f %10.2f %10.2f\n", ("pagerank " + tag).c_str(),
+                d_pr.qps, d_pr.p50_ms, d_pr.p99_ms);
+    std::printf("%-28s %10.2f %10.2f %10.2f   digest %s\n",
+                ("wcc " + tag).c_str(), d_cc.qps, d_cc.p50_ms, d_cc.p99_ms,
+                match ? "MATCH" : "MISMATCH");
+
+    const std::string sfx = "_" + std::to_string(shards) + "shard";
+    doc.add("bfs_qps" + sfx, d_bfs.qps);
+    doc.add("bfs_p50_ms" + sfx, d_bfs.p50_ms);
+    doc.add("bfs_p99_ms" + sfx, d_bfs.p99_ms);
+    doc.add("pagerank_qps" + sfx, d_pr.qps);
+    doc.add("pagerank_p50_ms" + sfx, d_pr.p50_ms);
+    doc.add("pagerank_p99_ms" + sfx, d_pr.p99_ms);
+    doc.add("wcc_qps" + sfx, d_cc.qps);
+    doc.add("wcc_p50_ms" + sfx, d_cc.p50_ms);
+    doc.add("wcc_p99_ms" + sfx, d_cc.p99_ms);
+    doc.add("digest_match" + sfx, match);
+    coord.stop();
+  }
+
+  // Fail-over blackout at 3 shards: kill -9 one shard, then hammer BFS
+  // until an answer comes back; the blackout is kill -> first success.
+  std::uint32_t fo_shards = std::min<std::uint32_t>(3, shards_max);
+  dist::CoordinatorOptions fopts;
+  fopts.shards = fo_shards;
+  fopts.root_dir =
+      (fs::temp_directory_path() / "ga_dist_bench_failover").string();
+  fs::remove_all(fopts.root_dir);
+  fopts.process_isolation = !inproc;
+  fopts.shard_binary = GA_SHARD_BIN;
+  fopts.sync_each_append = false;
+  fopts.heartbeat_interval_ms = 20;
+  fopts.heartbeat_timeout_ms = 500;
+  dist::Coordinator coord(fopts);
+  coord.start(base).or_throw();
+  {
+    const auto warm = coord.bfs(0);
+    if (!warm.ok() || warm->dist != ref_bfs.dist) ++wrong_answers;
+  }
+  coord.kill_shard(fo_shards - 1);
+  core::WallTimer blackout;
+  double blackout_ms = -1.0;
+  for (;;) {
+    const auto r = coord.bfs(0);
+    if (r.ok()) {
+      if (r->dist != ref_bfs.dist) ++wrong_answers;
+      blackout_ms = blackout.millis();
+      break;
+    }
+    if (blackout.seconds() > 30.0) break;  // give up; JSON keeps -1
+  }
+  const bool recovered = coord.wait_all_alive(10000);
+  std::printf("\nfail-over: kill -9 one of %u shards -> next good answer in "
+              "%.1f ms (respawns %llu, wrong answers %llu)\n",
+              fo_shards, blackout_ms,
+              static_cast<unsigned long long>(coord.stats().respawns),
+              static_cast<unsigned long long>(wrong_answers));
+  doc.add("failover_shards", static_cast<int>(fo_shards));
+  doc.add("failover_blackout_ms", blackout_ms);
+  doc.add("failover_recovered", recovered ? 1 : 0);
+  doc.add("shards", static_cast<int>(fo_shards));
+  doc.add("digest_match", digest_match_all);
+  doc.add("wrong_answers", wrong_answers);
+  doc.add_array("shard_counts", shard_counts);
+  coord.stop();
+
+  if (json) doc.write();
+  return 0;
+}

@@ -1,0 +1,789 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "store/delta.hpp"
+
+namespace ga::dist {
+
+namespace fs = std::filesystem;
+using steady = std::chrono::steady_clock;
+
+std::string Coordinator::shard_dir(const std::string& root,
+                                   std::uint32_t idx) {
+  return root + "/shard-" + std::to_string(idx);
+}
+
+std::string Coordinator::status_socket_path(const std::string& root) {
+  return root + "/coordinator.sock";
+}
+
+Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
+  GA_CHECK(opts_.shards >= 1, "dist: coordinator needs >= 1 shard");
+  GA_CHECK(!opts_.root_dir.empty(), "dist: coordinator needs a root dir");
+  GA_CHECK(!opts_.process_isolation || !opts_.shard_binary.empty(),
+           "dist: process isolation needs a shard binary path");
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+// ---------------------------------------------------------------------------
+// Startup
+
+ByteWriter Coordinator::identity_message(std::uint32_t idx) const {
+  ByteWriter w;
+  w.put<std::uint32_t>(idx);
+  w.put<std::uint32_t>(opts_.shards);
+  w.put<std::uint64_t>(opts_.checkpoint_every);
+  w.put<std::uint8_t>(opts_.sync_each_append ? 1 : 0);
+  w.put_str(shard_dir(opts_.root_dir, idx));
+  {
+    std::lock_guard<std::mutex> lk(history_mu_);
+    w.put_vec(owner_snapshot_);
+  }
+  return w;
+}
+
+void Coordinator::init_shard(std::uint32_t idx, const PartitionPlan& plan,
+                             const graph::CSRGraph& base) {
+  const graph::CSRGraph sub = extract_shard(base, plan, idx);
+  ByteWriter w = identity_message(idx);
+  w.put_vec(sub.offsets());
+  w.put_vec(sub.targets());
+  w.put_vec(sub.weights());
+  Shard& s = *shards_[idx];
+  s.ch.send(MsgType::kInit, w).or_throw();
+  core::StatusOr<Message> m =
+      s.ch.expect(MsgType::kInitAck, opts_.io_timeout_ms);
+  m.status().or_throw();
+  ByteReader r(m.value().body);
+  const auto epoch = r.get<std::uint64_t>();
+  GA_CHECK(epoch == 0, "dist: fresh shard reported epoch " +
+                           std::to_string(epoch));
+  s.epoch.store(0);
+  s.alive.store(true);
+}
+
+core::Status Coordinator::start(const graph::CSRGraph& base) {
+  std::lock_guard<std::mutex> op(op_mu_);
+  if (started_) {
+    return core::Status::FailedPrecondition("dist: coordinator already started");
+  }
+  if (base.directed()) {
+    // The subdomain contract — owner holds the complete neighborhood,
+    // which the scatter/gather kernels rely on — needs symmetric arcs.
+    return core::Status::InvalidArgument(
+        "dist: sharded serving requires an undirected base graph");
+  }
+  try {
+    PartitionPlanOptions popts;
+    popts.shards = opts_.shards;
+    popts.method = opts_.method;
+    popts.seed = opts_.seed;
+    PartitionPlan plan = make_plan(base, popts);
+    partitioner_ = std::make_unique<Partitioner>(plan);
+    {
+      std::lock_guard<std::mutex> lk(history_mu_);
+      owner_snapshot_ = partitioner_->owner_map();
+      history_.clear();
+    }
+    fs::create_directories(opts_.root_dir);
+    for (std::uint32_t i = 0; i < opts_.shards; ++i) {
+      fs::create_directories(shard_dir(opts_.root_dir, i));
+    }
+    if (opts_.process_isolation) {
+      launcher_ = std::make_unique<ProcessLauncher>(opts_.shard_binary);
+    } else {
+      launcher_ = std::make_unique<InprocLauncher>();
+    }
+    shards_.clear();
+    for (std::uint32_t i = 0; i < opts_.shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    for (std::uint32_t i = 0; i < opts_.shards; ++i) {
+      shards_[i]->ch = launcher_->launch(i);
+      init_shard(i, plan, base);
+    }
+    epoch_.store(0);
+    stop_.store(false);
+    started_ = true;
+    monitor_ = std::thread([this] { monitor_main(); });
+    if (opts_.start_status_server) {
+      const std::string path = status_socket_path(opts_.root_dir);
+      ::unlink(path.c_str());
+      status_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      GA_CHECK(status_listen_fd_ >= 0, "dist: status socket failed");
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      GA_CHECK(path.size() < sizeof(addr.sun_path),
+               "dist: status socket path too long: " + path);
+      std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+      GA_CHECK(::bind(status_listen_fd_,
+                      reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "dist: cannot bind " + path + ": " + std::strerror(errno));
+      GA_CHECK(::listen(status_listen_fd_, 4) == 0, "dist: listen failed");
+      status_thread_ = std::thread([this] { status_server_main(); });
+    }
+    return core::Status::Ok();
+  } catch (const std::exception& e) {
+    return core::Status::Internal(std::string("dist: start failed: ") +
+                                  e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Health plumbing
+
+void Coordinator::mark_dead(std::uint32_t idx) {
+  Shard& s = *shards_[idx];
+  if (s.alive.exchange(false)) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.deaths;
+  }
+  health_cv_.notify_all();
+}
+
+bool Coordinator::wait_healthy(steady::time_point deadline) {
+  std::unique_lock<std::mutex> lk(health_mu_);
+  return health_cv_.wait_until(lk, deadline, [&] {
+    for (const auto& s : shards_) {
+      if (!s->alive.load()) return false;
+    }
+    return true;
+  });
+}
+
+bool Coordinator::wait_all_alive(int timeout_ms) {
+  return wait_healthy(steady::now() + std::chrono::milliseconds(timeout_ms));
+}
+
+bool Coordinator::shard_alive(std::uint32_t idx) const {
+  return idx < shards_.size() && shards_[idx]->alive.load();
+}
+
+Message Coordinator::roundtrip(std::uint32_t idx, MsgType send,
+                               const ByteWriter& w, MsgType want) {
+  Shard& s = *shards_[idx];
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!s.alive.load()) {
+    throw ShardFailure{idx, core::Status::Unavailable(
+                                "shard " + std::to_string(idx) + " is down")};
+  }
+  core::Status st = s.ch.send(send, w);
+  if (st.ok()) {
+    core::StatusOr<Message> m = s.ch.expect(want, opts_.io_timeout_ms);
+    if (m.ok()) return std::move(m).value();
+    st = m.status();
+  }
+  // Any channel-level failure — EOF, torn frame, timeout, CRC, or a
+  // shard-side kError — retires this incarnation; the monitor respawns it
+  // and the caller's retry loop reruns the operation from scratch.
+  mark_dead(idx);
+  throw ShardFailure{idx, st};
+}
+
+core::Status Coordinator::retry_op(const char* what,
+                                   const std::function<void()>& fn) {
+  if (!started_) {
+    return core::Status::FailedPrecondition("dist: coordinator not started");
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.queries;
+  }
+  const auto deadline =
+      steady::now() + std::chrono::milliseconds(opts_.query_wait_ms);
+  core::Status last = core::Status::Unavailable("shard fleet unhealthy");
+  for (;;) {
+    if (!wait_healthy(deadline)) break;
+    try {
+      fn();
+      return core::Status::Ok();
+    } catch (const ShardFailure& f) {
+      last = f.status;
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.op_retries;
+    }
+    if (steady::now() >= deadline) break;
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.unavailable;
+  }
+  return core::Status::Unavailable(
+      std::string(what) + ": degraded — fleet did not recover within " +
+      std::to_string(opts_.query_wait_ms) + " ms (" +
+      std::string(last.message()) + ")");
+}
+
+// ---------------------------------------------------------------------------
+// Epoch replication
+
+std::uint64_t Coordinator::apply_once(std::uint64_t target) {
+  for (std::uint32_t i = 0; i < opts_.shards; ++i) {
+    ByteWriter w;
+    w.put<std::uint64_t>(target);
+    {
+      std::lock_guard<std::mutex> lk(history_mu_);
+      const std::vector<char>& enc = history_[target - 1][i];
+      w.put_bytes(enc.data(), enc.size());
+    }
+    Message m = roundtrip(i, MsgType::kApplyEpoch, w, MsgType::kApplyAck);
+    ByteReader r(m.body);
+    const auto acked = r.get<std::uint64_t>();
+    GA_CHECK(acked >= target, "dist: shard acked stale epoch");
+    shards_[i]->epoch.store(acked);
+  }
+  return target;
+}
+
+core::StatusOr<std::uint64_t> Coordinator::apply(
+    const store::DeltaBatch& batch) {
+  std::lock_guard<std::mutex> op(op_mu_);
+  if (!started_) {
+    return core::Status::FailedPrecondition("dist: coordinator not started");
+  }
+  const std::uint64_t target = epoch_.load() + 1;
+  // Split and record the epoch once, outside the retry loop: split() grows
+  // the owner map for vertex-growth batches and must run exactly once, and
+  // the recorded history is what respawn catch-up resends.
+  try {
+    std::vector<store::DeltaBatch> parts = partitioner_->split(batch);
+    std::vector<std::vector<char>> enc(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      parts[i].encode(&enc[i]);
+    }
+    std::lock_guard<std::mutex> lk(history_mu_);
+    GA_CHECK(history_.size() == target - 1, "dist: replication history gap");
+    history_.push_back(std::move(enc));
+    owner_snapshot_ = partitioner_->owner_map();
+  } catch (const std::exception& e) {
+    return core::Status::InvalidArgument(std::string("dist: bad batch: ") +
+                                         e.what());
+  }
+  std::uint64_t applied = 0;
+  core::Status st = retry_op("apply", [&] { applied = apply_once(target); });
+  if (!st.ok()) return st;
+  epoch_.store(applied);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.epochs_applied;
+  }
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed BFS / WCC: boundary-exchange rounds
+
+namespace {
+
+struct RoutedInbox {
+  std::vector<std::vector<vid_t>> ids;
+  std::vector<std::vector<std::uint32_t>> vals;
+  explicit RoutedInbox(std::uint32_t shards) : ids(shards), vals(shards) {}
+};
+
+}  // namespace
+
+DistBfsResult Coordinator::bfs_once(vid_t source) {
+  const std::uint64_t ep = epoch_.load();
+  const vid_t n = partitioner_->universe();
+  const std::uint32_t k = opts_.shards;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    ByteWriter w;
+    w.put<std::uint64_t>(ep);
+    w.put<std::uint32_t>(source);
+    roundtrip(i, MsgType::kBfsInit, w, MsgType::kStepReply);
+  }
+
+  RoutedInbox inbox(k);
+  DistBfsResult res;
+  for (;;) {
+    ++res.rounds;
+    GA_CHECK(res.rounds <= n + 2, "dist bfs: round overflow");
+    std::uint64_t active = 0, boundary = 0;
+    RoutedInbox next(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      ByteWriter w;
+      w.put_vec(inbox.ids[i]);
+      w.put_vec(inbox.vals[i]);
+      Message m = roundtrip(i, MsgType::kStep, w, MsgType::kStepReply);
+      ByteReader r(m.body);
+      active += r.get<std::uint64_t>();
+      const auto out_v = r.get_vec<vid_t>();
+      const auto out_val = r.get_vec<std::uint32_t>();
+      GA_CHECK(out_v.size() == out_val.size(), "dist bfs: ragged outbox");
+      for (std::size_t j = 0; j < out_v.size(); ++j) {
+        const std::uint32_t dest = partitioner_->owner(out_v[j]);
+        next.ids[dest].push_back(out_v[j]);
+        next.vals[dest].push_back(out_val[j]);
+      }
+      boundary += out_v.size();
+    }
+    inbox = std::move(next);
+    if (active == 0 && boundary == 0) break;
+  }
+
+  res.epoch = ep;
+  res.dist.assign(n, kInfDist);
+  ByteWriter empty;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Message m = roundtrip(i, MsgType::kGatherDist, empty, MsgType::kGatherReply);
+    ByteReader r(m.body);
+    const auto ids = r.get_vec<vid_t>();
+    const auto vals = r.get_vec<std::uint32_t>();
+    GA_CHECK(ids.size() == vals.size(), "dist bfs: ragged gather");
+    for (std::size_t j = 0; j < ids.size(); ++j) res.dist[ids[j]] = vals[j];
+  }
+  for (const std::uint32_t d : res.dist) {
+    if (d != kInfDist) ++res.reached;
+  }
+  return res;
+}
+
+core::StatusOr<DistBfsResult> Coordinator::bfs(vid_t source) {
+  std::lock_guard<std::mutex> op(op_mu_);
+  if (started_ && source >= partitioner_->universe()) {
+    return core::Status::OutOfRange("dist bfs: source out of range");
+  }
+  DistBfsResult out;
+  core::Status st = retry_op("bfs", [&] { out = bfs_once(source); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+DistWccResult Coordinator::wcc_once() {
+  const std::uint64_t ep = epoch_.load();
+  const vid_t n = partitioner_->universe();
+  const std::uint32_t k = opts_.shards;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    ByteWriter w;
+    w.put<std::uint64_t>(ep);
+    roundtrip(i, MsgType::kWccInit, w, MsgType::kStepReply);
+  }
+
+  RoutedInbox inbox(k);
+  DistWccResult res;
+  for (;;) {
+    ++res.rounds;
+    GA_CHECK(res.rounds <= n + 2, "dist wcc: round overflow");
+    std::uint64_t active = 0, boundary = 0;
+    RoutedInbox next(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      ByteWriter w;
+      w.put_vec(inbox.ids[i]);
+      w.put_vec(inbox.vals[i]);
+      Message m = roundtrip(i, MsgType::kStep, w, MsgType::kStepReply);
+      ByteReader r(m.body);
+      active += r.get<std::uint64_t>();
+      const auto out_v = r.get_vec<vid_t>();
+      const auto out_val = r.get_vec<std::uint32_t>();
+      GA_CHECK(out_v.size() == out_val.size(), "dist wcc: ragged outbox");
+      for (std::size_t j = 0; j < out_v.size(); ++j) {
+        const std::uint32_t dest = partitioner_->owner(out_v[j]);
+        next.ids[dest].push_back(out_v[j]);
+        next.vals[dest].push_back(out_val[j]);
+      }
+      boundary += out_v.size();
+    }
+    inbox = std::move(next);
+    if (active == 0 && boundary == 0) break;
+  }
+
+  res.epoch = ep;
+  res.label.assign(n, kInvalidVid);
+  ByteWriter empty;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Message m =
+        roundtrip(i, MsgType::kGatherLabels, empty, MsgType::kGatherReply);
+    ByteReader r(m.body);
+    const auto ids = r.get_vec<vid_t>();
+    const auto vals = r.get_vec<std::uint32_t>();
+    GA_CHECK(ids.size() == vals.size(), "dist wcc: ragged gather");
+    for (std::size_t j = 0; j < ids.size(); ++j) res.label[ids[j]] = vals[j];
+  }
+  std::vector<vid_t> size(n, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    GA_CHECK(res.label[v] < n, "dist wcc: unlabeled vertex");
+    ++size[res.label[v]];
+  }
+  for (vid_t c = 0; c < n; ++c) {
+    if (size[c] == 0) continue;
+    ++res.num_components;
+    res.largest_size = std::max(res.largest_size, size[c]);
+  }
+  return res;
+}
+
+core::StatusOr<DistWccResult> Coordinator::wcc() {
+  std::lock_guard<std::mutex> op(op_mu_);
+  DistWccResult out;
+  core::Status st = retry_op("wcc", [&] { out = wcc_once(); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed PageRank: exact ghost-contribution power iteration
+
+DistPrResult Coordinator::pagerank_once(double damping, unsigned iterations) {
+  const std::uint64_t ep = epoch_.load();
+  const vid_t n = partitioner_->universe();
+  const std::uint32_t k = opts_.shards;
+  GA_CHECK(n > 0, "dist pagerank: empty graph");
+
+  std::vector<std::vector<vid_t>> ghosts(k);
+  std::uint64_t n_dangling = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    ByteWriter w;
+    w.put<std::uint64_t>(ep);
+    w.put<double>(damping);
+    Message m = roundtrip(i, MsgType::kPrInit, w, MsgType::kPrInitReply);
+    ByteReader r(m.body);
+    n_dangling += r.get<std::uint64_t>();
+    ghosts[i] = r.get_vec<vid_t>();
+  }
+
+  // Export list of shard s = every vertex some other shard ghosts that s
+  // owns; scatter replies come back aligned with it.
+  std::vector<std::vector<vid_t>> exports(k);
+  for (std::uint32_t t = 0; t < k; ++t) {
+    for (const vid_t g : ghosts[t]) {
+      exports[partitioner_->owner(g)].push_back(g);
+    }
+  }
+  for (std::uint32_t i = 0; i < k; ++i) {
+    std::sort(exports[i].begin(), exports[i].end());
+    exports[i].erase(std::unique(exports[i].begin(), exports[i].end()),
+                     exports[i].end());
+    ByteWriter w;
+    w.put_vec(exports[i]);
+    roundtrip(i, MsgType::kPrExports, w, MsgType::kPrInitReply);
+  }
+
+  // Scalar dangling-mass bookkeeping. All dangling vertices of an
+  // undirected graph are isolated, so they share one rank value r_d; the
+  // reference loop's dangling sum is n_d sequential additions of that
+  // value, reproduced here term for term, and r_d's own recurrence is the
+  // restart expression (its accumulator is exactly zero).
+  const double dn = static_cast<double>(n);
+  double r_d = 1.0 / dn;
+  std::vector<double> contrib(n, 0.0);
+  DistPrResult res;
+  for (unsigned iter = 1; iter <= iterations; ++iter) {
+    ByteWriter empty;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      Message m =
+          roundtrip(i, MsgType::kPrScatter, empty, MsgType::kPrScatterReply);
+      ByteReader r(m.body);
+      const auto vals = r.get_vec<double>();
+      GA_CHECK(vals.size() == exports[i].size(),
+               "dist pagerank: scatter reply misaligned");
+      for (std::size_t j = 0; j < vals.size(); ++j) {
+        contrib[exports[i][j]] = vals[j];
+      }
+    }
+    double dangling = 0.0;
+    for (std::uint64_t j = 0; j < n_dangling; ++j) dangling += r_d;
+
+    double delta = 0.0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      ByteWriter w;
+      w.put<double>(dangling);
+      std::vector<double> gv;
+      gv.reserve(ghosts[i].size());
+      for (const vid_t g : ghosts[i]) gv.push_back(contrib[g]);
+      w.put_vec(gv);
+      Message m = roundtrip(i, MsgType::kPrApply, w, MsgType::kPrApplyReply);
+      ByteReader r(m.body);
+      delta += r.get<double>();
+    }
+    r_d = (1.0 - damping) / dn + damping * dangling / dn;
+    res.iterations = iter;
+    res.final_delta = delta;
+  }
+
+  res.epoch = ep;
+  res.rank.assign(n, 0.0);
+  ByteWriter empty;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Message m =
+        roundtrip(i, MsgType::kGatherRanks, empty, MsgType::kGatherReply);
+    ByteReader r(m.body);
+    const auto ids = r.get_vec<vid_t>();
+    const auto vals = r.get_vec<double>();
+    GA_CHECK(ids.size() == vals.size(), "dist pagerank: ragged gather");
+    for (std::size_t j = 0; j < ids.size(); ++j) res.rank[ids[j]] = vals[j];
+  }
+  return res;
+}
+
+core::StatusOr<DistPrResult> Coordinator::pagerank(double damping,
+                                                   unsigned iterations) {
+  std::lock_guard<std::mutex> op(op_mu_);
+  DistPrResult out;
+  core::Status st = retry_op(
+      "pagerank", [&] { out = pagerank_once(damping, iterations); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Graph reassembly (digest cross-check surface)
+
+store::GraphView Coordinator::fetch_once() {
+  const std::uint64_t ep = epoch_.load();
+  const std::uint32_t k = opts_.shards;
+  std::vector<graph::CSRGraph> subs;
+  subs.reserve(k);
+  std::vector<std::pair<vid_t, float>> props;
+  ByteWriter empty;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Message m = roundtrip(i, MsgType::kFetchArcs, empty, MsgType::kArcsReply);
+    ByteReader r(m.body);
+    const auto shard_ep = r.get<std::uint64_t>();
+    GA_CHECK(shard_ep == ep, "dist fetch: shard at epoch " +
+                                 std::to_string(shard_ep) + ", expected " +
+                                 std::to_string(ep));
+    auto offsets = r.get_vec<eid_t>();
+    auto targets = r.get_vec<vid_t>();
+    auto weights = r.get_vec<float>();
+    const auto prop_ids = r.get_vec<vid_t>();
+    const auto prop_vals = r.get_vec<float>();
+    GA_CHECK(prop_ids.size() == prop_vals.size(), "dist fetch: ragged props");
+    for (std::size_t j = 0; j < prop_ids.size(); ++j) {
+      props.emplace_back(prop_ids[j], prop_vals[j]);
+    }
+    subs.emplace_back(std::move(offsets), std::move(targets),
+                      std::move(weights), /*directed=*/true);
+  }
+  std::vector<const graph::CSRGraph*> ptrs;
+  ptrs.reserve(subs.size());
+  for (const auto& g : subs) ptrs.push_back(&g);
+  auto base = std::make_shared<const graph::CSRGraph>(
+      reassemble(ptrs, partitioner_->plan().directed));
+  // Per-shard prop tables are disjoint (patches route to the owner), so
+  // the union sorted by id is the global folded table.
+  std::sort(props.begin(), props.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props_ptr;
+  if (!props.empty()) {
+    props_ptr = std::make_shared<const std::vector<std::pair<vid_t, float>>>(
+        std::move(props));
+  }
+  const eid_t arcs = base->num_arcs();
+  return store::GraphView(std::move(base), {}, std::move(props_ptr), ep, arcs);
+}
+
+core::StatusOr<store::GraphView> Coordinator::fetch_view() {
+  std::lock_guard<std::mutex> op(op_mu_);
+  store::GraphView out;
+  core::Status st = retry_op("fetch", [&] { out = fetch_once(); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fail-over: heartbeat monitor + respawn
+
+pid_t Coordinator::shard_pid(std::uint32_t idx) const {
+  const auto* pl = dynamic_cast<const ProcessLauncher*>(launcher_.get());
+  return pl == nullptr ? -1 : pl->pid(idx);
+}
+
+void Coordinator::kill_shard(std::uint32_t idx) {
+  GA_CHECK(idx < shards_.size(), "dist: kill_shard out of range");
+  launcher_->kill(idx);
+}
+
+bool Coordinator::respawn_shard(std::uint32_t idx) {
+  Shard& s = *shards_[idx];
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.alive.load()) return true;
+  try {
+    launcher_->kill(idx);  // make sure the old incarnation is really gone
+    launcher_->reap(idx);
+    s.ch = launcher_->launch(idx);
+    ByteWriter w = identity_message(idx);
+    s.ch.send(MsgType::kInitRecover, w).or_throw();
+    core::StatusOr<Message> m =
+        s.ch.expect(MsgType::kInitAck, opts_.io_timeout_ms);
+    m.status().or_throw();
+    ByteReader r(m.value().body);
+    const auto recovered = r.get<std::uint64_t>();
+
+    // Catch-up: the shard's own log made every acked epoch durable, so
+    // only epochs past its recovery point (un-acked at crash time, or
+    // applied fleet-wide while it was down) need a resend.
+    std::uint64_t target = 0;
+    {
+      std::lock_guard<std::mutex> hlk(history_mu_);
+      target = history_.size();
+    }
+    GA_CHECK(recovered <= target, "dist: shard recovered past the history");
+    for (std::uint64_t e = recovered + 1; e <= target; ++e) {
+      ByteWriter aw;
+      aw.put<std::uint64_t>(e);
+      {
+        std::lock_guard<std::mutex> hlk(history_mu_);
+        const std::vector<char>& enc = history_[e - 1][idx];
+        aw.put_bytes(enc.data(), enc.size());
+      }
+      s.ch.send(MsgType::kApplyEpoch, aw).or_throw();
+      core::StatusOr<Message> am =
+          s.ch.expect(MsgType::kApplyAck, opts_.io_timeout_ms);
+      am.status().or_throw();
+    }
+    s.epoch.store(target);
+    s.respawns.fetch_add(1);
+    s.alive.store(true);
+    {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.respawns;
+    }
+    health_cv_.notify_all();
+    return true;
+  } catch (const std::exception&) {
+    // Stay dead; the next monitor tick tries again.
+    return false;
+  }
+}
+
+void Coordinator::monitor_main() {
+  const auto interval = std::chrono::milliseconds(opts_.heartbeat_interval_ms);
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(interval);
+    if (stop_.load()) break;
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+      if (stop_.load()) break;
+      Shard& s = *shards_[i];
+      if (!s.alive.load()) {
+        if (opts_.auto_respawn) respawn_shard(i);
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(s.mu, std::try_to_lock);
+      // An operation holds the channel: it detects failures on its own,
+      // and its traffic doubles as liveness.
+      if (!lk.owns_lock()) continue;
+      ByteWriter w;
+      core::Status st = s.ch.send(MsgType::kHeartbeat, w);
+      if (st.ok()) {
+        core::StatusOr<Message> m =
+            s.ch.expect(MsgType::kHeartbeatReply, opts_.heartbeat_timeout_ms);
+        st = m.ok() ? core::Status::Ok() : m.status();
+      }
+      if (!st.ok()) {
+        lk.unlock();
+        mark_dead(i);
+        if (opts_.auto_respawn) respawn_shard(i);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Status / teardown
+
+std::string Coordinator::status_json() const {
+  std::string j = "{";
+  j += "\"shards\":" + std::to_string(opts_.shards);
+  j += ",\"epoch\":" + std::to_string(epoch_.load());
+  j += ",\"method\":\"";
+  j += partition_method_name(opts_.method);
+  j += "\",\"process_isolation\":";
+  j += opts_.process_isolation ? "true" : "false";
+  j += ",\"alive\":[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i) j += ",";
+    j += shards_[i]->alive.load() ? "true" : "false";
+  }
+  j += "],\"shard_epochs\":[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i) j += ",";
+    j += std::to_string(shards_[i]->epoch.load());
+  }
+  j += "],\"shard_respawns\":[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i) j += ",";
+    j += std::to_string(shards_[i]->respawns.load());
+  }
+  CoordinatorStats st = stats();
+  j += "],\"epochs_applied\":" + std::to_string(st.epochs_applied);
+  j += ",\"queries\":" + std::to_string(st.queries);
+  j += ",\"unavailable\":" + std::to_string(st.unavailable);
+  j += ",\"deaths\":" + std::to_string(st.deaths);
+  j += ",\"respawns\":" + std::to_string(st.respawns);
+  j += ",\"op_retries\":" + std::to_string(st.op_retries);
+  j += "}";
+  return j;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+const Partitioner& Coordinator::partitioner() const {
+  GA_CHECK(partitioner_ != nullptr, "dist: coordinator not started");
+  return *partitioner_;
+}
+
+void Coordinator::status_server_main() {
+  while (!stop_.load()) {
+    pollfd p{status_listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, 200);
+    if (rc <= 0) continue;
+    const int cfd = ::accept(status_listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    const std::string j = status_json();
+    std::size_t off = 0;
+    while (off < j.size()) {
+      const ssize_t n = ::send(cfd, j.data() + off, j.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(cfd);
+  }
+}
+
+void Coordinator::stop() {
+  {
+    std::lock_guard<std::mutex> op(op_mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  stop_.store(true);
+  if (monitor_.joinable()) monitor_.join();
+  if (status_thread_.joinable()) status_thread_.join();
+  if (status_listen_fd_ >= 0) {
+    ::close(status_listen_fd_);
+    status_listen_fd_ = -1;
+    ::unlink(status_socket_path(opts_.root_dir).c_str());
+  }
+  for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.alive.load()) {
+      ByteWriter w;
+      if (s.ch.send(MsgType::kShutdown, w).ok()) {
+        (void)s.ch.expect(MsgType::kShutdownAck, 2000);
+      }
+      s.alive.store(false);
+    }
+    s.ch.close();
+    launcher_->kill(i);
+    launcher_->reap(i);
+  }
+}
+
+}  // namespace ga::dist

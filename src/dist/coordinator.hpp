@@ -1,0 +1,237 @@
+// Coordinator: the scatter/gather front of the sharded serving subsystem.
+//
+// One coordinator owns a fleet of shard processes (or in-process shard
+// threads — see launcher.hpp), a Partitioner mapping vertices to shards,
+// and the replication history that keeps the fleet recoverable:
+//
+//  * apply() splits a global DeltaBatch into per-shard sub-batches and
+//    replicates them as one epoch to every shard; each shard appends the
+//    epoch to its own durable EpochLog before acking, so the cluster-wide
+//    invariant is the single-store one — acked ⇒ durable on every shard.
+//  * bfs()/wcc()/pagerank() run the registry kernels as distributed
+//    scatter/gather sessions: per-shard frontier super-steps plus
+//    boundary-exchange rounds for BFS/WCC, exact ghost-contribution
+//    power iterations for PageRank. Results are merged from per-shard
+//    partials and are digest-identical to the single-process kernels.
+//  * Fail-over: a heartbeat monitor pings every idle shard; a missed
+//    deadline (or any mid-operation send/recv failure) marks the shard
+//    dead, and the monitor respawns it — the replacement recovers from its
+//    own epoch log (kInitRecover), receives a catch-up resend of epochs
+//    past its recovered point, and rejoins. Operations that hit a dead
+//    shard retry transparently until `query_wait_ms`, then degrade to
+//    kUnavailable; they never return a partial or wrong answer.
+//
+// Thread safety: public operations serialize on an internal op mutex; the
+// monitor thread shares shard channels via per-shard mutexes (it skips
+// shards an operation currently holds). status_json() is safe from any
+// thread, including the status-socket server.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.hpp"
+#include "dist/launcher.hpp"
+#include "dist/message.hpp"
+#include "dist/partitioner.hpp"
+#include "store/graph_view.hpp"
+
+namespace ga::dist {
+
+struct CoordinatorOptions {
+  std::uint32_t shards = 3;
+  PartitionMethod method = PartitionMethod::kHash;
+  std::uint64_t seed = 1;
+  /// Root directory; shard i's epoch log lives in <root>/shard-<i>.
+  std::string root_dir;
+  std::uint64_t checkpoint_every = 16;
+  bool sync_each_append = true;
+  /// true: real child processes (needs shard_binary); false: in-process
+  /// shard threads (the ASan/CI harness mode).
+  bool process_isolation = true;
+  std::string shard_binary;
+  int heartbeat_interval_ms = 100;
+  int heartbeat_timeout_ms = 1000;
+  bool auto_respawn = true;
+  /// Operations retry over fail-over for this long before degrading to
+  /// kUnavailable (the admission policy's "queue, then shed" behaviour).
+  int query_wait_ms = 8000;
+  /// Per-message deadline on healthy channels.
+  int io_timeout_ms = 20000;
+  /// Serve status_json() on an AF_UNIX socket at <root>/coordinator.sock
+  /// (what `ga_cli dist status` queries).
+  bool start_status_server = false;
+};
+
+struct DistBfsResult {
+  std::vector<std::uint32_t> dist;  // kInfDist if unreached
+  std::uint64_t reached = 0;
+  std::uint32_t rounds = 0;         // boundary-exchange rounds
+  std::uint64_t epoch = 0;
+};
+
+struct DistWccResult {
+  std::vector<vid_t> label;  // canonical min-vertex-id labels
+  vid_t num_components = 0;
+  vid_t largest_size = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t epoch = 0;
+};
+
+struct DistPrResult {
+  std::vector<double> rank;  // bit-identical to kernels::pagerank
+  unsigned iterations = 0;
+  double final_delta = 0.0;  // sum of per-shard partials (reporting only)
+  std::uint64_t epoch = 0;
+};
+
+struct CoordinatorStats {
+  std::uint64_t epochs_applied = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t unavailable = 0;   // operations shed after query_wait_ms
+  std::uint64_t deaths = 0;        // shard failures detected
+  std::uint64_t respawns = 0;      // successful recover-and-rejoin cycles
+  std::uint64_t op_retries = 0;    // operation attempts abandoned mid-flight
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opts);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Partition `base` (must be undirected — the subdomain contract is that
+  /// a vertex's owner holds its complete neighborhood), spawn the fleet,
+  /// seed every shard, and start the heartbeat monitor.
+  core::Status start(const graph::CSRGraph& base);
+
+  /// Replicate one global delta batch as the next epoch on every shard.
+  /// Returns the new epoch once every shard has acknowledged (= durably
+  /// logged) it.
+  core::StatusOr<std::uint64_t> apply(const store::DeltaBatch& batch);
+
+  core::StatusOr<DistBfsResult> bfs(vid_t source);
+  core::StatusOr<DistWccResult> wcc();
+  core::StatusOr<DistPrResult> pagerank(double damping = 0.85,
+                                        unsigned iterations = 20);
+
+  /// Reassemble the global graph from every shard's current sub-CSR plus
+  /// folded properties — the digest cross-check surface (compare
+  /// store::view_digest of this against the single-process store).
+  core::StatusOr<store::GraphView> fetch_view();
+
+  /// Chaos hook: SIGKILL (process mode) / socket-sever (in-proc mode)
+  /// shard `idx` without telling the monitor — detection and respawn must
+  /// come from the heartbeat path, which is what fail-over tests exercise.
+  void kill_shard(std::uint32_t idx);
+
+  /// Block until every shard is alive again (tests bound recovery time).
+  bool wait_all_alive(int timeout_ms);
+
+  /// Real child pid in process mode, -1 in-proc mode — fail-over tests
+  /// assert the respawned shard is a genuinely new process.
+  pid_t shard_pid(std::uint32_t idx) const;
+
+  std::string status_json() const;
+  std::uint64_t epoch() const { return epoch_.load(); }
+  std::uint32_t shards() const { return opts_.shards; }
+  bool shard_alive(std::uint32_t idx) const;
+  CoordinatorStats stats() const;
+  const CoordinatorOptions& options() const { return opts_; }
+  /// Owner-map access for tests/CLI; only meaningful between operations.
+  const Partitioner& partitioner() const;
+
+  /// Graceful teardown: stop the monitor and status server, shut every
+  /// shard down, reap. Idempotent; the destructor calls it.
+  void stop();
+
+  static std::string shard_dir(const std::string& root, std::uint32_t idx);
+  static std::string status_socket_path(const std::string& root);
+
+ private:
+  struct Shard {
+    std::mutex mu;  // serializes channel use (operations vs monitor)
+    MsgChannel ch;
+    std::atomic<bool> alive{false};
+    std::atomic<std::uint64_t> respawns{0};
+    std::atomic<std::uint64_t> epoch{0};  // last acked epoch
+  };
+
+  /// Thrown inside an operation when a shard exchange fails; the op-level
+  /// retry loop catches it, waits for recovery, and reruns the operation.
+  struct ShardFailure {
+    std::uint32_t shard;
+    core::Status status;
+  };
+
+  // One locked request/reply exchange; marks the shard dead and throws
+  // ShardFailure on any channel error or kError reply.
+  Message roundtrip(std::uint32_t idx, MsgType send, const ByteWriter& w,
+                    MsgType want);
+  void mark_dead(std::uint32_t idx);
+  bool wait_healthy(std::chrono::steady_clock::time_point deadline);
+  /// Retry `fn` over fail-over (wait healthy → attempt → on ShardFailure
+  /// wait for the monitor's respawn and rerun) until query_wait_ms, then
+  /// kUnavailable. Caller holds op_mu_.
+  core::Status retry_op(const char* what, const std::function<void()>& fn);
+
+  // Single attempts, run under retry_op; throw ShardFailure on a dead
+  // shard and ga::Error on contract violations (not retried).
+  std::uint64_t apply_once(std::uint64_t target);
+  DistBfsResult bfs_once(vid_t source);
+  DistWccResult wcc_once();
+  DistPrResult pagerank_once(double damping, unsigned iterations);
+  store::GraphView fetch_once();
+
+  void init_shard(std::uint32_t idx, const PartitionPlan& plan,
+                  const graph::CSRGraph& base);
+  // Monitor-side recovery: kill/reap/launch, kInitRecover with the current
+  // owner map, catch-up resend of history epochs past the recovered one.
+  bool respawn_shard(std::uint32_t idx);
+  void monitor_main();
+  void status_server_main();
+
+  ByteWriter identity_message(std::uint32_t idx) const;
+
+  CoordinatorOptions opts_;
+  std::unique_ptr<ShardLauncher> launcher_;
+  std::unique_ptr<Partitioner> partitioner_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex op_mu_;  // serializes apply/queries/fetch
+  std::atomic<std::uint64_t> epoch_{0};
+
+  /// Replication history for catch-up resends: encoded per-shard
+  /// sub-batches per epoch, plus the owner-map snapshot after the newest
+  /// epoch. Guarded by history_mu_ (appended under op_mu_ during apply,
+  /// read by the monitor during respawn). Production would truncate this
+  /// at the fleet-wide minimum checkpoint epoch; the growth here is
+  /// bounded by test/bench workloads.
+  mutable std::mutex history_mu_;
+  std::vector<std::vector<std::vector<char>>> history_;  // [epoch-1][shard]
+  std::vector<std::uint8_t> owner_snapshot_;
+
+  mutable std::mutex health_mu_;
+  std::condition_variable health_cv_;
+
+  std::thread monitor_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  std::thread status_thread_;
+  int status_listen_fd_ = -1;
+
+  mutable std::mutex stats_mu_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace ga::dist

@@ -1,0 +1,147 @@
+#include "dist/launcher.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
+
+namespace ga::dist {
+
+// ---------------------------------------------------------------------------
+// ProcessLauncher
+
+ProcessLauncher::ProcessLauncher(std::string shard_binary)
+    : binary_(std::move(shard_binary)) {
+  GA_CHECK(!binary_.empty(), "dist: empty shard binary path");
+}
+
+ProcessLauncher::~ProcessLauncher() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [idx, pid] : pids_) {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+}
+
+MsgChannel ProcessLauncher::launch(std::uint32_t idx) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = pids_.find(idx);
+    GA_CHECK(it == pids_.end() || it->second < 0,
+             "dist: shard " + std::to_string(idx) + " not reaped");
+  }
+  auto [coord, shard] = MsgChannel::make_pair();
+  // The coordinator end must not leak into this child or siblings spawned
+  // later — a leaked duplicate would keep a "dead" shard's socket open and
+  // mask EOF-based death detection.
+  GA_CHECK(::fcntl(coord.fd(), F_SETFD, FD_CLOEXEC) == 0,
+           "dist: cannot set CLOEXEC on coordinator fd");
+
+  posix_spawn_file_actions_t fa;
+  posix_spawn_file_actions_init(&fa);
+  posix_spawn_file_actions_adddup2(&fa, shard.fd(), 3);
+  if (shard.fd() != 3) posix_spawn_file_actions_addclose(&fa, shard.fd());
+
+  const std::string fd_arg = "3";
+  char* argv[] = {const_cast<char*>(binary_.c_str()),
+                  const_cast<char*>("--fd"), const_cast<char*>(fd_arg.c_str()),
+                  nullptr};
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, binary_.c_str(), &fa, nullptr, argv, environ);
+  posix_spawn_file_actions_destroy(&fa);
+  GA_CHECK(rc == 0, "dist: posix_spawn(" + binary_ +
+                        ") failed: " + std::strerror(rc));
+  // Parent's copy of the shard end closes with `shard` going out of scope,
+  // leaving the child as sole owner — its death is the socket's EOF.
+  std::lock_guard<std::mutex> lk(mu_);
+  pids_[idx] = pid;
+  return std::move(coord);
+}
+
+void ProcessLauncher::kill(std::uint32_t idx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pids_.find(idx);
+  if (it == pids_.end() || it->second < 0) return;
+  ::kill(it->second, SIGKILL);
+}
+
+void ProcessLauncher::reap(std::uint32_t idx) {
+  pid_t pid = -1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = pids_.find(idx);
+    if (it == pids_.end() || it->second < 0) return;
+    pid = it->second;
+    it->second = -1;
+  }
+  ::waitpid(pid, nullptr, 0);
+}
+
+pid_t ProcessLauncher::pid(std::uint32_t idx) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pids_.find(idx);
+  return it == pids_.end() ? -1 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// InprocLauncher
+
+InprocLauncher::~InprocLauncher() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [idx, w] : workers_) {
+    if (w.channel) w.channel->shutdown_both();
+    if (w.thread.joinable()) w.thread.join();
+  }
+}
+
+MsgChannel InprocLauncher::launch(std::uint32_t idx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = workers_.find(idx);
+  GA_CHECK(it == workers_.end() || !it->second.thread.joinable(),
+           "dist: in-proc shard " + std::to_string(idx) + " not reaped");
+  auto [coord, shard] = MsgChannel::make_pair();
+  Worker w;
+  w.channel = std::make_shared<MsgChannel>(std::move(shard));
+  w.server = std::make_shared<ShardServer>();
+  w.thread = std::thread([ch = w.channel, srv = w.server] { srv->serve(*ch); });
+  workers_[idx] = std::move(w);
+  return std::move(coord);
+}
+
+void InprocLauncher::kill(std::uint32_t idx) {
+  std::shared_ptr<MsgChannel> ch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = workers_.find(idx);
+    if (it == workers_.end()) return;
+    ch = it->second.channel;
+  }
+  // The in-process "kill -9": both socket directions die under the server
+  // loop, which wakes from recv with EOF and exits, abandoning whatever it
+  // was mid-way through — including a half-written reply frame.
+  if (ch) ch->shutdown_both();
+}
+
+void InprocLauncher::reap(std::uint32_t idx) {
+  Worker w;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = workers_.find(idx);
+    if (it == workers_.end()) return;
+    w = std::move(it->second);
+    workers_.erase(it);
+  }
+  if (w.channel) w.channel->shutdown_both();
+  if (w.thread.joinable()) w.thread.join();
+}
+
+}  // namespace ga::dist

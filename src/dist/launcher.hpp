@@ -1,0 +1,89 @@
+// Shard lifecycle backends for the dist coordinator.
+//
+// ProcessLauncher is the real deployment shape: each shard is a child
+// process (posix_spawn of the ga_shard binary) holding its endpoint of an
+// AF_UNIX socketpair on fd 3, killed with SIGKILL and reaped with waitpid.
+// InprocLauncher runs the identical ShardServer loop on a thread inside
+// the coordinator process — the same protocol, store, and epoch log, with
+// "kill -9" emulated by shutting down the shard's socket (the server loop
+// sees EOF exactly as it would a dead peer). The in-process mode exists so
+// the whole distributed stack — including fail-over and epoch-log
+// recovery — runs under a single ASan/TSan-instrumented binary and in
+// environments where spawning children is awkward.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include <sys/types.h>
+
+#include "dist/message.hpp"
+#include "dist/shard_server.hpp"
+
+namespace ga::dist {
+
+class ShardLauncher {
+ public:
+  virtual ~ShardLauncher() = default;
+
+  /// Start (or restart) shard `idx`; returns the coordinator-side channel.
+  /// A previous incarnation of the same index must be reaped first.
+  virtual MsgChannel launch(std::uint32_t idx) = 0;
+
+  /// Forcibly terminate shard `idx` mid-whatever (SIGKILL / socket
+  /// shutdown). Idempotent; no-op for unknown or already-dead shards.
+  virtual void kill(std::uint32_t idx) = 0;
+
+  /// Release the dead shard's resources (waitpid / thread join) so the
+  /// index can be launched again. Idempotent.
+  virtual void reap(std::uint32_t idx) = 0;
+};
+
+/// Real child processes speaking the protocol over inherited fd 3.
+class ProcessLauncher : public ShardLauncher {
+ public:
+  /// `shard_binary` is the ga_shard executable path.
+  explicit ProcessLauncher(std::string shard_binary);
+  ~ProcessLauncher() override;
+
+  MsgChannel launch(std::uint32_t idx) override;
+  void kill(std::uint32_t idx) override;
+  void reap(std::uint32_t idx) override;
+
+  /// pid of the running incarnation (-1 if none) — tests assert the
+  /// respawned shard is a genuinely new process.
+  pid_t pid(std::uint32_t idx) const;
+
+ private:
+  std::string binary_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint32_t, pid_t> pids_;
+};
+
+/// ShardServer threads inside the coordinator process.
+class InprocLauncher : public ShardLauncher {
+ public:
+  InprocLauncher() = default;
+  ~InprocLauncher() override;
+
+  MsgChannel launch(std::uint32_t idx) override;
+  void kill(std::uint32_t idx) override;
+  void reap(std::uint32_t idx) override;
+
+ private:
+  struct Worker {
+    std::thread thread;
+    /// The shard-side channel, shared with the serving thread so kill()
+    /// can shut the socket down underneath a blocked recv.
+    std::shared_ptr<MsgChannel> channel;
+    std::shared_ptr<ShardServer> server;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint32_t, Worker> workers_;
+};
+
+}  // namespace ga::dist

@@ -1,0 +1,202 @@
+#include "dist/message.hpp"
+
+#include <cerrno>
+#include <chrono>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "resilience/record_io.hpp"
+
+namespace ga::dist {
+
+namespace recio = resilience::recio;
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kError: return "error";
+    case MsgType::kInit: return "init";
+    case MsgType::kInitRecover: return "init_recover";
+    case MsgType::kInitAck: return "init_ack";
+    case MsgType::kApplyEpoch: return "apply_epoch";
+    case MsgType::kApplyAck: return "apply_ack";
+    case MsgType::kBfsInit: return "bfs_init";
+    case MsgType::kWccInit: return "wcc_init";
+    case MsgType::kStep: return "step";
+    case MsgType::kStepReply: return "step_reply";
+    case MsgType::kPrInit: return "pr_init";
+    case MsgType::kPrInitReply: return "pr_init_reply";
+    case MsgType::kPrExports: return "pr_exports";
+    case MsgType::kPrScatter: return "pr_scatter";
+    case MsgType::kPrScatterReply: return "pr_scatter_reply";
+    case MsgType::kPrApply: return "pr_apply";
+    case MsgType::kPrApplyReply: return "pr_apply_reply";
+    case MsgType::kGatherDist: return "gather_dist";
+    case MsgType::kGatherLabels: return "gather_labels";
+    case MsgType::kGatherRanks: return "gather_ranks";
+    case MsgType::kGatherReply: return "gather_reply";
+    case MsgType::kFetchArcs: return "fetch_arcs";
+    case MsgType::kArcsReply: return "arcs_reply";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kHeartbeatReply: return "heartbeat_reply";
+    case MsgType::kStatus: return "status";
+    case MsgType::kStatusReply: return "status_reply";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kShutdownAck: return "shutdown_ack";
+  }
+  return "unknown";
+}
+
+void MsgChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void MsgChannel::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+core::Status MsgChannel::send(MsgType type, std::span<const char> body) {
+  if (fd_ < 0) return core::Status::FailedPrecondition("channel closed");
+  const std::size_t payload_len = sizeof(std::uint16_t) + body.size();
+  if (payload_len > recio::kMaxPayload) {
+    return core::Status::InvalidArgument("dist message exceeds frame limit");
+  }
+  // Assemble the frame in place — [len][crc][seq][type][body] — using the
+  // shared framing constants so the wire bytes match what frame_record
+  // would produce for the same payload.
+  scratch_.resize(recio::frame_size(payload_len));
+  const std::uint64_t seq = send_seq_ + 1;
+  std::memcpy(scratch_.data() + recio::kFrameHeader, &seq, recio::kSeqBytes);
+  char* payload = scratch_.data() + recio::kFrameHeader + recio::kSeqBytes;
+  const auto t16 = static_cast<std::uint16_t>(type);
+  std::memcpy(payload, &t16, sizeof(t16));
+  if (!body.empty()) {
+    std::memcpy(payload + sizeof(t16), body.data(), body.size());
+  }
+  const std::uint32_t crc = recio::frame_crc(seq, payload, payload_len);
+  const auto len32 = static_cast<std::uint32_t>(payload_len);
+  std::memcpy(scratch_.data(), &len32, sizeof(len32));
+  std::memcpy(scratch_.data() + sizeof(len32), &crc, sizeof(crc));
+
+  std::size_t off = 0;
+  while (off < scratch_.size()) {
+    const ssize_t k = ::send(fd_, scratch_.data() + off, scratch_.size() - off,
+                             MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return core::Status::Unavailable(
+          std::string("dist send(") + msg_type_name(type) +
+          "): " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(k);
+  }
+  send_seq_ = seq;
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += scratch_.size();
+  return core::Status::Ok();
+}
+
+core::Status MsgChannel::read_exact(char* dst, std::size_t len,
+                                    int timeout_ms) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::milliseconds(
+                                           timeout_ms < 0 ? 0 : timeout_ms);
+  std::size_t got = 0;
+  while (got < len) {
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - clock::now())
+                            .count();
+      if (left <= 0) {
+        return core::Status::DeadlineExceeded("dist recv: timed out");
+      }
+      wait_ms = static_cast<int>(left);
+    }
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return core::Status::Unavailable(std::string("dist recv poll: ") +
+                                       std::strerror(errno));
+    }
+    if (rc == 0) return core::Status::DeadlineExceeded("dist recv: timed out");
+    const ssize_t k = ::recv(fd_, dst + got, len - got, 0);
+    if (k == 0) {
+      // EOF: a clean close at a frame boundary and a torn frame both mean
+      // the peer is gone — fail-over treats them identically.
+      return core::Status::Unavailable("dist recv: peer closed");
+    }
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return core::Status::Unavailable(std::string("dist recv: ") +
+                                       std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return core::Status::Ok();
+}
+
+core::Status MsgChannel::recv(Message* out, int timeout_ms) {
+  if (fd_ < 0) return core::Status::FailedPrecondition("channel closed");
+  char hdr[recio::kFrameHeader + recio::kSeqBytes];
+  core::Status st = read_exact(hdr, sizeof(hdr), timeout_ms);
+  if (!st.ok()) return st;
+  const recio::FrameHeader h = recio::parse_frame_header(hdr);
+  if (h.len < sizeof(std::uint16_t) || h.len > recio::kMaxPayload) {
+    return core::Status::DataLoss("dist recv: bad frame length " +
+                                  std::to_string(h.len));
+  }
+  std::uint64_t seq = 0;
+  std::memcpy(&seq, hdr + recio::kFrameHeader, recio::kSeqBytes);
+  std::vector<char> payload(h.len);
+  st = read_exact(payload.data(), payload.size(), timeout_ms);
+  if (!st.ok()) return st;
+  if (recio::frame_crc(seq, payload.data(), payload.size()) != h.crc) {
+    return core::Status::DataLoss("dist recv: CRC mismatch on frame " +
+                                  std::to_string(seq));
+  }
+  if (seq != recv_seq_ + 1) {
+    return core::Status::Internal("dist recv: sequence gap (expected " +
+                                  std::to_string(recv_seq_ + 1) + ", got " +
+                                  std::to_string(seq) + ")");
+  }
+  recv_seq_ = seq;
+  ++stats_.msgs_recv;
+  stats_.bytes_recv += recio::frame_size(h.len);
+  std::uint16_t t16 = 0;
+  std::memcpy(&t16, payload.data(), sizeof(t16));
+  out->type = static_cast<MsgType>(t16);
+  out->seq = seq;
+  out->body.assign(payload.begin() + sizeof(t16), payload.end());
+  return core::Status::Ok();
+}
+
+core::StatusOr<Message> MsgChannel::expect(MsgType want, int timeout_ms) {
+  Message m;
+  core::Status st = recv(&m, timeout_ms);
+  if (!st.ok()) return st;
+  if (m.type == MsgType::kError) {
+    ByteReader r(m.body);
+    return core::Status::Internal("shard error: " + r.get_str());
+  }
+  if (m.type != want) {
+    return core::Status::Internal(std::string("dist: expected ") +
+                                  msg_type_name(want) + ", got " +
+                                  msg_type_name(m.type));
+  }
+  return m;
+}
+
+std::pair<MsgChannel, MsgChannel> MsgChannel::make_pair() {
+  int fds[2];
+  GA_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+           std::string("socketpair: ") + std::strerror(errno));
+  return {MsgChannel(fds[0]), MsgChannel(fds[1])};
+}
+
+}  // namespace ga::dist

@@ -1,0 +1,187 @@
+#include "dist/partitioner.hpp"
+
+#include <algorithm>
+
+#include "kernels/partition.hpp"
+
+namespace ga::dist {
+
+const char* partition_method_name(PartitionMethod m) {
+  switch (m) {
+    case PartitionMethod::kHash: return "hash";
+    case PartitionMethod::kEdgeCut: return "edge_cut";
+  }
+  return "unknown";
+}
+
+double PartitionPlan::load_imbalance() const {
+  if (shards == 0 || n == 0) return 1.0;
+  vid_t max_owned = 0;
+  for (const ShardDomainStats& s : stats) max_owned = std::max(max_owned, s.owned);
+  const double ideal = static_cast<double>(n) / static_cast<double>(shards);
+  return ideal == 0.0 ? 1.0 : static_cast<double>(max_owned) / ideal;
+}
+
+double PartitionPlan::arc_imbalance() const {
+  if (shards == 0 || total_arcs == 0) return 1.0;
+  eid_t max_arcs = 0;
+  for (const ShardDomainStats& s : stats) max_arcs = std::max(max_arcs, s.arcs);
+  const double mean =
+      static_cast<double>(total_arcs) / static_cast<double>(shards);
+  return static_cast<double>(max_arcs) / mean;
+}
+
+PartitionPlan make_plan(const graph::CSRGraph& g,
+                        const PartitionPlanOptions& opts) {
+  GA_CHECK(opts.shards >= 1, "dist: shard count must be >= 1");
+  GA_CHECK(opts.shards <= 255, "dist: owner map is u8; max 255 shards");
+  GA_CHECK(opts.shards <= g.num_vertices() || g.num_vertices() == 0,
+           "dist: more shards than vertices");
+
+  PartitionPlan plan;
+  plan.shards = opts.shards;
+  plan.method = opts.method;
+  plan.n = g.num_vertices();
+  plan.directed = g.directed();
+  plan.total_arcs = g.num_arcs();
+  plan.owner.resize(plan.n);
+  plan.stats.assign(plan.shards, ShardDomainStats{});
+  plan.mirror.assign(plan.shards, {});
+
+  if (opts.method == PartitionMethod::kHash || plan.shards == 1) {
+    for (vid_t v = 0; v < plan.n; ++v) {
+      plan.owner[v] = static_cast<std::uint8_t>(
+          plan.shards == 1 ? 0 : hash_owner(v, plan.shards));
+    }
+  } else {
+    kernels::PartitionResult pr = kernels::partition(g, plan.shards, opts.seed);
+    for (vid_t v = 0; v < plan.n; ++v) {
+      plan.owner[v] = static_cast<std::uint8_t>(pr.part[v]);
+    }
+  }
+
+  // Per-shard domain stats + mirror (ghost) lists in one adjacency sweep.
+  std::vector<std::vector<vid_t>> remote(plan.shards);
+  for (vid_t u = 0; u < plan.n; ++u) {
+    const std::uint32_t s = plan.owner[u];
+    ShardDomainStats& st = plan.stats[s];
+    ++st.owned;
+    for (vid_t v : g.out_neighbors(u)) {
+      ++st.arcs;
+      if (plan.owner[v] != s) {
+        ++st.cut_arcs;
+        remote[s].push_back(v);
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < plan.shards; ++s) {
+    std::vector<vid_t>& m = remote[s];
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+    plan.stats[s].mirrors = static_cast<vid_t>(m.size());
+    plan.cut_arcs += plan.stats[s].cut_arcs;
+    plan.mirror[s] = std::move(m);
+  }
+  return plan;
+}
+
+graph::CSRGraph extract_shard(const graph::CSRGraph& g,
+                              const PartitionPlan& plan, std::uint32_t s) {
+  GA_CHECK(s < plan.shards, "dist: shard id out of range");
+  GA_CHECK(plan.n == g.num_vertices(), "dist: plan does not match graph");
+  const bool weighted = g.weighted();
+  std::vector<eid_t> offsets(plan.n + 1, 0);
+  std::vector<vid_t> targets;
+  std::vector<float> weights;
+  targets.reserve(plan.stats[s].arcs);
+  if (weighted) weights.reserve(plan.stats[s].arcs);
+  for (vid_t u = 0; u < plan.n; ++u) {
+    offsets[u] = static_cast<eid_t>(targets.size());
+    if (plan.owner[u] != s) continue;
+    const auto nbrs = g.out_neighbors(u);
+    targets.insert(targets.end(), nbrs.begin(), nbrs.end());
+    if (weighted) {
+      const auto ws = g.out_weights(u);
+      weights.insert(weights.end(), ws.begin(), ws.end());
+    }
+  }
+  offsets[plan.n] = static_cast<eid_t>(targets.size());
+  // Directed: owned vertices carry out-arcs only; the matching reverse arc
+  // of an undirected edge lives on the other endpoint's shard.
+  return graph::CSRGraph(std::move(offsets), std::move(targets),
+                         std::move(weights), /*directed=*/true);
+}
+
+graph::CSRGraph reassemble(const std::vector<const graph::CSRGraph*>& shards,
+                           bool directed) {
+  GA_CHECK(!shards.empty(), "dist: reassemble of zero shards");
+  vid_t n = 0;
+  bool weighted = false;
+  for (const graph::CSRGraph* g : shards) {
+    GA_CHECK(g != nullptr, "dist: reassemble with null shard");
+    n = std::max(n, g->num_vertices());
+    weighted = weighted || g->weighted();
+  }
+  std::vector<eid_t> offsets(n + 1, 0);
+  std::vector<vid_t> targets;
+  std::vector<float> weights;
+  for (vid_t u = 0; u < n; ++u) {
+    offsets[u] = static_cast<eid_t>(targets.size());
+    for (const graph::CSRGraph* g : shards) {
+      if (u >= g->num_vertices() || g->out_degree(u) == 0) continue;
+      // Each vertex's adjacency lives on exactly one shard (its owner);
+      // concatenation is the merge.
+      const auto nbrs = g->out_neighbors(u);
+      targets.insert(targets.end(), nbrs.begin(), nbrs.end());
+      if (g->weighted()) {
+        const auto ws = g->out_weights(u);
+        weights.insert(weights.end(), ws.begin(), ws.end());
+      } else if (weighted) {
+        weights.insert(weights.end(), nbrs.size(), 1.0f);
+      }
+    }
+  }
+  offsets[n] = static_cast<eid_t>(targets.size());
+  return graph::CSRGraph(std::move(offsets), std::move(targets),
+                         std::move(weights), directed);
+}
+
+Partitioner::Partitioner(PartitionPlan plan)
+    : plan_(std::move(plan)), owner_(plan_.owner) {}
+
+std::vector<store::DeltaBatch> Partitioner::split(
+    const store::DeltaBatch& batch) {
+  const std::uint32_t k = plan_.shards;
+  // Shard stores hold directed sub-CSRs: the global batch already carries
+  // both arcs of an undirected edge, so each sub-batch records single arcs.
+  std::vector<store::DeltaBatch> out(k, store::DeltaBatch(/*directed=*/true));
+
+  const vid_t growth = batch.vertex_growth();
+  if (growth > 0) {
+    const vid_t base = universe();
+    owner_.reserve(base + growth);
+    for (vid_t v = base; v < base + growth; ++v) {
+      owner_.push_back(static_cast<std::uint8_t>(
+          k == 1 ? 0 : hash_owner(v, k)));
+    }
+    for (auto& b : out) b.add_vertices(growth);
+  }
+
+  batch.for_each_edge_op([&](vid_t u, vid_t v, float w, bool is_delete) {
+    GA_CHECK(u < owner_.size() && v < owner_.size(),
+             "dist: edge op outside the vertex universe");
+    store::DeltaBatch& b = out[owner_[u]];
+    if (is_delete) {
+      b.delete_edge(u, v);
+    } else {
+      b.insert_edge(u, v, w);
+    }
+  });
+  for (const auto& [v, value] : batch.property_ops()) {
+    GA_CHECK(v < owner_.size(), "dist: property op outside the universe");
+    out[owner_[v]].set_vertex_property(v, value);
+  }
+  return out;
+}
+
+}  // namespace ga::dist

@@ -1,0 +1,134 @@
+// Graph partitioning for the sharded serving subsystem: split a global
+// graph into per-shard subdomains under a vertex → shard owner map.
+//
+// The placement is a 1-D vertex partition: shard s owns a subset of the
+// vertex ids and stores the COMPLETE out-adjacency of every vertex it
+// owns, as a directed sub-CSR over the full global id space (non-owned
+// vertices simply have degree zero). Because the serving stack's graphs
+// are undirected (both arcs stored), the owner of v therefore holds v's
+// entire neighborhood — the property the scatter/gather kernels rely on —
+// and the union of all shard sub-CSRs is exactly the global arc set, which
+// is what makes the reassembly digest round-trip exact.
+//
+// Two placement methods:
+//  * kHash — deterministic multiplicative hash of the vertex id. No
+//    locality, near-perfect vertex balance, and the same rule extends
+//    ownership to vertices created later (add_vertices growth), so the
+//    coordinator and every shard agree on new ids without re-sharding.
+//  * kEdgeCut — the existing kernels/partition.hpp machinery (BFS-grow
+//    seeding + boundary refinement) minimizing cut arcs at a small
+//    balance cost. Grown vertices still place by the hash rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "graph/csr_graph.hpp"
+#include "store/delta.hpp"
+
+namespace ga::dist {
+
+enum class PartitionMethod : std::uint8_t { kHash = 0, kEdgeCut = 1 };
+const char* partition_method_name(PartitionMethod m);
+
+/// Deterministic placement for vertex v among k shards. Also the growth
+/// rule: every party extends its owner map with this when add_vertices
+/// raises the universe, so ownership of new ids needs no coordination.
+inline std::uint32_t hash_owner(vid_t v, std::uint32_t shards) {
+  return static_cast<std::uint32_t>(
+      core::mix64(static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL) %
+      shards);
+}
+
+struct PartitionPlanOptions {
+  std::uint32_t shards = 3;
+  PartitionMethod method = PartitionMethod::kHash;
+  std::uint64_t seed = 1;  // edge-cut BFS-grow seed
+};
+
+struct ShardDomainStats {
+  vid_t owned = 0;     // vertices this shard owns
+  eid_t arcs = 0;      // stored arcs (out-arcs of owned vertices)
+  eid_t cut_arcs = 0;  // stored arcs whose target lives on another shard
+  vid_t mirrors = 0;   // distinct remote vertices referenced (|mirror list|)
+};
+
+struct PartitionPlan {
+  std::uint32_t shards = 0;
+  PartitionMethod method = PartitionMethod::kHash;
+  vid_t n = 0;
+  bool directed = false;
+  eid_t total_arcs = 0;
+  eid_t cut_arcs = 0;                      // sum over shards
+  std::vector<std::uint8_t> owner;         // size n
+  std::vector<ShardDomainStats> stats;     // size shards
+  /// Per shard: sorted distinct remote vertices its arcs reference — the
+  /// ghost ids a PageRank exchange must import.
+  std::vector<std::vector<vid_t>> mirror;
+
+  /// Fraction of stored arcs whose endpoint pair spans two shards.
+  double cut_fraction() const {
+    return total_arcs == 0 ? 0.0
+                           : static_cast<double>(cut_arcs) /
+                                 static_cast<double>(total_arcs);
+  }
+  /// Max owned-vertex count over the ideal n/shards (1.0 = perfect).
+  double load_imbalance() const;
+  /// Max stored-arc count over the mean (edge balance; 1.0 = perfect).
+  double arc_imbalance() const;
+};
+
+/// Compute the owner map + per-shard domain stats and mirror lists.
+/// Throws ga::Error when shards is 0, exceeds 255 (the owner map is u8),
+/// or exceeds the vertex count.
+PartitionPlan make_plan(const graph::CSRGraph& g,
+                        const PartitionPlanOptions& opts);
+
+/// Shard s's subdomain: a directed CSR over the full global id space in
+/// which owned vertices keep their complete out-adjacency (weights
+/// preserved) and every other vertex is empty.
+graph::CSRGraph extract_shard(const graph::CSRGraph& g,
+                              const PartitionPlan& plan, std::uint32_t s);
+
+/// Union of per-shard subdomains back into one CSR with the original
+/// directedness — the inverse of extract_shard over all s. Each vertex's
+/// adjacency comes from exactly one shard (its owner), so this is a
+/// straight per-vertex merge.
+graph::CSRGraph reassemble(
+    const std::vector<const graph::CSRGraph*>& shards, bool directed);
+
+/// Owner-map state machine + delta router. Owns the evolving owner map
+/// (the plan's assignment extended by the hash rule as batches grow the
+/// universe) and splits global DeltaBatches into per-shard sub-batches.
+class Partitioner {
+ public:
+  explicit Partitioner(PartitionPlan plan);
+
+  const PartitionPlan& plan() const { return plan_; }
+  std::uint32_t shards() const { return plan_.shards; }
+  /// Current universe (plan.n plus growth routed through split()).
+  vid_t universe() const { return static_cast<vid_t>(owner_.size()); }
+  std::uint32_t owner(vid_t v) const {
+    GA_ASSERT(v < owner_.size());
+    return owner_[v];
+  }
+  /// Snapshot of the evolving owner map (kInitRecover replays this to a
+  /// respawned shard so growth epochs need not be re-derived).
+  const std::vector<std::uint8_t>& owner_map() const { return owner_; }
+
+  /// Split one global batch into one DIRECTED sub-batch per shard: each
+  /// arc op routes to its source's owner (an undirected edge's two arcs
+  /// thus land on both endpoint owners), property patches go to the vertex
+  /// owner, and vertex growth replicates to every shard so the universes
+  /// stay aligned. Grown vertices are assigned by hash_owner. Arrival
+  /// order is preserved per shard, so per-arc last-write-wins semantics
+  /// survive the split.
+  std::vector<store::DeltaBatch> split(const store::DeltaBatch& batch);
+
+ private:
+  PartitionPlan plan_;
+  std::vector<std::uint8_t> owner_;
+};
+
+}  // namespace ga::dist

@@ -1,0 +1,502 @@
+#include "dist/shard_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "dist/partitioner.hpp"
+#include "engine/traversal.hpp"
+#include "kernels/registry.hpp"
+#include "store/recovery.hpp"
+
+namespace ga::dist {
+
+namespace {
+
+/// Deterministic expansion: serial push over the merged view, exactly the
+/// delta-native edge_map path (and the serial CSR path on flat views).
+engine::TraversalOptions shard_step_opts() {
+  engine::TraversalOptions opts;
+  opts.direction = engine::TraversalOptions::Dir::kPush;
+  opts.parallel = false;
+  return opts;
+}
+
+}  // namespace
+
+void ShardServer::serve(MsgChannel& ch) {
+  Message m;
+  for (;;) {
+    const core::Status st = ch.recv(&m, /*timeout_ms=*/-1);
+    if (!st.ok()) return;  // peer closed / died: the shard just exits
+    try {
+      switch (m.type) {
+        case MsgType::kInit: handle_init(m, ch); break;
+        case MsgType::kInitRecover: handle_init_recover(m, ch); break;
+        case MsgType::kApplyEpoch: handle_apply(m, ch); break;
+        case MsgType::kBfsInit: handle_prop_init(m, ch, /*is_bfs=*/true); break;
+        case MsgType::kWccInit: handle_prop_init(m, ch, /*is_bfs=*/false); break;
+        case MsgType::kStep: handle_step(m, ch); break;
+        case MsgType::kPrInit: handle_pr_init(m, ch); break;
+        case MsgType::kPrExports: handle_pr_exports(m, ch); break;
+        case MsgType::kPrScatter: handle_pr_scatter(ch); break;
+        case MsgType::kPrApply: handle_pr_apply(m, ch); break;
+        case MsgType::kGatherDist:
+        case MsgType::kGatherLabels:
+        case MsgType::kGatherRanks: handle_gather(m.type, ch); break;
+        case MsgType::kFetchArcs: handle_fetch_arcs(ch); break;
+        case MsgType::kHeartbeat: {
+          ++counters_.heartbeats;
+          ByteWriter w;
+          w.put<std::uint64_t>(store_ ? store_->epoch() : 0);
+          if (!ch.send(MsgType::kHeartbeatReply, w).ok()) return;
+          break;
+        }
+        case MsgType::kStatus: handle_status(ch); break;
+        case MsgType::kShutdown: {
+          (void)ch.send(MsgType::kShutdownAck);
+          return;
+        }
+        default: {
+          ByteWriter w;
+          w.put_str(std::string("shard: unexpected message ") +
+                    msg_type_name(m.type));
+          if (!ch.send(MsgType::kError, w).ok()) return;
+        }
+      }
+    } catch (const std::exception& e) {
+      ByteWriter w;
+      w.put_str(e.what());
+      if (!ch.send(MsgType::kError, w).ok()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+void ShardServer::attach_log(const std::string& dir,
+                             std::uint64_t checkpoint_every,
+                             bool sync_each_append) {
+  store::EpochLogOptions lopts;
+  lopts.dir = dir;
+  lopts.checkpoint_every = checkpoint_every;
+  lopts.sync_each_append = sync_each_append;
+  log_ = std::make_unique<store::EpochLog>(std::move(lopts));
+  log_->attach(*store_);
+}
+
+void ShardServer::grow_owner(vid_t universe) {
+  // Extend to `universe` under the shared hash rule. No-op when the
+  // coordinator already shipped a map covering these ids (a recovered
+  // shard replays growth epochs it was initialized past).
+  for (vid_t v = static_cast<vid_t>(owner_.size()); v < universe; ++v) {
+    owner_.push_back(static_cast<std::uint8_t>(
+        shards_ == 1 ? 0 : hash_owner(v, shards_)));
+  }
+}
+
+void ShardServer::send_init_ack(MsgChannel& ch) {
+  const store::GraphView v = store_->view();
+  ByteWriter w;
+  w.put<std::uint64_t>(v.epoch());
+  w.put<std::uint32_t>(v.num_vertices());
+  w.put<std::uint64_t>(v.num_arcs());
+  (void)ch.send(MsgType::kInitAck, w);
+}
+
+void ShardServer::handle_init(const Message& m, MsgChannel& ch) {
+  ByteReader r(m.body);
+  self_ = r.get<std::uint32_t>();
+  shards_ = r.get<std::uint32_t>();
+  const auto checkpoint_every = r.get<std::uint64_t>();
+  const bool sync_each = r.get<std::uint8_t>() != 0;
+  const std::string dir = r.get_str();
+  owner_ = r.get_vec<std::uint8_t>();
+  auto offsets = r.get_vec<eid_t>();
+  auto targets = r.get_vec<vid_t>();
+  auto weights = r.get_vec<float>();
+  GA_CHECK(r.done(), "shard init: trailing bytes");
+  GA_CHECK(shards_ > 0 && self_ < shards_, "shard init: bad identity");
+  GA_CHECK(offsets.size() == owner_.size() + 1,
+           "shard init: owner map / CSR mismatch");
+
+  graph::CSRGraph sub(std::move(offsets), std::move(targets),
+                      std::move(weights), /*directed=*/true);
+  prop_.active = false;
+  pr_.active = false;
+  log_.reset();  // release any previous log fd before reopening the dir
+  store_ = std::make_unique<store::VersionedGraphStore>(std::move(sub));
+  attach_log(dir, checkpoint_every, sync_each);
+  ++counters_.inits;
+  counters_.shard = self_;
+  counters_.epoch = store_->epoch();
+  send_init_ack(ch);
+}
+
+void ShardServer::handle_init_recover(const Message& m, MsgChannel& ch) {
+  ByteReader r(m.body);
+  self_ = r.get<std::uint32_t>();
+  shards_ = r.get<std::uint32_t>();
+  const auto checkpoint_every = r.get<std::uint64_t>();
+  const bool sync_each = r.get<std::uint8_t>() != 0;
+  const std::string dir = r.get_str();
+  owner_ = r.get_vec<std::uint8_t>();
+  GA_CHECK(r.done(), "shard recover: trailing bytes");
+  GA_CHECK(shards_ > 0 && self_ < shards_, "shard recover: bad identity");
+
+  // Rebuild from this shard's own durable history: checkpoint + replay.
+  // acked ⇒ durable, so everything the coordinator saw acknowledged is
+  // here; the coordinator resends only epochs past the recovered one.
+  store::RecoveryOptions ropts;
+  ropts.dir = dir;
+  store::RecoveredStore rec = store::recover(ropts);
+  GA_CHECK(rec.report.status().ok(),
+           "shard recover: " + std::string(rec.report.status().message()));
+  prop_.active = false;
+  pr_.active = false;
+  log_.reset();
+  store_ = std::move(rec.store);
+  attach_log(dir, checkpoint_every, sync_each);
+  // The recovered universe may trail the owner map (growth epochs past the
+  // last ack are resent by the coordinator afterwards) but never leads it.
+  GA_CHECK(store_->view().num_vertices() <= owner_.size(),
+           "shard recover: store universe exceeds owner map");
+  ++counters_.inits;
+  ++counters_.recoveries;
+  counters_.shard = self_;
+  counters_.epoch = store_->epoch();
+  send_init_ack(ch);
+}
+
+void ShardServer::handle_apply(const Message& m, MsgChannel& ch) {
+  GA_CHECK(store_ != nullptr, "shard: apply before init");
+  ByteReader r(m.body);
+  const auto epoch = r.get<std::uint64_t>();
+  const std::uint64_t at = store_->epoch();
+  ByteWriter w;
+  if (epoch <= at) {
+    // Catch-up resend of an epoch this shard already acked (it was durable
+    // before the crash, so recovery replayed it). Idempotent by epoch id.
+    w.put<std::uint64_t>(at);
+    (void)ch.send(MsgType::kApplyAck, w);
+    return;
+  }
+  GA_CHECK(epoch == at + 1, "shard: epoch gap (have " + std::to_string(at) +
+                                ", got " + std::to_string(epoch) + ")");
+  const std::size_t off = m.body.size() - r.remaining();
+  store::DeltaBatch batch =
+      store::DeltaBatch::decode(m.body.data() + off, r.remaining());
+  const std::uint64_t applied = store_->apply(batch);
+  GA_CHECK(applied == epoch, "shard: store epoch diverged");
+  grow_owner(store_->view().num_vertices());
+  ++counters_.applies;
+  counters_.epoch = applied;
+  w.put<std::uint64_t>(applied);
+  (void)ch.send(MsgType::kApplyAck, w);
+}
+
+// ---------------------------------------------------------------------------
+// BFS / WCC: level-synchronous min-value propagation
+
+std::uint64_t ShardServer::require_epoch(ByteReader& r) const {
+  GA_CHECK(store_ != nullptr, "shard: query before init");
+  const auto epoch = r.get<std::uint64_t>();
+  GA_CHECK(epoch == store_->epoch(),
+           "shard: query epoch " + std::to_string(epoch) + " != store epoch " +
+               std::to_string(store_->epoch()));
+  return epoch;
+}
+
+void ShardServer::handle_prop_init(const Message& m, MsgChannel& ch,
+                                   bool is_bfs) {
+  ByteReader r(m.body);
+  require_epoch(r);
+  const vid_t source = is_bfs ? r.get<std::uint32_t>() : 0;
+  GA_CHECK(r.done(), "shard: trailing bytes in kernel init");
+
+  prop_.active = true;
+  prop_.is_bfs = is_bfs;
+  prop_.view = store_->view();
+  const vid_t n = prop_.view.num_vertices();
+  GA_CHECK(owner_.size() == n, "shard: owner map / universe mismatch");
+  prop_.value.assign(n, kInfDist);
+  prop_.best_out.assign(n, kInfDist);
+  prop_.frontier = engine::Frontier(n);
+  if (is_bfs) {
+    GA_CHECK(source < n, "shard: BFS source out of range");
+    if (owner_[source] == self_) {
+      prop_.value[source] = 0;
+      prop_.frontier.add(source);
+    }
+  } else {
+    for (vid_t v = 0; v < n; ++v) {
+      if (owner_[v] == self_) {
+        prop_.value[v] = v;
+        prop_.frontier.add(v);
+      }
+    }
+    prop_.frontier.auto_switch();
+  }
+  ++counters_.sessions;
+  ByteWriter w;
+  w.put<std::uint64_t>(prop_.frontier.size());
+  (void)ch.send(MsgType::kStepReply, w);
+}
+
+void ShardServer::handle_step(const Message& m, MsgChannel& ch) {
+  GA_CHECK(prop_.active, "shard: step without an open BFS/WCC session");
+  ByteReader r(m.body);
+  const auto inbox_v = r.get_vec<vid_t>();
+  const auto inbox_val = r.get_vec<std::uint32_t>();
+  GA_CHECK(inbox_v.size() == inbox_val.size() && r.done(),
+           "shard: malformed step inbox");
+
+  // Merge remotely-discovered improvements into the carried frontier.
+  for (std::size_t i = 0; i < inbox_v.size(); ++i) {
+    const vid_t v = inbox_v[i];
+    GA_CHECK(v < prop_.value.size() && owner_[v] == self_,
+             "shard: inbox vertex not owned here");
+    if (inbox_val[i] < prop_.value[v]) {
+      prop_.value[v] = inbox_val[i];
+      prop_.frontier.add(v);
+    }
+  }
+
+  // One super-step. Owned targets improve in place and enter the next
+  // frontier; boundary targets go to the outbox, deduplicated by the
+  // best-value-ever-sent array (values are monotone per vertex).
+  struct Propagate {
+    ShardServer::PropSession& s;
+    const std::vector<std::uint8_t>& owner;
+    std::uint32_t self;
+    std::vector<vid_t>& out_v;
+    std::vector<std::uint32_t>& out_val;
+
+    bool cond(vid_t) const { return true; }
+    bool update(vid_t u, vid_t v, float) {
+      const std::uint32_t val = s.is_bfs ? s.value[u] + 1 : s.value[u];
+      if (owner[v] == self) {
+        if (val < s.value[v]) {
+          s.value[v] = val;
+          return true;
+        }
+        return false;
+      }
+      if (val < s.best_out[v]) {
+        s.best_out[v] = val;
+        out_v.push_back(v);
+        out_val.push_back(val);
+      }
+      return false;
+    }
+    bool update_atomic(vid_t u, vid_t v, float w) { return update(u, v, w); }
+  };
+  std::vector<vid_t> out_v;
+  std::vector<std::uint32_t> out_val;
+  Propagate step{prop_, owner_, self_, out_v, out_val};
+  prop_.frontier =
+      engine::edge_map(prop_.view, prop_.frontier, step, shard_step_opts());
+  ++counters_.steps;
+
+  // A vertex improved twice within the round appears twice in out_v; only
+  // the last (smallest) value should ship. Compact newest-wins.
+  if (!out_v.empty()) {
+    std::vector<vid_t> cv;
+    std::vector<std::uint32_t> cval;
+    cv.reserve(out_v.size());
+    cval.reserve(out_v.size());
+    for (std::size_t i = 0; i < out_v.size(); ++i) {
+      if (prop_.best_out[out_v[i]] == out_val[i]) {
+        cv.push_back(out_v[i]);
+        cval.push_back(out_val[i]);
+      }
+    }
+    out_v.swap(cv);
+    out_val.swap(cval);
+  }
+
+  ByteWriter w;
+  w.put<std::uint64_t>(prop_.frontier.size());
+  w.put_vec(out_v);
+  w.put_vec(out_val);
+  (void)ch.send(MsgType::kStepReply, w);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank: exact pull-iteration arithmetic with ghost contributions
+
+void ShardServer::handle_pr_init(const Message& m, MsgChannel& ch) {
+  ByteReader r(m.body);
+  require_epoch(r);
+  pr_.damping = r.get<double>();
+  GA_CHECK(r.done(), "shard: trailing bytes in pr init");
+
+  pr_.active = true;
+  pr_.view = store_->view();
+  const vid_t n = pr_.view.num_vertices();
+  GA_CHECK(owner_.size() == n, "shard: owner map / universe mismatch");
+  pr_.owned.clear();
+  pr_.ghosts.clear();
+  pr_.exports.clear();
+  pr_.rank.assign(n, 0.0);
+  pr_.contrib.assign(n, 0.0);
+
+  std::uint64_t dangling_owned = 0;
+  const double init = 1.0 / static_cast<double>(n);
+  std::vector<std::uint8_t> is_ghost(n, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    if (owner_[v] != self_) continue;
+    pr_.owned.push_back(v);
+    pr_.rank[v] = init;
+    if (pr_.view.out_degree(v) == 0) ++dangling_owned;
+    pr_.view.for_each_out(v, [&](vid_t u, float) {
+      if (owner_[u] != self_) is_ghost[u] = 1;
+    });
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    if (is_ghost[v]) pr_.ghosts.push_back(v);
+  }
+  ++counters_.sessions;
+  ByteWriter w;
+  w.put<std::uint64_t>(dangling_owned);
+  w.put_vec(pr_.ghosts);
+  (void)ch.send(MsgType::kPrInitReply, w);
+}
+
+void ShardServer::handle_pr_exports(const Message& m, MsgChannel& ch) {
+  GA_CHECK(pr_.active, "shard: pr exports without an open session");
+  ByteReader r(m.body);
+  pr_.exports = r.get_vec<vid_t>();
+  GA_CHECK(r.done(), "shard: malformed pr exports");
+  for (vid_t v : pr_.exports) {
+    GA_CHECK(v < owner_.size() && owner_[v] == self_,
+             "shard: export vertex not owned here");
+  }
+  ByteWriter w;
+  w.put<std::uint64_t>(pr_.exports.size());
+  (void)ch.send(MsgType::kPrInitReply, w);
+}
+
+void ShardServer::handle_pr_scatter(MsgChannel& ch) {
+  GA_CHECK(pr_.active, "shard: pr scatter without an open session");
+  // contrib[u] = rank[u] / outdeg(u), 0 for dangling — the same division
+  // the reference iteration performs (kernels/pagerank.cpp power_iterate).
+  for (vid_t u : pr_.owned) {
+    const eid_t d = pr_.view.out_degree(u);
+    pr_.contrib[u] = d == 0 ? 0.0 : pr_.rank[u] / static_cast<double>(d);
+  }
+  std::vector<double> vals;
+  vals.reserve(pr_.exports.size());
+  for (vid_t v : pr_.exports) vals.push_back(pr_.contrib[v]);
+  ++counters_.steps;
+  ByteWriter w;
+  w.put_vec(vals);
+  (void)ch.send(MsgType::kPrScatterReply, w);
+}
+
+void ShardServer::handle_pr_apply(const Message& m, MsgChannel& ch) {
+  GA_CHECK(pr_.active, "shard: pr apply without an open session");
+  ByteReader r(m.body);
+  const auto dangling = r.get<double>();
+  const auto ghost_vals = r.get_vec<double>();
+  GA_CHECK(ghost_vals.size() == pr_.ghosts.size() && r.done(),
+           "shard: pr apply ghost vector mismatch");
+  for (std::size_t i = 0; i < pr_.ghosts.size(); ++i) {
+    pr_.contrib[pr_.ghosts[i]] = ghost_vals[i];
+  }
+
+  // Owned vertices update with the reference expressions verbatim: the
+  // ascending-neighbor accumulation matches the serial pull order, and the
+  // single-expression update keeps any compiler fma contraction identical
+  // to the single-process kernel, so ranks stay bit-exact.
+  const double n = static_cast<double>(pr_.view.num_vertices());
+  const double restart =
+      (1.0 - pr_.damping) / n + pr_.damping * dangling / n;
+  double delta = 0.0;
+  for (vid_t v : pr_.owned) {
+    double acc = 0.0;
+    pr_.view.for_each_out(v, [&](vid_t u, float) { acc += pr_.contrib[u]; });
+    const double next = restart + pr_.damping * acc;
+    delta += std::abs(next - pr_.rank[v]);
+    pr_.rank[v] = next;
+  }
+  ++counters_.steps;
+  ByteWriter w;
+  w.put<double>(delta);
+  (void)ch.send(MsgType::kPrApplyReply, w);
+}
+
+// ---------------------------------------------------------------------------
+// Gathers / health
+
+void ShardServer::handle_gather(MsgType t, MsgChannel& ch) {
+  ByteWriter w;
+  if (t == MsgType::kGatherRanks) {
+    GA_CHECK(pr_.active, "shard: rank gather without an open session");
+    std::vector<double> vals;
+    vals.reserve(pr_.owned.size());
+    for (vid_t v : pr_.owned) vals.push_back(pr_.rank[v]);
+    w.put_vec(pr_.owned);
+    w.put_vec(vals);
+  } else {
+    GA_CHECK(prop_.active, "shard: gather without an open session");
+    GA_CHECK(prop_.is_bfs == (t == MsgType::kGatherDist),
+             "shard: gather kind does not match the open session");
+    std::vector<vid_t> ids;
+    std::vector<std::uint32_t> vals;
+    for (vid_t v = 0; v < prop_.value.size(); ++v) {
+      if (owner_[v] != self_) continue;
+      ids.push_back(v);
+      vals.push_back(prop_.value[v]);
+    }
+    w.put_vec(ids);
+    w.put_vec(vals);
+  }
+  (void)ch.send(MsgType::kGatherReply, w);
+}
+
+void ShardServer::handle_fetch_arcs(MsgChannel& ch) {
+  GA_CHECK(store_ != nullptr, "shard: fetch before init");
+  const store::GraphView v = store_->view();
+  const graph::CSRGraph& flat = v.csr();
+  auto props = v.flatten_props();
+  ByteWriter w;
+  w.put<std::uint64_t>(v.epoch());
+  w.put_vec(flat.offsets());
+  w.put_vec(flat.targets());
+  w.put_vec(flat.weights());
+  std::vector<vid_t> prop_ids;
+  std::vector<float> prop_vals;
+  if (props) {
+    for (const auto& [id, val] : *props) {
+      if (id < owner_.size() && owner_[id] == self_) {
+        prop_ids.push_back(id);
+        prop_vals.push_back(val);
+      }
+    }
+  }
+  w.put_vec(prop_ids);
+  w.put_vec(prop_vals);
+  (void)ch.send(MsgType::kArcsReply, w);
+}
+
+void ShardServer::handle_status(MsgChannel& ch) {
+  ByteWriter w;
+  const store::GraphView v =
+      store_ ? store_->view() : store::GraphView();
+  w.put<std::uint32_t>(self_);
+  w.put<std::uint64_t>(store_ ? store_->epoch() : 0);
+  w.put<std::uint32_t>(v.valid() ? v.num_vertices() : 0);
+  w.put<std::uint64_t>(v.valid() ? v.num_arcs() : 0);
+  w.put<std::uint64_t>(counters_.applies);
+  w.put<std::uint64_t>(counters_.sessions);
+  w.put<std::uint64_t>(counters_.steps);
+  w.put<std::uint64_t>(counters_.heartbeats);
+  w.put<std::uint64_t>(counters_.recoveries);
+  w.put<std::uint64_t>(
+      static_cast<std::uint64_t>(kernels::registry().size()));
+  (void)ch.send(MsgType::kStatusReply, w);
+}
+
+}  // namespace ga::dist

@@ -1,0 +1,129 @@
+// ShardServer: the request loop a shard process runs. One shard hosts its
+// own VersionedGraphStore over its partition subdomain (a directed sub-CSR
+// of the global graph covering the full id space — owned vertices carry
+// their complete adjacency, everything else is empty), its own durable
+// EpochLog, and the kernel registry, and answers the coordinator's message
+// protocol on a single MsgChannel:
+//
+//  * lifecycle — kInit seeds the store from a shipped sub-CSR and attaches
+//    a fresh epoch log; kInitRecover rebuilds the store from the shard's
+//    OWN epoch log directory (store/recovery.hpp) and reattaches, which is
+//    the respawn-after-kill path; kApplyEpoch replicates one global epoch
+//    (the shard's sub-batch of it) idempotently by epoch id, so the
+//    coordinator's catch-up resend after fail-over is safe.
+//  * scatter/gather kernel sessions — BFS and WCC run as level-synchronous
+//    value-propagation rounds over the engine's Frontier/edge_map (push,
+//    serial, deterministic): each kStep merges the coordinator-routed inbox
+//    into the carried frontier, expands one super-step, and returns the
+//    boundary outbox (deduplicated monotonically) plus the surviving local
+//    frontier size. PageRank runs the exact pull-iteration arithmetic of
+//    kernels/pagerank.cpp on owned vertices with ghost contributions
+//    imported per iteration, so the distributed ranks are bit-identical to
+//    the single-process kernel.
+//  * health — heartbeats echo the current epoch; kStatus returns counters.
+//
+// The loop is single-threaded: the coordinator serializes requests per
+// shard, so no locking is needed here. Any ga::Error inside a handler is
+// reported as a kError reply; the loop exits on kShutdown or a dead peer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/message.hpp"
+#include "engine/frontier.hpp"
+#include "store/epoch_log.hpp"
+#include "store/versioned_store.hpp"
+
+namespace ga::dist {
+
+struct ShardCounters {
+  std::uint32_t shard = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t inits = 0;       // kInit + kInitRecover handled
+  std::uint64_t recoveries = 0;  // kInitRecover handled
+  std::uint64_t applies = 0;     // epochs applied (idempotent hits excluded)
+  std::uint64_t sessions = 0;    // kernel sessions opened
+  std::uint64_t steps = 0;       // kStep / kPrScatter / kPrApply rounds
+  std::uint64_t heartbeats = 0;
+};
+
+class ShardServer {
+ public:
+  ShardServer() = default;
+
+  /// Blocking request loop over `ch`. Returns normally on kShutdown or
+  /// when the peer closes the channel (coordinator death — the child just
+  /// exits). Handler errors become kError replies, not loop exits.
+  void serve(MsgChannel& ch);
+
+  /// Counters snapshot (test harness runs the server in-process).
+  const ShardCounters& counters() const { return counters_; }
+
+ private:
+  // -- lifecycle --
+  void handle_init(const Message& m, MsgChannel& ch);
+  void handle_init_recover(const Message& m, MsgChannel& ch);
+  void handle_apply(const Message& m, MsgChannel& ch);
+  void send_init_ack(MsgChannel& ch);
+  void attach_log(const std::string& dir, std::uint64_t checkpoint_every,
+                  bool sync_each_append);
+  void grow_owner(vid_t universe);
+
+  // -- BFS/WCC propagation session --
+  void handle_prop_init(const Message& m, MsgChannel& ch, bool is_bfs);
+  void handle_step(const Message& m, MsgChannel& ch);
+
+  // -- PageRank session --
+  void handle_pr_init(const Message& m, MsgChannel& ch);
+  void handle_pr_exports(const Message& m, MsgChannel& ch);
+  void handle_pr_scatter(MsgChannel& ch);
+  void handle_pr_apply(const Message& m, MsgChannel& ch);
+
+  // -- gathers / health --
+  void handle_gather(MsgType t, MsgChannel& ch);
+  void handle_fetch_arcs(MsgChannel& ch);
+  void handle_status(MsgChannel& ch);
+
+  std::uint64_t require_epoch(ByteReader& r) const;
+
+  std::uint32_t self_ = 0;
+  std::uint32_t shards_ = 0;
+  std::vector<std::uint8_t> owner_;
+  std::unique_ptr<store::VersionedGraphStore> store_;
+  std::unique_ptr<store::EpochLog> log_;
+  ShardCounters counters_;
+
+  /// Level-synchronous BFS/WCC state, carried across kStep rounds. Both
+  /// kernels are "propagate a u32 value, smaller wins": BFS propagates
+  /// dist[u] + 1, WCC propagates label[u]. best_out_ is the smallest value
+  /// ever sent per remote vertex — values only shrink (WCC) or first-send
+  /// wins (BFS levels only grow), so suppressing non-improvements is exact.
+  struct PropSession {
+    bool active = false;
+    bool is_bfs = false;
+    store::GraphView view;
+    std::vector<std::uint32_t> value;     // dist or label; kInfDist unset
+    std::vector<std::uint32_t> best_out;  // per remote vertex
+    engine::Frontier frontier;            // owned vertices to expand
+  };
+  PropSession prop_;
+
+  /// PageRank session: owned vertices iterate in ascending order with the
+  /// exact accumulation/update expressions of kernels/pagerank.cpp.
+  struct PrSession {
+    bool active = false;
+    double damping = 0.85;
+    store::GraphView view;
+    std::vector<vid_t> owned;    // ascending
+    std::vector<vid_t> ghosts;   // ascending distinct remote neighbors
+    std::vector<vid_t> exports;  // owned ids other shards import
+    std::vector<double> rank;    // full-n; owned entries live
+    std::vector<double> contrib; // full-n; owned + ghost entries live
+  };
+  PrSession pr_;
+};
+
+}  // namespace ga::dist

@@ -62,6 +62,29 @@ inline std::size_t frame_record(char* dst, std::uint64_t seq,
   std::memcpy(dst + sizeof(len32), &crc, sizeof(crc));
   return frame_size(len);
 }
+
+/// CRC over [seq][payload] exactly as frame_record stores it. For callers
+/// that assemble the payload in place (the dist message channel builds
+/// frames directly in its send buffer) or verify a frame read off a socket
+/// rather than a file.
+inline std::uint32_t frame_crc(std::uint64_t seq, const void* payload,
+                               std::size_t len) {
+  std::uint32_t crc = core::crc32(&seq, kSeqBytes);
+  return core::crc32(payload, len, crc);
+}
+
+/// Parsed [u32 len][u32 crc] prefix of one frame. `hdr` must point at
+/// kFrameHeader readable bytes.
+struct FrameHeader {
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+};
+inline FrameHeader parse_frame_header(const char* hdr) {
+  FrameHeader h;
+  std::memcpy(&h.len, hdr, sizeof(h.len));
+  std::memcpy(&h.crc, hdr + sizeof(h.len), sizeof(h.crc));
+  return h;
+}
 }  // namespace recio
 
 /// One recovered record: sequence number plus raw payload bytes.

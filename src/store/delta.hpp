@@ -120,6 +120,20 @@ class DeltaBatch {
   void encode(std::vector<char>* out) const;
   static DeltaBatch decode(const char* data, std::size_t len);
 
+  /// Visit every recorded arc op in arrival order: fn(u, v, w, is_delete).
+  /// Both arcs of an undirected edge appear. The dist partitioner fans a
+  /// global batch out to shard sub-batches with this; routing each arc by
+  /// its source preserves last-write-wins because seal() resolves ties by
+  /// arrival order within each shard's subsequence as well.
+  template <typename Fn>
+  void for_each_edge_op(Fn&& fn) const {
+    for (const EdgeOp& op : edge_ops_) fn(op.u, op.v, op.w, op.is_delete);
+  }
+  /// Recorded property patches in arrival order (last write wins at seal).
+  std::span<const std::pair<vid_t, float>> property_ops() const {
+    return prop_ops_;
+  }
+
  private:
   struct EdgeOp {
     vid_t u, v;

@@ -1,8 +1,13 @@
-// Graph partitioning tests: coverage, balance, refinement improvement.
+// Graph partitioning tests: coverage, balance, refinement improvement,
+// and the dist-subsystem shard plans built on top (hash vs edge-cut
+// placement, subdomain extraction/reassembly round-trip).
 #include <gtest/gtest.h>
 
+#include "dist/partitioner.hpp"
 #include "graph/generators.hpp"
 #include "kernels/partition.hpp"
+#include "store/graph_view.hpp"
+#include "store/recovery.hpp"
 
 namespace ga::kernels {
 namespace {
@@ -67,6 +72,62 @@ TEST(Partition, DeterministicPerSeed) {
   const auto b = partition(g, 4, 42);
   EXPECT_EQ(a.part, b.part);
   EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+// ---------------------------------------------------------------------------
+// Shard plans (dist::make_plan) layered over the kernel partitioner.
+
+TEST(ShardPlan, HashBalancesVerticesEdgeCutMinimizesCut) {
+  // Path graph: contiguous edge-cut blocks cut ~(k-1) of ~2(n-1) arcs;
+  // hash placement separates almost every neighbor pair.
+  const auto path = graph::make_path(400);
+  const auto hashed =
+      dist::make_plan(path, {.shards = 4, .method = dist::PartitionMethod::kHash});
+  const auto cut = dist::make_plan(
+      path, {.shards = 4, .method = dist::PartitionMethod::kEdgeCut});
+  EXPECT_LT(cut.cut_fraction(), hashed.cut_fraction() / 4.0);
+  EXPECT_LT(hashed.load_imbalance(), 1.35);
+
+  const auto rmat = graph::make_rmat({.scale = 9, .edge_factor = 8, .seed = 21});
+  const auto h2 =
+      dist::make_plan(rmat, {.shards = 4, .method = dist::PartitionMethod::kHash});
+  const auto c2 = dist::make_plan(
+      rmat, {.shards = 4, .method = dist::PartitionMethod::kEdgeCut});
+  EXPECT_LT(h2.load_imbalance(), 1.2);
+  EXPECT_LE(c2.cut_fraction(), h2.cut_fraction() + 1e-9);
+  // Arc (edge) balance stays bounded for both placements on RMAT skew.
+  EXPECT_LT(h2.arc_imbalance(), 3.0);
+  EXPECT_LT(c2.arc_imbalance(), 3.0);
+}
+
+TEST(ShardPlan, MirrorListsMatchCutStats) {
+  const auto g = graph::make_erdos_renyi(300, 1500, 13);
+  const auto plan = dist::make_plan(g, {.shards = 3});
+  ASSERT_EQ(plan.mirror.size(), 3u);
+  eid_t cut = 0;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(plan.stats[s].mirrors, plan.mirror[s].size());
+    for (const auto v : plan.mirror[s]) EXPECT_NE(plan.owner[v], s);
+    cut += plan.stats[s].cut_arcs;
+  }
+  EXPECT_EQ(cut, plan.cut_arcs);
+}
+
+TEST(ShardPlan, ExtractReassembleIsDigestExact) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 6, .seed = 31});
+  for (const auto method :
+       {dist::PartitionMethod::kHash, dist::PartitionMethod::kEdgeCut}) {
+    const auto plan = dist::make_plan(g, {.shards = 4, .method = method});
+    std::vector<graph::CSRGraph> subs;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      subs.push_back(dist::extract_shard(g, plan, s));
+    }
+    std::vector<const graph::CSRGraph*> ptrs;
+    for (const auto& sub : subs) ptrs.push_back(&sub);
+    const auto back = dist::reassemble(ptrs, g.directed());
+    EXPECT_EQ(store::view_digest(store::GraphView::borrowed(back)),
+              store::view_digest(store::GraphView::borrowed(g)));
+  }
 }
 
 }  // namespace

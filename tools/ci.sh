@@ -106,6 +106,27 @@ print(f"[ci] recovery {ms:.0f} ms for {replayed} epochs (gate < 2000 ms), "
 sys.exit(0 if ms < 2000.0 and replayed == 64 and idem and promote else 1)
 EOF
 
+echo "=== [ci] dist gate (3-shard scatter/gather digest match + kill -9 fail-over) ==="
+# The sharded serving subsystem promises: distributed BFS/PageRank/WCC over
+# real shard processes digest-identical to the single-process kernels at
+# every shard count, and kill -9 fail-over (epoch-log recovery + catch-up)
+# back to a correct answer in under 5 s with zero wrong answers meanwhile.
+(cd "$BUILD_DIR" && ctest --output-on-failure -L dist -j "$JOBS")
+(cd "$BUILD_DIR" && ./bench/dist_bench --scale 13 --queries 5 --json)
+python3 - "$BUILD_DIR/BENCH_dist.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+blackout = d["failover_blackout_ms"]
+ok = (d["digest_match"] == 1 and d["wrong_answers"] == 0
+      and d["shards"] == 3 and d["failover_recovered"] == 1
+      and 0.0 <= blackout < 5000.0)
+print(f"[ci] dist digest_match={d['digest_match']} "
+      f"wrong_answers={d['wrong_answers']} shards={d['shards']} "
+      f"fail-over blackout {blackout:.0f} ms (gate < 5000 ms)")
+sys.exit(0 if ok else 1)
+EOF
+
 echo "=== [ci] bench artifacts (repo root) ==="
 # Machine-readable artifacts for sweep diffing: the gated incremental
 # serving numbers and a graph500 BFS baseline, at stable repo-root names.
@@ -113,7 +134,8 @@ echo "=== [ci] bench artifacts (repo root) ==="
 cp "$BUILD_DIR/BENCH_serving_load.json" "$ROOT/BENCH_serving.json"
 cp "$BUILD_DIR/BENCH_graph500_bfs.json" "$ROOT/BENCH_graph500.json"
 cp "$BUILD_DIR/BENCH_recovery.json" "$ROOT/BENCH_recovery.json"
-echo "[ci] wrote $ROOT/BENCH_serving.json, $ROOT/BENCH_graph500.json, and $ROOT/BENCH_recovery.json"
+cp "$BUILD_DIR/BENCH_dist.json" "$ROOT/BENCH_dist.json"
+echo "[ci] wrote $ROOT/BENCH_serving.json, $ROOT/BENCH_graph500.json, $ROOT/BENCH_recovery.json, and $ROOT/BENCH_dist.json"
 
 if [[ "$MODE" == "fast" ]]; then
   echo "=== [ci] fast mode: skipping sanitizer sweeps ==="

@@ -25,15 +25,27 @@
 //            per epoch, time the incremental serve vs a forced batch
 //            recompute for WCC and PageRank, show the tier each query
 //            landed on, and the delta-aware cache carry/invalidate counters
+//   ga_cli dist plan FILE [--shards K] [--method hash|edge-cut] [--seed S]
+//          [--json]
+//          — shard-placement dry run: owner-map balance, cut fraction, and
+//            per-shard domain stats for the sharded serving subsystem
+//   ga_cli dist status DIR
+//          — connect to a live coordinator's status socket
+//            (DIR/coordinator.sock) and print its JSON report
 //   ga_cli bfs FILE SOURCE
 //   ga_cli pagerank FILE [--top K]
 //   ga_cli components FILE
 //   ga_cli triangles FILE
 //   ga_cli jaccard FILE VERTEX [--threshold X]
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "core/timer.hpp"
 #include "graph/builder.hpp"
@@ -47,6 +59,8 @@
 #include "kernels/registry.hpp"
 #include "kernels/triangles.hpp"
 #include "core/prng.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/partitioner.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -113,6 +127,10 @@ int usage() {
                "  store recover DIR\n"
                "  epochs [FILE] [--scale N] [--epochs E] [--delta D]"
                " [--seed S] [--deletes PCT]\n"
+               "  dist plan FILE [--shards K] [--method hash|edge-cut]"
+               " [--seed S] [--json]\n"
+               "  dist status DIR      — query a live coordinator's status"
+               " socket\n"
                "  bfs FILE SOURCE\n"
                "  pagerank FILE [--top K]\n"
                "  components FILE\n"
@@ -545,6 +563,89 @@ int cmd_jaccard(const Args& a) {
   return 0;
 }
 
+/// `dist plan FILE` — dry-run shard placement; `dist status DIR` — query a
+/// live coordinator over its AF_UNIX status socket.
+int cmd_dist(const Args& a) {
+  GA_CHECK(a.positional.size() >= 3,
+           "dist: need `plan FILE` or `status DIR`");
+  const std::string& sub = a.positional[1];
+
+  if (sub == "plan") {
+    const auto g = load(a.positional[2]);
+    dist::PartitionPlanOptions opts;
+    opts.shards = static_cast<std::uint32_t>(a.get("shards", 3));
+    opts.seed = a.get("seed", 1);
+    const std::string method = a.gets("method", "hash");
+    GA_CHECK(method == "hash" || method == "edge-cut",
+             "dist plan: --method must be hash or edge-cut");
+    opts.method = method == "hash" ? dist::PartitionMethod::kHash
+                                   : dist::PartitionMethod::kEdgeCut;
+    core::WallTimer t;
+    const auto plan = dist::make_plan(g, opts);
+    const double ms = t.millis();
+    if (a.flags.count("json")) {
+      std::printf("{\"shards\": %u, \"method\": \"%s\", \"vertices\": %u, "
+                  "\"arcs\": %llu, \"cut_arcs\": %llu, "
+                  "\"cut_fraction\": %.6f, \"load_imbalance\": %.4f, "
+                  "\"arc_imbalance\": %.4f}\n",
+                  plan.shards, dist::partition_method_name(plan.method),
+                  plan.n, static_cast<unsigned long long>(plan.total_arcs),
+                  static_cast<unsigned long long>(plan.cut_arcs),
+                  plan.cut_fraction(), plan.load_imbalance(),
+                  plan.arc_imbalance());
+      return 0;
+    }
+    std::printf("plan: %u shards, %s placement (%.2f ms)\n", plan.shards,
+                dist::partition_method_name(plan.method), ms);
+    std::printf("cut: %llu / %llu arcs (%.2f%%)  load imbalance %.3f  "
+                "arc imbalance %.3f\n",
+                static_cast<unsigned long long>(plan.cut_arcs),
+                static_cast<unsigned long long>(plan.total_arcs),
+                100.0 * plan.cut_fraction(), plan.load_imbalance(),
+                plan.arc_imbalance());
+    std::printf("%6s %10s %12s %12s %10s\n", "shard", "owned", "arcs",
+                "cut arcs", "mirrors");
+    for (std::uint32_t s = 0; s < plan.shards; ++s) {
+      const auto& st = plan.stats[s];
+      std::printf("%6u %10u %12llu %12llu %10u\n", s, st.owned,
+                  static_cast<unsigned long long>(st.arcs),
+                  static_cast<unsigned long long>(st.cut_arcs), st.mirrors);
+    }
+    return 0;
+  }
+
+  if (sub == "status") {
+    const std::string path =
+        dist::Coordinator::status_socket_path(a.positional[2]);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    GA_CHECK(fd >= 0, "dist status: socket failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    GA_CHECK(path.size() < sizeof(addr.sun_path),
+             "dist status: socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      std::fprintf(stderr, "dist status: cannot connect to %s: %s\n",
+                   path.c_str(), std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      std::fwrite(buf, 1, static_cast<std::size_t>(n), stdout);
+    }
+    std::printf("\n");
+    ::close(fd);
+    return 0;
+  }
+
+  std::fprintf(stderr, "dist: unknown subcommand %s\n", sub.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -558,6 +659,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "store") return cmd_store(args);
+    if (cmd == "dist") return cmd_dist(args);
     if (cmd == "epochs") return cmd_epochs(args);
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "pagerank") return cmd_pagerank(args);

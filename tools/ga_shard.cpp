@@ -1,0 +1,41 @@
+// ga_shard: the shard-process entry point of the sharded serving
+// subsystem. The coordinator posix_spawns one of these per shard with its
+// end of a socketpair on a known fd; everything else (identity, subdomain,
+// epoch-log directory) arrives over the wire via kInit / kInitRecover.
+//
+//   ga_shard --fd 3
+//
+// The process exits 0 when the coordinator shuts it down (kShutdown) or
+// dies (socket EOF), and non-zero only on a malformed invocation.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "dist/message.hpp"
+#include "dist/shard_server.hpp"
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
+      fd = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s --fd <n>\n", argv[0]);
+      return 2;
+    }
+  }
+  if (fd < 0) {
+    std::fprintf(stderr, "%s: missing --fd <n>\n", argv[0]);
+    return 2;
+  }
+  try {
+    ga::dist::MsgChannel ch(fd);
+    ga::dist::ShardServer server;
+    server.serve(ch);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ga_shard: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -6,7 +6,9 @@
 #      serving, obs, versioned-store, incremental, and recovery suites
 #      (snapshot churn, registry concurrency, concurrent
 #      publish/lease/compact, warm-state handoff across epoch publishes,
-#      standby log-tailing under live writer load).
+#      standby log-tailing under live writer load), plus the dist suite's
+#      in-process shard harness (coordinator op thread vs heartbeat
+#      monitor vs shard server threads).
 # Each sanitizer gets its own build tree under build-san/ so the regular
 # build/ directory is never polluted. Exits nonzero on the first failure.
 #
@@ -26,11 +28,14 @@ if [[ "$MODE" == "chaos" ]]; then
   cmake -B "$ASAN_DIR" -S "$ROOT" -DGA_SANITIZE=address,undefined \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$ASAN_DIR" -j "$JOBS" \
-        --target ga_resilience_tests ga_recovery_tests > /dev/null
+        --target ga_resilience_tests ga_recovery_tests ga_dist_tests > /dev/null
   echo "=== [chaos/asan-ubsan] resilience suite (recovery + fault injection) ==="
   "$ASAN_DIR/tests/ga_resilience_tests"
   echo "=== [chaos/asan-ubsan] epoch-log suite (kill-anywhere + torn tails) ==="
   "$ASAN_DIR/tests/ga_recovery_tests"
+  echo "=== [chaos/asan-ubsan] dist suite (in-process harness: protocol + fail-over) ==="
+  "$ASAN_DIR/tests/ga_dist_tests" \
+      --gtest_filter='DistMessage.*:DistPartitioner.*:DistCoordinator.Inproc*:DistCoordinator.Status*:DistFailover.Inproc*'
 
   echo "=== [chaos/tsan] configure + build resilience + serving + store suites ==="
   TSAN_DIR="$ROOT/build-san/tsan"
@@ -68,7 +73,7 @@ cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" \
       --target ga_tests ga_serving_tests ga_obs_tests ga_store_tests \
-               ga_incremental_tests ga_recovery_tests > /dev/null
+               ga_incremental_tests ga_recovery_tests ga_dist_tests > /dev/null
 echo "=== [tsan] parallel-path tests ==="
 "$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
 echo "=== [tsan] serving suite (snapshot lifetime + scheduler concurrency) ==="
@@ -81,5 +86,8 @@ echo "=== [tsan] incremental suite (delta contract + warm-state handoff) ==="
 "$TSAN_DIR/tests/ga_incremental_tests"
 echo "=== [tsan] recovery suite (log append + standby tail/promotion races) ==="
 "$TSAN_DIR/tests/ga_recovery_tests"
+echo "=== [tsan] dist suite (in-process shards: coordinator/monitor/server races) ==="
+"$TSAN_DIR/tests/ga_dist_tests" \
+    --gtest_filter='DistCoordinator.Inproc*:DistCoordinator.Status*:DistFailover.Inproc*'
 
 echo "All sanitizer suites passed."
