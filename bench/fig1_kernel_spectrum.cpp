@@ -5,7 +5,11 @@
 //
 // Batch rows dispatch through kernels::registry() (one entry per kernel,
 // carrying the taxonomy metadata); streaming rows exercise the dynamic-
-// graph and packet-stream kernels directly.
+// graph and packet-stream kernels directly. Input selection, trial count,
+// seeding, and the JSON artifact ride on the shared bench harness:
+// --graph overrides the base input for every row whose preferred scale
+// fits, --trials N reports per-row mean over N runs, --json writes
+// BENCH_fig1_kernel_spectrum.json with one `<kernel>_ms` field per row.
 #include <cstdio>
 #include <map>
 #include <string>
@@ -14,6 +18,7 @@
 #include "graph/builder.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
+#include "harness.hpp"
 #include "kernels/jaccard.hpp"
 #include "kernels/registry.hpp"
 #include "streaming/anomaly.hpp"
@@ -39,16 +44,20 @@ void print_row(const Row& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Default input matches the historical table: RMAT scale 13, edge
+  // factor 8, seed 7 (overridable with --graph).
+  bench::GraphSpec base = bench::GraphSpec::kron(13);
+  base.edge_factor = 8;
+  base.seed = 7;
+  bench::Harness h("fig1_kernel_spectrum", argc, argv, base,
+                   /*default_trials=*/1);
   std::printf("=== Fig. 1 reproduction: the spectrum of existing kernels ===\n");
-  const unsigned kBaseScale = 13;
-  const auto g = graph::make_rmat({.scale = kBaseScale, .edge_factor = 8, .seed = 7});
+  const unsigned base_scale = h.options().graph.scale;
+  const auto& g = h.graph();
   const auto gd = graph::build_directed(
       graph::rmat_edges({.scale = 12, .edge_factor = 8, .seed = 7}));
-  std::printf("input: RMAT scale 13 (n=%u, m=%llu undirected)\n\n",
-              g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()));
-  std::printf("%-34s %-22s %-26s %-22s %9s  %s\n", "kernel", "class",
+  std::printf("\n%-34s %-22s %-26s %-22s %9s  %s\n", "kernel", "class",
               "benchmark suites", "output class", "ms", "result");
 
   // Heavier kernels declare a smaller preferred input scale; build each
@@ -57,7 +66,7 @@ int main() {
   const auto input_for = [&](const kernels::KernelInfo& info)
       -> const graph::CSRGraph& {
     if (info.directed) return gd;
-    if (info.preferred_scale >= kBaseScale) return g;
+    if (info.preferred_scale >= base_scale) return g;
     auto it = small.find(info.preferred_scale);
     if (it == small.end()) {
       it = small
@@ -70,11 +79,21 @@ int main() {
     return it->second;
   };
 
+  const int trials = h.options().trials;
   for (const auto& info : kernels::registry()) {
-    const auto out = kernels::run_kernel(info, input_for(info));
+    const kernels::KernelRunSpec spec =
+        kernels::KernelRunSpec::of(input_for(info));
+    double total_ms = 0;
+    kernels::KernelRunOutcome out;
+    for (int t = 0; t < trials; ++t) {
+      out = kernels::run_kernel(info, spec);
+      total_ms += out.millis;
+    }
+    const double ms = total_ms / trials;
     print_row({info.display.c_str(), info.kclass.c_str(),
-               info.suites.c_str(), info.output_class.c_str(), out.millis,
+               info.suites.c_str(), info.output_class.c_str(), ms,
                out.summary});
+    h.doc().add(info.name + "_ms", ms);
   }
 
   core::WallTimer t;
@@ -107,6 +126,7 @@ int main() {
     print_row({"Insert/Delete (streaming)", "graph modification",
                "HPC-GA(S),STINGER", "graph modification", ms,
                std::to_string(applied) + " updates"});
+    h.doc().add("streaming_insert_delete_ms", ms);
 
     auto [qms, matches] = timed([&] {
       std::size_t total = 0;
@@ -116,6 +136,7 @@ int main() {
     print_row({"Jaccard (streaming queries)", "clustering", "standalone(S)",
                "O(|V|) list per query", qms,
                std::to_string(matches) + " matches/200 queries"});
+    h.doc().add("streaming_jaccard_ms", qms);
   }
   {
     streaming::PacketStreamOptions popts;
@@ -131,6 +152,7 @@ int main() {
     print_row({"Anomaly - Fixed Key (streaming)", "other", "standalone(S)",
                "vertex property events", ms,
                std::to_string(events) + " events"});
+    h.doc().add("streaming_anomaly_fixed_ms", ms);
 
     streaming::UnboundedKeyAnomaly unbounded(1 << 9);
     auto [ums, uevents] = timed([&] {
@@ -140,6 +162,7 @@ int main() {
     print_row({"Anomaly - Unbounded Key (streaming)", "other", "standalone(S)",
                "vertex property events", ums,
                std::to_string(uevents) + " events"});
+    h.doc().add("streaming_anomaly_unbounded_ms", ums);
 
     streaming::TwoLevelKeyAnomaly two_level(48);
     auto [tms, tevents] = timed([&] {
@@ -149,10 +172,11 @@ int main() {
     print_row({"Anomaly - Two-level Key (streaming)", "other", "standalone(S)",
                "global value events", tms,
                std::to_string(tevents) + " events"});
+    h.doc().add("streaming_anomaly_two_level_ms", tms);
   }
   std::printf(
       "\nKey take-away (paper §II): no one kernel is universal, and batch\n"
       "and streaming forms differ (compare the Insert/Delete and query rows\n"
       "against their batch counterparts above).\n");
-  return 0;
+  return h.finish();
 }

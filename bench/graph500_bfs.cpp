@@ -1,28 +1,27 @@
 // Graph500-style BFS benchmark (§IV: "the most exhaustive [results are]
 // the twice-yearly reports ... of the Breadth First Kernel used in the
-// GRAPH500 benchmark"): Kronecker/RMAT input, 16 random roots, harmonic-
-// mean TEPS, comparing top-down vs direction-optimizing engines. For the
-// largest scale the per-super-step engine telemetry is printed alongside
-// the analytic model's verdict on which resource bounds each step
-// (archmodel baseline, paper Fig. 3).
+// GRAPH500 benchmark") on the shared bench::Harness: Kronecker/RMAT
+// input, one random root per trial, untimed warmup, harmonic-mean TEPS,
+// and the GAP discipline of verifying every trial's parent tree outside
+// the timed region. Compares top-down vs direction-optimizing engines;
+// for the largest scale the per-super-step engine telemetry is printed
+// alongside the analytic model's verdict on which resource bounds each
+// step (archmodel baseline, paper Fig. 3).
 //
-// --json: additionally writes BENCH_graph500_bfs.json with harmonic-mean
-// MTEPS plus median/p95 per-root times for every (scale, engine) cell.
-// --scale N: run only that scale (the ci.sh obs-overhead gate's knob).
-// --no-obs: runtime-disable metrics/tracing before the timed region, for
-// measuring instrumentation overhead against a GA_OBS_NOOP build.
-#include <algorithm>
+// Harness flags (--graph/--trials/--seed/--threads/--json/--no-obs) plus:
+//   --scale N: shorthand for --graph kronN (the ci.sh obs-overhead gate's
+//              knob). TEPS rates use the Graph500 rule: input edges within
+//              the traversed component, independent of arcs scanned.
 #include <cstdio>
+#include <vector>
 
 #include "archmodel/configs.hpp"
 #include "bench_json.hpp"
-#include "core/prng.hpp"
-#include "core/stats.hpp"
 #include "core/timer.hpp"
 #include "engine/archbridge.hpp"
-#include "graph/generators.hpp"
+#include "harness.hpp"
 #include "kernels/bfs.hpp"
-#include "obs/metrics.hpp"
+#include "kernels/verify.hpp"
 
 using namespace ga;
 using namespace ga::kernels;
@@ -43,75 +42,83 @@ void print_steps(const std::vector<engine::StepStats>& steps) {
   std::printf("\n");
 }
 
-void run_scale(unsigned scale, bool show_steps, bench::JsonDoc* doc) {
-  const auto g = graph::make_rmat({.scale = scale, .edge_factor = 16, .seed = 1});
-  core::Xoshiro256 rng(scale);
+void run_input(bench::Harness& h, bool show_steps) {
+  const auto& g = h.graph();
+  const int trials = h.options().trials;
+
+  // One root per trial, shared across both engines for a fair comparison;
+  // the Graph500 TEPS denominator (input edges of the traversed component)
+  // is derived once per root from an untimed scouting BFS.
   std::vector<vid_t> roots;
-  while (roots.size() < 16) {
-    const vid_t r = rng.next_vid(g.num_vertices());
-    if (g.out_degree(r) > 0) roots.push_back(r);
+  std::vector<double> component_edges;
+  for (int t = 0; t < trials; ++t) roots.push_back(h.random_root());
+  for (const vid_t r : roots) {
+    const auto res = bfs(g, r);
+    std::uint64_t edges = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (res.dist[v] != kInfDist) edges += g.out_degree(v);
+    }
+    component_edges.push_back(static_cast<double>(edges / 2 + 1));
   }
-  std::printf("scale %2u (n=%u, m=%llu):\n", scale, g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()));
+
+  const std::string cell = h.options().graph.kind ==
+                                   bench::GraphSpec::Kind::kKron
+                               ? "s" + std::to_string(h.options().graph.scale)
+                               : h.options().graph.name();
   for (const auto& [name, tag, mode] :
        {std::tuple{"top-down", "topdown", BfsMode::kTopDown},
         std::tuple{"direction-opt", "dirop", BfsMode::kDirectionOptimizing}}) {
-    core::WallTimer t;
-    double inv_teps_sum = 0.0;
-    std::uint64_t reached = 0;
-    std::vector<double> root_ms;
+    BfsResult last;
     std::vector<engine::StepStats> sample_steps;
-    t.restart();
-    for (vid_t r : roots) {
-      core::WallTimer bt;
-      const auto res = bfs(g, r, mode);
-      const double secs = bt.seconds();
-      root_ms.push_back(secs * 1e3);
-      // Graph500 counts input edges within the traversed component
-      // (independent of how many arcs the engine actually scanned).
-      std::uint64_t component_edges = 0;
-      for (vid_t v = 0; v < g.num_vertices(); ++v) {
-        if (res.dist[v] != kInfDist) component_edges += g.out_degree(v);
-      }
-      component_edges /= 2;
-      inv_teps_sum += secs / static_cast<double>(component_edges + 1);
-      reached += res.reached;
-      if (sample_steps.empty()) sample_steps = res.steps;
-    }
-    const double harmonic_teps = roots.size() / inv_teps_sum;
-    std::printf("  %-14s total %7.1f ms   harmonic-mean %8.2f MTEPS   avg reached %llu\n",
-                name, t.millis(), harmonic_teps / 1e6,
-                static_cast<unsigned long long>(reached / roots.size()));
+    std::uint64_t reached = 0;
+    const auto st = h.run(
+        cell + "_" + tag,
+        [&](int t) {
+          const vid_t root = roots[t < 0 ? 0 : t];
+          last = bfs(g, root, mode);
+          if (sample_steps.empty()) sample_steps = last.steps;
+          if (t < 0) return bench::Trial{};  // warmup
+          reached += last.reached;
+          return bench::Trial{component_edges[t],
+                              "reached~" + std::to_string(last.reached / 1000) +
+                                  "k"};
+        },
+        [&](int t) {
+          const auto v = verify_bfs(g, roots[t], last);
+          return v.ok ? std::string() : v.error;
+        });
+    // The classic Graph500 report line (the ci.sh obs-overhead gate greps
+    // the direction-opt MTEPS field out of it).
+    std::printf(
+        "  %-14s total %7.1f ms   harmonic-mean %8.2f MTEPS   avg reached %llu\n",
+        name, st.total_ms, st.harmonic_rate / 1e6,
+        static_cast<unsigned long long>(reached / trials));
     if (show_steps) print_steps(sample_steps);
-    if (doc != nullptr) {
-      core::PercentileSketch ps;
-      for (const double ms : root_ms) ps.add(ms);
-      const std::string cell =
-          "s" + std::to_string(scale) + "_" + tag;
-      doc->add(cell + "_harmonic_mteps", harmonic_teps / 1e6);
-      doc->add(cell + "_root_ms_p50", ps.percentile(0.5));
-      doc->add(cell + "_root_ms_p95", ps.percentile(0.95));
-    }
+    // Legacy artifact keys (the committed BENCH_graph500.json baseline
+    // that tools/bench_compare gates against).
+    h.doc().add(cell + "_" + tag + "_harmonic_mteps", st.harmonic_rate / 1e6);
+    h.doc().add(cell + "_" + tag + "_root_ms_p50", st.p50_ms);
+    h.doc().add(cell + "_" + tag + "_root_ms_p95", st.p95_ms);
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool json = bench::has_flag(argc, argv, "--json");
-  if (bench::has_flag(argc, argv, "--no-obs")) obs::set_enabled(false);
   const long only_scale = bench::flag_value(argc, argv, "--scale", 0);
-  bench::JsonDoc doc("graph500_bfs");
+  bench::Harness h("graph500_bfs", argc, argv,
+                   bench::GraphSpec::kron(only_scale > 0
+                                              ? static_cast<unsigned>(only_scale)
+                                              : 14u));
   std::printf("=== Graph500-style BFS (E8) ===\n\n");
-  if (only_scale > 0) {
-    run_scale(static_cast<unsigned>(only_scale), /*show_steps=*/false,
-              json ? &doc : nullptr);
+  if (only_scale > 0 || h.graph_overridden()) {
+    run_input(h, /*show_steps=*/false);
   } else {
     for (unsigned scale : {14u, 16u, 18u}) {
-      run_scale(scale, scale == 18u, json ? &doc : nullptr);
+      h.set_graph(bench::GraphSpec::kron(scale));
+      run_input(h, scale == 18u);
     }
   }
   std::printf("\nShape: direction-optimizing wins on the fat RMAT frontiers.\n");
-  if (json) doc.write();
-  return 0;
+  return h.finish();
 }

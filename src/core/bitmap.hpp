@@ -31,6 +31,18 @@ class Bitmap {
     words_[i >> 6] |= (1ULL << (i & 63));
   }
 
+  void clear(std::uint64_t i) {
+    GA_ASSERT(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  /// Hint the cache that word containing bit i is about to be probed.
+  /// The pull-mode frontier probe loop issues these a few arcs ahead so
+  /// the random bitmap reads overlap with the sequential adjacency scan.
+  void prefetch(std::uint64_t i) const {
+    __builtin_prefetch(&words_[i >> 6], /*rw=*/0, /*locality=*/3);
+  }
+
   /// Atomically set bit i; returns true if this call flipped it 0->1.
   /// Safe for concurrent writers (BFS frontier insertion).
   bool set_atomic(std::uint64_t i) {

@@ -29,9 +29,27 @@ void Frontier::auto_switch() {
   }
 }
 
+void Frontier::auto_switch(std::uint64_t total_arcs) {
+  if (!has_out_edges()) {
+    auto_switch();
+    return;
+  }
+  // Ligra/GAP density: the step's fan-out (members + their out-arcs)
+  // decides the representation, so a few hub vertices with huge adjacency
+  // correctly count as "dense" while many leaves stay sparse.
+  const bool want_dense =
+      count_ + out_edges_ > total_arcs / kDensifyFraction;
+  if (!dense_ && want_dense) {
+    make_dense();
+  } else if (dense_ && !want_dense) {
+    ensure_sparse();
+  }
+}
+
 void Frontier::merge(Frontier& other) {
   GA_ASSERT(n_ == other.n_);
   if (other.empty()) return;
+  invalidate_out_edges();
   other.ensure_sparse();
   if (dense_) {
     for (vid_t v : other.items()) {
@@ -50,6 +68,33 @@ void Frontier::clear() {
   items_.clear();
   count_ = 0;
   dense_ = false;
+  out_edges_ = kUnknownEdges;
+}
+
+void Frontier::reset() {
+  if (!dense_ && items_.size() < n_ / 64) {
+    // Cheaper to clear the few set bits than to memset the whole array.
+    for (vid_t v : items_) bits_.clear(v);
+  } else {
+    bits_.reset();
+  }
+  items_.clear();
+  count_ = 0;
+  dense_ = false;
+  out_edges_ = kUnknownEdges;
+}
+
+void Frontier::reinit(vid_t n) {
+  if (n_ != n) {
+    n_ = n;
+    bits_ = core::Bitmap(n);
+    items_.clear();
+    count_ = 0;
+    dense_ = false;
+    out_edges_ = kUnknownEdges;
+    return;
+  }
+  reset();
 }
 
 }  // namespace ga::engine

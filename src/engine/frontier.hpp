@@ -1,9 +1,17 @@
 // Frontier: the engine's vertex-subset abstraction. A frontier always
 // maintains a membership bitmap (O(1) contains + dedup), and additionally
 // keeps a sparse id list while it is small. The representation switches
-// automatically at |frontier| = n / kDensifyFraction (Ligra's threshold):
-// sparse lists make push steps cheap (iterate only the frontier), the
-// bitmap makes pull steps cheap (probe membership per in-arc).
+// automatically at the GAP/Ligra frontier-density heuristic: a frontier is
+// "dense" when the work it fans out — its member count plus the out-arcs
+// leaving it — is a sizable fraction of the graph, not merely when it has
+// many vertices. Sparse lists make push steps cheap (iterate only the
+// frontier), the bitmap makes pull steps cheap (probe membership per
+// in-arc).
+//
+// The engine reuses frontiers in place across super-steps (reset() keeps
+// the bitmap and list allocations), and tracks the out-arc count of the
+// vertices it inserts so the next step's direction heuristic needs no
+// extra degree-summing pass.
 #pragma once
 
 #include <vector>
@@ -18,6 +26,10 @@ class Frontier {
   /// Sparse frontiers denser than universe/kDensifyFraction switch to the
   /// dense (bitmap-only) representation in auto_switch().
   static constexpr std::uint64_t kDensifyFraction = 20;
+  /// Edge-aware form (auto_switch with a total-arc count): densify when
+  /// members + out-arcs exceed arcs/kDensifyFraction — Ligra's
+  /// |V_f| + |E_f| > m/20 rule, which GAP's bitmap frontiers follow.
+  static constexpr std::uint64_t kUnknownEdges = ~0ULL;
 
   Frontier() = default;
   explicit Frontier(vid_t n) : n_(n), bits_(n) {}
@@ -33,6 +45,9 @@ class Frontier {
 
   bool contains(vid_t v) const { return bits_.get(v); }
 
+  /// Prefetch the bitmap word backing contains(v) (pull-probe lookahead).
+  void prefetch_contains(vid_t v) const { bits_.prefetch(v); }
+
   /// Deduplicated insert; returns true if v was newly added. Sparse
   /// frontiers also append to the id list. Single-writer only.
   bool add(vid_t v) {
@@ -40,6 +55,7 @@ class Frontier {
     bits_.set(v);
     if (!dense_) items_.push_back(v);
     ++count_;
+    out_edges_ = kUnknownEdges;  // producer re-stamps via set_out_edges
     return true;
   }
 
@@ -59,6 +75,15 @@ class Frontier {
 
   /// Account for vertices claimed directly into the bitmap (dense output).
   void bump_count(std::uint64_t k) { count_ += k; }
+
+  /// Out-arc count of the members (the GAP "scout count"), recorded by the
+  /// edge_map that produced this frontier so the next step's direction
+  /// choice needs no extra pass over the frontier. kUnknownEdges when the
+  /// producer did not track it (hand-built frontiers).
+  bool has_out_edges() const { return out_edges_ != kUnknownEdges; }
+  std::uint64_t out_edges() const { return out_edges_; }
+  void set_out_edges(std::uint64_t e) { out_edges_ = e; }
+  void invalidate_out_edges() { out_edges_ = kUnknownEdges; }
 
   /// Drop the id list; the bitmap becomes the only representation.
   void make_dense() {
@@ -80,13 +105,37 @@ class Frontier {
 
   const core::Bitmap& bits() const { return bits_; }
 
-  /// Pick the representation matching the current density.
+  /// Pick the representation matching the current density (vertex-count
+  /// form: the caller knows nothing about out-arcs).
   void auto_switch();
+
+  /// GAP/Ligra edge-aware representation switch: densify when
+  /// |frontier| + out_edges() > total_arcs / kDensifyFraction. Falls back
+  /// to the vertex-count form when the out-arc count is untracked.
+  void auto_switch(std::uint64_t total_arcs);
 
   /// Union `other` into this frontier (deduplicated).
   void merge(Frontier& other);
 
   void clear();
+
+  /// Allocation-reusing clear: keeps the bitmap and id-list storage so a
+  /// frontier can be recycled as the next super-step's output without a
+  /// per-level allocate/zero cycle. Sparse frontiers clear only the bits
+  /// they set; dense ones pay one memset of the word array.
+  void reset();
+
+  /// reset(), additionally re-sizing to universe n when it differs.
+  void reinit(vid_t n);
+
+  void swap(Frontier& other) {
+    std::swap(n_, other.n_);
+    std::swap(count_, other.count_);
+    std::swap(dense_, other.dense_);
+    std::swap(out_edges_, other.out_edges_);
+    items_.swap(other.items_);
+    bits_.swap(other.bits_);
+  }
 
   /// Apply fn(v) to every member (sparse: list order; dense: ascending).
   template <typename Fn>
@@ -104,6 +153,7 @@ class Frontier {
   vid_t n_ = 0;
   std::uint64_t count_ = 0;
   bool dense_ = false;
+  std::uint64_t out_edges_ = kUnknownEdges;
   std::vector<vid_t> items_;
   core::Bitmap bits_;
 };

@@ -123,6 +123,20 @@ std::span<const vid_t> CSRGraph::in_neighbors(vid_t u) const {
           static_cast<std::size_t>(t->offsets[u + 1] - t->offsets[u])};
 }
 
+std::span<const eid_t> CSRGraph::in_offsets() const {
+  if (!directed_) return offsets_;
+  const Transpose* t = transpose_acquire();
+  GA_CHECK(t != nullptr, "call ensure_transpose() first");
+  return t->offsets;
+}
+
+std::span<const vid_t> CSRGraph::in_targets() const {
+  if (!directed_) return targets_;
+  const Transpose* t = transpose_acquire();
+  GA_CHECK(t != nullptr, "call ensure_transpose() first");
+  return t->targets;
+}
+
 CSRGraph CSRGraph::transposed() const {
   std::vector<eid_t> off(n_ + 1, 0);
   for (vid_t t : targets_) ++off[t + 1];

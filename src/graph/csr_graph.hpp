@@ -75,6 +75,14 @@ class CSRGraph {
   eid_t in_degree(vid_t u) const;
   std::span<const vid_t> in_neighbors(vid_t u) const;
 
+  /// Whole in-adjacency arrays (offsets.size() == n+1). For undirected
+  /// graphs these alias the out arrays; directed graphs require
+  /// ensure_transpose() first. The traversal engine's pull loops read
+  /// these raw so the per-arc hot path carries no per-call branching,
+  /// and uses the offsets to cut pull ranges into edge-balanced chunks.
+  std::span<const eid_t> in_offsets() const;
+  std::span<const vid_t> in_targets() const;
+
   /// Returns the transposed graph as a standalone CSRGraph (directed only).
   CSRGraph transposed() const;
 

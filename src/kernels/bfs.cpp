@@ -29,6 +29,9 @@ struct BfsStep {
     return std::atomic_ref<std::uint32_t>(dist[v])
                .load(std::memory_order_relaxed) == kInfDist;
   }
+  /// Push scans issue this a few arcs ahead of the cursor: the dist probe
+  /// in cond() is the random access that otherwise stalls the stream.
+  void prefetch_target(vid_t v) const { __builtin_prefetch(&dist[v], 0, 3); }
   bool update(vid_t u, vid_t v, float) {
     dist[v] = level;
     parent[v] = u;
@@ -80,16 +83,20 @@ BfsResult bfs_impl(const G& g, vid_t source,
   engine::TraversalOptions opts;
   opts.direction = dir;
   opts.parallel = parallel;
+  // Each vertex is claimed exactly once, so the direction heuristic can
+  // weigh the scout count against the arcs not yet explored (GAP rule).
+  opts.monotone = true;
 
   engine::Telemetry telem;
-  engine::Frontier frontier(n);
+  engine::Frontier frontier(n), next(n);
   frontier.add(source);
+  frontier.set_out_edges(g.out_degree(source));
   std::uint32_t level = 1;
   while (!frontier.empty()) {
     BfsStep step{r.dist, r.parent, level};
-    engine::Frontier next = engine::edge_map(g, frontier, step, opts, &telem);
+    engine::edge_map_into(g, frontier, next, step, opts, &telem);
     r.reached += next.size();
-    frontier = std::move(next);
+    frontier.swap(next);
     ++level;
   }
   r.edges_traversed = telem.total_edges();

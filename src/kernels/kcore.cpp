@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/timer.hpp"
 #include "engine/traversal.hpp"
 
 namespace ga::kernels {
@@ -29,6 +30,83 @@ struct PeelStep {
 
 std::vector<std::uint32_t> core_numbers(const CSRGraph& g,
                                         engine::Telemetry* telem) {
+  GA_CHECK(!g.directed(), "k-core expects undirected graphs");
+  const vid_t n = g.num_vertices();
+  core::WallTimer timer;
+
+  // Batagelj–Zaveršnik bucket peeling, O(n + m): vertices live in an array
+  // `vert` sorted by current degree via counting sort; `bin[d]` marks where
+  // degree-d vertices start, `pos[v]` tracks each vertex's slot. Peeling
+  // the minimum-degree vertex decrements each unpeeled neighbor's degree
+  // by swapping it down into the bucket below — every arc is handled once,
+  // so the whole decomposition is one counting sort plus one graph scan.
+  // (The wave-based engine formulation, kept as core_numbers_waves, scans
+  // all live vertices once per level and is quadratic-ish on graphs with
+  // large degeneracy.)
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(g.out_degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  std::vector<eid_t> bin(max_deg + 2, 0);
+  for (vid_t v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (std::uint32_t d = 1; d <= max_deg + 1; ++d) bin[d] += bin[d - 1];
+
+  std::vector<vid_t> vert(n), pos(n);
+  {
+    std::vector<eid_t> cursor(bin.begin(), bin.end() - 1);
+    for (vid_t v = 0; v < n; ++v) {
+      pos[v] = static_cast<vid_t>(cursor[deg[v]]);
+      vert[pos[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+
+  const eid_t* offsets = g.offsets().data();
+  const vid_t* targets = g.targets().data();
+  std::uint64_t arcs_scanned = 0;
+  for (eid_t i = 0; i < n; ++i) {
+    const vid_t v = vert[i];
+    // deg[v] is final here: v's core number.
+    const eid_t ab = offsets[v], ae = offsets[v + 1];
+    arcs_scanned += ae - ab;
+    for (eid_t a = ab; a < ae; ++a) {
+      const vid_t u = targets[a];
+      if (deg[u] <= deg[v]) continue;  // already peeled or peeling this level
+      // Swap u with the first vertex of its bucket, then shrink the bucket
+      // start past it — u lands in bucket deg[u]-1 in O(1).
+      const vid_t du = deg[u];
+      const vid_t pu = pos[u];
+      const vid_t pw = static_cast<vid_t>(bin[du]);
+      const vid_t w = vert[pw];
+      if (u != w) {
+        vert[pu] = w;
+        pos[w] = pu;
+        vert[pw] = u;
+        pos[u] = pw;
+      }
+      ++bin[du];
+      --deg[u];
+    }
+  }
+
+  if (telem != nullptr) {
+    engine::StepStats st;
+    st.direction = engine::Direction::kPush;
+    st.frontier_size = n;
+    st.vertices_touched = n;
+    st.edges_traversed = arcs_scanned;
+    st.bytes_moved = engine::detail::model_bytes(n, arcs_scanned, false);
+    st.seconds = timer.seconds();
+    telem->record(st);
+  }
+  return deg;  // final degrees ARE the core numbers
+}
+
+std::vector<std::uint32_t> core_numbers_waves(const CSRGraph& g,
+                                              engine::Telemetry* telem) {
   GA_CHECK(!g.directed(), "k-core expects undirected graphs");
   const vid_t n = g.num_vertices();
   std::vector<std::uint32_t> degree(n), core(n, 0);

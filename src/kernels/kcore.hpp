@@ -13,11 +13,20 @@ namespace ga::kernels {
 
 using graph::CSRGraph;
 
-/// Core number per vertex via engine peel waves (Julienne-style: one
-/// edge_map per wave of vertices sinking to the current level). `telem`
-/// (optional) collects per-wave StepStats.
+/// Core number per vertex via Batagelj–Zaveršnik bucket peeling (counting
+/// sort by degree + O(1) bucket demotions; O(n + m) total). `telem`
+/// (optional) receives one summary StepStats for the whole peel.
 std::vector<std::uint32_t> core_numbers(const CSRGraph& g,
                                         engine::Telemetry* telem = nullptr);
+
+/// Reference formulation on the traversal engine (Julienne-style: one
+/// edge_map per wave of vertices sinking to the current level; `telem`
+/// collects per-wave StepStats). Identical output to core_numbers; scans
+/// all live vertices once per level, so it is slower on graphs with large
+/// degeneracy — kept for equivalence testing and per-wave telemetry
+/// studies.
+std::vector<std::uint32_t> core_numbers_waves(
+    const CSRGraph& g, engine::Telemetry* telem = nullptr);
 
 /// Vertices in the k-core (sorted).
 std::vector<vid_t> kcore_members(const CSRGraph& g, std::uint32_t k);

@@ -38,21 +38,30 @@ std::vector<KernelInfo> make_registry() {
   std::vector<KernelInfo> r;
   r.push_back({"bfs", "BFS: Breadth First Search", "connectedness",
                "Graph500,GraphBLAS,GC,GAP,HPC-GA(B)", "vertex property",
-               false, 13, [](const store::GraphView& v) {
-                 return "reached=" + u64(run(v, BfsOptions{}).reached);
+               false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
+                 const vid_t src =
+                     v.num_vertices() ? spec.seed % v.num_vertices() : 0;
+                 return "reached=" +
+                        u64(run(v, BfsOptions{.source = src}).reached);
                }});
   r.push_back({"sssp", "SSSP: Single Source Shortest Path", "connectedness",
                "Firehose(B),GC(B/S),GAP(B)", "vertex property + events",
-               false, 13, [](const store::GraphView& v) {
+               false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
+                 const vid_t src =
+                     v.num_vertices() ? spec.seed % v.num_vertices() : 0;
                  const auto res = run(
-                     v, SsspOptions{.algo = SsspAlgo::kBellmanFord});
+                     v, SsspOptions{.source = src,
+                                    .algo = SsspAlgo::kBellmanFord});
                  std::uint64_t reached = 0;
                  for (float d : res.dist) reached += d != kInfWeight;
                  return "reached=" + u64(reached);
                }});
   r.push_back({"apsp", "APSP: All Pairs Shortest Path", "connectedness",
                "GAP(B)", "O(|V|) list per source", false, 9,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  const auto res = run(g, ApspOptions{});
                  return "diameter=" +
@@ -61,18 +70,21 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"wcc", "CCW: Weakly Connected Components", "connectedness",
                "GAP(B),HPC-GA(B),K&G(S)", "vertex property + O(|V|) list",
-               false, 13, [](const store::GraphView& v) {
+               false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  return "components=" +
                         u64(run(v, ComponentsOptions{}).num_components);
                }});
   r.push_back({"scc", "CCS: Strongly Connected Components", "connectedness",
                "GAP(B),HPC-GA(B)", "O(|V|) list", true, 12,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "components=" + u64(run(g, SccOptions{}).num_components);
                }});
   r.push_back({"pagerank", "PR: PageRank", "centrality", "GC(B)",
-               "vertex property", false, 13, [](const store::GraphView& v) {
+               "vertex property", false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  const auto res = run(g, PageRankOptions{});
                  const auto top = pagerank_topk(res, 1);
@@ -80,7 +92,8 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"betweenness", "BC: Betweenness Centrality", "centrality",
                "Graph500(B),GC(B),HPC-GA(B),K&G(S)", "vertex property",
-               false, 13, [](const store::GraphView& v) {
+               false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  const auto res = run(g, BetweennessOptions{.num_pivots = 32});
                  double mx = 0;
@@ -90,7 +103,8 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"clustering", "CCO: Clustering Coefficients", "clustering",
                "HPC-GA(B),K&G(S)", "vertex property", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  char buf[48];
                  std::snprintf(buf, sizeof(buf), "avg=%.6f",
@@ -101,33 +115,38 @@ std::vector<KernelInfo> make_registry() {
   r.push_back({"community", "CD: Community Detection",
                "contraction/centrality", "HPC-GA(S)",
                "vertex property + O(|V|) list", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "communities=" +
                         u64(run(g, CommunityOptions{}).num_communities);
                }});
   r.push_back({"contraction", "GC: Graph Contraction", "contraction",
                "GC(B),GAP(B)", "global value (super-graph)", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "super-vertices=" +
                         u64(run(g, ContractionOptions{}).num_groups);
                }});
   r.push_back({"partition", "GP: Graph Partitioning", "contraction",
                "GraphBLAS(B/S),GAP(B)", "global value", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "cut=" + u64(run(g, PartitionOptions{}).cut_edges);
                }});
   r.push_back({"triangles", "GTC: Global Triangle Counting",
                "subgraph isomorphism", "GC(B)", "global value", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "triangles=" + u64(run(g, TrianglesOptions{}).total);
                }});
   r.push_back({"subgraph_iso", "SI: General Subgraph Isomorphism",
                "subgraph isomorphism", "Graph500(B/S)",
-               "O(|V|^k) list (top-k)", false, 10, [](const store::GraphView& v) {
+               "O(|V|^k) list (top-k)", false, 10, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "4-cycle embeddings=" +
                         u64(run(g, SubgraphIsoRunOptions{.limit = 100000})
@@ -135,7 +154,8 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"jaccard", "Jaccard (batch top-k)", "clustering",
                "standalone(B/S)", "O(|V|^k) list (top-k)", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  const auto res = run(g, JaccardOptions{});
                  char buf[48];
@@ -146,7 +166,8 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"weighted_jaccard", "Jaccard (weighted/Ruzicka query)",
                "clustering", "standalone(B/S)", "O(|V|) list per query",
-               false, 13, [](const store::GraphView& v) {
+               false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  const auto res =
                      run(g, WeightedJaccardOptions{.query = 0,
@@ -155,20 +176,23 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"kcore", "k-core decomposition", "subgraph isomorphism",
                "GAP(B)", "vertex property", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "degeneracy=" +
                         std::to_string(run(g, KCoreOptions{}).degeneracy);
                }});
   r.push_back({"ktruss", "k-truss decomposition", "subgraph isomorphism",
                "GC(B)", "per-edge property", false, 11,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "max truss=" +
                         std::to_string(run(g, KTrussOptions{}).max_truss);
                }});
   r.push_back({"geo_temporal", "Geo & Temporal Correlation", "clustering",
-               "K&G(B/S)", "O(1) events", false, 13, [](const store::GraphView& v) {
+               "K&G(B/S)", "O(1) events", false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  const auto res = run(
                      g, GeoTemporalOptions{
@@ -181,12 +205,14 @@ std::vector<KernelInfo> make_registry() {
                }});
   r.push_back({"mis", "MIS: Maximally Independent Set", "other",
                "Firehose(B),GC(B)", "O(|V|) list", false, 13,
-               [](const store::GraphView& v) {
+               [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  return "|set|=" + u64(run(g, MisOptions{}).members.size());
                }});
   r.push_back({"search_largest", "Search for Largest", "other", "GC(B)",
-               "O(1) events", false, 13, [](const store::GraphView& v) {
+               "O(1) events", false, 13, [](const KernelRunSpec& spec) {
+                 const store::GraphView& v = spec.view;
                  const CSRGraph& g = v.csr();
                  const auto res = run(g, SearchLargestOptions{});
                  return "max degree=" +
@@ -224,12 +250,13 @@ const KernelInfo* find_kernel(std::string_view name) {
 }
 
 KernelRunOutcome run_kernel(const KernelInfo& info,
-                            const store::GraphView& v) {
-  obs::ScopedSpan span("kernel." + info.name, obs::ambient());
+                            const KernelRunSpec& spec) {
+  obs::ScopedSpan span("kernel." + info.name,
+                       spec.trace.valid() ? spec.trace : obs::ambient());
   obs::AmbientScope ambient(span.context());  // engine steps nest under us
   core::WallTimer t;
   KernelRunOutcome out;
-  out.summary = info.run(v);
+  out.summary = info.run(spec);
   out.millis = t.millis();
   span.set_detail(out.summary);
   if (obs::enabled()) {

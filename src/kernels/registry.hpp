@@ -1,9 +1,13 @@
 // Kernel registry: one row per Fig. 1 batch kernel, carrying the paper's
 // taxonomy metadata (kernel class, benchmark suites, output class) plus a
 // type-erased runner over the uniform run(graph, <Kernel>Options) API every
-// kernel header now exposes. ga_cli and bench/fig1_kernel_spectrum dispatch
-// through this table instead of hand-rolled per-kernel call sites, so a new
-// kernel shows up in both by adding one entry here.
+// kernel header now exposes. ga_cli, the bench harness, and the serving
+// layer's registry-backed paths all dispatch through the same typed entry
+// point: run_kernel(info, KernelRunSpec). The spec carries everything a
+// dispatch site varies — the input view, the seed for seeded kernels, the
+// trace context to nest under, and whether delta-incremental execution is
+// allowed — so a new kernel (or a new harness) plugs in by touching one
+// table and zero signatures.
 #pragma once
 
 #include <functional>
@@ -13,11 +17,45 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "obs/trace.hpp"
 #include "store/graph_view.hpp"
 
 namespace ga::kernels {
 
 class IncrementalKernel;
+
+/// Everything one kernel dispatch needs, in one value type. Views are
+/// cheap (a few shared_ptrs), so specs are built per call and passed by
+/// const reference; a spec over a borrowed view must not outlive the
+/// graph it borrows.
+struct KernelRunSpec {
+  /// Input snapshot. Flat views run the batch path; delta-backed views
+  /// let delta-native kernels traverse the merged chain (the rest fold
+  /// once through view.csr()).
+  store::GraphView view;
+  /// Source / sample seed for kernels that take one (BFS, SSSP roots).
+  /// Runners clamp it into [0, n) themselves.
+  vid_t seed = 0;
+  /// Parent span for the "kernel.<name>" trace; when invalid (default)
+  /// the thread's ambient context is used.
+  obs::TraceContext trace{};
+  /// Permit a kernel with warm incremental state to answer via its
+  /// delta-update path instead of a batch recompute (serving sets this
+  /// from the query's allow_incremental; batch harnesses leave it true
+  /// but run stateless registry runners, which recompute regardless).
+  bool allow_incremental = true;
+
+  static KernelRunSpec of(store::GraphView v) {
+    KernelRunSpec s;
+    s.view = std::move(v);
+    return s;
+  }
+  /// Borrowed flat wrap for harnesses that own a CSR on the stack; the
+  /// graph must outlive the spec and the run.
+  static KernelRunSpec of(const graph::CSRGraph& g) {
+    return of(store::GraphView::borrowed(g));
+  }
+};
 
 struct KernelInfo {
   std::string name;          // short id for CLI dispatch, e.g. "bfs"
@@ -30,10 +68,7 @@ struct KernelInfo {
   /// default inputs; harnesses may build one graph per distinct scale).
   unsigned preferred_scale = 13;
   /// Run with registry-default options; returns a one-line result summary.
-  /// Every runner consumes the store's GraphView read path: kernels with a
-  /// delta-native engine traverse the merged chain directly, the rest fold
-  /// once through view.csr() (cached per version).
-  std::function<std::string(const store::GraphView&)> run;
+  std::function<std::string(const KernelRunSpec&)> run;
   /// Non-null for kernels with a delta-incremental update path: creates a
   /// fresh epoch-folding runner (kernels/incremental.hpp) with registry
   /// default options. Harnesses seed it with init() on one epoch and fold
@@ -52,16 +87,11 @@ struct KernelRunOutcome {
   double millis = 0.0;
 };
 
-/// Timed dispatch through the registry: wraps the runner in a
-/// "kernel.<name>" trace span (under the ambient trace context, when the
-/// tracer is active) and records kernel.runs_total / kernel.run_us.
-KernelRunOutcome run_kernel(const KernelInfo& info, const store::GraphView& v);
-
-/// Convenience for harnesses that own a flat CSR on the stack: wraps it in
-/// a borrowed (non-owning) flat view for the duration of the call.
-inline KernelRunOutcome run_kernel(const KernelInfo& info,
-                                   const graph::CSRGraph& g) {
-  return run_kernel(info, store::GraphView::borrowed(g));
-}
+/// The one timed dispatch through the registry: wraps the runner in a
+/// "kernel.<name>" trace span (under spec.trace, or the ambient context
+/// when the spec carries none) and records kernel.runs_total /
+/// kernel.run_us. Build the spec with KernelRunSpec::of(view) or
+/// ::of(graph).
+KernelRunOutcome run_kernel(const KernelInfo& info, const KernelRunSpec& spec);
 
 }  // namespace ga::kernels

@@ -96,57 +96,133 @@ SsspResult delta_stepping(const CSRGraph& g, vid_t source, float delta) {
       delta = 1.0f;
     }
   }
-  SsspResult r = make_result(g.num_vertices());
+  const vid_t n = g.num_vertices();
+  SsspResult r = make_result(n);
   r.dist[source] = 0.0f;
   r.parent[source] = source;
 
+  // GAP-reference bucket structure. Two one-time layout passes split the
+  // adjacency into flat light (w <= delta) and heavy (w > delta) CSR
+  // arrays so the inner phase loop carries no per-arc weight-class branch
+  // and streams contiguous memory; the bucket index is a multiply by
+  // 1/delta instead of a divide; and the deferred heavy-relaxation list is
+  // deduplicated with a per-bucket stamp rather than re-scanned.
+  const eid_t* goff = g.offsets().data();
+  const vid_t* gtgt = g.targets().data();
+  const float* gw = g.weighted() ? g.weights().data() : nullptr;
+
+  std::uint64_t heavy_total = 0;
+  if (gw != nullptr) {
+    for (eid_t a = 0; a < g.num_arcs(); ++a) heavy_total += gw[a] > delta;
+  }
+
+  std::vector<eid_t> loff_v, hoff_v;
+  std::vector<vid_t> ltgt_v, htgt_v;
+  std::vector<float> lw_v, hw_v;
+  // With no heavy arcs (unweighted graphs, or delta >= max weight) the
+  // split would just duplicate the whole CSR — alias the originals
+  // instead and leave the heavy side empty.
+  const eid_t* loff = goff;
+  const vid_t* ltgt = gtgt;
+  const float* lw = gw;
+  const eid_t* hoff = nullptr;
+  const vid_t* htgt = nullptr;
+  const float* hw = nullptr;
+  if (heavy_total > 0) {
+    loff_v.assign(n + 1, 0);
+    hoff_v.assign(n + 1, 0);
+    for (vid_t u = 0; u < n; ++u) {
+      for (eid_t a = goff[u]; a < goff[u + 1]; ++a) {
+        if (gw[a] <= delta) {
+          ++loff_v[u + 1];
+        } else {
+          ++hoff_v[u + 1];
+        }
+      }
+    }
+    for (vid_t u = 0; u < n; ++u) {
+      loff_v[u + 1] += loff_v[u];
+      hoff_v[u + 1] += hoff_v[u];
+    }
+    ltgt_v.resize(loff_v[n]);
+    lw_v.resize(loff_v[n]);
+    htgt_v.resize(hoff_v[n]);
+    hw_v.resize(hoff_v[n]);
+    std::vector<eid_t> lc(loff_v.begin(), loff_v.end() - 1);
+    std::vector<eid_t> hc(hoff_v.begin(), hoff_v.end() - 1);
+    for (vid_t u = 0; u < n; ++u) {
+      for (eid_t a = goff[u]; a < goff[u + 1]; ++a) {
+        if (gw[a] <= delta) {
+          ltgt_v[lc[u]] = gtgt[a];
+          lw_v[lc[u]++] = gw[a];
+        } else {
+          htgt_v[hc[u]] = gtgt[a];
+          hw_v[hc[u]++] = gw[a];
+        }
+      }
+    }
+    loff = loff_v.data();
+    ltgt = ltgt_v.data();
+    lw = lw_v.data();
+    hoff = hoff_v.data();
+    htgt = htgt_v.data();
+    hw = hw_v.data();
+  }
+
+  const float inv_delta = 1.0f / delta;
+  const auto bucket_of = [&](float d) {
+    return static_cast<std::size_t>(d * inv_delta);
+  };
   std::vector<std::vector<vid_t>> buckets(1);
   buckets[0].push_back(source);
-  const auto bucket_of = [&](float d) {
-    return static_cast<std::size_t>(d / delta);
-  };
   const auto push = [&](vid_t v, float d) {
     const std::size_t b = bucket_of(d);
     if (b >= buckets.size()) buckets.resize(b + 1);
     buckets[b].push_back(v);
   };
 
-  std::vector<vid_t> current;
+  constexpr std::size_t kNoBucket = ~std::size_t{0};
+  std::vector<std::size_t> deferred_stamp(n, kNoBucket);
+  std::vector<vid_t> current, deferred;
   for (std::size_t bi = 0; bi < buckets.size(); ++bi) {
     // Phase loop: repeatedly settle light edges inside this bucket.
-    std::vector<vid_t> deferred;  // vertices to relax heavy edges from
+    deferred.clear();
     while (!buckets[bi].empty()) {
       current.swap(buckets[bi]);
       buckets[bi].clear();
       for (vid_t u : current) {
         if (bucket_of(r.dist[u]) != bi) continue;  // moved on
-        deferred.push_back(u);
-        const auto nbrs = g.out_neighbors(u);
-        for (std::size_t i = 0; i < nbrs.size(); ++i) {
-          const float w = weight_of(g, u, i);
-          if (w > delta) continue;  // heavy: deferred below
-          const vid_t v = nbrs[i];
-          ++r.relaxations;
-          if (r.dist[u] + w < r.dist[v]) {
-            r.dist[v] = r.dist[u] + w;
+        if (deferred_stamp[u] != bi) {
+          deferred_stamp[u] = bi;
+          deferred.push_back(u);
+        }
+        const float du = r.dist[u];
+        const eid_t ab = loff[u], ae = loff[u + 1];
+        r.relaxations += ae - ab;
+        for (eid_t a = ab; a < ae; ++a) {
+          const vid_t v = ltgt[a];
+          const float nd = du + (lw != nullptr ? lw[a] : 1.0f);
+          if (nd < r.dist[v]) {
+            r.dist[v] = nd;
             r.parent[v] = u;
-            push(v, r.dist[v]);
+            push(v, nd);
           }
         }
       }
     }
     // Heavy-edge relaxation once the bucket is settled.
+    if (hoff == nullptr) continue;
     for (vid_t u : deferred) {
-      const auto nbrs = g.out_neighbors(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const float w = weight_of(g, u, i);
-        if (w <= delta) continue;
-        const vid_t v = nbrs[i];
-        ++r.relaxations;
-        if (r.dist[u] + w < r.dist[v]) {
-          r.dist[v] = r.dist[u] + w;
+      const float du = r.dist[u];
+      const eid_t ab = hoff[u], ae = hoff[u + 1];
+      r.relaxations += ae - ab;
+      for (eid_t a = ab; a < ae; ++a) {
+        const vid_t v = htgt[a];
+        const float nd = du + hw[a];
+        if (nd < r.dist[v]) {
+          r.dist[v] = nd;
           r.parent[v] = u;
-          push(v, r.dist[v]);
+          push(v, nd);
         }
       }
     }

@@ -1,0 +1,198 @@
+#include "kernels/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace ga::kernels {
+
+namespace {
+
+std::string at_vertex(const char* what, vid_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s (vertex %u)", what, v);
+  return buf;
+}
+
+}  // namespace
+
+VerifyOutcome verify_bfs(const graph::CSRGraph& g, vid_t source,
+                         const BfsResult& r) {
+  const vid_t n = g.num_vertices();
+  if (r.dist.size() != n || r.parent.size() != n) {
+    return VerifyOutcome::fail("bfs: result arrays sized != n");
+  }
+  if (r.dist[source] != 0 || r.parent[source] != source) {
+    return VerifyOutcome::fail("bfs: source not its own root at dist 0");
+  }
+  std::uint64_t reached = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const bool has_dist = r.dist[v] != kInfDist;
+    if (has_dist != (r.parent[v] != kInvalidVid)) {
+      return VerifyOutcome::fail(
+          at_vertex("bfs: dist/parent reachability disagree", v));
+    }
+    if (!has_dist) continue;
+    ++reached;
+    if (v != source) {
+      const vid_t p = r.parent[v];
+      if (p >= n || r.dist[p] == kInfDist) {
+        return VerifyOutcome::fail(at_vertex("bfs: unreached parent", v));
+      }
+      if (r.dist[v] != r.dist[p] + 1) {
+        return VerifyOutcome::fail(
+            at_vertex("bfs: tree arc does not drop one level", v));
+      }
+      if (!g.has_edge(p, v)) {
+        return VerifyOutcome::fail(
+            at_vertex("bfs: parent arc not in graph", v));
+      }
+    }
+    // No arc may skip a level: dist[w] <= dist[v] + 1 for every arc v->w,
+    // and a reached vertex cannot have an unreached out-neighbor on an
+    // undirected graph (the mirrored arc would have discovered it).
+    for (vid_t w : g.out_neighbors(v)) {
+      if (r.dist[w] == kInfDist) {
+        if (!g.directed()) {
+          return VerifyOutcome::fail(
+              at_vertex("bfs: unreached neighbor of reached vertex", v));
+        }
+        continue;
+      }
+      if (r.dist[w] > r.dist[v] + 1) {
+        return VerifyOutcome::fail(at_vertex("bfs: arc skips a level", v));
+      }
+    }
+  }
+  if (reached != r.reached) {
+    return VerifyOutcome::fail("bfs: reached count mismatch");
+  }
+  return VerifyOutcome::pass();
+}
+
+VerifyOutcome verify_components(const graph::CSRGraph& g,
+                                const ComponentsResult& r) {
+  const vid_t n = g.num_vertices();
+  if (r.label.size() != n) {
+    return VerifyOutcome::fail("cc: label array sized != n");
+  }
+  // 1. No arc may cross labels (no under-merging).
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.out_neighbors(u)) {
+      if (r.label[u] != r.label[v]) {
+        return VerifyOutcome::fail(at_vertex("cc: arc crosses labels", u));
+      }
+    }
+  }
+  // 2. The partition matches a reference union-find (the path-halving one
+  // connected_components.hpp exports) exactly — no over-merging: same
+  // label <=> same union-find root.
+  UnionFind uf(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.out_neighbors(u)) uf.unite(u, v);
+  }
+  // Map each union-find root to the label of its first-seen member; every
+  // later member must agree, and distinct roots must carry distinct
+  // labels (checked via the label of the root's representative).
+  std::vector<vid_t> root_label(n, kInvalidVid), label_root(n, kInvalidVid);
+  vid_t distinct = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t root = uf.find(v);
+    const vid_t lbl = r.label[v];
+    if (lbl >= n) {
+      return VerifyOutcome::fail(at_vertex("cc: label out of range", v));
+    }
+    if (root_label[root] == kInvalidVid) {
+      root_label[root] = lbl;
+      if (label_root[lbl] != kInvalidVid) {
+        // A second component reusing this label would alias two
+        // disconnected vertex sets under one id.
+        return VerifyOutcome::fail(
+            at_vertex("cc: label shared across components", v));
+      }
+      label_root[lbl] = root;
+      ++distinct;
+    } else if (root_label[root] != lbl) {
+      return VerifyOutcome::fail(
+          at_vertex("cc: connected vertices labeled apart", v));
+    }
+  }
+  if (distinct != r.num_components) {
+    return VerifyOutcome::fail("cc: component count mismatch");
+  }
+  return VerifyOutcome::pass();
+}
+
+VerifyOutcome verify_pagerank(const graph::CSRGraph& g,
+                              const PageRankResult& r, double tolerance) {
+  if (r.rank.size() != g.num_vertices()) {
+    return VerifyOutcome::fail("pagerank: rank array sized != n");
+  }
+  double sum = 0.0;
+  for (vid_t v = 0; v < r.rank.size(); ++v) {
+    const double x = r.rank[v];
+    if (!std::isfinite(x) || x < 0.0) {
+      return VerifyOutcome::fail(
+          at_vertex("pagerank: non-finite or negative rank", v));
+    }
+    sum += x;
+  }
+  if (std::abs(sum - 1.0) > tolerance) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "pagerank: mass sums to %.8f", sum);
+    return VerifyOutcome::fail(buf);
+  }
+  return VerifyOutcome::pass();
+}
+
+VerifyOutcome verify_sssp(const graph::CSRGraph& g, vid_t source,
+                          const SsspResult& r) {
+  const vid_t n = g.num_vertices();
+  if (r.dist.size() != n || r.parent.size() != n) {
+    return VerifyOutcome::fail("sssp: result arrays sized != n");
+  }
+  if (r.dist[source] != 0.0f || r.parent[source] != source) {
+    return VerifyOutcome::fail("sssp: source not its own root at dist 0");
+  }
+  for (vid_t u = 0; u < n; ++u) {
+    const bool has_dist = r.dist[u] != kInfWeight;
+    if (has_dist != (r.parent[u] != kInvalidVid)) {
+      return VerifyOutcome::fail(
+          at_vertex("sssp: dist/parent reachability disagree", u));
+    }
+    if (!has_dist) continue;
+    // Triangle inequality on every out-arc. A small relative epsilon
+    // absorbs float summation-order differences between the kernel under
+    // test and this re-derivation.
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t v = nbrs[i];
+      const float w = g.weighted() ? g.out_weights(u)[i] : 1.0f;
+      const float bound = r.dist[u] + w;
+      if (r.dist[v] > bound + 1e-4f * std::max(1.0f, bound)) {
+        return VerifyOutcome::fail(
+            at_vertex("sssp: arc violates triangle inequality", u));
+      }
+    }
+    if (u != source) {
+      const vid_t p = r.parent[u];
+      if (p >= n || r.dist[p] == kInfWeight) {
+        return VerifyOutcome::fail(at_vertex("sssp: unreached parent", u));
+      }
+      if (!g.has_edge(p, u)) {
+        return VerifyOutcome::fail(
+            at_vertex("sssp: parent arc not in graph", u));
+      }
+      const float along = r.dist[p] + g.edge_weight(p, u);
+      if (std::abs(r.dist[u] - along) >
+          1e-4f * std::max(1.0f, std::abs(along))) {
+        return VerifyOutcome::fail(
+            at_vertex("sssp: distance does not reproduce along parent", u));
+      }
+    }
+  }
+  return VerifyOutcome::pass();
+}
+
+}  // namespace ga::kernels

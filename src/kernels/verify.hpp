@@ -1,0 +1,64 @@
+// GAP-style per-trial output verification. The GAP benchmark protocol
+// runs a verifier over every trial's output — not against a golden file,
+// but against graph-local invariants strong enough that any wrong answer
+// fails: BFS parent trees are walked edge by edge, component labels are
+// checked for exact agreement with a reference union-find, PageRank mass
+// must sum to 1, SSSP distances must satisfy the triangle inequality on
+// every arc and reproduce along the parent tree. The bench harness calls
+// these after each trial; tests/test_verify.cpp runs them (ctest label
+// `verify`) against the optimized kernels on Kron and uniform-random
+// inputs, plus corrupted outputs to prove the verifiers actually reject.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/sssp.hpp"
+
+namespace ga::kernels {
+
+/// Outcome of one verification: ok plus a diagnostic for the first
+/// violated invariant (empty when ok).
+struct VerifyOutcome {
+  bool ok = true;
+  std::string error;
+
+  static VerifyOutcome pass() { return {}; }
+  static VerifyOutcome fail(std::string msg) {
+    return {false, std::move(msg)};
+  }
+};
+
+/// BFS parent-tree check (GAP BFSVerifier shape): dist/parent agree on
+/// reachability, the source is its own root at distance 0, every tree arc
+/// exists in the graph and drops exactly one level, no graph arc skips a
+/// level, and the reached count matches.
+VerifyOutcome verify_bfs(const graph::CSRGraph& g, vid_t source,
+                         const BfsResult& r);
+
+/// Component-label check (GAP CCVerifier shape): every arc joins two
+/// vertices of the same label, the label partition exactly matches a
+/// reference union-find over all arcs (no under- or over-merging), and
+/// num_components matches the number of distinct labels.
+VerifyOutcome verify_components(const graph::CSRGraph& g,
+                                const ComponentsResult& r);
+
+/// PageRank mass conservation (GAP PRVerifier shape): ranks are finite,
+/// non-negative, and sum to 1 within `tolerance`.
+VerifyOutcome verify_pagerank(const graph::CSRGraph& g,
+                              const PageRankResult& r,
+                              double tolerance = 1e-4);
+
+/// SSSP distance check: dist[source] == 0, dist[v] <= dist[u] + w on
+/// every arc (triangle inequality), each reached vertex's distance
+/// reproduces along its parent arc within float tolerance, and
+/// reachability agrees between dist and parent.
+VerifyOutcome verify_sssp(const graph::CSRGraph& g, vid_t source,
+                          const SsspResult& r);
+
+}  // namespace ga::kernels

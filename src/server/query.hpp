@@ -14,6 +14,7 @@
 #include "core/hash.hpp"
 #include "core/status.hpp"
 #include "kernels/jaccard.hpp"
+#include "kernels/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace ga::server {
@@ -55,6 +56,19 @@ struct QueryDesc {
   /// the scheduler hangs its admission / snapshot-lease / kernel spans off
   /// this; default (invalid) means "untraced".
   obs::TraceContext trace;
+
+  /// Bridge to the kernel registry's unified dispatch: the KernelRunSpec
+  /// this query describes over a snapshot view. Seed, trace context, and
+  /// the incremental allowance carry over one-to-one, so a serving path
+  /// that executes a registry-backed kernel shares run_kernel(info, spec)
+  /// with bench and the CLI instead of growing its own overload.
+  kernels::KernelRunSpec run_spec(store::GraphView view) const {
+    kernels::KernelRunSpec s = kernels::KernelRunSpec::of(std::move(view));
+    s.seed = seed;
+    s.trace = trace;
+    s.allow_incremental = allow_incremental;
+    return s;
+  }
 };
 
 enum class QueryStatus : std::uint8_t {

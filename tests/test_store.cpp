@@ -468,8 +468,8 @@ TEST(RegistryEquivalence, EveryKernelMatchesEagerCsrOnDeltaChains) {
     const GraphView delta_view = store.view();
     ASSERT_EQ(delta_view.chain_depth(), 4u);
     const CSRGraph eager = m.eager();
-    const auto got = kernels::run_kernel(info, delta_view);
-    const auto want = kernels::run_kernel(info, eager);
+    const auto got = kernels::run_kernel(info, kernels::KernelRunSpec::of(delta_view));
+    const auto want = kernels::run_kernel(info, kernels::KernelRunSpec::of(eager));
     EXPECT_EQ(got.summary, want.summary);
   }
 }

@@ -1,0 +1,216 @@
+// GAP-style output verification (ctest label `verify`): every optimized
+// kernel's answer on Kron (RMAT) and uniform-random inputs must pass the
+// invariant checkers in kernels/verify.hpp, corrupted answers must be
+// rejected, and the optimized formulations must agree exactly with their
+// reference formulations (bucket k-core vs engine waves, forward-merge
+// triangles vs node-iterator).
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/kcore.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/sssp.hpp"
+#include "kernels/triangles.hpp"
+#include "kernels/verify.hpp"
+
+namespace ga::kernels {
+namespace {
+
+graph::CSRGraph kron_graph() {
+  return graph::make_rmat({.scale = 12, .edge_factor = 16, .seed = 7});
+}
+
+graph::CSRGraph urand_graph() {
+  return graph::make_erdos_renyi(4096, 65536, 11);
+}
+
+graph::CSRGraph weighted_kron_graph() {
+  auto edges = graph::rmat_edges({.scale = 12, .edge_factor = 16, .seed = 7});
+  graph::randomize_weights(edges, 0.05f, 1.0f, 13);
+  graph::BuildOptions opts;
+  opts.directed = false;
+  opts.keep_weights = true;
+  return graph::build_csr(std::move(edges), vid_t{1} << 12, opts);
+}
+
+class VerifyOnInput : public ::testing::TestWithParam<const char*> {
+ protected:
+  graph::CSRGraph graph() const {
+    return std::string(GetParam()) == "kron" ? kron_graph() : urand_graph();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Inputs, VerifyOnInput,
+                         ::testing::Values("kron", "urand"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(VerifyOnInput, BfsPassesParentTreeCheck) {
+  const auto g = graph();
+  for (vid_t src : {vid_t{0}, vid_t{17}, vid_t{4000}}) {
+    const auto r = bfs(g, src);
+    const auto v = verify_bfs(g, src, r);
+    EXPECT_TRUE(v.ok) << v.error;
+  }
+}
+
+TEST_P(VerifyOnInput, ComponentsPassUnionFindCheck) {
+  const auto g = graph();
+  const auto r = wcc_label_propagation(g);
+  const auto v = verify_components(g, r);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST_P(VerifyOnInput, PageRankConservesMass) {
+  const auto g = graph();
+  const auto r = pagerank(g);
+  const auto v = verify_pagerank(g, r);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST_P(VerifyOnInput, DeltaSteppingPassesDistanceCheck) {
+  const auto g = graph();
+  const auto r = delta_stepping(g, 0);
+  const auto v = verify_sssp(g, 0, r);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(VerifyWeighted, DeltaSteppingMatchesDijkstraAndVerifies) {
+  const auto g = weighted_kron_graph();
+  const auto opt = delta_stepping(g, 3);
+  const auto v = verify_sssp(g, 3, opt);
+  EXPECT_TRUE(v.ok) << v.error;
+  const auto ref = dijkstra(g, 3);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (ref.dist[u] == kInfWeight) {
+      ASSERT_EQ(opt.dist[u], kInfWeight) << "vertex " << u;
+      continue;
+    }
+    ASSERT_NEAR(opt.dist[u], ref.dist[u],
+                1e-4f * std::max(1.0f, ref.dist[u]))
+        << "vertex " << u;
+  }
+}
+
+// --- The verifiers must actually reject wrong answers. -------------------
+
+TEST(VerifyRejects, BfsCorruptions) {
+  const auto g = kron_graph();
+  const auto good = bfs(g, 0);
+
+  auto r = good;  // a vertex claiming a too-short distance
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.dist[v] >= 2 && r.dist[v] != kInfDist) {
+      r.dist[v] = 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_bfs(g, 0, r).ok);
+
+  r = good;  // parent arc not in the graph
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (r.parent[v] != kInvalidVid && !g.has_edge(v, v)) {
+      r.parent[v] = v;  // self-arc: not a graph edge, wrong level drop
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_bfs(g, 0, r).ok);
+
+  r = good;  // reached count lies
+  r.reached += 1;
+  EXPECT_FALSE(verify_bfs(g, 0, r).ok);
+
+  r = good;  // a reached vertex marked unreached (neighbor check trips)
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (r.dist[v] != kInfDist && g.out_degree(v) > 0) {
+      r.dist[v] = kInfDist;
+      r.parent[v] = kInvalidVid;
+      r.reached -= 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_bfs(g, 0, r).ok);
+}
+
+TEST(VerifyRejects, ComponentCorruptions) {
+  const auto g = urand_graph();
+  const auto good = wcc_label_propagation(g);
+
+  auto r = good;  // one vertex relabeled out of its component
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > 0) {
+      r.label[v] = (r.label[v] + 1) % g.num_vertices();
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_components(g, r).ok);
+
+  r = good;  // component count lies
+  r.num_components += 1;
+  EXPECT_FALSE(verify_components(g, r).ok);
+}
+
+TEST(VerifyRejects, MergedComponentsDetected) {
+  // Two disconnected cliques sharing one label: every arc stays inside a
+  // label, so only the union-find cross-check can catch the over-merge.
+  const auto g = graph::build_undirected({{0, 1}, {2, 3}}, 4);
+  ComponentsResult r;
+  r.label = {0, 0, 0, 0};
+  r.num_components = 1;
+  EXPECT_FALSE(verify_components(g, r).ok);
+}
+
+TEST(VerifyRejects, PageRankCorruptions) {
+  const auto g = kron_graph();
+  const auto good = pagerank(g);
+
+  auto r = good;  // scaled mass
+  for (auto& x : r.rank) x *= 1.01;
+  EXPECT_FALSE(verify_pagerank(g, r).ok);
+
+  r = good;  // negative rank
+  r.rank[0] = -r.rank[0] - 0.5;
+  EXPECT_FALSE(verify_pagerank(g, r).ok);
+}
+
+TEST(VerifyRejects, SsspCorruptions) {
+  const auto g = weighted_kron_graph();
+  const auto good = delta_stepping(g, 0);
+
+  auto r = good;  // a distance shortcut the graph cannot support
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (r.dist[u] != kInfWeight && r.dist[u] > 1.0f) {
+      r.dist[u] = 0.0f;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_sssp(g, 0, r).ok);
+
+  r = good;  // parent arc missing from the graph
+  for (vid_t u = 1; u < g.num_vertices(); ++u) {
+    if (r.parent[u] != kInvalidVid && !g.has_edge(u, u)) {
+      r.parent[u] = u;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_sssp(g, 0, r).ok);
+}
+
+// --- Optimized formulations agree exactly with references. ---------------
+
+TEST(VerifyEquivalence, BucketKCoreMatchesEngineWaves) {
+  for (const auto& g : {kron_graph(), urand_graph()}) {
+    EXPECT_EQ(core_numbers(g), core_numbers_waves(g));
+  }
+}
+
+TEST(VerifyEquivalence, ForwardTrianglesMatchNodeIterator) {
+  for (const auto& g : {kron_graph(), urand_graph()}) {
+    EXPECT_EQ(triangle_count_forward(g), triangle_count_node_iterator(g));
+  }
+}
+
+}  // namespace
+}  // namespace ga::kernels

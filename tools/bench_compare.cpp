@@ -1,0 +1,220 @@
+// Bench-regression gate: diffs a current BENCH_*.json artifact against a
+// committed baseline and fails (exit 1) when any performance metric
+// regressed by more than the threshold. Understands the flat
+// one-field-per-line format bench_json.hpp writes, and classifies metric
+// direction by key suffix:
+//   lower-is-better:  *_ms, *_ms_mean, *_ms_p50, *_ms_p95
+//   higher-is-better: *_mteps, *_harmonic_munits, *_speedup*
+// Everything else (schema_version, graph, trials, counts, result echoes)
+// is identity metadata, not gated. Keys present in only one file are
+// reported but never fail the gate — benches may grow or retire rows —
+// and improvements are printed so the perf trajectory stays visible in CI
+// logs.
+//
+// Usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]
+//        (default threshold 15, i.e. fail when >15% worse)
+//        bench_compare --envelope OUT.json RUN1.json [RUN2.json ...]
+//        (write a worst-of-K calibration envelope: per metric, the worst
+//        value across the runs; identity fields from RUN1)
+//
+// Committed baselines should be envelopes, not single runs: shared boxes
+// have minute-scale contention modes (observed: the same deterministic
+// bench ±36% across quiet runs), so a single-run baseline plus a flat
+// threshold is either flaky or insensitive. The envelope keeps the bar
+// tight exactly where the box is stable.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Flat bench_json document: "key" -> numeric value (non-numeric fields
+/// are kept as strings for identity reporting only).
+struct Doc {
+  std::map<std::string, double> nums;
+  std::map<std::string, std::string> strs;
+};
+
+bool parse_line(const std::string& line, Doc& doc) {
+  const auto kq1 = line.find('"');
+  if (kq1 == std::string::npos) return false;
+  const auto kq2 = line.find('"', kq1 + 1);
+  if (kq2 == std::string::npos) return false;
+  const std::string key = line.substr(kq1 + 1, kq2 - kq1 - 1);
+  auto colon = line.find(':', kq2);
+  if (colon == std::string::npos) return false;
+  std::size_t v = colon + 1;
+  while (v < line.size() && line[v] == ' ') ++v;
+  if (v >= line.size()) return false;
+  std::string value = line.substr(v);
+  while (!value.empty() &&
+         (value.back() == ',' || value.back() == ' ' ||
+          value.back() == '\n' || value.back() == '\r')) {
+    value.pop_back();
+  }
+  if (!value.empty() && value.front() == '"') {
+    doc.strs[key] = value;
+    return true;
+  }
+  char* end = nullptr;
+  const double num = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() && end != nullptr && *end == '\0') {
+    doc.nums[key] = num;
+    return true;
+  }
+  doc.strs[key] = value;  // arrays / nested objects: identity only
+  return true;
+}
+
+bool load(const char* path, Doc& doc) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) parse_line(line, doc);
+  return true;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+enum class MetricDir { kLowerBetter, kHigherBetter, kNotAMetric };
+
+MetricDir classify(const std::string& key) {
+  if (ends_with(key, "_ms") || ends_with(key, "_ms_mean") ||
+      ends_with(key, "_ms_p50") || ends_with(key, "_ms_p95")) {
+    return MetricDir::kLowerBetter;
+  }
+  if (ends_with(key, "_mteps") || ends_with(key, "_harmonic_munits") ||
+      key.find("speedup") != std::string::npos) {
+    return MetricDir::kHigherBetter;
+  }
+  return MetricDir::kNotAMetric;
+}
+
+/// Worst-of-K merge: rewrite the first run file with each metric key
+/// replaced by the worst value observed across all runs, preserving the
+/// first file's key order and identity fields verbatim.
+int write_envelope(const char* out_path, int nruns, char** run_paths) {
+  std::vector<Doc> runs(static_cast<std::size_t>(nruns));
+  for (int i = 0; i < nruns; ++i) {
+    if (!load(run_paths[i], runs[static_cast<std::size_t>(i)])) {
+      std::fprintf(stderr, "bench_compare: cannot read run %s\n",
+                   run_paths[i]);
+      return 2;
+    }
+  }
+  std::ifstream in(run_paths[0]);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_compare: cannot write %s\n", out_path);
+    return 2;
+  }
+  int merged = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    Doc one;
+    if (parse_line(line, one) && one.nums.size() == 1) {
+      const auto& [key, first] = *one.nums.begin();
+      const MetricDir dir = classify(key);
+      if (dir != MetricDir::kNotAMetric) {
+        double worst = first;
+        for (const auto& run : runs) {
+          const auto it = run.nums.find(key);
+          if (it == run.nums.end()) continue;
+          worst = dir == MetricDir::kLowerBetter ? std::max(worst, it->second)
+                                                 : std::min(worst, it->second);
+        }
+        if (worst != first) ++merged;
+        const bool comma = !line.empty() && line.back() == ',';
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "  \"%s\": %g%s", key.c_str(), worst,
+                      comma ? "," : "");
+        out << buf << '\n';
+        continue;
+      }
+    }
+    out << line << '\n';
+  }
+  std::printf("bench_compare: wrote envelope %s over %d runs (%d metrics "
+              "took a worse value than run 1)\n",
+              out_path, nruns, merged);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::strcmp(argv[1], "--envelope") == 0) {
+    return write_envelope(argv[2], argc - 3, argv + 3);
+  }
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CURRENT.json "
+                 "[--threshold PCT]\n"
+                 "       bench_compare --envelope OUT.json RUN1.json "
+                 "[RUN2.json ...]\n");
+    return 2;
+  }
+  double threshold = 15.0;
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      threshold = std::atof(argv[i + 1]);
+    }
+  }
+  Doc base, cur;
+  if (!load(argv[1], base)) {
+    std::fprintf(stderr, "bench_compare: cannot read baseline %s\n", argv[1]);
+    return 2;
+  }
+  if (!load(argv[2], cur)) {
+    std::fprintf(stderr, "bench_compare: cannot read current %s\n", argv[2]);
+    return 2;
+  }
+
+  int regressions = 0, improved = 0, compared = 0;
+  for (const auto& [key, bv] : base.nums) {
+    const MetricDir dir = classify(key);
+    if (dir == MetricDir::kNotAMetric) continue;
+    const auto it = cur.nums.find(key);
+    if (it == cur.nums.end()) {
+      std::printf("  [skip]    %-38s only in baseline\n", key.c_str());
+      continue;
+    }
+    const double cv = it->second;
+    if (bv <= 0) continue;  // degenerate baseline: nothing to gate
+    ++compared;
+    // Positive delta_pct = worse, in either metric direction.
+    const double delta_pct = dir == MetricDir::kLowerBetter
+                                 ? (cv - bv) / bv * 100.0
+                                 : (bv - cv) / bv * 100.0;
+    const char* tag = "  [ok]    ";
+    if (delta_pct > threshold) {
+      tag = "  [REGRESS]";
+      ++regressions;
+    } else if (delta_pct < -threshold) {
+      tag = "  [faster]";
+      ++improved;
+    }
+    std::printf("%s %-38s %12.3f -> %12.3f  (%+.1f%% %s)\n", tag,
+                key.c_str(), bv, cv, delta_pct,
+                dir == MetricDir::kLowerBetter ? "ms" : "rate-loss");
+  }
+  for (const auto& [key, cv] : cur.nums) {
+    if (classify(key) != MetricDir::kNotAMetric &&
+        base.nums.find(key) == base.nums.end()) {
+      std::printf("  [new]     %-38s %32.3f\n", key.c_str(), cv);
+    }
+  }
+  std::printf(
+      "bench_compare: %d metrics compared, %d regressed (> %.0f%%), "
+      "%d improved\n",
+      compared, regressions, threshold, improved);
+  return regressions > 0 ? 1 : 0;
+}

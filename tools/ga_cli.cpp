@@ -162,7 +162,7 @@ int cmd_run(const Args& a) {
   const auto g = (info->directed || a.flags.count("directed"))
                      ? graph::build_directed(edges)
                      : graph::build_undirected(edges);
-  const auto out = kernels::run_kernel(*info, g);
+  const auto out = kernels::run_kernel(*info, kernels::KernelRunSpec::of(g));
   std::printf("%s: %s (%.2f ms)\n", info->display.c_str(),
               out.summary.c_str(), out.millis);
   return 0;
@@ -184,10 +184,11 @@ int cmd_metrics(const Args& a) {
                               .edge_factor = 16, .seed = 1});
 
   obs::ScopedSpan root("cli.metrics", {});
-  obs::AmbientScope ambient(root.context());
   for (const char* name : {"bfs", "pagerank", "wcc"}) {
     const auto* info = kernels::find_kernel(name);
-    kernels::run_kernel(*info, g);
+    auto spec = kernels::KernelRunSpec::of(g);
+    spec.trace = root.context();  // explicit parent, no ambient needed
+    kernels::run_kernel(*info, spec);
   }
   const obs::TraceContext ctx = root.context();
   root.finish();
