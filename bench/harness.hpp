@@ -17,8 +17,11 @@
 //   --no-obs        runtime-disable metrics/tracing before timing
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <string>
@@ -27,6 +30,7 @@
 #include "bench_json.hpp"
 #include "core/prng.hpp"
 #include "core/stats.hpp"
+#include "core/status.hpp"
 #include "core/timer.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -96,7 +100,11 @@ struct GraphSpec {
     return "?";
   }
 
-  graph::CSRGraph build() const {
+  /// Build with a diagnosable failure path. Generated inputs (kron/urand)
+  /// cannot fail; `file:PATH` reports exactly what went wrong — the path
+  /// echoed back plus the OS errno text for an unopenable file, or the
+  /// loader's parse diagnostic — instead of whatever the loader throws.
+  core::StatusOr<graph::CSRGraph> try_build() const {
     switch (kind) {
       case Kind::kKron:
         return graph::make_rmat(
@@ -106,13 +114,49 @@ struct GraphSpec {
         return graph::make_erdos_renyi(
             n, static_cast<eid_t>(edge_factor) * n, seed);
       }
-      case Kind::kFile:
-        return graph::build_undirected(graph::load_edge_list(path));
+      case Kind::kFile: {
+        errno = 0;
+        auto edges = graph::try_load_edge_list(path);
+        if (!edges.ok()) {
+          const int err = errno;
+          std::string msg =
+              "--graph file: cannot load '" + path + "': " +
+              edges.status().message();
+          if (err != 0) {
+            msg += " (";
+            msg += std::strerror(err);
+            msg += ")";
+          }
+          return core::Status(edges.status().code(), std::move(msg));
+        }
+        return graph::build_undirected(*std::move(edges));
+      }
     }
     GA_CHECK(false, "unreachable");
-    return {};
+    return graph::CSRGraph{};
+  }
+
+  graph::CSRGraph build() const {
+    return std::move(try_build()).value_or_throw();
   }
 };
+
+/// Peak resident set size of this process, in bytes (VmHWM from
+/// /proc/self/status, the Linux high-watermark getrusage(ru_maxrss)
+/// mirrors). 0 when unavailable. tiered_bench records this next to the
+/// tier's own accounting so the budget numbers can be checked against
+/// what the OS actually saw.
+inline std::size_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
 
 struct HarnessOptions {
   GraphSpec graph;
@@ -185,11 +229,18 @@ class Harness {
     g_.reset();
   }
 
-  /// The input graph (built lazily, announced once).
+  /// The input graph (built lazily, announced once). An unloadable
+  /// `file:` input exits 1 with the Status message — path echoed, errno
+  /// text — not an uncaught throw.
   const graph::CSRGraph& graph() {
     if (!g_.has_value()) {
       core::WallTimer t;
-      g_ = opts_.graph.build();
+      auto built = opts_.graph.try_build();
+      if (!built.ok()) {
+        std::fprintf(stderr, "error: %s\n", built.status().message().c_str());
+        std::exit(1);
+      }
+      g_ = std::move(built).value_or_throw();
       std::printf("input: %s (n=%u, m=%llu, built in %.1f s)\n",
                   opts_.graph.name().c_str(), g_->num_vertices(),
                   static_cast<unsigned long long>(g_->num_edges()),

@@ -1,0 +1,200 @@
+// Slowdown-vs-budget curve for the segmented two-tier GraphView backend
+// (store/tiered.hpp), under the GAP trial protocol: untimed warmup (which
+// also faults the working set in), n timed trials, per-trial digest
+// verification OUTSIDE the clock against the flat-CSR reference.
+//
+// Sweep: budget ∈ {100%, 50%, 25%, 12.5%} of the flat CSR adjacency
+// footprint, over BFS / PageRank / WCC. Every run must be digest-identical
+// to flat — the tier changes where bytes live, never what they say — and
+// must stay inside its enforced byte budget (peak accounted resident
+// bytes, transient serves included). ci.sh gates the 25% row on both.
+//
+//   ./bench/tiered_bench --graph kron18 --trials 3 --json
+//
+// JSON artifact (BENCH_tiered_bench.json): per budget point
+// <kernel>_b<pct>_ms_* timings, slowdown_<kernel>_b<pct> vs the flat
+// mean, b<pct>_{peak,budget,within_budget,digest_ok,faults,evictions},
+// plus flat_bytes, peak_rss_bytes and the flat reference timings.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "core/thread_pool.hpp"
+#include "harness.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/connected_components.hpp"
+#include "kernels/pagerank.hpp"
+#include "store/graph_view.hpp"
+#include "store/tiered.hpp"
+
+namespace {
+
+using namespace ga;
+
+template <typename T>
+std::uint64_t bytes_digest(const std::vector<T>& v) {
+  return core::hash_combine(
+      core::crc32(v.data(), v.size() * sizeof(T)), v.size());
+}
+
+struct Reference {
+  std::uint64_t bfs = 0, pr = 0, wcc = 0;
+  double bfs_ms = 0, pr_ms = 0, wcc_ms = 0;
+  std::vector<double> rank;  // for tolerance fallback on parallel boxes
+};
+
+std::string pct_tag(double frac) {  // 0.125 -> "b12", 1.0 -> "b100"
+  std::string tag = "b";
+  tag += std::to_string(static_cast<int>(frac * 100));
+  return tag;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("tiered_bench", argc, argv, bench::GraphSpec::kron(18),
+                   /*default_trials=*/3);
+  const graph::CSRGraph& g = h.graph();
+  const vid_t root = h.random_root();  // one root for comparability
+  const store::GraphView flat = store::GraphView::borrowed(g);
+  const std::size_t flat_bytes =
+      (static_cast<std::size_t>(g.num_vertices()) + 1) * sizeof(eid_t) +
+      static_cast<std::size_t>(g.num_arcs()) * sizeof(vid_t) +
+      (g.weighted() ? static_cast<std::size_t>(g.num_arcs()) * sizeof(float)
+                    : 0);
+  h.doc().add("flat_bytes", static_cast<std::uint64_t>(flat_bytes));
+  h.doc().add("root", static_cast<std::uint64_t>(root));
+
+  // Flat reference: timings for the slowdown denominators, digests for
+  // the correctness bar. PageRank digests are bitwise only when the
+  // engine runs serial; parallel boxes fall back to an L1 tolerance.
+  const bool serial = core::ThreadPool::global().num_threads() <= 1;
+  Reference ref;
+  {
+    kernels::BfsResult br;
+    ref.bfs_ms = h.run("bfs_flat", [&](int) {
+                    br = kernels::bfs(g, root);
+                    return bench::Trial{static_cast<double>(g.num_arcs()),
+                                        ""};
+                  }).mean_ms;
+    ref.bfs = bytes_digest(br.dist);
+    kernels::PageRankResult pr;
+    ref.pr_ms = h.run("pagerank_flat", [&](int) {
+                   pr = kernels::pagerank(g, {});
+                   return bench::Trial{static_cast<double>(g.num_arcs()), ""};
+                 }).mean_ms;
+    ref.pr = bytes_digest(pr.rank);
+    ref.rank = std::move(pr.rank);
+    kernels::ComponentsResult wr;
+    ref.wcc_ms = h.run("wcc_flat", [&](int) {
+                    wr = kernels::wcc_label_propagation(g);
+                    return bench::Trial{static_cast<double>(g.num_arcs()), ""};
+                  }).mean_ms;
+    ref.wcc = bytes_digest(wr.label);
+  }
+
+  const double budgets[] = {1.0, 0.5, 0.25, 0.125};
+  for (const double frac : budgets) {
+    const std::string tag = pct_tag(frac);
+    store::TierPolicy policy;
+    policy.budget_bytes = static_cast<std::size_t>(flat_bytes * frac);
+    auto tiers = store::TieredGraph::build(g, policy);
+    const store::GraphView tv = store::GraphView::over_tiers(tiers);
+    std::printf("budget %s: %.1f MB of %.1f MB flat (%u segments, %u pinned)\n",
+                tag.c_str(), policy.budget_bytes / 1048576.0,
+                flat_bytes / 1048576.0, tiers->num_segments(),
+                tiers->stats().pinned);
+    bool digest_ok = true;
+    const auto check = [&](bool ok, const char* what) -> std::string {
+      if (ok) return "";
+      digest_ok = false;
+      return std::string(what) + " digest mismatch vs flat at " + tag;
+    };
+
+    kernels::BfsResult br;
+    const double bfs_ms =
+        h.run(
+             "bfs_" + tag,
+             [&](int) {
+               br = kernels::bfs(tv, root);
+               return bench::Trial{static_cast<double>(g.num_arcs()), ""};
+             },
+             [&](int) { return check(bytes_digest(br.dist) == ref.bfs, "bfs"); })
+            .mean_ms;
+    kernels::PageRankResult pr;
+    const double pr_ms =
+        h.run(
+             "pagerank_" + tag,
+             [&](int) {
+               pr = kernels::pagerank(tv, {});
+               return bench::Trial{static_cast<double>(g.num_arcs()), ""};
+             },
+             [&](int) {
+               if (serial) {
+                 return check(bytes_digest(pr.rank) == ref.pr, "pagerank");
+               }
+               double l1 = 0;
+               for (std::size_t i = 0; i < pr.rank.size(); ++i) {
+                 l1 += std::abs(pr.rank[i] - ref.rank[i]);
+               }
+               return check(l1 < 1e-9, "pagerank(L1)");
+             })
+            .mean_ms;
+    kernels::ComponentsResult wr;
+    const double wcc_ms =
+        h.run(
+             "wcc_" + tag,
+             [&](int) {
+               wr = kernels::wcc_label_propagation(tv);
+               return bench::Trial{static_cast<double>(g.num_arcs()), ""};
+             },
+             [&](int) {
+               return check(bytes_digest(wr.label) == ref.wcc, "wcc");
+             })
+            .mean_ms;
+
+    const store::TierStats ts = tiers->stats();
+    // Budget adherence: peak *accounted* decoded bytes (pinned + pool +
+    // transient serves at their high-watermark) within the enforced
+    // budget plus 5% slack for slab/bookkeeping overhead.
+    const bool within =
+        policy.budget_bytes == 0 ||
+        ts.peak_resident_bytes <=
+            static_cast<std::size_t>(policy.budget_bytes * 1.05);
+    if (!within) {
+      h.fail(tag + ": peak resident " +
+             std::to_string(ts.peak_resident_bytes) + " B exceeds budget " +
+             std::to_string(policy.budget_bytes) + " B (+5%)");
+    }
+    std::printf(
+        "  %s: slowdown bfs %.2fx  pagerank %.2fx  wcc %.2fx | peak %.1f MB "
+        "budget %.1f MB | faults %llu evictions %llu promotions %llu "
+        "transient %llu\n",
+        tag.c_str(), bfs_ms / ref.bfs_ms, pr_ms / ref.pr_ms,
+        wcc_ms / ref.wcc_ms, ts.peak_resident_bytes / 1048576.0,
+        policy.budget_bytes / 1048576.0,
+        static_cast<unsigned long long>(ts.faults),
+        static_cast<unsigned long long>(ts.evictions),
+        static_cast<unsigned long long>(ts.promotions),
+        static_cast<unsigned long long>(ts.transient_serves));
+    h.doc().add("slowdown_bfs_" + tag, bfs_ms / ref.bfs_ms);
+    h.doc().add("slowdown_pagerank_" + tag, pr_ms / ref.pr_ms);
+    h.doc().add("slowdown_wcc_" + tag, wcc_ms / ref.wcc_ms);
+    h.doc().add(tag + "_budget_bytes",
+                static_cast<std::uint64_t>(policy.budget_bytes));
+    h.doc().add(tag + "_peak_bytes",
+                static_cast<std::uint64_t>(ts.peak_resident_bytes));
+    h.doc().add(tag + "_encoded_bytes",
+                static_cast<std::uint64_t>(ts.encoded_bytes));
+    h.doc().add(tag + "_within_budget", static_cast<std::uint64_t>(within));
+    h.doc().add(tag + "_digest_ok", static_cast<std::uint64_t>(digest_ok));
+    h.doc().add(tag + "_faults", ts.faults);
+    h.doc().add(tag + "_evictions", ts.evictions);
+    h.doc().add(tag + "_promotions", ts.promotions);
+  }
+
+  h.doc().add("peak_rss_bytes",
+              static_cast<std::uint64_t>(bench::peak_rss_bytes()));
+  return h.finish();
+}

@@ -429,11 +429,14 @@ Frontier edge_map(const graph::CSRGraph& g, Frontier& frontier, F&& f,
 
 /// edge_map over the versioned store's GraphView — the engine's unified
 /// read path. A flat view delegates to the CSR overload above (identical
-/// hot path, full direction optimization). A delta-backed view traverses
-/// the merged adjacency push-style: the chain keeps no in-adjacency, so
-/// pull (and transpose) are unavailable until the compactor flattens —
-/// opts.direction/transpose are ignored rather than an error, because the
-/// same kernel code must run on both view kinds.
+/// hot path, full direction optimization). A delta-backed or tier-backed
+/// view traverses the merged adjacency push-style: neither keeps an
+/// in-adjacency, so pull (and transpose) are unavailable until the
+/// compactor flattens — opts.direction/transpose are ignored rather than
+/// an error, because the same kernel code must run on every view kind.
+/// Pure tiered views (no chain) get a segment-resolution seam: a
+/// TieredGraph::Reader cursor per worker re-pins only on segment cross,
+/// so the per-vertex cost stays one bounds check, not one mutex.
 template <typename F>
 void edge_map_into(const store::GraphView& view, Frontier& frontier,
                    Frontier& next, F&& f, const TraversalOptions& opts = {},
@@ -461,14 +464,27 @@ void edge_map_into(const store::GraphView& view, Frontier& frontier,
   frontier.ensure_sparse();
   const auto& items = frontier.items();
   st.vertices_touched = items.size();
+  const bool pure_tiered = view.tiered() && view.chain_depth() == 0;
   if (!run_parallel) {
     std::uint64_t edges = 0;
-    for (vid_t u : items) {
-      view.for_each_out(u, [&](vid_t v, float w) {
-        ++edges;
-        if (!f.cond(v)) return;
-        if (f.update(u, v, w) && opts.produce_output) next.add(v);
-      });
+    if (pure_tiered) {
+      const store::TieredGraph& tg = *view.tiers();
+      store::TieredGraph::Reader reader;
+      for (vid_t u : items) {
+        tg.for_each_out(u, reader, [&](vid_t v, float w) {
+          ++edges;
+          if (!f.cond(v)) return;
+          if (f.update(u, v, w) && opts.produce_output) next.add(v);
+        });
+      }
+    } else {
+      for (vid_t u : items) {
+        view.for_each_out(u, [&](vid_t v, float w) {
+          ++edges;
+          if (!f.cond(v)) return;
+          if (f.update(u, v, w) && opts.produce_output) next.add(v);
+        });
+      }
     }
     st.edges_traversed = edges;
   } else {
@@ -478,16 +494,22 @@ void edge_map_into(const store::GraphView& view, Frontier& frontier,
         [&](std::uint64_t b, std::uint64_t e) {
           std::vector<vid_t> local;
           std::uint64_t local_edges = 0;
+          store::TieredGraph::Reader reader;  // per-chunk = per-worker pin
           for (std::uint64_t idx = b; idx < e; ++idx) {
             const vid_t u = items[idx];
-            view.for_each_out(u, [&](vid_t v, float w) {
+            const auto visit = [&](vid_t v, float w) {
               ++local_edges;
               if (!f.cond(v)) return;
               if (f.update_atomic(u, v, w) && opts.produce_output &&
                   next.claim_atomic(v)) {
                 local.push_back(v);
               }
-            });
+            };
+            if (pure_tiered) {
+              view.tiers()->for_each_out(u, reader, visit);
+            } else {
+              view.for_each_out(u, visit);
+            }
           }
           edges.fetch_add(local_edges, std::memory_order_relaxed);
           if (!local.empty()) {

@@ -86,6 +86,71 @@ void power_iterate(const CSRGraph& g, const PageRankOptions& opts,
 
 }  // namespace
 
+PageRankResult pagerank(const store::GraphView& view,
+                        const PageRankOptions& opts) {
+  if (view.flat()) return pagerank(view.base(), opts);
+  if (view.directed()) return pagerank(view.csr(), opts);
+  const vid_t n = view.num_vertices();
+  PageRankResult r;
+  if (n == 0) return r;
+
+  // On an undirected view the merged out-adjacency IS the in-adjacency,
+  // so one (v ascending, neighbor ascending) sweep reproduces the flat
+  // serial pull's accumulation order bit for bit. A Reader cursor keeps
+  // the pure-tiered sweep at one segment pin per crossing.
+  const bool pure_tiered = view.tiered() && view.chain_depth() == 0;
+  const store::TieredGraph* tg = pure_tiered ? view.tiers().get() : nullptr;
+  const auto sweep = [&](auto&& per_arc) {
+    if (tg) {
+      store::TieredGraph::Reader rd;
+      for (vid_t v = 0; v < n; ++v) {
+        tg->for_each_out(v, rd, [&](vid_t u, float) { per_arc(v, u); });
+      }
+    } else {
+      for (vid_t v = 0; v < n; ++v) {
+        view.for_each_out(v, [&](vid_t u, float) { per_arc(v, u); });
+      }
+    }
+  };
+
+  // Degrees are iteration-invariant; one merged pass replaces the flat
+  // path's O(1) per-iteration out_degree() lookups.
+  std::vector<eid_t> deg(n, 0);
+  sweep([&](vid_t v, vid_t) { ++deg[v]; });
+
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> contrib(n, 0.0);
+  for (unsigned iter = 1; iter <= opts.max_iters; ++iter) {
+    double dangling = 0.0;
+    for (vid_t u = 0; u < n; ++u) {
+      if (deg[u] == 0) {
+        dangling += rank[u];
+        contrib[u] = 0.0;
+      } else {
+        contrib[u] = rank[u] / static_cast<double>(deg[u]);
+      }
+    }
+    std::fill(next.begin(), next.end(), 0.0);
+    sweep([&](vid_t v, vid_t u) { next[v] += contrib[u]; });
+    double delta = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      next[v] = (1.0 - opts.damping) / n + opts.damping * dangling / n +
+                opts.damping * next[v];
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    r.iterations = iter;
+    r.final_delta = delta;
+    if (delta < opts.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.rank = std::move(rank);
+  return r;
+}
+
 PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts) {
   const vid_t n = g.num_vertices();
   PageRankResult r;

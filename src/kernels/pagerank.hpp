@@ -7,6 +7,7 @@
 
 #include "engine/telemetry.hpp"
 #include "graph/csr_graph.hpp"
+#include "store/graph_view.hpp"
 
 namespace ga::kernels {
 
@@ -31,6 +32,16 @@ struct PageRankResult {
 };
 
 PageRankResult pagerank(const CSRGraph& g, const PageRankOptions& opts = {});
+
+/// View-native PageRank: flat views delegate to the CSR path above;
+/// undirected tier- or delta-backed views run a serial pull mirror over
+/// the merged adjacency (in-adjacency aliases out-adjacency), visiting
+/// (v ascending, in-neighbor ascending) — the exact floating-point
+/// accumulation order of the flat serial pull, so the ranks are bitwise
+/// identical without materializing a CSR. Directed non-flat views fold
+/// via csr() (the chain keeps no transpose).
+PageRankResult pagerank(const store::GraphView& view,
+                        const PageRankOptions& opts = {});
 
 /// Warm-started power iteration: seeds the solve from `rank` (a prior
 /// epoch's result, renormalized here) instead of uniform 1/n, then refines
@@ -57,6 +68,15 @@ PageRankResult personalized_pagerank(const CSRGraph& g,
 inline PageRankResult run(const CSRGraph& g, const PageRankOptions& opts) {
   return opts.seeds.empty() ? pagerank(g, opts)
                             : personalized_pagerank(g, opts.seeds, opts);
+}
+
+/// View-native entry point: budget-bounded on tiered views for the
+/// common (non-personalized) case; personalization still folds.
+inline PageRankResult run(const store::GraphView& v,
+                          const PageRankOptions& opts) {
+  return opts.seeds.empty()
+             ? pagerank(v, opts)
+             : personalized_pagerank(v.csr(), opts.seeds, opts);
 }
 
 }  // namespace ga::kernels

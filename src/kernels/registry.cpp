@@ -85,8 +85,7 @@ std::vector<KernelInfo> make_registry() {
   r.push_back({"pagerank", "PR: PageRank", "centrality", "GC(B)",
                "vertex property", false, 13, [](const KernelRunSpec& spec) {
                  const store::GraphView& v = spec.view;
-                 const CSRGraph& g = v.csr();
-                 const auto res = run(g, PageRankOptions{});
+                 const auto res = run(v, PageRankOptions{});
                  const auto top = pagerank_topk(res, 1);
                  return "top vertex=" + u64(top.empty() ? 0 : top[0].second);
                }});

@@ -35,6 +35,18 @@ GraphView GraphView::borrowed(const graph::CSRGraph& base,
             epoch);
 }
 
+GraphView GraphView::over_tiers(std::shared_ptr<const TieredGraph> tiers,
+                                std::uint64_t epoch) {
+  GA_CHECK(tiers != nullptr, "GraphView::over_tiers: null tiers");
+  GraphView v;
+  v.n_ = tiers->num_vertices();
+  v.arcs_ = tiers->num_arcs();
+  v.epoch_ = epoch;
+  v.tiers_ = std::move(tiers);
+  v.cache_ = std::make_shared<FlattenCache>();
+  return v;
+}
+
 GraphView::GraphView(
     std::shared_ptr<const graph::CSRGraph> base,
     std::vector<std::shared_ptr<const DeltaLayer>> chain,
@@ -51,9 +63,41 @@ GraphView::GraphView(
   if (!chain_.empty()) cache_ = std::make_shared<FlattenCache>();
 }
 
+GraphView::GraphView(
+    std::shared_ptr<const TieredGraph> tiers,
+    std::vector<std::shared_ptr<const DeltaLayer>> chain,
+    std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props,
+    std::uint64_t epoch, eid_t num_arcs)
+    : tiers_(std::move(tiers)),
+      chain_(std::move(chain)),
+      props_(std::move(props)),
+      epoch_(epoch),
+      arcs_(num_arcs) {
+  GA_CHECK(tiers_ != nullptr, "GraphView: null tiers");
+  n_ = chain_.empty() ? tiers_->num_vertices() : chain_.back()->num_vertices();
+  GA_ASSERT(n_ >= tiers_->num_vertices());
+  cache_ = std::make_shared<FlattenCache>();
+}
+
+GraphView GraphView::with_layer(std::shared_ptr<const DeltaLayer> layer,
+                                std::uint64_t epoch, eid_t num_arcs) const {
+  GA_CHECK(valid() && layer != nullptr, "GraphView::with_layer: bad inputs");
+  GraphView v;
+  v.base_ = base_;
+  v.tiers_ = tiers_;
+  v.props_ = props_;
+  v.chain_ = chain_;
+  v.chain_.push_back(std::move(layer));
+  v.epoch_ = epoch;
+  v.arcs_ = num_arcs;
+  v.n_ = v.chain_.back()->num_vertices();
+  v.cache_ = std::make_shared<FlattenCache>();
+  return v;
+}
+
 std::shared_ptr<const graph::CSRGraph> GraphView::flatten() const {
   GA_CHECK(valid(), "GraphView: empty view");
-  if (chain_.empty()) return base_;
+  if (chain_.empty() && !tiers_) return base_;
   std::lock_guard<std::mutex> lock(cache_->mu);
   if (!cache_->flat) cache_->flat = build_flat();
   return cache_->flat;
@@ -79,7 +123,9 @@ std::shared_ptr<const graph::CSRGraph> GraphView::build_flat() const {
 }
 
 eid_t GraphView::out_degree(vid_t u) const {
-  if (chain_.empty()) return base_->out_degree(u);
+  if (chain_.empty()) {
+    return tiers_ ? tiers_->out_degree(u) : base_->out_degree(u);
+  }
   eid_t d = 0;
   for_each_out(u, [&](vid_t, float) { ++d; });
   return d;
@@ -99,8 +145,9 @@ bool GraphView::has_edge(vid_t u, vid_t v) const {
       return false;
     }
   }
-  return u < base_->num_vertices() && v < base_->num_vertices() &&
-         base_->has_edge(u, v);
+  const vid_t base_n = tiers_ ? tiers_->num_vertices() : base_->num_vertices();
+  if (u >= base_n || v >= base_n) return false;
+  return tiers_ ? tiers_->has_edge(u, v) : base_->has_edge(u, v);
 }
 
 std::vector<std::pair<vid_t, float>> GraphView::out_edges_copy(vid_t u) const {
@@ -159,6 +206,11 @@ GraphView::flatten_props() const {
 }
 
 std::size_t GraphView::base_bytes() const {
+  if (tiers_) {
+    // Actual backing footprint: the always-kept cold tier plus whatever
+    // is decoded right now under the budget.
+    return tiers_->encoded_bytes() + tiers_->resident_bytes();
+  }
   const graph::CSRGraph& b = *base_;
   return b.offsets().size() * sizeof(eid_t) +
          b.targets().size() * sizeof(vid_t) +
@@ -174,7 +226,7 @@ std::size_t GraphView::delta_bytes() const {
 
 double GraphView::read_amplification() const {
   if (chain_.empty()) return 1.0;
-  eid_t scanned = base_->num_arcs();
+  eid_t scanned = tiers_ ? tiers_->num_arcs() : base_->num_arcs();
   for (const auto& layer : chain_) scanned += layer->num_ops();
   return static_cast<double>(scanned) /
          static_cast<double>(std::max<eid_t>(arcs_, 1));

@@ -1,13 +1,17 @@
 // GraphView: the engine's single read path over the versioned store.
 //
-// A view is either *flat* (an immutable base CSR, nothing else — the
-// zero-cost case every batch kernel sees after compaction) or
-// *delta-backed* (base CSR + a chain of immutable DeltaLayer overlays,
-// newest last). Reads merge the chain newest-first per vertex: an add in a
-// newer layer wins (upsert), a delete suppresses anything older, otherwise
-// the base adjacency shows through. Merged iteration is ordered by target
-// id, exactly like the CSR itself, so merge-based kernels (triangles,
-// Jaccard) keep their sorted-adjacency contract.
+// A view's base is either an immutable flat CSR or a segmented two-tier
+// store (store/tiered.hpp — hot decoded slabs + compressed cold blocks
+// faulted in under a byte budget), and on top of either base may ride a
+// chain of immutable DeltaLayer overlays, newest last. A *flat* view is
+// the CSR-base no-chain case — the zero-cost path every batch kernel
+// sees after compaction. Reads merge the chain newest-first per vertex:
+// an add in a newer layer wins (upsert), a delete suppresses anything
+// older, otherwise the base adjacency shows through. Merged iteration is
+// ordered by target id, exactly like the CSR itself, so merge-based
+// kernels (triangles, Jaccard) keep their sorted-adjacency contract.
+// Tiered and flat bases are digest-identical by construction: the tier
+// layer changes where adjacency bytes live, never what they say.
 //
 // Views are cheap value types (a few shared_ptrs); copying one never
 // copies graph data. All referenced storage is immutable, so concurrent
@@ -28,6 +32,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "store/delta.hpp"
+#include "store/tiered.hpp"
 
 namespace ga::store {
 
@@ -48,6 +53,10 @@ class GraphView {
   static GraphView borrowed(const graph::CSRGraph& base,
                             std::uint64_t epoch = 0);
 
+  /// View over a two-tier segmented base (epoch defaults to 0).
+  static GraphView over_tiers(std::shared_ptr<const TieredGraph> tiers,
+                              std::uint64_t epoch = 0);
+
   /// Delta-backed view; `num_arcs` is the exact merged arc count (the
   /// store tracks it via DeltaLayer::net_arcs). `props` may be null.
   GraphView(std::shared_ptr<const graph::CSRGraph> base,
@@ -55,8 +64,22 @@ class GraphView {
             std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props,
             std::uint64_t epoch, eid_t num_arcs);
 
-  bool valid() const { return base_ != nullptr; }
-  bool flat() const { return chain_.empty(); }
+  /// Delta chain over a tiered base.
+  GraphView(std::shared_ptr<const TieredGraph> tiers,
+            std::vector<std::shared_ptr<const DeltaLayer>> chain,
+            std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props,
+            std::uint64_t epoch, eid_t num_arcs);
+
+  /// Copy of this view with one more chain layer (newest), whatever the
+  /// base kind — how the store publishes an epoch without caring whether
+  /// its flatten target is a flat CSR or a tiered store. Drops the
+  /// predecessor's delta summary (the new epoch attaches its own).
+  GraphView with_layer(std::shared_ptr<const DeltaLayer> layer,
+                       std::uint64_t epoch, eid_t num_arcs) const;
+
+  bool valid() const { return base_ != nullptr || tiers_ != nullptr; }
+  bool flat() const { return chain_.empty() && !tiers_; }
+  bool tiered() const { return tiers_ != nullptr; }
   std::uint64_t epoch() const { return epoch_; }
   std::size_t chain_depth() const { return chain_.size(); }
 
@@ -64,11 +87,19 @@ class GraphView {
   /// Exact merged arc count (undirected graphs store both arcs).
   eid_t num_arcs() const { return arcs_; }
   eid_t num_edges() const { return directed() ? arcs_ : arcs_ / 2; }
-  bool directed() const { return base_->directed(); }
-  bool weighted() const { return base_->weighted(); }
+  bool directed() const {
+    return tiers_ ? tiers_->directed() : base_->directed();
+  }
+  bool weighted() const {
+    return tiers_ ? tiers_->weighted() : base_->weighted();
+  }
 
-  const graph::CSRGraph& base() const { return *base_; }
+  const graph::CSRGraph& base() const {
+    GA_CHECK(base_ != nullptr, "GraphView::base: tiered view has no flat base");
+    return *base_;
+  }
   std::shared_ptr<const graph::CSRGraph> base_ptr() const { return base_; }
+  const std::shared_ptr<const TieredGraph>& tiers() const { return tiers_; }
   const std::vector<std::shared_ptr<const DeltaLayer>>& chain() const {
     return chain_;
   }
@@ -114,7 +145,10 @@ class GraphView {
   double read_amplification() const;
   /// Identity of the shared base allocation (snapshot managers dedup
   /// bytes held across epochs by these pointers).
-  const void* base_id() const { return base_.get(); }
+  const void* base_id() const {
+    return tiers_ ? static_cast<const void*>(tiers_.get())
+                  : static_cast<const void*>(base_.get());
+  }
 
   /// Change manifest of this epoch vs. its immediate predecessor (store
   /// epoch - 1); attached by VersionedGraphStore::apply and preserved
@@ -135,9 +169,10 @@ class GraphView {
   std::shared_ptr<const graph::CSRGraph> build_flat() const;
 
   std::shared_ptr<const graph::CSRGraph> base_;
+  std::shared_ptr<const TieredGraph> tiers_;  // exactly one of base_/tiers_
   std::vector<std::shared_ptr<const DeltaLayer>> chain_;  // oldest..newest
   std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props_;
-  std::shared_ptr<FlattenCache> cache_;  // non-null iff delta-backed
+  std::shared_ptr<FlattenCache> cache_;  // non-null iff delta- or tier-backed
   std::shared_ptr<const DeltaSummary> summary_;
   std::uint64_t epoch_ = 0;
   vid_t n_ = 0;
@@ -152,10 +187,13 @@ class GraphView {
 template <typename Fn>
 void GraphView::for_each_out(vid_t u, Fn&& fn) const {
   GA_ASSERT(valid() && u < n_);
-  const graph::CSRGraph& b = *base_;
-  const bool in_base = u < b.num_vertices();
   if (chain_.empty()) {
-    GA_ASSERT(in_base);
+    if (tiers_) {
+      tiers_->for_each_out(u, fn);
+      return;
+    }
+    const graph::CSRGraph& b = *base_;
+    GA_ASSERT(u < b.num_vertices());
     const auto nbrs = b.out_neighbors(u);
     if (b.weighted()) {
       const auto ws = b.out_weights(u);
@@ -164,6 +202,26 @@ void GraphView::for_each_out(vid_t u, Fn&& fn) const {
       for (const vid_t v : nbrs) fn(v, 1.0f);
     }
     return;
+  }
+
+  // Resolve the base adjacency spans — a flat CSR slice or a pinned
+  // tier slab (the pin keeps the slab alive across the merge even if the
+  // eviction clock sweeps it mid-iteration).
+  const vid_t base_n = tiers_ ? tiers_->num_vertices() : base_->num_vertices();
+  const bool in_base = u < base_n;
+  TieredGraph::Pin tier_pin;
+  std::span<const vid_t> bt;
+  std::span<const float> bw;
+  if (in_base) {
+    const bool w = weighted();
+    if (tiers_) {
+      tier_pin = tiers_->acquire(tiers_->segment_of(u));
+      bt = tier_pin->neighbors(u);
+      if (w) bw = tier_pin->weights_of(u);
+    } else {
+      bt = base_->out_neighbors(u);
+      if (w) bw = base_->out_weights(u);
+    }
   }
 
   struct Cursor {
@@ -185,20 +243,14 @@ void GraphView::for_each_out(vid_t u, Fn&& fn) const {
     any_ops |= !cur[k].ops.add_tgt.empty() || !cur[k].ops.del_tgt.empty();
   }
 
-  std::span<const vid_t> bt =
-      in_base ? b.out_neighbors(u) : std::span<const vid_t>{};
   if (!any_ops) {  // untouched vertex: plain base scan
-    if (in_base && b.weighted()) {
-      const auto ws = b.out_weights(u);
-      for (std::size_t i = 0; i < bt.size(); ++i) fn(bt[i], ws[i]);
+    if (!bw.empty()) {
+      for (std::size_t i = 0; i < bt.size(); ++i) fn(bt[i], bw[i]);
     } else {
       for (const vid_t v : bt) fn(v, 1.0f);
     }
     return;
   }
-  std::span<const float> bw = (in_base && b.weighted())
-                                  ? b.out_weights(u)
-                                  : std::span<const float>{};
   std::size_t bi = 0;
   for (;;) {
     // Next candidate target: min over the base cursor and every layer's

@@ -1,0 +1,129 @@
+#include "store/segment.hpp"
+
+#include <cstring>
+
+#include "core/hash.hpp"
+
+namespace ga::store {
+namespace {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Bounds-checked LEB128 read; false on truncation or >64-bit overflow.
+bool get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos,
+                std::uint64_t& v) {
+  v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= size) return false;
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EncodedSegment encode_segment(const SegmentCSR& seg) {
+  GA_ASSERT(seg.offsets.size() == static_cast<std::size_t>(seg.count) + 1);
+  EncodedSegment block;
+  block.first_vertex = seg.first_vertex;
+  block.count = seg.count;
+  block.arcs = seg.num_arcs();
+  block.weighted = seg.weighted;
+  // Exact re-decoded footprint (decode reserves tightly), not the source
+  // segment's bytes() — build-time fills carry push_back capacity slack
+  // that would inflate every admission estimate.
+  block.decoded_bytes = (seg.offsets.size() + seg.targets.size()) * 4 +
+                        seg.weights.size() * sizeof(float) +
+                        sizeof(SegmentCSR);
+  block.payload.reserve(seg.targets.size() + seg.count + 8);
+  for (vid_t local = 0; local < seg.count; ++local) {
+    const std::uint32_t begin = seg.offsets[local];
+    const std::uint32_t end = seg.offsets[local + 1];
+    put_varint(block.payload, end - begin);
+    vid_t prev = 0;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const vid_t t = seg.targets[i];
+      if (i == begin) {
+        put_varint(block.payload, t);
+      } else {
+        GA_ASSERT(t >= prev);  // sorted-run invariant; deltas must be >= 0
+        put_varint(block.payload, t - prev);
+      }
+      prev = t;
+    }
+    if (seg.weighted && end > begin) {
+      const std::size_t at = block.payload.size();
+      block.payload.resize(at + (end - begin) * sizeof(float));
+      std::memcpy(block.payload.data() + at, seg.weights.data() + begin,
+                  (end - begin) * sizeof(float));
+    }
+  }
+  block.payload.shrink_to_fit();
+  block.crc = core::crc32(block.payload.data(), block.payload.size());
+  return block;
+}
+
+core::StatusOr<SegmentCSR> decode_segment(const EncodedSegment& block) {
+  const std::uint32_t crc =
+      core::crc32(block.payload.data(), block.payload.size());
+  if (crc != block.crc) {
+    return core::Status(core::StatusCode::kDataLoss,
+                        "segment [" + std::to_string(block.first_vertex) +
+                            ", +" + std::to_string(block.count) +
+                            "): cold block CRC mismatch (stored " +
+                            std::to_string(block.crc) + ", computed " +
+                            std::to_string(crc) + ")");
+  }
+  auto malformed = [&](const char* what) {
+    return core::Status(core::StatusCode::kDataLoss,
+                        "segment [" + std::to_string(block.first_vertex) +
+                            ", +" + std::to_string(block.count) +
+                            "): malformed cold block (" + what + ")");
+  };
+  SegmentCSR seg;
+  seg.first_vertex = block.first_vertex;
+  seg.count = block.count;
+  seg.weighted = block.weighted;
+  seg.offsets.reserve(block.count + 1);
+  seg.offsets.push_back(0);
+  seg.targets.reserve(block.arcs);
+  if (block.weighted) seg.weights.reserve(block.arcs);
+  const std::uint8_t* data = block.payload.data();
+  const std::size_t size = block.payload.size();
+  std::size_t pos = 0;
+  for (vid_t local = 0; local < block.count; ++local) {
+    std::uint64_t deg = 0;
+    if (!get_varint(data, size, pos, deg)) return malformed("degree varint");
+    if (seg.targets.size() + deg > block.arcs) return malformed("arc overrun");
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < deg; ++i) {
+      std::uint64_t d = 0;
+      if (!get_varint(data, size, pos, d)) return malformed("target varint");
+      const std::uint64_t t = (i == 0) ? d : prev + d;
+      if (t > 0xffffffffull) return malformed("target out of vid_t range");
+      seg.targets.push_back(static_cast<vid_t>(t));
+      prev = t;
+    }
+    if (block.weighted && deg > 0) {
+      if (pos + deg * sizeof(float) > size) return malformed("weight bytes");
+      const std::size_t at = seg.weights.size();
+      seg.weights.resize(at + deg);
+      std::memcpy(seg.weights.data() + at, data + pos, deg * sizeof(float));
+      pos += deg * sizeof(float);
+    }
+    seg.offsets.push_back(static_cast<std::uint32_t>(seg.targets.size()));
+  }
+  if (pos != size) return malformed("trailing bytes");
+  if (seg.num_arcs() != block.arcs) return malformed("arc count mismatch");
+  return seg;
+}
+
+}  // namespace ga::store

@@ -1,0 +1,102 @@
+// Segment codec for the two-tier store (DESIGN.md section 16): the vertex
+// space is carved into fixed-size segments, and each segment's adjacency
+// exists in exactly one of two representations at a time.
+//
+//   hot  — SegmentCSR: a decoded, cache-friendly CSR slab with 32-bit
+//          *relative* offsets (a segment holds at most a few thousand
+//          vertices, so offsets fit u32 even when the global graph needs
+//          64-bit eid_t). This is what kernels actually traverse.
+//   cold — EncodedSegment: a delta-varint compressed block. Per vertex:
+//          varint degree, then the neighbor list as a first absolute
+//          varint target followed by non-negative varint deltas (targets
+//          are stored sorted; deltas of 0 tolerate duplicate targets that
+//          survive a delta-chain merge). Weights, when present, ride raw
+//          (little-endian float — floats don't varint). The payload is
+//          covered by the repo-wide slice-by-8 CRC-32: a corrupt cold
+//          block decodes to Status kDataLoss, never to a wrong list.
+//
+// The codec is deliberately dumb and total: encode never fails, decode
+// fails only on corruption (CRC first, then defensive bounds checks that
+// should be unreachable once the CRC has passed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/status.hpp"
+
+namespace ga::store {
+
+/// Decoded (hot) form of one vertex segment: vertices
+/// [first_vertex, first_vertex + count) with relative u32 offsets.
+struct SegmentCSR {
+  vid_t first_vertex = 0;
+  vid_t count = 0;
+  bool weighted = false;
+  std::vector<std::uint32_t> offsets;  // count + 1 entries, offsets[0] == 0
+  std::vector<vid_t> targets;          // sorted per vertex
+  std::vector<float> weights;          // parallel to targets iff weighted
+
+  eid_t num_arcs() const { return static_cast<eid_t>(targets.size()); }
+
+  bool contains(vid_t v) const {
+    return v >= first_vertex && v - first_vertex < count;
+  }
+
+  std::uint32_t degree(vid_t v) const {
+    const vid_t local = v - first_vertex;
+    GA_ASSERT(local < count);
+    return offsets[local + 1] - offsets[local];
+  }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    const vid_t local = v - first_vertex;
+    GA_ASSERT(local < count);
+    return {targets.data() + offsets[local],
+            static_cast<std::size_t>(offsets[local + 1] - offsets[local])};
+  }
+
+  std::span<const float> weights_of(vid_t v) const {
+    const vid_t local = v - first_vertex;
+    GA_ASSERT(local < count && weighted);
+    return {weights.data() + offsets[local],
+            static_cast<std::size_t>(offsets[local + 1] - offsets[local])};
+  }
+
+  /// Resident footprint of the decoded slab — what the tier budget meters.
+  std::size_t bytes() const {
+    return offsets.capacity() * sizeof(std::uint32_t) +
+           targets.capacity() * sizeof(vid_t) +
+           weights.capacity() * sizeof(float) + sizeof(SegmentCSR);
+  }
+};
+
+/// Encoded (cold) form: the compressed payload plus enough metadata to
+/// size admission decisions without decoding (`decoded_bytes`).
+struct EncodedSegment {
+  vid_t first_vertex = 0;
+  vid_t count = 0;
+  eid_t arcs = 0;
+  bool weighted = false;
+  std::uint32_t crc = 0;            // crc32 over `payload`
+  std::size_t decoded_bytes = 0;    // SegmentCSR::bytes() of the source
+  std::vector<std::uint8_t> payload;
+
+  std::size_t bytes() const {
+    return payload.capacity() + sizeof(EncodedSegment);
+  }
+};
+
+/// Compress one decoded segment. Targets must be sorted per vertex
+/// (delta-varint requires non-decreasing runs); this is the invariant the
+/// CSR builder and the newest-wins merge both already guarantee.
+EncodedSegment encode_segment(const SegmentCSR& seg);
+
+/// Decompress. Returns kDataLoss when the CRC does not match or the
+/// varint stream is malformed — callers must treat either as a lost
+/// block, never as an empty or partial neighbor list.
+core::StatusOr<SegmentCSR> decode_segment(const EncodedSegment& block);
+
+}  // namespace ga::store

@@ -1,0 +1,370 @@
+#include "store/tiered.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "resilience/fault_injection.hpp"
+#include "store/graph_view.hpp"
+
+namespace ga::store {
+namespace {
+
+TierPolicy clamp_policy(TierPolicy p) {
+  if (p.segment_bits < 4) p.segment_bits = 4;
+  if (p.segment_bits > 20) p.segment_bits = 20;
+  if (p.pinned_fraction < 0.0) p.pinned_fraction = 0.0;
+  if (p.pinned_fraction > 1.0) p.pinned_fraction = 1.0;
+  return p;
+}
+
+std::size_t pinned_cap_of(const TierPolicy& p) {
+  if (p.budget_bytes == 0) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(
+      static_cast<double>(p.budget_bytes) * p.pinned_fraction);
+}
+
+/// Largest segment-bit width (≤ the policy's) whose biggest decoded slab
+/// stays under budget/4. Below that bound the eviction sweep can always
+/// clear room for an incoming slab (the pinned share caps at
+/// pinned_fraction ≤ budget), so no fault has to fall back to a
+/// transient over-budget serve. Degree skew means this must be measured,
+/// not assumed: one hub-heavy segment decides the answer.
+std::uint32_t tuned_segment_bits(const TierPolicy& p, vid_t n, bool weighted,
+                                 const std::function<eid_t(vid_t)>& degree) {
+  if (p.budget_bytes == 0 || n == 0) return p.segment_bits;
+  const std::size_t per_arc = weighted ? 8 : 4;
+  const std::size_t slab_cap = std::max<std::size_t>(p.budget_bytes / 4, 1);
+  std::vector<std::uint64_t> pref(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) pref[v + 1] = pref[v] + degree(v);
+  for (std::uint32_t bits = p.segment_bits; bits > 4; --bits) {
+    const vid_t seg = vid_t{1} << bits;
+    std::size_t worst = 0;
+    for (vid_t first = 0; first < n; first += seg) {
+      const vid_t count = std::min<vid_t>(seg, n - first);
+      const std::size_t slab =
+          (static_cast<std::size_t>(count) + 1) * 4 +
+          static_cast<std::size_t>(pref[first + count] - pref[first]) * per_arc;
+      worst = std::max(worst, slab);
+    }
+    if (worst <= slab_cap) return bits;
+  }
+  return 4;  // a single 16-vertex hub segment past budget/4 can't be split
+}
+
+}  // namespace
+
+void TieredGraph::init_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  m_faults_ = &reg.counter("tier.faults");
+  m_evictions_ = &reg.counter("tier.evictions");
+  m_promotions_ = &reg.counter("tier.promotions");
+  m_decode_failures_ = &reg.counter("tier.decode_failures");
+  m_resident_ = &reg.gauge("tier.resident_bytes");
+  m_peak_ = &reg.gauge("tier.resident_peak_bytes");
+}
+
+std::shared_ptr<TieredGraph> TieredGraph::build_impl(
+    vid_t n, eid_t arcs, bool directed, bool weighted, TierPolicy policy,
+    const std::function<eid_t(vid_t)>& degree,
+    const std::function<void(vid_t, SegmentCSR&)>& fill) {
+  auto tg = std::shared_ptr<TieredGraph>(new TieredGraph());
+  tg->policy_ = clamp_policy(policy);
+  tg->policy_.segment_bits =
+      tuned_segment_bits(tg->policy_, n, weighted, degree);
+  tg->n_ = n;
+  tg->arcs_ = arcs;
+  tg->directed_ = directed;
+  tg->weighted_ = weighted;
+  tg->init_metrics();
+  const vid_t seg_size = vid_t{1} << tg->policy_.segment_bits;
+  const std::uint32_t num_segs =
+      n == 0 ? 0 : static_cast<std::uint32_t>((n + seg_size - 1) / seg_size);
+  tg->slots_.reserve(num_segs);
+  for (std::uint32_t i = 0; i < num_segs; ++i) {
+    SegmentCSR seg;
+    seg.first_vertex = i * seg_size;
+    seg.count = std::min<vid_t>(seg_size, n - seg.first_vertex);
+    seg.weighted = weighted;
+    seg.offsets.reserve(seg.count + 1);
+    seg.offsets.push_back(0);
+    fill(seg.first_vertex, seg);
+    GA_CHECK(seg.targets.size() <= 0xffffffffull,
+             "segment adjacency overflows 32-bit relative offsets; raise "
+             "TierPolicy::segment_bits granularity");
+    auto slot = std::make_unique<Slot>();
+    slot->cold = encode_segment(seg);
+    tg->slots_.push_back(std::move(slot));
+  }
+  tg->finish_build();
+  return tg;
+}
+
+void TieredGraph::finish_build() {
+  encoded_bytes_ = 0;
+  for (const auto& s : slots_) encoded_bytes_ += s->cold.bytes();
+  // Initial hot set: heaviest segments by arc count first (the best
+  // degree-skew proxy available before any accesses), greedily packed
+  // into HALF the pinned share of the budget. The other half stays free
+  // for access-driven promotion — packing the full cap here would leave
+  // promote_after with nothing to admit into, ever.
+  std::vector<std::uint32_t> order(slots_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return slots_[a]->cold.arcs > slots_[b]->cold.arcs;
+                   });
+  const std::size_t cap =
+      std::min(pinned_cap_of(policy_),
+               policy_.budget_bytes == 0 ? static_cast<std::size_t>(-1)
+                                         : policy_.budget_bytes) /
+      (policy_.budget_bytes == 0 ? 1 : 2);
+  for (const std::uint32_t id : order) {
+    Slot& s = *slots_[id];
+    if (pinned_bytes_ + s.cold.decoded_bytes > cap) continue;
+    auto pin = std::make_shared<SegmentCSR>(
+        decode_segment(s.cold).value_or_throw());  // round-trips our encoding
+    const std::size_t sz = pin->bytes();
+    if (pinned_bytes_ + sz > cap) continue;
+    s.hot = std::move(pin);
+    s.hot_bytes = sz;
+    s.pinned.store(true, std::memory_order_relaxed);
+    pinned_bytes_ += sz;
+    resident_bytes_ += sz;
+  }
+  peak_resident_bytes_ = resident_bytes_;
+  if (obs::enabled()) {
+    m_resident_->set(static_cast<double>(resident_bytes_));
+    m_peak_->set(static_cast<double>(peak_resident_bytes_));
+  }
+}
+
+std::shared_ptr<TieredGraph> TieredGraph::build(const graph::CSRGraph& g,
+                                                TierPolicy policy) {
+  return build_impl(
+      g.num_vertices(), g.num_arcs(), g.directed(), g.weighted(), policy,
+      [&](vid_t v) { return g.out_degree(v); },
+      [&](vid_t first, SegmentCSR& seg) {
+        for (vid_t v = first; v < first + seg.count; ++v) {
+          const auto nbrs = g.out_neighbors(v);
+          seg.targets.insert(seg.targets.end(), nbrs.begin(), nbrs.end());
+          if (seg.weighted) {
+            const auto ws = g.out_weights(v);
+            seg.weights.insert(seg.weights.end(), ws.begin(), ws.end());
+          }
+          seg.offsets.push_back(static_cast<std::uint32_t>(seg.targets.size()));
+        }
+      });
+}
+
+std::shared_ptr<TieredGraph> TieredGraph::build_from_view(
+    const GraphView& view, TierPolicy policy) {
+  return build_impl(
+      view.num_vertices(), view.num_arcs(), view.directed(), view.weighted(),
+      policy, [&](vid_t v) { return view.out_degree(v); },
+      [&](vid_t first, SegmentCSR& seg) {
+        for (vid_t v = first; v < first + seg.count; ++v) {
+          view.for_each_out(v, [&](vid_t t, float w) {
+            seg.targets.push_back(t);
+            if (seg.weighted) seg.weights.push_back(w);
+          });
+          seg.offsets.push_back(static_cast<std::uint32_t>(seg.targets.size()));
+        }
+      });
+}
+
+void TieredGraph::make_room_locked(std::size_t need) const {
+  const std::size_t budget = policy_.budget_bytes;
+  const std::uint32_t n = num_segments();
+  if (n == 0) return;
+  // Two full revolutions bound the sweep: the first may only clear
+  // second-chance bits, the second then finds a victim (or proves every
+  // resident slab is pinned).
+  std::uint32_t scanned = 0;
+  while (resident_bytes_ + need > budget && scanned < 2 * n + 2) {
+    Slot& v = *slots_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % n;
+    ++scanned;
+    if (v.pinned.load(std::memory_order_relaxed)) continue;
+    std::lock_guard<std::mutex> sl(v.mu);
+    if (!v.hot) continue;
+    if (v.ref.exchange(false, std::memory_order_relaxed)) continue;
+    resident_bytes_ -= v.hot_bytes;
+    v.hot.reset();  // readers holding pins keep the slab alive
+    v.hot_bytes = 0;
+    ++evictions_;
+    if (obs::enabled()) m_evictions_->add();
+  }
+}
+
+core::StatusOr<TieredGraph::Pin> TieredGraph::try_acquire(
+    std::uint32_t seg) const {
+  GA_ASSERT(seg < slots_.size());
+  Slot& s = *slots_[seg];
+  s.accesses.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> sl(s.mu);
+  if (s.hot) {
+    s.ref.store(true, std::memory_order_relaxed);
+    return s.hot;
+  }
+  // Cold fault: decode under the slot mutex — it synchronizes the
+  // payload read with corrupt_cold_block_for_test and keeps concurrent
+  // faulters on the same segment from decoding twice — but outside
+  // pool_mu_, so admission/eviction on *other* segments proceeds.
+  if (injector_) injector_->on_call("tier.fault");
+  s.faults.fetch_add(1, std::memory_order_relaxed);
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) m_faults_->add();
+  auto decoded = decode_segment(s.cold);
+  sl.unlock();
+  if (!decoded.ok()) {
+    decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) m_decode_failures_->add();
+    return decoded.status();
+  }
+  Pin pin = std::make_shared<SegmentCSR>(std::move(decoded).value());
+  const std::size_t sz = pin->bytes();
+
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  {
+    std::lock_guard<std::mutex> sl(s.mu);
+    if (s.hot) {  // lost an install race; ours is redundant
+      s.ref.store(true, std::memory_order_relaxed);
+      return s.hot;
+    }
+  }
+  // Access-driven promotion: a segment that keeps faulting earns pinning
+  // while the pinned byte share stays under its cap.
+  bool pin_now = false;
+  if (!s.pinned.load(std::memory_order_relaxed) && policy_.promote_after > 0 &&
+      s.faults.load(std::memory_order_relaxed) >= policy_.promote_after &&
+      pinned_bytes_ + sz <= pinned_cap_of(policy_)) {
+    pin_now = true;
+  }
+  if (policy_.budget_bytes > 0) make_room_locked(sz);
+  const bool fits = policy_.budget_bytes == 0 ||
+                    resident_bytes_ + sz <= policy_.budget_bytes;
+  if (!fits && !pin_now) {
+    // The slab cannot fit even after a full eviction sweep (budget
+    // smaller than one segment, or everything resident is pinned).
+    // Serve this reader a transient copy — never installed, but honest:
+    // its bytes ride the peak watermark until the pin drops.
+    ++transient_serves_;
+    auto counter = transient_bytes_;
+    counter->fetch_add(sz, std::memory_order_relaxed);
+    peak_resident_bytes_ =
+        std::max(peak_resident_bytes_,
+                 resident_bytes_ + counter->load(std::memory_order_relaxed));
+    if (obs::enabled()) {
+      m_peak_->set(static_cast<double>(peak_resident_bytes_));
+    }
+    return Pin(pin.get(), [counter, sz, keep = pin](const SegmentCSR*) mutable {
+      counter->fetch_sub(sz, std::memory_order_relaxed);
+      keep.reset();
+    });
+  }
+  if (pin_now) {
+    s.pinned.store(true, std::memory_order_relaxed);
+    pinned_bytes_ += sz;
+    ++promotions_;
+    s.last_promotion.store(++promo_tick_, std::memory_order_relaxed);
+    if (obs::enabled()) m_promotions_->add();
+  }
+  {
+    std::lock_guard<std::mutex> sl(s.mu);
+    s.hot = pin;
+    s.hot_bytes = sz;
+  }
+  s.ref.store(true, std::memory_order_relaxed);
+  resident_bytes_ += sz;
+  peak_resident_bytes_ = std::max(
+      peak_resident_bytes_,
+      resident_bytes_ + transient_bytes_->load(std::memory_order_relaxed));
+  if (obs::enabled()) {
+    m_resident_->set(static_cast<double>(resident_bytes_));
+    m_peak_->set(static_cast<double>(peak_resident_bytes_));
+  }
+  return pin;
+}
+
+bool TieredGraph::has_edge(vid_t u, vid_t v) const {
+  GA_ASSERT(u < n_);
+  const Pin p = acquire(segment_of(u));
+  const auto nbrs = p->neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+TierStats TieredGraph::stats() const {
+  TierStats st;
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  st.segments = num_segments();
+  st.budget_bytes = policy_.budget_bytes;
+  st.pinned_bytes = pinned_bytes_;
+  st.resident_bytes = resident_bytes_;
+  st.peak_resident_bytes = peak_resident_bytes_;
+  st.encoded_bytes = encoded_bytes_;
+  st.flat_equivalent_bytes = flat_equivalent_bytes();
+  st.evictions = evictions_;
+  st.promotions = promotions_;
+  st.transient_serves = transient_serves_;
+  st.faults = faults_.load(std::memory_order_relaxed);
+  st.decode_failures = decode_failures_.load(std::memory_order_relaxed);
+  for (const auto& sp : slots_) {
+    Slot& s = *sp;
+    st.accesses += s.accesses.load(std::memory_order_relaxed);
+    if (s.pinned.load(std::memory_order_relaxed)) ++st.pinned;
+    std::lock_guard<std::mutex> sl(s.mu);
+    if (s.hot) ++st.resident;
+  }
+  return st;
+}
+
+std::vector<SegmentInfo> TieredGraph::segment_table() const {
+  std::vector<SegmentInfo> rows;
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  rows.reserve(slots_.size());
+  for (std::uint32_t id = 0; id < slots_.size(); ++id) {
+    Slot& s = *slots_[id];
+    SegmentInfo r;
+    r.id = id;
+    r.first_vertex = s.cold.first_vertex;
+    r.count = s.cold.count;
+    r.arcs = s.cold.arcs;
+    r.pinned = s.pinned.load(std::memory_order_relaxed);
+    r.encoded_bytes = s.cold.bytes();
+    r.accesses = s.accesses.load(std::memory_order_relaxed);
+    r.faults = s.faults.load(std::memory_order_relaxed);
+    r.last_promotion_tick = s.last_promotion.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> sl(s.mu);
+      r.resident = s.hot != nullptr;
+      r.decoded_bytes = s.hot ? s.hot_bytes : s.cold.decoded_bytes;
+    }
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+void TieredGraph::corrupt_cold_block_for_test(std::uint32_t seg,
+                                              std::size_t byte_index,
+                                              std::uint8_t xor_mask) {
+  GA_ASSERT(seg < slots_.size());
+  Slot& s = *slots_[seg];
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  std::lock_guard<std::mutex> sl(s.mu);
+  GA_CHECK(byte_index < s.cold.payload.size(),
+           "corrupt_cold_block_for_test: byte index out of range");
+  s.cold.payload[byte_index] ^= xor_mask;
+  if (s.hot) {  // force the next access through the (now poisoned) decode
+    resident_bytes_ -= s.hot_bytes;
+    if (s.pinned.exchange(false, std::memory_order_relaxed)) {
+      pinned_bytes_ -= s.hot_bytes;
+    }
+    s.hot.reset();
+    s.hot_bytes = 0;
+  }
+}
+
+}  // namespace ga::store

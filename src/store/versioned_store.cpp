@@ -55,14 +55,30 @@ VersionedGraphStore::VersionedGraphStore(graph::CSRGraph base,
 
 VersionedGraphStore::VersionedGraphStore(
     std::shared_ptr<const graph::CSRGraph> base, CompactionPolicy policy)
-    : policy_(policy), current_(GraphView::of(std::move(base), 0)) {}
+    : policy_(policy),
+      current_(policy.tiered
+                   ? GraphView::over_tiers(
+                         TieredGraph::build(*base, policy.tier), 0)
+                   : GraphView::of(std::move(base), 0)) {}
 
 VersionedGraphStore::VersionedGraphStore(GraphView initial,
                                          CompactionPolicy policy)
     : policy_(policy), current_(std::move(initial)), epoch_(current_.epoch()) {
   GA_CHECK(current_.valid(), "VersionedGraphStore: invalid initial view");
-  GA_CHECK(current_.flat(),
-           "VersionedGraphStore: initial view must be flat (compacted base)");
+  GA_CHECK(current_.chain_depth() == 0,
+           "VersionedGraphStore: initial view must be compacted (no chain)");
+  // A tiered-policy store recovering from a flat checkpoint converts the
+  // base on the way in; the epoch and properties carry over unchanged.
+  if (policy_.tiered && !current_.tiered()) {
+    auto tiers = TieredGraph::build(current_.base(), policy_.tier);
+    GraphView converted = GraphView::over_tiers(std::move(tiers),
+                                                current_.epoch());
+    if (current_.folded_props()) {
+      converted = GraphView(converted.tiers(), {}, current_.folded_props(),
+                            current_.epoch(), current_.num_arcs());
+    }
+    current_ = std::move(converted);
+  }
 }
 
 VersionedGraphStore::~VersionedGraphStore() { stop_compactor(); }
@@ -102,12 +118,11 @@ std::uint64_t VersionedGraphStore::apply(const DeltaBatch& batch) {
     if (durability_hook_) durability_hook_(next_epoch, batch, *summary);
     if (fault_hook_) fault_hook_("apply_publish");
     epoch_ = next_epoch;
-    auto chain = current_.chain();
-    chain.push_back(layer);
-    next = GraphView(current_.base_ptr(), std::move(chain),
-                     current_.folded_props(), epoch_,
-                     static_cast<eid_t>(
-                         static_cast<std::int64_t>(current_.num_arcs()) + net))
+    next = current_
+               .with_layer(layer, epoch_,
+                           static_cast<eid_t>(
+                               static_cast<std::int64_t>(current_.num_arcs()) +
+                               net))
                .with_summary(std::move(summary));
     current_ = next;
     ++delta_publishes_;
@@ -166,12 +181,20 @@ bool VersionedGraphStore::fold_once() {
   }
   const std::size_t k = captured.chain_depth();
   std::shared_ptr<const graph::CSRGraph> flat;
+  std::shared_ptr<const TieredGraph> tiers;
   std::shared_ptr<const std::vector<std::pair<vid_t, float>>> props;
   try {
     if (fault_hook_) fault_hook_("compact_begin");
-    // The fold also primes the captured version's flatten cache, so any
-    // reader still on it gets the flat CSR for free.
-    flat = captured.flatten();
+    if (policy_.tiered) {
+      // Stream the merged view straight into a fresh two-tier store —
+      // one segment of transient decoded memory at a time, never a full
+      // CSR materialization (the whole point of the budget).
+      tiers = TieredGraph::build_from_view(captured, policy_.tier);
+    } else {
+      // The fold also primes the captured version's flatten cache, so any
+      // reader still on it gets the flat CSR for free.
+      flat = captured.flatten();
+    }
     if (fault_hook_) fault_hook_("compact_fold");
     props = fold_props(captured.folded_props(), captured.chain(), k);
     if (fault_hook_) fault_hook_("compact_swap");
@@ -192,9 +215,17 @@ bool VersionedGraphStore::fold_once() {
     std::vector<std::shared_ptr<const DeltaLayer>> remaining(
         current_.chain().begin() + static_cast<std::ptrdiff_t>(k),
         current_.chain().end());
-    current_ = GraphView(std::move(flat), std::move(remaining), std::move(props),
-                         current_.epoch(), current_.num_arcs())
-                   .with_summary(current_.delta_summary());
+    if (policy_.tiered) {
+      current_ = GraphView(std::move(tiers), std::move(remaining),
+                           std::move(props), current_.epoch(),
+                           current_.num_arcs())
+                     .with_summary(current_.delta_summary());
+    } else {
+      current_ = GraphView(std::move(flat), std::move(remaining),
+                           std::move(props), current_.epoch(),
+                           current_.num_arcs())
+                     .with_summary(current_.delta_summary());
+    }
     ++compactions_;
     last_compact_ms_ = us_since(t0) / 1000.0;
   }
@@ -289,6 +320,11 @@ StoreStats VersionedGraphStore::stats() const {
   s.num_arcs = current_.num_arcs();
   s.base_bytes = current_.base_bytes();
   s.delta_bytes = current_.delta_bytes();
+  if (current_.tiered()) {
+    s.tiered = true;
+    s.tier_resident_bytes = current_.tiers()->resident_bytes();
+    s.tier_encoded_bytes = current_.tiers()->encoded_bytes();
+  }
   s.read_amplification = current_.read_amplification();
   s.delta_publishes = delta_publishes_;
   s.compactions = compactions_;

@@ -41,6 +41,12 @@ struct CompactionPolicy {
   /// Apply-triggered folding: false disables automatic compaction
   /// entirely (callers drive compact_now()).
   bool auto_compact = true;
+  /// Publish epochs whose flatten target is a segmented two-tier store
+  /// (store/tiered.hpp) instead of a flat CSR: the ctor converts a flat
+  /// initial base and every compaction folds the chain into a fresh
+  /// TieredGraph under `tier`'s byte budget.
+  bool tiered = false;
+  TierPolicy tier;
 };
 
 struct StoreStats {
@@ -50,6 +56,9 @@ struct StoreStats {
   eid_t num_arcs = 0;
   std::size_t base_bytes = 0;
   std::size_t delta_bytes = 0;
+  bool tiered = false;
+  std::size_t tier_resident_bytes = 0;  // decoded bytes under the budget
+  std::size_t tier_encoded_bytes = 0;   // cold compressed footprint
   double read_amplification = 1.0;
   std::uint64_t delta_publishes = 0;   // O(Δ) epoch publications
   std::uint64_t compactions = 0;       // successful folds (full rebuilds)

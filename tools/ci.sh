@@ -159,6 +159,29 @@ perf_gate graph500 "$ROOT/BENCH_graph500.json" \
   "$BUILD_DIR/BENCH_graph500_bfs.json" ./bench/graph500_bfs --scale 20 --json
 perf_gate kernels "$ROOT/BENCH_kernels.json" \
   "$BUILD_DIR/BENCH_micro_kernels.json" ./bench/micro_kernels --graph kron20 --json
+perf_gate tiered "$ROOT/BENCH_tiered.json" \
+  "$BUILD_DIR/BENCH_tiered_bench.json" ./bench/tiered_bench --graph kron18 --json
+
+echo "=== [ci] tiered gate (kron18 budget sweep: digests + enforced 25% budget + peak RSS) ==="
+# The two-tier store promises: kernel outputs digest-identical to flat
+# CSR at every budget point, and the 25%-budget run actually holding its
+# byte budget (peak accounted resident bytes, transient serves included,
+# within +5% slack). Peak RSS (VmHWM via bench::peak_rss_bytes) rides the
+# artifact so the tier's own accounting can be checked against what the
+# OS saw. Reuses the artifact the perf gate above just produced.
+python3 - "$BUILD_DIR/BENCH_tiered_bench.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+digests_ok = all(d[f"{b}_digest_ok"] == 1 for b in ("b100", "b50", "b25", "b12"))
+held = (d["b25_within_budget"] == 1
+        and d["b25_peak_bytes"] <= d["b25_budget_bytes"] * 1.05)
+print(f"[ci] tiered digests ok={digests_ok} (4 budget points), "
+      f"25%-budget peak {d['b25_peak_bytes']}/{d['b25_budget_bytes']} B held={held}, "
+      f"slowdown bfs {d['slowdown_bfs_b25']:.1f}x pagerank {d['slowdown_pagerank_b25']:.1f}x "
+      f"wcc {d['slowdown_wcc_b25']:.1f}x, peak RSS {d['peak_rss_bytes'] / 1048576.0:.0f} MiB")
+sys.exit(0 if digests_ok and held and d["verify_failures"] == 0 else 1)
+EOF
 
 echo "=== [ci] bench artifacts (repo root) ==="
 # Machine-readable artifacts for sweep diffing at stable repo-root names:
@@ -173,7 +196,8 @@ cp "$BUILD_DIR/BENCH_graph500_bfs.json" "$ROOT/BENCH_graph500.json"
 cp "$BUILD_DIR/BENCH_micro_kernels.json" "$ROOT/BENCH_kernels.json"
 cp "$BUILD_DIR/BENCH_recovery.json" "$ROOT/BENCH_recovery.json"
 cp "$BUILD_DIR/BENCH_dist.json" "$ROOT/BENCH_dist.json"
-echo "[ci] wrote $ROOT/BENCH_serving.json, $ROOT/BENCH_graph500.json, $ROOT/BENCH_kernels.json, $ROOT/BENCH_recovery.json, and $ROOT/BENCH_dist.json"
+cp "$BUILD_DIR/BENCH_tiered_bench.json" "$ROOT/BENCH_tiered.json"
+echo "[ci] wrote $ROOT/BENCH_serving.json, $ROOT/BENCH_graph500.json, $ROOT/BENCH_kernels.json, $ROOT/BENCH_recovery.json, $ROOT/BENCH_dist.json, and $ROOT/BENCH_tiered.json"
 
 if [[ "$MODE" == "fast" ]]; then
   echo "=== [ci] fast mode: skipping sanitizer sweeps ==="

@@ -16,6 +16,11 @@
 //   ga_cli store log-stat DIR
 //          — offline inspection of a durable epoch-log directory: checkpoint
 //            header, record/seq range, torn-tail and corruption counters
+//   ga_cli store tiers [FILE] [--scale N] [--budget-pct P] [--budget B]
+//          [--seed S] [--json]
+//          — build the two-tier segment store over FILE (or an RMAT graph),
+//            drive a BFS through it, and print the per-segment residency
+//            table: hot/cold, pinned, bytes, accesses, faults, promotion
 //   ga_cli store recover DIR
 //          — run crash recovery against DIR and print the report (epochs
 //            replayed/skipped, torn tail, content digest of the result)
@@ -39,7 +44,9 @@
 //   ga_cli jaccard FILE VERTEX [--threshold X]
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -65,7 +72,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/server.hpp"
+#include "store/graph_view.hpp"
 #include "store/recovery.hpp"
+#include "store/tiered.hpp"
 #include "store/versioned_store.hpp"
 
 using namespace ga;
@@ -124,6 +133,8 @@ int usage() {
                "  store [FILE] [--scale N] [--epochs E] [--delta D]"
                " [--seed S] [--depth K] [--no-compact]\n"
                "  store log-stat DIR\n"
+               "  store tiers [FILE] [--scale N] [--budget-pct P]"
+               " [--budget B] [--seed S] [--json]\n"
                "  store recover DIR\n"
                "  epochs [FILE] [--scale N] [--epochs E] [--delta D]"
                " [--seed S] [--deletes PCT]\n"
@@ -241,6 +252,114 @@ int cmd_store_logstat(const Args& a) {
   return info.corrupt_records == 0 ? 0 : 1;
 }
 
+/// Build the segmented two-tier store over an input graph, push a BFS
+/// through the tiered view (a realistic frontier-ordered access pattern
+/// that faults, evicts, and promotes), and print the per-segment
+/// residency table plus the aggregate tier stats.
+// VmHWM from /proc/self/status — the OS-observed peak RSS, printed next
+// to the tier's own accounting so the two can be cross-checked.
+std::size_t peak_rss_bytes() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+  }
+  return 0;
+}
+
+int cmd_store_tiers(const Args& a) {
+  const auto g = a.positional.size() >= 3
+                     ? load(a.positional[2])
+                     : graph::make_rmat(
+                           {.scale = static_cast<unsigned>(a.get("scale", 14)),
+                            .edge_factor = 16,
+                            .seed = a.get("seed", 1)});
+  store::TierPolicy pol;
+  const std::size_t flat =
+      (static_cast<std::size_t>(g.num_vertices()) + 1) * sizeof(eid_t) +
+      static_cast<std::size_t>(g.num_arcs()) * sizeof(vid_t) +
+      (g.weighted() ? static_cast<std::size_t>(g.num_arcs()) * sizeof(float)
+                    : 0);
+  pol.budget_bytes = a.flags.count("budget")
+                         ? a.get("budget", 0)
+                         : static_cast<std::size_t>(
+                               static_cast<double>(flat) *
+                               a.getf("budget-pct", 25.0) / 100.0);
+  const auto tiers = store::TieredGraph::build(g, pol);
+  const store::GraphView view = store::GraphView::over_tiers(tiers);
+  vid_t src = 0;
+  while (src < g.num_vertices() && g.out_degree(src) == 0) ++src;
+  if (src < g.num_vertices()) kernels::bfs(view, src);
+
+  const store::TierStats st = tiers->stats();
+  const auto rows = tiers->segment_table();
+  if (a.flags.count("json")) {
+    std::printf(
+        "{\"segments\":%u,\"segment_bits\":%u,\"budget_bytes\":%zu,"
+        "\"flat_bytes\":%zu,\"encoded_bytes\":%zu,\"resident_bytes\":%zu,"
+        "\"peak_resident_bytes\":%zu,\"peak_rss_bytes\":%zu,"
+        "\"pinned\":%u,\"resident\":%u,"
+        "\"accesses\":%llu,\"faults\":%llu,\"evictions\":%llu,"
+        "\"promotions\":%llu,\"rows\":[",
+        st.segments, tiers->policy().segment_bits, st.budget_bytes, flat,
+        st.encoded_bytes, st.resident_bytes, st.peak_resident_bytes,
+        peak_rss_bytes(), st.pinned, st.resident,
+        static_cast<unsigned long long>(st.accesses),
+        static_cast<unsigned long long>(st.faults),
+        static_cast<unsigned long long>(st.evictions),
+        static_cast<unsigned long long>(st.promotions));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const store::SegmentInfo& r = rows[i];
+      std::printf(
+          "%s{\"id\":%u,\"first\":%u,\"vertices\":%u,\"arcs\":%llu,"
+          "\"state\":\"%s\",\"pinned\":%s,\"encoded_bytes\":%zu,"
+          "\"decoded_bytes\":%zu,\"accesses\":%llu,\"faults\":%llu,"
+          "\"promotion_tick\":%llu}",
+          i ? "," : "", r.id, r.first_vertex, r.count,
+          static_cast<unsigned long long>(r.arcs),
+          r.resident ? "hot" : "cold", r.pinned ? "true" : "false",
+          r.encoded_bytes, r.decoded_bytes,
+          static_cast<unsigned long long>(r.accesses),
+          static_cast<unsigned long long>(r.faults),
+          static_cast<unsigned long long>(r.last_promotion_tick));
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  std::printf("segments: %u (2^%u vertices each)  budget %.2f MB of %.2f MB "
+              "flat (%.0f%%)  cold tier %.2f MB\n",
+              st.segments, tiers->policy().segment_bits,
+              st.budget_bytes / 1048576.0, flat / 1048576.0,
+              flat ? 100.0 * st.budget_bytes / flat : 0.0,
+              st.encoded_bytes / 1048576.0);
+  std::printf("resident: %u segments, %.2f MB (peak %.2f MB, process peak "
+              "RSS %.2f MB)  pinned %u  "
+              "accesses %llu  faults %llu  evictions %llu  promotions %llu\n",
+              st.resident, st.resident_bytes / 1048576.0,
+              st.peak_resident_bytes / 1048576.0,
+              peak_rss_bytes() / 1048576.0, st.pinned,
+              static_cast<unsigned long long>(st.accesses),
+              static_cast<unsigned long long>(st.faults),
+              static_cast<unsigned long long>(st.evictions),
+              static_cast<unsigned long long>(st.promotions));
+  std::printf("%6s %10s %9s %10s %-5s %-6s %10s %10s %10s %8s %6s\n", "seg",
+              "first", "vertices", "arcs", "state", "pinned", "enc B",
+              "dec B", "accesses", "faults", "promo");
+  for (const store::SegmentInfo& r : rows) {
+    std::printf("%6u %10u %9u %10llu %-5s %-6s %10zu %10zu %10llu %8llu "
+                "%6llu\n",
+                r.id, r.first_vertex, r.count,
+                static_cast<unsigned long long>(r.arcs),
+                r.resident ? "hot" : "cold", r.pinned ? "yes" : "-",
+                r.encoded_bytes, r.decoded_bytes,
+                static_cast<unsigned long long>(r.accesses),
+                static_cast<unsigned long long>(r.faults),
+                static_cast<unsigned long long>(r.last_promotion_tick));
+  }
+  return 0;
+}
+
 /// Run crash recovery against a log directory and print the report plus the
 /// content digest of the recovered view (compare across runs / replicas).
 int cmd_store_recover(const Args& a) {
@@ -282,6 +401,9 @@ int cmd_store(const Args& a) {
   }
   if (a.positional.size() >= 2 && a.positional[1] == "recover") {
     return cmd_store_recover(a);
+  }
+  if (a.positional.size() >= 2 && a.positional[1] == "tiers") {
+    return cmd_store_tiers(a);
   }
   store::CompactionPolicy policy;
   policy.max_chain_depth = static_cast<std::size_t>(a.get("depth", 8));

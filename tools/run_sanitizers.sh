@@ -8,7 +8,9 @@
 #      publish/lease/compact, warm-state handoff across epoch publishes,
 #      standby log-tailing under live writer load), plus the dist suite's
 #      in-process shard harness (coordinator op thread vs heartbeat
-#      monitor vs shard server threads).
+#      monitor vs shard server threads), plus the tiered suite's
+#      concurrent fault/evict/corrupt churn (readers pinning slabs while
+#      the clock evicts and a chaos thread flips cold-block bytes).
 # Each sanitizer gets its own build tree under build-san/ so the regular
 # build/ directory is never polluted. Exits nonzero on the first failure.
 #
@@ -73,7 +75,8 @@ cmake -B "$TSAN_DIR" -S "$ROOT" -DGA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" \
       --target ga_tests ga_serving_tests ga_obs_tests ga_store_tests \
-               ga_incremental_tests ga_recovery_tests ga_dist_tests > /dev/null
+               ga_incremental_tests ga_recovery_tests ga_dist_tests \
+               ga_tiered_tests > /dev/null
 echo "=== [tsan] parallel-path tests ==="
 "$TSAN_DIR/tests/ga_tests" --gtest_filter='Bfs*:Wcc*:Engine*:ThreadPool*:Betweenness*'
 echo "=== [tsan] serving suite (snapshot lifetime + scheduler concurrency) ==="
@@ -89,5 +92,8 @@ echo "=== [tsan] recovery suite (log append + standby tail/promotion races) ==="
 echo "=== [tsan] dist suite (in-process shards: coordinator/monitor/server races) ==="
 "$TSAN_DIR/tests/ga_dist_tests" \
     --gtest_filter='DistCoordinator.Inproc*:DistCoordinator.Status*:DistFailover.Inproc*'
+echo "=== [tsan] tiered suite (concurrent fault/evict/corrupt churn vs pinned readers) ==="
+"$TSAN_DIR/tests/ga_tiered_tests" \
+    --gtest_filter='TieredConcurrency.*:TieredGraph.Budget*'
 
 echo "All sanitizer suites passed."
